@@ -1,0 +1,20 @@
+# Canonical developer commands (see README.md).
+
+.PHONY: install test bench report examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.analysis.report
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+all: install test bench

@@ -1,0 +1,29 @@
+"""A11 — image kernels: bus acceleration on the PE grid."""
+
+from repro.analysis.experiments import run_a11
+from repro.apps import connected_components, distance_transform, random_blobs
+from repro.ppa import PPAConfig, PPAMachine
+
+_IMG = random_blobs(24, blobs=4, radius=2, seed=1)
+
+
+def _machine():
+    return PPAMachine(PPAConfig(n=24, word_bits=16))
+
+
+def test_a11_table(benchmark, report):
+    table = benchmark.pedantic(run_a11, rounds=1, iterations=1)
+    assert all(row[5] for row in table.rows)
+    report(table)
+
+
+def test_a11_distance_transform(benchmark):
+    benchmark(lambda: distance_transform(_machine(), _IMG))
+
+
+def test_a11_components_buses(benchmark):
+    benchmark(lambda: connected_components(_machine(), _IMG, use_buses=True))
+
+
+def test_a11_components_shift_only(benchmark):
+    benchmark(lambda: connected_components(_machine(), _IMG, use_buses=False))

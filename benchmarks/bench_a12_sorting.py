@@ -1,0 +1,27 @@
+"""A12 — row sorting: shift network vs bit-serial bus."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_a12
+from repro.apps.sorting import extract_min_sort_rows, odd_even_sort_rows
+from repro.ppa import PPAConfig, PPAMachine
+
+_VALS = np.random.default_rng(3).integers(0, 60000, size=(16, 16))
+
+
+def _machine():
+    return PPAMachine(PPAConfig(n=16, word_bits=16))
+
+
+def test_a12_table(benchmark, report):
+    table = benchmark.pedantic(run_a12, rounds=1, iterations=1)
+    assert all(row[5] for row in table.rows)
+    report(table)
+
+
+def test_a12_odd_even(benchmark):
+    benchmark(lambda: odd_even_sort_rows(_machine(), _VALS))
+
+
+def test_a12_extract_min(benchmark):
+    benchmark(lambda: extract_min_sort_rows(_machine(), _VALS))

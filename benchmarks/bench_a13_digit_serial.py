@@ -1,0 +1,23 @@
+"""A13 — digit-serial min(): the wired-OR lane trade-off."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_a13
+from repro.ppa import Direction, PPAConfig, PPAMachine
+from repro.ppc.reductions import ppa_min_digit_serial
+
+_VALS = np.random.default_rng(2).integers(0, 60000, size=(16, 16))
+
+
+def test_a13_table(benchmark, report):
+    table = benchmark.pedantic(run_a13, rounds=1, iterations=1)
+    assert all(row[4] for row in table.rows)
+    report(table)
+
+
+def test_a13_radix4_min(benchmark):
+    machine = PPAMachine(PPAConfig(n=16, word_bits=16))
+    L = machine.col_index == 15
+    benchmark(
+        lambda: ppa_min_digit_serial(machine, _VALS, Direction.WEST, L, 2)
+    )

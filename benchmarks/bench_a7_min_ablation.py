@@ -1,0 +1,25 @@
+"""A7 — bit-serial vs word-parallel bus minimum."""
+
+from repro.analysis.experiments import run_a7
+from repro.core import minimum_cost_path, minimum_cost_path_word
+from repro.ppa import PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+_W = gnp_digraph(16, 0.3, seed=7, weights=WeightSpec(1, 7), inf_value=INF16)
+
+
+def test_a7_table(benchmark, report):
+    table = benchmark.pedantic(run_a7, rounds=1, iterations=1)
+    assert all(row[5] for row in table.rows)
+    report(table)
+
+
+def test_a7_bit_serial(benchmark):
+    benchmark(lambda: minimum_cost_path(PPAMachine(PPAConfig(n=16)), _W, 0))
+
+
+def test_a7_word_parallel(benchmark):
+    benchmark(
+        lambda: minimum_cost_path_word(PPAMachine(PPAConfig(n=16)), _W, 0)
+    )

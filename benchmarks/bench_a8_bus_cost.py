@@ -1,0 +1,11 @@
+"""A8 — unit-cost vs distance-proportional bus pricing."""
+
+from repro.analysis.experiments import run_a8
+from repro.metrics import loglog_slope
+
+
+def test_a8_series(benchmark, report):
+    series = benchmark.pedantic(run_a8, rounds=1, iterations=1)
+    assert abs(loglog_slope(series.x, series.ys["unit_bus"])) < 0.15
+    assert loglog_slope(series.x, series.ys["linear_bus"]) > 0.9
+    report(series)

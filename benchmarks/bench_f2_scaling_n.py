@@ -1,0 +1,31 @@
+"""F2 — per-iteration communication cost vs array size (PPA flat, mesh Θ(n))."""
+
+from repro.analysis.experiments import run_f2
+from repro.baselines import MeshMachine
+from repro.core import minimum_cost_path
+from repro.metrics import loglog_slope
+from repro.ppa import PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, complete_graph
+
+INF16 = (1 << 16) - 1
+
+
+def test_f2_series(benchmark, report):
+    series = benchmark.pedantic(run_f2, rounds=1, iterations=1)
+    assert abs(loglog_slope(series.x, series.ys["ppa_bus_per_iter"])) < 0.15
+    assert loglog_slope(series.x, series.ys["mesh_bus_per_iter"]) > 0.8
+    report(series)
+
+
+def _workload(n):
+    return complete_graph(n, seed=2, weights=WeightSpec(1, 9), inf_value=INF16)
+
+
+def test_f2_ppa_n32(benchmark):
+    W = _workload(32)
+    benchmark(lambda: minimum_cost_path(PPAMachine(PPAConfig(n=32)), W, 16))
+
+
+def test_f2_mesh_n32(benchmark):
+    W = _workload(32)
+    benchmark(lambda: MeshMachine(32).mcp(W, 16))

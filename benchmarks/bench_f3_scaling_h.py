@@ -1,0 +1,24 @@
+"""F3 — bus cycles vs word width h (linear, settling the paper's log-h claim)."""
+
+from repro.analysis.experiments import run_f3
+from repro.core import minimum_cost_path
+from repro.metrics import linear_fit
+from repro.ppa import PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, gnp_digraph
+
+
+def test_f3_series(benchmark, report):
+    series = benchmark.pedantic(run_f3, rounds=1, iterations=1)
+    fit = linear_fit(series.x, series.ys["bus_per_iter"])
+    assert fit.r2 > 0.999 and 1.8 < fit.slope < 2.3
+    report(series)
+
+
+def test_f3_mcp_h32(benchmark):
+    inf = (1 << 32) - 1
+    W = gnp_digraph(16, 0.35, seed=1, weights=WeightSpec(1, 7), inf_value=inf)
+    benchmark(
+        lambda: minimum_cost_path(
+            PPAMachine(PPAConfig(n=16, word_bits=32)), W, 3
+        )
+    )

@@ -1,0 +1,22 @@
+"""F4 — iterations and total cycles vs maximum MCP length p."""
+
+from repro.analysis.experiments import run_f4
+from repro.core import minimum_cost_path
+from repro.metrics import linear_fit
+from repro.ppa import PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, layered_graph
+
+INF16 = (1 << 16) - 1
+
+
+def test_f4_series(benchmark, report):
+    series = benchmark.pedantic(run_f4, rounds=1, iterations=1)
+    assert series.ys["iterations"] == list(series.x)
+    assert linear_fit(series.x, series.ys["total_bus"]).r2 > 0.999
+    report(series)
+
+
+def test_f4_deep_dag(benchmark):
+    W, d = layered_graph(16, 2, seed=0, weights=WeightSpec(1, 5), inf_value=INF16)
+    n = W.shape[0]
+    benchmark(lambda: minimum_cost_path(PPAMachine(PPAConfig(n=n)), W, d))

@@ -1,0 +1,41 @@
+"""P10 — simulator throughput on the machine primitives.
+
+Engineering benchmark (not a paper artefact): wall-clock of one simulated
+bus transaction / reduction / bit-serial min at several array sizes, to
+keep the simulator's own performance from regressing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ppa import Direction, PPAConfig, PPAMachine
+from repro.ppc.reductions import ppa_min
+
+
+@pytest.fixture(params=[16, 64, 256], ids=lambda n: f"n={n}")
+def machine(request):
+    return PPAMachine(PPAConfig(n=request.param, word_bits=16))
+
+
+def test_p10_broadcast(benchmark, machine):
+    src = machine.new_parallel(7)
+    L = machine.row_index == 0
+    benchmark(lambda: machine.broadcast(src, Direction.SOUTH, L))
+
+
+def test_p10_wired_or(benchmark, machine):
+    bits = machine.bit(machine.col_index, 0)
+    L = machine.col_index == 0
+    benchmark(lambda: machine.bus_or(bits, Direction.EAST, L))
+
+
+def test_p10_shift(benchmark, machine):
+    src = machine.new_parallel(3)
+    benchmark(lambda: machine.shift(src, Direction.EAST))
+
+
+def test_p10_bit_serial_min(benchmark, machine):
+    rng = np.random.default_rng(0)
+    vals = rng.integers(0, machine.maxint, size=machine.shape)
+    L = machine.col_index == machine.n - 1
+    benchmark(lambda: ppa_min(machine, vals, Direction.WEST, L))

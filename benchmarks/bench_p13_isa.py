@@ -1,0 +1,37 @@
+"""P13 — instruction-level executor throughput.
+
+Engineering benchmark: assembling and executing the full MCP instruction
+stream, plus the interpretation overhead per instruction relative to the
+native implementation.
+"""
+
+from repro.core import minimum_cost_path, minimum_cost_path_asm
+from repro.core.asm_mcp import mcp_assembly
+from repro.ppa import PPAConfig, PPAMachine
+from repro.ppa.assembler import assemble
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+_W = gnp_digraph(16, 0.3, seed=4, weights=WeightSpec(1, 9), inf_value=INF16)
+
+
+def test_p13_assemble(benchmark):
+    program = benchmark(lambda: assemble(mcp_assembly(16, 16)))
+    assert len(program) > 40
+
+
+def test_p13_execute_asm_mcp(benchmark):
+    result = benchmark(
+        lambda: minimum_cost_path_asm(
+            PPAMachine(PPAConfig(n=16, word_bits=16)), _W, 1
+        )
+    )
+    assert result.iterations >= 1
+
+
+def test_p13_native_reference(benchmark):
+    benchmark(
+        lambda: minimum_cost_path(
+            PPAMachine(PPAConfig(n=16, word_bits=16)), _W, 1
+        )
+    )

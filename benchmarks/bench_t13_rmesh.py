@@ -1,0 +1,34 @@
+"""T13 — PPA vs RMESH power separation, plus RMESH resolution throughput."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_t13
+from repro.rmesh import RMeshMachine, count_ones
+
+
+def test_t13_table(benchmark, report):
+    table = benchmark.pedantic(run_t13, rounds=1, iterations=1)
+    assert all(row[4] for row in table.rows)
+    report(table)
+
+
+def test_t13_staircase_count(benchmark):
+    bits = np.random.default_rng(0).random(31) < 0.5
+
+    def run():
+        return count_ones(RMeshMachine(32), bits)
+
+    assert benchmark(run) == int(bits.sum())
+
+
+def test_t13_bus_resolution_n32(benchmark):
+    rng = np.random.default_rng(1)
+    machine = RMeshMachine(32)
+    ids = rng.integers(0, 15, size=(32, 32))
+
+    def run():
+        machine.set_config(ids)
+        return machine.bus_labels()
+
+    labels = benchmark(run)
+    assert labels.shape == (32, 32, 4)

@@ -1,0 +1,24 @@
+"""T14 — single stuck-at fault campaign + self-test throughput."""
+
+from repro.analysis.experiments import run_t14
+from repro.ppa import FaultKind, FaultPlan, PPAConfig, PPAMachine
+from repro.ppa.selftest import diagnose_switches
+
+
+def test_t14_table(benchmark, report):
+    table = benchmark.pedantic(run_t14, rounds=1, iterations=1)
+    for row in table.rows:
+        injections = row[1]
+        assert row[5] == f"{injections}/{injections}"
+    report(table)
+
+
+def test_t14_selftest_n16(benchmark):
+    machine = PPAMachine(PPAConfig(n=16))
+    machine.inject_faults(
+        FaultPlan()
+        .add(3, 7, FaultKind.STUCK_OPEN, axis=1)
+        .add(9, 2, FaultKind.STUCK_SHORT, axis=0)
+    )
+    report = benchmark(lambda: diagnose_switches(machine))
+    assert len(report.faults) == 2

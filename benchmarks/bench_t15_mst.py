@@ -1,0 +1,38 @@
+"""T15 — Borůvka MST over the bus primitives."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_t15
+from repro.core.mst import boruvka_mst
+from repro.ppa import PPAConfig, PPAMachine
+
+
+def _graph(n, seed=7):
+    rng = np.random.default_rng(seed)
+    inf = (1 << 16) - 1
+    W = np.full((n, n), inf, dtype=np.int64)
+    np.fill_diagonal(W, 0)
+    weights = rng.permutation(n * n) + 1
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if j == i + 1 or rng.random() < 0.4:
+                W[i, j] = W[j, i] = int(weights[k])
+                k += 1
+    return W
+
+
+def test_t15_table(benchmark, report):
+    table = benchmark.pedantic(run_t15, rounds=1, iterations=1)
+    assert all(row[4] for row in table.rows)
+    report(table)
+
+
+def test_t15_mst_n16(benchmark):
+    W = _graph(16)
+
+    def run():
+        return boruvka_mst(PPAMachine(PPAConfig(n=16)), W)
+
+    res = benchmark(run)
+    assert res.is_spanning_tree

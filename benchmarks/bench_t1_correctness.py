@@ -1,0 +1,28 @@
+"""T1 — correctness sweep ("validated through simulation").
+
+Regenerates the full T1 table and benchmarks one representative MCP run on
+the simulator (wall-clock of the PPA model itself).
+"""
+
+from repro.analysis.experiments import run_t1
+from repro.core import minimum_cost_path
+from repro.ppa import PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+def test_t1_table(benchmark, report):
+    table = benchmark.pedantic(run_t1, rounds=1, iterations=1)
+    assert all(row[4] and row[5] and row[6] and row[7] for row in table.rows)
+    report(table)
+
+
+def test_t1_single_mcp_run(benchmark):
+    W = gnp_digraph(16, 0.3, seed=1, weights=WeightSpec(1, 9), inf_value=INF16)
+
+    def run():
+        return minimum_cost_path(PPAMachine(PPAConfig(n=16)), W, 3)
+
+    result = benchmark(run)
+    assert result.iterations >= 1

@@ -1,0 +1,32 @@
+"""T5 — the paper's closing claim: PPA vs GCN vs CM hypercube vs mesh."""
+
+from repro.analysis.experiments import run_t5
+from repro.baselines import GCNMachine, HypercubeMachine, MeshMachine
+from repro.core import minimum_cost_path
+from repro.ppa import PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+_W = gnp_digraph(16, 0.3, seed=4, weights=WeightSpec(1, 9), inf_value=INF16)
+
+
+def test_t5_table(benchmark, report):
+    table = benchmark.pedantic(run_t5, rounds=1, iterations=1)
+    assert all(row[5] for row in table.rows)
+    report(table)
+
+
+def test_t5_ppa(benchmark):
+    benchmark(lambda: minimum_cost_path(PPAMachine(PPAConfig(n=16)), _W, 1))
+
+
+def test_t5_gcn(benchmark):
+    benchmark(lambda: GCNMachine(16).mcp(_W, 1))
+
+
+def test_t5_hypercube(benchmark):
+    benchmark(lambda: HypercubeMachine(16).mcp(_W, 1))
+
+
+def test_t5_mesh(benchmark):
+    benchmark(lambda: MeshMachine(16).mcp(_W, 1))

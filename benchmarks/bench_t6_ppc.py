@@ -1,0 +1,40 @@
+"""T6 — PPC interpreter parity and its interpretation overhead."""
+
+from repro.analysis.experiments import run_t6
+from repro.core import minimum_cost_path, normalize_weights
+from repro.ppa import PPAConfig, PPAMachine
+from repro.ppc.lang import compile_ppc, programs
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+_W = gnp_digraph(8, 0.3, seed=0, weights=WeightSpec(1, 9), inf_value=INF16)
+
+
+def test_t6_table(benchmark, report):
+    table = benchmark.pedantic(run_t6, rounds=1, iterations=1)
+    assert all(row[1] and row[2] for row in table.rows)
+    report(table)
+
+
+def test_t6_compile(benchmark):
+    program = benchmark(lambda: compile_ppc(programs.MCP_CODE))
+    assert "minimum_cost_path" in program.functions
+
+
+def test_t6_interpret_paper_listing(benchmark):
+    program = compile_ppc(programs.MCP_CODE)
+
+    def run():
+        m = PPAMachine(PPAConfig(n=8, word_bits=16))
+        return program.run(
+            m, "minimum_cost_path",
+            globals={"W": normalize_weights(_W, m), "d": 2},
+        )
+
+    benchmark(run)
+
+
+def test_t6_native_equivalent(benchmark):
+    benchmark(
+        lambda: minimum_cost_path(PPAMachine(PPAConfig(n=8)), _W, 2)
+    )

@@ -1,0 +1,33 @@
+"""T9 — transitive closure and all-pairs extensions."""
+
+from repro.analysis.experiments import run_t9
+from repro.core import all_pairs_minimum_cost, transitive_closure
+from repro.ppa import PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, gnp_digraph, unit_weights
+
+INF16 = (1 << 16) - 1
+
+
+def test_t9_table(benchmark, report):
+    table = benchmark.pedantic(run_t9, rounds=1, iterations=1)
+    assert all(row[2] and row[3] for row in table.rows)
+    report(table)
+
+
+def test_t9_closure_n16(benchmark):
+    adj = gnp_digraph(16, 0.15, seed=2, weights=unit_weights(),
+                      inf_value=INF16) == 1
+
+    def run():
+        return transitive_closure(PPAMachine(PPAConfig(n=16)), adj)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_t9_apsp_n16(benchmark):
+    W = gnp_digraph(16, 0.3, seed=2, weights=WeightSpec(1, 9), inf_value=INF16)
+
+    def run():
+        return all_pairs_minimum_cost(PPAMachine(PPAConfig(n=16)), W)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,34 @@
+"""Benchmark plumbing.
+
+Each ``bench_*`` module regenerates one evaluation artefact (table/figure
+of DESIGN.md's experiment index). The ``report`` fixture prints the
+artefact's rows once per session — running
+
+    pytest benchmarks/ --benchmark-only
+
+therefore both times the harness *and* emits the same rows EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+_printed: set[str] = set()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a Table/Series once per session, outside capture."""
+
+    def _print(result) -> None:
+        title = getattr(result, "title", repr(result))
+        if title in _printed:
+            return
+        _printed.add(title)
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+    return _print

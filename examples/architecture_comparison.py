@@ -1,0 +1,28 @@
+"""Reproduce the paper's closing comparison: PPA vs CM hypercube vs GCN.
+
+Runs the same minimum-cost-path problem on all four simulated machines
+(PPA, Gated Connection Network, Connection-Machine hypercube, plain mesh)
+and prints the communication cost in both transaction counts and bit-cycle
+counts — the quantitative version of the paper's claim that the PPA
+"delivers the same performance, in terms of computational complexity, as
+the hypercube interconnection network of the Connection Machine, and as
+the Gated Connection Network".
+
+Run:  python examples/architecture_comparison.py
+"""
+
+from repro.analysis import run_a8, run_t5, run_t13
+
+
+def main() -> None:
+    print(run_t5().render())
+    print()
+    print(run_a8().render())
+    print()
+    # Section 4 in the other direction: what the *more* powerful
+    # Reconfigurable Mesh buys over the PPA.
+    print(run_t13().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Image processing one-pixel-per-PE: distance transform + labelling.
+
+The paper's Section 2 notes its communication primitives are the ones used
+to implement the EDT algorithm; this demo maps a 16x16 binary image onto a
+16x16 PPA and runs the two classic grid kernels:
+
+* a city-block distance transform (wavefront over nearest-neighbour shifts),
+* connected-component labelling, where straight runs of foreground pixels
+  collapse over the reconfigurable buses in a single transaction — the
+  switch-box payoff, made visible in the iteration counts.
+
+Run:  python examples/image_processing.py
+"""
+
+import numpy as np
+
+from repro.apps import connected_components, distance_transform, random_blobs
+from repro.ppa import PPAConfig, PPAMachine
+
+N = 16
+
+
+def show(grid, fmt) -> None:
+    for row in grid:
+        print(" ".join(fmt(v) for v in row))
+    print()
+
+
+def main() -> None:
+    img = random_blobs(N, blobs=4, radius=2, seed=11)
+
+    print("input image (# = feature pixel):\n")
+    show(img, lambda v: "#" if v else ".")
+
+    dt = distance_transform(PPAMachine(PPAConfig(n=N)), img)
+    print(
+        f"city-block distance transform "
+        f"({dt.iterations} wavefront iterations, "
+        f"{dt.counters['shifts']} shifts):\n"
+    )
+    show(dt.distances, lambda v: f"{min(int(v), 35):>2x}")
+
+    fast = connected_components(PPAMachine(PPAConfig(n=N)), img, use_buses=True)
+    slow = connected_components(PPAMachine(PPAConfig(n=N)), img, use_buses=False)
+    labels = fast.relabelled()
+    print(f"connected components ({fast.count} found):\n")
+    show(labels, lambda v: "." if v < 0 else chr(ord("A") + int(v) % 26))
+
+    print(
+        f"bus-accelerated labelling: {fast.iterations} iterations vs "
+        f"{slow.iterations} with shifts only - straight runs collapse in "
+        "one bus transaction."
+    )
+
+
+if __name__ == "__main__":
+    main()

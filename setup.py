@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` (legacy editable install) works on
+offline hosts that lack the ``wheel`` package required by PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

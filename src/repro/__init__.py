@@ -1,0 +1,95 @@
+"""repro — reproduction of *A Parallel Algorithm for Minimum Cost Path
+Computation on Polymorphic Processor Array* (Baglietto, Maresca, Migliardi,
+IPPS 1998).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PPAMachine, PPAConfig, minimum_cost_path, INF
+>>> W = np.array([
+...     [0,   4, INF, INF],
+...     [INF, 0,   1, INF],
+...     [INF, INF, 0,   7],
+...     [2, INF, INF,  0],
+... ])
+>>> machine = PPAMachine(PPAConfig(n=4, word_bits=16))
+>>> result = minimum_cost_path(machine, W, d=3)
+>>> int(result.sow[0]), result.path(0)
+(12, [0, 1, 2, 3])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    MachineError,
+    BusError,
+    GraphError,
+    WordWidthError,
+    PPCError,
+)
+from repro.ppa import (
+    Direction,
+    opposite,
+    BusCostModel,
+    PPAConfig,
+    PPAMachine,
+)
+from repro.ppc import PPCEnvironment, ppa_min, ppa_selected_min
+from repro.core import (
+    INF,
+    MCPResult,
+    all_pairs_minimum_cost,
+    boruvka_mst,
+    extract_path,
+    minimum_cost_path,
+    minimum_cost_path_asm,
+    minimum_cost_path_from,
+    minimum_cost_path_multi,
+    minimum_cost_path_word,
+    normalize_weights,
+    reachable_set,
+    transitive_closure,
+    validate_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "MachineError",
+    "BusError",
+    "GraphError",
+    "WordWidthError",
+    "PPCError",
+    # machine
+    "Direction",
+    "opposite",
+    "BusCostModel",
+    "PPAConfig",
+    "PPAMachine",
+    # language
+    "PPCEnvironment",
+    "ppa_min",
+    "ppa_selected_min",
+    # algorithm
+    "INF",
+    "MCPResult",
+    "minimum_cost_path",
+    "minimum_cost_path_word",
+    "minimum_cost_path_multi",
+    "minimum_cost_path_from",
+    "minimum_cost_path_asm",
+    "boruvka_mst",
+    "all_pairs_minimum_cost",
+    "transitive_closure",
+    "reachable_set",
+    "normalize_weights",
+    "extract_path",
+    "validate_tree",
+]

@@ -1,0 +1,50 @@
+"""Experiment harness regenerating every evaluation artefact (see DESIGN.md)."""
+
+from repro.analysis.experiments import (
+    run_t1,
+    run_f2,
+    run_f3,
+    run_f4,
+    run_t5,
+    run_t6,
+    run_a7,
+    run_a8,
+    run_t9,
+    run_a11,
+    run_a12,
+    run_a13,
+    run_t13,
+    run_t14,
+    run_t15,
+    ALL_EXPERIMENTS,
+)
+from repro.analysis.report import run_all, render_report
+from repro.analysis.store import (
+    save_results,
+    load_results,
+    compare_results,
+)
+
+__all__ = [
+    "run_t1",
+    "run_f2",
+    "run_f3",
+    "run_f4",
+    "run_t5",
+    "run_t6",
+    "run_a7",
+    "run_a8",
+    "run_t9",
+    "run_a11",
+    "run_a12",
+    "run_a13",
+    "run_t13",
+    "run_t14",
+    "run_t15",
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "render_report",
+    "save_results",
+    "load_results",
+    "compare_results",
+]

@@ -1,0 +1,812 @@
+"""One function per evaluation artefact.
+
+Every ``run_*`` returns a :class:`~repro.metrics.tables.Table` or
+:class:`~repro.metrics.tables.Series` whose rows are what EXPERIMENTS.md
+reports. ``quick=True`` shrinks sweeps for CI-speed smoke runs; the
+benchmarks and the report use the full parameters. All workloads are
+seeded, so every number in EXPERIMENTS.md is exactly regenerable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (
+    GCNMachine,
+    HypercubeMachine,
+    MeshMachine,
+    bellman_ford,
+    dijkstra,
+)
+from repro.core import (
+    all_pairs_minimum_cost,
+    minimum_cost_path,
+    minimum_cost_path_word,
+    transitive_closure,
+    validate_tree,
+)
+from repro.core.graph import normalize_weights
+from repro.errors import GraphError
+from repro.metrics import Series, Table, linear_fit, loglog_slope
+from repro.ppa import BusCostModel, PPAConfig, PPAMachine
+from repro.ppc.lang import compile_ppc, programs
+from repro.workloads import (
+    WeightSpec,
+    complete_graph,
+    gnp_digraph,
+    layered_graph,
+    suite_cases,
+)
+
+__all__ = [
+    "run_t1",
+    "run_f2",
+    "run_f3",
+    "run_f4",
+    "run_t5",
+    "run_t6",
+    "run_a7",
+    "run_a8",
+    "run_t9",
+    "run_a11",
+    "run_a12",
+    "run_a13",
+    "run_t13",
+    "run_t14",
+    "run_t15",
+    "ALL_EXPERIMENTS",
+]
+
+_H = 16
+_INF16 = (1 << _H) - 1
+
+
+def _machine(n: int, h: int = _H, **kw) -> PPAMachine:
+    return PPAMachine(PPAConfig(n=n, word_bits=h, **kw))
+
+
+# ---------------------------------------------------------------------------
+# T1 — correctness ("validated through simulation")
+# ---------------------------------------------------------------------------
+
+
+def run_t1(quick: bool = False) -> Table:
+    """Every machine variant against both sequential oracles."""
+    table = Table(
+        "T1 - correctness of the PPA MCP against sequential oracles",
+        ["workload", "n", "d", "iterations", "sow=BF", "sow=Dijkstra",
+         "word-variant=BF", "PTN tree valid"],
+    )
+    cases = suite_cases("correctness", inf_value=_INF16)
+    if quick:
+        cases = cases[::6]
+    for case in cases:
+        m = _machine(case.n)
+        res = minimum_cost_path(m, case.W, case.destination)
+        bf = bellman_ford(case.W, case.destination, maxint=m.maxint)
+        dj = dijkstra(case.W, case.destination, maxint=m.maxint)
+        word = minimum_cost_path_word(_machine(case.n), case.W, case.destination)
+        try:
+            validate_tree(res, case.W)
+            tree_ok = True
+        except GraphError:
+            tree_ok = False
+        table.add_row(
+            case.name,
+            case.n,
+            case.destination,
+            res.iterations,
+            bool(np.array_equal(res.sow, bf.sow)),
+            bool(np.array_equal(res.sow, dj.sow)),
+            bool(np.array_equal(word.sow, bf.sow)),
+            tree_ok,
+        )
+    table.note(
+        "paper: 'has been validated through simulation' - reproduced as "
+        "exact agreement with Bellman-Ford and Dijkstra on every workload"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# F2 — communication cost vs n (reconfigurable bus vs plain mesh)
+# ---------------------------------------------------------------------------
+
+
+def run_f2(quick: bool = False) -> Series:
+    """Per-iteration bus cycles as the array grows, at fixed p and h.
+
+    Complete graphs pin the iteration count at 2 for every n, isolating the
+    per-iteration communication cost. The PPA (and GCN) stay flat; the
+    plain mesh grows linearly.
+    """
+    series = Series(
+        "F2 - per-iteration communication cost vs array size "
+        "(fixed p = 2, h = 16)",
+        "n",
+    )
+    ns = (4, 8, 16) if quick else (4, 8, 16, 32, 48, 64)
+    for n in ns:
+        W = complete_graph(n, seed=2, weights=WeightSpec(1, 9), inf_value=_INF16)
+        d = n // 2
+        ppa = minimum_cost_path(_machine(n), W, d)
+        mesh = MeshMachine(n).mcp(W, d)
+        gcn = GCNMachine(n).mcp(W, d)
+        assert ppa.iterations == mesh.iterations == gcn.iterations
+        it = ppa.iterations
+        series.add_point(
+            n,
+            ppa_bus_per_iter=ppa.counters["bus_cycles"] / it,
+            mesh_bus_per_iter=mesh.counters["bus_cycles"] / it,
+            gcn_bus_per_iter=gcn.counters["bus_cycles"] / it,
+        )
+    ppa_order = loglog_slope(series.x, series.ys["ppa_bus_per_iter"])
+    mesh_order = loglog_slope(series.x, series.ys["mesh_bus_per_iter"])
+    series.note(
+        f"empirical order in n: PPA {ppa_order:.2f} (flat), "
+        f"mesh {mesh_order:.2f} (linear) - the reconfigurable bus removes "
+        "the Theta(n) distance penalty, as the paper's Section 1 argues"
+    )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# F3 — communication cost vs word width h
+# ---------------------------------------------------------------------------
+
+
+def run_f3(quick: bool = False) -> Series:
+    """Per-iteration PPA bus cycles as the word width grows.
+
+    Section 3 derives O(h) per min()/selected_min(); the abstract claims
+    "log h". The measurement decides: the series is linear in h (slope ~ 2
+    transactions per bit, one per routine), not logarithmic.
+    """
+    series = Series(
+        "F3 - PPA per-iteration bus cycles vs word width h (fixed graph)",
+        "h",
+    )
+    hs = (8, 16, 32) if quick else (8, 10, 12, 16, 20, 24, 32)
+    n = 16
+    for h in hs:
+        inf = (1 << h) - 1
+        W = gnp_digraph(n, 0.35, seed=1, weights=WeightSpec(1, 7), inf_value=inf)
+        res = minimum_cost_path(_machine(n, h), W, 3)
+        series.add_point(
+            h,
+            bus_per_iter=res.counters["bus_cycles"] / res.iterations,
+            iterations=res.iterations,
+        )
+    fit = linear_fit(series.x, series.ys["bus_per_iter"])
+    series.note(
+        f"linear fit: bus/iter = {fit.slope:.2f}*h + {fit.intercept:.2f} "
+        f"(R^2 = {fit.r2:.4f}) - O(h) per iteration, confirming Section 3's "
+        "derivation; the abstract's 'O(p log h)' is the paper-internal "
+        "inconsistency discussed in DESIGN.md"
+    )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# F4 — iteration count vs maximum MCP length p
+# ---------------------------------------------------------------------------
+
+
+def run_f4(quick: bool = False) -> Series:
+    """The do-while executes exactly p iterations (p = max MCP length)."""
+    series = Series(
+        "F4 - iterations and total bus cycles vs max MCP length p "
+        "(layered DAGs, h = 16)",
+        "p",
+    )
+    ps = (1, 2, 4, 6) if quick else (1, 2, 3, 4, 6, 8, 10, 12, 16)
+    for p in ps:
+        W, d = layered_graph(p, 2, seed=0, weights=WeightSpec(1, 5), inf_value=_INF16)
+        n = W.shape[0]
+        res = minimum_cost_path(_machine(n), W, d)
+        bf = bellman_ford(W, d, maxint=_INF16)
+        series.add_point(
+            p,
+            iterations=res.iterations,
+            bellman_rounds=bf.iterations,
+            total_bus=res.counters["bus_cycles"],
+        )
+    fit = linear_fit(series.x, series.ys["total_bus"])
+    series.note(
+        "iterations == p on every layered DAG (one productive round per "
+        "path edge beyond the first, plus the convergence check)"
+    )
+    series.note(
+        f"total bus cycles vs p: slope {fit.slope:.1f} cycles/iteration, "
+        f"R^2 = {fit.r2:.4f} - the O(p * h) total of Section 3"
+    )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# T5 — cross-architecture comparison (the paper's closing claim)
+# ---------------------------------------------------------------------------
+
+
+def run_t5(quick: bool = False) -> Table:
+    """PPA vs GCN vs CM-hypercube vs plain mesh on identical inputs."""
+    table = Table(
+        "T5 - MCP cost across architectures (gnp graphs, h = 16)",
+        ["n", "architecture", "iterations", "comm transactions",
+         "bit-cycles", "sow = oracle"],
+    )
+    ns = (8, 16) if quick else (8, 16, 32)
+    for n in ns:
+        W = gnp_digraph(n, 0.3, seed=4, weights=WeightSpec(1, 9), inf_value=_INF16)
+        d = 1
+        bf = bellman_ford(W, d, maxint=_INF16)
+        runs = [
+            ("ppa", minimum_cost_path(_machine(n), W, d)),
+            ("gcn", GCNMachine(n).mcp(W, d)),
+            ("hypercube", HypercubeMachine(n).mcp(W, d)),
+            ("mesh", MeshMachine(n).mcp(W, d)),
+        ]
+        for arch, res in runs:
+            table.add_row(
+                n,
+                arch,
+                res.iterations,
+                res.counters["bus_cycles"],
+                res.counters["bit_cycles"],
+                bool(np.array_equal(res.sow, bf.sow)),
+            )
+    table.note(
+        "paper's claim: the PPA 'delivers the same performance, in terms of "
+        "computational complexity, as the hypercube ... and as the GCN'. "
+        "Measured: PPA and GCN are O(p*h) bit-cycles; the hypercube is "
+        "O(p*h*log n) bit-cycles but O(p*log n) word transactions; the "
+        "plain mesh is O(p*n) - an order worse than all three."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# T6 — PPC language parity
+# ---------------------------------------------------------------------------
+
+
+def run_t6(quick: bool = False) -> Table:
+    """The paper's PPC listing vs the native implementation."""
+    table = Table(
+        "T6 - PPC interpreter parity (gnp n=8 graph, h = 16)",
+        ["implementation", "sow = native", "ptn = native",
+         "broadcasts", "wired-OR reductions", "bus transactions"],
+    )
+    n = 8
+    W = gnp_digraph(n, 0.3, seed=0, weights=WeightSpec(1, 9), inf_value=_INF16)
+    d = 2
+    native_machine = _machine(n)
+    native = minimum_cost_path(native_machine, W, d)
+    table.add_row(
+        "native (Python/DSL)",
+        True,
+        True,
+        native.counters["broadcasts"],
+        native.counters["reductions"],
+        native.counters["bus_cycles"],
+    )
+    for label, src in (
+        ("PPC, paper's min() source", programs.MCP_CODE),
+        ("PPC, builtin min()", programs.MCP_WITH_LIBRARY_MIN),
+    ):
+        m = _machine(n)
+        Wm = normalize_weights(W, m)
+        run = compile_ppc(src).run(
+            m, "minimum_cost_path", globals={"W": Wm, "d": d}
+        )
+        sow = run.globals["SOW"][d]
+        ptn = run.globals["PTN"][d]
+        table.add_row(
+            label,
+            bool(np.array_equal(sow, native.sow)),
+            bool(np.array_equal(ptn, native.ptn)),
+            run.counters["broadcasts"],
+            run.counters["reductions"],
+            run.counters["bus_cycles"],
+        )
+    from repro.core.asm_mcp import minimum_cost_path_asm
+
+    asm = minimum_cost_path_asm(_machine(n), W, d)
+    table.add_row(
+        "hand-written assembly stream",
+        bool(np.array_equal(asm.sow, native.sow)),
+        bool(np.array_equal(asm.ptn, native.ptn)),
+        asm.counters["broadcasts"],
+        asm.counters["reductions"],
+        asm.counters["bus_cycles"],
+    )
+    from repro.ppc.lang.codegen import compile_to_asm
+
+    mc = _machine(n)
+    compiled = compile_to_asm(
+        programs.MCP_CODE, n, _H, entry="minimum_cost_path"
+    ).run(mc, globals={"W": normalize_weights(W, mc), "d": d})
+    table.add_row(
+        "PPC source, compiled to ISA",
+        bool(np.array_equal(compiled.globals["SOW"][d], native.sow)),
+        bool(np.array_equal(compiled.globals["PTN"][d], native.ptn)),
+        compiled.counters["broadcasts"],
+        compiled.counters["reductions"],
+        compiled.counters["bus_cycles"],
+    )
+    table.note(
+        "the interpreted listing issues extra broadcasts because statement "
+        "9 of the paper wraps or() in broadcast() - redundant on a wired "
+        "bus where every cluster member already sees the OR level"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A7 — ablation: bit-serial vs word-parallel min
+# ---------------------------------------------------------------------------
+
+
+def run_a7(quick: bool = False) -> Table:
+    """What the bit-serial bus design trades against a word-wide bus."""
+    table = Table(
+        "A7 - bit-serial min() vs hypothetical word-parallel bus minimum",
+        ["n", "h", "bus (bit-serial)", "bus (word-parallel)", "ratio",
+         "results equal"],
+    )
+    grid = [(8, 8), (8, 16)] if quick else [(8, 8), (8, 16), (16, 16), (16, 32), (32, 16)]
+    for n, h in grid:
+        inf = (1 << h) - 1
+        W = gnp_digraph(n, 0.3, seed=7, weights=WeightSpec(1, 7), inf_value=inf)
+        d = 0
+        serial = minimum_cost_path(_machine(n, h), W, d)
+        word = minimum_cost_path_word(_machine(n, h), W, d)
+        table.add_row(
+            n,
+            h,
+            serial.counters["bus_cycles"],
+            word.counters["bus_cycles"],
+            serial.counters["bus_cycles"] / word.counters["bus_cycles"],
+            bool(
+                np.array_equal(serial.sow, word.sow)
+                and np.array_equal(serial.ptn, word.ptn)
+            ),
+        )
+    table.note(
+        "identical outputs; the 1-bit bus pays ~2h extra transactions per "
+        "iteration, the price of the hardware-implementable switch the "
+        "paper advocates"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A8 — ablation: unit-cost vs distance-proportional buses
+# ---------------------------------------------------------------------------
+
+
+def run_a8(quick: bool = False) -> Series:
+    """Why 'hardware implementable constant-time buses' is load-bearing."""
+    series = Series(
+        "A8 - PPA per-iteration cycles under unit vs distance-proportional "
+        "bus cost (complete graphs)",
+        "n",
+    )
+    ns = (4, 8, 16) if quick else (4, 8, 16, 32, 64)
+    for n in ns:
+        W = complete_graph(n, seed=2, weights=WeightSpec(1, 9), inf_value=_INF16)
+        d = 0
+        unit = minimum_cost_path(_machine(n), W, d)
+        lin = minimum_cost_path(
+            PPAMachine(
+                PPAConfig(n=n, word_bits=_H, bus_cost_model=BusCostModel.LINEAR)
+            ),
+            W,
+            d,
+        )
+        mesh = MeshMachine(n).mcp(W, d)
+        series.add_point(
+            n,
+            unit_bus=unit.counters["bus_cycles"] / unit.iterations,
+            linear_bus=lin.counters["bus_cycles"] / lin.iterations,
+            mesh_shifts=mesh.counters["bus_cycles"] / mesh.iterations,
+        )
+    series.note(
+        "with distance-proportional buses the PPA degenerates to the plain "
+        "mesh's Theta(n) growth - the constant-time reconfigurable bus of "
+        "reference [2] is what buys the paper's complexity"
+    )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# T9 — extensions: transitive closure + APSP
+# ---------------------------------------------------------------------------
+
+
+def _closure_oracle(adj: np.ndarray) -> np.ndarray:
+    """Boolean transitive closure by repeated squaring (numpy oracle)."""
+    n = adj.shape[0]
+    reach = adj.astype(bool) | np.eye(n, dtype=bool)
+    for _ in range(max(1, int(np.ceil(np.log2(max(n, 2)))))):
+        reach = reach | (reach @ reach)
+    return reach
+
+
+def run_t9(quick: bool = False) -> Table:
+    """Closure and all-pairs built on the MCP machinery."""
+    table = Table(
+        "T9 - extensions: transitive closure and all-pairs MCP",
+        ["workload", "n", "closure = oracle", "APSP = oracle",
+         "total bus cycles"],
+    )
+    cases = suite_cases("unit", inf_value=_INF16)
+    if quick:
+        cases = cases[:1]
+    for case in cases:
+        n = case.n
+        adj = case.W == 1  # unit suite: weight-1 edges
+        m = _machine(n)
+        clo = transitive_closure(m, adj)
+        closure_ok = bool(np.array_equal(clo.closure, _closure_oracle(adj)))
+
+        m2 = _machine(n)
+        apsp = all_pairs_minimum_cost(m2, case.W)
+        apsp_ok = True
+        for d in range(n):
+            bf = bellman_ford(case.W, d, maxint=m2.maxint)
+            if not np.array_equal(apsp.dist[:, d], bf.sow):
+                apsp_ok = False
+                break
+        table.add_row(
+            case.name,
+            n,
+            closure_ok,
+            apsp_ok,
+            apsp.counters["bus_cycles"],
+        )
+    table.note(
+        "closure computed as n unit-weight MCP sweeps (reference [6] "
+        "computes it natively on a richer bus model); APSP as n destination "
+        "sweeps, the way reference [4] drives the Connection Machine"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A11 — extension: reconfigurable buses on image kernels
+# ---------------------------------------------------------------------------
+
+
+def run_a11(quick: bool = False) -> Table:
+    """Bus-accelerated vs shift-only connected components.
+
+    The paper's Section 2 motivates the switch-boxes with grid algorithms
+    (it names the EDT); this experiment quantifies the speedup on the
+    classic labelling kernel: collapsing straight foreground runs over the
+    buses turns Θ(diameter) propagation into per-bend rounds.
+    """
+    from repro.apps import connected_components, frame_image, random_blobs
+
+    table = Table(
+        "A11 - connected components: bus-accelerated vs shift-only "
+        "(4-connectivity)",
+        ["image", "n", "components", "iters (buses)", "iters (shifts)",
+         "partitions equal"],
+    )
+    ns = (12,) if quick else (12, 16, 24)
+    cases = []
+    for n in ns:
+        cases.append((f"blobs(n={n})", random_blobs(n, blobs=4, radius=2, seed=1)))
+        cases.append((f"frame(n={n})", frame_image(n, margin=1)))
+        bar = np.zeros((n, n), dtype=bool)
+        bar[n // 2, :] = True
+        cases.append((f"bar(n={n})", bar))
+    for name, img in cases:
+        n = img.shape[0]
+        fast = connected_components(_machine(n), img, use_buses=True)
+        slow = connected_components(_machine(n), img, use_buses=False)
+        same = bool(
+            np.array_equal(fast.labels >= 0, slow.labels >= 0)
+            and fast.count == slow.count
+        )
+        table.add_row(
+            name, n, fast.count, fast.iterations, slow.iterations, same
+        )
+    table.note(
+        "straight runs collapse in one bus transaction, so iteration count "
+        "follows shape complexity (bends), not pixel diameter - the "
+        "switch-box payoff the paper's Section 2 argues for"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A12 — extension: sorting, shifts vs buses
+# ---------------------------------------------------------------------------
+
+
+def run_a12(quick: bool = False) -> Table:
+    """Odd-even transposition (shifts) vs extract-min over the bus.
+
+    The algorithm-scale version of ablation A7: the bit-serial bus wins at
+    selecting one minimum (O(h) vs O(n)) but a full sort replays it n times
+    (O(n*h)) while the shift network sorts in O(n) word rounds — buses are
+    a selection/broadcast tool, not a sorting network.
+    """
+    from repro.apps.sorting import extract_min_sort_rows, odd_even_sort_rows
+
+    table = Table(
+        "A12 - row sorting: odd-even transposition (shifts) vs "
+        "extract-min (bus)",
+        ["n", "h", "odd-even bus cycles", "extract-min bus cycles",
+         "ratio", "results equal"],
+    )
+    grid = [(8, 16)] if quick else [(8, 8), (8, 16), (16, 16), (32, 16)]
+    for n, h in grid:
+        rng = np.random.default_rng(n * 131 + h)
+        vals = rng.integers(0, (1 << h) - 1, size=(n, n))
+        a = odd_even_sort_rows(_machine(n, h), vals)
+        b = extract_min_sort_rows(_machine(n, h), vals)
+        table.add_row(
+            n,
+            h,
+            a.counters["bus_cycles"],
+            b.counters["bus_cycles"],
+            b.counters["bus_cycles"] / a.counters["bus_cycles"],
+            bool(np.array_equal(a.values, b.values)),
+        )
+    table.note(
+        "identical sorted output; extract-min pays ~2h bus cycles per "
+        "retired key, odd-even two shifts per round - selection is the "
+        "bus's sweet spot, streaming comparison the shift network's"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A13 — ablation: digit-serial min, the lane/transaction trade-off
+# ---------------------------------------------------------------------------
+
+
+def run_a13(quick: bool = False) -> Table:
+    """How many wired-OR lanes should the switch-box have?
+
+    The paper's min() is radix-2 (one lane). A radix-2**k switch finishes
+    in ceil(h/k) transactions but needs 2**k - 1 lanes per bus; the total
+    lane-cycles ceil(h/k)*(2**k - 1) is what silicon area/time actually
+    buys. Measured on the full elimination (h = 16):
+    """
+    from repro.ppa.directions import Direction
+    from repro.ppc.reductions import ppa_min, ppa_min_digit_serial
+
+    table = Table(
+        "A13 - digit-serial min(): transactions vs lane-cycles per radix "
+        "(h = 16, n = 16)",
+        ["digit bits k", "lanes (2^k - 1)", "transactions", "lane-cycles",
+         "equals bit-serial"],
+    )
+    n, h = 16, _H
+    rng = np.random.default_rng(9)
+    vals = rng.integers(0, (1 << h) - 1, size=(n, n))
+    L = np.arange(n)[None, :] == n - 1
+    reference = ppa_min(_machine(n, h), vals, Direction.WEST, L)
+    ks = (1, 2, 4) if quick else (1, 2, 3, 4, 8, 16)
+    for k in ks:
+        m = _machine(n, h)
+        out = ppa_min_digit_serial(m, vals, Direction.WEST, L, k)
+        table.add_row(
+            k,
+            (1 << k) - 1,
+            m.counters.reductions,
+            m.counters.bit_cycles - 2 * h,  # exclude the 2 delivery bcasts
+            bool(np.array_equal(out, reference)),
+        )
+    table.note(
+        "lane-cycles = ceil(h/k) * (2^k - 1): minimised at k = 1 - the "
+        "paper's bit-serial switch-box is the lane-optimal design point; "
+        "wider digits only pay off when transaction *latency* dominates "
+        "lane cost"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# T13 — power separation: PPA vs the full Reconfigurable Mesh (ref [1])
+# ---------------------------------------------------------------------------
+
+
+def run_t13(quick: bool = False) -> Table:
+    """Section 4's "less powerful model" claim, measured.
+
+    Counting n bits needs a bus that turns corners (the RMESH staircase:
+    one cycle); the PPA's straight-through switch-box falls back on a
+    Theta(n) shift fold. Both give the exact count; the costs diverge
+    linearly.
+    """
+    from repro.rmesh import RMeshMachine, count_ones, ppa_count_ones_row
+
+    table = Table(
+        "T13 - counting n bits: RMESH staircase vs PPA shift fold",
+        ["n", "ones", "rmesh bus cycles", "ppa bus cycles", "both exact"],
+    )
+    ns = (8, 16) if quick else (8, 16, 32, 64)
+    rng = np.random.default_rng(21)
+    for n in ns:
+        bits = rng.random(n - 1) < 0.5
+        want = int(bits.sum())
+        rm = RMeshMachine(n)
+        rm_count = count_ones(rm, bits)
+        ppa = _machine(n)
+        ppa_count, ppa_cycles = ppa_count_ones_row(ppa, bits)
+        table.add_row(
+            n,
+            want,
+            rm.counters.bus_cycles,
+            ppa_cycles,
+            bool(rm_count == want and ppa_count == want),
+        )
+    table.note(
+        "the RMESH result is constant (1 bus cycle at every n) because its "
+        "switch can fuse W to S and N to E - the corner-turning "
+        "configuration the PPA gives up for hardware implementability "
+        "(paper, Section 4)"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# T14 — fault-injection campaign: detection coverage
+# ---------------------------------------------------------------------------
+
+
+def run_t14(quick: bool = False) -> Table:
+    """Sweep single stuck-at switch faults over the array and classify the
+    outcome of an MCP run on the faulty machine.
+
+    Categories per injected fault: *benign* (bit-identical result),
+    *caught* (wrong result, but rejected by the PTN tree validator or the
+    convergence guard), *silent* (wrong result that validates — the
+    dangerous case). Independently, the 6-transaction bus self-test must
+    localise every injected fault.
+    """
+    from repro.core.path import validate_tree
+    from repro.ppa.faults import FaultKind, FaultPlan
+    from repro.ppa.selftest import diagnose_switches
+
+    table = Table(
+        "T14 - single stuck-at fault campaign on the MCP (gnp n=8, h=16)",
+        ["fault kind", "injections", "benign", "caught", "silent",
+         "self-test localises"],
+    )
+    n = 8
+    W = gnp_digraph(n, 0.4, seed=3, weights=WeightSpec(1, 9), inf_value=_INF16)
+    d = 2
+    healthy = minimum_cost_path(_machine(n), W, d)
+
+    positions = [
+        (r, c) for r in range(n) for c in range(n)
+    ]
+    if quick:
+        positions = positions[:: n]
+    for kind in (FaultKind.STUCK_OPEN, FaultKind.STUCK_SHORT):
+        benign = caught = silent = localised = 0
+        for (r, c) in positions:
+            for axis in (0, 1):
+                m = _machine(n)
+                m.inject_faults(FaultPlan().add(r, c, kind, axis))
+                report = diagnose_switches(m)
+                if any(
+                    f.row == r and f.col == c and f.kind == kind
+                    and f.axis == axis
+                    for f in report.faults
+                ):
+                    localised += 1
+                m.clear_faults()
+                m.inject_faults(FaultPlan().add(r, c, kind, axis))
+                try:
+                    res = minimum_cost_path(m, W, d)
+                except GraphError:
+                    caught += 1  # convergence guard fired
+                    continue
+                if np.array_equal(res.sow, healthy.sow) and np.array_equal(
+                    res.ptn, healthy.ptn
+                ):
+                    benign += 1
+                    continue
+                try:
+                    validate_tree(res, W)
+                except GraphError:
+                    caught += 1
+                    continue
+                # Tree validates: still wrong iff costs differ from truth.
+                silent += 1
+        total = 2 * len(positions)
+        table.add_row(
+            kind.value, total, benign, caught, silent,
+            f"{localised}/{total}",
+        )
+    table.note(
+        "benign faults sit on switches the workload never exercises as "
+        "cluster boundaries; 'silent' results validate as a consistent "
+        "shortest-path tree of the wrong graph - the case only the bus "
+        "self-test (full coverage) can screen before running"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# T15 — extension: Boruvka MST on the bus primitives
+# ---------------------------------------------------------------------------
+
+
+def run_t15(quick: bool = False) -> Table:
+    """Minimum spanning tree in O(h log n) bus transactions.
+
+    Each Boruvka round is four bit-serial scans (per-vertex min edge, its
+    arg, per-component min via label-scatter, its winner) — selection is
+    the bus's native operation, so MST rides the paper's machinery with a
+    log n round count.
+    """
+    import networkx as nx
+
+    from repro.core.mst import boruvka_mst
+
+    table = Table(
+        "T15 - Boruvka MST over the bus primitives (distinct weights)",
+        ["n", "edges", "rounds", "bus transactions", "weight = networkx"],
+    )
+    ns = (8,) if quick else (8, 16, 32)
+    for n in ns:
+        rng = np.random.default_rng(n)
+        W = np.full((n, n), _INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        weights = rng.permutation(n * n) + 1
+        k = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                if j == i + 1 or rng.random() < 0.4:
+                    W[i, j] = W[j, i] = int(weights[k])
+                    k += 1
+        res = boruvka_mst(_machine(n), W)
+        G = nx.Graph()
+        G.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if W[i, j] < _INF16:
+                    G.add_edge(i, j, weight=int(W[i, j]))
+        want = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_edges(G, data=True)
+        )
+        table.add_row(
+            n,
+            len(res.edges),
+            res.rounds,
+            res.counters["bus_cycles"],
+            bool(res.total_weight == want),
+        )
+    table.note(
+        "rounds stay logarithmic; each costs ~4h wired-OR scans - the "
+        "selection-friendly shape of the reconfigurable bus extends well "
+        "beyond the paper's shortest-path DP"
+    )
+    return table
+
+
+ALL_EXPERIMENTS = {
+    "T1": run_t1,
+    "F2": run_f2,
+    "F3": run_f3,
+    "F4": run_f4,
+    "T5": run_t5,
+    "T6": run_t6,
+    "A7": run_a7,
+    "A8": run_a8,
+    "T9": run_t9,
+    "A11": run_a11,
+    "A12": run_a12,
+    "A13": run_a13,
+    "T13": run_t13,
+    "T14": run_t14,
+    "T15": run_t15,
+}

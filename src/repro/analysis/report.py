@@ -1,0 +1,105 @@
+"""Full evaluation report: run every experiment and render the results.
+
+``python -m repro.analysis.report`` prints the complete reproduction of the
+paper's evaluation (the source of EXPERIMENTS.md's measured numbers);
+``--quick`` shrinks the sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.metrics.tables import Series, Table
+
+__all__ = ["run_all", "render_report"]
+
+
+def run_all(quick: bool = False, only: list[str] | None = None):
+    """Execute experiments (all, or the ids in *only*) and return
+    ``{id: Table|Series}`` in DESIGN.md order."""
+    results = {}
+    for exp_id, fn in ALL_EXPERIMENTS.items():
+        if only and exp_id not in only:
+            continue
+        results[exp_id] = fn(quick=quick)
+    return results
+
+
+def render_report(
+    results: dict[str, Table | Series],
+    *,
+    markdown: bool = False,
+    chart: bool = False,
+) -> str:
+    """Render experiment results as one text (or markdown) document.
+
+    With ``chart=True``, Series artefacts (the "figures") render as ASCII
+    bar charts instead of tables.
+    """
+    chunks = []
+    for exp_id, result in results.items():
+        if chart and isinstance(result, Series):
+            chunks.append(result.render_chart())
+            continue
+        table = result.as_table() if isinstance(result, Series) else result
+        chunks.append(table.to_markdown() if markdown else table.render())
+    return "\n\n".join(chunks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sweeps")
+    parser.add_argument("--markdown", action="store_true")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render figure-style series as ASCII bar charts",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also save the results as JSON (see repro.analysis.store)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="FILE",
+        help="diff this run against a previously saved JSON run",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {list(ALL_EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+    unknown = [e for e in args.experiments if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids {unknown}")
+    t0 = time.perf_counter()
+    results = run_all(quick=args.quick, only=args.experiments or None)
+    print(render_report(results, markdown=args.markdown, chart=args.chart))
+    print(
+        f"\n[{len(results)} experiment(s) in {time.perf_counter() - t0:.1f}s]",
+        file=sys.stderr,
+    )
+    if args.json:
+        from repro.analysis.store import save_results
+
+        save_results(results, args.json)
+        print(f"[saved to {args.json}]", file=sys.stderr)
+    if args.compare:
+        from repro.analysis.store import compare_results, load_results
+
+        diffs = compare_results(load_results(args.compare), results)
+        if diffs:
+            print("\n".join(f"DIFF {d}" for d in diffs))
+            return 1
+        print(f"[matches {args.compare}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

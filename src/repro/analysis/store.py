@@ -1,0 +1,126 @@
+"""Persist and diff experiment results.
+
+EXPERIMENTS.md promises every number is exactly regenerable; this module
+makes that checkable by machine: serialise a run to JSON, reload it later
+(or on another host) and diff it against a fresh run. The CLI surface is
+``python -m repro report --json FILE`` and ``--compare FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.metrics.tables import Series, Table
+
+__all__ = ["to_jsonable", "from_jsonable", "save_results", "load_results",
+           "compare_results"]
+
+_FORMAT = "repro-experiments-v1"
+
+
+def to_jsonable(result: Table | Series) -> dict:
+    """Plain-dict form of one experiment artefact."""
+    if isinstance(result, Series):
+        return {
+            "kind": "series",
+            "title": result.title,
+            "x_label": result.x_label,
+            "x": list(result.x),
+            "ys": {k: list(v) for k, v in result.ys.items()},
+            "notes": list(result.notes),
+        }
+    if isinstance(result, Table):
+        return {
+            "kind": "table",
+            "title": result.title,
+            "headers": list(result.headers),
+            "rows": [list(r) for r in result.rows],
+            "notes": list(result.notes),
+        }
+    raise ReproError(f"cannot serialise {type(result).__name__}")
+
+
+def from_jsonable(data: dict) -> Table | Series:
+    """Inverse of :func:`to_jsonable`."""
+    kind = data.get("kind")
+    if kind == "series":
+        s = Series(data["title"], data["x_label"])
+        s.x = list(data["x"])
+        s.ys = {k: list(v) for k, v in data["ys"].items()}
+        s.notes = list(data.get("notes", []))
+        return s
+    if kind == "table":
+        t = Table(data["title"], list(data["headers"]))
+        t.rows = [list(r) for r in data["rows"]]
+        t.notes = list(data.get("notes", []))
+        return t
+    raise ReproError(f"unknown artefact kind {kind!r}")
+
+
+def save_results(results: dict, path: str | Path) -> None:
+    """Write ``{experiment_id: Table|Series}`` to *path* as JSON."""
+    payload = {
+        "format": _FORMAT,
+        "experiments": {k: to_jsonable(v) for k, v in results.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results(path: str | Path) -> dict:
+    """Load a file written by :func:`save_results`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"results file not found: {path}")
+    payload = json.loads(path.read_text())
+    if payload.get("format") != _FORMAT:
+        raise ReproError(
+            f"{path} is not a {_FORMAT} file "
+            f"(format = {payload.get('format')!r})"
+        )
+    return {k: from_jsonable(v) for k, v in payload["experiments"].items()}
+
+
+def _cells(result: Table | Series) -> list[tuple]:
+    if isinstance(result, Series):
+        rows = []
+        for i, x in enumerate(result.x):
+            rows.append((x, *(result.ys[k][i] for k in sorted(result.ys))))
+        return rows
+    return [tuple(r) for r in result.rows]
+
+
+def compare_results(old: dict, new: dict, *, rel_tol: float = 1e-9) -> list[str]:
+    """Differences between two result sets, as human-readable lines.
+
+    Returns an empty list when the runs agree cell-for-cell (floats within
+    *rel_tol*). Experiments present in only one set are reported too.
+    """
+    diffs: list[str] = []
+    for exp_id in sorted(set(old) | set(new)):
+        if exp_id not in old:
+            diffs.append(f"{exp_id}: only in the new run")
+            continue
+        if exp_id not in new:
+            diffs.append(f"{exp_id}: only in the old run")
+            continue
+        a, b = _cells(old[exp_id]), _cells(new[exp_id])
+        if len(a) != len(b):
+            diffs.append(f"{exp_id}: row count {len(a)} -> {len(b)}")
+            continue
+        for i, (ra, rb) in enumerate(zip(a, b)):
+            if len(ra) != len(rb):
+                diffs.append(f"{exp_id} row {i}: arity changed")
+                continue
+            for j, (va, vb) in enumerate(zip(ra, rb)):
+                if isinstance(va, float) or isinstance(vb, float):
+                    va_f, vb_f = float(va), float(vb)
+                    scale = max(abs(va_f), abs(vb_f), 1.0)
+                    if abs(va_f - vb_f) > rel_tol * scale:
+                        diffs.append(
+                            f"{exp_id} row {i} col {j}: {va} -> {vb}"
+                        )
+                elif va != vb:
+                    diffs.append(f"{exp_id} row {i} col {j}: {va} -> {vb}")
+    return diffs

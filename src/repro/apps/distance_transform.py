@@ -1,0 +1,102 @@
+"""City-block distance transform on the PE grid.
+
+One pixel per PE. Feature pixels start at distance 0, everything else at
+``MAXINT``; each iteration sweeps the four directions in sequence
+(non-torus shifts — opposite image borders are not adjacent), each sweep
+adding one saturating step and keeping the minimum. Because the sweeps
+apply in place, one iteration chamfer-propagates along its sweep order and
+the loop converges in at most ``max distance + 1`` rounds (often far
+fewer) — the grid analogue of the MCP do-while, and the communication
+pattern the paper says its primitives were built for (the EDT algorithm of
+its Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.ppa.directions import Direction
+from repro.ppa.machine import PPAMachine
+
+__all__ = ["DistanceResult", "distance_transform"]
+
+_DIRECTIONS = (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
+
+
+@dataclass(frozen=True)
+class DistanceResult:
+    """Distances plus run metadata.
+
+    ``distances[r, c]`` is the city-block (L1) distance from pixel
+    ``(r, c)`` to the nearest feature pixel; ``unreached`` (= the machine's
+    ``MAXINT``) where no feature pixel exists on the image.
+    """
+
+    distances: np.ndarray
+    iterations: int
+    unreached: int
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def max_distance(self) -> int:
+        finite = self.distances[self.distances < self.unreached]
+        return int(finite.max()) if finite.size else 0
+
+
+def distance_transform(machine: PPAMachine, image) -> DistanceResult:
+    """City-block distance to the nearest True pixel of *image*.
+
+    Parameters
+    ----------
+    machine
+        PPA sized to the image (one PE per pixel).
+    image
+        Boolean ``n x n`` array; True marks feature pixels.
+
+    Returns
+    -------
+    DistanceResult
+        Exact L1 distances (validated against ``scipy.ndimage`` in the
+        tests), computed in ``max_distance`` wavefront iterations of 4
+        shifts each.
+    """
+    img = np.asarray(image, dtype=bool)
+    if img.shape != machine.shape:
+        raise GraphError(
+            f"image of shape {img.shape} does not fit machine "
+            f"{machine.shape}"
+        )
+    before = machine.counters.snapshot()
+    inf = machine.maxint
+
+    dist = machine.new_parallel(inf)
+    with machine.where(img):
+        machine.store(dist, 0)
+
+    iterations = 0
+    while True:
+        iterations += 1
+        changed = np.zeros(machine.shape, dtype=bool)
+        for direction in _DIRECTIONS:
+            neighbour = machine.shift(dist, direction, fill=inf, torus=False)
+            candidate = machine.sat_add(neighbour, 1)
+            better = candidate < dist
+            machine.count_alu()
+            with machine.where(better):
+                machine.store(dist, candidate)
+            changed |= better
+            machine.count_alu()
+        if not machine.global_or(changed):
+            break
+        if iterations > 2 * machine.n:
+            raise GraphError("distance transform failed to converge")
+
+    return DistanceResult(
+        distances=dist,
+        iterations=iterations,
+        unreached=inf,
+        counters=machine.counters.diff(before),
+    )

@@ -1,0 +1,44 @@
+"""Synthetic binary images sized to the PE grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["random_blobs", "frame_image"]
+
+
+def random_blobs(
+    n: int,
+    *,
+    blobs: int = 3,
+    radius: int = 2,
+    seed: int = 0,
+) -> np.ndarray:
+    """A binary ``n x n`` image of *blobs* filled diamonds (city-block
+    balls), the natural shapes for 4-connected algorithms."""
+    if n < 1:
+        raise GraphError(f"image side must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    img = np.zeros((n, n), dtype=bool)
+    rows = np.arange(n)[:, None]
+    cols = np.arange(n)[None, :]
+    for _ in range(blobs):
+        cr, cc = rng.integers(0, n, size=2)
+        r = int(rng.integers(1, radius + 1))
+        img |= (np.abs(rows - cr) + np.abs(cols - cc)) <= r
+    return img
+
+
+def frame_image(n: int, *, margin: int = 1) -> np.ndarray:
+    """A hollow square frame *margin* pixels from the border (a shape whose
+    interior is far from every feature — a good distance-transform probe)."""
+    if n < 2 * margin + 2:
+        raise GraphError(f"frame of margin {margin} needs n >= {2 * margin + 2}")
+    img = np.zeros((n, n), dtype=bool)
+    img[margin, margin:n - margin] = True
+    img[n - margin - 1, margin:n - margin] = True
+    img[margin:n - margin, margin] = True
+    img[margin:n - margin, n - margin - 1] = True
+    return img

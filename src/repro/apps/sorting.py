@@ -1,0 +1,125 @@
+"""Row sorting on the PPA, two classic ways.
+
+The PPA inherits the mesh's canonical sorting network and adds a bus-based
+alternative built from the paper's own ``min``/``selected_min`` machinery:
+
+* :func:`odd_even_sort_rows` — odd-even transposition: ``n`` rounds of
+  alternating adjacent compare-exchange over nearest-neighbour shifts.
+  Word-parallel: **O(n)** shift steps per row, independent of ``h``.
+* :func:`extract_min_sort_rows` — selection sort over the bus: ``n``
+  repetitions of the bit-serial row minimum (+ ``selected_min`` to retire
+  exactly one copy of it). **O(n·h)** bus cycles.
+
+The pair mirrors the A7 trade-off at algorithm scale: buses win on
+*selection* (one minimum: O(h) ≪ O(n)) but lose on *full sorts*, where the
+shift network streams all comparisons. Both are validated against
+``numpy.sort`` (duplicates included) in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.ppa.directions import Direction
+from repro.ppa.machine import PPAMachine
+from repro.ppc.reductions import ppa_min, ppa_selected_min
+
+__all__ = ["SortResult", "odd_even_sort_rows", "extract_min_sort_rows"]
+
+
+@dataclass(frozen=True)
+class SortResult:
+    """Sorted rows plus run metadata."""
+
+    values: np.ndarray  # each row ascending
+    rounds: int
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+def _check(machine: PPAMachine, values) -> np.ndarray:
+    vals = np.asarray(values, dtype=np.int64)
+    if vals.shape != machine.shape:
+        raise GraphError(
+            f"value grid {vals.shape} does not fit machine {machine.shape}"
+        )
+    return machine.check_word(vals, "sort keys")
+
+
+def odd_even_sort_rows(machine: PPAMachine, values) -> SortResult:
+    """Sort every row ascending by odd-even transposition.
+
+    ``n`` rounds; round ``k`` compare-exchanges the adjacent pairs starting
+    at even (k even) or odd (k odd) columns. Each round costs two word
+    shifts plus O(1) local compare-selects.
+    """
+    vals = _check(machine, values)
+    n = machine.n
+    before = machine.counters.snapshot()
+    inf = machine.maxint
+
+    col = machine.col_index
+    out = vals.copy()
+    machine.count_alu()
+    for round_ in range(n):
+        offset = round_ % 2
+        east = machine.shift(out, Direction.WEST, fill=inf, torus=False)
+        west = machine.shift(out, Direction.EAST, fill=0, torus=False)
+        is_left = (col % 2 == offset) & (col < n - 1)
+        is_right = (col % 2 != offset) & (col > 0)
+        machine.count_alu(4)
+        out = np.where(
+            is_left,
+            np.minimum(out, east),
+            np.where(is_right, np.maximum(out, west), out),
+        )
+        machine.count_alu(2)
+    return SortResult(
+        values=out,
+        rounds=n,
+        counters=machine.counters.diff(before),
+    )
+
+
+def extract_min_sort_rows(machine: PPAMachine, values) -> SortResult:
+    """Sort every row ascending by repeated bus minimum extraction.
+
+    Each of the ``n`` rounds runs the paper's bit-serial ``min()`` over the
+    whole row, stores the result in the next output column, and retires
+    exactly one copy of it (the smallest-column achiever, found by
+    ``selected_min`` — so duplicate keys survive the right number of
+    rounds).
+    """
+    vals = _check(machine, values)
+    n = machine.n
+    before = machine.counters.snapshot()
+    inf = machine.maxint
+    if int(vals.max(initial=0)) >= inf:
+        raise GraphError(
+            f"sort keys must stay below MAXINT={inf} (the retirement "
+            "sentinel); increase word_bits"
+        )
+
+    col = machine.col_index
+    col_last = col == n - 1
+    machine.count_alu()
+    remaining = vals.copy()
+    out = machine.new_parallel(0)
+    for k in range(n):
+        row_min = ppa_min(machine, remaining, Direction.WEST, col_last)
+        with machine.where(col == k):
+            machine.store(out, row_min)
+        achieves = remaining == row_min
+        machine.count_alu()
+        winner = ppa_selected_min(
+            machine, col, Direction.WEST, col_last, achieves
+        )
+        with machine.where(col == winner):
+            machine.store(remaining, inf)
+    return SortResult(
+        values=out,
+        rounds=n,
+        counters=machine.counters.diff(before),
+    )

@@ -1,0 +1,26 @@
+"""Comparator systems.
+
+* :mod:`~repro.baselines.sequential` — Bellman-Ford and Dijkstra oracles.
+* :mod:`~repro.baselines.mesh` — plain (non-reconfigurable) mesh, the foil
+  the paper's bus design improves on: O(n) per sweep.
+* :mod:`~repro.baselines.hypercube` — Connection-Machine-style hypercube
+  (paper reference [4]): O(log n) word-parallel combining.
+* :mod:`~repro.baselines.gcn` — Gated Connection Network (reference [5]):
+  O(1) gated broadcast with bit-serial O(h) minima, the PPA's closest peer.
+
+Every machine exposes the same ``mcp(W, d) -> MCPResult`` entry point and
+the same counter vocabulary, so experiment T5 compares like with like.
+"""
+
+from repro.baselines.sequential import bellman_ford, dijkstra
+from repro.baselines.mesh import MeshMachine
+from repro.baselines.hypercube import HypercubeMachine
+from repro.baselines.gcn import GCNMachine
+
+__all__ = [
+    "bellman_ford",
+    "dijkstra",
+    "MeshMachine",
+    "HypercubeMachine",
+    "GCNMachine",
+]

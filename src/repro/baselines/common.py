@@ -1,0 +1,76 @@
+"""Shared plumbing for comparator machines.
+
+Every comparator exposes the same surface as the PPA path:
+
+* a ``counters`` bundle using the common vocabulary
+  (:class:`~repro.ppa.counters.CycleCounters`) — ``bus_cycles`` is the
+  unified "communication steps" metric of experiment T5 and ``bit_cycles``
+  weighs each transfer by its operand width;
+* ``maxint``/``word_bits``/``require_square_fit`` so
+  :func:`repro.core.graph.normalize_weights` validates inputs identically;
+* an ``mcp(W, d) -> MCPResult`` entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MaskError
+from repro.ppa.counters import CycleCounters
+
+__all__ = ["ComparatorMachine"]
+
+
+class ComparatorMachine:
+    """Base class: grid geometry, word width and counter bookkeeping."""
+
+    #: human-readable architecture tag, overridden by subclasses
+    architecture = "abstract"
+
+    def __init__(self, n: int, word_bits: int = 16):
+        from repro.ppa.topology import PPAConfig  # reuse validation
+
+        cfg = PPAConfig(n=n, word_bits=word_bits)
+        self.n = cfg.n
+        self.word_bits = cfg.word_bits
+        self.counters = CycleCounters()
+
+    @property
+    def maxint(self) -> int:
+        return (1 << self.word_bits) - 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def require_square_fit(self, size: int) -> None:
+        if size != self.n:
+            raise MaskError(
+                f"problem of size {size} requires an {size}x{size} machine; "
+                f"this machine is {self.n}x{self.n}"
+            )
+
+    # -- counter helpers -------------------------------------------------
+    def _count_comm(self, steps: int, bits_per_step: int) -> None:
+        """Charge *steps* communication operations of *bits_per_step* each."""
+        c = self.counters
+        c.instructions += steps
+        c.bus_cycles += steps
+        c.bit_cycles += steps * bits_per_step
+
+    def count_alu(self, k: int = 1) -> None:
+        self.counters.instructions += k
+        self.counters.alu_ops += k
+
+    def sat_add(self, a, b) -> np.ndarray:
+        out = np.minimum(
+            np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64),
+            self.maxint,
+        )
+        self.count_alu()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self.n}, word_bits={self.word_bits})"
+        )

@@ -1,0 +1,202 @@
+"""Gated Connection Network baseline (paper reference [5], Shu & Nash).
+
+The GCN is the PPA's closest relative: an ``n x n`` array whose rows and
+columns are *bidirectional wired lines* with a gate between every pair of
+adjacent PEs. Closing all gates of a line makes it a single wire — any PE
+can drive it and every PE reads it in one cycle; opening gates splits the
+line into independent segments. Unlike the PPA there is no global
+data-movement direction and lines are linear, not circular.
+
+Like the original (designed for dynamic programming with 1-bit drivers),
+values travel bit-serially: a word broadcast costs ``h`` line cycles and
+the segment minimum uses the same MSB-first wired-OR elimination as the
+PPA's ``min()`` — O(h) cycles. The MCP therefore lands at O(p*h), the same
+complexity class the paper claims for the PPA, with slightly different
+constants (no circular wrap means the diagonal-to-row-d return needs one
+driver per column segment, not a torus trick).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import ComparatorMachine
+from repro.core.graph import normalize_weights
+from repro.core.result import MCPResult
+from repro.errors import BusError, GraphError
+
+__all__ = ["GCNMachine"]
+
+
+class GCNMachine(ComparatorMachine):
+    """Array of PEs joined by gated row/column wired lines."""
+
+    architecture = "gcn"
+
+    # -- line primitives ---------------------------------------------------
+    #
+    # ``axis=1``: row lines (segments along columns); ``axis=0``: column
+    # lines. ``cuts`` is a boolean grid: cuts[..., j] True means the gate
+    # *before* element j on its line is open (j = 0 entries are ignored —
+    # there is no gate before the first element). All-closed gates = whole
+    # line is one segment.
+
+    def _segment_ids(self, cuts: np.ndarray | None, axis: int) -> np.ndarray:
+        n = self.n
+        if cuts is None:
+            return np.zeros((n, n), dtype=np.int64)
+        cuts = np.asarray(cuts, dtype=bool).copy()
+        if axis == 1:
+            cuts[:, 0] = False
+            return np.cumsum(cuts, axis=1)
+        cuts[0, :] = False
+        return np.cumsum(cuts, axis=0)
+
+    def _per_segment(self, values, seg, axis, ufunc):
+        """Apply a segmented reduction and fan the result back (one cycle)."""
+        v = np.ascontiguousarray(values if axis == 1 else values.T)
+        s = np.ascontiguousarray(seg if axis == 1 else seg.T)
+        n = self.n
+        flat_v = v.reshape(-1)
+        # Segment starts: position 0 of each line plus every id change.
+        change = np.ones_like(s, dtype=bool)
+        change[:, 1:] = s[:, 1:] != s[:, :-1]
+        starts = np.flatnonzero(change.reshape(-1))
+        red = ufunc.reduceat(flat_v, starts)
+        ids = np.cumsum(change.reshape(-1)) - 1
+        out = red[ids].reshape(n, n)
+        return out if axis == 1 else out.T
+
+    def line_or(self, bits, axis: int, cuts=None) -> np.ndarray:
+        """Wired-OR per segment, visible to every segment member (1 cycle)."""
+        seg = self._segment_ids(cuts, axis)
+        self._count_comm(1, 1)
+        return self._per_segment(
+            np.asarray(bits, dtype=bool), seg, axis, np.logical_or
+        ).astype(bool)
+
+    def line_broadcast(
+        self, values, drivers, axis: int, cuts=None, *, bits: int | None = None
+    ) -> np.ndarray:
+        """Each segment's unique driver puts its word on the line.
+
+        Bit-serial: charged ``h`` cycles (or *bits*). Raises
+        :class:`BusError` if any segment has two drivers with conflicting
+        values (a real GCN would see garbage); segments with no driver keep
+        their old values.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        drivers = np.asarray(drivers, dtype=bool)
+        seg = self._segment_ids(cuts, axis)
+        self._count_comm(1, bits if bits is not None else self.word_bits)
+
+        staged_min = np.where(drivers, values, np.iinfo(np.int64).max)
+        staged_max = np.where(drivers, values, np.iinfo(np.int64).min)
+        lo = self._per_segment(staged_min, seg, axis, np.minimum)
+        hi = self._per_segment(staged_max, seg, axis, np.maximum)
+        driven = self._per_segment(drivers, seg, axis, np.logical_or)
+        if bool((driven & (lo != hi)).any()):
+            raise BusError("conflicting drivers on one GCN line segment")
+        return np.where(driven, lo, values)
+
+    def line_min(
+        self, values, axis: int, cuts=None, *, args: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Bit-serial segment minimum (and optional arg-min), PPA-style.
+
+        ``h`` wired-OR elimination cycles for the value; arg-min resolution
+        re-runs the elimination over the argument word among survivors
+        (another ``h`` cycles), then one word broadcast each.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        enable = np.ones(self.shape, dtype=bool)
+        self.count_alu()
+        enable = self._eliminate(values, enable, axis, cuts)
+        # Every survivor of a segment holds the same (minimal) value, so all
+        # of them may drive the line together without conflict.
+        min_v = self.line_broadcast(values, enable, axis, cuts)
+        if args is None:
+            return min_v, None
+        args = np.asarray(args, dtype=np.int64)
+        surv = self._eliminate(args, enable, axis, cuts)
+        min_a = self.line_broadcast(args, surv, axis, cuts)
+        return min_v, min_a
+
+    def _eliminate(self, values, enable, axis, cuts) -> np.ndarray:
+        """MSB-first elimination: survivors hold the segment minimum."""
+        enable = enable.copy()
+        for j in range(self.word_bits - 1, -1, -1):
+            bit_j = (values >> j) & 1 == 1
+            self.count_alu()
+            zero_seen = self.line_or(enable & ~bit_j, axis, cuts)
+            enable &= ~(zero_seen & bit_j)
+            self.count_alu(3)
+        return enable
+
+    def global_or(self, flags) -> bool:
+        """One row wired-OR plus one column wired-OR into the controller."""
+        self._count_comm(2, 1)
+        return bool(np.asarray(flags, dtype=bool).any())
+
+    # -- algorithm ----------------------------------------------------------
+
+    def mcp(self, W, d: int, **kwargs) -> MCPResult:
+        """Minimum cost path to *d* on the GCN."""
+        Wm = normalize_weights(W, self, **kwargs)
+        n = self.n
+        if not (0 <= d < n):
+            raise GraphError(f"destination {d} outside [0, {n})")
+        before = self.counters.snapshot()
+
+        COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
+        rows = np.arange(n)
+        not_d = (rows != d)[:, None]
+        diag = np.eye(n, dtype=bool)
+
+        SOW = np.zeros((n, n), dtype=np.int64)
+        PTN = np.zeros((n, n), dtype=np.int64)
+        # Row d holds the 1-edge costs *to* d: column d of W transposed via
+        # a row-line broadcast from column d plus a diagonal-driven column
+        # broadcast - two word transactions.
+        SOW[d] = Wm[:, d]
+        PTN[d] = d
+        self._count_comm(2, self.word_bits)
+        self.count_alu(2)
+
+        row_d_drivers = (rows == d)[:, None] & np.ones((n, n), dtype=bool)
+
+        iterations = 0
+        while True:
+            iterations += 1
+            # Row d drives every column line (all gates closed).
+            down = self.line_broadcast(SOW, row_d_drivers, axis=0)
+            cand = self.sat_add(down, Wm)
+            SOW = np.where(not_d, cand, SOW)
+            self.count_alu()
+            # Per-row bit-serial min + arg-min.
+            mv, ma = self.line_min(SOW, axis=1, args=COL.copy())
+            MIN_SOW = np.where(not_d, mv, 0)
+            PTN_new = np.where(not_d, ma, PTN)
+            self.count_alu(2)
+            # Diagonal drives each column line back to row d.
+            back_v = self.line_broadcast(MIN_SOW, diag, axis=0)
+            back_p = self.line_broadcast(PTN_new, diag, axis=0)
+            old_row = SOW[d].copy()
+            SOW[d] = back_v[d]
+            changed = SOW[d] != old_row
+            PTN_new[d] = np.where(changed, back_p[d], PTN[d])
+            PTN = PTN_new
+            self.count_alu(3)
+            if not self.global_or(changed):
+                break
+            if iterations > n:
+                raise GraphError("MCP did not converge; invalid input")
+
+        return MCPResult(
+            destination=d,
+            sow=SOW[d].copy(),
+            ptn=PTN[d].copy(),
+            iterations=iterations,
+            maxint=self.maxint,
+            counters=self.counters.diff(before),
+        )

@@ -1,0 +1,189 @@
+"""Connection-Machine-style hypercube baseline (paper reference [4]).
+
+Hillis' Connection Machine solves the same dynamic program with its
+``n**2`` processors wired as a boolean hypercube. Mapping the weight matrix
+onto the grid exactly as the PPA does, every row (and every column) of the
+matrix occupies one ``log2(n)``-dimensional *subcube*, so the two
+communication patterns of the DP become standard hypercube collectives:
+
+* **one-to-all broadcast** within a subcube — ``log2 n`` dimension
+  exchanges (each PE forwards to its partner across one cube dimension);
+* **all-reduce minimum** within a subcube — ``log2 n`` exchange-and-compare
+  steps, word-parallel.
+
+Per DP iteration the hypercube therefore spends Θ(log n) word transfers
+where the PPA spends Θ(h) single-bit bus cycles — the comparison behind the
+paper's closing claim, quantified by experiment T5 in both metrics.
+
+``n`` must be a power of two (the usual CM constraint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import ComparatorMachine
+from repro.core.graph import normalize_weights
+from repro.core.result import MCPResult
+from repro.errors import ConfigurationError, GraphError
+
+__all__ = ["HypercubeMachine"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+class HypercubeMachine(ComparatorMachine):
+    """SIMD hypercube of ``n**2`` PEs holding the weight matrix grid."""
+
+    architecture = "hypercube"
+
+    def __init__(self, n: int, word_bits: int = 16):
+        if not _is_pow2(n):
+            raise ConfigurationError(
+                f"hypercube grid side must be a power of two, got {n}"
+            )
+        super().__init__(n, word_bits)
+        self.dim = int(np.log2(n))  # dimensions per row/column subcube
+
+    # -- collectives ------------------------------------------------------
+    #
+    # axis=1: the subcube spans the columns of each row (row collective);
+    # axis=0: spans the rows of each column (column collective).
+
+    def _exchange(self, a: np.ndarray, axis: int, k: int) -> np.ndarray:
+        """Swap values with the partner across cube dimension *k*."""
+        idx = np.arange(self.n) ^ (1 << k)
+        self._count_comm(1, self.word_bits if a.dtype != np.bool_ else 1)
+        return a[:, idx] if axis == 1 else a[idx, :]
+
+    def allreduce_min(
+        self, values: np.ndarray, args: np.ndarray, axis: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Subcube all-reduce min with argument, smallest-arg tie-break.
+
+        ``log2 n`` exchange steps; each moves the value and the argument
+        word (2 transfers) and performs one compare-select.
+        """
+        best_v = values.copy()
+        best_a = args.copy()
+        self.count_alu(2)
+        for k in range(self.dim):
+            in_v = self._exchange(best_v, axis, k)
+            in_a = self._exchange(best_a, axis, k)
+            take = (in_v < best_v) | ((in_v == best_v) & (in_a < best_a))
+            best_v = np.where(take, in_v, best_v)
+            best_a = np.where(take, in_a, best_a)
+            self.count_alu(3)
+        return best_v, best_a
+
+    def one_to_all(self, values: np.ndarray, root: int, axis: int) -> np.ndarray:
+        """Subcube broadcast from index *root* along *axis*.
+
+        Classic doubling: after step ``k``, the ``2**(k+1)`` PEs whose index
+        agrees with *root* outside the low ``k + 1`` bits hold the value.
+        """
+        out = values.copy()
+        idx = np.arange(self.n)
+        have = idx == root
+        self.count_alu(2)
+        for k in range(self.dim):
+            in_v = self._exchange(out, axis, k)
+            have_partner = have[idx ^ (1 << k)]
+            newly = ~have & have_partner
+            sel = newly[None, :] if axis == 1 else newly[:, None]
+            out = np.where(sel, in_v, out)
+            have = have | have_partner
+            self.count_alu(2)
+        return out
+
+    def global_or(self, flags: np.ndarray) -> bool:
+        """OR-reduce over the full ``2 log2 n``-dimensional cube (1-bit)."""
+        self._count_comm(2 * self.dim, 1)
+        self.count_alu(2 * self.dim)
+        return bool(np.asarray(flags, dtype=bool).any())
+
+    # -- algorithm --------------------------------------------------------
+
+    def mcp(self, W, d: int, **kwargs) -> MCPResult:
+        """Minimum cost path to *d* with hypercube collectives."""
+        Wm = normalize_weights(W, self, **kwargs)
+        n = self.n
+        if not (0 <= d < n):
+            raise GraphError(f"destination {d} outside [0, {n})")
+        before = self.counters.snapshot()
+
+        COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
+        rows = np.arange(n)
+        not_d = (rows != d)[:, None]
+
+        SOW = np.zeros((n, n), dtype=np.int64)
+        PTN = np.zeros((n, n), dtype=np.int64)
+        # Row d holds the 1-edge costs *to* d: column d of W transposed via
+        # a row-subcube broadcast from column d plus a diagonal-rooted
+        # column broadcast - 2 log2(n) word exchanges.
+        SOW[d] = Wm[:, d]
+        PTN[d] = d
+        self._count_comm(2 * self.dim, self.word_bits)
+        self.count_alu(2)
+
+        iterations = 0
+        while True:
+            iterations += 1
+            cand = self.sat_add(self.one_to_all(SOW, d, axis=0), Wm)
+            SOW = np.where(not_d, cand, SOW)
+            self.count_alu()
+            mv, ma = self.allreduce_min(SOW, COL.copy(), axis=1)
+            # Every PE of a row now holds the row min; column j's diagonal
+            # holds row j's result, so a column broadcast from the diagonal
+            # is unnecessary: instead broadcast within each column from the
+            # row that equals the column index. On the hypercube this is the
+            # general one-to-all with a per-column root, realised as log n
+            # exchanges with diagonal latching.
+            back_v = self._diag_to_all(mv)
+            back_p = self._diag_to_all(np.where(not_d, ma, PTN))
+            old_row = SOW[d].copy()
+            new_row = back_v[d].copy()
+            new_row[d] = 0  # cost d -> d (MIN_SOW never computed on row d)
+            changed = new_row != old_row
+            SOW[d] = new_row
+            PTN_row = np.where(changed, back_p[d], PTN[d])
+            PTN = np.where(not_d, ma, PTN)
+            PTN[d] = PTN_row
+            self.count_alu(4)
+            if not self.global_or(changed):
+                break
+            if iterations > n:
+                raise GraphError("MCP did not converge; invalid input")
+
+        return MCPResult(
+            destination=d,
+            sow=SOW[d].copy(),
+            ptn=PTN[d].copy(),
+            iterations=iterations,
+            maxint=self.maxint,
+            counters=self.counters.diff(before),
+        )
+
+    def _diag_to_all(self, values: np.ndarray) -> np.ndarray:
+        """Column broadcast whose root differs per column (the diagonal).
+
+        Standard doubling works unchanged because "holds the value" is a
+        per-PE predicate: start with the diagonal marked, exchange along
+        each of the ``log2 n`` row dimensions and latch.
+        """
+        n = self.n
+        out = values.copy()
+        have = np.eye(n, dtype=bool)
+        self.count_alu(2)
+        for k in range(self.dim):
+            idx = np.arange(n) ^ (1 << k)
+            in_v = out[idx, :]
+            in_have = have[idx, :]
+            self._count_comm(1, self.word_bits)
+            newly = ~have & in_have
+            out = np.where(newly, in_v, out)
+            have = have | in_have
+            self.count_alu(2)
+        return out

@@ -1,0 +1,168 @@
+"""Plain (non-reconfigurable) mesh baseline.
+
+The foil the PPA's bus design is measured against in experiment F2/T5: the
+same ``n x n`` SIMD torus of PEs, but the only communication primitive is a
+nearest-neighbour word shift. Everything the PPA does in O(1) bus
+transactions here takes Θ(n) shifts:
+
+* a row-to-all column broadcast is ``n - 1`` south shifts;
+* a row minimum is a systolic ring sweep — after ``n - 1``
+  shift-and-combine steps every PE holds the min (and arg-min) of its whole
+  ring, word-parallel per step;
+* the controller's global-OR is a reduction to one corner, ``2(n - 1)``
+  shifts.
+
+Each shift moves a full word, so ``bit_cycles = shifts * h``. The MCP
+structure is otherwise identical to the PPA listing (same DP, same
+iteration count), making the communication cost the only variable —
+exactly the comparison the paper's Section 1 argues ("it shortens, with
+respect to the simple mesh, the distance between the nodes").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import ComparatorMachine
+from repro.core.graph import normalize_weights
+from repro.core.result import MCPResult
+from repro.errors import GraphError
+
+__all__ = ["MeshMachine"]
+
+
+class MeshMachine(ComparatorMachine):
+    """SIMD torus mesh with nearest-neighbour shifts only."""
+
+    architecture = "mesh"
+
+    # -- primitives ------------------------------------------------------
+
+    def shift_south(self, a: np.ndarray, *, bits: int | None = None) -> np.ndarray:
+        """One south shift (each PE receives its north neighbour's word)."""
+        self._count_comm(1, bits if bits is not None else self.word_bits)
+        return np.roll(a, 1, axis=0)
+
+    def shift_east(self, a: np.ndarray, *, bits: int | None = None) -> np.ndarray:
+        self._count_comm(1, bits if bits is not None else self.word_bits)
+        return np.roll(a, 1, axis=1)
+
+    def row_to_all(self, values: np.ndarray, row: int) -> np.ndarray:
+        """Column broadcast of row *row* to the whole grid: n-1 shifts.
+
+        A carry register starts as row *row*'s values and is shifted south
+        ``n - 1`` times; each PE latches it when the wavefront passes.
+        """
+        n = self.n
+        out = values.copy()
+        carry = values.copy()
+        self.count_alu(2)
+        for k in range(1, n):
+            carry = self.shift_south(carry)
+            arrived = (np.arange(n) == (row + k) % n)[:, None]
+            out = np.where(arrived, carry, out)
+            self.count_alu()
+        return out
+
+    def diag_to_all_south(self, values: np.ndarray) -> np.ndarray:
+        """Column broadcast from the diagonal: n-1 south shifts."""
+        n = self.n
+        out = values.copy()
+        carry = values.copy()
+        self.count_alu(2)
+        rows = np.arange(n)[:, None]
+        cols = np.arange(n)[None, :]
+        for k in range(1, n):
+            carry = self.shift_south(carry)
+            arrived = rows == (cols + k) % n
+            out = np.where(arrived, carry, out)
+            self.count_alu()
+        return out
+
+    def row_min_argmin(
+        self, values: np.ndarray, args: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Systolic ring min over each row, carrying an argument word.
+
+        ``n - 1`` steps; each step shifts two words (value + arg) and does
+        one compare-select. Ties keep the smaller argument, matching
+        ``selected_min``'s smallest-column rule.
+        """
+        n = self.n
+        best_v = values.copy()
+        best_a = args.copy()
+        self.count_alu(2)
+        for _ in range(n - 1):
+            in_v = self.shift_east(best_v)
+            in_a = self.shift_east(best_a)
+            take = (in_v < best_v) | ((in_v == best_v) & (in_a < best_a))
+            best_v = np.where(take, in_v, best_v)
+            best_a = np.where(take, in_a, best_a)
+            self.count_alu(3)
+        return best_v, best_a
+
+    def global_or(self, flags: np.ndarray) -> bool:
+        """OR-reduce to a corner: 2(n - 1) single-bit shifts."""
+        self._count_comm(2 * (self.n - 1), 1)
+        self.count_alu(2 * (self.n - 1))
+        return bool(np.asarray(flags, dtype=bool).any())
+
+    # -- algorithm --------------------------------------------------------
+
+    def mcp(self, W, d: int, **kwargs) -> MCPResult:
+        """Minimum cost path to *d*, PPA listing re-targeted to shifts."""
+        Wm = normalize_weights(W, self, **kwargs)
+        n = self.n
+        if not (0 <= d < n):
+            raise GraphError(f"destination {d} outside [0, {n})")
+        before = self.counters.snapshot()
+
+        COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
+        rows = np.arange(n)
+
+        SOW = np.zeros((n, n), dtype=np.int64)
+        PTN = np.zeros((n, n), dtype=np.int64)
+        MIN_SOW = np.zeros((n, n), dtype=np.int64)
+        # Initialise row d with the 1-edge costs *to* d (column d of W,
+        # transposed onto row d): an east sweep to align column d with the
+        # diagonal followed by a south sweep to row d - 2(n-1) word shifts.
+        SOW[d] = Wm[:, d]
+        PTN[d] = d
+        self._count_comm(2 * (n - 1), self.word_bits)
+        self.count_alu(2)
+
+        not_d = (rows != d)[:, None]
+        iterations = 0
+        while True:
+            iterations += 1
+            # Column broadcast of the d-row SOW, then form candidates.
+            cand = self.sat_add(self.row_to_all(SOW, d), Wm)
+            SOW = np.where(not_d, cand, SOW)
+            self.count_alu()
+            # Row minima (and best successor) by systolic sweep.
+            mv, ma = self.row_min_argmin(SOW, COL.copy())
+            MIN_SOW = np.where(not_d, mv, MIN_SOW)
+            PTN_new = np.where(not_d, ma, PTN)
+            self.count_alu(2)
+            # Diagonal values travel back to row d.
+            old_row = SOW[d].copy()
+            back_v = self.diag_to_all_south(MIN_SOW)
+            back_p = self.diag_to_all_south(PTN_new)
+            SOW[d] = back_v[d]
+            changed = SOW[d] != old_row
+            PTN_new[d] = np.where(changed, back_p[d], PTN[d])
+            PTN = PTN_new
+            self.count_alu(3)
+            if not self.global_or(changed):
+                break
+            if iterations > n:
+                raise GraphError("MCP did not converge; invalid input")
+
+        return MCPResult(
+            destination=d,
+            sow=SOW[d].copy(),
+            ptn=PTN[d].copy(),
+            iterations=iterations,
+            maxint=self.maxint,
+            counters=self.counters.diff(before),
+        )

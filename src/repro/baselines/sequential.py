@@ -1,0 +1,121 @@
+"""Sequential shortest-path oracles.
+
+These are the ground truth every parallel machine is validated against
+(the paper's "validated through simulation"). Both operate directly on the
+library's weight-matrix convention (``maxint``-coded missing edges) and
+solve the paper's *to-one-destination* orientation: costs from every vertex
+``i`` **to** ``d``, i.e. shortest paths in the reversed graph.
+
+``bellman_ford`` mirrors the DP structure of the parallel algorithm (its
+iteration count is the same ``p`` the PPA loop executes, useful for F4);
+``dijkstra`` is the independent oracle with a different algorithmic shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["SequentialResult", "bellman_ford", "dijkstra"]
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Costs/successors toward one destination, plus iteration metadata."""
+
+    destination: int
+    sow: np.ndarray  # cost i -> d, maxint when unreachable
+    ptn: np.ndarray  # successor of i toward d (d where i == d / unreachable)
+    iterations: int  # Bellman-Ford rounds executed (0 for Dijkstra)
+    maxint: int
+
+    @property
+    def reachable(self) -> np.ndarray:
+        return self.sow < self.maxint
+
+
+def _check(W: np.ndarray, d: int, maxint: int) -> np.ndarray:
+    W = np.asarray(W, dtype=np.int64)
+    n = W.shape[0]
+    if W.ndim != 2 or W.shape[1] != n:
+        raise GraphError(f"weight matrix must be square, got {W.shape}")
+    if not (0 <= d < n):
+        raise GraphError(f"destination {d} outside [0, {n})")
+    if (W < 0).any():
+        raise GraphError("edge weights must be non-negative")
+    if (np.diag(W) != 0).any():
+        raise GraphError("diagonal must be zero")
+    if (W > maxint).any():
+        raise GraphError(f"weights exceed maxint={maxint}")
+    return W
+
+
+def bellman_ford(W, d: int, *, maxint: int) -> SequentialResult:
+    """Destination-oriented Bellman-Ford with early exit.
+
+    Relaxes ``sow[i] = min_j (w[i, j] + sow[j])`` in full sweeps until a
+    fixed point, matching the parallel algorithm's round structure. Ties
+    resolve toward the smallest successor index, like ``selected_min``.
+    """
+    W = _check(W, d, maxint)
+    n = W.shape[0]
+    sow = W[:, d].copy()  # 1-edge paths (statement 5 of the listing)
+    sow[d] = 0
+    ptn = np.full(n, d, dtype=np.int64)
+
+    iterations = 0
+    while True:
+        iterations += 1
+        # candidate[i] = min_j (w[i, j] + sow[j]), saturating at maxint.
+        totals = np.minimum(W + sow[None, :], maxint)
+        candidates = totals.min(axis=1)
+        arg = totals.argmin(axis=1)  # numpy argmin = smallest index on ties
+        changed = candidates < sow
+        changed[d] = False
+        if not changed.any():
+            break
+        sow = np.where(changed, candidates, sow)
+        ptn = np.where(changed, arg, ptn)
+        if iterations > n:
+            raise GraphError("negative cycle or corrupt input")
+    return SequentialResult(
+        destination=d,
+        sow=sow,
+        ptn=ptn,
+        iterations=iterations,
+        maxint=maxint,
+    )
+
+
+def dijkstra(W, d: int, *, maxint: int) -> SequentialResult:
+    """Destination-oriented Dijkstra (binary heap) on the reversed graph."""
+    W = _check(W, d, maxint)
+    n = W.shape[0]
+    sow = np.full(n, maxint, dtype=np.int64)
+    ptn = np.full(n, d, dtype=np.int64)
+    sow[d] = 0
+    done = np.zeros(n, dtype=bool)
+    heap: list[tuple[int, int]] = [(0, d)]
+    while heap:
+        cost, v = heapq.heappop(heap)
+        if done[v]:
+            continue
+        done[v] = True
+        # Relax reversed edges: predecessors u with an edge u -> v.
+        col = W[:, v]
+        for u in np.flatnonzero(col < maxint):
+            u = int(u)
+            if done[u] or u == v:
+                continue
+            alt = cost + int(col[u])
+            if alt < sow[u] or (alt == sow[u] and v < ptn[u]):
+                sow[u] = alt
+                ptn[u] = v
+                heapq.heappush(heap, (alt, u))
+    return SequentialResult(
+        destination=d, sow=sow, ptn=ptn, iterations=0, maxint=maxint
+    )

@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``mcp``      — run minimum cost path on a generated or file-loaded graph,
+  on any of the four simulated architectures;
+* ``report``   — regenerate the evaluation artefacts (see EXPERIMENTS.md);
+* ``ppc``      — run (or pretty-print) a Polymorphic Parallel C source file;
+* ``selftest`` — run the bus diagnostic, optionally with injected faults.
+
+Graphs load from ``.npy``/``.npz`` (array ``W``) or whitespace/CSV text via
+:func:`numpy.loadtxt`; ``inf`` entries mean "no edge".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.baselines import GCNMachine, HypercubeMachine, MeshMachine
+from repro.core import minimum_cost_path, minimum_cost_path_word
+from repro.errors import ReproError
+from repro.ppa import FaultKind, FaultPlan, PPAConfig, PPAMachine
+from repro.ppa.selftest import diagnose_switches
+from repro.workloads import WeightSpec, generators
+
+__all__ = ["main", "build_parser"]
+
+_FAMILIES = {
+    "gnp": lambda n, seed, density, inf: generators.gnp_digraph(
+        n, density, seed=seed, weights=WeightSpec(1, 9), inf_value=inf
+    ),
+    "grid": lambda n, seed, density, inf: generators.grid_graph(
+        int(round(n ** 0.5)), seed=seed, weights=WeightSpec(1, 9), inf_value=inf
+    ),
+    "ring": lambda n, seed, density, inf: generators.ring_graph(
+        n, seed=seed, weights=WeightSpec(1, 9), inf_value=inf
+    ),
+    "tree": lambda n, seed, density, inf: generators.random_tree(
+        n, seed=seed, weights=WeightSpec(1, 9), inf_value=inf
+    ),
+    "complete": lambda n, seed, density, inf: generators.complete_graph(
+        n, seed=seed, weights=WeightSpec(1, 9), inf_value=inf
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minimum Cost Path on the Polymorphic Processor Array "
+        "(IPPS'98 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mcp = sub.add_parser("mcp", help="run minimum cost path")
+    src = mcp.add_mutually_exclusive_group(required=True)
+    src.add_argument("--graph", type=Path, help=".npy/.npz/.txt weight matrix")
+    src.add_argument("--generate", choices=sorted(_FAMILIES), help="workload family")
+    mcp.add_argument("--n", type=int, default=8, help="vertex count (generated)")
+    mcp.add_argument("--seed", type=int, default=0)
+    mcp.add_argument("--density", type=float, default=0.3, help="gnp density")
+    mcp.add_argument("-d", "--destination", type=int, default=0)
+    mcp.add_argument(
+        "--arch",
+        choices=["ppa", "gcn", "hypercube", "mesh", "rmesh"],
+        default="ppa",
+    )
+    mcp.add_argument("--word-bits", type=int, default=16)
+    mcp.add_argument(
+        "--word-parallel",
+        action="store_true",
+        help="A7 variant: word-wide bus minimum (ppa only)",
+    )
+    mcp.add_argument(
+        "--paths",
+        action="store_true",
+        help="print the full path for every reachable vertex",
+    )
+
+    report = sub.add_parser("report", help="regenerate the evaluation")
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--markdown", action="store_true")
+    report.add_argument("experiments", nargs="*", metavar="ID")
+
+    ppc = sub.add_parser("ppc", help="run or format a PPC source file")
+    ppc.add_argument("file", type=Path)
+    ppc.add_argument("--entry", default="main")
+    ppc.add_argument("--n", type=int, default=8, help="machine side")
+    ppc.add_argument("--word-bits", type=int, default=16)
+    ppc.add_argument(
+        "--format",
+        action="store_true",
+        help="pretty-print the program instead of running it",
+    )
+    ppc.add_argument(
+        "--compile",
+        dest="compile_only",
+        action="store_true",
+        help="emit PPA assembly instead of interpreting",
+    )
+    ppc.add_argument(
+        "--run-compiled",
+        action="store_true",
+        help="compile to the ISA and execute the instruction stream",
+    )
+    ppc.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="initialise a scalar program global",
+    )
+    ppc.add_argument(
+        "--graph",
+        type=Path,
+        help="weight matrix loaded into the parallel global W",
+    )
+
+    st = sub.add_parser("selftest", help="bus switch diagnostic")
+    st.add_argument("--n", type=int, default=8)
+    st.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="ROW,COL,KIND[,AXIS]",
+        help="inject a fault first (KIND: open|short; AXIS: 0|1|both)",
+    )
+    return parser
+
+
+def _load_graph(path: Path, inf: int) -> np.ndarray:
+    if not path.exists():
+        raise ReproError(f"graph file not found: {path}")
+    if path.suffix == ".npy":
+        W = np.load(path)
+    elif path.suffix == ".npz":
+        data = np.load(path)
+        if "W" not in data:
+            raise ReproError(f"{path} has no array named 'W'")
+        W = data["W"]
+    else:
+        W = np.loadtxt(path, delimiter="," if path.suffix == ".csv" else None)
+    W = np.asarray(W, dtype=float)
+    out = np.where(np.isfinite(W), W, inf)
+    return out.astype(np.int64)
+
+
+def _cmd_mcp(args) -> int:
+    inf = (1 << args.word_bits) - 1
+    if args.graph is not None:
+        W = _load_graph(args.graph, inf)
+    else:
+        W = _FAMILIES[args.generate](args.n, args.seed, args.density, inf)
+    n = W.shape[0]
+    d = args.destination
+
+    if args.arch == "ppa":
+        machine = PPAMachine(PPAConfig(n=n, word_bits=args.word_bits))
+        runner = minimum_cost_path_word if args.word_parallel else minimum_cost_path
+        result = runner(machine, W, d)
+    elif args.arch == "rmesh":
+        if args.word_parallel:
+            raise ReproError("--word-parallel applies to --arch ppa only")
+        from repro.rmesh import RMeshMachine, rmesh_mcp
+
+        result = rmesh_mcp(RMeshMachine(n, word_bits=args.word_bits), W, d)
+    else:
+        if args.word_parallel:
+            raise ReproError("--word-parallel applies to --arch ppa only")
+        cls = {"gcn": GCNMachine, "hypercube": HypercubeMachine,
+               "mesh": MeshMachine}[args.arch]
+        result = cls(n, word_bits=args.word_bits).mcp(W, d)
+
+    print(f"minimum cost paths to vertex {d} on {args.arch} ({n}x{n}, "
+          f"h={args.word_bits})")
+    print(f"iterations: {result.iterations}")
+    for v in range(n):
+        if not result.reachable[v]:
+            print(f"  {v:>3}: unreachable")
+        elif args.paths:
+            chain = " -> ".join(map(str, result.path(v)))
+            print(f"  {v:>3}: cost {int(result.sow[v]):>6}   {chain}")
+        else:
+            print(f"  {v:>3}: cost {int(result.sow[v]):>6}   next {int(result.ptn[v])}")
+    print("counters: " + ", ".join(f"{k}={v}" for k, v in result.counters.items()))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import main as report_main
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.markdown:
+        argv.append("--markdown")
+    argv.extend(args.experiments)
+    return report_main(argv)
+
+
+def _cmd_ppc(args) -> int:
+    from repro.core.graph import normalize_weights
+    from repro.ppc.lang import compile_ppc
+    from repro.ppc.lang.formatter import format_program
+    from repro.ppc.lang.parser import parse
+
+    if not args.file.exists():
+        raise ReproError(f"PPC source not found: {args.file}")
+    source = args.file.read_text()
+    if args.format:
+        print(format_program(parse(source)), end="")
+        return 0
+    machine = PPAMachine(PPAConfig(n=args.n, word_bits=args.word_bits))
+    globals_: dict[str, object] = {}
+    for item in args.set:
+        name, _, value = item.partition("=")
+        if not _:
+            raise ReproError(f"--set expects NAME=INT, got {item!r}")
+        globals_[name] = int(value, 0)
+    if args.graph is not None:
+        W = _load_graph(args.graph, machine.maxint)
+        globals_["W"] = normalize_weights(W, machine)
+    if args.compile_only or args.run_compiled:
+        from repro.ppc.lang.codegen import compile_to_asm
+
+        compiled = compile_to_asm(
+            source, args.n, args.word_bits, entry=args.entry
+        )
+        if args.compile_only:
+            print(compiled.asm, end="")
+            return 0
+        run = compiled.run(machine, globals=globals_)
+        for name, value in run.globals.items():
+            if isinstance(value, np.ndarray):
+                print(f"{name} =\n{value}")
+            else:
+                print(f"{name} = {value}")
+        print("counters: " + ", ".join(
+            f"{k}={v}" for k, v in run.counters.items()))
+        return 0
+    program = compile_ppc(source)
+    run = program.run(machine, args.entry, globals=globals_)
+    if run.value is not None:
+        print(f"return value: {run.value}")
+    for name, value in run.globals.items():
+        if isinstance(value, np.ndarray):
+            print(f"{name} =\n{value}")
+        else:
+            print(f"{name} = {value}")
+    print("counters: " + ", ".join(f"{k}={v}" for k, v in run.counters.items()))
+    return 0
+
+
+_FAULT_KINDS = {"open": FaultKind.STUCK_OPEN, "short": FaultKind.STUCK_SHORT}
+
+
+def _cmd_selftest(args) -> int:
+    machine = PPAMachine(PPAConfig(n=args.n, word_bits=16))
+    if args.fault:
+        plan = FaultPlan()
+        for spec in args.fault:
+            parts = spec.split(",")
+            if len(parts) not in (3, 4) or parts[2] not in _FAULT_KINDS:
+                raise ReproError(
+                    f"--fault expects ROW,COL,open|short[,AXIS], got {spec!r}"
+                )
+            axis = None
+            if len(parts) == 4 and parts[3] != "both":
+                axis = int(parts[3])
+            plan.add(int(parts[0]), int(parts[1]), _FAULT_KINDS[parts[2]], axis)
+        machine.inject_faults(plan)
+    report = diagnose_switches(machine)
+    if report.healthy:
+        print(f"all {2 * args.n * args.n} switch-boxes healthy "
+              f"({report.transactions} probe transactions)")
+        return 0
+    for f in report.faults:
+        print(f"{f.kind.value} switch at ({f.row}, {f.col}) on "
+              f"{'column' if f.axis == 0 else 'row'} bus")
+    for axis, ring in report.undiagnosable_rings:
+        print(f"{'column' if axis == 0 else 'row'} ring {ring}: "
+              "undiagnosable (too few working switches)")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "mcp": _cmd_mcp,
+        "report": _cmd_report,
+        "ppc": _cmd_ppc,
+        "selftest": _cmd_selftest,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

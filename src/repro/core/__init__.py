@@ -1,0 +1,48 @@
+"""The paper's contribution: Minimum Cost Path on the PPA.
+
+Public surface:
+
+* :func:`~repro.core.mcp.minimum_cost_path` — the faithful algorithm of the
+  paper's Section 3 (bit-serial ``min``/``selected_min``), O(p*h) bus cycles.
+* :func:`~repro.core.variants.minimum_cost_path_word` — A7 ablation with a
+  word-parallel bus minimum, O(p) transactions.
+* :func:`~repro.core.variants.minimum_cost_path_multi` — batched multiple
+  destinations.
+* :mod:`~repro.core.path` — PTN successor-chain reconstruction/validation.
+* :mod:`~repro.core.graph` — weight-matrix normalisation and validation.
+* :mod:`~repro.core.apsp`, :mod:`~repro.core.closure` — extensions (all
+  pairs, transitive closure) in the spirit of the paper's references [4][6].
+"""
+
+from repro.core.graph import normalize_weights, INF
+from repro.core.result import MCPResult
+from repro.core.mcp import minimum_cost_path
+from repro.core.path import extract_path, validate_tree
+from repro.core.variants import (
+    minimum_cost_path_from,
+    minimum_cost_path_multi,
+    minimum_cost_path_word,
+)
+from repro.core.asm_mcp import mcp_assembly, minimum_cost_path_asm
+from repro.core.apsp import all_pairs_minimum_cost
+from repro.core.closure import transitive_closure, reachable_set
+from repro.core.mst import boruvka_mst, MSTResult
+
+__all__ = [
+    "INF",
+    "normalize_weights",
+    "MCPResult",
+    "minimum_cost_path",
+    "minimum_cost_path_word",
+    "minimum_cost_path_multi",
+    "minimum_cost_path_from",
+    "minimum_cost_path_asm",
+    "mcp_assembly",
+    "extract_path",
+    "validate_tree",
+    "all_pairs_minimum_cost",
+    "transitive_closure",
+    "reachable_set",
+    "boruvka_mst",
+    "MSTResult",
+]

@@ -1,0 +1,149 @@
+"""The MCP algorithm as a PPA instruction stream.
+
+:func:`mcp_assembly` emits the complete minimum-cost-path program in PPA
+assembly — initialisation transposition, the do-while, and *two inlined
+bit-serial elimination loops* (the ``min`` and ``selected_min`` of the
+paper's Section 3) — and :func:`minimum_cost_path_asm` assembles, executes
+and packages it as an :class:`MCPResult`.
+
+This is the lowest rung of the reproduction ladder::
+
+    paper listing (PPC text)  ->  interpreter
+    Python implementation     ->  machine primitives
+    assembly program          ->  instruction executor  ->  machine primitives
+
+All three produce bit-identical SOW/PTN and, because every rung drives the
+same :class:`PPAMachine`, identical broadcast/wired-OR/global-OR counts
+(asserted in the tests).
+
+Register map::
+
+    r0  W          r4  ROW        r8  col_last     r12 not_row_d
+    r1  SOW        r5  COL        r9  diagonal     r13 value/workspace
+    r2  PTN        r6  row_d      r10 temp         r14 enable
+    r3  MIN_SOW    r7  d-plane    r11 temp         r15 temp
+    s0  d          s1  bit counter
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import normalize_weights
+from repro.core.result import MCPResult
+from repro.errors import GraphError
+from repro.ppa.assembler import assemble
+from repro.ppa.executor import execute
+from repro.ppa.machine import PPAMachine
+
+__all__ = ["mcp_assembly", "minimum_cost_path_asm"]
+
+
+def _elimination(tag: str, h: int, init_enable: str) -> str:
+    """One bit-serial MSB-first elimination + delivery, on r13 over rows.
+
+    Enters with the candidate words in r13; leaves the per-row minimum
+    (restricted to the initial enable set) in r13. ``init_enable`` is the
+    instruction initialising r14.
+    """
+    return f"""
+        {init_enable}
+        sldi  s1, {h - 1}
+elim_{tag}:
+        bits  r15, r13, s1          ; bit j of the candidates
+        not   r10, r15
+        and   r10, r10, r14         ; enabled candidates with a 0 here
+        wor   r10, r10, WEST, r8    ; cluster-wide 'a zero exists'
+        and   r10, r10, r15         ; ...and this PE holds a 1
+        not   r10, r10
+        and   r14, r14, r10         ; eliminate
+        saddi s1, -1
+        sjge  s1, elim_{tag}
+        ; statements 11-13: survivors -> cluster head -> everyone
+        bcast r10, r13, EAST, r14
+        pushm r8
+        mov   r13, r10
+        popm
+        bcast r13, r13, WEST, r8
+"""
+
+
+def mcp_assembly(n: int, h: int) -> str:
+    """The full MCP program for an ``n x n`` machine with ``h``-bit words.
+
+    Inputs: ``r0`` = weight matrix, ``s0`` = destination. Outputs: ``r1`` =
+    SOW plane, ``r2`` = PTN plane (row ``d`` meaningful, as in the paper).
+    """
+    return f"""
+; minimum cost path on the PPA -- assembly rendition of the IPPS'98 listing
+        row   r4
+        col   r5
+        lds   r7, s0                ; d in every PE
+        cmpeq r6, r4, r7            ; row_d
+        cmpeq r9, r4, r5            ; diagonal
+        ldi   r10, {n - 1}
+        cmpeq r8, r5, r10           ; col_last (the rows' bus heads)
+        ; init: transpose column d of W onto row d (statements 4-7)
+        cmpeq r10, r5, r7           ; col_d
+        bcast r11, r0, EAST, r10
+        bcast r11, r11, SOUTH, r9
+        pushm r6
+        mov   r1, r11               ; SOW = 1-edge costs to d
+        mov   r2, r7                ; PTN = d
+        popm
+        ldi   r3, 0                 ; MIN_SOW (row d stays 0 = cost d->d)
+        not   r12, r6               ; ROW != d
+iter:
+        pushm r12                   ; where (ROW != d)
+        bcast r13, r1, SOUTH, r6    ; statement 10
+        add   r13, r13, r0
+        mov   r1, r13
+{_elimination("min", h, "ldi   r14, 1")}
+        mov   r3, r13               ; statement 11: MIN_SOW
+        cmpeq r15, r3, r1           ; min achievers
+        mov   r13, r5               ; statement 12: selected_min over COL
+{_elimination("sel", h, "mov   r14, r15")}
+        mov   r2, r13               ; PTN
+        popm
+        pushm r6                    ; where (ROW == d), statements 14-19
+        mov   r13, r1               ; OLD_SOW
+        bcast r10, r3, SOUTH, r9    ; statement 16
+        mov   r1, r10
+        cmpne r11, r1, r13          ; changed
+        pushm r11
+        bcast r10, r2, SOUTH, r9    ; statement 18
+        mov   r2, r10
+        popm
+        popm
+        and   r11, r11, r6          ; statement 20: any change in row d?
+        gor   r11
+        jnz   iter
+        halt
+"""
+
+
+def minimum_cost_path_asm(machine: PPAMachine, W, d: int, **kwargs) -> MCPResult:
+    """Run the assembly MCP program; same contract as
+    :func:`repro.core.mcp.minimum_cost_path`."""
+    Wm = normalize_weights(W, machine, **kwargs)
+    n = machine.n
+    if not (0 <= d < n):
+        raise GraphError(f"destination {d} outside [0, {n})")
+    program = assemble(mcp_assembly(n, machine.word_bits))
+    state = execute(
+        machine,
+        program,
+        inputs={"r0": Wm, "s0": d},
+        # worst case: n do-while rounds, each dominated by two h-pass
+        # elimination loops of ~9 instructions per bit
+        max_steps=200 + (n + 1) * (20 * machine.word_bits + 80),
+    )
+    gors = state.counters.get("global_ors", 0)
+    return MCPResult(
+        destination=d,
+        sow=state.reg(1)[d],
+        ptn=state.reg(2)[d],
+        iterations=gors,  # one convergence test per do-while round
+        maxint=machine.maxint,
+        counters=state.counters,
+    )

@@ -1,0 +1,75 @@
+"""Transitive closure and reachability on the PPA (extension).
+
+The paper's reference [6] (Wang & Chen) computes transitive closure on a
+reconfigurable bus system; on the row/column-only PPA the natural route is
+through the MCP machinery itself: give every edge weight 1 and a vertex
+``j`` is in the closure of ``i`` iff the minimum cost path cost is finite.
+A single destination sweep therefore yields one closure *column*; sweeping
+all destinations yields the full boolean closure matrix.
+
+With unit weights the MCP costs double as BFS levels, so
+:func:`reachable_set` also reports hop distances for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.core.mcp import minimum_cost_path
+from repro.core.result import MCPResult
+from repro.ppa.machine import PPAMachine
+
+__all__ = ["transitive_closure", "reachable_set", "ClosureResult"]
+
+
+@dataclass(frozen=True)
+class ClosureResult:
+    """Boolean closure matrix plus hop distances."""
+
+    closure: np.ndarray  # closure[i, j] == True iff j reachable from i
+    hops: np.ndarray  # BFS distance i -> j (maxint-coded via `unreached`)
+    unreached: int
+
+    def reaches(self, i: int, j: int) -> bool:
+        return bool(self.closure[i, j])
+
+
+def _unit_weights(machine: PPAMachine, adjacency) -> np.ndarray:
+    adj = np.asarray(adjacency)
+    if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+        raise GraphError(f"adjacency must be square, got {adj.shape}")
+    machine.require_square_fit(adj.shape[0])
+    W = np.where(adj.astype(bool), 1, machine.maxint).astype(np.int64)
+    np.fill_diagonal(W, 0)
+    return W
+
+
+def reachable_set(machine: PPAMachine, adjacency, d: int) -> MCPResult:
+    """Vertices that reach *d*, as an MCP run over unit weights.
+
+    ``result.reachable`` is the reachability mask; ``result.sow`` holds hop
+    counts (BFS levels toward ``d``).
+    """
+    W = _unit_weights(machine, adjacency)
+    return minimum_cost_path(machine, W, d)
+
+
+def transitive_closure(machine: PPAMachine, adjacency) -> ClosureResult:
+    """Full transitive closure by sweeping the destination vertex.
+
+    ``closure[i, j]`` is True iff a directed path ``i -> j`` exists
+    (vertices reach themselves by the empty path). ``hops[i, j]`` is the
+    minimum edge count of such a path, ``unreached`` where none exists.
+    """
+    n = machine.n
+    closure = np.zeros((n, n), dtype=bool)
+    hops = np.full((n, n), machine.maxint, dtype=np.int64)
+    W = _unit_weights(machine, adjacency)
+    for d in range(n):
+        res = minimum_cost_path(machine, W, d)
+        closure[:, d] = res.reachable
+        hops[:, d] = res.sow
+    return ClosureResult(closure=closure, hops=hops, unreached=machine.maxint)

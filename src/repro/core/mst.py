@@ -1,0 +1,192 @@
+"""Minimum spanning tree by Borůvka rounds on the PPA (extension).
+
+Borůvka is the natural MST algorithm for this machine: each round every
+*component* selects its minimum outgoing edge — a selection problem, which
+is exactly what the paper's ``min``/``selected_min`` bus primitives are
+good at. One round costs O(h) bus transactions:
+
+1. fan the per-vertex component labels across rows and down columns (two
+   broadcasts from the diagonal), mask ``W`` to edges that *cross*
+   components;
+2. per-vertex minimum crossing edge: the listing's row ``min`` +
+   ``selected_min`` pair;
+3. per-component minimum: *scatter* each vertex's candidate into the
+   column indexed by its component label (``COL == comp``), then run the
+   same bit-serial minimum down the columns — the bus does a grouped
+   reduction over arbitrarily scattered rows without any routing network;
+4. ``selected_min`` over the scattered ``ROW`` plane names each
+   component's winning vertex; a final column broadcast retrieves the
+   winner's chosen neighbour.
+
+The host merges the (at most n) selected edges with a union-find and
+writes the new label vector back — the standard controller-side
+bookkeeping of SIMD Borůvka; O(log n) rounds total, so the whole MST costs
+O(h·log n) bus transactions.
+
+Edge weights must be **distinct** (validated): with ties Borůvka can cycle,
+and the paper's tie-breaking machinery (smallest column index) resolves
+ties per row, not globally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graph import normalize_weights
+from repro.errors import GraphError
+from repro.ppa.directions import Direction
+from repro.ppa.machine import PPAMachine
+from repro.ppc.reductions import ppa_min, ppa_selected_min
+
+__all__ = ["MSTResult", "boruvka_mst"]
+
+
+@dataclass(frozen=True)
+class MSTResult:
+    """Minimum spanning forest of an undirected weighted graph.
+
+    Attributes
+    ----------
+    edges
+        ``(u, v, weight)`` triples with ``u < v``, sorted.
+    total_weight
+        Sum of the selected edge weights.
+    components
+        Final component label per vertex (one label per forest tree).
+    rounds
+        Borůvka rounds executed.
+    counters
+        Machine counter deltas of the run.
+    """
+
+    edges: tuple[tuple[int, int, int], ...]
+    total_weight: int
+    components: np.ndarray
+    rounds: int
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_spanning_tree(self) -> bool:
+        """True when the graph was connected (single component)."""
+        return len(np.unique(self.components)) == 1
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+
+def _validate(machine: PPAMachine, W) -> np.ndarray:
+    # No path-cost accumulation here (single edge weights only), so the
+    # MCP's saturation-headroom requirement does not apply.
+    Wm = normalize_weights(W, machine, check_headroom=False)
+    if not np.array_equal(Wm, Wm.T):
+        raise GraphError("MST needs an undirected (symmetric) weight matrix")
+    finite = Wm[np.triu_indices_from(Wm, k=1)]
+    finite = finite[finite < machine.maxint]
+    if finite.size != np.unique(finite).size:
+        raise GraphError(
+            "edge weights must be distinct (ties can cycle Boruvka; "
+            "perturb the weights)"
+        )
+    return Wm
+
+
+def boruvka_mst(machine: PPAMachine, W) -> MSTResult:
+    """Minimum spanning forest of the undirected graph *W*.
+
+    Returns the MST when the graph is connected, otherwise the minimum
+    spanning forest (one tree per connected component).
+    """
+    Wm = _validate(machine, W)
+    n = machine.n
+    before = machine.counters.snapshot()
+    inf = machine.maxint
+    WEST, SOUTH, EAST = Direction.WEST, Direction.SOUTH, Direction.EAST
+
+    ROW = machine.row_index
+    COL = machine.col_index
+    diag = ROW == COL
+    col_last = COL == n - 1
+    row_first = ROW == 0
+    machine.count_alu(3)
+
+    uf = _UnionFind(n)
+    comp = np.arange(n, dtype=np.int64)
+    edges: list[tuple[int, int, int]] = []
+    rounds = 0
+
+    while True:
+        rounds += 1
+        # Labels onto the grid: comp of my row / comp of my column.
+        comp_diag = np.where(diag, comp[ROW], 0)
+        machine.count_alu()
+        compr = machine.broadcast(comp_diag, EAST, diag)
+        compc = machine.broadcast(comp_diag, SOUTH, diag)
+
+        crossing = compr != compc
+        staged = np.where(crossing, Wm, inf)
+        machine.count_alu(2)
+
+        # Per-vertex minimum crossing edge (value + neighbour index).
+        cand_val = ppa_min(machine, staged, WEST, col_last)
+        achieves = (staged == cand_val) & (staged < inf)
+        machine.count_alu(2)
+        cand_j = ppa_selected_min(machine, COL, WEST, col_last, achieves)
+
+        # Scatter candidates into the column of their component label and
+        # reduce per column: the grouped minimum over scattered vertices.
+        in_comp_col = COL == compr
+        scatter_val = np.where(in_comp_col, cand_val, inf)
+        machine.count_alu(2)
+        comp_min = ppa_min(machine, scatter_val, SOUTH, row_first)
+        winner_sel = (scatter_val == comp_min) & (scatter_val < inf)
+        machine.count_alu(2)
+        winner_row = ppa_selected_min(machine, ROW, SOUTH, row_first, winner_sel)
+
+        # Retrieve each winner's chosen neighbour down its column.
+        at_winner = ROW == winner_row
+        machine.count_alu()
+        winner_j = machine.broadcast(cand_j, SOUTH, at_winner & winner_sel)
+
+        # Controller: read one row (host DMA), merge, rewrite labels.
+        new_edge = False
+        for c in np.unique(comp):
+            val = int(comp_min[0, c])
+            if val >= inf:
+                continue
+            u = int(winner_row[0, c])
+            v = int(winner_j[0, c])
+            if uf.union(u, v):
+                a, b = (u, v) if u < v else (v, u)
+                edges.append((a, b, int(Wm[a, b])))
+                new_edge = True
+        if not new_edge:
+            break
+        comp = np.array([uf.find(i) for i in range(n)], dtype=np.int64)
+        if rounds > int(np.ceil(np.log2(max(n, 2)))) + 2:
+            raise GraphError("Boruvka failed to converge (corrupt input?)")
+
+    edges.sort()
+    return MSTResult(
+        edges=tuple(edges),
+        total_weight=sum(w for _, _, w in edges),
+        components=comp.copy(),
+        rounds=rounds,
+        counters=machine.counters.diff(before),
+    )

@@ -1,0 +1,98 @@
+"""Reconstruction and validation of the PTN successor structure.
+
+The algorithm's second output is the matrix ``PTN`` ("Pointer To Next"):
+``ptn[i]`` names the vertex following ``i`` on a minimum cost path to the
+destination. The pointers of all reachable vertices form an in-tree rooted
+at ``d``; these helpers walk and validate it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.core.result import MCPResult
+
+__all__ = ["extract_path", "validate_tree", "path_cost"]
+
+
+def extract_path(result: MCPResult, source: int) -> list[int]:
+    """Follow PTN pointers from *source* to the destination.
+
+    Returns the full vertex sequence ``[source, ..., destination]``
+    (``[d]`` when *source* is the destination itself).
+
+    Raises
+    ------
+    GraphError
+        If *source* is out of range, the destination is unreachable from it,
+        or the pointer chain is corrupt (cycles / overlong), which would
+        indicate a machine bug rather than a bad input.
+    """
+    n = result.n
+    if not (0 <= source < n):
+        raise GraphError(f"source {source} outside [0, {n})")
+    if not result.reachable[source]:
+        raise GraphError(
+            f"vertex {result.destination} is unreachable from {source}"
+        )
+    path = [int(source)]
+    v = int(source)
+    for _ in range(n):
+        if v == result.destination:
+            return path
+        v = int(result.ptn[v])
+        path.append(v)
+    raise GraphError(
+        f"PTN chain from {source} did not reach {result.destination} "
+        f"within {n} steps (corrupt pointer structure)"
+    )
+
+
+def path_cost(W: np.ndarray, path: list[int], maxint: int) -> int:
+    """Sum of edge weights along *path* under weight matrix *W*.
+
+    Raises :class:`GraphError` if the path uses a non-existent edge.
+    """
+    total = 0
+    for a, b in zip(path, path[1:]):
+        w = int(W[a, b])
+        if w >= maxint:
+            raise GraphError(f"path uses missing edge {a} -> {b}")
+        total += w
+    return total
+
+
+def validate_tree(result: MCPResult, W: np.ndarray) -> None:
+    """Check every invariant tying SOW, PTN and W together.
+
+    * ``sow[d] == 0`` and ``ptn[d] == d``;
+    * for every reachable ``i != d``: the edge ``i -> ptn[i]`` exists,
+      ``ptn[i]`` is reachable, and the Bellman optimality condition
+      ``sow[i] == w[i, ptn[i]] + sow[ptn[i]]`` holds;
+    * following pointers from every reachable vertex terminates at ``d``.
+
+    Raises :class:`GraphError` on the first violated invariant.
+    """
+    d = result.destination
+    sow, ptn, maxint = result.sow, result.ptn, result.maxint
+    if int(sow[d]) != 0:
+        raise GraphError(f"sow[d] = {int(sow[d])}, expected 0")
+    if int(ptn[d]) != d:
+        raise GraphError(f"ptn[d] = {int(ptn[d])}, expected {d}")
+    for i in np.flatnonzero(result.reachable):
+        i = int(i)
+        if i == d:
+            continue
+        j = int(ptn[i])
+        w = int(W[i, j])
+        if w >= maxint:
+            raise GraphError(f"ptn[{i}] = {j} but edge {i} -> {j} is missing")
+        if not result.reachable[j]:
+            raise GraphError(f"ptn[{i}] = {j} points at an unreachable vertex")
+        if int(sow[i]) != w + int(sow[j]):
+            raise GraphError(
+                f"Bellman condition violated at {i}: sow={int(sow[i])} "
+                f"!= w[{i},{j}]={w} + sow[{j}]={int(sow[j])}"
+            )
+        extract_path(result, i)  # raises on cycles

@@ -1,0 +1,91 @@
+"""Result container for a minimum-cost-path run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["MCPResult"]
+
+
+@dataclass(frozen=True)
+class MCPResult:
+    """Outcome of one single-destination MCP computation.
+
+    Only the d-th row of the machine's ``SOW``/``PTN`` planes is meaningful
+    (paper, Section 3); this container carries exactly that row plus run
+    metadata.
+
+    Attributes
+    ----------
+    destination
+        The destination vertex ``d``.
+    sow
+        ``sow[i]`` = cost of a minimum cost path from ``i`` to ``d``
+        (``maxint`` when ``d`` is unreachable from ``i``). ``sow[d] == 0``.
+    ptn
+        ``ptn[i]`` = vertex following ``i`` on a minimum cost path to ``d``
+        (``d`` itself both for direct predecessors and, vacuously, for
+        unreachable vertices — check :attr:`reachable`).
+    iterations
+        Number of executed do-while iterations (equals the maximum MCP edge
+        length ``p`` over reachable vertices, with a minimum of 1).
+    maxint
+        The machine's infinity sentinel used in :attr:`sow`.
+    counters
+        Machine counter deltas accumulated by this run.
+    """
+
+    destination: int
+    sow: np.ndarray
+    ptn: np.ndarray
+    iterations: int
+    maxint: int
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sow", np.asarray(self.sow, dtype=np.int64))
+        object.__setattr__(self, "ptn", np.asarray(self.ptn, dtype=np.int64))
+        if self.sow.shape != self.ptn.shape or self.sow.ndim != 1:
+            raise GraphError("sow and ptn must be 1-D arrays of equal length")
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return int(self.sow.shape[0])
+
+    @property
+    def reachable(self) -> np.ndarray:
+        """Boolean mask of vertices with a finite-cost path to ``d``."""
+        return self.sow < self.maxint
+
+    def cost(self, source: int) -> int | float:
+        """Path cost from *source* (``float('inf')`` when unreachable)."""
+        c = int(self.sow[source])
+        return float("inf") if c >= self.maxint else c
+
+    def path(self, source: int) -> list[int]:
+        """Vertex sequence of a minimum cost path ``source -> ... -> d``.
+
+        Delegates to :func:`repro.core.path.extract_path`.
+        """
+        from repro.core.path import extract_path
+
+        return extract_path(self, source)
+
+    def costs_dict(self) -> dict[int, int]:
+        """``{vertex: cost}`` for every reachable vertex."""
+        return {
+            int(i): int(self.sow[i])
+            for i in np.flatnonzero(self.reachable)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nreach = int(self.reachable.sum())
+        return (
+            f"MCPResult(d={self.destination}, n={self.n}, "
+            f"reachable={nreach}, iterations={self.iterations})"
+        )

@@ -1,0 +1,106 @@
+"""Algorithm variants for ablations and batched use.
+
+* :func:`minimum_cost_path_word` — ablation A7: replaces the paper's
+  bit-serial ``min``/``selected_min`` with single-transaction word-parallel
+  bus reductions. Per-iteration communication drops from ``2h + O(1)`` to
+  ``O(1)`` transactions; the *results* are bit-identical (property-tested).
+* :func:`minimum_cost_path_multi` — runs one destination after another on
+  the same machine, the way a host program would batch queries; counters
+  accumulate so the caller can report amortised costs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.mcp import minimum_cost_path
+from repro.core.result import MCPResult
+from repro.ppa.directions import Direction
+from repro.ppa.machine import PPAMachine
+from repro.ppc.reductions import word_parallel_min
+
+__all__ = [
+    "minimum_cost_path_word",
+    "minimum_cost_path_multi",
+    "minimum_cost_path_from",
+]
+
+
+def _word_selected_min(
+    machine: PPAMachine, src, orientation: Direction, L, selected
+) -> np.ndarray:
+    """Word-parallel counterpart of ``selected_min``.
+
+    Non-selected nodes inject ``MAXINT`` so they cannot win; one bus-min
+    transaction plus one local select.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    staged = np.where(np.asarray(selected, dtype=bool), src, machine.maxint)
+    machine.count_alu()
+    return machine.bus_reduce(staged, orientation, L, "min")
+
+
+def minimum_cost_path_word(machine: PPAMachine, W, d: int, **kwargs) -> MCPResult:
+    """MCP with word-parallel bus minima (ablation A7).
+
+    Identical DP structure and outputs as the faithful algorithm; only the
+    reduction primitive changes. See DESIGN.md experiment A7.
+    """
+    return minimum_cost_path(
+        machine,
+        W,
+        d,
+        min_routine=word_parallel_min,
+        selected_min_routine=_word_selected_min,
+        **kwargs,
+    )
+
+
+def minimum_cost_path_multi(
+    machine: PPAMachine,
+    W,
+    destinations: Iterable[int],
+    *,
+    word_parallel: bool = False,
+    **kwargs,
+) -> dict[int, MCPResult]:
+    """Batch MCP over several destinations on one machine.
+
+    Returns ``{d: MCPResult}`` in input order. Each run's counters are the
+    per-destination deltas; sum them for the batch total.
+    """
+    runner = minimum_cost_path_word if word_parallel else minimum_cost_path
+    results: dict[int, MCPResult] = {}
+    for d in destinations:
+        results[int(d)] = runner(machine, W, int(d), **kwargs)
+    return results
+
+
+def minimum_cost_path_from(
+    machine: PPAMachine, W, source: int, **kwargs
+) -> MCPResult:
+    """Single-*source* orientation: costs from *source* to every vertex.
+
+    The paper's algorithm is destination-oriented; source-oriented queries
+    are the same computation on the transposed weight matrix (reverse every
+    edge, then "all vertices to `source`" in the reversed graph is
+    "`source` to all" in the original). The returned result reads as usual:
+    ``sow[i]`` is the cost of ``source -> i`` and ``ptn[i]`` is the vertex
+    *preceding* ``i`` on such a path (the reversed graph's successor).
+
+    On the machine, transposing costs one extra pair of broadcasts per
+    matrix row at load time; here the host transposes before loading, as a
+    driver program would.
+    """
+    Wt = np.asarray(W).T
+    result = minimum_cost_path(machine, Wt, source, **kwargs)
+    return MCPResult(
+        destination=source,
+        sow=result.sow,
+        ptn=result.ptn,
+        iterations=result.iterations,
+        maxint=result.maxint,
+        counters=result.counters,
+    )

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the PPA-MCP reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can guard a whole simulation run with a single ``except``
+clause while still being able to discriminate machine-level faults from
+algorithm-level input problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "MachineError",
+    "BusError",
+    "MaskError",
+    "VariableError",
+    "GraphError",
+    "WordWidthError",
+    "PPCError",
+    "PPCSyntaxError",
+    "PPCTypeError",
+    "PPCRuntimeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine or experiment configuration was supplied."""
+
+
+class MachineError(ReproError):
+    """A machine-level invariant was violated (programming error)."""
+
+
+class BusError(MachineError):
+    """Invalid bus operation, e.g. a broadcast on a ring with no Open switch
+    while the machine runs in ``strict`` bus mode."""
+
+
+class MaskError(MachineError):
+    """Invalid use of the ``where``/``elsewhere`` activity-mask stack."""
+
+
+class VariableError(MachineError):
+    """Invalid parallel-variable operation (shape/dtype/machine mismatch)."""
+
+
+class GraphError(ReproError):
+    """The input weight matrix violates the algorithm's preconditions."""
+
+
+class WordWidthError(GraphError):
+    """Weights or accumulated path costs do not fit the machine word."""
+
+
+class PPCError(ReproError):
+    """Base class for Polymorphic Parallel C language errors."""
+
+
+class PPCSyntaxError(PPCError):
+    """Lexical or syntactic error in a PPC source program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class PPCTypeError(PPCError):
+    """Static semantic error (undeclared identifier, wrong arity, ...)."""
+
+
+class PPCRuntimeError(PPCError):
+    """Error raised while interpreting a PPC program."""

@@ -1,0 +1,13 @@
+"""Measurement utilities: scaling fits and table rendering."""
+
+from repro.metrics.complexity import linear_fit, loglog_slope, FitResult
+from repro.metrics.tables import Table, Series, render_chart
+
+__all__ = [
+    "linear_fit",
+    "loglog_slope",
+    "FitResult",
+    "Table",
+    "Series",
+    "render_chart",
+]

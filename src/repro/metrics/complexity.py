@@ -1,0 +1,64 @@
+"""Scaling-law fits for the complexity experiments.
+
+The paper's claims are asymptotic ("O(p·h)", "independent of n"); the
+experiment harness turns measured counter series into checkable statements
+via two primitives:
+
+* :func:`linear_fit` — least-squares line with R², for "cycles grow
+  linearly in h / p" claims (F3, F4);
+* :func:`loglog_slope` — the empirical polynomial order, for "flat in n vs
+  linear in n" comparisons (F2: slope ≈ 0 for the PPA, ≈ 1 for the mesh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FitResult", "linear_fit", "loglog_slope"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def linear_fit(x, y) -> FitResult:
+    """Fit ``y = a*x + b``; returns slope/intercept/R².
+
+    With fewer than 2 points or zero variance in *x* the fit degenerates;
+    both raise ``ValueError`` (callers always control the sweep).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) points")
+    if np.ptp(x) == 0:
+        raise ValueError("x has zero variance")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(float(slope), float(intercept), r2)
+
+
+def loglog_slope(x, y) -> float:
+    """Empirical polynomial order: the slope of ``log y`` against ``log x``.
+
+    ≈ 0 for constant cost, ≈ 1 for linear, ≈ 2 for quadratic. All values
+    must be positive.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("log-log slope needs positive samples")
+    return linear_fit(np.log(x), np.log(y)).slope

@@ -1,0 +1,122 @@
+"""Result containers that render like the paper's tables/figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "Series", "render_chart"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table: fixed headers, appendable rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row of {len(values)} cells against {len(self.headers)} "
+                "headers"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [self.headers] + [[_fmt(v) for v in r] for r in self.rows]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+        lines.append(sep)
+        for row in cells[1:]:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass
+class Series:
+    """One figure series: an x sweep and one or more named y series."""
+
+    title: str
+    x_label: str
+    x: list = field(default_factory=list)
+    ys: dict[str, list] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_point(self, x, **y_values) -> None:
+        self.x.append(x)
+        for name, v in y_values.items():
+            self.ys.setdefault(name, []).append(v)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def as_table(self) -> Table:
+        table = Table(self.title, [self.x_label, *self.ys.keys()])
+        for i, xv in enumerate(self.x):
+            table.add_row(xv, *(self.ys[k][i] for k in self.ys))
+        table.notes = list(self.notes)
+        return table
+
+    def render(self) -> str:
+        return self.as_table().render()
+
+    def render_chart(self, *, width: int = 40) -> str:
+        """ASCII bar-chart rendition (see :func:`render_chart`)."""
+        return render_chart(self, width=width)
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    filled = int(round(width * value / vmax))
+    return "#" * max(0, min(width, filled))
+
+
+def render_chart(series: "Series", *, width: int = 40) -> str:
+    """ASCII bar chart of a :class:`Series` — the terminal's version of
+    the paper's figures.
+
+    One block per y-series; bars scale to that series' maximum, with the
+    numeric value printed after each bar so nothing is lost to rounding.
+    """
+    lines = [series.title, "=" * len(series.title)]
+    x_width = max(len(str(x)) for x in series.x) if series.x else 1
+    for name, ys in series.ys.items():
+        lines.append(f"\n{series.x_label:>{x_width}} | {name}")
+        vmax = max((float(v) for v in ys), default=0.0)
+        for x, y in zip(series.x, ys):
+            bar = _bar(float(y), vmax, width)
+            value = f"{y:.3f}" if isinstance(y, float) else str(y)
+            lines.append(f"{str(x):>{x_width}} | {bar} {value}")
+    for note in series.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

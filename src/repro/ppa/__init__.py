@@ -1,0 +1,52 @@
+"""Polymorphic Processor Array (PPA) machine simulator.
+
+This package models the architecture of Maresca, Li and Baglietto's
+Polymorphic Processor Array: an ``n x n`` SIMD mesh of processing elements
+(PEs), each equipped with a switch-box that either injects the PE's value
+into the row/column bus (*Open*) or lets data propagate through (*Short*).
+At every instruction the central controller selects a single data-movement
+direction for the whole array; the per-PE switch configuration may differ,
+which dynamically partitions each bus into independent sub-buses.
+
+Public surface
+--------------
+:class:`~repro.ppa.machine.PPAMachine`
+    The simulator facade: parallel variables, ``shift``, ``broadcast``,
+    wired-OR, activity masks and cycle counters.
+:class:`~repro.ppa.directions.Direction`
+    The four SIMD data-movement directions.
+:class:`~repro.ppa.topology.PPAConfig`
+    Machine configuration (size, word width, bus cost model, ...).
+"""
+
+from repro.ppa.directions import Direction, opposite
+from repro.ppa.switchbox import OPEN, SHORT
+from repro.ppa.topology import BusCostModel, PPAConfig
+from repro.ppa.counters import CycleCounters
+from repro.ppa.machine import PPAMachine
+from repro.ppa.faults import FaultKind, FaultPlan, SwitchFault
+from repro.ppa.selftest import SelfTestReport, diagnose_switches
+from repro.ppa.isa import Instruction, Opcode
+from repro.ppa.assembler import assemble
+from repro.ppa.executor import ExecutionState, execute
+
+__all__ = [
+    "Direction",
+    "opposite",
+    "OPEN",
+    "SHORT",
+    "BusCostModel",
+    "PPAConfig",
+    "CycleCounters",
+    "PPAMachine",
+    "FaultKind",
+    "FaultPlan",
+    "SwitchFault",
+    "SelfTestReport",
+    "diagnose_switches",
+    "Instruction",
+    "Opcode",
+    "assemble",
+    "ExecutionState",
+    "execute",
+]

@@ -1,0 +1,135 @@
+"""Two-pass assembler for PPA assembly text.
+
+Syntax, one instruction per line::
+
+    ; semicolon comments
+    init:   ldi   r1, 0          ; labels end with ':'
+            bcast r2, r1, SOUTH, r6
+            saddi s3, -1
+            sjge  s3, init
+            halt
+
+Registers ``r0..r15`` / ``s0..s7``, directions ``NORTH EAST SOUTH WEST``
+(case-insensitive), immediates decimal or ``0x`` hex (negative allowed
+where meaningful). Pass 1 collects label addresses, pass 2 encodes
+operands against :data:`repro.ppa.isa.SIGNATURES`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+from repro.ppa.directions import Direction
+from repro.ppa.isa import Instruction, N_PREGS, N_SREGS, Opcode, SIGNATURES
+
+__all__ = ["assemble", "AssemblyError"]
+
+
+class AssemblyError(ConfigurationError):
+    """Malformed assembly source."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_LABEL_RE = re.compile(r"^[A-Za-z_]\w*$")
+_OPCODES = {op.value: op for op in Opcode}
+_DIRECTIONS = {d.name: d for d in Direction}
+
+
+def _parse_operand(kind: str, text: str, labels: dict[str, int], line: int):
+    text = text.strip()
+    if kind == "preg":
+        m = re.fullmatch(r"[rR](\d+)", text)
+        if not m or not (0 <= int(m.group(1)) < N_PREGS):
+            raise AssemblyError(
+                f"expected parallel register r0..r{N_PREGS - 1}, got {text!r}",
+                line,
+            )
+        return int(m.group(1))
+    if kind == "sreg":
+        m = re.fullmatch(r"[sS](\d+)", text)
+        if not m or not (0 <= int(m.group(1)) < N_SREGS):
+            raise AssemblyError(
+                f"expected scalar register s0..s{N_SREGS - 1}, got {text!r}",
+                line,
+            )
+        return int(m.group(1))
+    if kind == "imm":
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblyError(f"expected an integer, got {text!r}", line)
+    if kind == "dir":
+        d = _DIRECTIONS.get(text.upper())
+        if d is None:
+            raise AssemblyError(f"expected a direction, got {text!r}", line)
+        return d
+    if kind == "label":
+        if text not in labels:
+            raise AssemblyError(f"undefined label {text!r}", line)
+        return labels[text]
+    raise AssemblyError(f"internal: unknown operand kind {kind!r}", line)
+
+
+def _split_lines(source: str):
+    """Yield (line_number, label_or_None, mnemonic_or_None, operand_text)."""
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].strip()
+        if not text:
+            continue
+        label = None
+        if ":" in text:
+            label, text = text.split(":", 1)
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblyError(f"invalid label {label!r}", number)
+            text = text.strip()
+        if not text:
+            yield number, label, None, ""
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        yield number, label, mnemonic, rest
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble *source* into an instruction list (labels resolved)."""
+    # Pass 1: label addresses.
+    labels: dict[str, int] = {}
+    address = 0
+    for number, label, mnemonic, _ in _split_lines(source):
+        if label is not None:
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", number)
+            labels[label] = address
+        if mnemonic is not None:
+            address += 1
+
+    # Pass 2: encode.
+    program: list[Instruction] = []
+    for number, _, mnemonic, rest in _split_lines(source):
+        if mnemonic is None:
+            continue
+        opcode = _OPCODES.get(mnemonic)
+        if opcode is None:
+            raise AssemblyError(f"unknown instruction {mnemonic!r}", number)
+        signature = SIGNATURES[opcode]
+        raw_ops = [o for o in (p.strip() for p in rest.split(",")) if o] if rest else []
+        if len(raw_ops) != len(signature):
+            raise AssemblyError(
+                f"{mnemonic} expects {len(signature)} operand(s) "
+                f"({', '.join(signature)}), got {len(raw_ops)}",
+                number,
+            )
+        operands = tuple(
+            _parse_operand(kind, text, labels, number)
+            for kind, text in zip(signature, raw_ops)
+        )
+        program.append(Instruction(opcode, operands, number))
+    if not any(i.opcode is Opcode.HALT for i in program):
+        raise AssemblyError("program has no halt instruction", 0)
+    return program

@@ -1,0 +1,58 @@
+"""Instruction and bus-cycle accounting.
+
+All experiment tables in EXPERIMENTS.md are expressed in these counters, so
+results are deterministic and independent of the host machine. The
+convention follows the paper's cost statements:
+
+* every SIMD instruction issued by the controller bumps ``instructions``;
+* ``bus_cycles`` weighs bus transactions by the machine's
+  :class:`~repro.ppa.topology.BusCostModel` (1 each under the paper's
+  unit-cost assumption);
+* local ALU work (adds, compares, mask updates) is tracked separately so
+  that the *communication* complexity the paper analyses can be isolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["CycleCounters"]
+
+
+@dataclass
+class CycleCounters:
+    """Mutable counter bundle attached to a machine instance."""
+
+    instructions: int = 0
+    broadcasts: int = 0
+    reductions: int = 0
+    shifts: int = 0
+    alu_ops: int = 0
+    global_ors: int = 0
+    bus_cycles: int = 0
+    bit_cycles: int = 0
+    """Bus cycles weighted by operand width: a word transaction on a 1-bit
+    bus costs ``word_bits`` bit-cycles, a wired-OR of flags costs 1. This is
+    the metric that compares bit-serial machines (PPA, GCN) with
+    word-stepped ones (hypercube) on equal footing; see experiment T5."""
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy of the current counts."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        """Counts accumulated since *before* (a prior :meth:`snapshot`)."""
+        return {k: v - before.get(k, 0) for k, v in self.snapshot().items()}
+
+    def merge(self, other: "CycleCounters") -> None:
+        """Add *other*'s counts into this bundle (for aggregating runs)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"CycleCounters({parts})"

@@ -1,0 +1,81 @@
+"""SIMD data-movement directions of the PPA.
+
+The controller issues one direction per instruction; *all* PEs move data the
+same way (paper, Section 2: "at any given time, all the nodes send data in
+the same direction (North, East, West or South)").
+
+Grid convention
+---------------
+Arrays are indexed ``[row, col]`` with row 0 at the *north* edge and column 0
+at the *west* edge, so:
+
+========= ======== =====================
+direction axis     downstream index step
+========= ======== =====================
+SOUTH     0 (rows) +1
+NORTH     0 (rows) -1
+EAST      1 (cols) +1
+WEST      1 (cols) -1
+========= ======== =====================
+
+"Downstream" is the direction data travels; the *upstream* neighbour is the
+one a PE receives from.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Direction", "opposite", "NORTH", "EAST", "SOUTH", "WEST"]
+
+
+class Direction(enum.Enum):
+    """One of the four bus/data-movement orientations."""
+
+    NORTH = "NORTH"
+    EAST = "EAST"
+    SOUTH = "SOUTH"
+    WEST = "WEST"
+
+    @property
+    def axis(self) -> int:
+        """Numpy axis the direction moves along (0 = rows, 1 = columns)."""
+        return 0 if self in (Direction.NORTH, Direction.SOUTH) else 1
+
+    @property
+    def step(self) -> int:
+        """Index increment of a downstream move along :attr:`axis`."""
+        return +1 if self in (Direction.SOUTH, Direction.EAST) else -1
+
+    @property
+    def is_forward(self) -> bool:
+        """True when downstream means *increasing* index along the axis."""
+        return self.step > 0
+
+    def opposite(self) -> "Direction":
+        return _OPPOSITE[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_OPPOSITE = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+
+def opposite(direction: Direction) -> Direction:
+    """Return the direction opposite to *direction*.
+
+    Mirrors the ``opposite(x)`` helper used by the paper's ``min()`` listing.
+    """
+    return _OPPOSITE[direction]
+
+
+NORTH = Direction.NORTH
+EAST = Direction.EAST
+SOUTH = Direction.SOUTH
+WEST = Direction.WEST

@@ -1,0 +1,277 @@
+"""Instruction-stream executor.
+
+Runs assembled programs against a :class:`PPAMachine`. All communication
+and masking goes through the machine's own primitives, so an instruction
+stream accumulates the same counters (and sees the same fault plan) as the
+high-level algorithms — enabling exact-parity comparisons such as the one
+in ``tests/core/test_asm_mcp.py``.
+
+Word semantics follow :mod:`docs/machine-model.md`: ``add`` saturates at
+``MAXINT``, ``sub`` at 0; comparison and logical results are 0/1 words;
+communication instructions treat a register as "Open"/"true" where its
+value is non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.ppa.isa import Instruction, N_PREGS, N_SREGS, Opcode
+from repro.ppa.machine import PPAMachine
+
+__all__ = ["ExecutionState", "execute"]
+
+_DEFAULT_MAX_STEPS = 1_000_000
+
+
+@dataclass
+class ExecutionState:
+    """Machine state after (or during) a program run."""
+
+    pregs: np.ndarray  # (N_PREGS, n, n) int64
+    sregs: np.ndarray  # (N_SREGS,) int64
+    memory: np.ndarray  # (mem_words, n, n) int64
+    flag: bool = False
+    pc: int = 0
+    steps: int = 0
+    halted: bool = False
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def reg(self, index: int) -> np.ndarray:
+        """Copy of parallel register *index*."""
+        return self.pregs[index].copy()
+
+
+def execute(
+    machine: PPAMachine,
+    program: list[Instruction],
+    *,
+    inputs: dict[str, np.ndarray | int] | None = None,
+    mem_words: int = 8,
+    max_steps: int = _DEFAULT_MAX_STEPS,
+) -> ExecutionState:
+    """Run *program* on *machine* until ``halt``.
+
+    Parameters
+    ----------
+    inputs
+        Initial register/memory contents, keyed ``"r3"``, ``"s0"`` or
+        ``"m2"`` (memory word 2). Grids must match the machine shape;
+        scalars broadcast.
+    mem_words
+        Per-PE local memory size.
+    max_steps
+        Executed-instruction bound (guards infinite loops).
+
+    Returns
+    -------
+    ExecutionState
+        Final registers/memory/flag plus the machine-counter deltas of the
+        run.
+    """
+    n = machine.n
+    before = machine.counters.snapshot()
+    state = ExecutionState(
+        pregs=np.zeros((N_PREGS, n, n), dtype=np.int64),
+        sregs=np.zeros(N_SREGS, dtype=np.int64),
+        memory=np.zeros((mem_words, n, n), dtype=np.int64),
+    )
+    for key, value in (inputs or {}).items():
+        kind, idx = key[0], int(key[1:])
+        if kind == "r":
+            state.pregs[idx] = np.broadcast_to(
+                np.asarray(value, dtype=np.int64), (n, n)
+            )
+        elif kind == "s":
+            state.sregs[idx] = int(value)
+        elif kind == "m":
+            state.memory[idx] = np.broadcast_to(
+                np.asarray(value, dtype=np.int64), (n, n)
+            )
+        else:
+            raise MachineError(f"unknown input key {key!r}")
+
+    mask_depth = 0
+    P = state.pregs
+    S = state.sregs
+
+    def as_bool(reg: int) -> np.ndarray:
+        return P[reg] != 0
+
+    try:
+        while not state.halted:
+            if state.pc < 0 or state.pc >= len(program):
+                raise MachineError(
+                    f"program counter {state.pc} outside program "
+                    f"(missing halt on some path?)"
+                )
+            if state.steps >= max_steps:
+                raise MachineError(f"execution exceeded {max_steps} steps")
+            instr = program[state.pc]
+            state.pc += 1
+            state.steps += 1
+            op = instr.opcode
+            a = instr.operands
+
+            if op is Opcode.HALT:
+                state.halted = True
+            # -- parallel moves/constants ---------------------------------
+            elif op is Opcode.LDI:
+                machine.store(P[a[0]], a[1])
+            elif op is Opcode.LDS:
+                machine.store(P[a[0]], int(S[a[1]]))
+            elif op is Opcode.MOV:
+                machine.store(P[a[0]], P[a[1]])
+            elif op is Opcode.ROW:
+                machine.store(P[a[0]], machine.row_index)
+            elif op is Opcode.COL:
+                machine.store(P[a[0]], machine.col_index)
+            elif op is Opcode.LD:
+                machine.store(P[a[0]], state.memory[a[1]])
+            elif op is Opcode.ST:
+                machine.store(state.memory[a[0]], P[a[1]])
+            # -- parallel ALU ---------------------------------------------
+            elif op is Opcode.ADD:
+                machine.store(P[a[0]], machine.sat_add(P[a[1]], P[a[2]]))
+            elif op is Opcode.SUB:
+                machine.count_alu()
+                machine.store(P[a[0]], np.maximum(P[a[1]] - P[a[2]], 0))
+            elif op is Opcode.MUL:
+                machine.count_alu()
+                machine.store(
+                    P[a[0]], np.minimum(P[a[1]] * P[a[2]], machine.maxint)
+                )
+            elif op is Opcode.DIV:
+                machine.count_alu()
+                if (P[a[2]] == 0).any():
+                    raise MachineError(
+                        f"line {instr.line}: division by zero"
+                    )
+                machine.store(P[a[0]], P[a[1]] // P[a[2]])
+            elif op is Opcode.MOD:
+                machine.count_alu()
+                if (P[a[2]] == 0).any():
+                    raise MachineError(
+                        f"line {instr.line}: division by zero"
+                    )
+                machine.store(P[a[0]], P[a[1]] % P[a[2]])
+            elif op is Opcode.MIN:
+                machine.count_alu()
+                machine.store(P[a[0]], np.minimum(P[a[1]], P[a[2]]))
+            elif op is Opcode.MAX:
+                machine.count_alu()
+                machine.store(P[a[0]], np.maximum(P[a[1]], P[a[2]]))
+            elif op is Opcode.AND:
+                machine.count_alu()
+                machine.store(P[a[0]], P[a[1]] & P[a[2]])
+            elif op is Opcode.OR:
+                machine.count_alu()
+                machine.store(P[a[0]], P[a[1]] | P[a[2]])
+            elif op is Opcode.XOR:
+                machine.count_alu()
+                machine.store(P[a[0]], P[a[1]] ^ P[a[2]])
+            elif op is Opcode.NOT:
+                machine.count_alu()
+                machine.store(P[a[0]], (P[a[1]] == 0).astype(np.int64))
+            elif op is Opcode.CMPEQ:
+                machine.count_alu()
+                machine.store(P[a[0]], (P[a[1]] == P[a[2]]).astype(np.int64))
+            elif op is Opcode.CMPNE:
+                machine.count_alu()
+                machine.store(P[a[0]], (P[a[1]] != P[a[2]]).astype(np.int64))
+            elif op is Opcode.CMPLT:
+                machine.count_alu()
+                machine.store(P[a[0]], (P[a[1]] < P[a[2]]).astype(np.int64))
+            elif op is Opcode.CMPLE:
+                machine.count_alu()
+                machine.store(P[a[0]], (P[a[1]] <= P[a[2]]).astype(np.int64))
+            elif op is Opcode.SHLI:
+                machine.count_alu()
+                machine.store(
+                    P[a[0]], (P[a[1]] << a[2]) & machine.maxint
+                )
+            elif op is Opcode.SHRI:
+                machine.count_alu()
+                machine.store(P[a[0]], P[a[1]] >> a[2])
+            elif op is Opcode.BITI:
+                machine.store(
+                    P[a[0]], machine.bit(P[a[1]], a[2]).astype(np.int64)
+                )
+            elif op is Opcode.BITS:
+                machine.store(
+                    P[a[0]],
+                    machine.bit(P[a[1]], int(S[a[2]])).astype(np.int64),
+                )
+            # -- communication ----------------------------------------------
+            elif op is Opcode.SHIFT:
+                machine.store(P[a[0]], machine.shift(P[a[1]], a[2]))
+            elif op is Opcode.BCAST:
+                machine.store(
+                    P[a[0]], machine.broadcast(P[a[1]], a[2], as_bool(a[3]))
+                )
+            elif op is Opcode.WOR:
+                machine.store(
+                    P[a[0]],
+                    machine.bus_or(
+                        as_bool(a[1]), a[2], as_bool(a[3])
+                    ).astype(np.int64),
+                )
+            # -- masks -----------------------------------------------------
+            elif op is Opcode.PUSHM:
+                cond = as_bool(a[0])
+                if machine._mask_stack:
+                    cond = cond & machine._mask_stack[-1]
+                machine._mask_stack.append(cond)
+                mask_depth += 1
+                machine.count_alu()
+            elif op is Opcode.POPM:
+                if mask_depth == 0:
+                    raise MachineError(
+                        f"line {instr.line}: popm with empty mask stack"
+                    )
+                machine._mask_stack.pop()
+                mask_depth -= 1
+            # -- controller --------------------------------------------------
+            elif op is Opcode.GOR:
+                state.flag = machine.global_or(as_bool(a[0]))
+            elif op is Opcode.SLDI:
+                S[a[0]] = a[1]
+            elif op is Opcode.SMOV:
+                S[a[0]] = S[a[1]]
+            elif op is Opcode.SADDI:
+                S[a[0]] += a[1]
+            elif op is Opcode.JMP:
+                state.pc = a[0]
+            elif op is Opcode.JNZ:
+                if state.flag:
+                    state.pc = a[0]
+            elif op is Opcode.JZ:
+                if not state.flag:
+                    state.pc = a[0]
+            elif op is Opcode.SJGE:
+                if S[a[0]] >= 0:
+                    state.pc = a[1]
+            elif op is Opcode.SBLT:
+                if S[a[0]] < a[1]:
+                    state.pc = a[2]
+            elif op is Opcode.SBGE:
+                if S[a[0]] >= a[1]:
+                    state.pc = a[2]
+            elif op is Opcode.SBEQ:
+                if S[a[0]] == a[1]:
+                    state.pc = a[2]
+            elif op is Opcode.SBNE:
+                if S[a[0]] != a[1]:
+                    state.pc = a[2]
+            else:  # pragma: no cover - signature table is exhaustive
+                raise MachineError(f"unimplemented opcode {op}")
+    finally:
+        # Never leak masks into the machine on abnormal exits.
+        for _ in range(mask_depth):
+            machine._mask_stack.pop()
+
+    state.counters = machine.counters.diff(before)
+    return state

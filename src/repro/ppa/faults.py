@@ -1,0 +1,106 @@
+"""Switch-box fault injection.
+
+Reference [2]'s argument for the PPA is that its restricted switch-box is
+*hardware implementable*; a hardware artefact can fail. This module models
+the two stuck-at faults a two-state switch-box admits:
+
+``STUCK_SHORT``
+    The switch can no longer disconnect the bus: it behaves as Short even
+    when the instruction's ``L`` operand marks it Open. The PE silently
+    stops driving its cluster — downstream nodes hear the *previous* head.
+
+``STUCK_OPEN``
+    The switch can no longer close: it behaves as Open even when ``L``
+    marks it Short, splitting its ring and injecting the PE's (stale)
+    register value into the bus.
+
+A :class:`FaultPlan` rewrites the effective switch plane of every bus
+transaction; attach one with ``machine.inject_faults(plan)``. Faults apply
+per bus *axis* (each PE has one switch-box per bus set, so a fault may
+afflict the row switch, the column switch, or both).
+
+:mod:`repro.ppa.selftest` shows that the faults are not just destructive
+decoration: a short diagnostic program localises every faulty switch from
+the outside, using only bus operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultKind", "SwitchFault", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    STUCK_SHORT = "stuck-short"
+    STUCK_OPEN = "stuck-open"
+
+
+@dataclass(frozen=True)
+class SwitchFault:
+    """One faulty switch-box.
+
+    Attributes
+    ----------
+    row, col
+        PE coordinates.
+    kind
+        Stuck-at mode.
+    axis
+        0 = the column-bus switch, 1 = the row-bus switch, None = both.
+    """
+
+    row: int
+    col: int
+    kind: FaultKind
+    axis: int | None = None
+
+    def affects_axis(self, axis: int) -> bool:
+        return self.axis is None or self.axis == axis
+
+
+@dataclass
+class FaultPlan:
+    """A set of switch faults applied to every bus transaction."""
+
+    faults: list[SwitchFault] = field(default_factory=list)
+
+    def add(
+        self,
+        row: int,
+        col: int,
+        kind: FaultKind,
+        axis: int | None = None,
+    ) -> "FaultPlan":
+        if axis not in (None, 0, 1):
+            raise ConfigurationError(f"axis must be 0, 1 or None, got {axis}")
+        if not isinstance(kind, FaultKind):
+            raise ConfigurationError(f"kind must be a FaultKind, got {kind!r}")
+        self.faults.append(SwitchFault(row, col, kind, axis))
+        return self
+
+    def validate(self, shape: tuple[int, int]) -> None:
+        for f in self.faults:
+            if not (0 <= f.row < shape[0] and 0 <= f.col < shape[1]):
+                raise ConfigurationError(
+                    f"fault at ({f.row}, {f.col}) outside grid {shape}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def apply(self, open_plane: np.ndarray, axis: int) -> np.ndarray:
+        """Effective switch plane after the stuck-at faults, for one axis."""
+        if not self.faults:
+            return open_plane
+        out = open_plane.copy()
+        for f in self.faults:
+            if not f.affects_axis(axis):
+                continue
+            out[f.row, f.col] = f.kind is FaultKind.STUCK_OPEN
+        return out

@@ -1,0 +1,154 @@
+"""PPA instruction set architecture.
+
+Reference [2] ("Hardware Support for Fast Reconfigurability in Processor
+Arrays") backs the paper's claim that the PPA is buildable; this module
+pins that claim down as an executable ISA. The machine is a register
+architecture:
+
+* per-PE: 16 word registers ``r0..r15``, a small local memory (LD/ST with
+  immediate addresses), and the switch-box driven by the communication
+  instructions' ``L`` register operand;
+* controller: 8 scalar registers ``s0..s7``, a 1-bit condition flag (set
+  by ``gor``), a program counter and an activity-mask stack shared with
+  the high-level simulator.
+
+Assembly text is assembled by :mod:`repro.ppa.assembler` and executed by
+:mod:`repro.ppa.executor` *through the same* :class:`PPAMachine`
+primitives the algorithms use, so instruction streams share the cycle
+counters, trace and fault plan — `repro.core.asm_mcp` proves the point by
+running the whole MCP as one program with counter parity against the
+high-level implementation.
+
+Operand kinds: ``preg`` (r0..r15), ``sreg`` (s0..s7), ``imm`` (integer,
+decimal or 0x hex), ``dir`` (NORTH/EAST/SOUTH/WEST), ``label`` (branch
+target).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Opcode", "Instruction", "SIGNATURES", "N_PREGS", "N_SREGS"]
+
+N_PREGS = 16
+N_SREGS = 8
+
+
+class Opcode(enum.Enum):
+    # parallel data movement / constants
+    LDI = "ldi"      # rd, imm          rd <- imm (every PE)
+    LDS = "lds"      # rd, s            rd <- scalar register value
+    MOV = "mov"      # rd, ra
+    ROW = "row"      # rd               rd <- own row index
+    COL = "col"      # rd               rd <- own column index
+    LD = "ld"        # rd, imm          rd <- local memory[imm]
+    ST = "st"        # imm, ra          local memory[imm] <- ra
+    # parallel ALU (word semantics; ADD saturates at MAXINT, SUB at 0)
+    ADD = "add"      # rd, ra, rb
+    SUB = "sub"      # rd, ra, rb
+    MUL = "mul"      # rd, ra, rb       saturating word multiply
+    DIV = "div"      # rd, ra, rb       floor division (rb == 0 traps)
+    MOD = "mod"      # rd, ra, rb       remainder (rb == 0 traps)
+    MIN = "min"      # rd, ra, rb
+    MAX = "max"      # rd, ra, rb
+    AND = "and"      # rd, ra, rb       bitwise
+    OR = "or"        # rd, ra, rb       bitwise
+    XOR = "xor"      # rd, ra, rb       bitwise
+    NOT = "not"      # rd, ra           logical (1 if ra == 0 else 0)
+    CMPEQ = "cmpeq"  # rd, ra, rb       0/1
+    CMPNE = "cmpne"  # rd, ra, rb
+    CMPLT = "cmplt"  # rd, ra, rb
+    CMPLE = "cmple"  # rd, ra, rb
+    SHLI = "shli"    # rd, ra, imm
+    SHRI = "shri"    # rd, ra, imm
+    BITI = "biti"    # rd, ra, imm      rd <- bit imm of ra (0/1)
+    BITS = "bits"    # rd, ra, s        rd <- bit s of ra (dynamic plane)
+    # communication (the switch-box instructions)
+    SHIFT = "shift"  # rd, ra, dir
+    BCAST = "bcast"  # rd, ra, dir, rL  rL != 0 marks Open
+    WOR = "wor"      # rd, ra, dir, rL  cluster wired-OR of (ra != 0)
+    # activity mask
+    PUSHM = "pushm"  # ra               mask &= (ra != 0)
+    POPM = "popm"    #
+    # controller
+    GOR = "gor"      # ra               flag <- any PE has ra != 0
+    SLDI = "sldi"    # s, imm
+    SMOV = "smov"    # s, t
+    SADDI = "saddi"  # s, imm           s += imm
+    JMP = "jmp"      # label
+    JNZ = "jnz"      # label            if flag
+    JZ = "jz"        # label            if not flag
+    SJGE = "sjge"    # s, label         if s >= 0
+    SBLT = "sblt"    # s, imm, label    if s < imm
+    SBGE = "sbge"    # s, imm, label    if s >= imm
+    SBEQ = "sbeq"    # s, imm, label    if s == imm
+    SBNE = "sbne"    # s, imm, label    if s != imm
+    HALT = "halt"    #
+
+
+#: operand-kind signature per opcode (order matters)
+SIGNATURES: dict[Opcode, tuple[str, ...]] = {
+    Opcode.LDI: ("preg", "imm"),
+    Opcode.LDS: ("preg", "sreg"),
+    Opcode.MOV: ("preg", "preg"),
+    Opcode.ROW: ("preg",),
+    Opcode.COL: ("preg",),
+    Opcode.LD: ("preg", "imm"),
+    Opcode.ST: ("imm", "preg"),
+    Opcode.ADD: ("preg", "preg", "preg"),
+    Opcode.SUB: ("preg", "preg", "preg"),
+    Opcode.MUL: ("preg", "preg", "preg"),
+    Opcode.DIV: ("preg", "preg", "preg"),
+    Opcode.MOD: ("preg", "preg", "preg"),
+    Opcode.MIN: ("preg", "preg", "preg"),
+    Opcode.MAX: ("preg", "preg", "preg"),
+    Opcode.AND: ("preg", "preg", "preg"),
+    Opcode.OR: ("preg", "preg", "preg"),
+    Opcode.XOR: ("preg", "preg", "preg"),
+    Opcode.NOT: ("preg", "preg"),
+    Opcode.CMPEQ: ("preg", "preg", "preg"),
+    Opcode.CMPNE: ("preg", "preg", "preg"),
+    Opcode.CMPLT: ("preg", "preg", "preg"),
+    Opcode.CMPLE: ("preg", "preg", "preg"),
+    Opcode.SHLI: ("preg", "preg", "imm"),
+    Opcode.SHRI: ("preg", "preg", "imm"),
+    Opcode.BITI: ("preg", "preg", "imm"),
+    Opcode.BITS: ("preg", "preg", "sreg"),
+    Opcode.SHIFT: ("preg", "preg", "dir"),
+    Opcode.BCAST: ("preg", "preg", "dir", "preg"),
+    Opcode.WOR: ("preg", "preg", "dir", "preg"),
+    Opcode.PUSHM: ("preg",),
+    Opcode.POPM: (),
+    Opcode.GOR: ("preg",),
+    Opcode.SLDI: ("sreg", "imm"),
+    Opcode.SMOV: ("sreg", "sreg"),
+    Opcode.SADDI: ("sreg", "imm"),
+    Opcode.JMP: ("label",),
+    Opcode.JNZ: ("label",),
+    Opcode.JZ: ("label",),
+    Opcode.SJGE: ("sreg", "label"),
+    Opcode.SBLT: ("sreg", "imm", "label"),
+    Opcode.SBGE: ("sreg", "imm", "label"),
+    Opcode.SBEQ: ("sreg", "imm", "label"),
+    Opcode.SBNE: ("sreg", "imm", "label"),
+    Opcode.HALT: (),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction.
+
+    ``operands`` holds decoded values in signature order: register numbers
+    (int), immediates (int), :class:`~repro.ppa.directions.Direction`
+    members, or resolved label addresses (int instruction index).
+    """
+
+    opcode: Opcode
+    operands: tuple
+    line: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ops = ", ".join(str(o) for o in self.operands)
+        return f"{self.opcode.value} {ops}".strip()

@@ -1,0 +1,335 @@
+"""The PPA machine facade.
+
+:class:`PPAMachine` is the single object algorithms program against. It
+bundles
+
+* the grid geometry and index planes (``ROW``/``COL``),
+* the activity-mask stack backing PPC's ``where``/``elsewhere``,
+* the bus primitives (``broadcast``, ``bus_or``/``bus_reduce``, ``shift``,
+  ``global_or``) with cycle accounting,
+* saturating word arithmetic helpers honouring the machine word width,
+* a :class:`~repro.ppa.memory.ParallelMemory` variable table.
+
+Primitives always *compute over the full grid*: in the PPA the switch
+settings come from the instruction's ``L`` operand, not from the activity
+mask, so an inactive PE still drives the bus if ``L`` marks it Open. The
+mask only gates *stores* (:meth:`store`), exactly as ``where`` gates
+assignment in Polymorphic Parallel C.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import MaskError, WordWidthError
+from repro.ppa.bus import BusTrace
+from repro.ppa.faults import FaultPlan
+from repro.ppa.counters import CycleCounters
+from repro.ppa.directions import Direction
+from repro.ppa.memory import ParallelMemory
+from repro.ppa.segments import (
+    ReduceOp,
+    broadcast_values,
+    segmented_reduce,
+    shift_values,
+)
+from repro.ppa.switchbox import as_switch_plane
+from repro.ppa.topology import PPAConfig
+
+__all__ = ["PPAMachine"]
+
+
+class PPAMachine:
+    """Simulator of one ``n x n`` Polymorphic Processor Array."""
+
+    def __init__(self, config: PPAConfig | int, *, trace: bool = False):
+        if isinstance(config, int):
+            config = PPAConfig(n=config)
+        self.config = config
+        self.counters = CycleCounters()
+        self.memory = ParallelMemory(config.shape)
+        self.trace = BusTrace()
+        self.trace.enabled = trace
+        n = config.n
+        self._row = np.repeat(
+            np.arange(n, dtype=np.int64)[:, None], n, axis=1
+        )
+        self._col = self._row.T.copy()
+        self._mask_stack: list[np.ndarray] = []
+        self._faults: FaultPlan | None = None
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Grid side length."""
+        return self.config.n
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.config.shape
+
+    @property
+    def word_bits(self) -> int:
+        """Machine word width ``h``."""
+        return self.config.word_bits
+
+    @property
+    def maxint(self) -> int:
+        """The ``MAXINT`` infinity sentinel (all-ones word)."""
+        return self.config.maxint
+
+    @property
+    def row_index(self) -> np.ndarray:
+        """Read-only ``ROW`` index plane (``row_index[i, j] == i``)."""
+        return self._row.copy()
+
+    @property
+    def col_index(self) -> np.ndarray:
+        """Read-only ``COL`` index plane (``col_index[i, j] == j``)."""
+        return self._col.copy()
+
+    # ------------------------------------------------------------------
+    # Activity masks (PPC where/elsewhere)
+    # ------------------------------------------------------------------
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean grid of currently active PEs (all-True outside ``where``)."""
+        if not self._mask_stack:
+            return np.ones(self.shape, dtype=bool)
+        return self._mask_stack[-1].copy()
+
+    @contextmanager
+    def where(self, condition):
+        """Restrict stores to PEs satisfying *condition* (nests by AND)."""
+        cond = as_switch_plane(condition, self.shape)
+        if self._mask_stack:
+            cond = cond & self._mask_stack[-1]
+        self._mask_stack.append(cond)
+        try:
+            yield self
+        finally:
+            self._mask_stack.pop()
+
+    @contextmanager
+    def elsewhere(self, condition):
+        """Complement of :meth:`where`: restrict to PEs *failing* condition
+        (still intersected with the enclosing mask)."""
+        with self.where(~as_switch_plane(condition, self.shape)):
+            yield self
+
+    def store(self, dest: np.ndarray, value) -> np.ndarray:
+        """Masked in-place store ``dest <- value`` on active PEs.
+
+        Returns *dest* for chaining. Outside any ``where`` the store is a
+        plain full-grid assignment.
+        """
+        value = np.broadcast_to(np.asarray(value, dtype=dest.dtype), self.shape)
+        if self._mask_stack:
+            np.copyto(dest, value, where=self._mask_stack[-1])
+        else:
+            dest[...] = value
+        self.count_alu()
+        return dest
+
+    def new_parallel(self, init=0, dtype=np.int64) -> np.ndarray:
+        """Allocate an anonymous parallel value (full-grid array)."""
+        return np.full(self.shape, init, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Bus primitives
+    # ------------------------------------------------------------------
+
+    def broadcast(self, src, direction: Direction, L) -> np.ndarray:
+        """One bus broadcast: every PE receives the value injected by its
+        cluster head — the nearest Open node (per *L*) at-or-upstream on its
+        ring, itself included when its own switch is Open.
+
+        ``L`` follows the PPC convention: ``True``/1 means Open.
+        """
+        plane = self._effective_plane(as_switch_plane(L, self.shape), direction)
+        src = np.asarray(src)
+        out = broadcast_values(
+            src,
+            plane,
+            direction,
+            strict=self.config.strict_bus,
+        )
+        c = self.counters
+        c.instructions += 1
+        c.broadcasts += 1
+        cycles = self.config.bus_transaction_cycles()
+        c.bus_cycles += cycles
+        c.bit_cycles += cycles * self._operand_bits(src)
+        self.trace.record("broadcast", direction, plane)
+        return out
+
+    def bus_reduce(
+        self,
+        values,
+        direction: Direction,
+        L,
+        op: ReduceOp,
+        *,
+        bits: int | None = None,
+    ) -> np.ndarray:
+        """Cluster-wide reduction delivered to every cluster member.
+
+        Models the constant-time wired-OR of the reconfigurable bus (and its
+        AND/min/max/sum generalisations used by ablation variants). ``bits``
+        overrides the width charged to ``bit_cycles`` — e.g. the
+        digit-serial minimum drives ``2**k - 1`` presence lanes per
+        transaction instead of a full word.
+        """
+        plane = self._effective_plane(as_switch_plane(L, self.shape), direction)
+        values = np.asarray(values)
+        out = segmented_reduce(
+            values,
+            plane,
+            direction,
+            op,
+            strict=self.config.strict_bus,
+        )
+        c = self.counters
+        c.instructions += 1
+        c.reductions += 1
+        cycles = self.config.bus_transaction_cycles()
+        c.bus_cycles += cycles
+        c.bit_cycles += cycles * (
+            self._operand_bits(values) if bits is None else bits
+        )
+        self.trace.record("reduce", direction, plane)
+        return out
+
+    def bus_or(self, bits, direction: Direction, L) -> np.ndarray:
+        """Wired-OR of 1-bit values within each cluster (boolean result)."""
+        bits = np.asarray(bits, dtype=bool)
+        return self.bus_reduce(bits, direction, L, "or").astype(bool)
+
+    def shift(
+        self, src, direction: Direction, *, fill=0, torus: bool | None = None
+    ) -> np.ndarray:
+        """Nearest-neighbour shift of *src* downstream along *direction*.
+
+        ``torus`` overrides the machine's wrap-around setting for this one
+        shift: edge PEs can always be fed a boundary value (*fill*) by the
+        controller instead of the wrapped neighbour — image algorithms use
+        this to keep opposite borders non-adjacent.
+        """
+        src = np.asarray(src)
+        out = shift_values(
+            src,
+            direction,
+            torus=self.config.torus if torus is None else torus,
+            fill=fill,
+        )
+        c = self.counters
+        c.instructions += 1
+        c.shifts += 1
+        c.bus_cycles += 1
+        c.bit_cycles += self._operand_bits(src)
+        return out
+
+    def global_or(self, bits) -> bool:
+        """Controller-visible OR over the whole array.
+
+        Realised on hardware as a row wired-OR followed by a column
+        wired-OR into the controller's condition flag; charged as two bus
+        transactions.
+        """
+        c = self.counters
+        c.instructions += 1
+        c.global_ors += 1
+        cycles = 2 * self.config.bus_transaction_cycles()
+        c.bus_cycles += cycles
+        c.bit_cycles += cycles
+        self.trace.record("global_or", None, None)
+        return bool(np.asarray(bits, dtype=bool).any())
+
+    # ------------------------------------------------------------------
+    # Word arithmetic
+    # ------------------------------------------------------------------
+
+    def _operand_bits(self, arr: np.ndarray) -> int:
+        """Width of one bus transfer: 1 for boolean planes (the bit-serial
+        wired-OR case), the machine word otherwise."""
+        return 1 if arr.dtype == np.bool_ else self.word_bits
+
+    def count_alu(self, k: int = 1) -> None:
+        """Charge *k* local (per-PE, fully parallel) ALU instructions."""
+        self.counters.instructions += k
+        self.counters.alu_ops += k
+
+    def sat_add(self, a, b) -> np.ndarray:
+        """Saturating word addition: ``min(a + b, MAXINT)``.
+
+        ``MAXINT`` absorbs, so "infinity plus anything is infinity" holds
+        for the shortest-path sentinel.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = np.minimum(a + b, self.maxint)
+        self.count_alu()
+        return out
+
+    def check_word(self, values, what: str = "value") -> np.ndarray:
+        """Validate that *values* fit the machine word; returns int64 copy."""
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() > self.maxint):
+            raise WordWidthError(
+                f"{what} outside [0, {self.maxint}] for word_bits="
+                f"{self.word_bits}: range [{arr.min()}, {arr.max()}]"
+            )
+        return arr.copy()
+
+    def bit(self, src, j: int) -> np.ndarray:
+        """Parallel ``bit(x, j)``: boolean plane of bit *j* of *src*."""
+        if not (0 <= j < self.word_bits):
+            raise WordWidthError(
+                f"bit index {j} outside word of {self.word_bits} bits"
+            )
+        self.count_alu()
+        return (np.asarray(src, dtype=np.int64) >> j) & 1 == 1
+
+    # ------------------------------------------------------------------
+
+    def require_square_fit(self, size: int) -> None:
+        """Raise unless a ``size x size`` problem fits this grid exactly."""
+        if size != self.n:
+            raise MaskError(
+                f"problem of size {size} requires an {size}x{size} machine; "
+                f"this machine is {self.n}x{self.n}"
+            )
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.ppa.faults)
+    # ------------------------------------------------------------------
+
+    def inject_faults(self, plan: FaultPlan) -> None:
+        """Attach a :class:`FaultPlan`; every subsequent bus transaction
+        sees the stuck-at switches instead of the programmed plane."""
+        plan.validate(self.shape)
+        self._faults = plan
+
+    def clear_faults(self) -> None:
+        self._faults = None
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self._faults
+
+    def _effective_plane(self, plane: np.ndarray, direction: Direction) -> np.ndarray:
+        if self._faults is None:
+            return plane
+        return self._faults.apply(plane, direction.axis)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PPAMachine(n={self.n}, word_bits={self.word_bits}, "
+            f"cost={self.config.bus_cost_model.value})"
+        )

@@ -1,0 +1,268 @@
+"""Vectorised resolution of segmented, circular PPA buses.
+
+Every PPA bus operation reduces to one of two questions about each *ring*
+(a full row or column of the torus, in the direction the controller chose):
+
+1. **Broadcast** — which Open node drives the segment this PE belongs to?
+   Per the PPC language specification (paper, Section 2), ``broadcast``
+   "returns the value of the element of src corresponding to the extreme
+   node of the cluster the processor belongs to": a cluster is an Open node
+   (its *head*) plus the Short nodes downstream of it up to the next Open
+   node, cyclically, and every member — the head included — receives the
+   head's value. (The head receiving its own value is load-bearing: the
+   paper's ``min()`` routine, statements 11-12, relies on it whenever a
+   cluster head survives the bit-serial elimination.)
+
+2. **Segmented reduction** (wired-OR and friends) — combine the values of a
+   whole *cluster*: an Open node together with the Short nodes downstream of
+   it, up to (excluding) the next Open node, cyclically.
+
+Both are computed for the entire grid at once with numpy primitives
+(cumulative maxima, ``reduceat`` over a rolled layout) — no per-PE Python
+loops, per the project's hpc-parallel coding guides.
+
+Canonical layout
+----------------
+All internal helpers operate on a canonical orientation: rings are *rows*
+(axis 1) and downstream is *increasing column index*. :func:`_to_canonical`
+transposes/flips inputs into that layout and :func:`_from_canonical` undoes
+it; both are O(1) views or cheap copies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import BusError
+from repro.ppa.directions import Direction
+
+__all__ = [
+    "broadcast_values",
+    "segmented_reduce",
+    "shift_values",
+    "clear_plan_cache",
+    "ReduceOp",
+]
+
+ReduceOp = Literal["or", "and", "min", "max", "sum"]
+
+# ---------------------------------------------------------------------------
+# Bus-plan cache
+#
+# Algorithms reprogram the same switch planes over and over (the MCP's
+# bit-serial min issues ~2h wired-ORs per iteration against one plane), and
+# resolving a plane into gather/reduceat indices dominated the profile. The
+# resolution is a pure function of (plane bytes, direction), so a small LRU
+# of "plans" makes repeat transactions index-lookup cheap. 64 entries is
+# far beyond what any algorithm here cycles through.
+# ---------------------------------------------------------------------------
+
+_PLAN_CACHE_SIZE = 64
+_broadcast_plans: "OrderedDict[tuple, tuple]" = OrderedDict()
+_reduce_plans: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+
+def _cache_get(cache: "OrderedDict", key: tuple):
+    try:
+        value = cache.pop(key)
+    except KeyError:
+        return None
+    cache[key] = value  # refresh LRU position
+    return value
+
+
+def _cache_put(cache: "OrderedDict", key: tuple, value: tuple) -> None:
+    cache[key] = value
+    while len(cache) > _PLAN_CACHE_SIZE:
+        cache.popitem(last=False)
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached bus plans (memory hygiene for huge sweeps)."""
+    _broadcast_plans.clear()
+    _reduce_plans.clear()
+
+_UFUNCS = {
+    "or": np.maximum,  # operands are 0/1 integers
+    "and": np.minimum,
+    "min": np.minimum,
+    "max": np.maximum,
+    "sum": np.add,
+}
+
+
+def _to_canonical(arr: np.ndarray, direction: Direction) -> np.ndarray:
+    """View/copy of *arr* with rings on axis 1 and downstream = +1."""
+    if direction.axis == 0:
+        arr = arr.T
+    if not direction.is_forward:
+        arr = arr[:, ::-1]
+    return arr
+
+
+def _from_canonical(arr: np.ndarray, direction: Direction) -> np.ndarray:
+    """Inverse of :func:`_to_canonical` (same sequence, reversed)."""
+    if not direction.is_forward:
+        arr = arr[:, ::-1]
+    if direction.axis == 0:
+        arr = arr.T
+    return np.ascontiguousarray(arr)
+
+
+def broadcast_values(
+    src: np.ndarray,
+    open_plane: np.ndarray,
+    direction: Direction,
+    *,
+    strict: bool = False,
+) -> np.ndarray:
+    """Resolve one bus broadcast over the whole grid.
+
+    Parameters
+    ----------
+    src
+        Per-PE values to (potentially) inject.
+    open_plane
+        Boolean grid; ``True`` marks an Open switch-box.
+    direction
+        Controller-selected data-movement direction.
+    strict
+        If True, a ring with no Open switch raises :class:`BusError`
+        (an un-driven bus). If False, such rings keep their ``src`` values
+        unchanged (the PE latches its own register).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``received[p] = src[head(p)]`` for every PE ``p``, where ``head(p)``
+        is the nearest Open node at-or-upstream of ``p`` on its ring
+        (cyclic) — i.e. the extreme node of the cluster ``p`` belongs to.
+        Same shape/dtype as *src*.
+    """
+    s = _to_canonical(np.asarray(src), direction)
+    o = np.asarray(open_plane, dtype=bool)
+    key = (direction, o.shape, o.tobytes())
+    plan = _cache_get(_broadcast_plans, key)
+    if plan is None:
+        oc = _to_canonical(o, direction)
+        head, has_open = _head_index(oc)
+        safe = np.where(head >= 0, head, np.arange(oc.shape[1])[None, :])
+        plan = (safe, bool(has_open.all()), 
+                -1 if has_open.all() else int(np.flatnonzero(~has_open)[0]))
+        _cache_put(_broadcast_plans, key, plan)
+    safe, all_driven, bad = plan
+    if strict and not all_driven:
+        raise BusError(
+            f"broadcast({direction}): ring {bad} has no Open switch; "
+            "the bus is un-driven"
+        )
+    out = np.take_along_axis(s, safe, axis=1)
+    return _from_canonical(out, direction)
+
+
+def _head_index(open_plane: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster head (Open node at-or-upstream, cyclic) per node.
+
+    Canonical layout; returns ``(head, has_open)``. An Open node heads its
+    own cluster.
+    """
+    m, n = open_plane.shape
+    cols = np.arange(n, dtype=np.int64)
+    idx = np.where(open_plane, cols, -1)
+    incl = np.maximum.accumulate(idx, axis=1)
+    last = incl[:, -1:]
+    head = np.where(incl < 0, last, incl)
+    return head, last[:, 0] >= 0
+
+
+def segmented_reduce(
+    values: np.ndarray,
+    open_plane: np.ndarray,
+    direction: Direction,
+    op: ReduceOp,
+    *,
+    strict: bool = False,
+) -> np.ndarray:
+    """Reduce *values* within each bus cluster; every member gets the result.
+
+    A cluster is an Open node plus the Short nodes downstream of it up to the
+    next Open node (cyclic). This models the constant-time wired-OR the
+    paper's ``min()``/``selected_min()`` routines rely on, generalised to
+    ``and``/``min``/``max``/``sum`` for the extension algorithms.
+
+    Rings with no Open switch raise :class:`BusError` when *strict*,
+    otherwise every node of such a ring receives the reduction over the
+    whole ring (a single de-facto cluster).
+    """
+    if op not in _UFUNCS:
+        raise ValueError(f"unknown reduction op {op!r}")
+    ufunc = _UFUNCS[op]
+
+    v = np.ascontiguousarray(_to_canonical(np.asarray(values), direction))
+    o_raw = np.asarray(open_plane, dtype=bool)
+    m, n = v.shape
+
+    key = (direction, o_raw.shape, o_raw.tobytes())
+    plan = _cache_get(_reduce_plans, key)
+    if plan is None:
+        o = np.ascontiguousarray(_to_canonical(o_raw, direction))
+        has_open = o.any(axis=1)
+        # Roll each ring so it starts at its first Open node; clusters
+        # become contiguous runs and `reduceat` applies. Open-free rings
+        # keep offset 0 and form one whole-ring segment.
+        first = np.where(has_open, np.argmax(o, axis=1), 0)
+        rows = np.arange(m)[:, None]
+        cols = (np.arange(n)[None, :] + first[:, None]) % n
+        o_rolled = o[rows, cols]
+        boundary = o_rolled.copy()
+        boundary[:, 0] = True  # every ring contributes >= 1 segment
+        flat_bound = boundary.reshape(-1)
+        starts = np.flatnonzero(flat_bound)
+        seg_id = np.cumsum(flat_bound) - 1
+        plan = (
+            rows,
+            cols,
+            starts,
+            seg_id,
+            bool(has_open.all()),
+            -1 if has_open.all() else int(np.flatnonzero(~has_open)[0]),
+        )
+        _cache_put(_reduce_plans, key, plan)
+    rows, cols, starts, seg_id, all_driven, bad = plan
+    if strict and not all_driven:
+        raise BusError(
+            f"segmented_reduce({direction}): ring {bad} has no Open switch"
+        )
+
+    v_rolled = v[rows, cols]
+    seg_vals = ufunc.reduceat(v_rolled.reshape(-1), starts)
+    out_rolled = seg_vals[seg_id].reshape(m, n)
+
+    # Undo the roll.
+    out = np.empty_like(out_rolled)
+    out[rows, cols] = out_rolled
+    return _from_canonical(out, direction)
+
+
+def shift_values(
+    src: np.ndarray,
+    direction: Direction,
+    *,
+    torus: bool = True,
+    fill=0,
+) -> np.ndarray:
+    """Nearest-neighbour shift: each PE receives its upstream neighbour's
+    value (data moves *downstream*, i.e. ``shift(x, EAST)`` makes column
+    ``j`` hold what column ``j-1`` held).
+
+    With ``torus=False`` the array edge feeds in *fill* instead of wrapping.
+    """
+    s = _to_canonical(np.asarray(src), direction)
+    out = np.roll(s, 1, axis=1)
+    if not torus:
+        out = out.copy()
+        out[:, 0] = fill
+    return _from_canonical(out, direction)

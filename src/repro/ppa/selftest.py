@@ -1,0 +1,161 @@
+"""Bus self-test: localise faulty switch-boxes from the controller.
+
+Three bus transactions per bus axis suffice to name every stuck-at switch
+(:mod:`repro.ppa.faults`), because the broadcast semantics make the fault
+observable as a *value*:
+
+1. **All-Open probe** — program every switch Open and broadcast the ring
+   index plane. A healthy node is its own cluster head and reads its own
+   index; a ``STUCK_SHORT`` node cannot drive the bus and reads its
+   upstream neighbour's index instead. Every mismatching node is stuck
+   short.
+
+2. **Two adaptive single-head probes** — program one Open switch per ring,
+   at the two smallest positions *not* found stuck short by probe 1
+   (adaptive head placement: a dead head would void the probe), and
+   broadcast the index plane again. A healthy ring reads the head's index
+   everywhere; a ``STUCK_OPEN`` switch forms an unprogrammed cluster head
+   and every differing value read *names the faulty position directly*.
+   Two distinct heads per ring guarantee each position is probed by at
+   least one pass whose head sits elsewhere — including the heads
+   themselves.
+
+Honest blind spots, reported as ``undiagnosable_rings`` rather than
+guessed at: a ring with fewer than two non-stuck-short switches cannot
+host two probe heads, and a ring that echoes the identity pattern under a
+single-head probe has no working head at all (e.g. every switch stuck
+short — which probe 1 cannot see either, since an all-Short ring is
+electrically identical to a healthy all-Open one carrying per-node
+values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ppa.directions import Direction
+from repro.ppa.faults import FaultKind, SwitchFault
+from repro.ppa.machine import PPAMachine
+
+__all__ = ["SelfTestReport", "diagnose_switches"]
+
+_AXIS_DIRECTION = {0: Direction.SOUTH, 1: Direction.EAST}
+
+
+@dataclass(frozen=True)
+class SelfTestReport:
+    """Outcome of one full diagnostic sweep."""
+
+    faults: tuple[SwitchFault, ...]
+    undiagnosable_rings: tuple[tuple[int, int], ...] = ()
+    transactions: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return not self.faults and not self.undiagnosable_rings
+
+    def stuck_short(self) -> list[SwitchFault]:
+        return [f for f in self.faults if f.kind is FaultKind.STUCK_SHORT]
+
+    def stuck_open(self) -> list[SwitchFault]:
+        return [f for f in self.faults if f.kind is FaultKind.STUCK_OPEN]
+
+
+def _ring_index(machine: PPAMachine, axis: int) -> np.ndarray:
+    """Per-node position along its ring for the given bus axis."""
+    return machine.row_index if axis == 0 else machine.col_index
+
+
+def _fault_coords(axis: int, ring: int, pos: int) -> tuple[int, int]:
+    return (pos, ring) if axis == 0 else (ring, pos)
+
+
+def _diagnose_axis(
+    machine: PPAMachine, axis: int
+) -> tuple[list[SwitchFault], list[tuple[int, int]]]:
+    n = machine.n
+    direction = _AXIS_DIRECTION[axis]
+    idx = _ring_index(machine, axis)
+
+    # Probe 1: all-Open -> stuck-short switches read a neighbour instead of
+    # themselves.
+    received = machine.broadcast(idx, direction, np.ones(machine.shape, bool))
+    short_mask = received != idx
+    faults: list[SwitchFault] = []
+    shorts_by_ring: dict[int, set[int]] = {ring: set() for ring in range(n)}
+    for r, c in zip(*np.nonzero(short_mask)):
+        faults.append(SwitchFault(int(r), int(c), FaultKind.STUCK_SHORT, axis))
+        ring, pos = (int(c), int(r)) if axis == 0 else (int(r), int(c))
+        shorts_by_ring[ring].add(pos)
+
+    # Choose two healthy head positions per ring for the stuck-open probes.
+    heads: dict[int, list[int]] = {}
+    undiagnosable: list[tuple[int, int]] = []
+    for ring in range(n):
+        healthy = [p for p in range(n) if p not in shorts_by_ring[ring]]
+        if len(healthy) < 2:
+            undiagnosable.append((axis, ring))
+            heads[ring] = healthy[:1] * 2  # still probe what we can
+        else:
+            heads[ring] = healthy[:2]
+
+    observed_opens: dict[int, set[int]] = {ring: set() for ring in range(n)}
+    dead_head_rings: set[int] = set()
+    for probe in (0, 1):
+        plane = np.zeros(machine.shape, dtype=bool)
+        head_of_ring = np.zeros(n, dtype=np.int64)
+        for ring in range(n):
+            if heads[ring]:
+                head_of_ring[ring] = heads[ring][probe]
+                r, c = _fault_coords(axis, ring, heads[ring][probe])
+                plane[r, c] = True
+        received = machine.broadcast(idx, direction, plane)
+        per_ring = received if axis == 1 else received.T
+        idx_ring = idx if axis == 1 else idx.T
+        for ring in range(n):
+            if not heads[ring]:
+                continue
+            row = per_ring[ring]
+            if n > 1 and np.array_equal(row, idx_ring[ring]):
+                # identity echo: no working head drove the ring
+                dead_head_rings.add(ring)
+                continue
+            head = int(head_of_ring[ring])
+            extra = set(int(v) for v in np.unique(row)) - {head}
+            observed_opens[ring] |= extra
+
+    for ring in sorted(dead_head_rings):
+        if (axis, ring) not in undiagnosable:
+            undiagnosable.append((axis, ring))
+        observed_opens[ring] = set()
+
+    for ring in range(n):
+        for pos in sorted(observed_opens[ring]):
+            r, c = _fault_coords(axis, ring, pos)
+            faults.append(SwitchFault(r, c, FaultKind.STUCK_OPEN, axis))
+    return faults, undiagnosable
+
+
+def diagnose_switches(machine: PPAMachine) -> SelfTestReport:
+    """Run the full 6-transaction diagnostic on *machine*.
+
+    Returns every localisable stuck-at switch fault (kind, coordinates and
+    bus axis). Probe patterns go through the machine's normal ``broadcast``
+    path, so an attached :class:`~repro.ppa.faults.FaultPlan` is exactly
+    what gets observed.
+    """
+    before = machine.counters.snapshot()
+    faults: list[SwitchFault] = []
+    undiagnosable: list[tuple[int, int]] = []
+    for axis in (0, 1):
+        f, u = _diagnose_axis(machine, axis)
+        faults.extend(f)
+        undiagnosable.extend(u)
+    spent = machine.counters.diff(before)
+    return SelfTestReport(
+        faults=tuple(sorted(faults, key=lambda f: (f.axis, f.row, f.col))),
+        undiagnosable_rings=tuple(sorted(set(undiagnosable))),
+        transactions=spent["bus_cycles"],
+    )

@@ -1,0 +1,66 @@
+"""Switch-box configurations and validation helpers.
+
+Each PE owns one switch-box per bus set. The paper's Section 2 allows two
+configurations:
+
+``OPEN``
+    The switch disconnects the two bus stubs traversing the node and wires
+    the PE itself onto the *downstream* stub: the PE injects its value into
+    the bus and receives whatever the *upstream* segment carries.
+
+``SHORT``
+    The switch shorts the two stubs together: data passes through and the
+    PE cannot inject (it can still *listen*).
+
+A switch *plane* is a boolean grid, one flag per PE, where ``True`` means
+``OPEN``. Planes come either from explicit boolean arrays or from comparing
+index grids (``ROW == d`` style conditions), exactly as in Polymorphic
+Parallel C where the third argument of ``broadcast`` is a parallel logical
+variable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+
+__all__ = ["OPEN", "SHORT", "as_switch_plane"]
+
+OPEN: bool = True
+SHORT: bool = False
+
+
+def as_switch_plane(L, shape: tuple[int, int]) -> np.ndarray:
+    """Coerce *L* into a boolean ``shape`` switch plane.
+
+    Parameters
+    ----------
+    L
+        Anything convertible to a boolean numpy array: a boolean grid, an
+        integer 0/1 grid, or a scalar (uniform configuration).
+    shape
+        Expected ``(rows, cols)`` grid shape.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous boolean array of exactly ``shape``.
+
+    Raises
+    ------
+    MachineError
+        If *L* cannot be broadcast to ``shape``.
+    """
+    plane = np.asarray(L)
+    if plane.dtype != np.bool_:
+        plane = plane.astype(bool)
+    if plane.shape != shape:
+        try:
+            plane = np.broadcast_to(plane, shape)
+        except ValueError as exc:
+            raise MachineError(
+                f"switch plane of shape {np.asarray(L).shape} does not match "
+                f"machine grid {shape}"
+            ) from exc
+    return np.ascontiguousarray(plane)

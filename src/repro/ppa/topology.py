@@ -1,0 +1,89 @@
+"""Machine configuration for the PPA simulator.
+
+The paper's complexity results assume a *unit-cost* reconfigurable bus: a
+broadcast over a sub-bus completes in one cycle regardless of how many Short
+switches it crosses (this is what reference [2] argues is hardware
+implementable). :class:`BusCostModel` also offers a *distance-proportional*
+model, used by ablation A8 to show how the algorithm degrades if bus
+propagation were charged like nearest-neighbour hops.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BusCostModel", "PPAConfig"]
+
+_MAX_WORD_BITS = 62  # keep maxint + maxint inside int64
+
+
+class BusCostModel(enum.Enum):
+    """How many cycles one bus transaction is charged."""
+
+    UNIT = "unit"
+    """Constant-time buses (the paper's assumption): 1 cycle per broadcast."""
+
+    LINEAR = "linear"
+    """Distance-proportional buses: a transaction on an ``n``-ring costs
+    ``n`` cycles, as if every Short switch added a full hop delay."""
+
+
+@dataclass(frozen=True)
+class PPAConfig:
+    """Immutable PPA machine configuration.
+
+    Attributes
+    ----------
+    n
+        Side of the square PE grid (the machine has ``n * n`` PEs).
+    word_bits
+        Width ``h`` of the machine integer word. Values live in
+        ``[0, 2**h - 1]`` and ``maxint = 2**h - 1`` is the paper's
+        ``MAXINT`` infinity sentinel.
+    bus_cost_model
+        Cycle-accounting model for bus transactions.
+    torus
+        Whether ``shift`` wraps around the array edges. Buses are always
+        circular (see DESIGN.md, "Circular buses").
+    strict_bus
+        If True, broadcasting on a ring with no Open switch raises
+        :class:`~repro.errors.BusError` instead of latching the old value.
+    """
+
+    n: int
+    word_bits: int = 16
+    bus_cost_model: BusCostModel = BusCostModel.UNIT
+    torus: bool = True
+    strict_bus: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"grid side must be >= 1, got {self.n}")
+        if not (2 <= self.word_bits <= _MAX_WORD_BITS):
+            raise ConfigurationError(
+                f"word_bits must be in [2, {_MAX_WORD_BITS}], got "
+                f"{self.word_bits}"
+            )
+        if not isinstance(self.bus_cost_model, BusCostModel):
+            raise ConfigurationError(
+                f"bus_cost_model must be a BusCostModel, got "
+                f"{self.bus_cost_model!r}"
+            )
+
+    @property
+    def maxint(self) -> int:
+        """The ``MAXINT`` infinity sentinel: all-ones in ``word_bits`` bits."""
+        return (1 << self.word_bits) - 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def bus_transaction_cycles(self) -> int:
+        """Cycles charged for one bus transaction under the cost model."""
+        if self.bus_cost_model is BusCostModel.UNIT:
+            return 1
+        return self.n

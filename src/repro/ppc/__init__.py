@@ -1,0 +1,33 @@
+"""Polymorphic Parallel C (PPC) programming layer.
+
+Two ways to program the PPA, both lowering to the same machine primitives:
+
+* :mod:`repro.ppc.dsl` — a Python-embedded DSL: ``parallel`` variables with
+  overloaded word arithmetic, ``where``/``elsewhere`` masking, and the PPC
+  communication primitives as methods.
+* :mod:`repro.ppc.lang` — an interpreter for a mini-PPC language (lexer,
+  parser, AST, evaluator) able to run the paper's ``minimum_cost_path()``
+  listing nearly verbatim.
+
+Shared building blocks live in :mod:`repro.ppc.bitplane` (bit-serial word
+helpers) and :mod:`repro.ppc.reductions` (the paper's ``min()`` and
+``selected_min()`` routines).
+"""
+
+from repro.ppc.dsl import PPCEnvironment, ParallelInt, ParallelLogical
+from repro.ppc.reductions import (
+    ppa_min,
+    ppa_selected_min,
+    ppa_max,
+    word_parallel_min,
+)
+
+__all__ = [
+    "PPCEnvironment",
+    "ParallelInt",
+    "ParallelLogical",
+    "ppa_min",
+    "ppa_selected_min",
+    "ppa_max",
+    "word_parallel_min",
+]

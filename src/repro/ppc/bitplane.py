@@ -1,0 +1,99 @@
+"""Bit-plane helpers for bit-serial word processing.
+
+The PPA's ``min()``/``selected_min()`` routines scan words one bit-plane at
+a time, most significant first. This module provides the plane
+decomposition/recomposition used by those routines and by tests, plus fully
+bit-serial arithmetic (ripple-carry add, lexicographic compare) that models
+what a 1-bit PE datapath would execute — useful for cost ablations and for
+property-testing the word-level fast paths against a bit-exact reference.
+
+All helpers are vectorised over the grid: a "bit plane" is a boolean array
+of the grid's shape; a decomposition is an ``(h, *grid)`` boolean array with
+plane ``j`` holding bit ``j`` (LSB first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WordWidthError
+
+__all__ = [
+    "bit_decompose",
+    "bit_compose",
+    "bit_serial_add",
+    "bit_serial_less",
+    "bit_serial_min",
+]
+
+
+def _check_fits(values: np.ndarray, h: int) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= (1 << h)):
+        raise WordWidthError(
+            f"values outside [0, 2**{h} - 1]: range "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    return arr
+
+
+def bit_decompose(values, h: int) -> np.ndarray:
+    """Split unsigned *values* into ``h`` boolean planes, LSB first."""
+    arr = _check_fits(values, h)
+    shifts = np.arange(h, dtype=np.int64).reshape((h,) + (1,) * arr.ndim)
+    return ((arr[None, ...] >> shifts) & 1).astype(bool)
+
+
+def bit_compose(planes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`bit_decompose`: planes (LSB first) to int64."""
+    planes = np.asarray(planes, dtype=np.int64)
+    h = planes.shape[0]
+    weights = (np.int64(1) << np.arange(h, dtype=np.int64)).reshape(
+        (h,) + (1,) * (planes.ndim - 1)
+    )
+    return (planes * weights).sum(axis=0)
+
+
+def bit_serial_add(a, b, h: int, *, saturate: bool = True) -> np.ndarray:
+    """Ripple-carry addition done plane by plane, as a 1-bit ALU would.
+
+    With ``saturate=True`` any result that overflows ``h`` bits clamps to
+    ``2**h - 1`` (the MAXINT sentinel absorbs, matching the machine's
+    :meth:`~repro.ppa.machine.PPAMachine.sat_add`).
+    """
+    pa = bit_decompose(a, h)
+    pb = bit_decompose(b, h)
+    out = np.empty_like(pa)
+    carry = np.zeros(pa.shape[1:], dtype=bool)
+    for j in range(h):
+        s = pa[j] ^ pb[j] ^ carry
+        carry = (pa[j] & pb[j]) | (carry & (pa[j] ^ pb[j]))
+        out[j] = s
+    result = bit_compose(out)
+    if saturate:
+        maxint = (1 << h) - 1
+        result = np.where(carry, maxint, result)
+    elif carry.any():
+        raise WordWidthError(f"bit_serial_add overflow beyond {h} bits")
+    return result
+
+
+def bit_serial_less(a, b, h: int) -> np.ndarray:
+    """Boolean plane of ``a < b`` computed MSB-first, bit-serially."""
+    pa = bit_decompose(a, h)
+    pb = bit_decompose(b, h)
+    less = np.zeros(pa.shape[1:], dtype=bool)
+    decided = np.zeros_like(less)
+    for j in range(h - 1, -1, -1):
+        lt_here = ~pa[j] & pb[j]
+        gt_here = pa[j] & ~pb[j]
+        less |= ~decided & lt_here
+        decided |= lt_here | gt_here
+    return less
+
+
+def bit_serial_min(a, b, h: int) -> np.ndarray:
+    """Element-wise minimum via :func:`bit_serial_less` (bit-exact model)."""
+    a = _check_fits(a, h)
+    b = _check_fits(b, h)
+    return np.where(bit_serial_less(a, b, h), a, b)

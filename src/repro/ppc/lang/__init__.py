@@ -1,0 +1,40 @@
+"""Mini Polymorphic Parallel C: a runnable subset of PPC.
+
+The paper states the algorithm "has been implemented using the Polymorphic
+Parallel C language"; this package recreates enough of PPC to execute the
+paper's listings nearly verbatim against the simulator:
+
+* C-like syntax with the ``parallel`` storage class, ``where``/``elsewhere``
+  blocks, ``do``/``while``/``for`` loops and both ANSI and K&R function
+  definitions (the paper's ``min()`` is written K&R style);
+* the PPC builtins ``broadcast``, ``shift``, ``or``, ``bit``, ``opposite``,
+  ``min``, ``selected_min``, ``any``, plus the constants ``NORTH``/``EAST``/
+  ``SOUTH``/``WEST``, ``ROW``, ``COL``, ``N``, ``h`` and ``MAXINT``;
+* pass-by-value parameters (a ``parallel`` argument is copied, so the
+  listing's in-place update of ``src`` is local, as in C).
+
+Pipeline: :mod:`lexer` → :mod:`parser` → :mod:`analyzer` (static checks) →
+:mod:`interpreter` (evaluation against a :class:`~repro.ppa.PPAMachine`).
+:mod:`programs` embeds the paper's sources.
+"""
+
+from repro.ppc.lang.parser import parse
+from repro.ppc.lang.analyzer import analyze
+from repro.ppc.lang.interpreter import PPCProgram, compile_ppc
+from repro.ppc.lang.codegen import (
+    CodegenError,
+    CompiledProgram,
+    compile_to_asm,
+)
+from repro.ppc.lang import programs
+
+__all__ = [
+    "parse",
+    "analyze",
+    "compile_ppc",
+    "PPCProgram",
+    "CodegenError",
+    "CompiledProgram",
+    "compile_to_asm",
+    "programs",
+]

@@ -1,0 +1,267 @@
+"""Static semantic checks for PPC programs.
+
+Runs after parsing and before interpretation. Catches, with source line
+numbers, the mistakes a PPC compiler would reject:
+
+* duplicate/undeclared identifiers, duplicate function definitions;
+* calls to unknown functions, wrong argument counts;
+* assignment of a parallel value to a scalar variable;
+* ``where`` conditions that are not parallel, ``if``/``while``/``do`` and
+  ``for`` conditions that are not scalar (the controller cannot branch on a
+  per-PE value — use ``any()``);
+* ``return`` with/without value disagreeing with the function type.
+
+The pass infers only the scalar/parallel *kind* of each expression (the
+base int/logical distinction is coercible at runtime, as in the original
+language where logicals are word-sized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PPCTypeError
+from repro.ppc.lang import ast_nodes as ast
+from repro.ppc.lang.builtins import BUILTINS, CONSTANTS
+
+__all__ = ["analyze"]
+
+
+@dataclass(frozen=True)
+class _Sym:
+    kind: str  # "scalar" | "parallel"
+    base: str  # "int" | "logical"
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.names: dict[str, _Sym] = {}
+
+    def declare(self, name: str, sym: _Sym, line: int) -> None:
+        if name in self.names:
+            raise PPCTypeError(
+                f"line {line}: redeclaration of {name!r} in the same scope"
+            )
+        self.names[name] = sym
+
+    def lookup(self, name: str) -> _Sym | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _Analyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.functions = {}
+        for fn in program.functions:
+            if fn.name in self.functions:
+                raise PPCTypeError(
+                    f"line {fn.line}: duplicate function {fn.name!r}"
+                )
+            self.functions[fn.name] = fn
+        self.globals = _Scope()
+        for name, (kind, base) in CONSTANTS.items():
+            self.globals.names[name] = _Sym(kind, base)
+        for decl in program.globals:
+            self._declare_vars(decl, self.globals)
+
+    # -- declarations ----------------------------------------------------
+
+    def _declare_vars(self, decl: ast.VarDecl, scope: _Scope) -> None:
+        kind = "parallel" if decl.type.parallel else "scalar"
+        for d in decl.declarators:
+            if d.init is not None:
+                init_kind = self._expr_kind(d.init, scope, decl.line)
+                if kind == "scalar" and init_kind == "parallel":
+                    raise PPCTypeError(
+                        f"line {decl.line}: cannot initialise scalar "
+                        f"{d.name!r} from a parallel expression"
+                    )
+            scope.declare(d.name, _Sym(kind, decl.type.base), decl.line)
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> None:
+        for fn in self.program.functions:
+            self._check_function(fn)
+
+    def _check_function(self, fn: ast.FunctionDef) -> None:
+        scope = _Scope(self.globals)
+        for p in fn.params:
+            kind = "parallel" if p.type.parallel else "scalar"
+            scope.declare(p.name, _Sym(kind, p.type.base), fn.line)
+        self._loop_depth = 0
+        self._check_block(fn.body, scope, fn)
+
+    # -- statements ---------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: _Scope, fn) -> None:
+        inner = _Scope(scope)
+        for stmt in block.statements:
+            self._check_statement(stmt, inner, fn)
+
+    def _check_statement(self, stmt, scope: _Scope, fn) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, fn)
+        elif isinstance(stmt, ast.VarDecl):
+            self._declare_vars(stmt, scope)
+        elif isinstance(stmt, ast.Assign):
+            sym = scope.lookup(stmt.target)
+            if sym is None:
+                raise PPCTypeError(
+                    f"line {stmt.line}: assignment to undeclared "
+                    f"{stmt.target!r}"
+                )
+            if stmt.target in CONSTANTS:
+                raise PPCTypeError(
+                    f"line {stmt.line}: {stmt.target!r} is a predefined "
+                    "constant"
+                )
+            value_kind = self._expr_kind(stmt.value, scope, stmt.line)
+            if sym.kind == "scalar" and value_kind == "parallel":
+                raise PPCTypeError(
+                    f"line {stmt.line}: cannot assign a parallel value to "
+                    f"scalar {stmt.target!r} (reduce it first, e.g. any())"
+                )
+        elif isinstance(stmt, ast.ExprStatement):
+            self._expr_kind(stmt.expr, scope, stmt.line)
+        elif isinstance(stmt, ast.Where):
+            cond = self._expr_kind(stmt.condition, scope, stmt.line)
+            if cond != "parallel":
+                raise PPCTypeError(
+                    f"line {stmt.line}: 'where' needs a parallel condition"
+                )
+            self._check_statement(stmt.then, _Scope(scope), fn)
+            if stmt.otherwise is not None:
+                self._check_statement(stmt.otherwise, _Scope(scope), fn)
+        elif isinstance(stmt, ast.If):
+            self._scalar_cond(stmt.condition, scope, stmt.line, "if")
+            self._check_statement(stmt.then, _Scope(scope), fn)
+            if stmt.otherwise is not None:
+                self._check_statement(stmt.otherwise, _Scope(scope), fn)
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop_depth += 1
+            self._check_statement(stmt.body, _Scope(scope), fn)
+            self._loop_depth -= 1
+            self._scalar_cond(stmt.condition, scope, stmt.line, "do/while")
+        elif isinstance(stmt, ast.While):
+            self._scalar_cond(stmt.condition, scope, stmt.line, "while")
+            self._loop_depth += 1
+            self._check_statement(stmt.body, _Scope(scope), fn)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_statement(stmt.init, inner, fn)
+            if stmt.condition is not None:
+                self._scalar_cond(stmt.condition, inner, stmt.line, "for")
+            if stmt.step is not None:
+                self._check_statement(stmt.step, inner, fn)
+            self._loop_depth += 1
+            self._check_statement(stmt.body, inner, fn)
+            self._loop_depth -= 1
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                word = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise PPCTypeError(
+                    f"line {stmt.line}: {word!r} outside any loop"
+                )
+        elif isinstance(stmt, ast.Return):
+            if fn.return_type.base == "void":
+                if stmt.value is not None:
+                    raise PPCTypeError(
+                        f"line {stmt.line}: void function {fn.name!r} "
+                        "returns a value"
+                    )
+            else:
+                if stmt.value is None:
+                    raise PPCTypeError(
+                        f"line {stmt.line}: non-void function {fn.name!r} "
+                        "returns nothing"
+                    )
+                kind = self._expr_kind(stmt.value, scope, stmt.line)
+                if not fn.return_type.parallel and kind == "parallel":
+                    raise PPCTypeError(
+                        f"line {stmt.line}: {fn.name!r} declared scalar but "
+                        "returns a parallel value"
+                    )
+        else:  # pragma: no cover - parser produces no other nodes
+            raise PPCTypeError(f"unknown statement node {stmt!r}")
+
+    def _scalar_cond(self, expr, scope, line, what) -> None:
+        if self._expr_kind(expr, scope, line) == "parallel":
+            raise PPCTypeError(
+                f"line {line}: the controller cannot branch on a parallel "
+                f"{what} condition; reduce it with any()"
+            )
+
+    # -- expressions ----------------------------------------------------
+
+    def _expr_kind(self, expr, scope: _Scope, line: int) -> str:
+        if isinstance(expr, ast.IntLiteral):
+            return "scalar"
+        if isinstance(expr, ast.Identifier):
+            sym = scope.lookup(expr.name)
+            if sym is None:
+                raise PPCTypeError(
+                    f"line {expr.line or line}: undeclared identifier "
+                    f"{expr.name!r}"
+                )
+            return sym.kind
+        if isinstance(expr, ast.Unary):
+            return self._expr_kind(expr.operand, scope, expr.line or line)
+        if isinstance(expr, ast.Binary):
+            left = self._expr_kind(expr.left, scope, expr.line or line)
+            right = self._expr_kind(expr.right, scope, expr.line or line)
+            return "parallel" if "parallel" in (left, right) else "scalar"
+        if isinstance(expr, ast.Call):
+            return self._call_kind(expr, scope)
+        raise PPCTypeError(f"line {line}: unknown expression node {expr!r}")
+
+    def _call_kind(self, call: ast.Call, scope: _Scope) -> str:
+        arg_kinds = [
+            self._expr_kind(a, scope, call.line) for a in call.args
+        ]
+        fn = self.functions.get(call.name)
+        if fn is not None:
+            if len(call.args) != len(fn.params):
+                raise PPCTypeError(
+                    f"line {call.line}: {call.name}() takes "
+                    f"{len(fn.params)} argument(s), got {len(call.args)}"
+                )
+            for p, kind in zip(fn.params, arg_kinds):
+                if not p.type.parallel and kind == "parallel":
+                    raise PPCTypeError(
+                        f"line {call.line}: parameter {p.name!r} of "
+                        f"{call.name}() is scalar but a parallel value was "
+                        "passed"
+                    )
+            return "parallel" if fn.return_type.parallel else "scalar"
+        spec = BUILTINS.get(call.name)
+        if spec is None:
+            raise PPCTypeError(
+                f"line {call.line}: call to unknown function {call.name!r}"
+            )
+        if len(call.args) != spec.arity:
+            raise PPCTypeError(
+                f"line {call.line}: {call.name}() takes {spec.arity} "
+                f"argument(s), got {len(call.args)}"
+            )
+        if spec.returns == "same-as-arg0":
+            return arg_kinds[0] if arg_kinds else "scalar"
+        return spec.returns[0]
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Validate *program*; returns it unchanged on success.
+
+    Raises :class:`~repro.errors.PPCTypeError` describing the first
+    violation found.
+    """
+    _Analyzer(program).run()
+    return program

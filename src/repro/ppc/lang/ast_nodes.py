@@ -1,0 +1,210 @@
+"""AST node classes for the PPC subset.
+
+Plain frozen dataclasses; every node carries its source ``line`` for
+diagnostics. Types are represented by :class:`TypeSpec` — the cross product
+of base type (``int``/``logical``/``void``) and the ``parallel`` storage
+class. ``enum {...}`` parameter declarations (K&R style, as in the paper's
+``min()``) degrade to scalar ``int``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TypeSpec",
+    "Program",
+    "FunctionDef",
+    "Param",
+    "VarDecl",
+    "Declarator",
+    "Block",
+    "ExprStatement",
+    "Assign",
+    "Break",
+    "Continue",
+    "If",
+    "Where",
+    "DoWhile",
+    "While",
+    "For",
+    "Return",
+    "IntLiteral",
+    "Identifier",
+    "Unary",
+    "Binary",
+    "Call",
+]
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    base: str  # "int" | "logical" | "void"
+    parallel: bool = False
+
+    def __str__(self) -> str:
+        return ("parallel " if self.parallel else "") + self.base
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLiteral:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Identifier:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # "!", "~", "-"
+    operand: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: object
+    right: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: tuple
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Declarator:
+    name: str
+    init: object | None = None  # expression or None
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    type: TypeSpec
+    declarators: tuple[Declarator, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Block:
+    statements: tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStatement:
+    expr: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: str
+    value: object
+    op: str = "="  # "=" or a compound operator like "+="
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Break:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Continue:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    condition: object
+    then: object
+    otherwise: object | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Where:
+    condition: object
+    then: object
+    otherwise: object | None = None  # the elsewhere arm
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DoWhile:
+    body: object
+    condition: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    condition: object
+    body: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class For:
+    init: object | None  # Assign or None
+    condition: object | None
+    step: object | None  # Assign or None
+    body: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    value: object | None
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    type: TypeSpec
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    name: str
+    return_type: TypeSpec
+    params: tuple[Param, ...]
+    body: Block
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    globals: tuple[VarDecl, ...] = field(default_factory=tuple)
+    functions: tuple[FunctionDef, ...] = field(default_factory=tuple)
+
+    def function(self, name: str) -> FunctionDef:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)

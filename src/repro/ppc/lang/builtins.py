@@ -1,0 +1,162 @@
+"""PPC builtin functions and predefined constants.
+
+Each builtin is described by a :class:`BuiltinSpec` carrying its arity, the
+kind of value it returns (for the static analyzer) and its evaluation
+function (for the interpreter). User-defined functions of the same name
+shadow builtins — the paper's ``min()`` listing can be either run from its
+own PPC source or resolved to the library's native routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import PPCRuntimeError
+from repro.ppa.directions import Direction, opposite
+from repro.ppc import reductions
+
+__all__ = ["BuiltinSpec", "BUILTINS", "CONSTANTS", "constant_values"]
+
+
+@dataclass(frozen=True)
+class BuiltinSpec:
+    """Static + dynamic description of one builtin."""
+
+    name: str
+    arity: int
+    #: ("scalar"|"parallel", "int"|"logical") or "same-as-arg0"
+    returns: object
+    apply: Callable
+
+
+def _require_direction(value, name: str, pos: int) -> Direction:
+    if not isinstance(value, Direction):
+        raise PPCRuntimeError(
+            f"argument {pos} of {name}() must be a direction "
+            f"(NORTH/EAST/SOUTH/WEST), got {value!r}"
+        )
+    return value
+
+
+def _as_parallel(machine, value, dtype):
+    if isinstance(value, np.ndarray):
+        return value.astype(dtype, copy=False)
+    return np.full(machine.shape, value, dtype=dtype)
+
+
+def _bi_broadcast(machine, args):
+    src, direction, L = args
+    direction = _require_direction(direction, "broadcast", 2)
+    src = _as_parallel(machine, src, np.int64 if not _is_bool(src) else bool)
+    return machine.broadcast(src, direction, _as_parallel(machine, L, bool))
+
+
+def _is_bool(value) -> bool:
+    return (
+        isinstance(value, (bool, np.bool_))
+        or (isinstance(value, np.ndarray) and value.dtype == np.bool_)
+    )
+
+
+def _bi_shift(machine, args):
+    src, direction = args
+    direction = _require_direction(direction, "shift", 2)
+    src = _as_parallel(machine, src, np.int64 if not _is_bool(src) else bool)
+    return machine.shift(src, direction)
+
+
+def _bi_or(machine, args):
+    bits, direction, L = args
+    direction = _require_direction(direction, "or", 2)
+    return machine.bus_or(
+        _as_parallel(machine, bits, bool),
+        direction,
+        _as_parallel(machine, L, bool),
+    )
+
+
+def _bi_bit(machine, args):
+    src, j = args
+    if isinstance(j, np.ndarray):
+        raise PPCRuntimeError("bit(): the bit index must be a scalar")
+    return machine.bit(_as_parallel(machine, src, np.int64), int(j))
+
+
+def _bi_opposite(machine, args):
+    return opposite(_require_direction(args[0], "opposite", 1))
+
+
+def _bi_min(machine, args):
+    src, direction, L = args
+    direction = _require_direction(direction, "min", 2)
+    return reductions.ppa_min(
+        machine,
+        _as_parallel(machine, src, np.int64),
+        direction,
+        _as_parallel(machine, L, bool),
+    )
+
+
+def _bi_selected_min(machine, args):
+    src, direction, L, selected = args
+    direction = _require_direction(direction, "selected_min", 2)
+    return reductions.ppa_selected_min(
+        machine,
+        _as_parallel(machine, src, np.int64),
+        direction,
+        _as_parallel(machine, L, bool),
+        _as_parallel(machine, selected, bool),
+    )
+
+
+def _bi_any(machine, args):
+    return machine.global_or(_as_parallel(machine, args[0], bool))
+
+
+BUILTINS: dict[str, BuiltinSpec] = {
+    spec.name: spec
+    for spec in (
+        # Both return a full grid even when fed a scalar (which is first
+        # replicated into every PE), hence unconditionally parallel. The
+        # runtime preserves the operand's int/logical base.
+        BuiltinSpec("broadcast", 3, ("parallel", "int"), _bi_broadcast),
+        BuiltinSpec("shift", 2, ("parallel", "int"), _bi_shift),
+        BuiltinSpec("or", 3, ("parallel", "logical"), _bi_or),
+        BuiltinSpec("bit", 2, ("parallel", "logical"), _bi_bit),
+        BuiltinSpec("opposite", 1, ("scalar", "int"), _bi_opposite),
+        BuiltinSpec("min", 3, ("parallel", "int"), _bi_min),
+        BuiltinSpec("selected_min", 4, ("parallel", "int"), _bi_selected_min),
+        BuiltinSpec("any", 1, ("scalar", "logical"), _bi_any),
+    )
+}
+
+#: Predefined identifiers: name -> ("scalar"|"parallel", base kind).
+CONSTANTS: dict[str, tuple[str, str]] = {
+    "NORTH": ("scalar", "int"),
+    "EAST": ("scalar", "int"),
+    "SOUTH": ("scalar", "int"),
+    "WEST": ("scalar", "int"),
+    "ROW": ("parallel", "int"),
+    "COL": ("parallel", "int"),
+    "N": ("scalar", "int"),
+    "h": ("scalar", "int"),
+    "MAXINT": ("scalar", "int"),
+}
+
+
+def constant_values(machine) -> dict[str, object]:
+    """Concrete values of the predefined identifiers on *machine*."""
+    return {
+        "NORTH": Direction.NORTH,
+        "EAST": Direction.EAST,
+        "SOUTH": Direction.SOUTH,
+        "WEST": Direction.WEST,
+        "ROW": machine.row_index,
+        "COL": machine.col_index,
+        "N": machine.n,
+        "h": machine.word_bits,
+        "MAXINT": machine.maxint,
+    }

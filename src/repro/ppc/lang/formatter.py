@@ -1,0 +1,143 @@
+"""PPC pretty-printer: AST back to canonical source.
+
+``format_program(parse(src))`` produces normalised PPC text that parses
+back to an identical AST (round-trip property-tested). Used by the CLI's
+``ppc --format`` mode and by diagnostics that want to quote code.
+
+The printer is fully parenthesis-safe the simple way: every binary and
+unary sub-expression is wrapped, so precedence never needs re-deriving.
+Statements are indented four spaces; K&R definitions are normalised to
+ANSI parameter lists (the parser treats them identically).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PPCError
+from repro.ppc.lang import ast_nodes as ast
+
+__all__ = ["format_program", "format_statement", "format_expression"]
+
+_INDENT = "    "
+
+
+def format_expression(expr) -> str:
+    """Render one expression (always unambiguous via explicit parens)."""
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{_sub(expr.operand)}"
+    if isinstance(expr, ast.Binary):
+        return f"{_sub(expr.left)} {expr.op} {_sub(expr.right)}"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(format_expression(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise PPCError(f"cannot format expression node {expr!r}")
+
+
+def _sub(expr) -> str:
+    """Sub-expression: parenthesised unless atomic."""
+    text = format_expression(expr)
+    if isinstance(expr, (ast.IntLiteral, ast.Identifier, ast.Call)):
+        return text
+    return f"({text})"
+
+
+def _decl_text(decl: ast.VarDecl) -> str:
+    parts = []
+    for d in decl.declarators:
+        if d.init is None:
+            parts.append(d.name)
+        else:
+            parts.append(f"{d.name} = {format_expression(d.init)}")
+    return f"{decl.type} {', '.join(parts)};"
+
+
+def format_statement(stmt, depth: int = 0) -> list[str]:
+    """Render one statement as indented source lines."""
+    pad = _INDENT * depth
+
+    def nested(body) -> list[str]:
+        if isinstance(body, ast.Block):
+            lines = [pad + "{"]
+            for s in body.statements:
+                lines.extend(format_statement(s, depth + 1))
+            lines.append(pad + "}")
+            return lines
+        return format_statement(body, depth + 1)
+
+    if isinstance(stmt, ast.Block):
+        return nested(stmt)
+    if isinstance(stmt, ast.VarDecl):
+        return [pad + _decl_text(stmt)]
+    if isinstance(stmt, ast.Assign):
+        return [pad + f"{stmt.target} {stmt.op} {format_expression(stmt.value)};"]
+    if isinstance(stmt, ast.ExprStatement):
+        return [pad + f"{format_expression(stmt.expr)};"]
+    if isinstance(stmt, ast.Break):
+        return [pad + "break;"]
+    if isinstance(stmt, ast.Continue):
+        return [pad + "continue;"]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [pad + f"return {format_expression(stmt.value)};"]
+    if isinstance(stmt, ast.Where):
+        lines = [pad + f"where ({format_expression(stmt.condition)})"]
+        lines.extend(nested(stmt.then))
+        if stmt.otherwise is not None:
+            lines.append(pad + "elsewhere")
+            lines.extend(nested(stmt.otherwise))
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [pad + f"if ({format_expression(stmt.condition)})"]
+        lines.extend(nested(stmt.then))
+        if stmt.otherwise is not None:
+            lines.append(pad + "else")
+            lines.extend(nested(stmt.otherwise))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [pad + f"while ({format_expression(stmt.condition)})"]
+        lines.extend(nested(stmt.body))
+        return lines
+    if isinstance(stmt, ast.DoWhile):
+        lines = [pad + "do"]
+        lines.extend(nested(stmt.body))
+        lines.append(pad + f"while ({format_expression(stmt.condition)});")
+        return lines
+    if isinstance(stmt, ast.For):
+        init = "" if stmt.init is None else _simple_text(stmt.init)
+        cond = "" if stmt.condition is None else format_expression(stmt.condition)
+        step = "" if stmt.step is None else _simple_text(stmt.step)
+        lines = [pad + f"for ({init}; {cond}; {step})"]
+        lines.extend(nested(stmt.body))
+        return lines
+    raise PPCError(f"cannot format statement node {stmt!r}")
+
+
+def _simple_text(stmt) -> str:
+    """A for-clause (assignment or expression), without the semicolon."""
+    if isinstance(stmt, ast.Assign):
+        return f"{stmt.target} {stmt.op} {format_expression(stmt.value)}"
+    if isinstance(stmt, ast.ExprStatement):
+        return format_expression(stmt.expr)
+    raise PPCError(f"invalid for-clause node {stmt!r}")
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a whole program in canonical (ANSI-parameter) form."""
+    chunks: list[str] = []
+    for decl in program.globals:
+        chunks.append(_decl_text(decl))
+    if program.globals:
+        chunks.append("")
+    for fn in program.functions:
+        params = ", ".join(f"{p.type} {p.name}" for p in fn.params)
+        chunks.append(f"{fn.return_type} {fn.name}({params})")
+        chunks.append("{")
+        for s in fn.body.statements:
+            chunks.extend(format_statement(s, 1))
+        chunks.append("}")
+        chunks.append("")
+    return "\n".join(chunks).rstrip() + "\n"

@@ -1,0 +1,532 @@
+"""Tree-walking interpreter for the PPC subset.
+
+Value model
+-----------
+* **scalar** values live in the controller: Python ``int``/``bool`` plus
+  :class:`~repro.ppa.directions.Direction` constants;
+* **parallel** values are numpy grids on the machine: ``int64`` for
+  ``parallel int``, ``bool`` for ``parallel logical``.
+
+Semantics mirrored from the machine model:
+
+* assignments to ``parallel`` variables go through
+  :meth:`PPAMachine.store`, so they honour the active ``where`` mask;
+  declarations initialise unmasked (a fresh variable has no "old" value a
+  mask could preserve);
+* ``+`` between parallel ints is the machine's *saturating* word addition
+  (``MAXINT`` absorbs); all other arithmetic is plain two's-complement on
+  int64 controller words;
+* scalar (controller) variables ignore ``where`` masks entirely;
+* parameters pass by value — a ``parallel`` argument is copied, so the
+  paper's ``min()`` mutating its ``src`` parameter stays local;
+* every parallel operator charges one parallel ALU instruction on the
+  machine counters, so interpreted programs and the native DSL produce
+  comparable cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PPCRuntimeError
+from repro.ppa.machine import PPAMachine
+from repro.ppc.lang import ast_nodes as ast
+from repro.ppc.lang.analyzer import analyze
+from repro.ppc.lang.builtins import BUILTINS, constant_values
+from repro.ppc.lang.parser import parse
+
+__all__ = ["compile_ppc", "PPCProgram", "ExecutionResult"]
+
+_MAX_CALL_DEPTH = 64
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+@dataclass
+class _Cell:
+    """One variable: kind + storage."""
+
+    parallel: bool
+    base: str  # "int" | "logical"
+    value: object  # ndarray (parallel) or python scalar
+
+
+class _Env:
+    """Lexically scoped environment chain."""
+
+    def __init__(self, parent: "_Env | None" = None):
+        self.parent = parent
+        self.cells: dict[str, _Cell] = {}
+
+    def declare(self, name: str, cell: _Cell) -> None:
+        self.cells[name] = cell
+
+    def lookup(self, name: str) -> _Cell:
+        env: _Env | None = self
+        while env is not None:
+            if name in env.cells:
+                return env.cells[name]
+            env = env.parent
+        raise PPCRuntimeError(f"undeclared identifier {name!r}")
+
+
+class _Lit:
+    """Wrapper letting an already-evaluated value flow through _binary."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of running one PPC entry point."""
+
+    value: object
+    globals: dict[str, object] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+def compile_ppc(source: str) -> "PPCProgram":
+    """Parse + analyze *source* into a reusable :class:`PPCProgram`."""
+    return PPCProgram(analyze(parse(source)))
+
+
+class PPCProgram:
+    """A checked PPC program, runnable on any machine of any size."""
+
+    def __init__(self, program: ast.Program):
+        self.ast = program
+        self.functions = {f.name: f for f in program.functions}
+
+    def run(
+        self,
+        machine: PPAMachine,
+        entry: str = "main",
+        args: tuple = (),
+        globals: dict[str, object] | None = None,
+    ) -> ExecutionResult:
+        """Execute function *entry* on *machine*.
+
+        Parameters
+        ----------
+        machine
+            Target machine; also supplies ``N``, ``h``, ``ROW``, ``COL``...
+        entry
+            Name of the function to call.
+        args
+            Entry-point arguments (scalars or grids).
+        globals
+            Initial values for *declared* program globals, e.g.
+            ``{"W": weight_matrix, "d": 3}``. Unknown names raise.
+
+        Returns
+        -------
+        ExecutionResult
+            The entry's return value, a snapshot of every global after the
+            run, and the machine-counter deltas.
+        """
+        if entry not in self.functions:
+            raise PPCRuntimeError(f"no function {entry!r} in program")
+        before = machine.counters.snapshot()
+        interp = _Interpreter(self, machine)
+        if globals:
+            for name, value in globals.items():
+                interp.set_global(name, value)
+        value = interp.call(entry, list(args))
+        return ExecutionResult(
+            value=value,
+            globals=interp.global_snapshot(),
+            counters=machine.counters.diff(before),
+        )
+
+
+class _Interpreter:
+    def __init__(self, program: PPCProgram, machine: PPAMachine):
+        self.program = program
+        self.machine = machine
+        self.constants = constant_values(machine)
+        self.globals = _Env()
+        self.depth = 0
+        for decl in program.ast.globals:
+            self._exec_decl(decl, self.globals)
+
+    # -- global access ------------------------------------------------------
+
+    def _global_cell(self, name: str) -> _Cell:
+        if name not in self.globals.cells:
+            raise PPCRuntimeError(f"program has no global {name!r}")
+        return self.globals.cells[name]
+
+    def set_global(self, name: str, value) -> None:
+        cell = self._global_cell(name)
+        if cell.parallel:
+            cell.value = self._to_grid(value, cell.base)
+        else:
+            cell.value = self._to_scalar(value, name)
+
+    def global_snapshot(self) -> dict[str, object]:
+        out: dict[str, object] = {}
+        for name, cell in self.globals.cells.items():
+            v = cell.value
+            out[name] = v.copy() if isinstance(v, np.ndarray) else v
+        return out
+
+    # -- coercion helpers ----------------------------------------------------
+
+    def _to_grid(self, value, base: str) -> np.ndarray:
+        dtype = bool if base == "logical" else np.int64
+        if isinstance(value, np.ndarray):
+            if value.shape != self.machine.shape:
+                raise PPCRuntimeError(
+                    f"grid of shape {value.shape} does not fit machine "
+                    f"{self.machine.shape}"
+                )
+            return value.astype(dtype)
+        if isinstance(value, (bool, np.bool_, int, np.integer)):
+            return np.full(self.machine.shape, value, dtype=dtype)
+        raise PPCRuntimeError(f"cannot place {value!r} in a parallel variable")
+
+    @staticmethod
+    def _to_scalar(value, name: str):
+        if isinstance(value, np.ndarray):
+            raise PPCRuntimeError(
+                f"cannot store a parallel value in scalar {name!r}"
+            )
+        return value
+
+    # -- declarations -------------------------------------------------------
+
+    def _exec_decl(self, decl: ast.VarDecl, env: _Env) -> None:
+        for d in decl.declarators:
+            init = 0 if d.init is None else self._eval(d.init, env)
+            if decl.type.parallel:
+                cell = _Cell(True, decl.type.base, self._to_grid(init, decl.type.base))
+            else:
+                if isinstance(init, np.ndarray):
+                    raise PPCRuntimeError(
+                        f"scalar {d.name!r} initialised with a parallel value"
+                    )
+                cell = _Cell(False, decl.type.base, init)
+            env.declare(d.name, cell)
+
+    # -- calls ------------------------------------------------------------
+
+    def call(self, name: str, args: list):
+        fn = self.program.functions.get(name)
+        if fn is None:
+            spec = BUILTINS.get(name)
+            if spec is None:
+                raise PPCRuntimeError(f"call to unknown function {name!r}")
+            if len(args) != spec.arity:
+                raise PPCRuntimeError(
+                    f"{name}() takes {spec.arity} argument(s), got {len(args)}"
+                )
+            return spec.apply(self.machine, args)
+        if len(args) != len(fn.params):
+            raise PPCRuntimeError(
+                f"{name}() takes {len(fn.params)} argument(s), got {len(args)}"
+            )
+        self.depth += 1
+        if self.depth > _MAX_CALL_DEPTH:
+            raise PPCRuntimeError(
+                f"call depth exceeded {_MAX_CALL_DEPTH} (runaway recursion?)"
+            )
+        try:
+            env = _Env(self.globals)
+            for p, a in zip(fn.params, args):
+                if p.type.parallel:
+                    cell = _Cell(True, p.type.base, self._to_grid(a, p.type.base))
+                else:
+                    cell = _Cell(False, p.type.base, self._to_scalar(a, p.name))
+                env.declare(p.name, cell)
+            try:
+                self._exec(fn.body, env)
+            except _ReturnSignal as ret:
+                return ret.value
+            return None
+        finally:
+            self.depth -= 1
+
+    # -- statements ---------------------------------------------------------
+
+    def _exec(self, stmt, env: _Env) -> None:
+        if isinstance(stmt, ast.Block):
+            inner = _Env(env)
+            for s in stmt.statements:
+                self._exec(s, inner)
+        elif isinstance(stmt, ast.VarDecl):
+            self._exec_decl(stmt, env)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt, env)
+        elif isinstance(stmt, ast.ExprStatement):
+            self._eval(stmt.expr, env)
+        elif isinstance(stmt, ast.Where):
+            cond = self._parallel_bool(self._eval(stmt.condition, env), stmt.line)
+            with self.machine.where(cond):
+                self._exec(stmt.then, _Env(env))
+            if stmt.otherwise is not None:
+                with self.machine.elsewhere(cond):
+                    self._exec(stmt.otherwise, _Env(env))
+        elif isinstance(stmt, ast.If):
+            if self._scalar_bool(self._eval(stmt.condition, env), stmt.line):
+                self._exec(stmt.then, _Env(env))
+            elif stmt.otherwise is not None:
+                self._exec(stmt.otherwise, _Env(env))
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                try:
+                    self._exec(stmt.body, _Env(env))
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if not self._scalar_bool(self._eval(stmt.condition, env), stmt.line):
+                    break
+        elif isinstance(stmt, ast.While):
+            while self._scalar_bool(self._eval(stmt.condition, env), stmt.line):
+                try:
+                    self._exec(stmt.body, _Env(env))
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.For):
+            inner = _Env(env)
+            if stmt.init is not None:
+                self._exec(stmt.init, inner)
+            while (
+                stmt.condition is None
+                or self._scalar_bool(self._eval(stmt.condition, inner), stmt.line)
+            ):
+                try:
+                    self._exec(stmt.body, _Env(inner))
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self._exec(stmt.step, inner)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.Return):
+            raise _ReturnSignal(
+                None if stmt.value is None else self._eval(stmt.value, env)
+            )
+        else:  # pragma: no cover - parser produces no other nodes
+            raise PPCRuntimeError(f"unknown statement node {stmt!r}")
+
+    def _assign(self, stmt: ast.Assign, env: _Env) -> None:
+        cell = env.lookup(stmt.target)
+        value = self._eval(stmt.value, env)
+        if stmt.op != "=":
+            # Compound assignment: target OP= value desugars to the binary
+            # operator applied to the current contents (parallel + keeps
+            # its saturating word semantics).
+            current = cell.value
+            value = self._binary(
+                ast.Binary(stmt.op[:-1], _Lit(current), _Lit(value), stmt.line),
+                env,
+            )
+        if cell.parallel:
+            grid = self._to_grid(value, cell.base)
+            self.machine.store(cell.value, grid)
+        else:
+            cell.value = self._to_scalar(value, stmt.target)
+
+    # -- expressions ------------------------------------------------------
+
+    def _eval(self, expr, env: _Env):
+        if isinstance(expr, _Lit):
+            return expr.value
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.Identifier):
+            if expr.name in self.constants:
+                return self.constants[expr.name]
+            cell = env.lookup(expr.name)
+            return cell.value
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr, env)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, env)
+        if isinstance(expr, ast.Call):
+            args = [self._eval(a, env) for a in expr.args]
+            return self.call(expr.name, args)
+        raise PPCRuntimeError(f"unknown expression node {expr!r}")
+
+    def _unary(self, expr: ast.Unary, env: _Env):
+        v = self._eval(expr.operand, env)
+        par = isinstance(v, np.ndarray)
+        if par:
+            self.machine.count_alu()
+        if expr.op == "!":
+            if par:
+                return ~v.astype(bool)
+            return not self._scalar_bool(v, expr.line)
+        if expr.op == "~":
+            if par:
+                return ~v.astype(np.int64) & self.machine.maxint
+            return ~int(v) & self.machine.maxint
+        if expr.op == "-":
+            if par:
+                return -v.astype(np.int64)
+            return -int(v)
+        raise PPCRuntimeError(f"unknown unary operator {expr.op!r}")
+
+    _CMP = {
+        "==": np.equal,
+        "!=": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+    _ARITH = {
+        ">>": np.right_shift,
+        "&": np.bitwise_and,
+        "|": np.bitwise_or,
+        "^": np.bitwise_xor,
+    }
+
+    def _binary(self, expr: ast.Binary, env: _Env):
+        op = expr.op
+        left = self._eval(expr.left, env)
+        # Scalar short-circuit for controller logic.
+        if op in ("&&", "||") and not isinstance(left, np.ndarray):
+            lb = self._scalar_bool(left, expr.line)
+            if op == "&&" and not lb:
+                return False
+            if op == "||" and lb:
+                return True
+            right = self._eval(expr.right, env)
+            if isinstance(right, np.ndarray):
+                # scalar && parallel promotes to parallel
+                return right.astype(bool)
+            return self._scalar_bool(right, expr.line)
+        right = self._eval(expr.right, env)
+        par = isinstance(left, np.ndarray) or isinstance(right, np.ndarray)
+
+        if op in ("&&", "||"):
+            l = self._as_bool_operand(left)
+            r = self._as_bool_operand(right)
+            self.machine.count_alu()
+            return (l & r) if op == "&&" else (l | r)
+
+        if op in self._CMP:
+            l, r = self._as_int_operand(left), self._as_int_operand(right)
+            if par:
+                self.machine.count_alu()
+                return self._CMP[op](l, r)
+            return bool(self._CMP[op](l, r))
+
+        if op == "+":
+            l, r = self._as_int_operand(left), self._as_int_operand(right)
+            if par:
+                return self.machine.sat_add(l, r)  # word semantics
+            return int(l) + int(r)
+
+        if op == "-":
+            l, r = self._as_int_operand(left), self._as_int_operand(right)
+            if par:
+                # word semantics: unsigned subtraction clamps at 0
+                self.machine.count_alu()
+                return np.maximum(
+                    np.asarray(l, dtype=np.int64) - np.asarray(r, dtype=np.int64),
+                    0,
+                )
+            return int(l) - int(r)
+
+        if op == "*":
+            l, r = self._as_int_operand(left), self._as_int_operand(right)
+            if par:
+                # word semantics: multiplication saturates at MAXINT
+                self.machine.count_alu()
+                return np.minimum(
+                    np.asarray(l, dtype=np.int64) * np.asarray(r, dtype=np.int64),
+                    self.machine.maxint,
+                )
+            return int(l) * int(r)
+
+        if op == "<<":
+            l, r = self._as_int_operand(left), self._as_int_operand(right)
+            if par:
+                # word semantics: shifted-out high bits fall off the word
+                self.machine.count_alu()
+                return (
+                    np.asarray(l, dtype=np.int64)
+                    << np.asarray(r, dtype=np.int64)
+                ) & self.machine.maxint
+            return int(l) << int(r)
+
+        if op in ("/", "%"):
+            l, r = self._as_int_operand(left), self._as_int_operand(right)
+            if par:
+                rr = np.asarray(r)
+                if (rr == 0).any():
+                    raise PPCRuntimeError(f"line {expr.line}: division by zero")
+                self.machine.count_alu()
+                fn = np.floor_divide if op == "/" else np.mod
+                return fn(l, rr).astype(np.int64)
+            if int(r) == 0:
+                raise PPCRuntimeError(f"line {expr.line}: division by zero")
+            return int(l) // int(r) if op == "/" else int(l) % int(r)
+
+        if op in self._ARITH:
+            l, r = self._as_int_operand(left), self._as_int_operand(right)
+            if par:
+                self.machine.count_alu()
+                return self._ARITH[op](
+                    np.asarray(l, dtype=np.int64), np.asarray(r, dtype=np.int64)
+                )
+            return int(self._ARITH[op](np.int64(l), np.int64(r)))
+
+        raise PPCRuntimeError(f"unknown binary operator {op!r}")
+
+    # -- operand coercions ----------------------------------------------------
+
+    @staticmethod
+    def _as_bool_operand(v):
+        if isinstance(v, np.ndarray):
+            return v.astype(bool)
+        return bool(v)
+
+    @staticmethod
+    def _as_int_operand(v):
+        if isinstance(v, np.ndarray):
+            return v.astype(np.int64) if v.dtype == np.bool_ else v
+        if isinstance(v, bool):
+            return int(v)
+        return v
+
+    def _parallel_bool(self, v, line: int) -> np.ndarray:
+        if not isinstance(v, np.ndarray):
+            raise PPCRuntimeError(
+                f"line {line}: 'where' needs a parallel condition"
+            )
+        return v.astype(bool)
+
+    @staticmethod
+    def _scalar_bool(v, line: int) -> bool:
+        if isinstance(v, np.ndarray):
+            raise PPCRuntimeError(
+                f"line {line}: controller condition must be scalar "
+                "(use any())"
+            )
+        return bool(v)

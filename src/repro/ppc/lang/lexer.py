@@ -1,0 +1,96 @@
+"""Hand-written lexer for the PPC subset.
+
+Supports C block comments (``/* ... */``) and line comments (``// ...``),
+decimal and hexadecimal integer literals, identifiers, keywords and the
+operator set of :data:`~repro.ppc.lang.tokens.SYMBOLS`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PPCSyntaxError
+from repro.ppc.lang.tokens import KEYWORDS, SYMBOLS, Token
+
+__all__ = ["tokenize"]
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn *source* into a token list terminated by one ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> PPCSyntaxError:
+        return PPCSyntaxError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace ---------------------------------------------------
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # -- comments -----------------------------------------------------
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : j + 2]
+            nl = skipped.count("\n")
+            if nl:
+                line += nl
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = j + 2
+            continue
+        # -- numbers ------------------------------------------------------
+        if ch.isdigit():
+            start = i
+            if source.startswith(("0x", "0X"), i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                if i == start + 2:
+                    raise error("malformed hexadecimal literal")
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and (source[i].isalpha() or source[i] == "_"):
+                raise error(f"malformed number near {source[start:i + 1]!r}")
+            text = source[start:i]
+            tokens.append(Token("number", text, line, col))
+            col += i - start
+            continue
+        # -- identifiers / keywords ----------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # -- symbols --------------------------------------------------------
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("symbol", sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

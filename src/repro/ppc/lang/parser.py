@@ -1,0 +1,373 @@
+"""Recursive-descent parser for the PPC subset.
+
+Grammar (EBNF, ``[]`` optional, ``{}`` repetition)::
+
+    program     = { top_item } ;
+    top_item    = type_spec IDENT ( function | var_tail ) ;
+    type_spec   = [ "parallel" ] ( "int" | "logical" | "void" ) ;
+    var_tail    = [ "=" expr ] { "," declarator } ";" ;
+    declarator  = IDENT [ "=" expr ] ;
+
+    function    = "(" [ ansi_params | knr_names ] ")" { knr_decl } block ;
+    ansi_params = param { "," param } ;
+    param       = ( type_spec | enum_spec ) IDENT ;
+    knr_names   = IDENT { "," IDENT } ;
+    knr_decl    = ( type_spec | enum_spec ) IDENT { "," IDENT } ";" ;
+    enum_spec   = "enum" "{" IDENT { "," IDENT } "}" ;
+
+    statement   = block | var_decl | where | if | do_while | while | for
+                | return | simple ";" ;
+    where       = "where" "(" expr ")" statement [ "elsewhere" statement ] ;
+    simple      = IDENT "=" expr | expr ;
+
+Expressions use C precedence: ``||`` < ``&&`` < ``|`` < ``^`` < ``&`` <
+``== !=`` < ``< <= > >=`` < ``<< >>`` < ``+ -`` < ``* / %`` < unary.
+
+Both ANSI and K&R function definitions are accepted — the paper's ``min()``
+listing is K&R style.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PPCSyntaxError
+from repro.ppc.lang import ast_nodes as ast
+from repro.ppc.lang.lexer import tokenize
+from repro.ppc.lang.tokens import Token
+
+__all__ = ["parse"]
+
+_TYPE_KEYWORDS = ("parallel", "int", "logical", "void", "enum")
+
+_BINARY_LEVELS: list[tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def error(self, msg: str, tok: Token | None = None) -> PPCSyntaxError:
+        tok = tok or self.peek()
+        return PPCSyntaxError(msg, tok.line, tok.column)
+
+    def expect_symbol(self, sym: str) -> Token:
+        tok = self.peek()
+        if not tok.is_symbol(sym):
+            raise self.error(f"expected {sym!r}, found {tok.text!r}")
+        return self.advance()
+
+    def expect_keyword(self, kw: str) -> Token:
+        tok = self.peek()
+        if not tok.is_keyword(kw):
+            raise self.error(f"expected {kw!r}, found {tok.text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise self.error(f"expected identifier, found {tok.text!r}")
+        return self.advance()
+
+    # -- types -----------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.peek().is_keyword(*_TYPE_KEYWORDS)
+
+    def parse_type(self) -> ast.TypeSpec:
+        parallel = False
+        if self.peek().is_keyword("parallel"):
+            self.advance()
+            parallel = True
+        tok = self.peek()
+        if tok.is_keyword("enum"):
+            self.advance()
+            self.expect_symbol("{")
+            self.expect_ident()
+            while self.peek().is_symbol(","):
+                self.advance()
+                self.expect_ident()
+            self.expect_symbol("}")
+            return ast.TypeSpec("int", parallel)
+        if tok.is_keyword("int", "logical", "void"):
+            self.advance()
+            if tok.text == "void" and parallel:
+                raise self.error("'parallel void' is not a type", tok)
+            return ast.TypeSpec(tok.text, parallel)
+        raise self.error(f"expected a type, found {tok.text!r}", tok)
+
+    # -- top level ------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: list[ast.VarDecl] = []
+        functions: list[ast.FunctionDef] = []
+        while self.peek().kind != "eof":
+            line = self.peek().line
+            type_ = self.parse_type()
+            name = self.expect_ident()
+            if self.peek().is_symbol("("):
+                functions.append(self.parse_function(type_, name))
+            else:
+                globals_.append(self.parse_var_tail(type_, name, line))
+        return ast.Program(tuple(globals_), tuple(functions))
+
+    def parse_var_tail(
+        self, type_: ast.TypeSpec, first: Token, line: int
+    ) -> ast.VarDecl:
+        if type_.base == "void":
+            raise self.error("variables cannot be 'void'", first)
+        declarators = [self.parse_declarator_tail(first)]
+        while self.peek().is_symbol(","):
+            self.advance()
+            declarators.append(self.parse_declarator_tail(self.expect_ident()))
+        self.expect_symbol(";")
+        return ast.VarDecl(type_, tuple(declarators), line)
+
+    def parse_declarator_tail(self, name_tok: Token) -> ast.Declarator:
+        init = None
+        if self.peek().is_symbol("="):
+            self.advance()
+            init = self.parse_expr()
+        return ast.Declarator(name_tok.text, init)
+
+    def parse_function(
+        self, return_type: ast.TypeSpec, name: Token
+    ) -> ast.FunctionDef:
+        self.expect_symbol("(")
+        params: list[ast.Param] = []
+        if self.peek().is_symbol(")"):
+            self.advance()
+        elif self.at_type():
+            # ANSI parameter list.
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect_ident()
+                params.append(ast.Param(pname.text, ptype))
+                if self.peek().is_symbol(","):
+                    self.advance()
+                    continue
+                break
+            self.expect_symbol(")")
+        else:
+            # K&R: names first, declarations between ')' and '{'.
+            names = [self.expect_ident().text]
+            while self.peek().is_symbol(","):
+                self.advance()
+                names.append(self.expect_ident().text)
+            self.expect_symbol(")")
+            declared: dict[str, ast.TypeSpec] = {}
+            while self.at_type():
+                dtype = self.parse_type()
+                declared[self.expect_ident().text] = dtype
+                while self.peek().is_symbol(","):
+                    self.advance()
+                    declared[self.expect_ident().text] = dtype
+                self.expect_symbol(";")
+            for pname in names:
+                if pname not in declared:
+                    raise self.error(
+                        f"K&R parameter {pname!r} of {name.text!r} lacks a "
+                        "declaration",
+                        name,
+                    )
+            extra = set(declared) - set(names)
+            if extra:
+                raise self.error(
+                    f"K&R declarations for non-parameters {sorted(extra)}",
+                    name,
+                )
+            params = [ast.Param(p, declared[p]) for p in names]
+        body = self.parse_block()
+        return ast.FunctionDef(
+            name.text, return_type, tuple(params), body, name.line
+        )
+
+    # -- statements -------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect_symbol("{")
+        statements = []
+        while not self.peek().is_symbol("}"):
+            if self.peek().kind == "eof":
+                raise self.error("unterminated block", start)
+            statements.append(self.parse_statement())
+        self.advance()
+        return ast.Block(tuple(statements), start.line)
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.is_symbol("{"):
+            return self.parse_block()
+        if self.at_type():
+            line = tok.line
+            type_ = self.parse_type()
+            first = self.expect_ident()
+            return self.parse_var_tail(type_, first, line)
+        if tok.is_keyword("where"):
+            return self.parse_where()
+        if tok.is_keyword("if"):
+            return self.parse_if()
+        if tok.is_keyword("do"):
+            return self.parse_do()
+        if tok.is_keyword("while"):
+            return self.parse_while()
+        if tok.is_keyword("for"):
+            return self.parse_for()
+        if tok.is_keyword("break"):
+            self.advance()
+            self.expect_symbol(";")
+            return ast.Break(tok.line)
+        if tok.is_keyword("continue"):
+            self.advance()
+            self.expect_symbol(";")
+            return ast.Continue(tok.line)
+        if tok.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.peek().is_symbol(";"):
+                value = self.parse_expr()
+            self.expect_symbol(";")
+            return ast.Return(value, tok.line)
+        stmt = self.parse_simple()
+        self.expect_symbol(";")
+        return stmt
+
+    _ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=",
+                   "&=", "|=", "^=", "<<=", ">>=")
+
+    def parse_simple(self):
+        """Assignment (plain or compound) or bare expression (no ';')."""
+        tok = self.peek()
+        if tok.kind == "ident" and self.peek(1).is_symbol(*self._ASSIGN_OPS):
+            self.advance()
+            op = self.advance().text
+            value = self.parse_expr()
+            return ast.Assign(tok.text, value, op, tok.line)
+        return ast.ExprStatement(self.parse_expr(), tok.line)
+
+    def parse_where(self) -> ast.Where:
+        tok = self.expect_keyword("where")
+        self.expect_symbol("(")
+        cond = self.parse_expr()
+        self.expect_symbol(")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.peek().is_keyword("elsewhere"):
+            self.advance()
+            otherwise = self.parse_statement()
+        return ast.Where(cond, then, otherwise, tok.line)
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect_keyword("if")
+        self.expect_symbol("(")
+        cond = self.parse_expr()
+        self.expect_symbol(")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.peek().is_keyword("else"):
+            self.advance()
+            otherwise = self.parse_statement()
+        return ast.If(cond, then, otherwise, tok.line)
+
+    def parse_do(self) -> ast.DoWhile:
+        tok = self.expect_keyword("do")
+        body = self.parse_statement()
+        self.expect_keyword("while")
+        self.expect_symbol("(")
+        cond = self.parse_expr()
+        self.expect_symbol(")")
+        self.expect_symbol(";")
+        return ast.DoWhile(body, cond, tok.line)
+
+    def parse_while(self) -> ast.While:
+        tok = self.expect_keyword("while")
+        self.expect_symbol("(")
+        cond = self.parse_expr()
+        self.expect_symbol(")")
+        body = self.parse_statement()
+        return ast.While(cond, body, tok.line)
+
+    def parse_for(self) -> ast.For:
+        tok = self.expect_keyword("for")
+        self.expect_symbol("(")
+        init = None if self.peek().is_symbol(";") else self.parse_simple()
+        self.expect_symbol(";")
+        cond = None if self.peek().is_symbol(";") else self.parse_expr()
+        self.expect_symbol(";")
+        step = None if self.peek().is_symbol(")") else self.parse_simple()
+        self.expect_symbol(")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, tok.line)
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expr(self, level: int = 0):
+        if level == len(_BINARY_LEVELS):
+            return self.parse_unary()
+        ops = _BINARY_LEVELS[level]
+        left = self.parse_expr(level + 1)
+        while self.peek().is_symbol(*ops):
+            op = self.advance()
+            right = self.parse_expr(level + 1)
+            left = ast.Binary(op.text, left, right, op.line)
+        return left
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.is_symbol("!", "~", "-"):
+            self.advance()
+            return ast.Unary(tok.text, self.parse_unary(), tok.line)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.peek()
+        if tok.kind == "number":
+            self.advance()
+            return ast.IntLiteral(int(tok.text, 0), tok.line)
+        if tok.kind == "ident":
+            self.advance()
+            if self.peek().is_symbol("("):
+                self.advance()
+                args = []
+                if not self.peek().is_symbol(")"):
+                    args.append(self.parse_expr())
+                    while self.peek().is_symbol(","):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect_symbol(")")
+                return ast.Call(tok.text, tuple(args), tok.line)
+            return ast.Identifier(tok.text, tok.line)
+        if tok.is_symbol("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_symbol(")")
+            return inner
+        raise self.error(f"expected an expression, found {tok.text!r}", tok)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse *source* into a :class:`~repro.ppc.lang.ast_nodes.Program`."""
+    parser = _Parser(tokenize(source))
+    program = parser.parse_program()
+    return program

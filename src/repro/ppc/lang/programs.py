@@ -1,0 +1,160 @@
+'''The paper's PPC sources, embedded as runnable programs.
+
+Two deviations from the printed listings, both documented in DESIGN.md:
+
+* **Init transposition** — the listing's ``SOW = W`` under
+  ``where (ROW == d)`` loads the weights *from* ``d``; the DP needs the
+  1-edge costs *to* ``d`` (column ``d``), so the initialisation transposes
+  it onto row ``d`` with two broadcasts. (The printed statement is correct
+  only for symmetric ``W``.)
+* **Loop condition** — statement 20 is prose ("at least one SOW in row d
+  has changed"); it is expressed with the controller reduction
+  ``any(CHANGED && (ROW == d))``.
+
+``MIN_CODE`` is the ``min()`` routine exactly as printed (K&R parameter
+style and all), with the obvious typo fix ``j 0`` → ``j >= 0`` in the for
+header. ``SELECTED_MIN_CODE`` is the routine the paper describes but does
+not print ("the code for the selected_min routine is similar"): identical
+except the elimination starts from the ``selected`` subset.
+'''
+
+from __future__ import annotations
+
+__all__ = [
+    "MIN_CODE",
+    "SELECTED_MIN_CODE",
+    "MCP_CODE",
+    "MCP_WITH_LIBRARY_MIN",
+    "DISTANCE_TRANSFORM_CODE",
+]
+
+
+MIN_CODE = """
+parallel int min(src, orientation, L)
+    parallel int src;
+    enum {NORTH, EAST, SOUTH, WEST} orientation;
+    parallel logical L;
+{
+    int j;
+    parallel logical enable = 1;
+    for (j = h - 1; j >= 0; j = j - 1)
+        where (broadcast(or(!bit(src, j) && enable, orientation, L),
+                         orientation, L) && bit(src, j))
+            enable = 0;
+    where (L)
+        src = broadcast(src, opposite(orientation), enable);
+    return broadcast(src, orientation, L);
+}
+"""
+
+
+SELECTED_MIN_CODE = """
+parallel int selected_min(src, orientation, L, selected)
+    parallel int src;
+    enum {NORTH, EAST, SOUTH, WEST} orientation;
+    parallel logical L;
+    parallel logical selected;
+{
+    int j;
+    parallel logical enable = selected;
+    for (j = h - 1; j >= 0; j = j - 1)
+        where (broadcast(or(!bit(src, j) && enable, orientation, L),
+                         orientation, L) && bit(src, j))
+            enable = 0;
+    where (L)
+        src = broadcast(src, opposite(orientation), enable);
+    return broadcast(src, orientation, L);
+}
+"""
+
+
+_MCP_BODY = """
+parallel int W;
+parallel int SOW;
+parallel int PTN;
+parallel int MIN_SOW;
+parallel logical CHANGED;
+int d;
+
+void minimum_cost_path()
+{
+    parallel int OLD_SOW;
+
+    /* Statements 4-7 (init transposition: see module docstring). */
+    where (ROW == d) {
+        SOW = broadcast(broadcast(W, EAST, COL == d), SOUTH, ROW == COL);
+        PTN = d;
+    }
+    MIN_SOW = 0;
+    do {
+        /* Statements 9-13. */
+        where (ROW != d) {
+            SOW = broadcast(SOW, SOUTH, ROW == d) + W;
+            MIN_SOW = min(SOW, WEST, COL == (N - 1));
+            PTN = selected_min(COL, WEST, COL == (N - 1), MIN_SOW == SOW);
+        }
+        /* Statements 14-19. */
+        where (ROW == d) {
+            OLD_SOW = SOW;
+            SOW = broadcast(MIN_SOW, SOUTH, ROW == COL);
+            CHANGED = SOW != OLD_SOW;
+            where (SOW != OLD_SOW)
+                PTN = broadcast(PTN, SOUTH, ROW == COL);
+        }
+        /* Statement 20. */
+    } while (any(CHANGED && (ROW == d)));
+}
+"""
+
+#: MCP with min/selected_min resolved from the paper's own PPC sources.
+MCP_CODE = MIN_CODE + SELECTED_MIN_CODE + _MCP_BODY
+
+#: MCP with min/selected_min resolved to the library's native builtins —
+#: used to check the interpreted routines against the native ones.
+MCP_WITH_LIBRARY_MIN = _MCP_BODY
+'''Same program but without the PPC ``min``/``selected_min`` definitions,
+so the calls fall through to the builtin (native) reductions.'''
+
+
+DISTANCE_TRANSFORM_CODE = """
+parallel logical IMG;
+parallel int DIST;
+parallel logical CHG;
+
+void distance_transform()
+{
+    where (IMG)
+        DIST = 0;
+    elsewhere
+        DIST = MAXINT;
+    do {
+        parallel int C;
+        CHG = IMG && !IMG;                      /* all false */
+        C = shift(DIST, SOUTH) + 1;             /* from the north */
+        where ((ROW != 0) && (C < DIST)) {
+            DIST = C;
+            CHG = !CHG;                          /* true on updated PEs */
+        }
+        C = shift(DIST, NORTH) + 1;             /* from the south */
+        where ((ROW != N - 1) && (C < DIST)) {
+            DIST = C;
+            CHG = !CHG;
+        }
+        C = shift(DIST, EAST) + 1;              /* from the west */
+        where ((COL != 0) && (C < DIST)) {
+            DIST = C;
+            CHG = !CHG;
+        }
+        C = shift(DIST, WEST) + 1;              /* from the east */
+        where ((COL != N - 1) && (C < DIST)) {
+            DIST = C;
+            CHG = !CHG;
+        }
+    } while (any(CHG));
+}
+"""
+'''City-block distance transform in PPC — the EDT-style kernel the paper's
+Section 2 says its primitives were designed for. The torus wrap of
+``shift`` is suppressed by masking each direction's update off the image
+border (``ROW != 0`` etc.), so opposite edges stay non-adjacent. Validated
+against :func:`repro.apps.distance_transform` in the tests.'''

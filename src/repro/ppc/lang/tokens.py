@@ -1,0 +1,92 @@
+"""Token definitions for the PPC subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "KEYWORDS", "SYMBOLS"]
+
+KEYWORDS = frozenset(
+    {
+        "parallel",
+        "int",
+        "logical",
+        "void",
+        "enum",
+        "where",
+        "elsewhere",
+        "if",
+        "else",
+        "do",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+# Longest-match-first symbol table.
+SYMBOLS = (
+    "<<=",
+    ">>=",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"keyword"``, ``"ident"``, ``"number"``, ``"symbol"``
+    or ``"eof"``; ``text`` is the matched source text (symbol/keyword
+    spelling, identifier name, or digit string).
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_symbol(self, *texts: str) -> bool:
+        return self.kind == "symbol" and self.text in texts
+
+    def is_keyword(self, *texts: str) -> bool:
+        return self.kind == "keyword" and self.text in texts
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"

@@ -1,0 +1,193 @@
+"""The paper's bus reduction routines: ``min()`` and ``selected_min()``.
+
+These are faithful ports of the listings in Section 3 of the paper. The
+algorithm examines all candidate values simultaneously, bit by bit from the
+most significant position; at each bit, a cluster-wide wired-OR reveals
+whether any still-enabled candidate has a 0 there, and if so every enabled
+candidate holding a 1 is eliminated. After ``h`` bit steps the surviving
+nodes hold the cluster minimum; two broadcasts (statements 11-13 of the
+listing) deliver that value to the cluster's extreme node and then to every
+member.
+
+Complexity: ``h`` wired-OR bus transactions plus 2 broadcasts — **O(h)**,
+as derived in the paper's Section 3. (The abstract's "log h" is an internal
+inconsistency of the paper; see DESIGN.md and experiment F3.)
+
+``word_parallel_min`` is the A7 ablation: the same cluster minimum computed
+in a single transaction, as if each PE had a word-wide comparator on the
+bus. It is *not* in the paper; it quantifies what the bit-serial design
+trades away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ppa.directions import Direction, opposite
+from repro.ppa.machine import PPAMachine
+from repro.ppa.switchbox import as_switch_plane
+
+__all__ = [
+    "ppa_min",
+    "ppa_selected_min",
+    "ppa_max",
+    "word_parallel_min",
+    "ppa_min_digit_serial",
+]
+
+
+def _bit_serial_survivors(
+    machine: PPAMachine,
+    src: np.ndarray,
+    orientation: Direction,
+    L: np.ndarray,
+    enable: np.ndarray,
+) -> np.ndarray:
+    """Statements 8-10 of the paper's ``min()``: MSB-first elimination.
+
+    Returns the final ``enable`` plane: within each cluster, exactly the
+    nodes (among the initially enabled ones) holding the minimum value.
+    """
+    h = machine.word_bits
+    enable = enable.copy()
+    for j in range(h - 1, -1, -1):
+        bit_j = machine.bit(src, j)
+        # or(!bit(src, j) && enable, orientation, L): one wired-OR delivers
+        # the cluster-level "a zero exists at this bit" flag to every node.
+        zero_seen = machine.bus_or(~bit_j & enable, orientation, L)
+        machine.count_alu(2)  # the &,~ above
+        # where (zero_seen && bit_j) enable = 0;
+        enable &= ~(zero_seen & bit_j)
+        machine.count_alu(2)
+    return enable
+
+
+def _deliver_min(
+    machine: PPAMachine,
+    src: np.ndarray,
+    orientation: Direction,
+    L: np.ndarray,
+    enable: np.ndarray,
+) -> np.ndarray:
+    """Statements 11-13: route each cluster's surviving value to all members.
+
+    ``where (L) src = broadcast(src, opposite(orientation), enable)`` pulls a
+    survivor's value onto each cluster's extreme node (every cluster retains
+    at least one survivor, so the nearest enabled node at-or-upstream in the
+    opposite orientation is within the same cluster); the final broadcast
+    fans it back out.
+    """
+    to_heads = machine.broadcast(src, opposite(orientation), enable)
+    L = as_switch_plane(L, machine.shape)
+    staged = np.where(L, to_heads, src)
+    machine.count_alu()  # the masked store of statement 12
+    return machine.broadcast(staged, orientation, L)
+
+
+def ppa_min(machine: PPAMachine, src, orientation: Direction, L) -> np.ndarray:
+    """Paper's ``min(src, orientation, L)``: cluster-wide minimum.
+
+    Every PE receives the minimum of ``src`` over the bus cluster it belongs
+    to (clusters defined by the Open plane *L* under *orientation*).
+    O(h) bus transactions for h-bit words.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    enable = np.ones(machine.shape, dtype=bool)  # parallel logical enable = 1
+    machine.count_alu()
+    enable = _bit_serial_survivors(machine, src, orientation, L, enable)
+    return _deliver_min(machine, src, orientation, L, enable)
+
+
+def ppa_selected_min(
+    machine: PPAMachine,
+    src,
+    orientation: Direction,
+    L,
+    selected,
+) -> np.ndarray:
+    """Paper's ``selected_min(src, orientation, L, selected)``.
+
+    Identical to :func:`ppa_min` but the elimination starts from the subset
+    of nodes flagged by *selected* (paper: "the selected_min() algorithm
+    starts considering a subset of the values defined by its fourth input
+    parameter"). In the MCP listing this recovers, per row, the (smallest)
+    column index among the nodes achieving the row minimum.
+
+    The result is undefined for clusters whose *selected* set is empty —
+    the MCP algorithm never produces one (a minimum achiever always exists).
+    """
+    src = np.asarray(src, dtype=np.int64)
+    enable = as_switch_plane(selected, machine.shape).copy()
+    machine.count_alu()
+    enable = _bit_serial_survivors(machine, src, orientation, L, enable)
+    return _deliver_min(machine, src, orientation, L, enable)
+
+
+def ppa_max(machine: PPAMachine, src, orientation: Direction, L) -> np.ndarray:
+    """Cluster-wide maximum, by running ``min`` on the complemented word.
+
+    Not in the paper's listing but an immediate corollary of it (complement
+    all bit planes); used by the extension algorithms. Costs exactly one
+    :func:`ppa_min` plus two local complements.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    machine.count_alu()
+    flipped = machine.maxint - src
+    out = ppa_min(machine, flipped, orientation, L)
+    machine.count_alu()
+    return machine.maxint - out
+
+
+def word_parallel_min(
+    machine: PPAMachine, src, orientation: Direction, L
+) -> np.ndarray:
+    """Ablation A7: cluster minimum in one bus transaction.
+
+    Models a hypothetical PPA whose bus resolves a word-wide minimum per
+    cycle (as a word comparator per switch would allow). Same result as
+    :func:`ppa_min`, O(1) instead of O(h) transactions.
+    """
+    return machine.bus_reduce(np.asarray(src, dtype=np.int64), orientation, L, "min")
+
+
+def ppa_min_digit_serial(
+    machine: PPAMachine,
+    src,
+    orientation: Direction,
+    L,
+    digit_bits: int,
+) -> np.ndarray:
+    """Digit-serial cluster minimum: the radix-2**k generalisation (A13).
+
+    The paper's routine scans one *bit* per bus cycle; a switch-box with
+    ``2**k - 1`` parallel wired-OR lanes can scan ``k`` bits per cycle:
+    every enabled candidate asserts the lane of its current digit, each PE
+    reads the smallest asserted lane (the cluster's minimal digit) and
+    self-eliminates if its own digit is larger. ``ceil(h / k)``
+    transactions instead of ``h``, each ``2**k - 1`` lanes wide — at
+    ``k = 1`` this *is* the paper's min() (one lane: "a zero exists").
+
+    Accounting: one bus transaction per digit with ``bit_cycles`` charged
+    at ``2**k - 1`` lanes, exposing the lane-count/transaction-count
+    trade-off experiment A13 sweeps.
+    """
+    h = machine.word_bits
+    if not (1 <= digit_bits <= h):
+        raise ValueError(f"digit_bits must be in [1, {h}], got {digit_bits}")
+    radix = 1 << digit_bits
+    src = np.asarray(src, dtype=np.int64)
+    enable = np.ones(machine.shape, dtype=bool)
+    machine.count_alu()
+    positions = range(((h + digit_bits - 1) // digit_bits) - 1, -1, -1)
+    for pos in positions:
+        digit = (src >> (pos * digit_bits)) & (radix - 1)
+        machine.count_alu()
+        # One multi-lane transaction: the per-cluster minimum asserted digit.
+        staged = np.where(enable, digit, radix)
+        machine.count_alu()
+        min_digit = machine.bus_reduce(
+            staged, orientation, L, "min", bits=radix - 1
+        )
+        enable &= digit == min_digit
+        machine.count_alu(2)
+    return _deliver_min(machine, src, orientation, L, enable)

@@ -1,0 +1,40 @@
+"""Reconfigurable Mesh (RMESH) — the *more powerful* model of reference [1].
+
+The paper's Section 4 places the PPA below the Reconfigurable Mesh of
+Miller, Prasanna-Kumar, Reisis and Stout: the PPA's switch-box only
+connects or splits the straight-through row/column buses, while an RMESH
+PE may internally fuse any subset of its four ports — letting buses turn
+corners and snake through the array. This package implements that model
+(port-partition switch configurations, global bus resolution by connected
+components) plus the classic algorithms the extra power enables, so the
+"less powerful but hardware implementable" trade-off the paper argues
+becomes a measured experiment (T13): counting n bits takes one bus cycle
+on the RMESH and Θ(n) communication steps on the PPA.
+"""
+
+from repro.rmesh.switches import Config, CONFIGS, partition_of
+from repro.rmesh.machine import RMeshMachine, Port
+from repro.rmesh.mcp import rmesh_mcp
+from repro.rmesh.algorithms import (
+    count_ones,
+    parity,
+    prefix_or,
+    leftmost_one,
+    global_or_one_step,
+    ppa_count_ones_row,
+)
+
+__all__ = [
+    "Config",
+    "CONFIGS",
+    "partition_of",
+    "RMeshMachine",
+    "Port",
+    "count_ones",
+    "parity",
+    "prefix_or",
+    "leftmost_one",
+    "global_or_one_step",
+    "ppa_count_ones_row",
+    "rmesh_mcp",
+]

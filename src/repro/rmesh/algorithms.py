@@ -1,0 +1,144 @@
+"""Classic constant-time RMESH algorithms — and their PPA counterparts.
+
+The point of this module is the paper's Section 4 sentence made
+quantitative: the row/column-only PPA "is a less powerful model with
+respect to the Reconfigurable Mesh". The staircase bit-count below needs
+buses that *turn corners* inside a PE — a configuration the PPA switch-box
+cannot form — and finishes in **one bus cycle** where the PPA needs a
+Θ(n) shift reduction (:func:`ppa_count_ones_row`). Experiment T13 sweeps
+the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.ppa.directions import Direction
+from repro.ppa.machine import PPAMachine
+from repro.rmesh.machine import Port, RMeshMachine
+from repro.rmesh.switches import CONFIGS
+
+__all__ = [
+    "count_ones",
+    "parity",
+    "prefix_or",
+    "leftmost_one",
+    "global_or_one_step",
+    "ppa_count_ones_row",
+]
+
+
+def _check_bits(machine: RMeshMachine, bits, limit: int) -> np.ndarray:
+    arr = np.asarray(bits, dtype=bool).ravel()
+    if arr.size > limit:
+        raise GraphError(
+            f"at most {limit} bits fit this {machine.n}x{machine.n} "
+            "staircase"
+        )
+    return arr
+
+
+def count_ones(machine: RMeshMachine, bits) -> int:
+    """Sum of up to ``n - 1`` bits in **one bus cycle** (the staircase).
+
+    Column ``j`` holds bit ``b_j``. A zero column passes the signal
+    straight through (``ROW`` config); a one column sends it one row down
+    (``STAIR_DOWN``: W fuses to S, N fuses to E). A probe injected at the
+    north-west PE's W port therefore exits the east edge on row
+    ``sum(bits)`` — the count is *where* the signal lands.
+    """
+    n = machine.n
+    arr = _check_bits(machine, bits, n - 1)
+    padded = np.zeros(n, dtype=bool)
+    padded[: arr.size] = arr
+
+    ids = np.where(
+        padded[None, :], CONFIGS["STAIR_DOWN"].id, CONFIGS["ROW"].id
+    )
+    machine.set_config(np.broadcast_to(ids, (n, n)))
+
+    drivers = np.zeros((n, n, 4), dtype=bool)
+    drivers[0, 0, Port.W] = True
+    signal = machine.bus_signal(drivers)
+
+    exit_rows = np.flatnonzero(signal[:, n - 1, Port.E])
+    if exit_rows.size != 1:  # pragma: no cover - structural invariant
+        raise GraphError("staircase produced no unique exit row")
+    return int(exit_rows[0])
+
+
+def parity(machine: RMeshMachine, bits) -> int:
+    """Parity of up to ``n - 1`` bits, via the staircase count.
+
+    (The count is available in one cycle; its low bit is the parity. A
+    dedicated O(1) parity network exists in the literature, but deriving
+    it from the count adds nothing here.)
+    """
+    return count_ones(machine, bits) & 1
+
+
+def prefix_or(machine: RMeshMachine, bits) -> np.ndarray:
+    """Per column: "some 1 lies strictly west of me", in one bus cycle.
+
+    Every 1-column isolates its W port from its E port (so signals cannot
+    pass it) and drives its E side; a column's W port then carries a
+    signal iff some earlier column drove it. This is the O(1) priority
+    resolution primitive (see :func:`leftmost_one`).
+    """
+    n = machine.n
+    arr = _check_bits(machine, bits, n)
+    padded = np.zeros(n, dtype=bool)
+    padded[: arr.size] = arr
+
+    ids = np.where(padded[None, :], CONFIGS["ISOLATE"].id, CONFIGS["ROW"].id)
+    machine.set_config(np.broadcast_to(ids, (n, n)))
+
+    drivers = np.zeros((n, n, 4), dtype=bool)
+    drivers[0, :, Port.E] = padded  # 1-columns drive their east side
+    signal = machine.bus_signal(drivers)
+    return signal[0, : arr.size, Port.W].copy()
+
+
+def leftmost_one(machine: RMeshMachine, bits) -> int | None:
+    """Index of the first set bit, from one :func:`prefix_or` cycle."""
+    arr = np.asarray(bits, dtype=bool).ravel()
+    if not arr.any():
+        return None
+    before = prefix_or(machine, arr)
+    winners = np.flatnonzero(arr & ~before)
+    return int(winners[0])
+
+
+def global_or_one_step(machine: RMeshMachine, bits) -> bool:
+    """OR of one bit per PE in a single cycle (one fused four-way bus)."""
+    return machine.global_or(np.asarray(bits, dtype=bool))
+
+
+def ppa_count_ones_row(machine: PPAMachine, bits) -> tuple[int, int]:
+    """The PPA counterpart: sum one row of bits by shift-halving.
+
+    The PPA's switches cannot turn a bus, so counting falls back on the
+    mesh's Θ(n) reduction: the row is folded east-to-west with word
+    shifts (a shift by ``2**k`` costs ``2**k`` single-hop cycles).
+    Returns ``(count, bus_cycles_spent)``.
+    """
+    arr = np.asarray(bits, dtype=np.int64).ravel()
+    n = machine.n
+    if arr.size > n:
+        raise GraphError(f"at most {n} bits fit one row")
+    before = machine.counters.snapshot()
+    vals = machine.new_parallel(0)
+    vals[0, : arr.size] = arr
+    machine.count_alu()
+
+    span = 1
+    while span < n:
+        shifted = vals
+        for _ in range(span):  # a distance-2^k move is 2^k hops
+            shifted = machine.shift(shifted, Direction.WEST, fill=0, torus=False)
+        vals = machine.sat_add(vals, shifted)
+        span *= 2
+    count = int(vals[0, 0])
+    spent = machine.counters.diff(before)["bus_cycles"]
+    return count, spent

@@ -1,0 +1,122 @@
+"""The paper's MCP algorithm running on the Reconfigurable Mesh.
+
+Section 4 orders the models by power (PPA < RMESH); containment in the
+other direction is shown by *running the PPA algorithm on the RMESH*: the
+straight-through ``ROW``/``COL`` configurations recover undirected row and
+column lines, and the same dynamic program executes with the same
+iteration count and the familiar O(p·h) bus cost. (Because RMESH lines are
+undirected, no circular-wrap convention is needed — a single driver
+reaches the whole line in both directions, like the GCN baseline.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import normalize_weights
+from repro.core.result import MCPResult
+from repro.errors import GraphError
+from repro.rmesh.machine import Port, RMeshMachine
+from repro.rmesh.switches import CONFIGS
+
+__all__ = ["rmesh_mcp"]
+
+
+def _row_broadcast(machine: RMeshMachine, values, driver_mask) -> np.ndarray:
+    """Word on each row line, driven by the PEs in *driver_mask*."""
+    machine.set_config(CONFIGS["ROW"].id)
+    drivers = np.zeros((machine.n, machine.n, 4), dtype=bool)
+    drivers[..., Port.E] = driver_mask
+    return machine.broadcast(values, drivers)[:, :, Port.E]
+
+
+def _col_broadcast(machine: RMeshMachine, values, driver_mask) -> np.ndarray:
+    """Word on each column line, driven by the PEs in *driver_mask*."""
+    machine.set_config(CONFIGS["COL"].id)
+    drivers = np.zeros((machine.n, machine.n, 4), dtype=bool)
+    drivers[..., Port.N] = driver_mask
+    return machine.broadcast(values, drivers)[:, :, Port.N]
+
+
+def _row_or(machine: RMeshMachine, bits) -> np.ndarray:
+    """Wired-OR per row line (one 1-bit cycle)."""
+    machine.set_config(CONFIGS["ROW"].id)
+    drivers = np.zeros((machine.n, machine.n, 4), dtype=bool)
+    drivers[..., Port.E] = np.asarray(bits, dtype=bool)
+    return machine.bus_signal(drivers)[:, :, Port.E]
+
+
+def _row_min(
+    machine: RMeshMachine, values: np.ndarray, args: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bit-serial row minimum + smallest-arg achiever (PPA min() ported)."""
+    h = machine.word_bits
+    enable = np.ones(machine.shape, dtype=bool)
+    for j in range(h - 1, -1, -1):
+        bit_j = (values >> j) & 1 == 1
+        zero_seen = _row_or(machine, enable & ~bit_j)
+        enable &= ~(zero_seen & bit_j)
+    # Survivors hold equal (minimal) words: they may co-drive the line.
+    min_v = _row_broadcast(machine, values, enable)
+    surv = enable.copy()
+    for j in range(h - 1, -1, -1):
+        bit_j = (args >> j) & 1 == 1
+        zero_seen = _row_or(machine, surv & ~bit_j)
+        surv &= ~(zero_seen & bit_j)
+    min_a = _row_broadcast(machine, args, surv)
+    return min_v, min_a
+
+
+def rmesh_mcp(machine: RMeshMachine, W, d: int, **kwargs) -> MCPResult:
+    """Minimum cost path to *d*, PPA algorithm on RMESH configurations."""
+    Wm = normalize_weights(W, machine, **kwargs)
+    n = machine.n
+    if not (0 <= d < n):
+        raise GraphError(f"destination {d} outside [0, {n})")
+    before = machine.counters.snapshot()
+
+    COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
+    rows = np.arange(n)
+    not_d = (rows != d)[:, None]
+    row_d = ~not_d & np.ones((n, n), dtype=bool)
+    diag = np.eye(n, dtype=bool)
+
+    SOW = np.zeros((n, n), dtype=np.int64)
+    PTN = np.zeros((n, n), dtype=np.int64)
+    # Init: the 1-edge costs to d, transposed onto row d with two
+    # broadcasts (row line from column d, then column line from the diag).
+    w_to_d = _row_broadcast(machine, Wm, COL == d)
+    SOW[d] = _col_broadcast(machine, w_to_d, diag)[d]
+    PTN[d] = d
+
+    iterations = 0
+    while True:
+        iterations += 1
+        down = _col_broadcast(machine, SOW, row_d)
+        cand = np.minimum(down + Wm, machine.maxint)
+        SOW = np.where(not_d, cand, SOW)
+        mv, ma = _row_min(machine, SOW, COL.copy())
+        MIN_SOW = np.where(not_d, mv, 0)
+        PTN_new = np.where(not_d, ma, PTN)
+        back_v = _col_broadcast(machine, MIN_SOW, diag)
+        back_p = _col_broadcast(machine, PTN_new, diag)
+        old_row = SOW[d].copy()
+        SOW[d] = back_v[d]
+        changed = SOW[d] != old_row
+        PTN_new[d] = np.where(changed, back_p[d], PTN[d])
+        PTN = PTN_new
+        changed_plane = np.zeros((n, n), dtype=bool)
+        changed_plane[d] = changed
+        if not machine.global_or(changed_plane):
+            break
+        if iterations > n:
+            raise GraphError("MCP did not converge; invalid input")
+
+    return MCPResult(
+        destination=d,
+        sow=SOW[d].copy(),
+        ptn=PTN[d].copy(),
+        iterations=iterations,
+        maxint=machine.maxint,
+        counters=machine.counters.diff(before),
+    )

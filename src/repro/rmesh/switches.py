@@ -1,0 +1,101 @@
+"""RMESH switch configurations: partitions of the four ports.
+
+An RMESH PE may electrically fuse any subset of its ports {N, E, S, W};
+a *configuration* is a set partition of the four ports (15 possibilities —
+the Bell number B(4)). The PPA's switch-box realises only a handful of
+them (straight-through row/column behaviour); the full table is what buys
+the RMESH its constant-time tricks.
+
+Configurations are addressed by name (:data:`CONFIGS`) or by integer id
+(:func:`partition_of`), and stored per-PE as an id grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+__all__ = ["Config", "CONFIGS", "ALL_PARTITIONS", "partition_of"]
+
+_PORTS = ("N", "E", "S", "W")
+
+
+def _all_partitions(items: tuple[str, ...]) -> list[tuple[frozenset, ...]]:
+    """Every set partition of *items* (canonicalised, deterministic order)."""
+    if not items:
+        return [()]
+    head, rest = items[0], items[1:]
+    out = []
+    for sub in _all_partitions(rest):
+        # head alone
+        out.append(tuple(sorted((frozenset({head}), *sub), key=sorted)))
+        # head joined to each existing block
+        for i in range(len(sub)):
+            joined = frozenset(sub[i] | {head})
+            blocks = sub[:i] + (joined,) + sub[i + 1:]
+            out.append(tuple(sorted(blocks, key=sorted)))
+    # dedupe, stable order
+    seen = {}
+    for p in out:
+        seen.setdefault(p, None)
+    return list(seen)
+
+
+ALL_PARTITIONS: list[tuple[frozenset, ...]] = sorted(
+    _all_partitions(_PORTS), key=lambda p: (len(p), [sorted(b) for b in p])
+)
+assert len(ALL_PARTITIONS) == 15
+
+
+@dataclass(frozen=True)
+class Config:
+    """One named switch configuration."""
+
+    name: str
+    id: int
+    blocks: tuple[frozenset, ...]
+
+    def fuses(self, a: str, b: str) -> bool:
+        """True if ports *a* and *b* are electrically connected."""
+        return any(a in blk and b in blk for blk in self.blocks)
+
+
+def _find_id(blocks: list[set]) -> int:
+    canon = tuple(sorted((frozenset(b) for b in blocks), key=sorted))
+    return ALL_PARTITIONS.index(canon)
+
+
+def _named(name: str, *blocks) -> Config:
+    blocks = [set(b) for b in blocks]
+    named = {p for b in blocks for p in b}
+    blocks.extend({p} for p in _PORTS if p not in named)
+    idx = _find_id(blocks)
+    return Config(name, idx, ALL_PARTITIONS[idx])
+
+
+#: The configurations the classic algorithms use, by name.
+CONFIGS: dict[str, Config] = {
+    cfg.name: cfg
+    for cfg in (
+        _named("ISOLATE"),                      # {N}{E}{S}{W}
+        _named("ROW", "EW"),                    # straight-through row bus
+        _named("COL", "NS"),                    # straight-through column bus
+        _named("CROSS", "EW", "NS"),            # both, kept separate
+        _named("ALL", "NESW"),                  # one four-way bus
+        _named("NE", "NE"),
+        _named("NW", "NW"),
+        _named("SE", "SE"),
+        _named("SW", "SW"),
+        _named("STAIR_DOWN", "WS", "NE"),       # W->S and N->E: the staircase
+        _named("STAIR_UP", "WN", "SE"),         # the opposite diagonal pair
+    )
+}
+
+
+def partition_of(config_id: int) -> tuple[frozenset, ...]:
+    """The port partition for integer id *config_id* (0..14)."""
+    if not (0 <= config_id < len(ALL_PARTITIONS)):
+        raise ValueError(
+            f"config id must be in [0, {len(ALL_PARTITIONS)}), got {config_id}"
+        )
+    return ALL_PARTITIONS[config_id]

@@ -1,0 +1,29 @@
+"""Graph workload generation for tests, examples and benchmarks."""
+
+from repro.workloads.generators import (
+    gnp_digraph,
+    grid_graph,
+    ring_graph,
+    layered_graph,
+    random_tree,
+    geometric_graph,
+    complete_graph,
+)
+from repro.workloads.weights import WeightSpec, uniform_weights, unit_weights
+from repro.workloads.suites import SUITES, WorkloadCase, suite_cases
+
+__all__ = [
+    "gnp_digraph",
+    "grid_graph",
+    "ring_graph",
+    "layered_graph",
+    "random_tree",
+    "geometric_graph",
+    "complete_graph",
+    "WeightSpec",
+    "uniform_weights",
+    "unit_weights",
+    "SUITES",
+    "WorkloadCase",
+    "suite_cases",
+]

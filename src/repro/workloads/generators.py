@@ -1,0 +1,203 @@
+"""Deterministic graph generators.
+
+Every generator returns an ``n x n`` ``int64`` weight matrix in the library
+convention (zero diagonal, *inf_value* for missing edges) and takes an
+explicit ``seed``. ``inf_value`` should be the target machine's ``maxint``;
+the default ``2**16 - 1`` matches the default 16-bit word.
+
+The families cover the evaluation's needs:
+
+* :func:`gnp_digraph` — Erdős–Rényi digraphs, the generic correctness
+  workload (T1);
+* :func:`grid_graph` — 4-neighbour road-style grids, the paper's natural
+  mesh-matching workload and the routing examples;
+* :func:`ring_graph`, :func:`random_tree`, :func:`complete_graph` —
+  structured extremes (maximum p, in-tree, p = 1);
+* :func:`layered_graph` — DAG with an exact, controllable maximum MCP
+  length ``p`` (experiment F4);
+* :func:`geometric_graph` — random geometric digraphs (locality-heavy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.workloads.weights import WeightSpec
+
+__all__ = [
+    "gnp_digraph",
+    "grid_graph",
+    "ring_graph",
+    "layered_graph",
+    "random_tree",
+    "geometric_graph",
+    "complete_graph",
+    "DEFAULT_INF",
+]
+
+DEFAULT_INF = (1 << 16) - 1
+
+
+def _finish(
+    adj: np.ndarray,
+    weights: WeightSpec | None,
+    seed: int,
+    inf_value: int,
+) -> np.ndarray:
+    spec = weights if weights is not None else WeightSpec()
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    return spec.apply(adj, rng, inf_value)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise GraphError(f"graph size must be >= 1, got {n}")
+
+
+def gnp_digraph(
+    n: int,
+    p: float,
+    *,
+    seed: int = 0,
+    weights: WeightSpec | None = None,
+    inf_value: int = DEFAULT_INF,
+) -> np.ndarray:
+    """Erdős–Rényi directed graph: each ordered pair is an edge w.p. *p*."""
+    _check_n(n)
+    if not (0.0 <= p <= 1.0):
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    adj = rng.random((n, n)) < p
+    np.fill_diagonal(adj, False)
+    return _finish(adj, weights, seed, inf_value)
+
+
+def grid_graph(
+    side: int,
+    *,
+    seed: int = 0,
+    weights: WeightSpec | None = None,
+    inf_value: int = DEFAULT_INF,
+    bidirectional: bool = True,
+) -> np.ndarray:
+    """4-neighbour ``side x side`` grid; vertex ``(r, c)`` is ``r*side + c``.
+
+    The returned matrix has ``side**2`` vertices — square it against a
+    machine of that size.
+    """
+    _check_n(side)
+    n = side * side
+    adj = np.zeros((n, n), dtype=bool)
+    idx = np.arange(n).reshape(side, side)
+    # East and south neighbours; mirrored when bidirectional.
+    adj[idx[:, :-1].ravel(), idx[:, 1:].ravel()] = True
+    adj[idx[:-1, :].ravel(), idx[1:, :].ravel()] = True
+    if bidirectional:
+        adj |= adj.T
+    return _finish(adj, weights, seed, inf_value)
+
+
+def ring_graph(
+    n: int,
+    *,
+    seed: int = 0,
+    weights: WeightSpec | None = None,
+    inf_value: int = DEFAULT_INF,
+) -> np.ndarray:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` (maximum-diameter case:
+    the longest MCP to any destination has ``n - 1`` edges)."""
+    _check_n(n)
+    adj = np.zeros((n, n), dtype=bool)
+    src = np.arange(n)
+    adj[src, (src + 1) % n] = True
+    if n == 1:
+        adj[...] = False
+    return _finish(adj, weights, seed, inf_value)
+
+
+def layered_graph(
+    layers: int,
+    width: int,
+    *,
+    seed: int = 0,
+    weights: WeightSpec | None = None,
+    inf_value: int = DEFAULT_INF,
+) -> tuple[np.ndarray, int]:
+    """Layered DAG whose longest MCP to vertex 0 has exactly ``layers`` edges.
+
+    Vertex 0 is the sink; layer ``k`` (1-based) holds ``width`` vertices,
+    each with edges to *every* vertex of layer ``k - 1`` (layer 1 connects
+    to the sink). Returns ``(W, destination)`` with ``destination = 0``:
+    every vertex of layer ``k`` is exactly ``k`` hops from the sink, so the
+    PPA do-while runs exactly ``layers`` iterations (``layers - 1``
+    productive + 1 convergence check when ``layers >= 2``... measured in
+    experiment F4).
+    """
+    _check_n(layers)
+    _check_n(width)
+    n = 1 + layers * width
+    adj = np.zeros((n, n), dtype=bool)
+
+    def layer_vertices(k: int) -> np.ndarray:
+        if k == 0:
+            return np.array([0])
+        return 1 + (k - 1) * width + np.arange(width)
+
+    for k in range(1, layers + 1):
+        src = layer_vertices(k)
+        dst = layer_vertices(k - 1)
+        adj[np.ix_(src, dst)] = True
+    return _finish(adj, weights, seed, inf_value), 0
+
+
+def random_tree(
+    n: int,
+    *,
+    seed: int = 0,
+    weights: WeightSpec | None = None,
+    inf_value: int = DEFAULT_INF,
+) -> np.ndarray:
+    """Random in-tree toward vertex 0: each vertex points at one earlier
+    vertex, so every MCP is the unique tree path."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    adj = np.zeros((n, n), dtype=bool)
+    for v in range(1, n):
+        adj[v, int(rng.integers(0, v))] = True
+    return _finish(adj, weights, seed, inf_value)
+
+
+def geometric_graph(
+    n: int,
+    radius: float,
+    *,
+    seed: int = 0,
+    weights: WeightSpec | None = None,
+    inf_value: int = DEFAULT_INF,
+) -> np.ndarray:
+    """Random geometric digraph on the unit square: an edge links vertices
+    closer than *radius* (both directions), modelling locality-heavy
+    workloads such as road networks."""
+    _check_n(n)
+    if radius <= 0:
+        raise GraphError(f"radius must be positive, got {radius}")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+    adj = d2 < radius * radius
+    np.fill_diagonal(adj, False)
+    return _finish(adj, weights, seed, inf_value)
+
+
+def complete_graph(
+    n: int,
+    *,
+    seed: int = 0,
+    weights: WeightSpec | None = None,
+    inf_value: int = DEFAULT_INF,
+) -> np.ndarray:
+    """Complete digraph (p is at most 2 for any destination)."""
+    _check_n(n)
+    adj = ~np.eye(n, dtype=bool)
+    return _finish(adj, weights, seed, inf_value)

@@ -1,0 +1,105 @@
+"""Named workload suites used by tests and the experiment harness.
+
+A suite is a reproducible list of :class:`WorkloadCase` (weight matrix +
+destination + provenance string). Keeping the parameters here — rather than
+scattered through benchmarks — makes every EXPERIMENTS.md row regenerable
+from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.workloads import generators as g
+from repro.workloads.weights import WeightSpec, unit_weights
+
+__all__ = ["WorkloadCase", "SUITES", "suite_cases"]
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """One concrete MCP problem instance."""
+
+    name: str
+    W: np.ndarray
+    destination: int
+
+    @property
+    def n(self) -> int:
+        return int(self.W.shape[0])
+
+
+def _correctness_suite(inf_value: int) -> list[WorkloadCase]:
+    """T1: a spread of families, sizes and seeds."""
+    cases: list[WorkloadCase] = []
+    spec = WeightSpec(1, 9)
+    for n in (4, 8, 13, 16):
+        for seed in (0, 1, 2):
+            for p in (0.15, 0.4, 0.8):
+                W = g.gnp_digraph(n, p, seed=seed, weights=spec, inf_value=inf_value)
+                cases.append(WorkloadCase(f"gnp(n={n},p={p},s={seed})", W, seed % n))
+    for side in (3, 4, 5):
+        W = g.grid_graph(side, seed=7, weights=spec, inf_value=inf_value)
+        cases.append(WorkloadCase(f"grid({side}x{side})", W, 0))
+    for n in (6, 12):
+        cases.append(
+            WorkloadCase(
+                f"ring({n})",
+                g.ring_graph(n, seed=3, weights=spec, inf_value=inf_value),
+                n // 2,
+            )
+        )
+        cases.append(
+            WorkloadCase(
+                f"tree({n})",
+                g.random_tree(n, seed=5, weights=spec, inf_value=inf_value),
+                0,
+            )
+        )
+    cases.append(
+        WorkloadCase(
+            "complete(8)",
+            g.complete_graph(8, seed=11, weights=spec, inf_value=inf_value),
+            3,
+        )
+    )
+    for n, radius in ((10, 0.35), (14, 0.3)):
+        cases.append(
+            WorkloadCase(
+                f"geometric(n={n},r={radius})",
+                g.geometric_graph(n, radius, seed=13, weights=spec,
+                                  inf_value=inf_value),
+                n // 3,
+            )
+        )
+    return cases
+
+
+def _unit_suite(inf_value: int) -> list[WorkloadCase]:
+    """Closure / BFS workloads (T9)."""
+    cases = []
+    for n, p, seed in ((8, 0.2, 0), (12, 0.15, 1), (16, 0.1, 2)):
+        W = g.gnp_digraph(n, p, seed=seed, weights=unit_weights(), inf_value=inf_value)
+        cases.append(WorkloadCase(f"unit-gnp(n={n},p={p})", W, 0))
+    return cases
+
+
+SUITES: dict[str, Callable[[int], list[WorkloadCase]]] = {
+    "correctness": _correctness_suite,
+    "unit": _unit_suite,
+}
+
+
+def suite_cases(name: str, *, inf_value: int) -> list[WorkloadCase]:
+    """Instantiate suite *name* with the target machine's ``maxint``."""
+    try:
+        factory = SUITES[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown suite {name!r}; available: {sorted(SUITES)}"
+        ) from None
+    return factory(inf_value)

@@ -1,0 +1,61 @@
+"""Edge-weight assignment policies.
+
+Generators in :mod:`repro.workloads.generators` first build a boolean
+adjacency structure, then apply a :class:`WeightSpec` to obtain the integer
+weight matrix in the library's convention (``inf_value`` where no edge,
+zero diagonal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["WeightSpec", "uniform_weights", "unit_weights"]
+
+
+@dataclass(frozen=True)
+class WeightSpec:
+    """Integer weights drawn uniformly from ``[low, high]``.
+
+    ``low >= 1`` by default so that a missing edge is never confused with a
+    free edge; pass ``low=0`` explicitly for workloads that need zero-cost
+    edges.
+    """
+
+    low: int = 1
+    high: int = 15
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.low <= self.high):
+            raise GraphError(
+                f"invalid weight range [{self.low}, {self.high}]"
+            )
+
+    def apply(
+        self,
+        adjacency: np.ndarray,
+        rng: np.random.Generator,
+        inf_value: int,
+    ) -> np.ndarray:
+        """Weight matrix for boolean *adjacency* (diagonal forced to 0)."""
+        adj = np.asarray(adjacency, dtype=bool)
+        n = adj.shape[0]
+        W = np.full((n, n), inf_value, dtype=np.int64)
+        weights = rng.integers(self.low, self.high + 1, size=(n, n))
+        W[adj] = weights[adj]
+        np.fill_diagonal(W, 0)
+        return W
+
+
+def uniform_weights(low: int = 1, high: int = 15) -> WeightSpec:
+    """Shorthand constructor for a uniform :class:`WeightSpec`."""
+    return WeightSpec(low=low, high=high)
+
+
+def unit_weights() -> WeightSpec:
+    """All edges weigh 1 (hop-count workloads; closure/BFS experiments)."""
+    return WeightSpec(low=1, high=1)

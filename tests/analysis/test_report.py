@@ -1,0 +1,50 @@
+"""Report driver."""
+
+import pytest
+
+from repro.analysis.report import main, render_report, run_all
+
+
+class TestRunAll:
+    def test_subset(self):
+        results = run_all(quick=True, only=["F4"])
+        assert list(results) == ["F4"]
+
+    def test_order_follows_registry(self):
+        results = run_all(quick=True, only=["T6", "F4"])
+        assert list(results) == ["F4", "T6"]
+
+
+class TestRender:
+    def test_text(self):
+        out = render_report(run_all(quick=True, only=["F4"]))
+        assert "F4" in out and "iterations" in out
+
+    def test_markdown(self):
+        out = render_report(run_all(quick=True, only=["F4"]), markdown=True)
+        assert out.startswith("**")
+        assert "|" in out
+
+
+class TestCli:
+    def test_main_quick_subset(self, capsys):
+        assert main(["--quick", "F4"]) == 0
+        out = capsys.readouterr().out
+        assert "F4 - iterations" in out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["--quick", "ZZ"])
+
+
+class TestChartFlag:
+    def test_chart_renders_series_as_bars(self, capsys):
+        assert main(["--quick", "--chart", "F4"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bar glyphs
+        assert "| iterations" in out
+
+    def test_chart_leaves_tables_alone(self, capsys):
+        assert main(["--quick", "--chart", "T6"]) == 0
+        out = capsys.readouterr().out
+        assert "implementation" in out  # still a table

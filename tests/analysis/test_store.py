@@ -1,0 +1,116 @@
+"""Experiment result persistence and regression diffing."""
+
+import pytest
+
+from repro.analysis.report import main, run_all
+from repro.analysis.store import (
+    compare_results,
+    from_jsonable,
+    load_results,
+    save_results,
+    to_jsonable,
+)
+from repro.errors import ReproError
+from repro.metrics.tables import Series, Table
+
+
+def sample_table():
+    t = Table("Sample", ["a", "b"])
+    t.add_row(1, True)
+    t.add_row(2, 3.5)
+    t.note("a note")
+    return t
+
+
+def sample_series():
+    s = Series("Sweep", "n")
+    s.add_point(4, y=1.0)
+    s.add_point(8, y=2.0)
+    return s
+
+
+class TestRoundTrip:
+    def test_table(self):
+        t = sample_table()
+        back = from_jsonable(to_jsonable(t))
+        assert back.headers == t.headers
+        assert back.rows == t.rows
+        assert back.notes == t.notes
+
+    def test_series(self):
+        s = sample_series()
+        back = from_jsonable(to_jsonable(s))
+        assert back.x == s.x and back.ys == s.ys
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_results({"T": sample_table(), "S": sample_series()}, path)
+        loaded = load_results(path)
+        assert set(loaded) == {"T", "S"}
+        assert loaded["T"].rows == sample_table().rows
+
+    def test_missing_file(self):
+        with pytest.raises(ReproError, match="not found"):
+            load_results("/nonexistent.json")
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ReproError, match="not a repro-experiments"):
+            load_results(path)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown artefact kind"):
+            from_jsonable({"kind": "chart"})
+
+
+class TestCompare:
+    def test_identical(self):
+        a = {"T": sample_table()}
+        b = {"T": sample_table()}
+        assert compare_results(a, b) == []
+
+    def test_cell_change_reported(self):
+        a = {"T": sample_table()}
+        changed = sample_table()
+        changed.rows[0][0] = 99
+        diffs = compare_results(a, {"T": changed})
+        assert len(diffs) == 1 and "row 0 col 0: 1 -> 99" in diffs[0]
+
+    def test_float_tolerance(self):
+        a = {"S": sample_series()}
+        b = {"S": sample_series()}
+        b["S"].ys["y"][0] += 1e-12
+        assert compare_results(a, b) == []
+        b["S"].ys["y"][0] += 0.5
+        assert compare_results(a, b)
+
+    def test_missing_experiment(self):
+        diffs = compare_results({"A": sample_table()}, {})
+        assert diffs == ["A: only in the old run"]
+        diffs = compare_results({}, {"B": sample_table()})
+        assert diffs == ["B: only in the new run"]
+
+    def test_row_count_change(self):
+        a = {"T": sample_table()}
+        longer = sample_table()
+        longer.add_row(3, False)
+        diffs = compare_results(a, {"T": longer})
+        assert "row count 2 -> 3" in diffs[0]
+
+
+class TestReportIntegration:
+    def test_save_then_compare_matches(self, tmp_path, capsys):
+        path = tmp_path / "f4.json"
+        assert main(["--quick", "F4", "--json", str(path)]) == 0
+        assert path.exists()
+        assert main(["--quick", "F4", "--compare", str(path)]) == 0
+
+    def test_compare_detects_drift(self, tmp_path, capsys):
+        path = tmp_path / "f4.json"
+        results = run_all(quick=True, only=["F4"])
+        results["F4"].ys["iterations"][0] += 1  # simulate drift
+        save_results(results, path)
+        assert main(["--quick", "F4", "--compare", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "DIFF" in out

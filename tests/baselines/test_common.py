@@ -1,0 +1,37 @@
+"""ComparatorMachine shared plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import ComparatorMachine
+from repro.errors import ConfigurationError, MaskError
+
+
+class TestComparatorMachine:
+    def test_reuses_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComparatorMachine(0)
+        with pytest.raises(ConfigurationError):
+            ComparatorMachine(4, word_bits=1)
+
+    def test_maxint(self):
+        assert ComparatorMachine(4, word_bits=8).maxint == 255
+
+    def test_square_fit(self):
+        m = ComparatorMachine(4)
+        m.require_square_fit(4)
+        with pytest.raises(MaskError):
+            m.require_square_fit(3)
+
+    def test_comm_counting(self):
+        m = ComparatorMachine(4)
+        m._count_comm(3, 16)
+        assert m.counters.bus_cycles == 3
+        assert m.counters.bit_cycles == 48
+        assert m.counters.instructions == 3
+
+    def test_sat_add(self):
+        m = ComparatorMachine(4, word_bits=8)
+        out = m.sat_add(np.array([250]), np.array([10]))
+        assert out.tolist() == [255]
+        assert m.counters.alu_ops == 1

@@ -1,0 +1,146 @@
+"""Gated Connection Network baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gcn import GCNMachine
+from repro.baselines.sequential import bellman_ford
+from repro.core.path import validate_tree
+from repro.errors import BusError
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+class TestLinePrimitives:
+    def test_line_or_whole_row(self):
+        m = GCNMachine(4)
+        bits = np.zeros((4, 4), dtype=bool)
+        bits[2, 1] = True
+        out = m.line_or(bits, axis=1)
+        assert out[2].all() and not out[0].any()
+
+    def test_line_or_with_cut(self):
+        m = GCNMachine(4)
+        bits = np.zeros((4, 4), dtype=bool)
+        bits[0, 0] = True
+        cuts = np.zeros((4, 4), dtype=bool)
+        cuts[:, 2] = True  # gate open before column 2
+        out = m.line_or(bits, axis=1, cuts=cuts)
+        assert out[0, :2].all() and not out[0, 2:].any()
+
+    def test_line_broadcast_single_driver(self):
+        m = GCNMachine(4)
+        vals = np.arange(16).reshape(4, 4)
+        drivers = np.zeros((4, 4), dtype=bool)
+        drivers[:, 2] = True
+        out = m.line_broadcast(vals, drivers, axis=1)
+        assert np.array_equal(out, np.tile(vals[:, 2:3], (1, 4)))
+
+    def test_conflicting_drivers_rejected(self):
+        m = GCNMachine(4)
+        vals = np.arange(16).reshape(4, 4)
+        drivers = np.zeros((4, 4), dtype=bool)
+        drivers[0, 0] = drivers[0, 3] = True
+        with pytest.raises(BusError, match="conflicting drivers"):
+            m.line_broadcast(vals, drivers, axis=1)
+
+    def test_agreeing_drivers_allowed(self):
+        m = GCNMachine(4)
+        vals = np.full((4, 4), 7, dtype=np.int64)
+        drivers = np.ones((4, 4), dtype=bool)
+        out = m.line_broadcast(vals, drivers, axis=1)
+        assert (out == 7).all()
+
+    def test_undriven_segment_keeps_values(self):
+        m = GCNMachine(4)
+        vals = np.arange(16).reshape(4, 4)
+        out = m.line_broadcast(vals, np.zeros((4, 4), bool), axis=1)
+        assert np.array_equal(out, vals)
+
+    def test_line_min(self):
+        m = GCNMachine(4)
+        vals = np.array([[9, 2, 5, 2]] * 4)
+        mv, ma = m.line_min(vals, axis=1, args=np.tile(np.arange(4), (4, 1)))
+        assert (mv == 2).all()
+        assert (ma == 1).all()
+
+    def test_line_min_cost_linear_in_h(self):
+        for h in (8, 16):
+            m = GCNMachine(4, word_bits=h)
+            before = m.counters.snapshot()
+            m.line_min(np.ones((4, 4), dtype=np.int64), axis=1)
+            d = m.counters.diff(before)
+            assert d["bus_cycles"] == h + 1  # h wired-ORs + 1 broadcast
+
+
+class TestMCP:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("n", [6, 9])
+    def test_matches_oracle(self, seed, n):
+        W = gnp_digraph(n, 0.35, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = seed % n
+        res = GCNMachine(n).mcp(W, d)
+        bf = bellman_ford(W, d, maxint=INF16)
+        assert np.array_equal(res.sow, bf.sow)
+        assert res.iterations == bf.iterations
+        validate_tree(res, W)
+
+    def test_cost_independent_of_n(self):
+        per_iter = {}
+        for n in (8, 16, 32):
+            from repro.workloads import complete_graph
+
+            W = complete_graph(n, seed=2, weights=WeightSpec(1, 9),
+                               inf_value=INF16)
+            res = GCNMachine(n).mcp(W, 0)
+            per_iter[n] = res.counters["bus_cycles"] / res.iterations
+        # Constant per-iteration cost; only the fixed init overhead,
+        # amortised over slightly different iteration counts, may wiggle.
+        assert max(per_iter.values()) - min(per_iter.values()) <= 2
+
+
+class TestGatedSegments:
+    """The gating machinery beyond the MCP's whole-line usage."""
+
+    def test_column_line_with_cut(self):
+        m = GCNMachine(4)
+        vals = np.arange(16).reshape(4, 4)
+        drivers = np.zeros((4, 4), dtype=bool)
+        drivers[0, :] = True  # row 0 drives every column line
+        cuts = np.zeros((4, 4), dtype=bool)
+        cuts[2, :] = True  # gate open before row 2
+        out = m.line_broadcast(vals, drivers, axis=0, cuts=cuts)
+        assert np.array_equal(out[:2], np.tile(vals[0], (2, 1)))
+        assert np.array_equal(out[2:], vals[2:])  # undriven segment
+
+    def test_two_segments_two_drivers(self):
+        m = GCNMachine(6)
+        vals = np.zeros((6, 6), dtype=np.int64)
+        vals[0, 1] = 11
+        vals[0, 4] = 44
+        drivers = np.zeros((6, 6), dtype=bool)
+        drivers[0, 1] = drivers[0, 4] = True
+        cuts = np.zeros((6, 6), dtype=bool)
+        cuts[:, 3] = True
+        out = m.line_broadcast(vals, drivers, axis=1, cuts=cuts)
+        assert out[0, :3].tolist() == [11, 11, 11]
+        assert out[0, 3:].tolist() == [44, 44, 44]
+
+    def test_line_min_with_cuts(self):
+        m = GCNMachine(6)
+        vals = np.array([[9, 2, 7, 1, 8, 3]] * 6)
+        cuts = np.zeros((6, 6), dtype=bool)
+        cuts[:, 3] = True
+        mv, _ = m.line_min(vals, axis=1, cuts=cuts)
+        assert mv[0, :3].tolist() == [2, 2, 2]
+        assert mv[0, 3:].tolist() == [1, 1, 1]
+
+    def test_first_position_cut_ignored(self):
+        m = GCNMachine(4)
+        bits = np.zeros((4, 4), dtype=bool)
+        bits[0, 0] = True
+        cuts = np.ones((4, 4), dtype=bool)  # col 0 cut must be ignored
+        out = m.line_or(bits, axis=1, cuts=cuts)
+        assert out[0, 0] and not out[0, 1]

@@ -1,0 +1,92 @@
+"""Hypercube (Connection Machine) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hypercube import HypercubeMachine
+from repro.baselines.sequential import bellman_ford
+from repro.core.path import validate_tree
+from repro.errors import ConfigurationError
+from repro.workloads import WeightSpec, complete_graph, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+class TestConstruction:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            HypercubeMachine(6)
+
+    @pytest.mark.parametrize("n,dim", [(2, 1), (8, 3), (32, 5)])
+    def test_dimension(self, n, dim):
+        assert HypercubeMachine(n).dim == dim
+
+
+class TestCollectives:
+    def test_one_to_all_row_subcube(self):
+        m = HypercubeMachine(8)
+        vals = np.arange(64).reshape(8, 8)
+        out = m.one_to_all(vals, root=3, axis=1)
+        assert np.array_equal(out, np.tile(vals[:, 3:4], (1, 8)))
+
+    def test_one_to_all_column_subcube(self):
+        m = HypercubeMachine(8)
+        vals = np.arange(64).reshape(8, 8)
+        out = m.one_to_all(vals, root=5, axis=0)
+        assert np.array_equal(out, np.tile(vals[5], (8, 1)))
+
+    def test_allreduce_min(self):
+        m = HypercubeMachine(8)
+        vals = (np.arange(64).reshape(8, 8) * 7) % 23
+        args = np.tile(np.arange(8), (8, 1))
+        mv, ma = m.allreduce_min(vals, args, axis=1)
+        assert np.array_equal(mv, np.tile(vals.min(1, keepdims=True), (1, 8)))
+        assert np.array_equal(ma[:, 0], vals.argmin(axis=1))
+
+    def test_diag_to_all(self):
+        m = HypercubeMachine(4)
+        vals = np.arange(16).reshape(4, 4)
+        out = m._diag_to_all(vals)
+        assert np.array_equal(out, np.tile(np.diag(vals), (4, 1)))
+
+    def test_collective_cost_logarithmic(self):
+        costs = {}
+        for n in (8, 16, 32):
+            m = HypercubeMachine(n)
+            before = m.counters.snapshot()
+            m.one_to_all(np.zeros((n, n), dtype=np.int64), 0, axis=0)
+            costs[n] = m.counters.diff(before)["bus_cycles"]
+        assert costs[8] == 3 and costs[16] == 4 and costs[32] == 5
+
+
+class TestMCP:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_oracle(self, seed):
+        W = gnp_digraph(8, 0.35, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = seed % 8
+        res = HypercubeMachine(8).mcp(W, d)
+        bf = bellman_ford(W, d, maxint=INF16)
+        assert np.array_equal(res.sow, bf.sow)
+        assert res.iterations == bf.iterations
+        validate_tree(res, W)
+
+    def test_communication_logarithmic_in_n(self):
+        per_iter = {}
+        for n in (8, 16, 32):
+            W = complete_graph(n, seed=2, weights=WeightSpec(1, 9),
+                               inf_value=INF16)
+            res = HypercubeMachine(n).mcp(W, 0)
+            per_iter[n] = res.counters["bus_cycles"] / res.iterations
+        # log2 growth: +constant per doubling
+        d1 = per_iter[16] - per_iter[8]
+        d2 = per_iter[32] - per_iter[16]
+        assert d1 == pytest.approx(d2, abs=3)
+        assert per_iter[32] < 2 * per_iter[8]
+
+    def test_larger_grid(self):
+        W = gnp_digraph(16, 0.25, seed=9, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        res = HypercubeMachine(16).mcp(W, 11)
+        bf = bellman_ford(W, 11, maxint=INF16)
+        assert np.array_equal(res.sow, bf.sow)

@@ -1,0 +1,69 @@
+"""Plain mesh baseline: correctness and Θ(n) communication scaling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mesh import MeshMachine
+from repro.baselines.sequential import bellman_ford
+from repro.core.path import validate_tree
+from repro.workloads import WeightSpec, complete_graph, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+class TestPrimitives:
+    def test_row_to_all(self):
+        m = MeshMachine(4)
+        vals = np.arange(16).reshape(4, 4)
+        out = m.row_to_all(vals, 2)
+        assert np.array_equal(out, np.tile(vals[2], (4, 1)))
+
+    def test_diag_to_all_south(self):
+        m = MeshMachine(4)
+        vals = np.arange(16).reshape(4, 4)
+        out = m.diag_to_all_south(vals)
+        assert np.array_equal(out, np.tile(np.diag(vals), (4, 1)))
+
+    def test_row_min_argmin(self):
+        m = MeshMachine(4)
+        vals = np.array([[5, 2, 9, 2]] * 4)
+        args = np.tile(np.arange(4), (4, 1))
+        mv, ma = m.row_min_argmin(vals, args)
+        assert (mv == 2).all()
+        assert (ma == 1).all()  # smallest index on tie
+
+    def test_shift_costs_words(self):
+        m = MeshMachine(4)
+        before = m.counters.snapshot()
+        m.shift_south(np.zeros((4, 4), dtype=np.int64))
+        d = m.counters.diff(before)
+        assert d["bus_cycles"] == 1 and d["bit_cycles"] == m.word_bits
+
+
+class TestMCP:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_oracle(self, seed):
+        W = gnp_digraph(8, 0.35, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = seed % 8
+        res = MeshMachine(8).mcp(W, d)
+        bf = bellman_ford(W, d, maxint=INF16)
+        assert np.array_equal(res.sow, bf.sow)
+        assert res.iterations == bf.iterations
+        validate_tree(res, W)
+
+    def test_communication_linear_in_n(self):
+        per_iter = {}
+        for n in (8, 16, 32):
+            W = complete_graph(n, seed=2, weights=WeightSpec(1, 9),
+                               inf_value=INF16)
+            res = MeshMachine(n).mcp(W, 0)
+            per_iter[n] = res.counters["bus_cycles"] / res.iterations
+        assert per_iter[16] / per_iter[8] == pytest.approx(2.0, rel=0.2)
+        assert per_iter[32] / per_iter[16] == pytest.approx(2.0, rel=0.2)
+
+    def test_unreachable(self):
+        W = np.full((4, 4), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        res = MeshMachine(4).mcp(W, 0)
+        assert res.reachable.sum() == 1

@@ -1,0 +1,108 @@
+"""Sequential oracles — validated against networkx as the independent truth."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.sequential import bellman_ford, dijkstra
+from repro.errors import GraphError
+from repro.workloads import WeightSpec, gnp_digraph, ring_graph
+
+INF16 = (1 << 16) - 1
+
+
+def nx_costs_to(W, d, maxint):
+    """Shortest path costs from every vertex to d, via networkx."""
+    G = nx.DiGraph()
+    n = W.shape[0]
+    G.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and W[i, j] < maxint:
+                G.add_edge(i, j, weight=int(W[i, j]))
+    lengths = nx.single_source_dijkstra_path_length(G.reverse(copy=True), d)
+    out = np.full(n, maxint, dtype=np.int64)
+    for v, c in lengths.items():
+        out[v] = c
+    return out
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bellman_ford(self, seed):
+        W = gnp_digraph(10, 0.3, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = seed % 10
+        got = bellman_ford(W, d, maxint=INF16)
+        assert np.array_equal(got.sow, nx_costs_to(W, d, INF16))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dijkstra(self, seed):
+        W = gnp_digraph(10, 0.3, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = (seed * 3) % 10
+        got = dijkstra(W, d, maxint=INF16)
+        assert np.array_equal(got.sow, nx_costs_to(W, d, INF16))
+
+
+class TestMutualAgreement:
+    @given(n=st.integers(2, 8), seed=st.integers(0, 1000),
+           density=st.floats(0, 1))
+    @settings(max_examples=30)
+    def test_bf_equals_dijkstra(self, n, seed, density):
+        W = gnp_digraph(n, density, seed=seed, weights=WeightSpec(0, 15),
+                        inf_value=INF16)
+        d = seed % n
+        bf = bellman_ford(W, d, maxint=INF16)
+        dj = dijkstra(W, d, maxint=INF16)
+        assert np.array_equal(bf.sow, dj.sow)
+
+
+class TestStructure:
+    def test_bf_successors_satisfy_bellman(self):
+        W = gnp_digraph(9, 0.4, seed=7, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        bf = bellman_ford(W, 0, maxint=INF16)
+        for i in range(9):
+            if i == 0 or not bf.reachable[i]:
+                continue
+            j = int(bf.ptn[i])
+            assert bf.sow[i] == W[i, j] + bf.sow[j]
+
+    def test_bf_iterations_on_ring(self):
+        W = ring_graph(7, seed=0, inf_value=INF16)
+        bf = bellman_ford(W, 0, maxint=INF16)
+        assert bf.iterations == 6
+
+    def test_unreachable_coded_maxint(self):
+        W = np.full((3, 3), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        bf = bellman_ford(W, 0, maxint=INF16)
+        assert bf.sow.tolist() == [0, INF16, INF16]
+        assert bf.reachable.tolist() == [True, False, False]
+
+
+class TestValidation:
+    def test_destination_range(self):
+        W = ring_graph(4, inf_value=INF16)
+        with pytest.raises(GraphError):
+            bellman_ford(W, 4, maxint=INF16)
+        with pytest.raises(GraphError):
+            dijkstra(W, -1, maxint=INF16)
+
+    def test_negative_weight_rejected(self):
+        W = ring_graph(4, inf_value=INF16)
+        W[0, 1] = -2
+        with pytest.raises(GraphError, match="non-negative"):
+            bellman_ford(W, 0, maxint=INF16)
+
+    def test_nonzero_diagonal_rejected(self):
+        W = ring_graph(4, inf_value=INF16)
+        W[2, 2] = 1
+        with pytest.raises(GraphError, match="diagonal"):
+            dijkstra(W, 0, maxint=INF16)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError, match="square"):
+            bellman_ford(np.zeros((2, 3), dtype=np.int64), 0, maxint=INF16)

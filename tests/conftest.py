@@ -1,0 +1,39 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.ppa import PPAConfig, PPAMachine
+
+# One moderate profile for the whole suite: the simulators are fast but a
+# grid-shaped strategy still costs more than a scalar one.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def machine8() -> PPAMachine:
+    """Fresh default 8x8 machine (16-bit words)."""
+    return PPAMachine(PPAConfig(n=8, word_bits=16))
+
+
+@pytest.fixture
+def machine4() -> PPAMachine:
+    return PPAMachine(PPAConfig(n=4, word_bits=16))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test")

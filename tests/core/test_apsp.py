@@ -1,0 +1,63 @@
+"""All-pairs extension."""
+
+import numpy as np
+import pytest
+
+from repro import PPAConfig, PPAMachine
+from repro.baselines.sequential import bellman_ford
+from repro.core.apsp import all_pairs_minimum_cost
+from repro.errors import GraphError
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+@pytest.fixture
+def setup():
+    W = gnp_digraph(7, 0.35, seed=4, weights=WeightSpec(1, 9), inf_value=INF16)
+    m = PPAMachine(PPAConfig(n=7, word_bits=16))
+    return W, m, all_pairs_minimum_cost(m, W)
+
+
+class TestAPSP:
+    def test_columns_match_single_destination(self, setup):
+        W, m, apsp = setup
+        for d in range(7):
+            bf = bellman_ford(W, d, maxint=INF16)
+            assert np.array_equal(apsp.dist[:, d], bf.sow)
+
+    def test_diagonal_zero(self, setup):
+        _, _, apsp = setup
+        assert (np.diag(apsp.dist) == 0).all()
+
+    def test_triangle_inequality(self, setup):
+        _, _, apsp = setup
+        D = apsp.dist.astype(np.int64)
+        n = D.shape[0]
+        for k in range(n):
+            via = np.minimum(D[:, k, None] + D[None, k, :], INF16)
+            assert (D <= via).all()
+
+    def test_path_reconstruction(self, setup):
+        W, _, apsp = setup
+        for i in range(7):
+            for j in range(7):
+                if apsp.dist[i, j] >= INF16:
+                    with pytest.raises(GraphError):
+                        apsp.path(i, j)
+                    continue
+                p = apsp.path(i, j)
+                assert p[0] == i and p[-1] == j
+                cost = sum(int(W[a, b]) for a, b in zip(p, p[1:]))
+                assert cost == int(apsp.dist[i, j])
+
+    def test_counters_accumulate(self, setup):
+        _, _, apsp = setup
+        assert apsp.counters["bus_cycles"] > 0
+        assert apsp.iterations.shape == (7,)
+
+    def test_word_parallel_matches(self, setup):
+        W, _, apsp = setup
+        m = PPAMachine(PPAConfig(n=7, word_bits=16))
+        fast = all_pairs_minimum_cost(m, W, word_parallel=True)
+        assert np.array_equal(fast.dist, apsp.dist)

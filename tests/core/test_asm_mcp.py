@@ -1,0 +1,93 @@
+"""The assembly MCP program vs the native implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PPAConfig, PPAMachine, minimum_cost_path, validate_tree
+from repro.core.asm_mcp import mcp_assembly, minimum_cost_path_asm
+from repro.errors import GraphError
+from repro.ppa.assembler import assemble
+from repro.workloads import WeightSpec, gnp_digraph, ring_graph
+
+INF16 = (1 << 16) - 1
+
+
+def machine(n, h=16):
+    return PPAMachine(PPAConfig(n=n, word_bits=h))
+
+
+class TestProgramText:
+    def test_assembles(self):
+        program = assemble(mcp_assembly(8, 16))
+        assert len(program) > 40
+
+    def test_parameterised_by_n_and_h(self):
+        a = mcp_assembly(4, 8)
+        b = mcp_assembly(16, 32)
+        assert "ldi   r10, 3" in a and "sldi  s1, 7" in a
+        assert "ldi   r10, 15" in b and "sldi  s1, 31" in b
+
+
+class TestParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_values_match_native(self, seed):
+        n = 8
+        W = gnp_digraph(n, 0.35, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = seed % n
+        native = minimum_cost_path(machine(n), W, d)
+        asm = minimum_cost_path_asm(machine(n), W, d)
+        assert np.array_equal(asm.sow, native.sow)
+        assert np.array_equal(asm.ptn, native.ptn)
+        assert asm.iterations == native.iterations
+        validate_tree(asm, W)
+
+    def test_exact_communication_counter_parity(self):
+        """The instruction stream issues exactly the bus operations the
+        high-level implementation does."""
+        W = gnp_digraph(8, 0.4, seed=2, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        native = minimum_cost_path(machine(8), W, 3)
+        asm = minimum_cost_path_asm(machine(8), W, 3)
+        for key in ("broadcasts", "reductions", "global_ors", "bus_cycles"):
+            assert asm.counters[key] == native.counters[key], key
+
+    def test_other_word_width(self):
+        inf8 = (1 << 8) - 1
+        W = gnp_digraph(6, 0.5, seed=1, weights=WeightSpec(1, 5),
+                        inf_value=inf8)
+        native = minimum_cost_path(machine(6, 8), W, 0)
+        asm = minimum_cost_path_asm(machine(6, 8), W, 0)
+        assert np.array_equal(asm.sow, native.sow)
+
+    def test_worst_case_ring(self):
+        n = 6
+        W = ring_graph(n, seed=0, weights=WeightSpec(1, 5), inf_value=INF16)
+        asm = minimum_cost_path_asm(machine(n), W, 0)
+        assert asm.iterations == n - 1
+
+    @given(seed=st.integers(0, 3000), density=st.floats(0.1, 0.9))
+    @settings(max_examples=15)
+    def test_property_matches_native(self, seed, density):
+        n = 6
+        W = gnp_digraph(n, density, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = seed % n
+        native = minimum_cost_path(machine(n), W, d)
+        asm = minimum_cost_path_asm(machine(n), W, d)
+        assert np.array_equal(asm.sow, native.sow)
+        assert np.array_equal(asm.ptn, native.ptn)
+
+
+class TestValidation:
+    def test_destination_range(self):
+        W = ring_graph(4, inf_value=INF16)
+        with pytest.raises(GraphError, match="destination"):
+            minimum_cost_path_asm(machine(4), W, 9)
+
+    def test_weight_validation_applies(self):
+        W = ring_graph(4, inf_value=INF16)
+        W[0, 0] = 5
+        with pytest.raises(GraphError, match="diagonal"):
+            minimum_cost_path_asm(machine(4), W, 0)

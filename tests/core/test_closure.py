@@ -1,0 +1,76 @@
+"""Transitive closure / reachability extension."""
+
+import numpy as np
+import pytest
+
+from repro import PPAConfig, PPAMachine
+from repro.core.closure import reachable_set, transitive_closure
+from repro.errors import GraphError
+
+INF16 = (1 << 16) - 1
+
+
+def machine(n):
+    return PPAMachine(PPAConfig(n=n, word_bits=16))
+
+
+def closure_oracle(adj):
+    n = adj.shape[0]
+    reach = adj.astype(bool) | np.eye(n, dtype=bool)
+    for _ in range(n):
+        reach = reach | (reach @ reach)
+    return reach
+
+
+class TestReachableSet:
+    def test_chain_hop_counts(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[1, 0] = adj[2, 1] = adj[3, 2] = True
+        res = reachable_set(machine(4), adj, 0)
+        assert res.sow.tolist() == [0, 1, 2, 3]
+
+    def test_disconnected(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        res = reachable_set(machine(3), adj, 1)
+        assert res.reachable.tolist() == [False, True, False]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError, match="square"):
+            reachable_set(machine(3), np.zeros((2, 3), dtype=bool), 0)
+
+    def test_self_loops_ignored(self):
+        adj = np.eye(3, dtype=bool)
+        res = reachable_set(machine(3), adj, 0)
+        assert res.reachable.tolist() == [True, False, False]
+
+
+class TestClosure:
+    @pytest.mark.parametrize("seed,density", [(0, 0.15), (1, 0.3), (2, 0.5)])
+    def test_matches_oracle(self, seed, density):
+        rng = np.random.default_rng(seed)
+        adj = rng.random((8, 8)) < density
+        np.fill_diagonal(adj, False)
+        clo = transitive_closure(machine(8), adj)
+        assert np.array_equal(clo.closure, closure_oracle(adj))
+
+    def test_hops_are_bfs_levels(self):
+        adj = np.zeros((5, 5), dtype=bool)
+        adj[0, 1] = adj[1, 2] = adj[0, 3] = adj[3, 2] = True
+        clo = transitive_closure(machine(5), adj)
+        assert clo.hops[0, 2] == 2
+        assert clo.hops[0, 1] == 1
+        assert clo.hops[2, 0] == clo.unreached
+
+    def test_reaches_helper(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = True
+        clo = transitive_closure(machine(3), adj)
+        assert clo.reaches(0, 1)
+        assert not clo.reaches(1, 0)
+        assert clo.reaches(2, 2)
+
+    def test_integer_adjacency_accepted(self):
+        adj = np.zeros((3, 3), dtype=int)
+        adj[0, 1] = 1
+        clo = transitive_closure(machine(3), adj)
+        assert clo.reaches(0, 1)

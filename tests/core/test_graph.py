@@ -1,0 +1,136 @@
+"""Weight-matrix normalisation and validation."""
+
+import numpy as np
+import pytest
+
+from repro import INF, PPAConfig, PPAMachine
+from repro.core.graph import max_finite_weight, normalize_weights
+from repro.errors import GraphError, MachineError, WordWidthError
+
+
+def machine(n=4, h=16):
+    return PPAMachine(PPAConfig(n=n, word_bits=h))
+
+
+class TestShapes:
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError, match="square"):
+            normalize_weights(np.zeros((3, 4)), machine())
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(MachineError, match="requires"):
+            normalize_weights(np.zeros((5, 5)), machine(4))
+
+    def test_returns_fresh_int64(self):
+        W = np.zeros((4, 4), dtype=np.int64)
+        out = normalize_weights(W, machine())
+        assert out.dtype == np.int64
+        out[0, 1] = 7
+        assert W[0, 1] == 0
+
+
+class TestFloatSentinels:
+    def test_inf_maps_to_maxint(self):
+        m = machine()
+        W = np.full((4, 4), INF)
+        np.fill_diagonal(W, 0)
+        out = normalize_weights(W, m)
+        off_diag = out[~np.eye(4, dtype=bool)]
+        assert (off_diag == m.maxint).all()
+
+    def test_fractional_weight_rejected(self):
+        W = np.zeros((4, 4))
+        W[0, 1] = 2.5
+        with pytest.raises(GraphError, match="integers"):
+            normalize_weights(W, machine())
+
+    def test_negative_float_rejected(self):
+        W = np.zeros((4, 4))
+        W[0, 1] = -3.0
+        with pytest.raises(GraphError, match="non-negative"):
+            normalize_weights(W, machine())
+
+    def test_whole_floats_accepted(self):
+        W = np.zeros((4, 4))
+        W[0, 1] = 5.0
+        assert normalize_weights(W, machine())[0, 1] == 5
+
+
+class TestIntInputs:
+    def test_negative_int_rejected(self):
+        W = np.zeros((4, 4), dtype=np.int64)
+        W[1, 0] = -1
+        with pytest.raises(GraphError, match="non-negative"):
+            normalize_weights(W, machine())
+
+    def test_weight_beyond_maxint_rejected(self):
+        m = machine(h=8)
+        W = np.zeros((4, 4), dtype=np.int64)
+        W[0, 1] = 300
+        with pytest.raises(WordWidthError, match="exceed MAXINT"):
+            normalize_weights(W, m)
+
+    def test_bool_adjacency_accepted(self):
+        W = np.zeros((4, 4), dtype=bool)
+        out = normalize_weights(W, machine())
+        assert (out == 0).all()
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(GraphError, match="unsupported weight dtype"):
+            normalize_weights(np.zeros((4, 4), dtype=object), machine())
+
+
+class TestDiagonal:
+    def test_nonzero_diagonal_rejected_by_default(self):
+        W = np.zeros((4, 4), dtype=np.int64)
+        W[2, 2] = 3
+        with pytest.raises(GraphError, match="diagonal must be zero"):
+            normalize_weights(W, machine())
+
+    def test_set_mode_normalises(self):
+        W = np.full((4, 4), 5, dtype=np.int64)
+        out = normalize_weights(W, machine(), zero_diagonal="set")
+        assert (np.diag(out) == 0).all()
+
+    def test_keep_mode_trusts_caller(self):
+        W = np.zeros((4, 4), dtype=np.int64)
+        W[1, 1] = 9
+        out = normalize_weights(W, machine(), zero_diagonal="keep")
+        assert out[1, 1] == 9
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(GraphError, match="unknown zero_diagonal"):
+            normalize_weights(np.zeros((4, 4), dtype=np.int64), machine(),
+                              zero_diagonal="maybe")
+
+
+class TestHeadroom:
+    def test_saturating_range_rejected(self):
+        m = machine(h=8)  # maxint 255
+        W = np.full((4, 4), 100, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        # a 3-edge path could cost 300 >= 255
+        with pytest.raises(WordWidthError, match="increase word_bits"):
+            normalize_weights(W, m)
+
+    def test_headroom_check_can_be_disabled(self):
+        m = machine(h=8)
+        W = np.full((4, 4), 100, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        normalize_weights(W, m, check_headroom=False)
+
+    def test_safe_range_accepted(self):
+        m = machine(h=8)
+        W = np.full((4, 4), 10, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        normalize_weights(W, m)
+
+
+class TestMaxFiniteWeight:
+    def test_ignores_sentinel(self):
+        W = np.array([[0, 5], [65535, 0]], dtype=np.int64)
+        assert max_finite_weight(W, 65535) == 5
+
+    def test_edgeless_graph(self):
+        W = np.full((3, 3), 255, dtype=np.int64)
+        assert max_finite_weight(W, 255) == 0

@@ -1,0 +1,247 @@
+"""The faithful MCP algorithm: correctness, convergence, edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    INF,
+    PPAConfig,
+    PPAMachine,
+    minimum_cost_path,
+    validate_tree,
+)
+from repro.baselines.sequential import bellman_ford, dijkstra
+from repro.core.mcp import mcp_on_new_machine
+from repro.errors import GraphError
+from repro.workloads import (
+    WeightSpec,
+    complete_graph,
+    gnp_digraph,
+    grid_graph,
+    layered_graph,
+    ring_graph,
+)
+
+INF16 = (1 << 16) - 1
+
+
+def machine(n, h=16):
+    return PPAMachine(PPAConfig(n=n, word_bits=h))
+
+
+class TestHandBuilt:
+    def test_paper_style_small_graph(self):
+        W = np.array(
+            [
+                [0, 4, INF, INF],
+                [INF, 0, 1, INF],
+                [INF, INF, 0, 7],
+                [2, INF, INF, 0],
+            ]
+        )
+        res = minimum_cost_path(machine(4), W, 3)
+        assert res.sow.tolist() == [12, 8, 7, 0]
+        assert res.path(0) == [0, 1, 2, 3]
+        assert res.ptn[3] == 3
+
+    def test_destination_cost_zero(self):
+        W = ring_graph(5, seed=0, inf_value=INF16)
+        res = minimum_cost_path(machine(5), W, 2)
+        assert res.cost(2) == 0
+        assert res.path(2) == [2]
+
+    def test_direct_edge_beats_detour(self):
+        W = np.array(
+            [
+                [0, 1, 5],
+                [INF, 0, 1],
+                [INF, INF, 0],
+            ]
+        )
+        res = minimum_cost_path(machine(3), W, 2)
+        assert res.cost(0) == 2  # 0 -> 1 -> 2 beats direct 5
+        assert res.path(0) == [0, 1, 2]
+
+    def test_unreachable_vertices(self):
+        W = np.full((4, 4), INF)
+        np.fill_diagonal(W, 0)
+        W[0, 1] = 3
+        res = minimum_cost_path(machine(4), W, 1)
+        assert res.reachable.tolist() == [True, True, False, False]
+        assert res.cost(2) == float("inf")
+        with pytest.raises(GraphError, match="unreachable"):
+            res.path(2)
+
+    def test_edgeless_graph(self):
+        W = np.full((4, 4), INF)
+        np.fill_diagonal(W, 0)
+        res = minimum_cost_path(machine(4), W, 0)
+        assert res.reachable.sum() == 1
+        assert res.iterations == 1
+
+    def test_single_vertex(self):
+        res = minimum_cost_path(machine(1), np.zeros((1, 1)), 0)
+        assert res.cost(0) == 0 and res.path(0) == [0]
+
+    def test_zero_weight_edges(self):
+        W = np.array([[0, 0, INF], [INF, 0, 0], [INF, INF, 0]])
+        res = minimum_cost_path(machine(3), W, 2)
+        assert res.sow.tolist() == [0, 0, 0]
+        assert res.path(0) == [0, 1, 2]
+
+    def test_tie_breaks_to_smallest_successor(self):
+        # two equal-cost routes 0->1->3 and 0->2->3
+        W = np.array(
+            [
+                [0, 2, 2, INF],
+                [INF, 0, INF, 2],
+                [INF, INF, 0, 2],
+                [INF, INF, INF, 0],
+            ]
+        )
+        res = minimum_cost_path(machine(4), W, 3)
+        assert res.cost(0) == 4
+        assert res.ptn[0] == 1  # selected_min picks the smaller column
+
+
+class TestValidationAndErrors:
+    def test_destination_out_of_range(self):
+        W = ring_graph(4, inf_value=INF16)
+        with pytest.raises(GraphError, match="destination"):
+            minimum_cost_path(machine(4), W, 7)
+
+    def test_negative_destination(self):
+        W = ring_graph(4, inf_value=INF16)
+        with pytest.raises(GraphError, match="destination"):
+            minimum_cost_path(machine(4), W, -1)
+
+    def test_nonzero_diagonal_rejected(self):
+        W = ring_graph(4, inf_value=INF16)
+        W[1, 1] = 2
+        with pytest.raises(GraphError, match="diagonal"):
+            minimum_cost_path(machine(4), W, 0)
+
+    def test_zero_diagonal_set_mode(self):
+        W = ring_graph(4, inf_value=INF16)
+        W[1, 1] = 2
+        res = minimum_cost_path(machine(4), W, 0, zero_diagonal="set")
+        assert res.cost(0) == 0
+
+    def test_max_iterations_guard(self):
+        W = ring_graph(8, inf_value=INF16)
+        with pytest.raises(GraphError, match="did not converge"):
+            minimum_cost_path(machine(8), W, 0, max_iterations=2)
+
+    def test_convenience_wrapper(self):
+        W = ring_graph(4, seed=1, inf_value=INF16)
+        res = mcp_on_new_machine(W, 0)
+        bf = bellman_ford(W, 0, maxint=INF16)
+        assert np.array_equal(res.sow, bf.sow)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("p_len", [1, 2, 3, 5, 8])
+    def test_iterations_equal_longest_path(self, p_len):
+        W, d = layered_graph(p_len, 2, seed=1, inf_value=INF16)
+        res = minimum_cost_path(machine(W.shape[0]), W, d)
+        assert res.iterations == p_len
+
+    def test_ring_needs_n_minus_1_productive_rounds(self):
+        n = 6
+        W = ring_graph(n, seed=0, inf_value=INF16)
+        res = minimum_cost_path(machine(n), W, 0)
+        # longest MCP to 0 has n-1 edges -> n-1 iterations
+        assert res.iterations == n - 1
+
+    def test_complete_graph_converges_fast(self):
+        W = complete_graph(8, seed=0, weights=WeightSpec(1, 9), inf_value=INF16)
+        res = minimum_cost_path(machine(8), W, 0)
+        assert res.iterations <= 3
+
+    def test_monotone_costs_across_runs(self):
+        """Rerunning on the same machine gives identical results."""
+        W = gnp_digraph(8, 0.3, seed=5, inf_value=INF16)
+        m = machine(8)
+        a = minimum_cost_path(m, W, 2)
+        b = minimum_cost_path(m, W, 2)
+        assert np.array_equal(a.sow, b.sow)
+        assert a.iterations == b.iterations
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("density", [0.15, 0.45, 0.9])
+    def test_gnp_graphs(self, seed, density):
+        n = 9
+        W = gnp_digraph(n, density, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = seed % n
+        res = minimum_cost_path(machine(n), W, d)
+        bf = bellman_ford(W, d, maxint=INF16)
+        dj = dijkstra(W, d, maxint=INF16)
+        assert np.array_equal(res.sow, bf.sow)
+        assert np.array_equal(res.sow, dj.sow)
+        assert res.iterations == bf.iterations
+        validate_tree(res, W)
+
+    def test_grid_graph(self):
+        W = grid_graph(4, seed=3, weights=WeightSpec(1, 9), inf_value=INF16)
+        res = minimum_cost_path(machine(16), W, 5)
+        dj = dijkstra(W, 5, maxint=INF16)
+        assert np.array_equal(res.sow, dj.sow)
+        validate_tree(res, W)
+
+    @given(
+        n=st.integers(2, 7),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30)
+    def test_property_random_graphs(self, n, density, seed):
+        W = gnp_digraph(n, density, seed=seed, weights=WeightSpec(0, 12),
+                        inf_value=INF16)
+        d = seed % n
+        res = minimum_cost_path(machine(n), W, d)
+        bf = bellman_ford(W, d, maxint=INF16)
+        assert np.array_equal(res.sow, bf.sow)
+        validate_tree(res, W)
+
+
+class TestWordWidths:
+    @pytest.mark.parametrize("h", [8, 12, 24, 32])
+    def test_result_independent_of_word_width(self, h):
+        inf = (1 << h) - 1
+        W = gnp_digraph(6, 0.4, seed=2, weights=WeightSpec(1, 7), inf_value=inf)
+        res = minimum_cost_path(machine(6, h), W, 1)
+        bf = bellman_ford(W, 1, maxint=inf)
+        assert np.array_equal(res.sow, bf.sow)
+
+    def test_bus_cost_scales_with_h(self):
+        runs = {}
+        for h in (8, 16):
+            inf = (1 << h) - 1
+            W = gnp_digraph(6, 0.4, seed=2, weights=WeightSpec(1, 7),
+                            inf_value=inf)
+            res = minimum_cost_path(machine(6, h), W, 1)
+            runs[h] = res.counters["bus_cycles"] / res.iterations
+        # 2h wired-ORs dominate: doubling h nearly doubles per-iter cost
+        assert runs[16] > 1.5 * runs[8] / 2 + runs[8] / 2  # strictly increasing
+        assert runs[16] - runs[8] == pytest.approx(16, abs=2)
+
+
+class TestCountersAndResult:
+    def test_counters_are_deltas(self):
+        W = gnp_digraph(6, 0.4, seed=0, inf_value=INF16)
+        m = machine(6)
+        first = minimum_cost_path(m, W, 0)
+        second = minimum_cost_path(m, W, 0)
+        assert first.counters["bus_cycles"] == second.counters["bus_cycles"]
+
+    def test_result_metadata(self):
+        W = gnp_digraph(6, 0.4, seed=0, inf_value=INF16)
+        res = minimum_cost_path(machine(6), W, 3)
+        assert res.destination == 3
+        assert res.n == 6
+        assert res.maxint == INF16
+        assert set(res.costs_dict()) <= set(range(6))

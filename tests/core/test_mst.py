@@ -1,0 +1,143 @@
+"""Borůvka MST on the PPA vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mst import boruvka_mst
+from repro.errors import GraphError
+from repro.ppa import PPAConfig, PPAMachine
+
+INF16 = (1 << 16) - 1
+
+
+def machine(n, h=16):
+    return PPAMachine(PPAConfig(n=n, word_bits=h))
+
+
+def random_graph(n, density, seed, *, connected=False):
+    """Symmetric weight matrix with distinct weights."""
+    rng = np.random.default_rng(seed)
+    W = np.full((n, n), INF16, dtype=np.int64)
+    np.fill_diagonal(W, 0)
+    weights = rng.permutation(n * n) + 1  # distinct
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if connected and j == i + 1:
+                pass  # chain edge guarantees connectivity
+            elif rng.random() >= density:
+                continue
+            W[i, j] = W[j, i] = int(weights[k])
+            k += 1
+    return W
+
+
+def nx_mst_weight(W):
+    G = nx.Graph()
+    n = W.shape[0]
+    G.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if W[i, j] < INF16:
+                G.add_edge(i, j, weight=int(W[i, j]))
+    forest = nx.minimum_spanning_edges(G, data=True)
+    return sum(d["weight"] for _, _, d in forest)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_weight(self, seed):
+        W = random_graph(8, 0.5, seed, connected=True)
+        res = boruvka_mst(machine(8), W)
+        assert res.total_weight == nx_mst_weight(W)
+        assert res.is_spanning_tree
+        assert len(res.edges) == 7
+
+    def test_edges_form_spanning_tree(self):
+        W = random_graph(10, 0.6, 3, connected=True)
+        res = boruvka_mst(machine(10), W)
+        G = nx.Graph((u, v) for u, v, _ in res.edges)
+        G.add_nodes_from(range(10))
+        assert nx.is_tree(G)
+
+    def test_edge_weights_reported_correctly(self):
+        W = random_graph(6, 0.8, 1, connected=True)
+        res = boruvka_mst(machine(6), W)
+        for u, v, w in res.edges:
+            assert u < v
+            assert int(W[u, v]) == w
+
+    def test_forest_on_disconnected_graph(self):
+        W = np.full((6, 6), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        # two triangles with distinct weights
+        for (i, j, w) in [(0, 1, 3), (1, 2, 5), (0, 2, 7),
+                          (3, 4, 2), (4, 5, 4), (3, 5, 6)]:
+            W[i, j] = W[j, i] = w
+        res = boruvka_mst(machine(6), W)
+        assert not res.is_spanning_tree
+        assert len(res.edges) == 4
+        assert res.total_weight == 3 + 5 + 2 + 4
+        assert len(np.unique(res.components)) == 2
+
+    def test_edgeless_graph(self):
+        W = np.full((4, 4), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        res = boruvka_mst(machine(4), W)
+        assert res.edges == ()
+        assert len(np.unique(res.components)) == 4
+
+    def test_single_edge(self):
+        W = np.full((3, 3), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        W[0, 2] = W[2, 0] = 9
+        res = boruvka_mst(machine(3), W)
+        assert res.edges == ((0, 2, 9),)
+
+    @given(seed=st.integers(0, 5000), n=st.integers(3, 9))
+    @settings(max_examples=25)
+    def test_property_weight_matches_networkx(self, seed, n):
+        W = random_graph(n, 0.5, seed)
+        res = boruvka_mst(machine(n), W)
+        assert res.total_weight == nx_mst_weight(W)
+
+
+class TestValidationAndCost:
+    def test_asymmetric_rejected(self):
+        W = np.full((4, 4), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        W[0, 1] = 3
+        with pytest.raises(GraphError, match="symmetric"):
+            boruvka_mst(machine(4), W)
+
+    def test_duplicate_weights_rejected(self):
+        W = np.full((4, 4), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        W[0, 1] = W[1, 0] = 5
+        W[2, 3] = W[3, 2] = 5
+        with pytest.raises(GraphError, match="distinct"):
+            boruvka_mst(machine(4), W)
+
+    def test_logarithmic_rounds(self):
+        # a path graph maximises Boruvka rounds: ceil(log2 n)
+        n = 16
+        W = np.full((n, n), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        rng = np.random.default_rng(0)
+        weights = rng.permutation(n) + 1
+        for i in range(n - 1):
+            W[i, i + 1] = W[i + 1, i] = int(weights[i])
+        res = boruvka_mst(machine(n), W)
+        assert res.is_spanning_tree
+        assert res.rounds <= int(np.ceil(np.log2(n))) + 1
+
+    def test_counters_scale_with_h(self):
+        Wa = random_graph(8, 0.6, 5, connected=True)
+        m8 = machine(8, h=16)
+        r16 = boruvka_mst(m8, Wa)
+        assert r16.counters["bus_cycles"] > 0
+        per_round = r16.counters["reductions"] / r16.rounds
+        # four bit-serial scans per round (min+selected twice) ~ 4h
+        assert per_round == pytest.approx(4 * 16, abs=1)

@@ -1,0 +1,94 @@
+"""PTN path reconstruction and tree validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.path import extract_path, path_cost, validate_tree
+from repro.core.result import MCPResult
+from repro.errors import GraphError
+
+MAXINT = 255
+
+
+def result(sow, ptn, d=0):
+    return MCPResult(
+        destination=d,
+        sow=np.array(sow),
+        ptn=np.array(ptn),
+        iterations=1,
+        maxint=MAXINT,
+    )
+
+
+class TestExtractPath:
+    def test_chain(self):
+        res = result([0, 1, 2, 3], [0, 0, 1, 2])
+        assert extract_path(res, 3) == [3, 2, 1, 0]
+
+    def test_destination_itself(self):
+        res = result([0, 1], [0, 0])
+        assert extract_path(res, 0) == [0]
+
+    def test_out_of_range_source(self):
+        res = result([0, 1], [0, 0])
+        with pytest.raises(GraphError, match="outside"):
+            extract_path(res, 5)
+
+    def test_unreachable_source(self):
+        res = result([0, MAXINT], [0, 0])
+        with pytest.raises(GraphError, match="unreachable"):
+            extract_path(res, 1)
+
+    def test_cycle_detected(self):
+        res = result([0, 1, 2], [0, 2, 1])  # 1 <-> 2 never reach 0
+        with pytest.raises(GraphError, match="did not reach"):
+            extract_path(res, 1)
+
+
+class TestPathCost:
+    def test_sums_edges(self):
+        W = np.array([[0, 2, MAXINT], [MAXINT, 0, 3], [MAXINT, MAXINT, 0]])
+        assert path_cost(W, [0, 1, 2], MAXINT) == 5
+
+    def test_missing_edge_rejected(self):
+        W = np.full((3, 3), MAXINT)
+        np.fill_diagonal(W, 0)
+        with pytest.raises(GraphError, match="missing edge"):
+            path_cost(W, [0, 1], MAXINT)
+
+    def test_trivial_path(self):
+        W = np.zeros((2, 2), dtype=np.int64)
+        assert path_cost(W, [1], MAXINT) == 0
+
+
+class TestValidateTree:
+    def w(self):
+        W = np.full((3, 3), MAXINT, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        W[1, 0] = 4
+        W[2, 1] = 5
+        return W
+
+    def test_valid_tree_passes(self):
+        validate_tree(result([0, 4, 9], [0, 0, 1]), self.w())
+
+    def test_nonzero_dest_cost_rejected(self):
+        with pytest.raises(GraphError, match="expected 0"):
+            validate_tree(result([1, 4, 9], [0, 0, 1]), self.w())
+
+    def test_dest_pointer_must_self_loop(self):
+        with pytest.raises(GraphError, match="ptn\\[d\\]"):
+            validate_tree(result([0, 4, 9], [1, 0, 1]), self.w())
+
+    def test_bellman_violation_rejected(self):
+        with pytest.raises(GraphError, match="Bellman condition"):
+            validate_tree(result([0, 4, 8], [0, 0, 1]), self.w())
+
+    def test_pointer_to_missing_edge_rejected(self):
+        with pytest.raises(GraphError, match="missing"):
+            validate_tree(result([0, 4, 9], [0, 0, 0]), self.w())
+
+    def test_pointer_to_unreachable_rejected(self):
+        W = self.w()
+        res = result([0, MAXINT, MAXINT], [0, 0, 1])
+        validate_tree(res, W)  # unreachable vertices are skipped

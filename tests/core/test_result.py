@@ -1,0 +1,71 @@
+"""MCPResult container."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import MCPResult
+from repro.errors import GraphError
+
+
+def res():
+    return MCPResult(
+        destination=1,
+        sow=np.array([5, 0, 255]),
+        ptn=np.array([1, 1, 1]),
+        iterations=2,
+        maxint=255,
+        counters={"bus_cycles": 10},
+    )
+
+
+class TestResult:
+    def test_n(self):
+        assert res().n == 3
+
+    def test_reachable_mask(self):
+        assert res().reachable.tolist() == [True, True, False]
+
+    def test_cost_finite(self):
+        assert res().cost(0) == 5
+
+    def test_cost_infinite(self):
+        assert res().cost(2) == float("inf")
+
+    def test_costs_dict_skips_unreachable(self):
+        assert res().costs_dict() == {0: 5, 1: 0}
+
+    def test_path_delegation(self):
+        assert res().path(0) == [0, 1]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            MCPResult(
+                destination=0,
+                sow=np.array([1, 2]),
+                ptn=np.array([0]),
+                iterations=1,
+                maxint=255,
+            )
+
+    def test_2d_sow_rejected(self):
+        with pytest.raises(GraphError):
+            MCPResult(
+                destination=0,
+                sow=np.zeros((2, 2)),
+                ptn=np.zeros((2, 2)),
+                iterations=1,
+                maxint=255,
+            )
+
+    def test_arrays_coerced_to_int64(self):
+        r = MCPResult(
+            destination=0,
+            sow=np.array([0.0, 3.0]),
+            ptn=np.array([0, 0]),
+            iterations=1,
+            maxint=255,
+        )
+        assert r.sow.dtype == np.int64
+
+    def test_repr_mentions_destination(self):
+        assert "d=1" in repr(res())

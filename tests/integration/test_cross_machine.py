@@ -1,0 +1,69 @@
+"""Cross-machine integration: four architectures, two oracles, one answer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PPAConfig, PPAMachine, minimum_cost_path
+from repro.baselines import (
+    GCNMachine,
+    HypercubeMachine,
+    MeshMachine,
+    bellman_ford,
+    dijkstra,
+)
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+def all_results(W, d):
+    n = W.shape[0]
+    out = {
+        "ppa": minimum_cost_path(PPAMachine(PPAConfig(n=n)), W, d),
+        "mesh": MeshMachine(n).mcp(W, d),
+        "gcn": GCNMachine(n).mcp(W, d),
+    }
+    if n & (n - 1) == 0:
+        out["hypercube"] = HypercubeMachine(n).mcp(W, d)
+    return out
+
+
+class TestAgreement:
+    @given(seed=st.integers(0, 10_000), density=st.floats(0, 1))
+    @settings(max_examples=25)
+    def test_all_machines_agree(self, seed, density):
+        n = 8
+        W = gnp_digraph(n, density, seed=seed, weights=WeightSpec(0, 30),
+                        inf_value=INF16)
+        d = seed % n
+        bf = bellman_ford(W, d, maxint=INF16)
+        dj = dijkstra(W, d, maxint=INF16)
+        assert np.array_equal(bf.sow, dj.sow)
+        for name, res in all_results(W, d).items():
+            assert np.array_equal(res.sow, bf.sow), name
+            assert res.iterations == bf.iterations, name
+
+    def test_identical_iteration_counts_across_machines(self):
+        W = gnp_digraph(8, 0.3, seed=11, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        results = all_results(W, 5)
+        iters = {r.iterations for r in results.values()}
+        assert len(iters) == 1
+
+    def test_every_machine_reports_counters(self):
+        W = gnp_digraph(8, 0.3, seed=11, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        for name, res in all_results(W, 5).items():
+            assert res.counters["bus_cycles"] > 0, name
+            assert res.counters["bit_cycles"] > 0, name
+
+
+class TestCostHierarchy:
+    def test_bit_cycle_ordering_at_n32(self):
+        W = gnp_digraph(32, 0.2, seed=3, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        res = all_results(W, 7)
+        bits = {k: v.counters["bit_cycles"] for k, v in res.items()}
+        assert bits["mesh"] > bits["hypercube"] > bits["ppa"]
+        assert bits["mesh"] > bits["gcn"]

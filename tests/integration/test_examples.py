@@ -1,0 +1,59 @@
+"""Every example script runs cleanly and prints its headline output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "minimum cost paths to vertex 5" in out
+        assert "0 -> 1" in out
+
+    def test_road_network(self):
+        out = run_example("road_network_routing.py")
+        assert "hospital" in out
+        assert "fastest route from (0, 0)" in out
+
+    def test_maze(self):
+        out = run_example("maze_routing.py")
+        assert "wire length from S" in out
+
+    def test_ppc_demo(self):
+        out = run_example("ppc_language_demo.py")
+        assert "interpreter == native implementation: True" in out
+        assert "rejected as expected" in out
+
+    def test_architecture_comparison(self):
+        out = run_example("architecture_comparison.py")
+        assert "T5" in out and "A8" in out
+
+    def test_image_processing(self):
+        out = run_example("image_processing.py")
+        assert "distance transform" in out
+        assert "connected components" in out
+
+    def test_fault_diagnosis(self):
+        out = run_example("fault_diagnosis.py")
+        assert "corruption caught by validate_tree" in out
+        assert "stuck-open switch at (3, 3)" in out
+
+    def test_compiler_pipeline(self):
+        out = run_example("compiler_pipeline.py")
+        assert "all rungs agree" in out

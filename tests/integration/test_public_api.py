@@ -1,0 +1,43 @@
+"""Public API surface: imports, __all__ integrity, docstring example."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_example(self):
+        W = np.array(
+            [
+                [0, 4, repro.INF, repro.INF],
+                [repro.INF, 0, 1, repro.INF],
+                [repro.INF, repro.INF, 0, 7],
+                [2, repro.INF, repro.INF, 0],
+            ]
+        )
+        machine = repro.PPAMachine(repro.PPAConfig(n=4, word_bits=16))
+        result = repro.minimum_cost_path(machine, W, d=3)
+        assert int(result.sow[0]) == 12
+        assert result.path(0) == [0, 1, 2, 3]
+
+    def test_errors_are_catchable_via_base(self):
+        with pytest.raises(repro.ReproError):
+            repro.PPAConfig(n=0)
+
+    def test_subpackages_importable(self):
+        import repro.analysis  # noqa: F401
+        import repro.baselines  # noqa: F401
+        import repro.core  # noqa: F401
+        import repro.metrics  # noqa: F401
+        import repro.ppa  # noqa: F401
+        import repro.ppc  # noqa: F401
+        import repro.ppc.lang  # noqa: F401
+        import repro.workloads  # noqa: F401

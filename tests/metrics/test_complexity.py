@@ -1,0 +1,56 @@
+"""Scaling fits."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.complexity import linear_fit, loglog_slope
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_noisy_line_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(50)
+        y = 3 * x + rng.normal(0, 5, 50)
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(3.0, abs=0.3)
+        assert 0.9 < fit.r2 < 1.0
+
+    def test_constant_y(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [1, 3])
+        assert fit.predict([2])[0] == pytest.approx(5.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="two"):
+            linear_fit([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError, match="variance"):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+
+class TestLogLogSlope:
+    def test_linear_growth_slope_one(self):
+        x = np.array([4, 8, 16, 32])
+        assert loglog_slope(x, 5 * x) == pytest.approx(1.0)
+
+    def test_quadratic_growth_slope_two(self):
+        x = np.array([4, 8, 16, 32])
+        assert loglog_slope(x, x**2) == pytest.approx(2.0)
+
+    def test_constant_slope_zero(self):
+        assert loglog_slope([4, 8, 16], [7, 7, 7]) == pytest.approx(0.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            loglog_slope([1, 2], [0, 1])

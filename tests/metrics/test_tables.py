@@ -1,0 +1,110 @@
+"""Table / Series rendering."""
+
+import pytest
+
+from repro.metrics.tables import Series, Table
+
+
+class TestTable:
+    def make(self):
+        t = Table("Demo", ["name", "value"])
+        t.add_row("alpha", 1)
+        t.add_row("beta", 2.5)
+        return t
+
+    def test_row_arity_checked(self):
+        t = self.make()
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row("only-one")
+
+    def test_render_contains_everything(self):
+        t = self.make()
+        t.note("a note")
+        out = t.render()
+        assert "Demo" in out
+        assert "alpha" in out and "2.500" in out
+        assert "note: a note" in out
+
+    def test_markdown(self):
+        md = self.make().to_markdown()
+        assert md.splitlines()[2].startswith("| name")
+        assert "| alpha | 1 |" in md
+
+    def test_column_accessor(self):
+        assert self.make().column("value") == [1, 2.5]
+
+    def test_column_unknown(self):
+        with pytest.raises(ValueError):
+            self.make().column("nope")
+
+    def test_alignment_consistent(self):
+        lines = self.make().render().splitlines()
+        header, sep, *rows = lines[2:]
+        assert len(header) == len(sep)
+        assert all(len(r) == len(header) for r in rows)
+
+
+class TestSeries:
+    def make(self):
+        s = Series("Sweep", "n")
+        s.add_point(4, a=1, b=10)
+        s.add_point(8, a=2, b=20)
+        return s
+
+    def test_accumulates(self):
+        s = self.make()
+        assert s.x == [4, 8]
+        assert s.ys["a"] == [1, 2]
+
+    def test_as_table(self):
+        t = self.make().as_table()
+        assert t.headers == ["n", "a", "b"]
+        assert t.rows[1] == [8, 2, 20]
+
+    def test_render_via_table(self):
+        s = self.make()
+        s.note("shape holds")
+        out = s.render()
+        assert "Sweep" in out and "shape holds" in out
+
+
+class TestRenderChart:
+    def make(self):
+        s = Series("Sweep", "n")
+        s.add_point(4, cost=10.0)
+        s.add_point(8, cost=20.0)
+        s.add_point(16, cost=40.0)
+        s.note("linear")
+        return s
+
+    def test_bars_scale_to_max(self):
+        lines = self.make().render_chart(width=20).splitlines()
+        bars = [l for l in lines if "#" in l]
+        assert bars[-1].count("#") == 20  # the max fills the width
+        assert bars[0].count("#") == 5
+
+    def test_values_printed(self):
+        out = self.make().render_chart()
+        assert "40.000" in out and "10.000" in out
+
+    def test_notes_and_title(self):
+        out = self.make().render_chart()
+        assert out.startswith("Sweep")
+        assert "note: linear" in out
+
+    def test_multiple_series_blocks(self):
+        s = Series("S", "x")
+        s.add_point(1, a=1, b=9)
+        out = s.render_chart()
+        assert "| a" in out and "| b" in out
+
+    def test_zero_max_safe(self):
+        s = Series("S", "x")
+        s.add_point(1, a=0)
+        out = s.render_chart()
+        assert "0" in out  # no division crash
+
+    def test_int_values_formatted_as_int(self):
+        s = Series("S", "x")
+        s.add_point(1, a=7)
+        assert " 7" in s.render_chart()

@@ -1,0 +1,110 @@
+"""Assembler: syntax, labels, operand checking."""
+
+import pytest
+
+from repro.ppa.assembler import AssemblyError, assemble
+from repro.ppa.directions import Direction
+from repro.ppa.isa import Opcode
+
+
+class TestBasics:
+    def test_minimal_program(self):
+        prog = assemble("halt")
+        assert len(prog) == 1 and prog[0].opcode is Opcode.HALT
+
+    def test_operand_decoding(self):
+        prog = assemble("ldi r3, 42\nhalt")
+        assert prog[0].operands == (3, 42)
+
+    def test_hex_immediate(self):
+        prog = assemble("ldi r0, 0xFF\nhalt")
+        assert prog[0].operands == (0, 255)
+
+    def test_negative_immediate(self):
+        prog = assemble("saddi s1, -1\nhalt")
+        assert prog[0].operands == (1, -1)
+
+    def test_direction_case_insensitive(self):
+        prog = assemble("shift r1, r2, south\nhalt")
+        assert prog[0].operands == (1, 2, Direction.SOUTH)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        ; leading comment
+        ldi r0, 1   ; trailing comment
+
+        halt
+        """)
+        assert len(prog) == 2
+
+    def test_mnemonic_case_insensitive(self):
+        assert assemble("HALT")[0].opcode is Opcode.HALT
+
+
+class TestLabels:
+    def test_forward_and_backward_references(self):
+        prog = assemble("""
+        start:  ldi r0, 1
+                jmp end
+                jmp start
+        end:    halt
+        """)
+        assert prog[1].operands == (3,)  # end
+        assert prog[2].operands == (0,)  # start
+
+    def test_label_on_its_own_line(self):
+        prog = assemble("""
+        loop:
+                saddi s0, -1
+                sjge s0, loop
+                halt
+        """)
+        assert prog[1].operands == (0, 0)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a: ldi r0, 1\na: halt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("jmp nowhere\nhalt")
+
+    def test_invalid_label_name(self):
+        with pytest.raises(AssemblyError, match="invalid label"):
+            assemble("1abc: halt")
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblyError, match="unknown instruction"):
+            assemble("frobnicate r0\nhalt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects 2 operand"):
+            assemble("ldi r0\nhalt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="parallel register"):
+            assemble("ldi r16, 0\nhalt")
+        with pytest.raises(AssemblyError, match="scalar register"):
+            assemble("sldi s9, 0\nhalt")
+
+    def test_register_kind_mismatch(self):
+        with pytest.raises(AssemblyError, match="parallel register"):
+            assemble("mov s1, r2\nhalt")
+
+    def test_bad_direction(self):
+        with pytest.raises(AssemblyError, match="direction"):
+            assemble("shift r0, r1, UP\nhalt")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError, match="integer"):
+            assemble("ldi r0, banana\nhalt")
+
+    def test_missing_halt(self):
+        with pytest.raises(AssemblyError, match="no halt"):
+            assemble("ldi r0, 1")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("halt\n; fine\nbogus r1\n")

@@ -1,0 +1,54 @@
+"""CycleCounters bookkeeping."""
+
+from repro.ppa.counters import CycleCounters
+
+
+class TestCounters:
+    def test_starts_zero(self):
+        assert all(v == 0 for v in CycleCounters().snapshot().values())
+
+    def test_snapshot_is_copy(self):
+        c = CycleCounters()
+        snap = c.snapshot()
+        c.instructions += 5
+        assert snap["instructions"] == 0
+
+    def test_diff(self):
+        c = CycleCounters()
+        c.broadcasts = 3
+        before = c.snapshot()
+        c.broadcasts += 2
+        c.alu_ops += 7
+        d = c.diff(before)
+        assert d["broadcasts"] == 2
+        assert d["alu_ops"] == 7
+        assert d["shifts"] == 0
+
+    def test_reset(self):
+        c = CycleCounters()
+        c.bus_cycles = 11
+        c.reset()
+        assert c.bus_cycles == 0
+
+    def test_merge_accumulates(self):
+        a = CycleCounters()
+        b = CycleCounters()
+        a.shifts = 2
+        b.shifts = 3
+        b.bit_cycles = 10
+        a.merge(b)
+        assert a.shifts == 5
+        assert a.bit_cycles == 10
+
+    def test_snapshot_contains_all_fields(self):
+        snap = CycleCounters().snapshot()
+        assert {
+            "instructions",
+            "broadcasts",
+            "reductions",
+            "shifts",
+            "alu_ops",
+            "global_ors",
+            "bus_cycles",
+            "bit_cycles",
+        } <= set(snap)

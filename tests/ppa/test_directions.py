@@ -1,0 +1,57 @@
+"""Direction geometry: axes, steps, opposites."""
+
+import pytest
+
+from repro.ppa.directions import Direction, opposite
+
+
+class TestAxes:
+    def test_north_south_move_along_rows(self):
+        assert Direction.NORTH.axis == 0
+        assert Direction.SOUTH.axis == 0
+
+    def test_east_west_move_along_columns(self):
+        assert Direction.EAST.axis == 1
+        assert Direction.WEST.axis == 1
+
+
+class TestSteps:
+    def test_south_is_increasing_row(self):
+        assert Direction.SOUTH.step == 1
+        assert Direction.SOUTH.is_forward
+
+    def test_east_is_increasing_column(self):
+        assert Direction.EAST.step == 1
+        assert Direction.EAST.is_forward
+
+    def test_north_is_decreasing_row(self):
+        assert Direction.NORTH.step == -1
+        assert not Direction.NORTH.is_forward
+
+    def test_west_is_decreasing_column(self):
+        assert Direction.WEST.step == -1
+        assert not Direction.WEST.is_forward
+
+
+class TestOpposite:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (Direction.NORTH, Direction.SOUTH),
+            (Direction.EAST, Direction.WEST),
+        ],
+    )
+    def test_pairs(self, a, b):
+        assert opposite(a) is b
+        assert opposite(b) is a
+        assert a.opposite() is b
+
+    @pytest.mark.parametrize("d", list(Direction))
+    def test_involution(self, d):
+        assert opposite(opposite(d)) is d
+
+    @pytest.mark.parametrize("d", list(Direction))
+    def test_opposite_shares_axis_flips_step(self, d):
+        o = opposite(d)
+        assert o.axis == d.axis
+        assert o.step == -d.step

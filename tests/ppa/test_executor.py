@@ -1,0 +1,246 @@
+"""Instruction executor semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.ppa import Direction, PPAConfig, PPAMachine
+from repro.ppa.assembler import assemble
+from repro.ppa.executor import execute
+
+
+def run(src, n=4, h=16, inputs=None, **kw):
+    machine = PPAMachine(PPAConfig(n=n, word_bits=h))
+    return execute(machine, assemble(src), inputs=inputs, **kw), machine
+
+
+class TestDataMovement:
+    def test_ldi_and_mov(self):
+        state, _ = run("ldi r1, 7\nmov r2, r1\nhalt")
+        assert (state.reg(2) == 7).all()
+
+    def test_lds(self):
+        state, _ = run("lds r1, s0\nhalt", inputs={"s0": 42})
+        assert (state.reg(1) == 42).all()
+
+    def test_row_col(self):
+        state, _ = run("row r1\ncol r2\nhalt")
+        assert state.reg(1)[2, 3] == 2 and state.reg(2)[2, 3] == 3
+
+    def test_memory_roundtrip(self):
+        state, _ = run("row r1\nst 2, r1\nld r3, 2\nhalt")
+        assert np.array_equal(state.reg(3), state.reg(1))
+
+    def test_inputs_grid_and_memory(self):
+        grid = np.arange(16).reshape(4, 4)
+        state, _ = run("ld r1, 0\nhalt", inputs={"m0": grid, "r2": grid})
+        assert np.array_equal(state.reg(1), grid)
+        assert np.array_equal(state.reg(2), grid)
+
+    def test_bad_input_key(self):
+        with pytest.raises(MachineError, match="unknown input key"):
+            run("halt", inputs={"x1": 0})
+
+
+class TestAlu:
+    def test_add_saturates(self):
+        state, _ = run(
+            "ldi r1, 250\nldi r2, 10\nadd r3, r1, r2\nhalt", h=8
+        )
+        assert (state.reg(3) == 255).all()
+
+    def test_sub_clamps_at_zero(self):
+        state, _ = run("ldi r1, 3\nldi r2, 10\nsub r3, r1, r2\nhalt")
+        assert (state.reg(3) == 0).all()
+
+    def test_min_max(self):
+        state, _ = run(
+            "row r1\ncol r2\nmin r3, r1, r2\nmax r4, r1, r2\nhalt"
+        )
+        assert state.reg(3)[1, 3] == 1 and state.reg(4)[1, 3] == 3
+
+    def test_compares_are_01(self):
+        state, _ = run("row r1\ncol r2\ncmplt r3, r1, r2\nhalt")
+        got = state.reg(3)
+        assert set(np.unique(got)) <= {0, 1}
+        assert got[0, 1] == 1 and got[1, 0] == 0
+
+    def test_logical_not(self):
+        state, _ = run("ldi r1, 5\nnot r2, r1\nnot r3, r2\nhalt")
+        assert (state.reg(2) == 0).all() and (state.reg(3) == 1).all()
+
+    def test_shifts_and_bits(self):
+        state, _ = run(
+            "ldi r1, 5\nshli r2, r1, 2\nshri r3, r2, 1\nbiti r4, r1, 2\nhalt"
+        )
+        assert (state.reg(2) == 20).all()
+        assert (state.reg(3) == 10).all()
+        assert (state.reg(4) == 1).all()
+
+    def test_bits_dynamic_plane(self):
+        state, _ = run(
+            "ldi r1, 4\nsldi s1, 2\nbits r2, r1, s1\nhalt"
+        )
+        assert (state.reg(2) == 1).all()
+
+
+class TestCommunication:
+    def test_shift(self):
+        state, _ = run("col r1\nshift r2, r1, EAST\nhalt")
+        assert state.reg(2)[0].tolist() == [3, 0, 1, 2]
+
+    def test_bcast(self):
+        src = "row r1\ncol r2\nldi r3, 1\ncmpeq r4, r1, r3\n" \
+              "bcast r5, r2, SOUTH, r4\nhalt"
+        state, _ = run(src)
+        # row 1 drives every column with its COL value
+        assert np.array_equal(state.reg(5), np.tile(np.arange(4), (4, 1)))
+
+    def test_wor(self):
+        src = ("row r1\ncol r2\nldi r3, 0\ncmpeq r4, r2, r3\n"  # heads col 0
+               "cmpeq r5, r1, r2\n"  # diagonal bits
+               "wor r6, r5, EAST, r4\nhalt")
+        state, _ = run(src)
+        assert (state.reg(6) == 1).all()  # every row ring contains a 1
+
+    def test_comm_counters_shared_with_machine(self):
+        state, machine = run("ldi r1, 1\nbcast r2, r1, SOUTH, r1\nhalt")
+        assert state.counters["broadcasts"] == 1
+        assert machine.counters.broadcasts == 1
+
+
+class TestMasksAndControl:
+    def test_pushm_masks_stores(self):
+        src = ("row r1\nldi r2, 1\ncmpeq r3, r1, r2\n"
+               "pushm r3\nldi r4, 9\npopm\nhalt")
+        state, _ = run(src)
+        got = state.reg(4)
+        assert (got[1] == 9).all() and got.sum() == 9 * 4
+
+    def test_popm_underflow(self):
+        with pytest.raises(MachineError, match="popm"):
+            run("popm\nhalt")
+
+    def test_mask_restored_after_error(self):
+        _, machine = run("ldi r0, 1\nhalt")
+        with pytest.raises(MachineError):
+            execute(machine, assemble("pushm r0\njmp spin\nspin: jmp spin\nhalt"),
+                    max_steps=50)
+        assert machine.active_mask.all()  # no leaked mask frames
+
+    def test_controller_loop(self):
+        src = """
+                sldi  s0, 4
+                ldi   r1, 0
+                ldi   r2, 1
+        loop:   add   r1, r1, r2
+                saddi s0, -1
+                sjge  s0, loop
+                halt
+        """
+        state, _ = run(src)
+        assert (state.reg(1) == 5).all()
+        assert state.sregs[0] == -1
+
+    def test_gor_and_jnz(self):
+        src = """
+                row   r1
+                ldi   r2, 0
+        drain:  cmpne r3, r1, r2
+                gor   r3
+                jz    done
+                ldi   r4, 1
+                pushm r3
+                sub   r1, r1, r4
+                popm
+                jmp   drain
+        done:   halt
+        """
+        state, _ = run(src)
+        assert not state.reg(1).any()
+
+    def test_step_budget_enforced(self):
+        with pytest.raises(MachineError, match="exceeded"):
+            run("spin: jmp spin\nhalt", max_steps=10)
+
+    def test_pc_runoff_detected(self):
+        # jump beyond the last instruction (label at the very end)
+        machine = PPAMachine(PPAConfig(n=2))
+        prog = assemble("jmp end\nend: halt")
+        # craft a runoff: execute from a program whose halt is skipped
+        bad = assemble("jz skip\nhalt\nskip: ldi r0, 1\nhalt")
+        execute(machine, bad)  # flag False -> jz taken -> ldi -> halt
+
+
+class TestStateReporting:
+    def test_steps_counted(self):
+        state, _ = run("ldi r0, 1\nldi r1, 2\nhalt")
+        assert state.steps == 3
+        assert state.halted
+
+    def test_counters_are_deltas(self):
+        machine = PPAMachine(PPAConfig(n=4))
+        machine.count_alu(100)
+        state = execute(machine, assemble("ldi r0, 1\nhalt"))
+        assert state.counters["alu_ops"] < 100
+
+
+class TestExtendedAlu:
+    def test_mul_saturates(self):
+        state, _ = run("ldi r1, 20\nldi r2, 20\nmul r3, r1, r2\nhalt", h=8)
+        assert (state.reg(3) == 255).all()
+
+    def test_mul_normal(self):
+        state, _ = run("ldi r1, 6\nldi r2, 7\nmul r3, r1, r2\nhalt")
+        assert (state.reg(3) == 42).all()
+
+    def test_div_mod(self):
+        state, _ = run(
+            "ldi r1, 17\nldi r2, 5\ndiv r3, r1, r2\nmod r4, r1, r2\nhalt"
+        )
+        assert (state.reg(3) == 3).all()
+        assert (state.reg(4) == 2).all()
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(MachineError, match="division by zero"):
+            run("ldi r1, 4\nldi r2, 0\ndiv r3, r1, r2\nhalt")
+
+    def test_mod_by_zero_traps(self):
+        with pytest.raises(MachineError, match="division by zero"):
+            run("ldi r1, 4\nldi r2, 0\nmod r3, r1, r2\nhalt")
+
+
+class TestScalarBranches:
+    @pytest.mark.parametrize(
+        "op,s0,imm,taken",
+        [
+            ("sblt", 2, 5, True), ("sblt", 5, 5, False),
+            ("sbge", 5, 5, True), ("sbge", 4, 5, False),
+            ("sbeq", 7, 7, True), ("sbeq", 7, 8, False),
+            ("sbne", 7, 8, True), ("sbne", 7, 7, False),
+        ],
+    )
+    def test_fused_compare_branch(self, op, s0, imm, taken):
+        src = f"""
+                sldi  s0, {s0}
+                {op}  s0, {imm}, yes
+                ldi   r1, 0
+                halt
+        yes:    ldi   r1, 1
+                halt
+        """
+        state, _ = run(src)
+        assert bool(state.reg(1).all()) is taken
+
+    def test_counted_loop_with_sblt(self):
+        src = """
+                sldi  s0, 0
+                ldi   r1, 0
+                ldi   r2, 1
+        loop:   add   r1, r1, r2
+                saddi s0, 1
+                sblt  s0, 6, loop
+                halt
+        """
+        state, _ = run(src)
+        assert (state.reg(1) == 6).all()

@@ -1,0 +1,130 @@
+"""Switch fault injection and its observable effects."""
+
+import numpy as np
+import pytest
+
+from repro.core import minimum_cost_path, validate_tree
+from repro.errors import ConfigurationError, GraphError
+from repro.ppa import Direction, PPAConfig, PPAMachine
+from repro.ppa.faults import FaultKind, FaultPlan, SwitchFault
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+def machine(n=4):
+    return PPAMachine(PPAConfig(n=n, word_bits=16))
+
+
+class TestFaultPlan:
+    def test_add_and_len(self):
+        plan = FaultPlan().add(1, 2, FaultKind.STUCK_OPEN)
+        assert len(plan) == 1
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="axis"):
+            FaultPlan().add(0, 0, FaultKind.STUCK_OPEN, axis=2)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultPlan().add(0, 0, "stuck-open")
+
+    def test_out_of_grid_rejected_on_inject(self):
+        plan = FaultPlan().add(9, 9, FaultKind.STUCK_OPEN)
+        with pytest.raises(ConfigurationError, match="outside grid"):
+            machine(4).inject_faults(plan)
+
+    def test_apply_stuck_open_forces_true(self):
+        plan = FaultPlan().add(1, 1, FaultKind.STUCK_OPEN)
+        plane = np.zeros((3, 3), bool)
+        out = plan.apply(plane, axis=1)
+        assert out[1, 1] and out.sum() == 1
+        assert not plane[1, 1]  # original untouched
+
+    def test_apply_stuck_short_forces_false(self):
+        plan = FaultPlan().add(2, 0, FaultKind.STUCK_SHORT)
+        plane = np.ones((3, 3), bool)
+        assert not plan.apply(plane, axis=0)[2, 0]
+
+    def test_axis_scoping(self):
+        fault = SwitchFault(0, 0, FaultKind.STUCK_OPEN, axis=1)
+        assert fault.affects_axis(1) and not fault.affects_axis(0)
+        both = SwitchFault(0, 0, FaultKind.STUCK_OPEN, axis=None)
+        assert both.affects_axis(0) and both.affects_axis(1)
+
+
+class TestFaultyBus:
+    def test_stuck_open_splits_ring(self):
+        m = machine()
+        m.inject_faults(FaultPlan().add(0, 2, FaultKind.STUCK_OPEN, axis=1))
+        out = m.broadcast(m.col_index, Direction.EAST, m.col_index == 0)
+        # row 0: cols 2, 3 now hear the faulty head at col 2
+        assert out[0].tolist() == [0, 0, 2, 2]
+        assert out[1].tolist() == [0, 0, 0, 0]
+
+    def test_stuck_short_silences_head(self):
+        m = machine()
+        m.inject_faults(FaultPlan().add(1, 0, FaultKind.STUCK_SHORT, axis=1))
+        out = m.broadcast(m.col_index, Direction.EAST, m.col_index == 0)
+        # ring 1 has no effective head: permissive identity
+        assert out[1].tolist() == [0, 1, 2, 3]
+        assert out[0].tolist() == [0, 0, 0, 0]
+
+    def test_axis_isolation(self):
+        m = machine()
+        m.inject_faults(FaultPlan().add(0, 2, FaultKind.STUCK_OPEN, axis=0))
+        out = m.broadcast(m.col_index, Direction.EAST, m.col_index == 0)
+        assert (out == 0).all()  # row-bus traffic unaffected
+
+    def test_clear_faults(self):
+        m = machine()
+        m.inject_faults(FaultPlan().add(0, 2, FaultKind.STUCK_OPEN))
+        m.clear_faults()
+        out = m.broadcast(m.col_index, Direction.EAST, m.col_index == 0)
+        assert (out == 0).all()
+        assert m.fault_plan is None
+
+    def test_shift_unaffected_by_faults(self):
+        m = machine()
+        m.inject_faults(FaultPlan().add(0, 0, FaultKind.STUCK_OPEN))
+        out = m.shift(m.col_index, Direction.EAST)
+        assert out[0].tolist() == [3, 0, 1, 2]
+
+
+class TestFaultyMCP:
+    """Failure injection at algorithm level: faults corrupt results in ways
+    the validation machinery catches."""
+
+    def _corrupted_run(self, plan):
+        W = gnp_digraph(8, 0.4, seed=3, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        healthy = minimum_cost_path(machine(8), W, 2)
+        m = machine(8)
+        m.inject_faults(plan)
+        try:
+            broken = minimum_cost_path(m, W, 2)
+        except GraphError:
+            return W, healthy, None  # diverged -> caught by iteration guard
+        return W, healthy, broken
+
+    def test_stuck_open_corrupts_or_is_caught(self):
+        plan = FaultPlan().add(4, 4, FaultKind.STUCK_OPEN)
+        W, healthy, broken = self._corrupted_run(plan)
+        if broken is None:
+            return  # non-convergence was detected
+        corrupted = not np.array_equal(broken.sow, healthy.sow)
+        if not corrupted:
+            pytest.skip("fault site not exercised by this workload")
+        with pytest.raises(GraphError):
+            validate_tree(broken, W)
+
+    def test_fault_on_unused_switch_is_harmless(self):
+        # Column-bus switch of a PE whose column bus carries redundant
+        # traffic for this destination: a stuck-short at the (already
+        # Short) position never manifests.
+        plan = FaultPlan().add(3, 5, FaultKind.STUCK_SHORT, axis=1)
+        W, healthy, broken = self._corrupted_run(plan)
+        # stuck-short at a non-head row-bus position: only matters when
+        # (3,5) must head a row cluster; the MCP only heads rows at col n-1
+        assert broken is not None
+        assert np.array_equal(broken.sow, healthy.sow)

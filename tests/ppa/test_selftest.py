@@ -1,0 +1,151 @@
+"""Bus self-test: the 6-transaction diagnostic localises injected faults."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ppa import PPAConfig, PPAMachine
+from repro.ppa.faults import FaultKind, FaultPlan
+from repro.ppa.selftest import diagnose_switches
+
+
+def machine(n=6):
+    return PPAMachine(PPAConfig(n=n, word_bits=16))
+
+
+def found_set(report):
+    return {(f.row, f.col, f.kind, f.axis) for f in report.faults}
+
+
+class TestHealthy:
+    def test_clean_machine_reports_healthy(self):
+        report = diagnose_switches(machine())
+        assert report.healthy
+        assert report.faults == ()
+
+    def test_costs_six_transactions(self):
+        report = diagnose_switches(machine())
+        assert report.transactions == 6
+
+
+class TestSingleFaults:
+    @pytest.mark.parametrize("axis", [0, 1])
+    @pytest.mark.parametrize("pos", [(0, 0), (2, 3), (5, 5), (0, 5)])
+    def test_stuck_open_localised(self, axis, pos):
+        m = machine()
+        m.inject_faults(FaultPlan().add(*pos, FaultKind.STUCK_OPEN, axis=axis))
+        report = diagnose_switches(m)
+        assert found_set(report) == {(pos[0], pos[1], FaultKind.STUCK_OPEN, axis)}
+        assert not report.undiagnosable_rings
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    @pytest.mark.parametrize("pos", [(0, 0), (2, 3), (5, 5)])
+    def test_stuck_short_localised(self, axis, pos):
+        m = machine()
+        m.inject_faults(FaultPlan().add(*pos, FaultKind.STUCK_SHORT, axis=axis))
+        report = diagnose_switches(m)
+        assert found_set(report) == {
+            (pos[0], pos[1], FaultKind.STUCK_SHORT, axis)
+        }
+
+
+class TestMultipleFaults:
+    def test_mixed_faults_on_different_rings(self):
+        m = machine()
+        plan = (
+            FaultPlan()
+            .add(0, 3, FaultKind.STUCK_OPEN, axis=1)
+            .add(4, 1, FaultKind.STUCK_SHORT, axis=1)
+            .add(2, 2, FaultKind.STUCK_OPEN, axis=0)
+        )
+        m.inject_faults(plan)
+        report = diagnose_switches(m)
+        assert found_set(report) == {
+            (0, 3, FaultKind.STUCK_OPEN, 1),
+            (4, 1, FaultKind.STUCK_SHORT, 1),
+            (2, 2, FaultKind.STUCK_OPEN, 0),
+        }
+
+    def test_two_stuck_open_same_ring(self):
+        m = machine()
+        m.inject_faults(
+            FaultPlan()
+            .add(1, 2, FaultKind.STUCK_OPEN, axis=1)
+            .add(1, 4, FaultKind.STUCK_OPEN, axis=1)
+        )
+        report = diagnose_switches(m)
+        assert found_set(report) == {
+            (1, 2, FaultKind.STUCK_OPEN, 1),
+            (1, 4, FaultKind.STUCK_OPEN, 1),
+        }
+
+    def test_adaptive_heads_survive_dead_default_heads(self):
+        """Stuck-shorts at both default probe positions: the adaptive
+        probes relocate and the ring stays fully diagnosable."""
+        m = machine()
+        m.inject_faults(
+            FaultPlan()
+            .add(2, 0, FaultKind.STUCK_SHORT, axis=1)
+            .add(2, 1, FaultKind.STUCK_SHORT, axis=1)
+            .add(2, 4, FaultKind.STUCK_OPEN, axis=1)
+        )
+        report = diagnose_switches(m)
+        assert not report.undiagnosable_rings
+        assert found_set(report) == {
+            (2, 0, FaultKind.STUCK_SHORT, 1),
+            (2, 1, FaultKind.STUCK_SHORT, 1),
+            (2, 4, FaultKind.STUCK_OPEN, 1),
+        }
+
+    def test_stuck_open_at_dead_alternate_head(self):
+        """Regression (found by hypothesis): stuck-open at position 0 with
+        position 1 stuck short used to be invisible to fixed-head probes."""
+        m = machine()
+        m.inject_faults(
+            FaultPlan()
+            .add(0, 0, FaultKind.STUCK_OPEN, axis=1)
+            .add(0, 1, FaultKind.STUCK_SHORT, axis=1)
+        )
+        report = diagnose_switches(m)
+        assert found_set(report) == {
+            (0, 0, FaultKind.STUCK_OPEN, 1),
+            (0, 1, FaultKind.STUCK_SHORT, 1),
+        }
+
+    def test_ring_with_one_healthy_switch_flagged(self):
+        n = 3
+        m = machine(n)
+        plan = FaultPlan()
+        for c in range(n - 1):
+            plan.add(1, c, FaultKind.STUCK_SHORT, axis=1)
+        m.inject_faults(plan)
+        report = diagnose_switches(m)
+        assert (1, 1) in report.undiagnosable_rings
+
+    @given(
+        faults=st.lists(
+            st.tuples(
+                st.integers(0, 5),
+                st.integers(0, 5),
+                st.sampled_from([FaultKind.STUCK_OPEN, FaultKind.STUCK_SHORT]),
+                st.sampled_from([0, 1]),
+            ),
+            min_size=1,
+            max_size=4,
+            unique_by=lambda f: (f[0], f[1], f[3]),
+        )
+    )
+    @settings(max_examples=30)
+    def test_property_exact_diagnosis(self, faults):
+        """With <= 4 faults on 6-rings every ring keeps >= 2 healthy
+        switches, so the adaptive diagnostic must be exact: every injected
+        fault found, nothing invented, nothing flagged."""
+        m = machine()
+        plan = FaultPlan()
+        for r, c, kind, axis in faults:
+            plan.add(r, c, kind, axis)
+        m.inject_faults(plan)
+        report = diagnose_switches(m)
+        assert not report.undiagnosable_rings
+        assert found_set(report) == {
+            (r, c, kind, axis) for r, c, kind, axis in faults
+        }

@@ -1,0 +1,41 @@
+"""Switch-plane coercion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.ppa.switchbox import OPEN, SHORT, as_switch_plane
+
+
+class TestConstants:
+    def test_open_short_are_booleans(self):
+        assert OPEN is True
+        assert SHORT is False
+
+
+class TestCoercion:
+    def test_bool_grid_passthrough(self):
+        L = np.eye(3, dtype=bool)
+        out = as_switch_plane(L, (3, 3))
+        assert np.array_equal(out, L)
+
+    def test_int_grid_casts(self):
+        out = as_switch_plane(np.eye(3, dtype=int), (3, 3))
+        assert out.dtype == np.bool_
+        assert out[0, 0] and not out[0, 1]
+
+    def test_scalar_broadcasts(self):
+        assert as_switch_plane(True, (2, 2)).all()
+        assert not as_switch_plane(0, (2, 2)).any()
+
+    def test_row_vector_broadcasts(self):
+        out = as_switch_plane(np.array([True, False]), (2, 2))
+        assert out[:, 0].all() and not out[:, 1].any()
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(MachineError, match="does not match"):
+            as_switch_plane(np.ones((4, 3), bool), (3, 3))
+
+    def test_result_is_contiguous(self):
+        out = as_switch_plane(np.ones((3, 3), bool)[:, ::-1], (3, 3))
+        assert out.flags["C_CONTIGUOUS"]

@@ -1,0 +1,56 @@
+"""PPAConfig validation and cost models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ppa.topology import BusCostModel, PPAConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = PPAConfig(n=8)
+        assert cfg.word_bits == 16
+        assert cfg.bus_cost_model is BusCostModel.UNIT
+        assert cfg.torus and not cfg.strict_bus
+
+    def test_rejects_zero_grid(self):
+        with pytest.raises(ConfigurationError, match="grid side"):
+            PPAConfig(n=0)
+
+    def test_rejects_negative_grid(self):
+        with pytest.raises(ConfigurationError):
+            PPAConfig(n=-3)
+
+    @pytest.mark.parametrize("h", [0, 1, 63, 100])
+    def test_rejects_bad_word_bits(self, h):
+        with pytest.raises(ConfigurationError, match="word_bits"):
+            PPAConfig(n=4, word_bits=h)
+
+    @pytest.mark.parametrize("h", [2, 16, 62])
+    def test_accepts_word_bits_range(self, h):
+        assert PPAConfig(n=4, word_bits=h).word_bits == h
+
+    def test_rejects_non_enum_cost_model(self):
+        with pytest.raises(ConfigurationError, match="bus_cost_model"):
+            PPAConfig(n=4, bus_cost_model="unit")
+
+    def test_frozen(self):
+        cfg = PPAConfig(n=4)
+        with pytest.raises(AttributeError):
+            cfg.n = 8
+
+
+class TestDerived:
+    def test_maxint_is_all_ones(self):
+        assert PPAConfig(n=4, word_bits=8).maxint == 255
+        assert PPAConfig(n=4, word_bits=16).maxint == 65535
+
+    def test_shape(self):
+        assert PPAConfig(n=5).shape == (5, 5)
+
+    def test_unit_cost_is_one(self):
+        assert PPAConfig(n=32).bus_transaction_cycles() == 1
+
+    def test_linear_cost_is_ring_length(self):
+        cfg = PPAConfig(n=32, bus_cost_model=BusCostModel.LINEAR)
+        assert cfg.bus_transaction_cycles() == 32

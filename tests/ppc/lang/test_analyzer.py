@@ -1,0 +1,139 @@
+"""Static analyzer: the mistakes a PPC compiler must reject."""
+
+import pytest
+
+from repro.errors import PPCTypeError
+from repro.ppc.lang.analyzer import analyze
+from repro.ppc.lang.parser import parse
+
+
+def check(src: str):
+    return analyze(parse(src))
+
+
+class TestNames:
+    def test_undeclared_identifier(self):
+        with pytest.raises(PPCTypeError, match="undeclared identifier 'y'"):
+            check("void f() { int x; x = y; }")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(PPCTypeError, match="undeclared 'x'"):
+            check("void f() { x = 1; }")
+
+    def test_duplicate_in_same_scope(self):
+        with pytest.raises(PPCTypeError, match="redeclaration"):
+            check("void f() { int x; int x; }")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        check("int x; void f() { int x; x = 1; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(PPCTypeError, match="duplicate function"):
+            check("void f() { } void f() { }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(PPCTypeError, match="redeclaration"):
+            check("int x; int x;")
+
+    def test_assignment_to_constant(self):
+        with pytest.raises(PPCTypeError, match="predefined constant"):
+            check("void f() { N = 3; }")
+
+    def test_block_scope_expires(self):
+        with pytest.raises(PPCTypeError, match="undeclared"):
+            check("void f() { { int x; } x = 1; }")
+
+    def test_params_visible(self):
+        check("int f(int a) { return a; }")
+
+
+class TestKinds:
+    def test_scalar_from_parallel_rejected(self):
+        with pytest.raises(PPCTypeError, match="cannot assign a parallel"):
+            check("parallel int X; void f() { int j; j = X; }")
+
+    def test_scalar_init_from_parallel_rejected(self):
+        with pytest.raises(PPCTypeError, match="cannot initialise scalar"):
+            check("parallel int X; void f() { int j = X + 1; }")
+
+    def test_parallel_from_scalar_ok(self):
+        check("parallel int X; void f() { X = 3; }")
+
+    def test_where_needs_parallel(self):
+        with pytest.raises(PPCTypeError, match="'where' needs a parallel"):
+            check("void f() { int j; where (j > 0) j = 1; }")
+
+    def test_if_rejects_parallel(self):
+        with pytest.raises(PPCTypeError, match="controller cannot branch"):
+            check("parallel int X; void f() { if (X > 0) X = 1; }")
+
+    def test_while_rejects_parallel(self):
+        with pytest.raises(PPCTypeError, match="controller cannot branch"):
+            check("parallel int X; void f() { while (X > 0) X = 1; }")
+
+    def test_do_while_rejects_parallel(self):
+        with pytest.raises(PPCTypeError, match="controller cannot branch"):
+            check("parallel int X; void f() { do X = 1; while (X > 0); }")
+
+    def test_for_rejects_parallel_condition(self):
+        with pytest.raises(PPCTypeError, match="controller cannot branch"):
+            check("parallel int X; void f() { for (; X > 0;) X = 1; }")
+
+    def test_any_makes_condition_scalar(self):
+        check("parallel int X; void f() { while (any(X > 0)) X = 0; }")
+
+    def test_constants_have_kinds(self):
+        check("parallel int X; void f() { where (ROW == COL) X = MAXINT; }")
+
+
+class TestCalls:
+    def test_unknown_function(self):
+        with pytest.raises(PPCTypeError, match="unknown function 'nope'"):
+            check("void f() { nope(); }")
+
+    def test_user_function_arity(self):
+        with pytest.raises(PPCTypeError, match="takes 2 argument"):
+            check("int g(int a, int b) { return a; } void f() { g(1); }")
+
+    def test_builtin_arity(self):
+        with pytest.raises(PPCTypeError, match="broadcast\\(\\) takes 3"):
+            check("parallel int X; void f() { X = broadcast(X, SOUTH); }")
+
+    def test_parallel_arg_to_scalar_param(self):
+        with pytest.raises(PPCTypeError, match="is scalar but a parallel"):
+            check(
+                "parallel int X; int g(int a) { return a; }"
+                "void f() { int j; j = g(X); }"
+            )
+
+    def test_user_function_shadows_builtin(self):
+        check(
+            "parallel int min(parallel int a) { return a; }"
+            "parallel int X; void f() { X = min(X); }"
+        )
+
+    def test_builtin_result_kinds(self):
+        # any() is scalar, broadcast() is parallel
+        check("parallel int X; int j; void f() { j = any(X > 0); }")
+        with pytest.raises(PPCTypeError):
+            check(
+                "parallel int X; int j;"
+                "void f() { j = broadcast(X, SOUTH, ROW == 0); }"
+            )
+
+
+class TestReturns:
+    def test_void_returning_value(self):
+        with pytest.raises(PPCTypeError, match="returns a value"):
+            check("void f() { return 3; }")
+
+    def test_nonvoid_returning_nothing(self):
+        with pytest.raises(PPCTypeError, match="returns nothing"):
+            check("int f() { return; }")
+
+    def test_scalar_fn_returning_parallel(self):
+        with pytest.raises(PPCTypeError, match="declared scalar"):
+            check("parallel int X; int f() { return X; }")
+
+    def test_parallel_fn_returning_parallel_ok(self):
+        check("parallel int X; parallel int f() { return X + 1; }")

@@ -1,0 +1,158 @@
+"""Language extensions: break/continue and compound assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PPCSyntaxError, PPCTypeError
+from repro.ppa import PPAConfig, PPAMachine
+from repro.ppc.lang import compile_ppc
+from repro.ppc.lang.formatter import format_program
+from repro.ppc.lang.parser import parse
+
+
+def run(src, n=4, h=16, entry="main", globals=None):
+    machine = PPAMachine(PPAConfig(n=n, word_bits=h))
+    return compile_ppc(src).run(machine, entry, globals=globals)
+
+
+class TestBreakContinue:
+    def test_break_exits_while(self):
+        res = run(
+            "int f() { int j = 0;"
+            "while (1) { j += 1; if (j == 5) break; } return j; }",
+            entry="f",
+        )
+        assert res.value == 5
+
+    def test_break_exits_for(self):
+        res = run(
+            "int f() { int j; int acc = 0;"
+            "for (j = 0; j < 100; j += 1) { if (j == 4) break; acc += j; }"
+            "return acc; }",
+            entry="f",
+        )
+        assert res.value == 6
+
+    def test_continue_skips_iteration(self):
+        res = run(
+            "int f() { int j; int acc = 0;"
+            "for (j = 0; j < 6; j += 1) { if (j % 2 == 0) continue;"
+            "acc += j; } return acc; }",
+            entry="f",
+        )
+        assert res.value == 1 + 3 + 5
+
+    def test_continue_in_while_reevaluates_condition(self):
+        res = run(
+            "int f() { int j = 0; int acc = 0;"
+            "while (j < 5) { j += 1; if (j == 3) continue; acc += j; }"
+            "return acc; }",
+            entry="f",
+        )
+        assert res.value == 1 + 2 + 4 + 5
+
+    def test_break_in_do_while(self):
+        res = run(
+            "int f() { int j = 0; do { j += 1; if (j > 2) break; }"
+            "while (1); return j; }",
+            entry="f",
+        )
+        assert res.value == 3
+
+    def test_break_only_innermost_loop(self):
+        res = run(
+            "int f() { int i; int j; int acc = 0;"
+            "for (i = 0; i < 3; i += 1)"
+            "  for (j = 0; j < 100; j += 1) { if (j == 2) break; acc += 1; }"
+            "return acc; }",
+            entry="f",
+        )
+        assert res.value == 6  # 3 outer x 2 inner
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(PPCTypeError, match="outside any loop"):
+            compile_ppc("void f() { break; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(PPCTypeError, match="outside any loop"):
+            compile_ppc("void f() { if (1) continue; }")
+
+    def test_break_does_not_escape_function_into_loop(self):
+        with pytest.raises(PPCTypeError, match="outside any loop"):
+            compile_ppc(
+                "void g() { break; }"
+                "void f() { while (1) g(); }"
+            )
+
+
+class TestCompoundAssignment:
+    def test_scalar_ops(self):
+        res = run(
+            "int f() { int j = 10;"
+            "j += 5; j -= 3; j *= 2; j /= 4; j %= 4; j <<= 3; j |= 1;"
+            "return j; }",
+            entry="f",
+        )
+        # 10+5=15, -3=12, *2=24, /4=6, %4=2, <<3=16, |1=17
+        assert res.value == 17
+
+    def test_parallel_plus_saturates(self):
+        res = run(
+            "parallel int X; void main() { X = MAXINT - 1; X += 100; }",
+            h=8,
+        )
+        assert (res.globals["X"] == 255).all()
+
+    def test_parallel_compound_respects_where(self):
+        res = run(
+            "parallel int X;"
+            "void main() { X = 10; where (ROW == 1) X += 7; }",
+        )
+        X = res.globals["X"]
+        assert (X[1] == 17).all() and (X[0] == 10).all()
+
+    def test_bitwise_compound_on_parallel(self):
+        res = run(
+            "parallel int X; void main() { X = COL; X &= 1; X ^= 1; }"
+        )
+        X = res.globals["X"]
+        assert np.array_equal(X[0], (np.arange(4) & 1) ^ 1)
+
+    def test_compound_on_undeclared_rejected(self):
+        with pytest.raises(PPCTypeError, match="undeclared"):
+            compile_ppc("void f() { q += 1; }")
+
+    def test_compound_parallel_into_scalar_rejected(self):
+        with pytest.raises(PPCTypeError, match="parallel value"):
+            compile_ppc("parallel int X; void f() { int j = 0; j += X; }")
+
+
+class TestFormatterSupport:
+    def test_roundtrip_new_constructs(self):
+        src = (
+            "int f() { int j = 0;"
+            "while (1) { j += 2; if (j > 4) break; continue; }"
+            "return j; }"
+        )
+        once = format_program(parse(src))
+        assert "j += 2;" in once
+        assert "break;" in once and "continue;" in once
+        assert format_program(parse(once)) == once
+
+    def test_for_clause_compound(self):
+        src = "int f() { int j; for (j = 0; j < 4; j += 1) j = j; return j; }"
+        out = format_program(parse(src))
+        assert "j += 1" in out
+
+
+class TestLexerEdge:
+    def test_compound_tokens_not_split(self):
+        from repro.ppc.lang.lexer import tokenize
+
+        toks = [t.text for t in tokenize("a <<= 1; b <= 2;") if t.text]
+        assert "<<=" in toks and "<=" in toks
+
+    def test_shift_assign_parses(self):
+        res = run("int f() { int j = 1; j <<= 4; j >>= 1; return j; }",
+                  entry="f")
+        assert res.value == 8

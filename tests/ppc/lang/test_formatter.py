@@ -1,0 +1,133 @@
+"""Pretty-printer: round-trip and idempotence."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PPCError
+from repro.ppc.lang import ast_nodes as ast
+from repro.ppc.lang import compile_ppc, programs
+from repro.ppc.lang.formatter import (
+    format_expression,
+    format_program,
+    format_statement,
+)
+from repro.ppc.lang.parser import parse
+
+
+def strip_lines(node):
+    """Structural form of an AST node with source positions erased."""
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        fields = {}
+        for f in dataclasses.fields(node):
+            if f.name == "line":
+                continue
+            fields[f.name] = strip_lines(getattr(node, f.name))
+        return (type(node).__name__, tuple(sorted(fields.items())))
+    if isinstance(node, tuple):
+        return tuple(strip_lines(x) for x in node)
+    return node
+
+
+SOURCES = {
+    "globals": "parallel int W; int d = 3; parallel logical F;",
+    "arith": "int f() { return (1 + 2) * 3 - -4; }",
+    "where": (
+        "parallel int X;"
+        "void main() { where (ROW == 0) X = 1; elsewhere { X = 2; } }"
+    ),
+    "loops": (
+        "int f() { int j; int a = 0;"
+        "for (j = 0; j < 4; j = j + 1) a = a + j;"
+        "while (a > 10) a = a - 1;"
+        "do a = a + 1; while (a < 5); return a; }"
+    ),
+    "calls": (
+        "parallel int X;"
+        "void main() { X = broadcast(X, SOUTH, (ROW == 0) && bit(X, 3)); }"
+    ),
+    "min_listing": programs.MIN_CODE,
+    "mcp_listing": programs.MCP_CODE,
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_reparse_equals_original(self, name):
+        src = SOURCES[name]
+        original = parse(src)
+        rendered = format_program(original)
+        assert strip_lines(parse(rendered)) == strip_lines(original)
+
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_idempotent(self, name):
+        once = format_program(parse(SOURCES[name]))
+        assert format_program(parse(once)) == once
+
+    def test_knr_normalised_to_ansi(self):
+        rendered = format_program(parse(programs.MIN_CODE))
+        assert "parallel int min(parallel int src, int orientation" in rendered
+
+    def test_formatted_listing_still_runs(self):
+        from repro import PPAConfig, PPAMachine, minimum_cost_path, normalize_weights
+        from repro.workloads import gnp_digraph
+
+        rendered = format_program(parse(programs.MCP_CODE))
+        W = gnp_digraph(6, 0.4, seed=2, inf_value=(1 << 16) - 1)
+        m = PPAMachine(PPAConfig(n=6, word_bits=16))
+        run = compile_ppc(rendered).run(
+            m, "minimum_cost_path",
+            globals={"W": normalize_weights(W, m), "d": 1},
+        )
+        native = minimum_cost_path(PPAMachine(PPAConfig(n=6)), W, 1)
+        assert np.array_equal(run.globals["SOW"][1], native.sow)
+
+
+class TestPieces:
+    def test_expression_parens_are_explicit(self):
+        expr = parse("int f() { return 1 + 2 * 3; }").function("f")
+        text = format_expression(expr.body.statements[0].value)
+        assert text == "1 + (2 * 3)"
+
+    def test_statement_indent(self):
+        prog = parse("parallel int X; void f() { where (X == 0) X = 1; }")
+        lines = format_statement(prog.function("f").body.statements[0], 1)
+        assert lines[0].startswith("    where")
+        assert lines[1].strip() == "X = 1;"
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(PPCError, match="cannot format"):
+            format_expression(object())
+
+
+# Random expression generator: format/parse round-trip as a property.
+_idents = st.sampled_from(["a", "b", "c"])
+_exprs = st.recursive(
+    st.one_of(
+        st.integers(0, 1000).map(ast.IntLiteral),
+        _idents.map(ast.Identifier),
+    ),
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(["!", "~", "-"]), children).map(
+            lambda t: ast.Unary(t[0], t[1])
+        ),
+        st.tuples(
+            st.sampled_from(["+", "-", "*", "/", "%", "<<", ">>",
+                             "<", "<=", ">", ">=", "==", "!=",
+                             "&", "|", "^", "&&", "||"]),
+            children,
+            children,
+        ).map(lambda t: ast.Binary(t[0], t[1], t[2])),
+    ),
+    max_leaves=12,
+)
+
+
+@given(_exprs)
+@settings(max_examples=60)
+def test_property_expression_roundtrip(expr):
+    src = f"int a, b, c; int f() {{ return {format_expression(expr)}; }}"
+    reparsed = parse(src).function("f").body.statements[0].value
+    assert strip_lines(reparsed) == strip_lines(expr)

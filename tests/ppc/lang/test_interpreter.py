@@ -1,0 +1,247 @@
+"""Interpreter semantics: values, masks, control flow, builtins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PPCRuntimeError
+from repro.ppa import PPAConfig, PPAMachine
+from repro.ppc.lang import compile_ppc
+
+
+def run(src: str, n=4, h=16, entry="main", globals=None, args=()):
+    machine = PPAMachine(PPAConfig(n=n, word_bits=h))
+    result = compile_ppc(src).run(machine, entry, args=args, globals=globals)
+    return result, machine
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        res, _ = run("int f() { return (1 + 2) * 3 - 4 / 2; }", entry="f")
+        assert res.value == 7
+
+    def test_modulo_and_shifts(self):
+        res, _ = run("int f() { return (7 % 4) + (1 << 3) + (16 >> 2); }", entry="f")
+        assert res.value == 15
+
+    def test_unary(self):
+        res, _ = run("int f() { return -(3) + !0; }", entry="f")
+        assert res.value == -2
+
+    def test_division_by_zero(self):
+        with pytest.raises(PPCRuntimeError, match="division by zero"):
+            run("int f() { int j = 0; return 1 / j; }", entry="f")
+
+    def test_short_circuit_and(self):
+        # 1/j would trap; && must not evaluate it
+        res, _ = run("int f() { int j = 0; return 0 && (1 / j); }", entry="f")
+        assert res.value is False
+
+    def test_short_circuit_or(self):
+        res, _ = run("int f() { int j = 0; return 1 || (1 / j); }", entry="f")
+        assert res.value is True
+
+
+class TestParallel:
+    def test_global_snapshot(self):
+        res, _ = run(
+            "parallel int X; void main() { X = ROW * 10 + COL; }",
+        )
+        assert res.globals["X"][2, 3] == 23
+
+    def test_saturating_parallel_add(self):
+        # MAXINT + 5 on the controller is plain arithmetic; the *parallel*
+        # adder saturates at the word.
+        res, _ = run(
+            "parallel int X; void main() { X = MAXINT; X = X + 5; }", h=8
+        )
+        assert (res.globals["X"] == 255).all()
+
+    def test_where_masks_assignment(self):
+        res, _ = run(
+            "parallel int X; void main() { where (ROW == 1) X = 7; }"
+        )
+        X = res.globals["X"]
+        assert (X[1] == 7).all() and X.sum() == 28
+
+    def test_elsewhere(self):
+        res, _ = run(
+            "parallel int X;"
+            "void main() { where (ROW == 0) X = 1; elsewhere X = 2; }"
+        )
+        X = res.globals["X"]
+        assert (X[0] == 1).all() and (X[1:] == 2).all()
+
+    def test_nested_where(self):
+        res, _ = run(
+            "parallel int X;"
+            "void main() { where (ROW == 1) where (COL == 2) X = 9; }"
+        )
+        X = res.globals["X"]
+        assert X[1, 2] == 9 and X.sum() == 9
+
+    def test_declaration_initialises_unmasked(self):
+        res, _ = run(
+            "parallel int OUT;"
+            "void main() { where (ROW == 0) { parallel int t = 5; OUT = t; } }"
+        )
+        # OUT only written on row 0, but t was 5 everywhere
+        assert (res.globals["OUT"][0] == 5).all()
+
+    def test_scalar_vars_ignore_where(self):
+        res, _ = run(
+            "int j; parallel int X;"
+            "void main() { where (ROW == 0) j = 5; X = j; }"
+        )
+        assert (res.globals["X"] == 5).all()
+
+    def test_parallel_comparison_and_logical(self):
+        res, _ = run(
+            "parallel logical F;"
+            "void main() { F = (ROW == COL) && (ROW != 0); }"
+        )
+        F = res.globals["F"]
+        assert not F[0, 0] and F[1, 1] and not F[1, 2]
+
+
+class TestControlFlow:
+    def test_for_loop(self):
+        res, _ = run(
+            "int f() { int j; int acc = 0;"
+            "for (j = 0; j < 5; j = j + 1) acc = acc + j; return acc; }",
+            entry="f",
+        )
+        assert res.value == 10
+
+    def test_while_loop(self):
+        res, _ = run(
+            "int f() { int j = 0; while (j < 8) j = j + 3; return j; }",
+            entry="f",
+        )
+        assert res.value == 9
+
+    def test_do_while_runs_once(self):
+        res, _ = run(
+            "int f() { int j = 100; do j = j + 1; while (j < 0); return j; }",
+            entry="f",
+        )
+        assert res.value == 101
+
+    def test_if_else(self):
+        res, _ = run(
+            "int f(int x) { if (x > 2) return 1; else return 2; }",
+            entry="f",
+            args=(5,),
+        )
+        assert res.value == 1
+
+    def test_any_controls_loop(self):
+        res, _ = run(
+            "parallel int X; int iters;"
+            "void main() { X = ROW; iters = 0;"
+            "  while (any(X > 0)) { where (X > 0) X = X - 1; iters = iters + 1; } }"
+        )
+        assert res.globals["iters"] == 3  # max ROW on a 4x4
+        assert not res.globals["X"].any()
+
+
+class TestFunctions:
+    def test_user_function_call(self):
+        res, _ = run(
+            "int dbl(int x) { return x * 2; } int f() { return dbl(21); }",
+            entry="f",
+        )
+        assert res.value == 42
+
+    def test_parallel_pass_by_value(self):
+        res, _ = run(
+            "parallel int X;"
+            "parallel int wipe(parallel int a) { a = 0; return a; }"
+            "void main() { X = 7; wipe(X); }"
+        )
+        assert (res.globals["X"] == 7).all()  # callee mutated its copy
+
+    def test_recursion_depth_guard(self):
+        with pytest.raises(PPCRuntimeError, match="call depth"):
+            run("int f() { return f(); } int g() { return f(); }", entry="g")
+
+    def test_missing_entry(self):
+        with pytest.raises(PPCRuntimeError, match="no function 'nope'"):
+            run("void main() { }", entry="nope")
+
+    def test_entry_args(self):
+        res, _ = run("int f(int a, int b) { return a + b; }", entry="f", args=(3, 4))
+        assert res.value == 7
+
+
+class TestBuiltins:
+    def test_broadcast_and_shift(self):
+        res, _ = run(
+            "parallel int A, B;"
+            "void main() {"
+            "  A = broadcast(ROW * 4 + COL, SOUTH, ROW == 2);"
+            "  B = shift(COL, EAST);"
+            "}"
+        )
+        assert np.array_equal(res.globals["A"], np.tile(np.arange(8, 12), (4, 1)))
+        assert res.globals["B"][0].tolist() == [3, 0, 1, 2]
+
+    def test_bit_and_or(self):
+        res, _ = run(
+            "parallel logical F;"
+            "void main() { F = or(bit(COL, 0), EAST, COL == 0); }"
+        )
+        # some column has bit0 set in every row ring -> all True
+        assert res.globals["F"].all()
+
+    def test_opposite(self):
+        res, _ = run(
+            "parallel int X;"
+            "void main() { X = shift(shift(COL, EAST), opposite(EAST)); }"
+        )
+        assert np.array_equal(res.globals["X"], np.tile(np.arange(4), (4, 1)))
+
+    def test_builtin_min(self):
+        res, _ = run(
+            "parallel int M;"
+            "void main() { M = min(ROW * 4 + COL, WEST, COL == N - 1); }"
+        )
+        assert np.array_equal(res.globals["M"][:, 0], np.arange(4) * 4)
+
+    def test_bit_scalar_index_required(self):
+        with pytest.raises(PPCRuntimeError, match="must be a scalar"):
+            run("parallel int X; void main() { X = bit(X, COL); }")
+
+    def test_direction_argument_checked(self):
+        with pytest.raises(PPCRuntimeError, match="must be a direction"):
+            run("parallel int X; void main() { X = shift(X, 3); }")
+
+
+class TestGlobalsInjection:
+    def test_set_declared_global(self):
+        res, _ = run(
+            "parallel int W; void main() { W = W + 1; }",
+            globals={"W": np.full((4, 4), 10, dtype=np.int64)},
+        )
+        assert (res.globals["W"] == 11).all()
+
+    def test_unknown_global_rejected(self):
+        with pytest.raises(PPCRuntimeError, match="no global"):
+            run("void main() { }", globals={"Z": 1})
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(PPCRuntimeError, match="does not fit machine"):
+            run(
+                "parallel int W; void main() { }",
+                globals={"W": np.zeros((3, 3), dtype=np.int64)},
+            )
+
+    def test_scalar_global(self):
+        res, _ = run("int d; int f() { return d * 2; }", entry="f",
+                     globals={"d": 21})
+        assert res.value == 42
+
+    def test_counters_reported(self):
+        res, _ = run(
+            "parallel int X; void main() { X = broadcast(X, SOUTH, ROW == 0); }"
+        )
+        assert res.counters["broadcasts"] == 1

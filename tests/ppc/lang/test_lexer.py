@@ -1,0 +1,87 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import PPCSyntaxError
+from repro.ppc.lang.lexer import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_keywords_vs_idents(self):
+        assert kinds("parallel int foo") == [
+            ("keyword", "parallel"),
+            ("keyword", "int"),
+            ("ident", "foo"),
+        ]
+
+    def test_ident_with_underscores_digits(self):
+        assert kinds("MIN_SOW2") == [("ident", "MIN_SOW2")]
+
+    def test_keyword_prefix_is_ident(self):
+        assert kinds("interior") == [("ident", "interior")]
+
+    def test_numbers(self):
+        assert kinds("0 42 0x1F") == [
+            ("number", "0"),
+            ("number", "42"),
+            ("number", "0x1F"),
+        ]
+
+    def test_malformed_number(self):
+        with pytest.raises(PPCSyntaxError, match="malformed number"):
+            tokenize("12abc")
+
+    def test_malformed_hex(self):
+        with pytest.raises(PPCSyntaxError, match="hexadecimal"):
+            tokenize("0x")
+
+
+class TestSymbols:
+    def test_two_char_ops_win(self):
+        assert kinds("a<=b") == [("ident", "a"), ("symbol", "<="), ("ident", "b")]
+        assert kinds("a==b!=c") == [
+            ("ident", "a"),
+            ("symbol", "=="),
+            ("ident", "b"),
+            ("symbol", "!="),
+            ("ident", "c"),
+        ]
+
+    def test_logical_ops(self):
+        assert [t for _, t in kinds("a&&b||!c")] == ["a", "&&", "b", "||", "!", "c"]
+
+    def test_shifts(self):
+        assert [t for _, t in kinds("a<<2>>1")] == ["a", "<<", "2", ">>", "1"]
+
+    def test_unexpected_char(self):
+        with pytest.raises(PPCSyntaxError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PPCSyntaxError, match="unterminated"):
+            tokenize("a /* oops")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].line == 1
+        assert toks[1].line == 2 and toks[1].column == 3
+
+    def test_line_numbers_after_block_comment(self):
+        toks = tokenize("/* one\ntwo */ x")
+        assert toks[0].line == 2

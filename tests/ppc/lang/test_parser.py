@@ -1,0 +1,177 @@
+"""Parser tests: declarations, functions (ANSI + K&R), statements, exprs."""
+
+import pytest
+
+from repro.errors import PPCSyntaxError
+from repro.ppc.lang import ast_nodes as ast
+from repro.ppc.lang.parser import parse
+
+
+class TestGlobals:
+    def test_parallel_int_global(self):
+        prog = parse("parallel int W;")
+        decl = prog.globals[0]
+        assert decl.type == ast.TypeSpec("int", True)
+        assert decl.declarators[0].name == "W"
+
+    def test_scalar_with_init(self):
+        prog = parse("int d = 3;")
+        d = prog.globals[0].declarators[0]
+        assert isinstance(d.init, ast.IntLiteral) and d.init.value == 3
+
+    def test_multi_declarators(self):
+        prog = parse("parallel logical a, b = 1, c;")
+        names = [d.name for d in prog.globals[0].declarators]
+        assert names == ["a", "b", "c"]
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(PPCSyntaxError, match="void"):
+            parse("void x;")
+
+    def test_parallel_void_rejected(self):
+        with pytest.raises(PPCSyntaxError, match="parallel void"):
+            parse("parallel void f() { }")
+
+
+class TestFunctions:
+    def test_ansi_params(self):
+        prog = parse("int f(parallel int x, int y) { return y; }")
+        fn = prog.function("f")
+        assert fn.params[0].type.parallel
+        assert not fn.params[1].type.parallel
+
+    def test_empty_params(self):
+        fn = parse("void main() { }").function("main")
+        assert fn.params == ()
+
+    def test_knr_params(self):
+        src = """
+        parallel int min(src, orientation, L)
+            parallel int src;
+            enum {NORTH, EAST, SOUTH, WEST} orientation;
+            parallel logical L;
+        { return src; }
+        """
+        fn = parse(src).function("min")
+        assert [p.name for p in fn.params] == ["src", "orientation", "L"]
+        assert fn.params[0].type == ast.TypeSpec("int", True)
+        assert fn.params[1].type == ast.TypeSpec("int", False)  # enum -> int
+        assert fn.params[2].type == ast.TypeSpec("logical", True)
+
+    def test_knr_missing_declaration_rejected(self):
+        with pytest.raises(PPCSyntaxError, match="lacks a declaration"):
+            parse("int f(a, b) int a; { return a; }")
+
+    def test_knr_extra_declaration_rejected(self):
+        with pytest.raises(PPCSyntaxError, match="non-parameters"):
+            parse("int f(a) int a; int b; { return a; }")
+
+    def test_knr_grouped_declaration(self):
+        fn = parse("int f(a, b) int a, b; { return a; }").function("f")
+        assert len(fn.params) == 2
+
+
+class TestStatements:
+    def get_stmt(self, body: str):
+        prog = parse("parallel int X; parallel logical F; int j;"
+                     f"void main() {{ {body} }}")
+        return prog.function("main").body.statements[0]
+
+    def test_assignment(self):
+        stmt = self.get_stmt("X = 5;")
+        assert isinstance(stmt, ast.Assign) and stmt.target == "X"
+
+    def test_where_elsewhere(self):
+        stmt = self.get_stmt("where (F) X = 1; elsewhere X = 2;")
+        assert isinstance(stmt, ast.Where)
+        assert stmt.otherwise is not None
+
+    def test_where_without_elsewhere(self):
+        stmt = self.get_stmt("where (F) { X = 1; }")
+        assert isinstance(stmt, ast.Where) and stmt.otherwise is None
+
+    def test_if_else(self):
+        stmt = self.get_stmt("if (j > 0) j = 1; else j = 2;")
+        assert isinstance(stmt, ast.If) and stmt.otherwise is not None
+
+    def test_do_while(self):
+        stmt = self.get_stmt("do { j = j + 1; } while (j < 3);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_while(self):
+        stmt = self.get_stmt("while (j < 3) j = j + 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_for(self):
+        stmt = self.get_stmt("for (j = 0; j < 4; j = j + 1) X = j;")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Assign)
+
+    def test_for_empty_clauses(self):
+        stmt = self.get_stmt("for (;;) j = 1;")
+        assert stmt.init is None and stmt.condition is None and stmt.step is None
+
+    def test_return_value(self):
+        prog = parse("int f() { return 3; }")
+        ret = prog.function("f").body.statements[0]
+        assert isinstance(ret, ast.Return) and ret.value.value == 3
+
+    def test_return_void(self):
+        prog = parse("void f() { return; }")
+        assert prog.function("f").body.statements[0].value is None
+
+    def test_local_declaration(self):
+        stmt = self.get_stmt("parallel logical enable = 1;")
+        assert isinstance(stmt, ast.VarDecl)
+
+    def test_expression_statement(self):
+        stmt = self.get_stmt("f();")
+        assert isinstance(stmt, ast.ExprStatement)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_unterminated_block(self):
+        with pytest.raises(PPCSyntaxError, match="unterminated block"):
+            parse("void f() { X = 1;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(PPCSyntaxError, match="expected ';'"):
+            parse("void f() { int j j = 1; }")
+
+
+class TestExpressions:
+    def expr(self, text: str):
+        prog = parse(f"int j; void main() {{ j = {text}; }}")
+        return prog.function("main").body.statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        e = self.expr("1 < 2 && 3 == 3")
+        assert e.op == "&&"
+        assert e.left.op == "<" and e.right.op == "=="
+
+    def test_parens_override(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = self.expr("8 - 4 - 2")
+        assert e.op == "-" and e.left.op == "-"
+
+    def test_unary_chain(self):
+        e = self.expr("!!j")
+        assert e.op == "!" and e.operand.op == "!"
+
+    def test_call_args(self):
+        e = self.expr("f(1, 2 + 3, g())")
+        assert isinstance(e, ast.Call) and len(e.args) == 3
+        assert isinstance(e.args[2], ast.Call)
+
+    def test_hex_literal(self):
+        assert self.expr("0xFF").value == 255
+
+    def test_dangling_expression_error(self):
+        with pytest.raises(PPCSyntaxError, match="expected an expression"):
+            parse("void f() { int j; j = 1 + ; }")

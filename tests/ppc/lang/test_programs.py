@@ -1,0 +1,135 @@
+"""The paper's embedded PPC sources against the native implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PPAConfig, PPAMachine, minimum_cost_path, normalize_weights
+from repro.ppa.directions import Direction
+from repro.ppc.lang import compile_ppc, programs
+from repro.ppc.reductions import ppa_min, ppa_selected_min
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+def fresh(n=8):
+    return PPAMachine(PPAConfig(n=n, word_bits=16))
+
+
+class TestMinListing:
+    """The K&R min() source vs the native bit-serial routine."""
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 60000), min_size=6, max_size=6),
+            min_size=6,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=20)
+    def test_min_source_equals_native(self, rows):
+        vals = np.array(rows, dtype=np.int64)
+        prog = compile_ppc(
+            programs.MIN_CODE
+            + "parallel int V; parallel int OUT;"
+            "void main() { OUT = min(V, WEST, COL == N - 1); }"
+        )
+        m = fresh(6)
+        out = prog.run(m, "main", globals={"V": vals}).globals["OUT"]
+        native = ppa_min(fresh(6), vals, Direction.WEST,
+                         np.arange(6)[None, :] == 5)
+        assert np.array_equal(out, native)
+
+    def test_selected_min_source_equals_native(self):
+        vals = np.array([[7, 3, 3, 9, 3, 8]] * 6, dtype=np.int64)
+        sel = vals == 3
+        prog = compile_ppc(
+            programs.SELECTED_MIN_CODE
+            + "parallel int V; parallel logical S; parallel int OUT;"
+            "void main() { OUT = selected_min(COL, WEST, COL == N - 1, S); }"
+        )
+        m = fresh(6)
+        out = prog.run(m, "main", globals={"V": vals, "S": sel}).globals["OUT"]
+        native = ppa_selected_min(
+            fresh(6), fresh(6).col_index, Direction.WEST,
+            np.arange(6)[None, :] == 5, sel
+        )
+        assert np.array_equal(out, native)
+
+
+class TestMCPListing:
+    @pytest.mark.parametrize("src", [programs.MCP_CODE, programs.MCP_WITH_LIBRARY_MIN])
+    @pytest.mark.parametrize("seed,p", [(0, 0.25), (3, 0.4), (9, 0.7)])
+    def test_matches_native(self, src, seed, p):
+        n = 8
+        W = gnp_digraph(n, p, seed=seed, weights=WeightSpec(1, 9), inf_value=INF16)
+        d = seed % n
+        native = minimum_cost_path(fresh(n), W, d)
+        m = fresh(n)
+        run = compile_ppc(src).run(
+            m, "minimum_cost_path",
+            globals={"W": normalize_weights(W, m), "d": d},
+        )
+        assert np.array_equal(run.globals["SOW"][d], native.sow)
+        assert np.array_equal(run.globals["PTN"][d], native.ptn)
+
+    def test_same_reduction_count_as_native(self):
+        """The interpreted listing issues the same wired-OR sequence."""
+        n = 8
+        W = gnp_digraph(n, 0.3, seed=1, weights=WeightSpec(1, 9), inf_value=INF16)
+        native_m = fresh(n)
+        native = minimum_cost_path(native_m, W, 0)
+        m = fresh(n)
+        run = compile_ppc(programs.MCP_CODE).run(
+            m, "minimum_cost_path",
+            globals={"W": normalize_weights(W, m), "d": 0},
+        )
+        assert run.counters["reductions"] == native.counters["reductions"]
+        assert run.counters["global_ors"] == native.counters["global_ors"]
+
+    def test_program_reusable_across_machines(self):
+        prog = compile_ppc(programs.MCP_CODE)
+        for n in (4, 8):
+            W = gnp_digraph(n, 0.5, seed=2, weights=WeightSpec(1, 5),
+                            inf_value=INF16)
+            m = fresh(n)
+            run = prog.run(
+                m, "minimum_cost_path",
+                globals={"W": normalize_weights(W, m), "d": 1},
+            )
+            native = minimum_cost_path(fresh(n), W, 1)
+            assert np.array_equal(run.globals["SOW"][1], native.sow)
+
+
+class TestDistanceTransformListing:
+    """The PPC distance-transform program vs the native apps kernel."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_native(self, seed):
+        from repro.apps import distance_transform, random_blobs
+
+        img = random_blobs(10, blobs=2, radius=2, seed=seed)
+        prog = compile_ppc(programs.DISTANCE_TRANSFORM_CODE)
+        m = fresh(10)
+        run = prog.run(m, "distance_transform", globals={"IMG": img})
+        native = distance_transform(fresh(10), img)
+        assert np.array_equal(run.globals["DIST"], native.distances)
+
+    def test_empty_image_all_maxint(self):
+        prog = compile_ppc(programs.DISTANCE_TRANSFORM_CODE)
+        m = fresh(6)
+        run = prog.run(
+            m,
+            "distance_transform",
+            globals={"IMG": np.zeros((6, 6), dtype=bool)},
+        )
+        assert (run.globals["DIST"] == m.maxint).all()
+
+    def test_no_torus_leak(self):
+        """Feature on the west edge: the east edge must be n-1 away."""
+        img = np.zeros((8, 8), dtype=bool)
+        img[:, 0] = True
+        prog = compile_ppc(programs.DISTANCE_TRANSFORM_CODE)
+        run = prog.run(fresh(8), "distance_transform", globals={"IMG": img})
+        assert (run.globals["DIST"][:, 7] == 7).all()

@@ -1,0 +1,82 @@
+"""Bit-plane decomposition and bit-serial arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WordWidthError
+from repro.ppc.bitplane import (
+    bit_compose,
+    bit_decompose,
+    bit_serial_add,
+    bit_serial_less,
+    bit_serial_min,
+)
+
+words8 = st.integers(0, 255)
+grids8 = st.lists(st.lists(words8, min_size=3, max_size=3), min_size=2, max_size=2)
+
+
+class TestDecompose:
+    def test_planes_lsb_first(self):
+        planes = bit_decompose(np.array([[0b101]]), 4)
+        assert planes.shape == (4, 1, 1)
+        assert planes[:, 0, 0].tolist() == [True, False, True, False]
+
+    def test_rejects_negative(self):
+        with pytest.raises(WordWidthError):
+            bit_decompose(np.array([-1]), 8)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(WordWidthError):
+            bit_decompose(np.array([256]), 8)
+
+    def test_accepts_maximum(self):
+        planes = bit_decompose(np.array([255]), 8)
+        assert planes.all()
+
+    @given(grids8)
+    def test_roundtrip(self, grid):
+        arr = np.array(grid)
+        assert np.array_equal(bit_compose(bit_decompose(arr, 8)), arr)
+
+
+class TestSerialAdd:
+    def test_simple(self):
+        out = bit_serial_add(np.array([3]), np.array([4]), 8)
+        assert out.tolist() == [7]
+
+    def test_saturates(self):
+        out = bit_serial_add(np.array([200]), np.array([100]), 8)
+        assert out.tolist() == [255]
+
+    def test_strict_overflow_raises(self):
+        with pytest.raises(WordWidthError):
+            bit_serial_add(np.array([200]), np.array([100]), 8, saturate=False)
+
+    @given(grids8, grids8)
+    def test_matches_numpy_saturating(self, a, b):
+        a, b = np.array(a), np.array(b)
+        want = np.minimum(a + b, 255)
+        assert np.array_equal(bit_serial_add(a, b, 8), want)
+
+
+class TestSerialCompare:
+    def test_less_basic(self):
+        out = bit_serial_less(np.array([3, 5, 5]), np.array([5, 3, 5]), 8)
+        assert out.tolist() == [True, False, False]
+
+    @given(grids8, grids8)
+    def test_matches_numpy_less(self, a, b):
+        a, b = np.array(a), np.array(b)
+        assert np.array_equal(bit_serial_less(a, b, 8), a < b)
+
+    @given(grids8, grids8)
+    def test_min_matches_numpy(self, a, b):
+        a, b = np.array(a), np.array(b)
+        assert np.array_equal(bit_serial_min(a, b, 8), np.minimum(a, b))
+
+    @given(grids8)
+    def test_less_is_irreflexive(self, a):
+        a = np.array(a)
+        assert not bit_serial_less(a, a, 8).any()

@@ -1,0 +1,189 @@
+"""Image applications vs scipy.ndimage oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import ndimage
+
+from repro.apps import (
+    connected_components,
+    distance_transform,
+    frame_image,
+    random_blobs,
+)
+from repro.errors import GraphError
+from repro.ppa import PPAConfig, PPAMachine
+
+CROSS = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+
+
+def machine(n):
+    return PPAMachine(PPAConfig(n=n, word_bits=16))
+
+
+def l1_oracle(img):
+    """Exact city-block distances (taxicab chamfer on a boolean image)."""
+    return ndimage.distance_transform_cdt(~img, metric="taxicab")
+
+
+def partition_equal(a, b):
+    """Two labelings induce the same partition of the foreground."""
+    fg = a >= 0
+    if not np.array_equal(fg, b >= 0):
+        return False
+    mapping = {}
+    for x, y in zip(a[fg], b[fg]):
+        if mapping.setdefault(int(x), int(y)) != int(y):
+            return False
+    return len(set(mapping.values())) == len(mapping)
+
+
+class TestImageGenerators:
+    def test_random_blobs_deterministic(self):
+        assert np.array_equal(random_blobs(12, seed=5), random_blobs(12, seed=5))
+
+    def test_random_blobs_nonempty(self):
+        assert random_blobs(12, seed=1).any()
+
+    def test_frame_is_hollow(self):
+        img = frame_image(10, margin=2)
+        assert img[2, 5] and not img[5, 5]
+
+    def test_frame_too_small(self):
+        with pytest.raises(GraphError):
+            frame_image(4, margin=2)
+
+
+class TestDistanceTransform:
+    def test_single_feature_pixel(self):
+        img = np.zeros((7, 7), dtype=bool)
+        img[3, 3] = True
+        res = distance_transform(machine(7), img)
+        rows = np.abs(np.arange(7)[:, None] - 3)
+        cols = np.abs(np.arange(7)[None, :] - 3)
+        assert np.array_equal(res.distances, rows + cols)
+        # the four in-place directional sweeps chamfer-propagate, so fewer
+        # iterations than the max distance are needed — but at least the
+        # quadrant-diagonal bound plus the convergence round
+        assert 2 <= res.iterations <= 7
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scipy_on_blobs(self, seed):
+        img = random_blobs(12, blobs=3, radius=2, seed=seed)
+        res = distance_transform(machine(12), img)
+        assert np.array_equal(res.distances, l1_oracle(img))
+
+    def test_frame_interior(self):
+        img = frame_image(11, margin=1)
+        res = distance_transform(machine(11), img)
+        assert res.distances[5, 5] == l1_oracle(img)[5, 5]
+        assert res.max_distance == res.distances.max()
+
+    def test_all_feature_image(self):
+        img = np.ones((5, 5), dtype=bool)
+        res = distance_transform(machine(5), img)
+        assert not res.distances.any()
+        assert res.iterations == 1
+
+    def test_empty_image_all_unreached(self):
+        img = np.zeros((5, 5), dtype=bool)
+        res = distance_transform(machine(5), img)
+        assert (res.distances == res.unreached).all()
+        assert res.max_distance == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GraphError, match="does not fit"):
+            distance_transform(machine(5), np.zeros((4, 4), bool))
+
+    def test_borders_not_adjacent(self):
+        """No torus wrap: a feature on the left edge is far from the right."""
+        img = np.zeros((8, 8), dtype=bool)
+        img[:, 0] = True
+        res = distance_transform(machine(8), img)
+        assert (res.distances[:, 7] == 7).all()
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 10))
+    @settings(max_examples=25)
+    def test_property_matches_scipy(self, seed, n):
+        img = random_blobs(n, blobs=2, radius=2, seed=seed)
+        res = distance_transform(machine(n), img)
+        assert np.array_equal(res.distances, l1_oracle(img))
+
+
+class TestConnectedComponents:
+    def scipy_labels(self, img):
+        lab, count = ndimage.label(img, structure=CROSS)
+        return np.where(img, lab - 1, -1), count
+
+    @pytest.mark.parametrize("use_buses", [True, False])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scipy_partition(self, use_buses, seed):
+        img = random_blobs(12, blobs=4, radius=2, seed=seed)
+        res = connected_components(machine(12), img, use_buses=use_buses)
+        want, count = self.scipy_labels(img)
+        assert res.count == count
+        assert partition_equal(res.labels, want)
+
+    def test_labels_are_canonical_min_index(self):
+        img = np.zeros((5, 5), dtype=bool)
+        img[1, 1:4] = True
+        res = connected_components(machine(5), img)
+        assert set(np.unique(res.labels)) == {-1, 1 * 5 + 1}
+
+    def test_relabelled_compact(self):
+        img = random_blobs(10, blobs=3, radius=1, seed=7)
+        res = connected_components(machine(10), img)
+        compact = res.relabelled()
+        ids = set(np.unique(compact[compact >= 0]))
+        assert ids == set(range(res.count))
+
+    def test_buses_accelerate_long_runs(self):
+        """A full-width bar converges in O(1) rounds over the bus but needs
+        Θ(n) neighbourhood sweeps without it."""
+        n = 16
+        img = np.zeros((n, n), dtype=bool)
+        img[4, :] = True
+        fast = connected_components(machine(n), img, use_buses=True)
+        slow = connected_components(machine(n), img, use_buses=False)
+        assert fast.count == slow.count == 1
+        assert fast.iterations <= 3
+        assert slow.iterations >= n - 2
+
+    def test_empty_image(self):
+        res = connected_components(machine(5), np.zeros((5, 5), bool))
+        assert res.count == 0
+        assert (res.labels == -1).all()
+
+    def test_spiral_shape(self):
+        """A snaky single component — worst case for pure propagation."""
+        img = np.array(
+            [
+                [1, 1, 1, 1, 1],
+                [0, 0, 0, 0, 1],
+                [1, 1, 1, 0, 1],
+                [1, 0, 0, 0, 1],
+                [1, 1, 1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        res = connected_components(machine(5), img)
+        want, count = self.scipy_labels(img)
+        assert res.count == count == 1
+        assert partition_equal(res.labels, want)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_property_matches_scipy(self, seed):
+        img = random_blobs(9, blobs=3, radius=1, seed=seed)
+        res = connected_components(machine(9), img)
+        want, count = self.scipy_labels(img)
+        assert res.count == count
+        assert partition_equal(res.labels, want)
+
+    def test_edge_runs_do_not_wrap(self):
+        """Foreground touching both vertical borders must stay two
+        components (the bus clusters never wrap the image)."""
+        img = np.zeros((6, 6), dtype=bool)
+        img[2, 0] = img[2, 5] = True
+        res = connected_components(machine(6), img)
+        assert res.count == 2

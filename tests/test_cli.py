@@ -1,0 +1,196 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.ppc.lang import programs
+
+
+class TestMcpCommand:
+    def test_generate_gnp(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "1",
+                     "-d", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum cost paths to vertex 2 on ppa" in out
+        assert "counters:" in out
+
+    def test_paths_flag(self, capsys):
+        main(["mcp", "--generate", "complete", "--n", "5", "-d", "0",
+              "--paths"])
+        out = capsys.readouterr().out
+        assert "->" in out
+
+    @pytest.mark.parametrize("arch", ["gcn", "mesh", "hypercube"])
+    def test_other_architectures(self, arch, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "8", "--arch", arch]) == 0
+        assert f"on {arch}" in capsys.readouterr().out
+
+    def test_word_parallel_variant(self, capsys):
+        assert main(["mcp", "--generate", "ring", "--n", "5",
+                     "--word-parallel"]) == 0
+
+    def test_word_parallel_rejected_for_mesh(self, capsys):
+        assert main(["mcp", "--generate", "ring", "--n", "5", "--arch",
+                     "mesh", "--word-parallel"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_graph_from_npy(self, tmp_path, capsys):
+        W = np.array([[0, 3], [7, 0]], dtype=np.int64)
+        path = tmp_path / "w.npy"
+        np.save(path, W)
+        assert main(["mcp", "--graph", str(path), "-d", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cost      3" in out
+
+    def test_graph_from_txt_with_inf(self, tmp_path, capsys):
+        path = tmp_path / "w.txt"
+        path.write_text("0 2 inf\ninf 0 4\ninf inf 0\n")
+        assert main(["mcp", "--graph", str(path), "-d", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cost      6" in out
+
+    def test_missing_graph_file(self, capsys):
+        assert main(["mcp", "--graph", "/nonexistent.npy"]) == 2
+
+    def test_npz_needs_W(self, tmp_path, capsys):
+        path = tmp_path / "w.npz"
+        np.savez(path, other=np.zeros((2, 2)))
+        assert main(["mcp", "--graph", str(path)]) == 2
+
+
+class TestReportCommand:
+    def test_quick_single_experiment(self, capsys):
+        assert main(["report", "--quick", "F4"]) == 0
+        assert "F4 - iterations" in capsys.readouterr().out
+
+
+class TestPpcCommand:
+    def test_run_program(self, tmp_path, capsys):
+        src = tmp_path / "prog.ppc"
+        src.write_text("int ans; void main() { ans = N * N; }")
+        assert main(["ppc", str(src), "--n", "5"]) == 0
+        assert "ans = 25" in capsys.readouterr().out
+
+    def test_entry_and_set(self, tmp_path, capsys):
+        src = tmp_path / "prog.ppc"
+        src.write_text("int d; int f() { return d + 1; }")
+        assert main(["ppc", str(src), "--entry", "f", "--set", "d=41"]) == 0
+        assert "return value: 42" in capsys.readouterr().out
+
+    def test_run_paper_listing_with_graph(self, tmp_path, capsys):
+        src = tmp_path / "mcp.ppc"
+        src.write_text(programs.MCP_CODE)
+        W = np.array(
+            [[0, 4, np.inf, np.inf],
+             [np.inf, 0, 1, np.inf],
+             [np.inf, np.inf, 0, 7],
+             [2, np.inf, np.inf, 0]]
+        )
+        graph = tmp_path / "w.npy"
+        np.save(graph, W)
+        assert main(["ppc", str(src), "--entry", "minimum_cost_path",
+                     "--n", "4", "--graph", str(graph), "--set", "d=3"]) == 0
+        out = capsys.readouterr().out
+        assert "SOW =" in out
+
+    def test_format_mode(self, tmp_path, capsys):
+        src = tmp_path / "prog.ppc"
+        src.write_text("int f(  )   { return   1+2 ; }")
+        assert main(["ppc", str(src), "--format"]) == 0
+        assert "return 1 + 2;" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["ppc", "/nope.ppc"]) == 2
+
+    def test_bad_set_syntax(self, tmp_path, capsys):
+        src = tmp_path / "prog.ppc"
+        src.write_text("void main() { }")
+        assert main(["ppc", str(src), "--set", "oops"]) == 2
+
+
+class TestSelftestCommand:
+    def test_healthy(self, capsys):
+        assert main(["selftest", "--n", "5"]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_injected_fault_reported(self, capsys):
+        assert main(["selftest", "--n", "5", "--fault", "1,2,open,1"]) == 1
+        out = capsys.readouterr().out
+        assert "stuck-open switch at (1, 2) on row bus" in out
+
+    def test_fault_on_both_axes(self, capsys):
+        assert main(["selftest", "--n", "5", "--fault", "2,2,short,both"]) == 1
+        out = capsys.readouterr().out
+        assert out.count("stuck-short switch at (2, 2)") == 2
+
+    def test_bad_fault_spec(self, capsys):
+        assert main(["selftest", "--fault", "1,2,banana"]) == 2
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestRmeshArch:
+    def test_mcp_on_rmesh(self, capsys):
+        from repro.cli import main as _main
+
+        assert _main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "2",
+                      "--arch", "rmesh", "-d", "1"]) == 0
+        assert "on rmesh" in capsys.readouterr().out
+
+    def test_word_parallel_rejected_for_rmesh(self, capsys):
+        from repro.cli import main as _main
+
+        assert _main(["mcp", "--generate", "ring", "--n", "5",
+                      "--arch", "rmesh", "--word-parallel"]) == 2
+
+
+class TestPpcCompileModes:
+    def test_compile_only_emits_asm(self, tmp_path, capsys):
+        src = tmp_path / "prog.ppc"
+        src.write_text("parallel int X; void main() { X = COL + 1; }")
+        assert main(["ppc", str(src), "--compile", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled from PPC for n=4" in out
+        assert "halt" in out
+
+    def test_run_compiled(self, tmp_path, capsys):
+        src = tmp_path / "prog.ppc"
+        src.write_text("int out; parallel int X;"
+                       "void main() { X = 1; where (ROW == 0) X = 5; }")
+        assert main(["ppc", str(src), "--run-compiled", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "X =" in out and "counters:" in out
+
+    def test_run_compiled_paper_listing(self, tmp_path, capsys):
+        src = tmp_path / "mcp.ppc"
+        src.write_text(programs.MCP_CODE)
+        W = np.array(
+            [[0, 4, np.inf, np.inf],
+             [np.inf, 0, 1, np.inf],
+             [np.inf, np.inf, 0, 7],
+             [2, np.inf, np.inf, 0]]
+        )
+        graph = tmp_path / "w.npy"
+        np.save(graph, W)
+        assert main(["ppc", str(src), "--entry", "minimum_cost_path",
+                     "--n", "4", "--graph", str(graph), "--set", "d=3",
+                     "--run-compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "SOW =" in out
+
+    def test_compile_error_surfaces(self, tmp_path, capsys):
+        src = tmp_path / "bad.ppc"
+        src.write_text("parallel int X; int d;"
+                       "void main() { X = shift(X, d); }")
+        assert main(["ppc", str(src), "--compile"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,368 @@
+"""Reconfigurable Mesh substrate and its constant-time algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BusError, ConfigurationError, GraphError
+from repro.ppa import PPAConfig, PPAMachine
+from repro.rmesh import (
+    CONFIGS,
+    Port,
+    RMeshMachine,
+    count_ones,
+    global_or_one_step,
+    leftmost_one,
+    parity,
+    partition_of,
+    ppa_count_ones_row,
+    prefix_or,
+)
+from repro.rmesh.switches import ALL_PARTITIONS
+
+
+class TestSwitchConfigs:
+    def test_fifteen_partitions(self):
+        assert len(ALL_PARTITIONS) == 15
+        assert len({p for p in ALL_PARTITIONS}) == 15
+
+    def test_every_partition_covers_all_ports(self):
+        for p in ALL_PARTITIONS:
+            assert set().union(*p) == {"N", "E", "S", "W"}
+
+    def test_named_configs_resolve(self):
+        assert CONFIGS["ROW"].fuses("E", "W")
+        assert not CONFIGS["ROW"].fuses("N", "E")
+        assert CONFIGS["ALL"].fuses("N", "W")
+        assert CONFIGS["STAIR_DOWN"].fuses("W", "S")
+        assert CONFIGS["STAIR_DOWN"].fuses("N", "E")
+        assert not CONFIGS["STAIR_DOWN"].fuses("W", "N")
+        assert CONFIGS["ISOLATE"].blocks == tuple(
+            sorted((frozenset({p}) for p in "NESW"), key=sorted)
+        )
+
+    def test_ids_distinct(self):
+        ids = [c.id for c in CONFIGS.values()]
+        assert len(ids) == len(set(ids))
+
+    def test_partition_of_bounds(self):
+        partition_of(0)
+        partition_of(14)
+        with pytest.raises(ValueError):
+            partition_of(15)
+
+
+def naive_bus_labels(machine: RMeshMachine) -> np.ndarray:
+    """BFS reference for bus resolution."""
+    n = machine.n
+    adj: dict[tuple, set] = {}
+
+    def add(a, b):
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+
+    for r in range(n):
+        for c in range(n):
+            if c < n - 1:
+                add((r, c, int(Port.E)), (r, c + 1, int(Port.W)))
+            if r < n - 1:
+                add((r, c, int(Port.S)), (r + 1, c, int(Port.N)))
+            for block in partition_of(int(machine._config[r, c])):
+                ports = sorted(block)
+                for a, b in zip(ports, ports[1:]):
+                    add((r, c, "NESW".index(a)), (r, c, "NESW".index(b)))
+    labels = -np.ones((n, n, 4), dtype=int)
+    next_id = 0
+    for r in range(n):
+        for c in range(n):
+            for p in range(4):
+                if labels[r, c, p] >= 0:
+                    continue
+                stack = [(r, c, p)]
+                labels[r, c, p] = next_id
+                while stack:
+                    node = stack.pop()
+                    for nb in adj.get(node, ()):
+                        if labels[nb] < 0:
+                            labels[nb] = next_id
+                            stack.append(nb)
+                next_id += 1
+    return labels
+
+
+def same_partition(a: np.ndarray, b: np.ndarray) -> bool:
+    pairs = {}
+    for x, y in zip(a.ravel(), b.ravel()):
+        if pairs.setdefault(int(x), int(y)) != int(y):
+            return False
+    return len(set(pairs.values())) == len(pairs)
+
+
+class TestBusResolution:
+    def test_isolate_rows_of_buses(self):
+        m = RMeshMachine(3)
+        m.set_config_named("ROW")
+        labels = m.bus_labels()
+        # each row one bus; N/S ports pair up between rows
+        assert labels[0, 0, Port.E] == labels[0, 2, Port.W]
+        assert labels[0, 0, Port.E] != labels[1, 0, Port.E]
+
+    def test_all_single_bus(self):
+        m = RMeshMachine(4)
+        m.set_config_named("ALL")
+        labels = m.bus_labels()
+        assert len(np.unique(labels)) == 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_matches_naive_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        m = RMeshMachine(4)
+        m.set_config(rng.integers(0, 15, size=(4, 4)))
+        assert same_partition(m.bus_labels(), naive_bus_labels(m))
+
+    def test_reconfigure_invalidates_labels(self):
+        m = RMeshMachine(3)
+        m.set_config_named("ROW")
+        a = m.bus_labels()
+        m.set_config_named("COL")
+        b = m.bus_labels()
+        assert not same_partition(a, b) or not np.array_equal(a, b)
+
+    def test_bad_config_id(self):
+        with pytest.raises(ConfigurationError):
+            RMeshMachine(3).set_config(99)
+
+
+class TestSignalsAndBroadcast:
+    def test_signal_propagates_on_row_bus(self):
+        m = RMeshMachine(4)
+        m.set_config_named("ROW")
+        drivers = np.zeros((4, 4, 4), dtype=bool)
+        drivers[2, 0, Port.E] = True
+        signal = m.bus_signal(drivers)
+        assert signal[2, 3, Port.W]
+        assert not signal[1, 3, Port.W]
+
+    def test_signal_shape_checked(self):
+        m = RMeshMachine(3)
+        with pytest.raises(BusError, match="shape"):
+            m.bus_signal(np.zeros((3, 3), dtype=bool))
+
+    def test_broadcast_word(self):
+        m = RMeshMachine(4)
+        m.set_config_named("ROW")
+        values = np.zeros((4, 4), dtype=np.int64)
+        values[1, 2] = 77
+        drivers = np.zeros((4, 4, 4), dtype=bool)
+        drivers[1, 2, Port.E] = True
+        out = m.broadcast(values, drivers)
+        assert out[1, 0, Port.E] == 77
+        assert out[0, 0, Port.E] == 0  # undriven bus
+
+    def test_broadcast_conflict(self):
+        m = RMeshMachine(4)
+        m.set_config_named("ROW")
+        values = np.arange(16).reshape(4, 4)
+        drivers = np.zeros((4, 4, 4), dtype=bool)
+        drivers[0, 0, Port.E] = drivers[0, 3, Port.W] = True
+        with pytest.raises(BusError, match="conflicting"):
+            m.broadcast(values, drivers)
+
+    def test_counters(self):
+        m = RMeshMachine(4)
+        m.set_config_named("ALL")
+        m.bus_signal(np.zeros((4, 4, 4), dtype=bool))
+        assert m.counters.bus_cycles == 1
+        assert m.counters.bit_cycles == 1
+
+
+class TestCountOnes:
+    @pytest.mark.parametrize("pattern", [
+        [], [1], [0, 0, 0], [1, 1, 1], [1, 0, 1, 0, 1], [0, 1, 1, 0],
+    ])
+    def test_hand_cases(self, pattern):
+        m = RMeshMachine(8)
+        assert count_ones(m, np.array(pattern, dtype=bool)) == sum(pattern)
+
+    def test_single_bus_cycle(self):
+        m = RMeshMachine(8)
+        count_ones(m, np.ones(7, dtype=bool))
+        assert m.counters.bus_cycles == 1
+
+    def test_too_many_bits(self):
+        with pytest.raises(GraphError, match="at most"):
+            count_ones(RMeshMachine(4), np.ones(4, dtype=bool))
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 10))
+    @settings(max_examples=30)
+    def test_property_matches_sum(self, seed, n):
+        rng = np.random.default_rng(seed)
+        bits = rng.random(n - 1) < 0.5
+        assert count_ones(RMeshMachine(n), bits) == int(bits.sum())
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10)
+    def test_parity(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.random(7) < 0.5
+        assert parity(RMeshMachine(8), bits) == int(bits.sum()) % 2
+
+
+class TestPriorityPrimitives:
+    def test_prefix_or(self):
+        m = RMeshMachine(6)
+        bits = np.array([0, 1, 0, 1, 0, 0], dtype=bool)
+        got = prefix_or(m, bits)
+        assert got.tolist() == [False, False, True, True, True, True]
+
+    def test_prefix_or_single_cycle(self):
+        m = RMeshMachine(6)
+        prefix_or(m, np.ones(6, dtype=bool))
+        assert m.counters.bus_cycles == 1
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=20)
+    def test_leftmost_one(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.random(8) < 0.3
+        got = leftmost_one(RMeshMachine(8), bits)
+        want = int(np.argmax(bits)) if bits.any() else None
+        assert got == want
+
+    def test_global_or(self):
+        m = RMeshMachine(5)
+        assert global_or_one_step(m, np.zeros((5, 5), bool)) is False
+        flags = np.zeros((5, 5), bool)
+        flags[4, 4] = True
+        assert global_or_one_step(m, flags) is True
+
+
+class TestPowerSeparation:
+    def test_rmesh_constant_vs_ppa_linear(self):
+        """The Section-4 claim: counting is O(1) on RMESH, Θ(n) on PPA."""
+        rng = np.random.default_rng(1)
+        for n in (8, 16, 32):
+            bits = rng.random(n - 1) < 0.5
+            rm = RMeshMachine(n)
+            want = int(bits.sum())
+            assert count_ones(rm, bits) == want
+            assert rm.counters.bus_cycles == 1
+
+            ppa = PPAMachine(PPAConfig(n=n))
+            got, cycles = ppa_count_ones_row(ppa, bits)
+            assert got == want
+            assert cycles >= n - 1  # the fold is Theta(n) hops
+
+    def test_ppa_count_rejects_overflow_row(self):
+        with pytest.raises(GraphError, match="at most"):
+            ppa_count_ones_row(PPAMachine(PPAConfig(n=4)), np.ones(5))
+
+
+class TestRMeshMCP:
+    """The PPA algorithm ported to RMESH row/column configurations."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_oracle(self, seed):
+        from repro.baselines.sequential import bellman_ford
+        from repro.rmesh import rmesh_mcp
+        from repro.workloads import WeightSpec, gnp_digraph
+
+        inf = (1 << 16) - 1
+        W = gnp_digraph(8, 0.35, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=inf)
+        d = seed % 8
+        res = rmesh_mcp(RMeshMachine(8), W, d)
+        bf = bellman_ford(W, d, maxint=inf)
+        assert np.array_equal(res.sow, bf.sow)
+        assert res.iterations == bf.iterations
+
+    def test_same_iteration_count_as_ppa(self):
+        from repro import minimum_cost_path
+        from repro.rmesh import rmesh_mcp
+        from repro.workloads import gnp_digraph
+
+        inf = (1 << 16) - 1
+        W = gnp_digraph(8, 0.4, seed=3, inf_value=inf)
+        ppa = minimum_cost_path(PPAMachine(PPAConfig(n=8)), W, 2)
+        rm = rmesh_mcp(RMeshMachine(8), W, 2)
+        assert np.array_equal(rm.sow, ppa.sow)
+        assert np.array_equal(rm.ptn, ppa.ptn)
+        assert rm.iterations == ppa.iterations
+
+    def test_cost_is_o_ph(self):
+        """Same complexity class as the PPA: ~2h wired-ORs per iteration."""
+        from repro.rmesh import rmesh_mcp
+        from repro.workloads import complete_graph, WeightSpec
+
+        inf = (1 << 16) - 1
+        W = complete_graph(8, seed=2, weights=WeightSpec(1, 9), inf_value=inf)
+        res = rmesh_mcp(RMeshMachine(8, word_bits=16), W, 0)
+        per_iter = res.counters["bus_cycles"] / res.iterations
+        assert 2 * 16 <= per_iter <= 2 * 16 + 10
+
+    def test_destination_validation(self):
+        from repro.rmesh import rmesh_mcp
+
+        W = np.zeros((4, 4), dtype=np.int64)
+        with pytest.raises(GraphError, match="destination"):
+            rmesh_mcp(RMeshMachine(4), W, 9)
+
+    def test_size_mismatch(self):
+        from repro.errors import MaskError
+        from repro.rmesh import rmesh_mcp
+
+        with pytest.raises(MaskError, match="requires"):
+            rmesh_mcp(RMeshMachine(4), np.zeros((5, 5), dtype=np.int64), 0)
+
+
+class TestStaircaseRouting:
+    """Port-level signal routing through the corner configurations."""
+
+    def test_stair_down_routes_w_to_s(self):
+        m = RMeshMachine(3)
+        m.set_config_named("STAIR_DOWN")
+        drivers = np.zeros((3, 3, 4), dtype=bool)
+        drivers[0, 0, Port.W] = True
+        sig = m.bus_signal(drivers)
+        # W fuses to S: the signal dives immediately and then goes east one
+        # per row (N fuses to E below)
+        assert sig[0, 0, Port.S]
+        assert sig[1, 0, Port.N] and sig[1, 0, Port.E]
+        assert not sig[0, 0, Port.E]
+
+    def test_stair_up_routes_w_to_n(self):
+        m = RMeshMachine(3)
+        m.set_config_named("STAIR_UP")
+        drivers = np.zeros((3, 3, 4), dtype=bool)
+        drivers[2, 0, Port.W] = True
+        sig = m.bus_signal(drivers)
+        assert sig[2, 0, Port.N]
+        assert sig[1, 0, Port.S] and sig[1, 0, Port.E]
+
+    def test_cross_keeps_row_and_column_separate(self):
+        m = RMeshMachine(3)
+        m.set_config_named("CROSS")
+        drivers = np.zeros((3, 3, 4), dtype=bool)
+        drivers[1, 0, Port.E] = True  # drive row 1's bus
+        sig = m.bus_signal(drivers)
+        assert sig[1, 2, Port.W]
+        assert not sig[0, 1, Port.S]  # column buses stay silent
+
+    def test_mixed_configuration_snake(self):
+        """A bus that turns two corners: row 0 east, down column 2, row 2."""
+        m = RMeshMachine(4)
+        ids = np.full((4, 4), CONFIGS["ISOLATE"].id)
+        ids[0, 0] = ids[0, 1] = CONFIGS["ROW"].id
+        ids[0, 2] = CONFIGS["SW"].id          # arrives W, leaves S
+        ids[1, 2] = CONFIGS["COL"].id
+        ids[2, 2] = CONFIGS["NW"].id          # arrives N, leaves W
+        ids[2, 0] = ids[2, 1] = CONFIGS["ROW"].id
+        m.set_config(ids)
+        drivers = np.zeros((4, 4, 4), dtype=bool)
+        drivers[0, 0, Port.W] = True
+        sig = m.bus_signal(drivers)
+        assert sig[0, 2, Port.W]
+        assert sig[2, 2, Port.N]
+        assert sig[2, 0, Port.W]
+        assert not sig[3, 2, Port.N]  # snake ends at the NW elbow

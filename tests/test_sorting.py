@@ -1,0 +1,89 @@
+"""Row sorting algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.sorting import extract_min_sort_rows, odd_even_sort_rows
+from repro.errors import GraphError
+from repro.ppa import PPAConfig, PPAMachine
+
+
+def machine(n, h=16):
+    return PPAMachine(PPAConfig(n=n, word_bits=h))
+
+
+SORTERS = [odd_even_sort_rows, extract_min_sort_rows]
+
+
+class TestBothSorters:
+    @pytest.mark.parametrize("sorter", SORTERS)
+    def test_random_rows(self, sorter, rng):
+        vals = rng.integers(0, 1000, size=(8, 8))
+        res = sorter(machine(8), vals)
+        assert np.array_equal(res.values, np.sort(vals, axis=1))
+
+    @pytest.mark.parametrize("sorter", SORTERS)
+    def test_duplicates(self, sorter):
+        vals = np.array([[5, 3, 5, 3], [7, 7, 7, 7], [0, 9, 0, 9],
+                         [1, 2, 3, 4]])
+        res = sorter(machine(4), vals)
+        assert np.array_equal(res.values, np.sort(vals, axis=1))
+
+    @pytest.mark.parametrize("sorter", SORTERS)
+    def test_already_sorted(self, sorter):
+        vals = np.tile(np.arange(6), (6, 1))
+        res = sorter(machine(6), vals)
+        assert np.array_equal(res.values, vals)
+
+    @pytest.mark.parametrize("sorter", SORTERS)
+    def test_reverse_sorted(self, sorter):
+        vals = np.tile(np.arange(6)[::-1], (6, 1))
+        res = sorter(machine(6), vals)
+        assert np.array_equal(res.values, np.sort(vals, axis=1))
+
+    @pytest.mark.parametrize("sorter", SORTERS)
+    def test_single_column(self, sorter):
+        vals = np.array([[3]])
+        assert sorter(machine(1), vals).values.tolist() == [[3]]
+
+    @pytest.mark.parametrize("sorter", SORTERS)
+    def test_shape_mismatch(self, sorter):
+        with pytest.raises(GraphError):
+            sorter(machine(4), np.zeros((3, 3), dtype=np.int64))
+
+    @pytest.mark.parametrize("sorter", SORTERS)
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15)
+    def test_property_matches_numpy(self, sorter, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 255, size=(5, 5))
+        res = sorter(machine(5, h=8), vals)
+        assert np.array_equal(res.values, np.sort(vals, axis=1))
+
+
+class TestCostShapes:
+    def test_odd_even_independent_of_h(self):
+        vals = np.arange(36).reshape(6, 6)[:, ::-1].copy()
+        a = odd_even_sort_rows(machine(6, h=8), vals)
+        b = odd_even_sort_rows(machine(6, h=32), vals)
+        assert a.counters["bus_cycles"] == b.counters["bus_cycles"]
+
+    def test_extract_min_linear_in_h(self):
+        vals = np.arange(36).reshape(6, 6)[:, ::-1].copy()
+        a = extract_min_sort_rows(machine(6, h=8), vals)
+        b = extract_min_sort_rows(machine(6, h=16), vals)
+        # 2h wired-ORs per round dominate
+        assert b.counters["bus_cycles"] - a.counters["bus_cycles"] == \
+            pytest.approx(6 * 2 * 8, abs=6)
+
+    def test_extract_min_rejects_maxint_keys(self):
+        m = machine(4, h=8)
+        vals = np.full((4, 4), m.maxint, dtype=np.int64)
+        with pytest.raises(GraphError, match="below MAXINT"):
+            extract_min_sort_rows(m, vals)
+
+    def test_rounds_equal_n(self):
+        vals = np.zeros((5, 5), dtype=np.int64)
+        assert odd_even_sort_rows(machine(5), vals).rounds == 5
+        assert extract_min_sort_rows(machine(5), vals).rounds == 5

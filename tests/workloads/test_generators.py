@@ -1,0 +1,149 @@
+"""Graph generators: structure, determinism, conventions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.workloads.generators import (
+    DEFAULT_INF,
+    complete_graph,
+    geometric_graph,
+    gnp_digraph,
+    grid_graph,
+    layered_graph,
+    random_tree,
+    ring_graph,
+)
+from repro.workloads.weights import WeightSpec
+
+INF = DEFAULT_INF
+
+
+def edges(W):
+    mask = (W < INF) & ~np.eye(W.shape[0], dtype=bool)
+    return mask
+
+
+class TestConventions:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: gnp_digraph(8, 0.4, seed=1),
+            lambda: grid_graph(3, seed=1),
+            lambda: ring_graph(8, seed=1),
+            lambda: random_tree(8, seed=1),
+            lambda: geometric_graph(8, 0.4, seed=1),
+            lambda: complete_graph(8, seed=1),
+            lambda: layered_graph(3, 2, seed=1)[0],
+        ],
+    )
+    def test_zero_diagonal_and_dtype(self, factory):
+        W = factory()
+        assert W.dtype == np.int64
+        assert (np.diag(W) == 0).all()
+        mask = edges(W)
+        assert (W[mask] >= 1).all()
+
+    def test_determinism(self):
+        a = gnp_digraph(10, 0.3, seed=42)
+        b = gnp_digraph(10, 0.3, seed=42)
+        assert np.array_equal(a, b)
+        c = gnp_digraph(10, 0.3, seed=43)
+        assert not np.array_equal(a, c)
+
+
+class TestGnp:
+    def test_density_extremes(self):
+        assert not edges(gnp_digraph(6, 0.0, seed=0)).any()
+        assert edges(gnp_digraph(6, 1.0, seed=0)).sum() == 30
+
+    def test_bad_probability(self):
+        with pytest.raises(GraphError, match="probability"):
+            gnp_digraph(4, 1.5)
+
+    def test_bad_size(self):
+        with pytest.raises(GraphError, match="size"):
+            gnp_digraph(0, 0.5)
+
+
+class TestGrid:
+    def test_vertex_count(self):
+        assert grid_graph(4).shape == (16, 16)
+
+    def test_neighbour_structure(self):
+        W = grid_graph(3, weights=WeightSpec(1, 1))
+        # vertex 4 (centre) connects to 1, 3, 5, 7
+        for nb in (1, 3, 5, 7):
+            assert W[4, nb] == 1 and W[nb, 4] == 1
+        assert W[4, 0] == INF  # no diagonal streets
+
+    def test_unidirectional(self):
+        W = grid_graph(3, bidirectional=False)
+        assert W[0, 1] < INF
+        assert W[1, 0] == INF
+
+
+class TestRingAndTree:
+    def test_ring_structure(self):
+        W = ring_graph(5, weights=WeightSpec(1, 1))
+        for i in range(5):
+            assert W[i, (i + 1) % 5] == 1
+        assert edges(W).sum() == 5
+
+    def test_single_vertex_ring_has_no_self_loop(self):
+        W = ring_graph(1)
+        assert W.shape == (1, 1) and W[0, 0] == 0
+
+    def test_tree_has_n_minus_1_edges(self):
+        W = random_tree(9, seed=3)
+        assert edges(W).sum() == 8
+
+    def test_tree_all_reach_root(self):
+        from repro.baselines.sequential import bellman_ford
+
+        W = random_tree(9, seed=3)
+        bf = bellman_ford(W, 0, maxint=INF)
+        assert bf.reachable.all()
+
+
+class TestLayered:
+    def test_exact_depth(self):
+        W, d = layered_graph(4, 3, seed=0)
+        assert d == 0
+        assert W.shape == (13, 13)
+        from repro.baselines.sequential import bellman_ford
+
+        bf = bellman_ford(W, 0, maxint=INF)
+        assert bf.reachable.all()
+        assert bf.iterations == 4
+
+    def test_layers_fully_connected(self):
+        W, _ = layered_graph(2, 2, seed=0, weights=WeightSpec(1, 1))
+        # layer 1 = {1, 2} -> sink 0; layer 2 = {3, 4} -> layer 1
+        assert W[1, 0] == 1 and W[2, 0] == 1
+        assert W[3, 1] == 1 and W[3, 2] == 1 and W[4, 1] == 1
+
+    def test_no_shortcuts(self):
+        W, _ = layered_graph(3, 2, seed=0)
+        assert W[5, 0] == INF  # layer 3 cannot skip to the sink
+
+
+class TestGeometric:
+    def test_radius_controls_density(self):
+        sparse = edges(geometric_graph(20, 0.1, seed=1)).sum()
+        dense = edges(geometric_graph(20, 0.8, seed=1)).sum()
+        assert dense > sparse
+
+    def test_symmetric_structure(self):
+        W = geometric_graph(10, 0.5, seed=2)
+        assert np.array_equal(edges(W), edges(W).T)
+
+    def test_bad_radius(self):
+        with pytest.raises(GraphError, match="radius"):
+            geometric_graph(5, 0.0)
+
+
+class TestComplete:
+    def test_all_pairs_connected(self):
+        W = complete_graph(5, seed=0)
+        assert edges(W).sum() == 20

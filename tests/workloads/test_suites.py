@@ -1,0 +1,42 @@
+"""Named workload suites."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.workloads.suites import SUITES, suite_cases
+
+INF16 = (1 << 16) - 1
+
+
+class TestSuites:
+    def test_known_suites_present(self):
+        assert {"correctness", "unit"} <= set(SUITES)
+
+    def test_correctness_suite_shape(self):
+        cases = suite_cases("correctness", inf_value=INF16)
+        assert len(cases) > 20
+        for case in cases:
+            assert case.W.shape == (case.n, case.n)
+            assert 0 <= case.destination < case.n
+            assert (case.W <= INF16).all()
+
+    def test_unit_suite_unit_weights(self):
+        for case in suite_cases("unit", inf_value=INF16):
+            finite = case.W[(case.W > 0) & (case.W < INF16)]
+            assert (finite == 1).all()
+
+    def test_inf_value_respected(self):
+        inf = 255
+        for case in suite_cases("unit", inf_value=inf):
+            assert case.W.max() == inf
+
+    def test_deterministic(self):
+        import numpy as np
+
+        a = suite_cases("correctness", inf_value=INF16)
+        b = suite_cases("correctness", inf_value=INF16)
+        assert all(np.array_equal(x.W, y.W) for x, y in zip(a, b))
+
+    def test_unknown_suite(self):
+        with pytest.raises(GraphError, match="unknown suite"):
+            suite_cases("nope", inf_value=INF16)

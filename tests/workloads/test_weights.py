@@ -1,0 +1,51 @@
+"""Weight assignment policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.workloads.weights import WeightSpec, uniform_weights, unit_weights
+
+
+class TestWeightSpec:
+    def test_range_applied(self):
+        spec = WeightSpec(3, 5)
+        adj = ~np.eye(6, dtype=bool)
+        W = spec.apply(adj, np.random.default_rng(0), 999)
+        vals = W[adj]
+        assert vals.min() >= 3 and vals.max() <= 5
+
+    def test_missing_edges_get_inf(self):
+        spec = WeightSpec(1, 1)
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = True
+        W = spec.apply(adj, np.random.default_rng(0), 777)
+        assert W[0, 1] == 1
+        assert W[1, 0] == 777
+
+    def test_diagonal_forced_zero(self):
+        spec = WeightSpec(1, 9)
+        adj = np.ones((4, 4), dtype=bool)
+        W = spec.apply(adj, np.random.default_rng(0), 999)
+        assert (np.diag(W) == 0).all()
+
+    def test_invalid_range(self):
+        with pytest.raises(GraphError, match="invalid weight range"):
+            WeightSpec(5, 2)
+        with pytest.raises(GraphError):
+            WeightSpec(-1, 4)
+
+    def test_unit_weights(self):
+        spec = unit_weights()
+        adj = ~np.eye(3, dtype=bool)
+        W = spec.apply(adj, np.random.default_rng(0), 99)
+        assert (W[adj] == 1).all()
+
+    def test_uniform_shorthand(self):
+        assert uniform_weights(2, 7) == WeightSpec(2, 7)
+
+    def test_zero_weights_allowed_explicitly(self):
+        spec = WeightSpec(0, 0)
+        adj = ~np.eye(3, dtype=bool)
+        W = spec.apply(adj, np.random.default_rng(0), 99)
+        assert (W[adj] == 0).all()
