@@ -18,7 +18,7 @@ def test_t1_table(benchmark, report):
     report(table)
 
 
-def test_t1_single_mcp_run(benchmark):
+def test_t1_single_mcp_run(benchmark, bench_profile):
     W = gnp_digraph(16, 0.3, seed=1, weights=WeightSpec(1, 9), inf_value=INF16)
 
     def run():
@@ -26,3 +26,12 @@ def test_t1_single_mcp_run(benchmark):
 
     result = benchmark(run)
     assert result.iterations >= 1
+
+    # One extra traced run emits the acceptance-workload span profile
+    # (per-iteration / per-bit-slice attribution) as BENCH_t1_mcp.json.
+    machine = PPAMachine(PPAConfig(n=16))
+    profiled = bench_profile(
+        "t1_mcp", machine, lambda: minimum_cost_path(machine, W, 3),
+        command="bench", arch="ppa", n=16, d=3,
+    )
+    assert profiled.iterations == result.iterations

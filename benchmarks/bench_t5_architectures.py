@@ -16,17 +16,37 @@ def test_t5_table(benchmark, report):
     report(table)
 
 
-def test_t5_ppa(benchmark):
+def test_t5_ppa(benchmark, bench_profile):
     benchmark(lambda: minimum_cost_path(PPAMachine(PPAConfig(n=16)), _W, 1))
+    machine = PPAMachine(PPAConfig(n=16))
+    bench_profile(
+        "t5_ppa", machine, lambda: minimum_cost_path(machine, _W, 1),
+        command="bench", arch="ppa", n=16, d=1,
+    )
 
 
-def test_t5_gcn(benchmark):
+def test_t5_gcn(benchmark, bench_profile):
     benchmark(lambda: GCNMachine(16).mcp(_W, 1))
+    machine = GCNMachine(16)
+    bench_profile(
+        "t5_gcn", machine, lambda: machine.mcp(_W, 1),
+        command="bench", arch="gcn", n=16, d=1,
+    )
 
 
-def test_t5_hypercube(benchmark):
+def test_t5_hypercube(benchmark, bench_profile):
     benchmark(lambda: HypercubeMachine(16).mcp(_W, 1))
+    machine = HypercubeMachine(16)
+    bench_profile(
+        "t5_hypercube", machine, lambda: machine.mcp(_W, 1),
+        command="bench", arch="hypercube", n=16, d=1,
+    )
 
 
-def test_t5_mesh(benchmark):
+def test_t5_mesh(benchmark, bench_profile):
     benchmark(lambda: MeshMachine(16).mcp(_W, 1))
+    machine = MeshMachine(16)
+    bench_profile(
+        "t5_mesh", machine, lambda: machine.mcp(_W, 1),
+        command="bench", arch="mesh", n=16, d=1,
+    )

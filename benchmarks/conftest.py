@@ -12,10 +12,14 @@ records.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
+from repro.telemetry import RunProfile, save_profile
 
 _printed: set[str] = set()
+_PROFILE_DIR = Path(__file__).parent / "profiles"
 
 
 @pytest.fixture
@@ -32,3 +36,27 @@ def report(capsys):
             print(result.render())
 
     return _print
+
+
+@pytest.fixture
+def bench_profile():
+    """Run a traced workload once and save its span profile.
+
+    ``bench_profile(name, machine, fn, **meta)`` enables ``machine``'s
+    span tracer, calls ``fn()``, and writes the resulting
+    :class:`~repro.telemetry.RunProfile` (native ``repro-profile-v1``
+    schema) to ``benchmarks/profiles/BENCH_<name>.json``.  The profiled
+    run is separate from the wall-clock ``benchmark`` rounds so timing
+    numbers stay tracer-free; counters are identical either way (the
+    zero-overhead guarantee).  Returns ``fn``'s result.
+    """
+
+    def _run(name: str, machine, fn, **meta):
+        with machine.telemetry.capture():
+            result = fn()
+        profile = RunProfile.from_tracer(machine.telemetry, **meta)
+        _PROFILE_DIR.mkdir(exist_ok=True)
+        save_profile(profile, _PROFILE_DIR / f"BENCH_{name}.json")
+        return result
+
+    return _run

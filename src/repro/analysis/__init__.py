@@ -6,6 +6,7 @@ from repro.analysis.experiments import (
     run_f3,
     run_f4,
     run_t5,
+    run_t5p,
     run_t6,
     run_a7,
     run_a8,
@@ -31,6 +32,7 @@ __all__ = [
     "run_f3",
     "run_f4",
     "run_t5",
+    "run_t5p",
     "run_t6",
     "run_a7",
     "run_a8",

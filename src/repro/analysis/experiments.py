@@ -44,6 +44,7 @@ __all__ = [
     "run_f3",
     "run_f4",
     "run_t5",
+    "run_t5p",
     "run_t6",
     "run_a7",
     "run_a8",
@@ -261,6 +262,76 @@ def run_t5(quick: bool = False) -> Table:
         "Measured: PPA and GCN are O(p*h) bit-cycles; the hypercube is "
         "O(p*h*log n) bit-cycles but O(p*log n) word transactions; the "
         "plain mesh is O(p*n) - an order worse than all three."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# T5P — per-phase breakdown of T5 (telemetry companion)
+# ---------------------------------------------------------------------------
+
+
+def run_t5p(quick: bool = False) -> Table:
+    """Where each architecture spends its cycles, phase by phase.
+
+    The telemetry companion to T5: the same cross-architecture MCP runs,
+    but attributed per algorithm phase via :mod:`repro.telemetry` spans.
+    The iteration phases (broadcast / min / selected_min / writeback /
+    convergence) are disjoint siblings under the ``mcp`` root, so their
+    inclusive counters *partition* each run's totals exactly — asserted in
+    ``tests/telemetry/test_attribution.py``. This is the per-phase evidence
+    behind the T5 note: the PPA's cost is concentrated in the two O(h)
+    bit-serial selection phases, the mesh's in the O(n) broadcast phase.
+    """
+    from repro.telemetry import RunProfile
+
+    table = Table(
+        "T5P - per-phase MCP cost across architectures (gnp graphs, h = 16)",
+        ["n", "architecture", "phase", "spans", "bus cycles", "bit cycles",
+         "alu ops"],
+    )
+    phases = (
+        "mcp.init", "mcp.broadcast", "mcp.min", "mcp.selected_min",
+        "mcp.writeback", "mcp.convergence",
+    )
+    ns = (8,) if quick else (8, 16)
+    for n in ns:
+        W = gnp_digraph(n, 0.3, seed=4, weights=WeightSpec(1, 9), inf_value=_INF16)
+        d = 1
+        runs = [
+            ("ppa", _machine(n), lambda m: minimum_cost_path(m, W, d)),
+            ("gcn", GCNMachine(n), lambda m: m.mcp(W, d)),
+            ("hypercube", HypercubeMachine(n), lambda m: m.mcp(W, d)),
+            ("mesh", MeshMachine(n), lambda m: m.mcp(W, d)),
+        ]
+        for arch, machine, runner in runs:
+            with machine.telemetry.capture():
+                runner(machine)
+            profile = RunProfile.from_tracer(
+                machine.telemetry, arch=arch, n=n, d=d
+            )
+            for phase in phases:
+                spans = profile.find(phase)
+                if not spans:  # baselines fold selected_min into min
+                    continue
+                totals: dict[str, int] = {}
+                for s in spans:
+                    for k, v in s.counters.items():
+                        totals[k] = totals.get(k, 0) + v
+                table.add_row(
+                    n, arch, phase, len(spans),
+                    totals.get("bus_cycles", 0),
+                    totals.get("bit_cycles", 0),
+                    totals.get("alu_ops", 0),
+                )
+    table.note(
+        "phases are disjoint siblings under the 'mcp' span, so each "
+        "architecture's phase rows sum exactly to its T5 totals (minus "
+        "the mcp.init row, which T5's per-run counters also include)"
+    )
+    table.note(
+        "the PPA concentrates cost in the O(h) bit-serial min/selected_min "
+        "phases; the plain mesh in the O(n) broadcast/writeback sweeps"
     )
     return table
 
@@ -799,6 +870,7 @@ ALL_EXPERIMENTS = {
     "F3": run_f3,
     "F4": run_f4,
     "T5": run_t5,
+    "T5P": run_t5p,
     "T6": run_t6,
     "A7": run_a7,
     "A8": run_a8,

@@ -13,6 +13,7 @@ from pathlib import Path
 
 from repro.errors import ReproError
 from repro.metrics.tables import Series, Table
+from repro.telemetry.profile import RunProfile, aggregate_phases
 
 __all__ = ["to_jsonable", "from_jsonable", "save_results", "load_results",
            "compare_results"]
@@ -20,8 +21,10 @@ __all__ = ["to_jsonable", "from_jsonable", "save_results", "load_results",
 _FORMAT = "repro-experiments-v1"
 
 
-def to_jsonable(result: Table | Series) -> dict:
+def to_jsonable(result: Table | Series | RunProfile) -> dict:
     """Plain-dict form of one experiment artefact."""
+    if isinstance(result, RunProfile):
+        return {"kind": "profile", "profile": result.to_jsonable()}
     if isinstance(result, Series):
         return {
             "kind": "series",
@@ -42,9 +45,11 @@ def to_jsonable(result: Table | Series) -> dict:
     raise ReproError(f"cannot serialise {type(result).__name__}")
 
 
-def from_jsonable(data: dict) -> Table | Series:
+def from_jsonable(data: dict) -> Table | Series | RunProfile:
     """Inverse of :func:`to_jsonable`."""
     kind = data.get("kind")
+    if kind == "profile":
+        return RunProfile.from_jsonable(data["profile"])
     if kind == "series":
         s = Series(data["title"], data["x_label"])
         s.x = list(data["x"])
@@ -60,7 +65,7 @@ def from_jsonable(data: dict) -> Table | Series:
 
 
 def save_results(results: dict, path: str | Path) -> None:
-    """Write ``{experiment_id: Table|Series}`` to *path* as JSON."""
+    """Write ``{experiment_id: Table|Series|RunProfile}`` to *path* as JSON."""
     payload = {
         "format": _FORMAT,
         "experiments": {k: to_jsonable(v) for k, v in results.items()},
@@ -82,7 +87,21 @@ def load_results(path: str | Path) -> dict:
     return {k: from_jsonable(v) for k, v in payload["experiments"].items()}
 
 
-def _cells(result: Table | Series) -> list[tuple]:
+def _cells(result: Table | Series | RunProfile) -> list[tuple]:
+    if isinstance(result, RunProfile):
+        # One row per phase: aggregated exclusive counters (deterministic
+        # simulator output), never wall-times (host-dependent).
+        rows = []
+        agg = aggregate_phases(result)
+        for name in sorted(agg):
+            bucket = agg[name]
+            rows.append(
+                (name, *(bucket[k] for k in sorted(bucket)))
+            )
+        rows.append(
+            ("(total)", *(result.counters[k] for k in sorted(result.counters)))
+        )
+        return rows
     if isinstance(result, Series):
         rows = []
         for i, x in enumerate(result.x):

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import MaskError
 from repro.ppa.counters import CycleCounters
+from repro.telemetry.spans import Tracer
 
 __all__ = ["ComparatorMachine"]
 
@@ -34,6 +35,8 @@ class ComparatorMachine:
         self.n = cfg.n
         self.word_bits = cfg.word_bits
         self.counters = CycleCounters()
+        #: span tracer (see :mod:`repro.telemetry`); disabled by default.
+        self.telemetry = Tracer(self.counters)
 
     @property
     def maxint(self) -> int:

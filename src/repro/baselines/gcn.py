@@ -108,29 +108,32 @@ class GCNMachine(ComparatorMachine):
         re-runs the elimination over the argument word among survivors
         (another ``h`` cycles), then one word broadcast each.
         """
-        values = np.asarray(values, dtype=np.int64)
-        enable = np.ones(self.shape, dtype=bool)
-        self.count_alu()
-        enable = self._eliminate(values, enable, axis, cuts)
-        # Every survivor of a segment holds the same (minimal) value, so all
-        # of them may drive the line together without conflict.
-        min_v = self.line_broadcast(values, enable, axis, cuts)
-        if args is None:
-            return min_v, None
-        args = np.asarray(args, dtype=np.int64)
-        surv = self._eliminate(args, enable, axis, cuts)
-        min_a = self.line_broadcast(args, surv, axis, cuts)
-        return min_v, min_a
+        with self.telemetry.span("min"):
+            values = np.asarray(values, dtype=np.int64)
+            enable = np.ones(self.shape, dtype=bool)
+            self.count_alu()
+            enable = self._eliminate(values, enable, axis, cuts)
+            # Every survivor of a segment holds the same (minimal) value,
+            # so all of them may drive the line together without conflict.
+            min_v = self.line_broadcast(values, enable, axis, cuts)
+            if args is None:
+                return min_v, None
+            args = np.asarray(args, dtype=np.int64)
+            surv = self._eliminate(args, enable, axis, cuts)
+            min_a = self.line_broadcast(args, surv, axis, cuts)
+            return min_v, min_a
 
     def _eliminate(self, values, enable, axis, cuts) -> np.ndarray:
         """MSB-first elimination: survivors hold the segment minimum."""
         enable = enable.copy()
+        tele = self.telemetry
         for j in range(self.word_bits - 1, -1, -1):
-            bit_j = (values >> j) & 1 == 1
-            self.count_alu()
-            zero_seen = self.line_or(enable & ~bit_j, axis, cuts)
-            enable &= ~(zero_seen & bit_j)
-            self.count_alu(3)
+            with tele.span("min.bit_slice", j=j):
+                bit_j = (values >> j) & 1 == 1
+                self.count_alu()
+                zero_seen = self.line_or(enable & ~bit_j, axis, cuts)
+                enable &= ~(zero_seen & bit_j)
+                self.count_alu(3)
         return enable
 
     def global_or(self, flags) -> bool:
@@ -147,50 +150,62 @@ class GCNMachine(ComparatorMachine):
         if not (0 <= d < n):
             raise GraphError(f"destination {d} outside [0, {n})")
         before = self.counters.snapshot()
+        tele = self.telemetry
 
-        COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
-        rows = np.arange(n)
-        not_d = (rows != d)[:, None]
-        diag = np.eye(n, dtype=bool)
+        with tele.span("mcp", arch=self.architecture, n=n, d=d):
+            with tele.span("mcp.init"):
+                COL = np.broadcast_to(
+                    np.arange(n, dtype=np.int64)[None, :], (n, n)
+                )
+                rows = np.arange(n)
+                not_d = (rows != d)[:, None]
+                diag = np.eye(n, dtype=bool)
 
-        SOW = np.zeros((n, n), dtype=np.int64)
-        PTN = np.zeros((n, n), dtype=np.int64)
-        # Row d holds the 1-edge costs *to* d: column d of W transposed via
-        # a row-line broadcast from column d plus a diagonal-driven column
-        # broadcast - two word transactions.
-        SOW[d] = Wm[:, d]
-        PTN[d] = d
-        self._count_comm(2, self.word_bits)
-        self.count_alu(2)
+                SOW = np.zeros((n, n), dtype=np.int64)
+                PTN = np.zeros((n, n), dtype=np.int64)
+                # Row d holds the 1-edge costs *to* d: column d of W
+                # transposed via a row-line broadcast from column d plus a
+                # diagonal-driven column broadcast - two word transactions.
+                SOW[d] = Wm[:, d]
+                PTN[d] = d
+                self._count_comm(2, self.word_bits)
+                self.count_alu(2)
 
-        row_d_drivers = (rows == d)[:, None] & np.ones((n, n), dtype=bool)
+                row_d_drivers = (
+                    (rows == d)[:, None] & np.ones((n, n), dtype=bool)
+                )
 
-        iterations = 0
-        while True:
-            iterations += 1
-            # Row d drives every column line (all gates closed).
-            down = self.line_broadcast(SOW, row_d_drivers, axis=0)
-            cand = self.sat_add(down, Wm)
-            SOW = np.where(not_d, cand, SOW)
-            self.count_alu()
-            # Per-row bit-serial min + arg-min.
-            mv, ma = self.line_min(SOW, axis=1, args=COL.copy())
-            MIN_SOW = np.where(not_d, mv, 0)
-            PTN_new = np.where(not_d, ma, PTN)
-            self.count_alu(2)
-            # Diagonal drives each column line back to row d.
-            back_v = self.line_broadcast(MIN_SOW, diag, axis=0)
-            back_p = self.line_broadcast(PTN_new, diag, axis=0)
-            old_row = SOW[d].copy()
-            SOW[d] = back_v[d]
-            changed = SOW[d] != old_row
-            PTN_new[d] = np.where(changed, back_p[d], PTN[d])
-            PTN = PTN_new
-            self.count_alu(3)
-            if not self.global_or(changed):
-                break
-            if iterations > n:
-                raise GraphError("MCP did not converge; invalid input")
+            iterations = 0
+            converged = False
+            while not converged:
+                iterations += 1
+                with tele.span("mcp.iteration", k=iterations):
+                    with tele.span("mcp.broadcast"):
+                        # Row d drives every column line (all gates closed).
+                        down = self.line_broadcast(SOW, row_d_drivers, axis=0)
+                        cand = self.sat_add(down, Wm)
+                        SOW = np.where(not_d, cand, SOW)
+                        self.count_alu()
+                    with tele.span("mcp.min"):
+                        # Per-row bit-serial min + arg-min.
+                        mv, ma = self.line_min(SOW, axis=1, args=COL.copy())
+                        MIN_SOW = np.where(not_d, mv, 0)
+                        PTN_new = np.where(not_d, ma, PTN)
+                        self.count_alu(2)
+                    with tele.span("mcp.writeback"):
+                        # Diagonal drives each column line back to row d.
+                        back_v = self.line_broadcast(MIN_SOW, diag, axis=0)
+                        back_p = self.line_broadcast(PTN_new, diag, axis=0)
+                        old_row = SOW[d].copy()
+                        SOW[d] = back_v[d]
+                        changed = SOW[d] != old_row
+                        PTN_new[d] = np.where(changed, back_p[d], PTN[d])
+                        PTN = PTN_new
+                        self.count_alu(3)
+                    with tele.span("mcp.convergence"):
+                        converged = not self.global_or(changed)
+                if not converged and iterations > n:
+                    raise GraphError("MCP did not converge; invalid input")
 
         return MCPResult(
             destination=d,

@@ -113,49 +113,65 @@ class HypercubeMachine(ComparatorMachine):
         if not (0 <= d < n):
             raise GraphError(f"destination {d} outside [0, {n})")
         before = self.counters.snapshot()
+        tele = self.telemetry
 
-        COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
-        rows = np.arange(n)
-        not_d = (rows != d)[:, None]
+        with tele.span("mcp", arch=self.architecture, n=n, d=d):
+            with tele.span("mcp.init"):
+                COL = np.broadcast_to(
+                    np.arange(n, dtype=np.int64)[None, :], (n, n)
+                )
+                rows = np.arange(n)
+                not_d = (rows != d)[:, None]
 
-        SOW = np.zeros((n, n), dtype=np.int64)
-        PTN = np.zeros((n, n), dtype=np.int64)
-        # Row d holds the 1-edge costs *to* d: column d of W transposed via
-        # a row-subcube broadcast from column d plus a diagonal-rooted
-        # column broadcast - 2 log2(n) word exchanges.
-        SOW[d] = Wm[:, d]
-        PTN[d] = d
-        self._count_comm(2 * self.dim, self.word_bits)
-        self.count_alu(2)
+                SOW = np.zeros((n, n), dtype=np.int64)
+                PTN = np.zeros((n, n), dtype=np.int64)
+                # Row d holds the 1-edge costs *to* d: column d of W
+                # transposed via a row-subcube broadcast from column d plus
+                # a diagonal-rooted column broadcast - 2 log2(n) word
+                # exchanges.
+                SOW[d] = Wm[:, d]
+                PTN[d] = d
+                self._count_comm(2 * self.dim, self.word_bits)
+                self.count_alu(2)
 
-        iterations = 0
-        while True:
-            iterations += 1
-            cand = self.sat_add(self.one_to_all(SOW, d, axis=0), Wm)
-            SOW = np.where(not_d, cand, SOW)
-            self.count_alu()
-            mv, ma = self.allreduce_min(SOW, COL.copy(), axis=1)
-            # Every PE of a row now holds the row min; column j's diagonal
-            # holds row j's result, so a column broadcast from the diagonal
-            # is unnecessary: instead broadcast within each column from the
-            # row that equals the column index. On the hypercube this is the
-            # general one-to-all with a per-column root, realised as log n
-            # exchanges with diagonal latching.
-            back_v = self._diag_to_all(mv)
-            back_p = self._diag_to_all(np.where(not_d, ma, PTN))
-            old_row = SOW[d].copy()
-            new_row = back_v[d].copy()
-            new_row[d] = 0  # cost d -> d (MIN_SOW never computed on row d)
-            changed = new_row != old_row
-            SOW[d] = new_row
-            PTN_row = np.where(changed, back_p[d], PTN[d])
-            PTN = np.where(not_d, ma, PTN)
-            PTN[d] = PTN_row
-            self.count_alu(4)
-            if not self.global_or(changed):
-                break
-            if iterations > n:
-                raise GraphError("MCP did not converge; invalid input")
+            iterations = 0
+            converged = False
+            while not converged:
+                iterations += 1
+                with tele.span("mcp.iteration", k=iterations):
+                    with tele.span("mcp.broadcast"):
+                        cand = self.sat_add(
+                            self.one_to_all(SOW, d, axis=0), Wm
+                        )
+                        SOW = np.where(not_d, cand, SOW)
+                        self.count_alu()
+                    with tele.span("mcp.min"):
+                        mv, ma = self.allreduce_min(SOW, COL.copy(), axis=1)
+                    with tele.span("mcp.writeback"):
+                        # Every PE of a row now holds the row min; column
+                        # j's diagonal holds row j's result, so a column
+                        # broadcast from the diagonal is unnecessary:
+                        # instead broadcast within each column from the row
+                        # that equals the column index. On the hypercube
+                        # this is the general one-to-all with a per-column
+                        # root, realised as log n exchanges with diagonal
+                        # latching.
+                        back_v = self._diag_to_all(mv)
+                        back_p = self._diag_to_all(np.where(not_d, ma, PTN))
+                        old_row = SOW[d].copy()
+                        new_row = back_v[d].copy()
+                        # cost d -> d (MIN_SOW never computed on row d)
+                        new_row[d] = 0
+                        changed = new_row != old_row
+                        SOW[d] = new_row
+                        PTN_row = np.where(changed, back_p[d], PTN[d])
+                        PTN = np.where(not_d, ma, PTN)
+                        PTN[d] = PTN_row
+                        self.count_alu(4)
+                    with tele.span("mcp.convergence"):
+                        converged = not self.global_or(changed)
+                if not converged and iterations > n:
+                    raise GraphError("MCP did not converge; invalid input")
 
         return MCPResult(
             destination=d,

@@ -116,47 +116,60 @@ class MeshMachine(ComparatorMachine):
         if not (0 <= d < n):
             raise GraphError(f"destination {d} outside [0, {n})")
         before = self.counters.snapshot()
+        tele = self.telemetry
 
-        COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
-        rows = np.arange(n)
+        with tele.span("mcp", arch=self.architecture, n=n, d=d):
+            with tele.span("mcp.init"):
+                COL = np.broadcast_to(
+                    np.arange(n, dtype=np.int64)[None, :], (n, n)
+                )
+                rows = np.arange(n)
 
-        SOW = np.zeros((n, n), dtype=np.int64)
-        PTN = np.zeros((n, n), dtype=np.int64)
-        MIN_SOW = np.zeros((n, n), dtype=np.int64)
-        # Initialise row d with the 1-edge costs *to* d (column d of W,
-        # transposed onto row d): an east sweep to align column d with the
-        # diagonal followed by a south sweep to row d - 2(n-1) word shifts.
-        SOW[d] = Wm[:, d]
-        PTN[d] = d
-        self._count_comm(2 * (n - 1), self.word_bits)
-        self.count_alu(2)
+                SOW = np.zeros((n, n), dtype=np.int64)
+                PTN = np.zeros((n, n), dtype=np.int64)
+                MIN_SOW = np.zeros((n, n), dtype=np.int64)
+                # Initialise row d with the 1-edge costs *to* d (column d
+                # of W, transposed onto row d): an east sweep to align
+                # column d with the diagonal followed by a south sweep to
+                # row d - 2(n-1) word shifts.
+                SOW[d] = Wm[:, d]
+                PTN[d] = d
+                self._count_comm(2 * (n - 1), self.word_bits)
+                self.count_alu(2)
 
-        not_d = (rows != d)[:, None]
-        iterations = 0
-        while True:
-            iterations += 1
-            # Column broadcast of the d-row SOW, then form candidates.
-            cand = self.sat_add(self.row_to_all(SOW, d), Wm)
-            SOW = np.where(not_d, cand, SOW)
-            self.count_alu()
-            # Row minima (and best successor) by systolic sweep.
-            mv, ma = self.row_min_argmin(SOW, COL.copy())
-            MIN_SOW = np.where(not_d, mv, MIN_SOW)
-            PTN_new = np.where(not_d, ma, PTN)
-            self.count_alu(2)
-            # Diagonal values travel back to row d.
-            old_row = SOW[d].copy()
-            back_v = self.diag_to_all_south(MIN_SOW)
-            back_p = self.diag_to_all_south(PTN_new)
-            SOW[d] = back_v[d]
-            changed = SOW[d] != old_row
-            PTN_new[d] = np.where(changed, back_p[d], PTN[d])
-            PTN = PTN_new
-            self.count_alu(3)
-            if not self.global_or(changed):
-                break
-            if iterations > n:
-                raise GraphError("MCP did not converge; invalid input")
+                not_d = (rows != d)[:, None]
+
+            iterations = 0
+            converged = False
+            while not converged:
+                iterations += 1
+                with tele.span("mcp.iteration", k=iterations):
+                    with tele.span("mcp.broadcast"):
+                        # Column broadcast of the d-row SOW, then form
+                        # candidates.
+                        cand = self.sat_add(self.row_to_all(SOW, d), Wm)
+                        SOW = np.where(not_d, cand, SOW)
+                        self.count_alu()
+                    with tele.span("mcp.min"):
+                        # Row minima (and best successor) by systolic sweep.
+                        mv, ma = self.row_min_argmin(SOW, COL.copy())
+                        MIN_SOW = np.where(not_d, mv, MIN_SOW)
+                        PTN_new = np.where(not_d, ma, PTN)
+                        self.count_alu(2)
+                    with tele.span("mcp.writeback"):
+                        # Diagonal values travel back to row d.
+                        old_row = SOW[d].copy()
+                        back_v = self.diag_to_all_south(MIN_SOW)
+                        back_p = self.diag_to_all_south(PTN_new)
+                        SOW[d] = back_v[d]
+                        changed = SOW[d] != old_row
+                        PTN_new[d] = np.where(changed, back_p[d], PTN[d])
+                        PTN = PTN_new
+                        self.count_alu(3)
+                    with tele.span("mcp.convergence"):
+                        converged = not self.global_or(changed)
+                if not converged and iterations > n:
+                    raise GraphError("MCP did not converge; invalid input")
 
         return MCPResult(
             destination=d,

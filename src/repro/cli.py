@@ -6,7 +6,14 @@
   on any of the four simulated architectures;
 * ``report``   — regenerate the evaluation artefacts (see EXPERIMENTS.md);
 * ``ppc``      — run (or pretty-print) a Polymorphic Parallel C source file;
-* ``selftest`` — run the bus diagnostic, optionally with injected faults.
+* ``selftest`` — run the bus diagnostic, optionally with injected faults;
+* ``profile``  — run MCP under the span tracer and print the per-phase
+  cost breakdown (see docs/observability.md).
+
+``mcp`` and ``selftest`` accept ``--profile PATH`` (write the run's span
+profile; ``--trace-format chrome`` emits Chrome ``trace_event`` JSON for
+chrome://tracing / Perfetto instead of the native schema) and ``--trace``
+(print the bus transaction log summary; PPA architecture only).
 
 Graphs load from ``.npy``/``.npz`` (array ``W``) or whitespace/CSV text via
 :func:`numpy.loadtxt`; ``inf`` entries mean "no edge".
@@ -82,6 +89,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full path for every reachable vertex",
     )
+    _add_observability_flags(mcp)
+
+    prof = sub.add_parser(
+        "profile",
+        help="run MCP under the span tracer; print per-phase costs",
+    )
+    src = prof.add_mutually_exclusive_group(required=True)
+    src.add_argument("--graph", type=Path, help=".npy/.npz/.txt weight matrix")
+    src.add_argument("--generate", choices=sorted(_FAMILIES), help="workload family")
+    prof.add_argument("--n", type=int, default=16, help="vertex count (generated)")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--density", type=float, default=0.3, help="gnp density")
+    prof.add_argument("-d", "--destination", type=int, default=0)
+    prof.add_argument(
+        "--arch",
+        choices=["ppa", "gcn", "hypercube", "mesh", "rmesh"],
+        default="ppa",
+    )
+    prof.add_argument("--word-bits", type=int, default=16)
+    prof.add_argument(
+        "--out", type=Path, help="also write the profile to this path"
+    )
+    prof.add_argument(
+        "--trace-format",
+        choices=["json", "chrome"],
+        default="json",
+        help="serialisation for --out (native schema or Chrome trace_event)",
+    )
+    prof.add_argument(
+        "--compare",
+        type=Path,
+        help="diff the per-phase counters against a saved profile",
+    )
 
     report = sub.add_parser("report", help="regenerate the evaluation")
     report.add_argument("--quick", action="store_true")
@@ -131,7 +171,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ROW,COL,KIND[,AXIS]",
         help="inject a fault first (KIND: open|short; AXIS: 0|1|both)",
     )
+    _add_observability_flags(st)
     return parser
+
+
+def _add_observability_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--profile",
+        type=Path,
+        metavar="PATH",
+        help="record a span profile of the run and write it to PATH",
+    )
+    sub.add_argument(
+        "--trace-format",
+        choices=["json", "chrome"],
+        default="json",
+        help="profile serialisation (native schema or Chrome trace_event)",
+    )
+    sub.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the bus transaction log summary (ppa only)",
+    )
 
 
 def _load_graph(path: Path, inf: int) -> np.ndarray:
@@ -151,6 +212,50 @@ def _load_graph(path: Path, inf: int) -> np.ndarray:
     return out.astype(np.int64)
 
 
+def _make_machine_and_runner(arch: str, n: int, word_bits: int,
+                             word_parallel: bool = False):
+    """One (machine, run(W, d)) pair per architecture choice."""
+    if arch == "ppa":
+        machine = PPAMachine(PPAConfig(n=n, word_bits=word_bits))
+        runner = minimum_cost_path_word if word_parallel else minimum_cost_path
+        return machine, lambda W, d: runner(machine, W, d)
+    if word_parallel:
+        raise ReproError("--word-parallel applies to --arch ppa only")
+    if arch == "rmesh":
+        from repro.rmesh import RMeshMachine, rmesh_mcp
+
+        machine = RMeshMachine(n, word_bits=word_bits)
+        return machine, lambda W, d: rmesh_mcp(machine, W, d)
+    cls = {"gcn": GCNMachine, "hypercube": HypercubeMachine,
+           "mesh": MeshMachine}[arch]
+    machine = cls(n, word_bits=word_bits)
+    return machine, lambda W, d: machine.mcp(W, d)
+
+
+def _export_profile(machine, path: Path, trace_format: str, **meta) -> None:
+    from repro.telemetry import RunProfile, save_profile
+
+    profile = RunProfile.from_tracer(machine.telemetry, **meta)
+    save_profile(profile, path, trace_format=trace_format)
+    print(f"profile written to {path} ({trace_format})")
+
+
+def _print_trace_summary(machine) -> None:
+    by_kind: dict[str, list[int]] = {}
+    for t in machine.trace.records:
+        by_kind.setdefault(t.kind, []).append(t.max_span)
+    print(f"bus transactions: {len(machine.trace)}")
+    for kind in sorted(by_kind):
+        spans = by_kind[kind]
+        print(f"  {kind:>10}: {len(spans):>5}   max cluster span "
+              f"{max(spans)}")
+
+
+def _check_trace_supported(args) -> None:
+    if args.trace and args.arch != "ppa":
+        raise ReproError("--trace records the PPA bus; use --arch ppa")
+
+
 def _cmd_mcp(args) -> int:
     inf = (1 << args.word_bits) - 1
     if args.graph is not None:
@@ -159,23 +264,16 @@ def _cmd_mcp(args) -> int:
         W = _FAMILIES[args.generate](args.n, args.seed, args.density, inf)
     n = W.shape[0]
     d = args.destination
+    _check_trace_supported(args)
 
-    if args.arch == "ppa":
-        machine = PPAMachine(PPAConfig(n=n, word_bits=args.word_bits))
-        runner = minimum_cost_path_word if args.word_parallel else minimum_cost_path
-        result = runner(machine, W, d)
-    elif args.arch == "rmesh":
-        if args.word_parallel:
-            raise ReproError("--word-parallel applies to --arch ppa only")
-        from repro.rmesh import RMeshMachine, rmesh_mcp
-
-        result = rmesh_mcp(RMeshMachine(n, word_bits=args.word_bits), W, d)
-    else:
-        if args.word_parallel:
-            raise ReproError("--word-parallel applies to --arch ppa only")
-        cls = {"gcn": GCNMachine, "hypercube": HypercubeMachine,
-               "mesh": MeshMachine}[args.arch]
-        result = cls(n, word_bits=args.word_bits).mcp(W, d)
+    machine, run = _make_machine_and_runner(
+        args.arch, n, args.word_bits, args.word_parallel
+    )
+    if args.profile is not None:
+        machine.telemetry.enable()
+    if args.trace:
+        machine.trace.enabled = True
+    result = run(W, d)
 
     print(f"minimum cost paths to vertex {d} on {args.arch} ({n}x{n}, "
           f"h={args.word_bits})")
@@ -189,6 +287,54 @@ def _cmd_mcp(args) -> int:
         else:
             print(f"  {v:>3}: cost {int(result.sow[v]):>6}   next {int(result.ptn[v])}")
     print("counters: " + ", ".join(f"{k}={v}" for k, v in result.counters.items()))
+    if args.trace:
+        _print_trace_summary(machine)
+    if args.profile is not None:
+        _export_profile(
+            machine, args.profile, args.trace_format,
+            command="mcp", arch=args.arch, n=n, d=d,
+            word_bits=args.word_bits,
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.telemetry import (
+        RunProfile,
+        compare_profiles,
+        load_profile,
+        phase_table,
+        save_profile,
+    )
+
+    inf = (1 << args.word_bits) - 1
+    if args.graph is not None:
+        W = _load_graph(args.graph, inf)
+    else:
+        W = _FAMILIES[args.generate](args.n, args.seed, args.density, inf)
+    n = W.shape[0]
+    d = args.destination
+
+    machine, run = _make_machine_and_runner(args.arch, n, args.word_bits)
+    with machine.telemetry.capture():
+        result = run(W, d)
+    profile = RunProfile.from_tracer(
+        machine.telemetry, command="profile", arch=args.arch, n=n, d=d,
+        word_bits=args.word_bits,
+    )
+    print(phase_table(profile).render())
+    print(f"iterations: {result.iterations}")
+    if args.out is not None:
+        save_profile(profile, args.out, trace_format=args.trace_format)
+        print(f"profile written to {args.out} ({args.trace_format})")
+    if args.compare is not None:
+        diffs = compare_profiles(load_profile(args.compare), profile)
+        if diffs:
+            print(f"drift against {args.compare}:")
+            for line in diffs:
+                print(f"  {line}")
+            return 1
+        print(f"no drift against {args.compare}")
     return 0
 
 
@@ -275,7 +421,18 @@ def _cmd_selftest(args) -> int:
                 axis = int(parts[3])
             plan.add(int(parts[0]), int(parts[1]), _FAULT_KINDS[parts[2]], axis)
         machine.inject_faults(plan)
+    if args.profile is not None:
+        machine.telemetry.enable()
+    if args.trace:
+        machine.trace.enabled = True
     report = diagnose_switches(machine)
+    if args.trace:
+        _print_trace_summary(machine)
+    if args.profile is not None:
+        _export_profile(
+            machine, args.profile, args.trace_format,
+            command="selftest", arch="ppa", n=args.n,
+        )
     if report.healthy:
         print(f"all {2 * args.n * args.n} switch-boxes healthy "
               f"({report.transactions} probe transactions)")
@@ -294,6 +451,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handler = {
         "mcp": _cmd_mcp,
+        "profile": _cmd_profile,
         "report": _cmd_report,
         "ppc": _cmd_ppc,
         "selftest": _cmd_selftest,

@@ -72,13 +72,16 @@ def all_pairs_minimum_cost(
     succ = np.zeros((n, n), dtype=np.int64)
     iterations = np.zeros(n, dtype=np.int64)
     totals: dict[str, int] = {}
-    for d in range(n):
-        res = runner(machine, W, d, **kwargs)
-        dist[:, d] = res.sow
-        succ[:, d] = res.ptn
-        iterations[d] = res.iterations
-        for k, v in res.counters.items():
-            totals[k] = totals.get(k, 0) + v
+    tele = machine.telemetry
+    with tele.span("apsp", n=n, word_parallel=word_parallel):
+        for d in range(n):
+            with tele.span("apsp.destination", d=d):
+                res = runner(machine, W, d, **kwargs)
+            dist[:, d] = res.sow
+            succ[:, d] = res.ptn
+            iterations[d] = res.iterations
+            for k, v in res.counters.items():
+                totals[k] = totals.get(k, 0) + v
     return APSPResult(
         dist=dist,
         succ=succ,

@@ -130,14 +130,18 @@ def minimum_cost_path_asm(machine: PPAMachine, W, d: int, **kwargs) -> MCPResult
     if not (0 <= d < n):
         raise GraphError(f"destination {d} outside [0, {n})")
     program = assemble(mcp_assembly(n, machine.word_bits))
-    state = execute(
-        machine,
-        program,
-        inputs={"r0": Wm, "s0": d},
-        # worst case: n do-while rounds, each dominated by two h-pass
-        # elimination loops of ~9 instructions per bit
-        max_steps=200 + (n + 1) * (20 * machine.word_bits + 80),
-    )
+    with machine.telemetry.span(
+        "asm_mcp.execute", arch="ppa", n=n, d=d,
+        program_length=len(program),
+    ):
+        state = execute(
+            machine,
+            program,
+            inputs={"r0": Wm, "s0": d},
+            # worst case: n do-while rounds, each dominated by two h-pass
+            # elimination loops of ~9 instructions per bit
+            max_steps=200 + (n + 1) * (20 * machine.word_bits + 80),
+        )
     gors = state.counters.get("global_ors", 0)
     return MCPResult(
         destination=d,

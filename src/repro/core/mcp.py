@@ -96,71 +96,93 @@ def minimum_cost_path(
 
     before = machine.counters.snapshot()
     SOUTH, WEST = Direction.SOUTH, Direction.WEST
+    tele = machine.telemetry
 
-    ROW = machine.row_index
-    COL = machine.col_index
-    row_d = ROW == d
-    diag = ROW == COL
-    col_last = COL == (n - 1)
-    machine.count_alu(3)
+    with tele.span("mcp", arch="ppa", n=n, d=d):
+        with tele.span("mcp.init"):
+            ROW = machine.row_index
+            COL = machine.col_index
+            row_d = ROW == d
+            diag = ROW == COL
+            col_last = COL == (n - 1)
+            machine.count_alu(3)
 
-    SOW = machine.new_parallel(0)
-    PTN = machine.new_parallel(0)
-    MIN_SOW = machine.new_parallel(0)
+            SOW = machine.new_parallel(0)
+            PTN = machine.new_parallel(0)
+            MIN_SOW = machine.new_parallel(0)
 
-    # Statements 4-7: initialise the d-th row with 1-edge paths.
-    #
-    # The listing reads ``SOW = W`` under ``where (ROW == d)``, which loads
-    # w[d, i] — the weight *from* d — into SOW[d, i]; the DP needs w[i, d]
-    # (the 1-edge cost from i *to* d), so the printed statement is only
-    # correct for symmetric W. For directed graphs the d-th *column* must
-    # be transposed onto the d-th row, which the PPA does with two
-    # broadcasts: fan column d out along the rows, then fan the diagonal
-    # down the columns (see DESIGN.md, "Init transposition").
-    col_d = COL == d
-    machine.count_alu()
-    w_to_d = machine.broadcast(Wm, Direction.EAST, col_d)  # (i, j) <- w[i, d]
-    transposed = machine.broadcast(w_to_d, SOUTH, diag)  # (i, j) <- w[j, d]
-    with machine.where(row_d):
-        machine.store(SOW, transposed)
-        machine.store(PTN, d)
-
-    iterations = 0
-    while True:
-        iterations += 1
-
-        # Statements 9-13.
-        with machine.where(~row_d):
-            candidates = machine.sat_add(
-                machine.broadcast(SOW, SOUTH, row_d), Wm
-            )
-            machine.store(SOW, candidates)
-            machine.store(MIN_SOW, min_routine(machine, SOW, WEST, col_last))
-            achieves = MIN_SOW == SOW
+            # Statements 4-7: initialise the d-th row with 1-edge paths.
+            #
+            # The listing reads ``SOW = W`` under ``where (ROW == d)``,
+            # which loads w[d, i] — the weight *from* d — into SOW[d, i];
+            # the DP needs w[i, d] (the 1-edge cost from i *to* d), so the
+            # printed statement is only correct for symmetric W. For
+            # directed graphs the d-th *column* must be transposed onto the
+            # d-th row, which the PPA does with two broadcasts: fan column
+            # d out along the rows, then fan the diagonal down the columns
+            # (see DESIGN.md, "Init transposition").
+            col_d = COL == d
             machine.count_alu()
-            machine.store(
-                PTN,
-                selected_min_routine(machine, COL, WEST, col_last, achieves),
-            )
+            # (i, j) <- w[i, d]
+            w_to_d = machine.broadcast(Wm, Direction.EAST, col_d)
+            # (i, j) <- w[j, d]
+            transposed = machine.broadcast(w_to_d, SOUTH, diag)
+            with machine.where(row_d):
+                machine.store(SOW, transposed)
+                machine.store(PTN, d)
 
-        # Statements 14-19.
-        with machine.where(row_d):
-            OLD_SOW = SOW.copy()
-            machine.count_alu()
-            machine.store(SOW, machine.broadcast(MIN_SOW, SOUTH, diag))
-            changed = SOW != OLD_SOW
-            machine.count_alu()
-            with machine.where(changed):
-                machine.store(PTN, machine.broadcast(PTN, SOUTH, diag))
+        iterations = 0
+        converged = False
+        while not converged:
+            iterations += 1
 
-        # Statement 20: controller-level convergence test.
-        if not machine.global_or(changed & row_d):
-            break
-        if iterations >= max_iterations:
-            raise GraphError(
-                f"MCP did not converge within {max_iterations} iterations; "
-                "the input violates the algorithm's preconditions"
-            )
+            with tele.span("mcp.iteration", k=iterations):
+                # Statements 9-13.
+                with machine.where(~row_d):
+                    with tele.span("mcp.broadcast"):
+                        candidates = machine.sat_add(
+                            machine.broadcast(SOW, SOUTH, row_d), Wm
+                        )
+                        machine.store(SOW, candidates)
+                    with tele.span("mcp.min"):
+                        machine.store(
+                            MIN_SOW, min_routine(machine, SOW, WEST, col_last)
+                        )
+                    with tele.span("mcp.selected_min"):
+                        achieves = MIN_SOW == SOW
+                        machine.count_alu()
+                        machine.store(
+                            PTN,
+                            selected_min_routine(
+                                machine, COL, WEST, col_last, achieves
+                            ),
+                        )
+
+                # Statements 14-19.
+                with tele.span("mcp.writeback"):
+                    with machine.where(row_d):
+                        OLD_SOW = SOW.copy()
+                        machine.count_alu()
+                        machine.store(
+                            SOW, machine.broadcast(MIN_SOW, SOUTH, diag)
+                        )
+                        changed = SOW != OLD_SOW
+                        machine.count_alu()
+                        with machine.where(changed):
+                            machine.store(
+                                PTN, machine.broadcast(PTN, SOUTH, diag)
+                            )
+
+                # Statement 20: controller-level convergence test.
+                with tele.span("mcp.convergence"):
+                    converged = not machine.global_or(changed & row_d)
+
+            if not converged and iterations >= max_iterations:
+                raise GraphError(
+                    f"MCP did not converge within {max_iterations} "
+                    "iterations; the input violates the algorithm's "
+                    "preconditions"
+                )
 
     return MCPResult(
         destination=d,

@@ -119,68 +119,88 @@ def boruvka_mst(machine: PPAMachine, W) -> MSTResult:
     inf = machine.maxint
     WEST, SOUTH, EAST = Direction.WEST, Direction.SOUTH, Direction.EAST
 
-    ROW = machine.row_index
-    COL = machine.col_index
-    diag = ROW == COL
-    col_last = COL == n - 1
-    row_first = ROW == 0
-    machine.count_alu(3)
-
     uf = _UnionFind(n)
     comp = np.arange(n, dtype=np.int64)
     edges: list[tuple[int, int, int]] = []
     rounds = 0
+    tele = machine.telemetry
 
-    while True:
-        rounds += 1
-        # Labels onto the grid: comp of my row / comp of my column.
-        comp_diag = np.where(diag, comp[ROW], 0)
-        machine.count_alu()
-        compr = machine.broadcast(comp_diag, EAST, diag)
-        compc = machine.broadcast(comp_diag, SOUTH, diag)
+    with tele.span("mst", n=n):
+        ROW = machine.row_index
+        COL = machine.col_index
+        diag = ROW == COL
+        col_last = COL == n - 1
+        row_first = ROW == 0
+        machine.count_alu(3)
 
-        crossing = compr != compc
-        staged = np.where(crossing, Wm, inf)
-        machine.count_alu(2)
+        while True:
+            rounds += 1
+            with tele.span("mst.round", k=rounds):
+                with tele.span("mst.labels"):
+                    # Labels onto the grid: comp of my row / my column.
+                    comp_diag = np.where(diag, comp[ROW], 0)
+                    machine.count_alu()
+                    compr = machine.broadcast(comp_diag, EAST, diag)
+                    compc = machine.broadcast(comp_diag, SOUTH, diag)
 
-        # Per-vertex minimum crossing edge (value + neighbour index).
-        cand_val = ppa_min(machine, staged, WEST, col_last)
-        achieves = (staged == cand_val) & (staged < inf)
-        machine.count_alu(2)
-        cand_j = ppa_selected_min(machine, COL, WEST, col_last, achieves)
+                    crossing = compr != compc
+                    staged = np.where(crossing, Wm, inf)
+                    machine.count_alu(2)
 
-        # Scatter candidates into the column of their component label and
-        # reduce per column: the grouped minimum over scattered vertices.
-        in_comp_col = COL == compr
-        scatter_val = np.where(in_comp_col, cand_val, inf)
-        machine.count_alu(2)
-        comp_min = ppa_min(machine, scatter_val, SOUTH, row_first)
-        winner_sel = (scatter_val == comp_min) & (scatter_val < inf)
-        machine.count_alu(2)
-        winner_row = ppa_selected_min(machine, ROW, SOUTH, row_first, winner_sel)
+                with tele.span("mst.vertex_min"):
+                    # Per-vertex minimum crossing edge (value + neighbour
+                    # index).
+                    cand_val = ppa_min(machine, staged, WEST, col_last)
+                    achieves = (staged == cand_val) & (staged < inf)
+                    machine.count_alu(2)
+                    cand_j = ppa_selected_min(
+                        machine, COL, WEST, col_last, achieves
+                    )
 
-        # Retrieve each winner's chosen neighbour down its column.
-        at_winner = ROW == winner_row
-        machine.count_alu()
-        winner_j = machine.broadcast(cand_j, SOUTH, at_winner & winner_sel)
+                with tele.span("mst.component_min"):
+                    # Scatter candidates into the column of their component
+                    # label and reduce per column: the grouped minimum over
+                    # scattered vertices.
+                    in_comp_col = COL == compr
+                    scatter_val = np.where(in_comp_col, cand_val, inf)
+                    machine.count_alu(2)
+                    comp_min = ppa_min(machine, scatter_val, SOUTH, row_first)
+                    winner_sel = (
+                        (scatter_val == comp_min) & (scatter_val < inf)
+                    )
+                    machine.count_alu(2)
+                    winner_row = ppa_selected_min(
+                        machine, ROW, SOUTH, row_first, winner_sel
+                    )
 
-        # Controller: read one row (host DMA), merge, rewrite labels.
-        new_edge = False
-        for c in np.unique(comp):
-            val = int(comp_min[0, c])
-            if val >= inf:
-                continue
-            u = int(winner_row[0, c])
-            v = int(winner_j[0, c])
-            if uf.union(u, v):
-                a, b = (u, v) if u < v else (v, u)
-                edges.append((a, b, int(Wm[a, b])))
-                new_edge = True
-        if not new_edge:
-            break
-        comp = np.array([uf.find(i) for i in range(n)], dtype=np.int64)
-        if rounds > int(np.ceil(np.log2(max(n, 2)))) + 2:
-            raise GraphError("Boruvka failed to converge (corrupt input?)")
+                    # Retrieve each winner's chosen neighbour down its
+                    # column.
+                    at_winner = ROW == winner_row
+                    machine.count_alu()
+                    winner_j = machine.broadcast(
+                        cand_j, SOUTH, at_winner & winner_sel
+                    )
+
+                # Controller: read one row (host DMA), merge, rewrite
+                # labels.
+                new_edge = False
+                for c in np.unique(comp):
+                    val = int(comp_min[0, c])
+                    if val >= inf:
+                        continue
+                    u = int(winner_row[0, c])
+                    v = int(winner_j[0, c])
+                    if uf.union(u, v):
+                        a, b = (u, v) if u < v else (v, u)
+                        edges.append((a, b, int(Wm[a, b])))
+                        new_edge = True
+            if not new_edge:
+                break
+            comp = np.array([uf.find(i) for i in range(n)], dtype=np.int64)
+            if rounds > int(np.ceil(np.log2(max(n, 2)))) + 2:
+                raise GraphError(
+                    "Boruvka failed to converge (corrupt input?)"
+                )
 
     edges.sort()
     return MSTResult(

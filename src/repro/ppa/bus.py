@@ -20,7 +20,54 @@ import numpy as np
 
 from repro.ppa.directions import Direction
 
-__all__ = ["BusTransaction", "BusTrace"]
+__all__ = ["BusTransaction", "BusTrace", "max_cluster_span_bound"]
+
+
+def max_cluster_span_bound(ring_len: int, open_count: int) -> int:
+    """Pessimistic bound on the longest cluster of a ring.
+
+    A circular bus of ``ring_len`` switches with ``k >= 1`` Open switches is
+    cut into ``k`` clusters; in the worst case ``k - 1`` of them are trivial
+    (adjacent opens), leaving one cluster of ``ring_len - k + 1`` switches.
+    With no opens the whole ring floats as one cluster of span ``ring_len``.
+
+    This is only an *upper bound*: evenly spaced opens give much smaller
+    clusters (e.g. opens at positions 0 and 4 of an 8-ring yield two
+    clusters of span 4, not ``8 - 2 + 1 = 7``). :meth:`BusTrace.record`
+    therefore computes the exact longest cluster per ring, so that
+    :meth:`BusTrace.reprice` is correct under distance-proportional cost
+    models; this bound is kept (and tested) as the analytical reference.
+    """
+    if open_count <= 0:
+        return ring_len
+    return ring_len - open_count + 1
+
+
+def _max_cluster_span(open_plane: np.ndarray, axis: int) -> int:
+    """Exact longest cluster span over all rings of ``open_plane``.
+
+    Each ring (a row when ``axis == 1``, a column when ``axis == 0``) is a
+    *circular* bus: with the opens at positions ``idx`` the clusters are the
+    circular gaps between consecutive opens, so the longest cluster is the
+    largest circular gap — ``max(diff(idx), wrap)`` where ``wrap`` closes
+    the ring from the last open back to the first. Rings with zero or one
+    open form a single cluster spanning the whole ring.
+    """
+    rings = open_plane if axis == 1 else open_plane.T
+    ring_len = rings.shape[1]
+    best = 0
+    for ring in rings:
+        idx = np.flatnonzero(ring)
+        if idx.size <= 1:
+            span = ring_len
+        else:
+            wrap = ring_len - int(idx[-1]) + int(idx[0])
+            span = max(int(np.diff(idx).max()), wrap)
+        if span > best:
+            best = span
+            if best == ring_len:
+                break  # cannot get longer
+    return best
 
 
 @dataclass(frozen=True)
@@ -53,16 +100,11 @@ class BusTrace:
             return
         open_plane = np.asarray(open_plane, dtype=bool)
         opens = int(open_plane.sum())
-        # Longest cluster on any ring = ring length minus (#opens on that
-        # ring - 1) gaps at best; exact span needs per-ring gap analysis.
         axis = direction.axis if direction is not None else 1
-        per_ring = np.asarray(open_plane.sum(axis=axis))
-        ring_len = open_plane.shape[axis]
-        # A ring with k >= 1 opens has max cluster span <= ring_len - k + 1;
-        # with 0 opens the whole ring floats (span = ring_len).
-        spans = np.where(per_ring > 0, ring_len - per_ring + 1, ring_len)
         self._records.append(
-            BusTransaction(kind, direction, opens, int(spans.max()))
+            BusTransaction(
+                kind, direction, opens, _max_cluster_span(open_plane, axis)
+            )
         )
 
     @property

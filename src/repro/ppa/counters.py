@@ -10,13 +10,40 @@ convention follows the paper's cost statements:
   unit-cost assumption);
 * local ALU work (adds, compares, mask updates) is tracked separately so
   that the *communication* complexity the paper analyses can be isolated.
+
+``snapshot``/``diff``/``merge`` are **round-trip safe**: a snapshot always
+carries every counter field, ``diff`` and ``merge`` reject dictionaries
+whose key set does not match (a silent ``get(k, 0)`` fallback previously
+hid typos and version skew between recorded snapshots), and
+:meth:`CycleCounters.from_snapshot` reconstructs a bundle such that
+``CycleCounters.from_snapshot(c.snapshot()).snapshot() == c.snapshot()``.
+
+:meth:`CycleCounters.checkpoint` is the measurement primitive the
+:mod:`repro.telemetry` span tracer is built on: it reads counters at entry
+and exit and exposes the delta, without ever *writing* a counter — which is
+what guarantees telemetry adds zero counter overhead.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
+from typing import Iterator, Mapping
 
-__all__ = ["CycleCounters"]
+__all__ = ["CycleCounters", "CounterCheckpoint"]
+
+
+@dataclass
+class CounterCheckpoint:
+    """Handle yielded by :meth:`CycleCounters.checkpoint`.
+
+    ``before`` is the snapshot taken at entry; ``delta`` is ``None`` while
+    the ``with`` block is still open and holds the counts accumulated
+    inside the block once it exits (including on exceptions).
+    """
+
+    before: dict[str, int]
+    delta: dict[str, int] | None = None
 
 
 @dataclass
@@ -36,22 +63,81 @@ class CycleCounters:
     the metric that compares bit-serial machines (PPA, GCN) with
     word-stepped ones (hypercube) on equal footing; see experiment T5."""
 
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """The counter vocabulary, in declaration order."""
+        return tuple(f.name for f in fields(cls))
+
     def snapshot(self) -> dict[str, int]:
-        """Plain-dict copy of the current counts."""
+        """Plain-dict copy of the current counts (always every field)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def reset(self) -> None:
         for f in fields(self):
             setattr(self, f.name, 0)
 
-    def diff(self, before: dict[str, int]) -> dict[str, int]:
-        """Counts accumulated since *before* (a prior :meth:`snapshot`)."""
-        return {k: v - before.get(k, 0) for k, v in self.snapshot().items()}
+    def _require_full(self, mapping: Mapping[str, int], what: str) -> None:
+        names = set(self.field_names())
+        unknown = set(mapping) - names
+        missing = names - set(mapping)
+        if unknown or missing:
+            parts = []
+            if unknown:
+                parts.append(f"unknown keys {sorted(unknown)}")
+            if missing:
+                parts.append(f"missing keys {sorted(missing)}")
+            raise ValueError(
+                f"{what} is not a complete counter snapshot: "
+                + "; ".join(parts)
+            )
 
-    def merge(self, other: "CycleCounters") -> None:
-        """Add *other*'s counts into this bundle (for aggregating runs)."""
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+    def diff(self, before: Mapping[str, int]) -> dict[str, int]:
+        """Counts accumulated since *before* (a prior :meth:`snapshot`).
+
+        *before* must be a complete snapshot — partial dictionaries raise
+        :class:`ValueError` instead of being silently zero-filled.
+        """
+        self._require_full(before, "diff() argument")
+        return {k: v - before[k] for k, v in self.snapshot().items()}
+
+    def merge(self, other: "CycleCounters | Mapping[str, int]") -> None:
+        """Add *other*'s counts into this bundle (for aggregating runs).
+
+        Accepts another :class:`CycleCounters` or a complete snapshot dict.
+        """
+        if isinstance(other, CycleCounters):
+            other = other.snapshot()
+        self._require_full(other, "merge() argument")
+        for k, v in other.items():
+            setattr(self, k, getattr(self, k) + v)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, int]) -> "CycleCounters":
+        """Rebuild a bundle from a complete :meth:`snapshot` dict."""
+        c = cls()
+        c._require_full(snapshot, "from_snapshot() argument")
+        for k, v in snapshot.items():
+            setattr(c, k, int(v))
+        return c
+
+    @contextmanager
+    def checkpoint(self) -> Iterator[CounterCheckpoint]:
+        """Measure the counts accumulated inside a ``with`` block.
+
+        >>> c = CycleCounters()
+        >>> with c.checkpoint() as cp:
+        ...     c.instructions += 3
+        >>> cp.delta["instructions"]
+        3
+
+        Read-only with respect to the counters themselves: the span tracer
+        uses this to attribute cycles to phases without perturbing them.
+        """
+        cp = CounterCheckpoint(before=self.snapshot())
+        try:
+            yield cp
+        finally:
+            cp.delta = self.diff(cp.before)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())

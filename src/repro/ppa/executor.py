@@ -97,6 +97,10 @@ def execute(
     mask_depth = 0
     P = state.pregs
     S = state.sregs
+    # Per-opcode execution histogram feeds the innermost open telemetry
+    # span (see repro.telemetry); hoisted so the disabled path costs one
+    # attribute check per instruction and nothing else.
+    tele = machine.telemetry
 
     def as_bool(reg: int) -> np.ndarray:
         return P[reg] != 0
@@ -115,6 +119,8 @@ def execute(
             state.steps += 1
             op = instr.opcode
             a = instr.operands
+            if tele.enabled:
+                tele.add_opcode(op.name)
 
             if op is Opcode.HALT:
                 state.halted = True

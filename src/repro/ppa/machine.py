@@ -37,6 +37,7 @@ from repro.ppa.segments import (
 )
 from repro.ppa.switchbox import as_switch_plane
 from repro.ppa.topology import PPAConfig
+from repro.telemetry.spans import Tracer
 
 __all__ = ["PPAMachine"]
 
@@ -52,6 +53,11 @@ class PPAMachine:
         self.memory = ParallelMemory(config.shape)
         self.trace = BusTrace()
         self.trace.enabled = trace
+        #: span tracer (see :mod:`repro.telemetry`); disabled by default —
+        #: a disabled tracer neither allocates nor reads the clock, and an
+        #: enabled one only *reads* counters, so counter totals are
+        #: identical either way.
+        self.telemetry = Tracer(self.counters)
         n = config.n
         self._row = np.repeat(
             np.arange(n, dtype=np.int64)[:, None], n, axis=1

@@ -149,10 +149,13 @@ def diagnose_switches(machine: PPAMachine) -> SelfTestReport:
     before = machine.counters.snapshot()
     faults: list[SwitchFault] = []
     undiagnosable: list[tuple[int, int]] = []
-    for axis in (0, 1):
-        f, u = _diagnose_axis(machine, axis)
-        faults.extend(f)
-        undiagnosable.extend(u)
+    tele = machine.telemetry
+    with tele.span("selftest", n=machine.n):
+        for axis in (0, 1):
+            with tele.span("selftest.axis", axis=axis):
+                f, u = _diagnose_axis(machine, axis)
+            faults.extend(f)
+            undiagnosable.extend(u)
     spent = machine.counters.diff(before)
     return SelfTestReport(
         faults=tuple(sorted(faults, key=lambda f: (f.axis, f.row, f.col))),

@@ -50,15 +50,18 @@ def _bit_serial_survivors(
     """
     h = machine.word_bits
     enable = enable.copy()
+    tele = machine.telemetry
     for j in range(h - 1, -1, -1):
-        bit_j = machine.bit(src, j)
-        # or(!bit(src, j) && enable, orientation, L): one wired-OR delivers
-        # the cluster-level "a zero exists at this bit" flag to every node.
-        zero_seen = machine.bus_or(~bit_j & enable, orientation, L)
-        machine.count_alu(2)  # the &,~ above
-        # where (zero_seen && bit_j) enable = 0;
-        enable &= ~(zero_seen & bit_j)
-        machine.count_alu(2)
+        with tele.span("min.bit_slice", j=j):
+            bit_j = machine.bit(src, j)
+            # or(!bit(src, j) && enable, orientation, L): one wired-OR
+            # delivers the cluster-level "a zero exists at this bit" flag
+            # to every node.
+            zero_seen = machine.bus_or(~bit_j & enable, orientation, L)
+            machine.count_alu(2)  # the &,~ above
+            # where (zero_seen && bit_j) enable = 0;
+            enable &= ~(zero_seen & bit_j)
+            machine.count_alu(2)
     return enable
 
 
@@ -77,11 +80,12 @@ def _deliver_min(
     opposite orientation is within the same cluster); the final broadcast
     fans it back out.
     """
-    to_heads = machine.broadcast(src, opposite(orientation), enable)
-    L = as_switch_plane(L, machine.shape)
-    staged = np.where(L, to_heads, src)
-    machine.count_alu()  # the masked store of statement 12
-    return machine.broadcast(staged, orientation, L)
+    with machine.telemetry.span("min.deliver"):
+        to_heads = machine.broadcast(src, opposite(orientation), enable)
+        L = as_switch_plane(L, machine.shape)
+        staged = np.where(L, to_heads, src)
+        machine.count_alu()  # the masked store of statement 12
+        return machine.broadcast(staged, orientation, L)
 
 
 def ppa_min(machine: PPAMachine, src, orientation: Direction, L) -> np.ndarray:
@@ -91,11 +95,13 @@ def ppa_min(machine: PPAMachine, src, orientation: Direction, L) -> np.ndarray:
     to (clusters defined by the Open plane *L* under *orientation*).
     O(h) bus transactions for h-bit words.
     """
-    src = np.asarray(src, dtype=np.int64)
-    enable = np.ones(machine.shape, dtype=bool)  # parallel logical enable = 1
-    machine.count_alu()
-    enable = _bit_serial_survivors(machine, src, orientation, L, enable)
-    return _deliver_min(machine, src, orientation, L, enable)
+    with machine.telemetry.span("min"):
+        src = np.asarray(src, dtype=np.int64)
+        # parallel logical enable = 1
+        enable = np.ones(machine.shape, dtype=bool)
+        machine.count_alu()
+        enable = _bit_serial_survivors(machine, src, orientation, L, enable)
+        return _deliver_min(machine, src, orientation, L, enable)
 
 
 def ppa_selected_min(
@@ -116,11 +122,12 @@ def ppa_selected_min(
     The result is undefined for clusters whose *selected* set is empty —
     the MCP algorithm never produces one (a minimum achiever always exists).
     """
-    src = np.asarray(src, dtype=np.int64)
-    enable = as_switch_plane(selected, machine.shape).copy()
-    machine.count_alu()
-    enable = _bit_serial_survivors(machine, src, orientation, L, enable)
-    return _deliver_min(machine, src, orientation, L, enable)
+    with machine.telemetry.span("selected_min"):
+        src = np.asarray(src, dtype=np.int64)
+        enable = as_switch_plane(selected, machine.shape).copy()
+        machine.count_alu()
+        enable = _bit_serial_survivors(machine, src, orientation, L, enable)
+        return _deliver_min(machine, src, orientation, L, enable)
 
 
 def ppa_max(machine: PPAMachine, src, orientation: Direction, L) -> np.ndarray:
@@ -147,7 +154,10 @@ def word_parallel_min(
     cycle (as a word comparator per switch would allow). Same result as
     :func:`ppa_min`, O(1) instead of O(h) transactions.
     """
-    return machine.bus_reduce(np.asarray(src, dtype=np.int64), orientation, L, "min")
+    with machine.telemetry.span("min.word_parallel"):
+        return machine.bus_reduce(
+            np.asarray(src, dtype=np.int64), orientation, L, "min"
+        )
 
 
 def ppa_min_digit_serial(
@@ -175,19 +185,23 @@ def ppa_min_digit_serial(
     if not (1 <= digit_bits <= h):
         raise ValueError(f"digit_bits must be in [1, {h}], got {digit_bits}")
     radix = 1 << digit_bits
-    src = np.asarray(src, dtype=np.int64)
-    enable = np.ones(machine.shape, dtype=bool)
-    machine.count_alu()
-    positions = range(((h + digit_bits - 1) // digit_bits) - 1, -1, -1)
-    for pos in positions:
-        digit = (src >> (pos * digit_bits)) & (radix - 1)
+    tele = machine.telemetry
+    with tele.span("min.digit_serial", digit_bits=digit_bits):
+        src = np.asarray(src, dtype=np.int64)
+        enable = np.ones(machine.shape, dtype=bool)
         machine.count_alu()
-        # One multi-lane transaction: the per-cluster minimum asserted digit.
-        staged = np.where(enable, digit, radix)
-        machine.count_alu()
-        min_digit = machine.bus_reduce(
-            staged, orientation, L, "min", bits=radix - 1
-        )
-        enable &= digit == min_digit
-        machine.count_alu(2)
-    return _deliver_min(machine, src, orientation, L, enable)
+        positions = range(((h + digit_bits - 1) // digit_bits) - 1, -1, -1)
+        for pos in positions:
+            with tele.span("min.digit_slice", pos=pos):
+                digit = (src >> (pos * digit_bits)) & (radix - 1)
+                machine.count_alu()
+                # One multi-lane transaction: the per-cluster minimum
+                # asserted digit.
+                staged = np.where(enable, digit, radix)
+                machine.count_alu()
+                min_digit = machine.bus_reduce(
+                    staged, orientation, L, "min", bits=radix - 1
+                )
+                enable &= digit == min_digit
+                machine.count_alu(2)
+        return _deliver_min(machine, src, orientation, L, enable)

@@ -23,6 +23,7 @@ from scipy.sparse.csgraph import connected_components
 from repro.errors import BusError, ConfigurationError
 from repro.ppa.counters import CycleCounters
 from repro.rmesh.switches import ALL_PARTITIONS, CONFIGS
+from repro.telemetry.spans import Tracer
 
 __all__ = ["Port", "RMeshMachine"]
 
@@ -50,6 +51,8 @@ class RMeshMachine:
         self.n = n
         self.word_bits = word_bits
         self.counters = CycleCounters()
+        #: span tracer (see :mod:`repro.telemetry`); disabled by default.
+        self.telemetry = Tracer(self.counters)
         self._config = np.full((n, n), CONFIGS["ISOLATE"].id, dtype=np.int64)
         self._labels: np.ndarray | None = None  # (n, n, 4) bus ids
 

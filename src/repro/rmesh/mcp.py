@@ -74,43 +74,52 @@ def rmesh_mcp(machine: RMeshMachine, W, d: int, **kwargs) -> MCPResult:
     if not (0 <= d < n):
         raise GraphError(f"destination {d} outside [0, {n})")
     before = machine.counters.snapshot()
+    tele = machine.telemetry
 
-    COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
-    rows = np.arange(n)
-    not_d = (rows != d)[:, None]
-    row_d = ~not_d & np.ones((n, n), dtype=bool)
-    diag = np.eye(n, dtype=bool)
+    with tele.span("mcp", arch=machine.architecture, n=n, d=d):
+        with tele.span("mcp.init"):
+            COL = np.broadcast_to(np.arange(n, dtype=np.int64)[None, :], (n, n))
+            rows = np.arange(n)
+            not_d = (rows != d)[:, None]
+            row_d = ~not_d & np.ones((n, n), dtype=bool)
+            diag = np.eye(n, dtype=bool)
 
-    SOW = np.zeros((n, n), dtype=np.int64)
-    PTN = np.zeros((n, n), dtype=np.int64)
-    # Init: the 1-edge costs to d, transposed onto row d with two
-    # broadcasts (row line from column d, then column line from the diag).
-    w_to_d = _row_broadcast(machine, Wm, COL == d)
-    SOW[d] = _col_broadcast(machine, w_to_d, diag)[d]
-    PTN[d] = d
+            SOW = np.zeros((n, n), dtype=np.int64)
+            PTN = np.zeros((n, n), dtype=np.int64)
+            # Init: the 1-edge costs to d, transposed onto row d with two
+            # broadcasts (row line from column d, then column line from the
+            # diag).
+            w_to_d = _row_broadcast(machine, Wm, COL == d)
+            SOW[d] = _col_broadcast(machine, w_to_d, diag)[d]
+            PTN[d] = d
 
-    iterations = 0
-    while True:
-        iterations += 1
-        down = _col_broadcast(machine, SOW, row_d)
-        cand = np.minimum(down + Wm, machine.maxint)
-        SOW = np.where(not_d, cand, SOW)
-        mv, ma = _row_min(machine, SOW, COL.copy())
-        MIN_SOW = np.where(not_d, mv, 0)
-        PTN_new = np.where(not_d, ma, PTN)
-        back_v = _col_broadcast(machine, MIN_SOW, diag)
-        back_p = _col_broadcast(machine, PTN_new, diag)
-        old_row = SOW[d].copy()
-        SOW[d] = back_v[d]
-        changed = SOW[d] != old_row
-        PTN_new[d] = np.where(changed, back_p[d], PTN[d])
-        PTN = PTN_new
-        changed_plane = np.zeros((n, n), dtype=bool)
-        changed_plane[d] = changed
-        if not machine.global_or(changed_plane):
-            break
-        if iterations > n:
-            raise GraphError("MCP did not converge; invalid input")
+        iterations = 0
+        converged = False
+        while not converged:
+            iterations += 1
+            with tele.span("mcp.iteration", k=iterations):
+                with tele.span("mcp.broadcast"):
+                    down = _col_broadcast(machine, SOW, row_d)
+                    cand = np.minimum(down + Wm, machine.maxint)
+                    SOW = np.where(not_d, cand, SOW)
+                with tele.span("mcp.min"):
+                    mv, ma = _row_min(machine, SOW, COL.copy())
+                    MIN_SOW = np.where(not_d, mv, 0)
+                    PTN_new = np.where(not_d, ma, PTN)
+                with tele.span("mcp.writeback"):
+                    back_v = _col_broadcast(machine, MIN_SOW, diag)
+                    back_p = _col_broadcast(machine, PTN_new, diag)
+                    old_row = SOW[d].copy()
+                    SOW[d] = back_v[d]
+                    changed = SOW[d] != old_row
+                    PTN_new[d] = np.where(changed, back_p[d], PTN[d])
+                    PTN = PTN_new
+                with tele.span("mcp.convergence"):
+                    changed_plane = np.zeros((n, n), dtype=bool)
+                    changed_plane[d] = changed
+                    converged = not machine.global_or(changed_plane)
+            if not converged and iterations > n:
+                raise GraphError("MCP did not converge; invalid input")
 
     return MCPResult(
         destination=d,

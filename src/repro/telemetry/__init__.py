@@ -1,0 +1,52 @@
+"""Telemetry: structured span tracing and exportable run profiles.
+
+The observability layer of the reproduction. Every machine —
+:class:`~repro.ppa.machine.PPAMachine`, the three comparator baselines and
+the RMESH — carries a :class:`Tracer` on its ``telemetry`` attribute,
+disabled by default. The core algorithms are instrumented with nested
+spans (per DP iteration → per primitive → per bit-slice), each snapshotting
+:class:`~repro.ppa.counters.CycleCounters` deltas at entry/exit, so a
+traced run yields an exact per-phase partition of its cycle totals.
+
+Quickstart
+----------
+>>> from repro import PPAMachine, PPAConfig, minimum_cost_path
+>>> from repro.telemetry import RunProfile, phase_table
+>>> machine = PPAMachine(PPAConfig(n=8))
+>>> machine.telemetry.enable()
+>>> _ = minimum_cost_path(machine, W, d=0)            # doctest: +SKIP
+>>> profile = RunProfile.from_tracer(machine.telemetry, arch="ppa", n=8)
+>>> print(phase_table(profile).render())              # doctest: +SKIP
+
+Zero-overhead guarantee: spans only *read* counters (via
+``CycleCounters.checkpoint``), so counter totals are bit-identical whether
+tracing is enabled, disabled, or this package is never imported — the CI
+guard in ``tests/telemetry/test_attribution.py`` enforces it.
+
+See ``docs/observability.md`` for the span API, the profile JSON schema
+and how to open an exported trace in ``chrome://tracing``/Perfetto.
+"""
+
+from repro.telemetry.spans import NULL_SPAN, Span, Tracer
+from repro.telemetry.profile import (
+    PROFILE_FORMAT,
+    RunProfile,
+    aggregate_phases,
+    compare_profiles,
+    load_profile,
+    phase_table,
+    save_profile,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "PROFILE_FORMAT",
+    "RunProfile",
+    "aggregate_phases",
+    "compare_profiles",
+    "load_profile",
+    "phase_table",
+    "save_profile",
+]

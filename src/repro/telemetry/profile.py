@@ -1,0 +1,261 @@
+"""Exportable run profiles: serialisable span trees plus metadata.
+
+A :class:`RunProfile` freezes what a :class:`~repro.telemetry.spans.Tracer`
+recorded for one run — the span tree, the run's counter totals and
+free-form metadata (architecture, grid size, destination, ...) — and
+exports it two ways:
+
+* **native JSON** (``repro-profile-v1``), the schema
+  ``docs/observability.md`` documents; round-trips through
+  :meth:`RunProfile.to_jsonable`/:meth:`RunProfile.from_jsonable` and
+  plugs into :mod:`repro.analysis.store` so profiles diff across runs
+  exactly like experiment tables do;
+* **Chrome ``trace_event`` JSON** (:meth:`RunProfile.to_chrome_trace`),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev — every span
+  becomes a complete ("X") event whose ``args`` carry its counter deltas.
+
+:func:`phase_table` renders the per-phase cost breakdown the CLI's
+``python -m repro profile`` prints: **exclusive** (self) counter
+attribution per span name, so the table's rows sum exactly to the run
+totals — the property that lets the breakdown substantiate the paper's
+O(p·h) claim phase by phase.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.metrics.tables import Table
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "PROFILE_FORMAT",
+    "RunProfile",
+    "phase_table",
+    "aggregate_phases",
+    "save_profile",
+    "load_profile",
+    "compare_profiles",
+]
+
+PROFILE_FORMAT = "repro-profile-v1"
+
+#: Counter columns shown by :func:`phase_table`, in display order.
+_TABLE_COUNTERS = ("instructions", "alu_ops", "bus_cycles", "bit_cycles")
+
+
+@dataclass
+class RunProfile:
+    """One run's telemetry: metadata + span tree + counter totals."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, **meta) -> "RunProfile":
+        """Freeze a tracer's recorded roots into a profile.
+
+        ``counters`` totals are the sum of the root spans' inclusive
+        deltas — i.e. exactly what the run accumulated while traced.
+        """
+        totals: dict[str, int] = {}
+        for root in tracer.roots:
+            for k, v in root.counters.items():
+                totals[k] = totals.get(k, 0) + v
+        meta.setdefault("recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S"))
+        return cls(meta=dict(meta), spans=list(tracer.roots), counters=totals)
+
+    # -- traversal -------------------------------------------------------
+
+    def walk(self) -> Iterable[Span]:
+        for root in self.spans:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All spans in the profile with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    # -- native JSON -----------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        return {
+            "format": PROFILE_FORMAT,
+            "meta": dict(self.meta),
+            "counters": dict(self.counters),
+            "spans": [s.to_jsonable() for s in self.spans],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "RunProfile":
+        if data.get("format") not in (None, PROFILE_FORMAT):
+            raise ReproError(
+                f"not a {PROFILE_FORMAT} payload "
+                f"(format = {data.get('format')!r})"
+            )
+        return cls(
+            meta=dict(data.get("meta", {})),
+            spans=[Span.from_jsonable(s) for s in data.get("spans", [])],
+            counters={k: int(v) for k, v in data.get("counters", {}).items()},
+        )
+
+    # -- Chrome trace_event ---------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The profile as Chrome ``trace_event`` JSON (object format).
+
+        Spans become complete ("X") duration events on one pid/tid;
+        timestamps and durations are microseconds as the format requires.
+        Load the written file in ``chrome://tracing`` or Perfetto.
+        """
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": self.meta.get("arch", "repro")},
+            }
+        ]
+        for span in self.walk():
+            args: dict = dict(span.attrs)
+            args.update(span.counters)
+            if span.opcodes:
+                args["opcodes"] = dict(span.opcodes)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": round(span.start * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": dict(self.meta),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Aggregation / rendering
+# ---------------------------------------------------------------------------
+
+
+def aggregate_phases(profile: RunProfile) -> dict[str, dict[str, int]]:
+    """Exclusive counter totals per span name.
+
+    Returns ``{name: {"spans": count, <counter>: total, ...}}`` where the
+    counter totals use each span's *self* attribution, so summing over all
+    names reproduces the run totals exactly (no double counting of nested
+    spans).
+    """
+    agg: dict[str, dict[str, int]] = {}
+    for span in profile.walk():
+        bucket = agg.setdefault(span.name, {"spans": 0})
+        bucket["spans"] += 1
+        for k, v in span.self_counters.items():
+            bucket[k] = bucket.get(k, 0) + v
+    return agg
+
+
+def phase_table(profile: RunProfile, *, title: str | None = None) -> Table:
+    """Per-phase cost breakdown as a :class:`~repro.metrics.tables.Table`.
+
+    One row per span name (exclusive attribution) plus a ``(total)`` row
+    that equals the run's counter totals — asserted equal in tests, so the
+    table is a partition of the measured cost, not an estimate.
+    """
+    agg = aggregate_phases(profile)
+    meta = profile.meta
+    if title is None:
+        bits = [meta.get("arch", "?"), f"n={meta.get('n', '?')}"]
+        if "d" in meta:
+            bits.append(f"d={meta['d']}")
+        title = f"Per-phase cost breakdown ({', '.join(map(str, bits))})"
+    table = Table(title, ["phase", "spans", *_TABLE_COUNTERS])
+    for name in sorted(agg):
+        bucket = agg[name]
+        table.add_row(
+            name, bucket["spans"], *(bucket.get(k, 0) for k in _TABLE_COUNTERS)
+        )
+    table.add_row(
+        "(total)",
+        sum(b["spans"] for b in agg.values()),
+        *(profile.counters.get(k, 0) for k in _TABLE_COUNTERS),
+    )
+    table.note(
+        "exclusive attribution: each row counts only cycles spent outside "
+        "nested spans; rows sum exactly to (total)"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Persistence / diffing
+# ---------------------------------------------------------------------------
+
+
+def save_profile(
+    profile: RunProfile, path: str | Path, *, trace_format: str = "json"
+) -> None:
+    """Write *profile* to *path* as native JSON or Chrome trace JSON."""
+    if trace_format == "json":
+        payload = profile.to_jsonable()
+    elif trace_format == "chrome":
+        payload = profile.to_chrome_trace()
+    else:
+        raise ReproError(
+            f"unknown trace format {trace_format!r} (expected json|chrome)"
+        )
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_profile(path: str | Path) -> RunProfile:
+    """Load a native-JSON profile written by :func:`save_profile`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"profile file not found: {path}")
+    payload = json.loads(path.read_text())
+    if payload.get("format") != PROFILE_FORMAT:
+        raise ReproError(
+            f"{path} is not a {PROFILE_FORMAT} file "
+            f"(format = {payload.get('format')!r})"
+        )
+    return RunProfile.from_jsonable(payload)
+
+
+def compare_profiles(old: RunProfile, new: RunProfile) -> list[str]:
+    """Per-phase differences between two profiles, as human-readable lines.
+
+    Compares the aggregated exclusive counters per phase (wall-times are
+    host-dependent and deliberately ignored); empty list = no drift.
+    """
+    diffs: list[str] = []
+    a, b = aggregate_phases(old), aggregate_phases(new)
+    for name in sorted(set(a) | set(b)):
+        if name not in a:
+            diffs.append(f"{name}: only in the new profile")
+            continue
+        if name not in b:
+            diffs.append(f"{name}: only in the old profile")
+            continue
+        keys = sorted(set(a[name]) | set(b[name]))
+        for k in keys:
+            va, vb = a[name].get(k, 0), b[name].get(k, 0)
+            if va != vb:
+                diffs.append(f"{name}.{k}: {va} -> {vb}")
+    for k in sorted(set(old.counters) | set(new.counters)):
+        va, vb = old.counters.get(k, 0), new.counters.get(k, 0)
+        if va != vb:
+            diffs.append(f"(total).{k}: {va} -> {vb}")
+    return diffs

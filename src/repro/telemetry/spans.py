@@ -1,0 +1,287 @@
+"""Structured span tracing with per-span counter attribution.
+
+A :class:`Tracer` hands out nested *spans* — named, attributed intervals —
+and snapshots the attached :class:`~repro.ppa.counters.CycleCounters` at
+span entry and exit (via :meth:`CycleCounters.checkpoint`), so every span
+carries the exact instruction/bus/bit-cycle counts accumulated inside it.
+Nesting follows the reproduction's natural cost hierarchy::
+
+    mcp                                 one algorithm run
+      mcp.init                          initial transposition
+      mcp.iteration (k = 1, 2, ...)     one DP round
+        mcp.broadcast                   statement 10
+        mcp.min                         statement 11 (bit-serial min)
+          min.bit_slice (j = h-1 .. 0)  one wired-OR elimination step
+        mcp.selected_min                statement 12
+        mcp.writeback                   statements 14-19
+        mcp.convergence                 statement 20 (global OR)
+
+Because a span only *reads* counters, tracing can never perturb the
+numbers it attributes: counter totals are bit-identical with tracing on,
+off, or the module never imported (asserted by the zero-overhead guard in
+``tests/telemetry/test_attribution.py``). When disabled — the default —
+``Tracer.span`` returns a shared no-op context manager: no allocation, no
+snapshot, no clock read.
+
+Exactness invariant (asserted in tests): for every span,
+
+    span.counters == span.self_counters + sum(child.counters)
+
+and the root spans' counters sum to the machine's counter deltas for the
+run — per-phase attribution is a *partition* of the totals, not an
+estimate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.ppa.counters import CycleCounters
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One traced interval: name, attributes, wall-time, counter deltas.
+
+    Attributes
+    ----------
+    name
+        Phase identifier (dotted, e.g. ``"mcp.iteration"``).
+    attrs
+        JSON-able key/value annotations (iteration number, destination...).
+    start, end
+        Seconds relative to the tracer's epoch (first span entry).
+    counters
+        Counter deltas accumulated between entry and exit — **inclusive**
+        of child spans (the counters are cumulative machine totals).
+    children
+        Nested spans, in entry order.
+    opcodes
+        Per-opcode execution histogram; populated by the ISA executor when
+        it runs inside this span (empty otherwise).
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "counters", "children",
+                 "opcodes")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = name
+        self.attrs: dict = attrs or {}
+        self.start: float = 0.0
+        self.end: float = 0.0
+        self.counters: dict[str, int] = {}
+        self.children: list[Span] = []
+        self.opcodes: dict[str, int] = {}
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds spent inside the span (children included)."""
+        return self.end - self.start
+
+    @property
+    def self_counters(self) -> dict[str, int]:
+        """Exclusive counter deltas: this span minus all child spans.
+
+        Summing ``self_counters`` over a whole tree reproduces the root's
+        inclusive totals exactly (no double counting).
+        """
+        out = dict(self.counters)
+        for child in self.children:
+            for k, v in child.counters.items():
+                out[k] = out.get(k, 0) - v
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (self included) with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Plain-dict tree form (inverse: :meth:`from_jsonable`)."""
+        out: dict = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "counters": dict(self.counters),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.opcodes:
+            out["opcodes"] = dict(self.opcodes)
+        if self.children:
+            out["children"] = [c.to_jsonable() for c in self.children]
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "Span":
+        span = cls(data["name"], dict(data.get("attrs", {})))
+        span.start = float(data["start"])
+        span.end = float(data["end"])
+        span.counters = {k: int(v) for k, v in data.get("counters", {}).items()}
+        span.opcodes = {k: int(v) for k, v in data.get("opcodes", {}).items()}
+        span.children = [cls.from_jsonable(c) for c in data.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, children={len(self.children)}, "
+            f"counters={self.counters})"
+        )
+
+
+class Tracer:
+    """Span recorder attached to one machine (or used standalone).
+
+    Parameters
+    ----------
+    counters
+        The :class:`CycleCounters` bundle to attribute; ``None`` records
+        wall-time-only spans.
+    clock
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        counters: CycleCounters | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.enabled = False
+        self.roots: list[Span] = []
+        self._counters = counters
+        self._clock = clock
+        self._epoch: float | None = None
+        self._stack: list[Span] = []
+        self.orphan_opcodes: dict[str, int] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a span; the yielded value is the :class:`Span` being built.
+
+        When the tracer is disabled this returns a shared no-op context
+        manager — the call costs one attribute check and nothing else.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _TracerSpanContext(self, name, attrs)
+
+    def add_opcode(self, opcode: str, count: int = 1) -> None:
+        """Bump the per-opcode histogram of the innermost open span.
+
+        Used by the ISA executor; outside any span the counts accumulate
+        in :attr:`orphan_opcodes` so nothing is silently dropped.
+        """
+        if not self.enabled:
+            return
+        target = self._stack[-1].opcodes if self._stack else self.orphan_opcodes
+        target[opcode] = target.get(opcode, 0) + count
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    def _now(self) -> float:
+        if self._epoch is None:
+            self._epoch = self._clock()
+            return 0.0
+        return self._clock() - self._epoch
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans are abandoned too)."""
+        self.roots.clear()
+        self._stack.clear()
+        self.orphan_opcodes.clear()
+        self._epoch = None
+
+    @contextmanager
+    def capture(self):
+        """Enable tracing for the duration of a ``with`` block."""
+        prev = self.enabled
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = prev
+
+    def __len__(self) -> int:
+        return len(self.roots)
+
+
+class _TracerSpanContext:
+    """Context manager recording one span against a live tracer.
+
+    Counter attribution delegates to
+    :meth:`~repro.ppa.counters.CycleCounters.checkpoint`, the read-only
+    measurement primitive — the tracer never writes a counter.
+    """
+
+    __slots__ = ("_tracer", "_span", "_cm", "_cp")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict):
+        self._tracer = tracer
+        self._span = Span(name, attrs)
+        self._cm = None
+        self._cp = None
+
+    def __enter__(self) -> Span:
+        t = self._tracer
+        span = self._span
+        span.start = t._now()
+        if t._stack:
+            t._stack[-1].children.append(span)
+        else:
+            t.roots.append(span)
+        t._stack.append(span)
+        if t._counters is not None:
+            self._cm = t._counters.checkpoint()
+            self._cp = self._cm.__enter__()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self._tracer
+        span = self._span
+        if self._cm is not None:
+            self._cm.__exit__(exc_type, exc, tb)
+            span.counters = self._cp.delta or {}
+        span.end = t._now()
+        if t._stack and t._stack[-1] is span:
+            t._stack.pop()
+        return False

@@ -86,6 +86,34 @@ class TestT5:
         assert abs(by_arch["gcn"][0] - by_arch["ppa"][0]) < 0.2 * by_arch["ppa"][0]
 
 
+class TestT5P:
+    def test_phase_rows_sum_to_t5_totals(self):
+        """Each architecture's phase rows partition its whole-run counters."""
+        from repro.analysis.experiments import run_t5, run_t5p
+
+        t5 = {(n, arch): (trans, bits)
+              for n, arch, _, trans, bits, _ in run_t5(quick=True).rows}
+        sums: dict[tuple, list[int]] = {}
+        for n, arch, phase, spans, bus, bits, alu in run_t5p(quick=True).rows:
+            acc = sums.setdefault((n, arch), [0, 0])
+            acc[0] += bus
+            acc[1] += bits
+        for key, (bus, bits) in sums.items():
+            if key not in t5:
+                continue  # T5P quick sweeps fewer sizes than T5 quick
+            assert (bus, bits) == t5[key], key
+
+    def test_ppa_has_selected_min_phase(self):
+        from repro.analysis.experiments import run_t5p
+
+        table = run_t5p(quick=True)
+        phases_by_arch: dict[str, set] = {}
+        for n, arch, phase, *rest in table.rows:
+            phases_by_arch.setdefault(arch, set()).add(phase)
+        assert "mcp.selected_min" in phases_by_arch["ppa"]
+        assert "mcp.min" in phases_by_arch["mesh"]
+
+
 class TestT6:
     def test_parity(self):
         table = run_t6(quick=True)
@@ -204,6 +232,6 @@ class TestT15:
 class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(ALL_EXPERIMENTS) == {
-            "T1", "F2", "F3", "F4", "T5", "T6", "A7", "A8", "T9",
+            "T1", "F2", "F3", "F4", "T5", "T5P", "T6", "A7", "A8", "T9",
             "A11", "A12", "A13", "T13", "T14", "T15",
         }

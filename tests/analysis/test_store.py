@@ -12,6 +12,8 @@ from repro.analysis.store import (
 )
 from repro.errors import ReproError
 from repro.metrics.tables import Series, Table
+from repro.ppa.counters import CycleCounters
+from repro.telemetry import RunProfile, Tracer
 
 
 def sample_table():
@@ -27,6 +29,18 @@ def sample_series():
     s.add_point(4, y=1.0)
     s.add_point(8, y=2.0)
     return s
+
+
+def sample_profile():
+    c = CycleCounters()
+    t = Tracer(c, clock=iter([float(i) for i in range(8)]).__next__)
+    t.enable()
+    with t.span("mcp", n=4):
+        with t.span("mcp.init"):
+            c.instructions += 2
+        with t.span("mcp.iteration", k=1):
+            c.bus_cycles += 5
+    return RunProfile.from_tracer(t, arch="ppa", n=4, recorded_at="T")
 
 
 class TestRoundTrip:
@@ -63,6 +77,21 @@ class TestRoundTrip:
         with pytest.raises(ReproError, match="unknown artefact kind"):
             from_jsonable({"kind": "chart"})
 
+    def test_profile(self):
+        p = sample_profile()
+        back = from_jsonable(to_jsonable(p))
+        assert isinstance(back, RunProfile)
+        assert back.to_jsonable() == p.to_jsonable()
+
+    def test_profile_file_roundtrip(self, tmp_path):
+        """Profiles persist alongside tables in one results file."""
+        path = tmp_path / "run.json"
+        save_results({"T": sample_table(), "P": sample_profile()}, path)
+        loaded = load_results(path)
+        assert isinstance(loaded["P"], RunProfile)
+        assert loaded["P"].counters == sample_profile().counters
+        assert loaded["T"].rows == sample_table().rows
+
 
 class TestCompare:
     def test_identical(self):
@@ -97,6 +126,40 @@ class TestCompare:
         longer.add_row(3, False)
         diffs = compare_results(a, {"T": longer})
         assert "row count 2 -> 3" in diffs[0]
+
+    def test_arity_change_reported(self):
+        a = {"T": sample_table()}
+        wider = sample_table()
+        wider.rows[1] = [2, 3.5, "extra"]
+        diffs = compare_results(a, {"T": wider})
+        assert diffs == ["T row 1: arity changed"]
+
+    def test_profiles_identical(self):
+        a = {"P": sample_profile()}
+        b = {"P": sample_profile()}
+        assert compare_results(a, b) == []
+
+    def test_profile_counter_drift_reported(self):
+        a = {"P": sample_profile()}
+        drifted = sample_profile()
+        drifted.find("mcp.iteration")[0].counters["bus_cycles"] += 1
+        diffs = compare_results(a, {"P": drifted})
+        assert diffs and all(d.startswith("P ") for d in diffs)
+
+    def test_profile_walltime_drift_ignored(self):
+        a = {"P": sample_profile()}
+        slower = sample_profile()
+        for s in slower.walk():
+            s.end += 100.0
+        assert compare_results(a, {"P": slower}) == []
+
+    def test_profile_new_phase_changes_row_count(self):
+        a = {"P": sample_profile()}
+        extra = sample_profile()
+        child = extra.spans[0].children[1]
+        child.name = "mcp.round"  # renamed phase -> different row set
+        diffs = compare_results(a, {"P": extra})
+        assert diffs
 
 
 class TestReportIntegration:

@@ -1,6 +1,8 @@
 """CycleCounters bookkeeping."""
 
-from repro.ppa.counters import CycleCounters
+import pytest
+
+from repro.ppa.counters import CounterCheckpoint, CycleCounters
 
 
 class TestCounters:
@@ -52,3 +54,85 @@ class TestCounters:
             "bus_cycles",
             "bit_cycles",
         } <= set(snap)
+
+
+class TestRoundTripSafety:
+    """snapshot/diff/merge reject partial or misspelt dictionaries."""
+
+    def test_diff_rejects_missing_keys(self):
+        c = CycleCounters()
+        with pytest.raises(ValueError, match="missing keys"):
+            c.diff({"instructions": 0})
+
+    def test_diff_rejects_unknown_keys(self):
+        c = CycleCounters()
+        snap = c.snapshot()
+        snap["instrucions"] = snap.pop("instructions")  # typo
+        with pytest.raises(ValueError, match="unknown keys"):
+            c.diff(snap)
+
+    def test_merge_rejects_partial_mapping(self):
+        with pytest.raises(ValueError, match="not a complete counter"):
+            CycleCounters().merge({"alu_ops": 3})
+
+    def test_merge_accepts_full_mapping(self):
+        c = CycleCounters()
+        snap = CycleCounters().snapshot()
+        snap["alu_ops"] = 4
+        c.merge(snap)
+        assert c.alu_ops == 4
+
+    def test_from_snapshot_round_trip(self):
+        c = CycleCounters()
+        c.broadcasts = 7
+        c.bit_cycles = 19
+        back = CycleCounters.from_snapshot(c.snapshot())
+        assert back.snapshot() == c.snapshot()
+
+    def test_from_snapshot_rejects_partial(self):
+        with pytest.raises(ValueError, match="from_snapshot"):
+            CycleCounters.from_snapshot({"broadcasts": 1})
+
+    def test_field_names_match_snapshot(self):
+        c = CycleCounters()
+        assert set(CycleCounters.field_names()) == set(c.snapshot())
+
+
+class TestCheckpoint:
+    def test_delta_measures_block(self):
+        c = CycleCounters()
+        c.instructions = 10
+        with c.checkpoint() as cp:
+            assert isinstance(cp, CounterCheckpoint)
+            assert cp.delta is None  # still open
+            c.instructions += 3
+            c.bus_cycles += 2
+        assert cp.delta["instructions"] == 3
+        assert cp.delta["bus_cycles"] == 2
+        assert cp.delta["shifts"] == 0
+
+    def test_checkpoint_never_writes_counters(self):
+        c = CycleCounters()
+        c.alu_ops = 5
+        before = c.snapshot()
+        with c.checkpoint():
+            pass
+        assert c.snapshot() == before
+
+    def test_delta_set_even_on_exception(self):
+        c = CycleCounters()
+        with pytest.raises(RuntimeError):
+            with c.checkpoint() as cp:
+                c.global_ors += 1
+                raise RuntimeError("boom")
+        assert cp.delta["global_ors"] == 1
+
+    def test_nested_checkpoints(self):
+        c = CycleCounters()
+        with c.checkpoint() as outer:
+            c.shifts += 1
+            with c.checkpoint() as inner:
+                c.shifts += 2
+            c.shifts += 4
+        assert inner.delta["shifts"] == 2
+        assert outer.delta["shifts"] == 7

@@ -244,3 +244,47 @@ class TestTrace:
         assert machine4.trace.reprice(lambda span: span) == 12
         machine4.trace.clear()
         assert len(machine4.trace) == 0
+
+    def test_exact_span_evenly_spaced_opens(self):
+        """Evenly spaced opens: exact span beats the analytical bound.
+
+        Ring length 8 with opens at columns 0 and 4 cuts every row ring
+        into two clusters of span 4 each; the pessimistic formula
+        ``ring_len - k + 1`` would report 7.
+        """
+        from repro.ppa.bus import max_cluster_span_bound
+
+        machine = PPAMachine(PPAConfig(n=8, word_bits=8))
+        opens = (machine.col_index % 4) == 0
+        with machine.trace.capture():
+            machine.broadcast(machine.new_parallel(0), Direction.EAST, opens)
+        t = machine.trace.records[0]
+        assert t.open_count == 16
+        assert t.max_span == 4
+        assert max_cluster_span_bound(8, 2) == 7  # bound, not exact
+
+    def test_exact_span_adjacent_opens_hit_bound(self):
+        """Adjacent opens realise the worst case of the bound."""
+        from repro.ppa.bus import max_cluster_span_bound
+
+        machine = PPAMachine(PPAConfig(n=8, word_bits=8))
+        opens = machine.col_index <= 1  # opens at columns 0 and 1
+        with machine.trace.capture():
+            machine.broadcast(machine.new_parallel(0), Direction.EAST, opens)
+        t = machine.trace.records[0]
+        assert t.max_span == 7 == max_cluster_span_bound(8, 2)
+
+    def test_exact_span_column_rings(self):
+        """SOUTH transactions analyse columns, not rows."""
+        machine = PPAMachine(PPAConfig(n=8, word_bits=8))
+        opens = (machine.row_index % 4) == 0
+        with machine.trace.capture():
+            machine.broadcast(machine.new_parallel(0), Direction.SOUTH, opens)
+        assert machine.trace.records[0].max_span == 4
+
+    def test_exact_span_no_opens_ring(self, machine4):
+        """A ring with no opens floats as one full-length cluster."""
+        opens = (machine4.col_index == 0) & (machine4.row_index > 0)
+        with machine4.trace.capture():
+            machine4.broadcast(machine4.new_parallel(0), Direction.EAST, opens)
+        assert machine4.trace.records[0].max_span == 4

@@ -1,0 +1,260 @@
+"""End-to-end attribution exactness and the zero-overhead guarantee.
+
+Two properties back the telemetry subsystem's claims:
+
+1. **Exactness** — per-phase counter attribution is a partition of the
+   run's totals: every span's inclusive counters equal its exclusive
+   counters plus the sum of its children's, the per-iteration phases sum
+   exactly to the iteration, and the root span equals the run's
+   ``MCPResult.counters``.
+2. **Zero overhead** — enabling the tracer changes *no* counter: the same
+   run traced and untraced produces bit-identical counter dictionaries,
+   and the untraced counters match the golden values recorded from the
+   pre-telemetry seed (the CI guard).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GCNMachine, HypercubeMachine, MeshMachine
+from repro.core import minimum_cost_path
+from repro.core.apsp import all_pairs_minimum_cost
+from repro.core.asm_mcp import minimum_cost_path_asm
+from repro.core.mst import boruvka_mst
+from repro.ppa import PPAConfig, PPAMachine
+from repro.telemetry import RunProfile, aggregate_phases
+from repro.workloads import WeightSpec, gnp_digraph
+
+#: The acceptance workload: 16x16 gnp graph, seed 1, destination 3.
+_N, _SEED, _D, _H = 16, 1, 3, 16
+_INF = (1 << _H) - 1
+
+#: Counter totals of the untraced seed implementation on the acceptance
+#: workload — recorded before the telemetry subsystem existed. Telemetry
+#: must never move these.
+GOLDEN_PPA_COUNTERS = {
+    "instructions": 647,
+    "broadcasts": 23,
+    "reductions": 96,
+    "shifts": 0,
+    "alu_ops": 525,
+    "global_ors": 3,
+    "bus_cycles": 125,
+    "bit_cycles": 470,
+}
+
+ITERATION_PHASES = {
+    "mcp.broadcast", "mcp.min", "mcp.selected_min", "mcp.writeback",
+    "mcp.convergence",
+}
+
+
+def _graph():
+    return gnp_digraph(
+        _N, 0.3, seed=_SEED, weights=WeightSpec(1, 9), inf_value=_INF
+    )
+
+
+def _machine():
+    return PPAMachine(PPAConfig(n=_N, word_bits=_H))
+
+
+def _sum_counters(spans):
+    totals: dict[str, int] = {}
+    for s in spans:
+        for k, v in s.counters.items():
+            totals[k] = totals.get(k, 0) + v
+    return totals
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    machine = _machine()
+    with machine.telemetry.capture():
+        result = minimum_cost_path(machine, _graph(), _D)
+    profile = RunProfile.from_tracer(machine.telemetry, arch="ppa", n=_N, d=_D)
+    return machine, result, profile
+
+
+class TestZeroOverhead:
+    def test_untraced_matches_golden(self):
+        result = minimum_cost_path(_machine(), _graph(), _D)
+        assert result.counters == GOLDEN_PPA_COUNTERS
+        assert result.iterations == 3
+
+    def test_traced_matches_golden(self, traced_run):
+        _, result, _ = traced_run
+        assert result.counters == GOLDEN_PPA_COUNTERS
+
+    def test_traced_and_untraced_sow_identical(self, traced_run):
+        _, traced, _ = traced_run
+        untraced = minimum_cost_path(_machine(), _graph(), _D)
+        assert np.array_equal(traced.sow, untraced.sow)
+        assert np.array_equal(traced.ptn, untraced.ptn)
+
+    @pytest.mark.parametrize("cls", [GCNMachine, HypercubeMachine, MeshMachine])
+    def test_baselines_unperturbed(self, cls):
+        W = _graph()
+        plain = cls(_N, word_bits=_H).mcp(W, _D)
+        m = cls(_N, word_bits=_H)
+        with m.telemetry.capture():
+            traced = m.mcp(W, _D)
+        assert traced.counters == plain.counters
+
+    def test_rmesh_unperturbed(self):
+        from repro.rmesh import RMeshMachine, rmesh_mcp
+
+        W = _graph()
+        plain = rmesh_mcp(RMeshMachine(_N, word_bits=_H), W, _D)
+        m = RMeshMachine(_N, word_bits=_H)
+        with m.telemetry.capture():
+            traced = rmesh_mcp(m, W, _D)
+        assert traced.counters == plain.counters
+
+    def test_asm_unperturbed(self):
+        W = _graph()
+        plain = minimum_cost_path_asm(_machine(), W, _D)
+        m = _machine()
+        with m.telemetry.capture():
+            traced = minimum_cost_path_asm(m, W, _D)
+        assert traced.counters == plain.counters
+
+
+class TestExactness:
+    """Acceptance criterion: attribution partitions the totals exactly."""
+
+    def test_root_equals_run_counters(self, traced_run):
+        _, result, profile = traced_run
+        (root,) = profile.spans
+        assert root.name == "mcp"
+        assert root.counters == result.counters
+        assert profile.counters == result.counters
+
+    def test_inclusive_equals_self_plus_children_everywhere(self, traced_run):
+        _, _, profile = traced_run
+        for span in profile.walk():
+            rebuilt = dict(span.self_counters)
+            for child in span.children:
+                for k, v in child.counters.items():
+                    rebuilt[k] = rebuilt.get(k, 0) + v
+            assert {k: v for k, v in rebuilt.items() if v} == {
+                k: v for k, v in span.counters.items() if v
+            }, span.name
+
+    def test_iteration_children_are_the_five_phases(self, traced_run):
+        _, result, profile = traced_run
+        iterations = profile.find("mcp.iteration")
+        assert len(iterations) == result.iterations == 3
+        for it in iterations:
+            assert [c.name for c in it.children] == sorted(
+                ITERATION_PHASES,
+                key=["mcp.broadcast", "mcp.min", "mcp.selected_min",
+                     "mcp.writeback", "mcp.convergence"].index,
+            )
+
+    def test_phases_sum_exactly_to_iteration(self, traced_run):
+        _, _, profile = traced_run
+        for it in profile.find("mcp.iteration"):
+            phase_sum = _sum_counters(it.children)
+            itself = it.self_counters
+            for k, v in it.counters.items():
+                assert phase_sum.get(k, 0) + itself.get(k, 0) == v
+
+    def test_phase_attribution_sums_to_run_totals(self, traced_run):
+        """broadcast + min + selected_min (+ writeback + convergence + init)
+        attributions sum exactly to the run's CycleCounters totals."""
+        _, result, profile = traced_run
+        spans = [
+            s for s in profile.walk()
+            if s.name in ITERATION_PHASES or s.name == "mcp.init"
+        ]
+        totals = _sum_counters(spans)
+        (root,) = profile.spans
+        leftovers = root.self_counters  # instructions outside any phase
+        for k, v in result.counters.items():
+            assert totals.get(k, 0) + leftovers.get(k, 0) == v, k
+
+    def test_aggregate_phases_partitions_totals(self, traced_run):
+        _, result, profile = traced_run
+        agg = aggregate_phases(profile)
+        for k, v in result.counters.items():
+            assert sum(b.get(k, 0) for b in agg.values()) == v, k
+
+    def test_bit_slices_nested_under_min(self, traced_run):
+        _, _, profile = traced_run
+        # h bit-slices per elimination, one elimination per min and one per
+        # selected_min, per iteration.
+        assert len(profile.find("min.bit_slice")) == 2 * 3 * _H
+        for parent in profile.find("min") + profile.find("selected_min"):
+            slices = [c for c in parent.children if c.name == "min.bit_slice"]
+            assert len(slices) == _H
+            assert [c.attrs["j"] for c in slices] == list(range(_H - 1, -1, -1))
+
+
+class TestExecutorOpcodes:
+    def test_opcode_histogram_recorded(self):
+        m = _machine()
+        with m.telemetry.capture():
+            minimum_cost_path_asm(m, _graph(), _D)
+        (root,) = m.telemetry.roots
+        assert root.name == "asm_mcp.execute"
+        assert root.opcodes  # per-opcode execution histogram
+        assert root.opcodes["HALT"] == 1
+        # Communication opcodes agree with the machine's transaction
+        # counters one-for-one.
+        assert root.opcodes["BCAST"] == root.counters["broadcasts"]
+        assert root.opcodes["WOR"] == root.counters["reductions"]
+        assert root.opcodes["GOR"] == root.counters["global_ors"]
+
+
+class TestExtensions:
+    def test_apsp_span_tree(self):
+        n = 8
+        W = gnp_digraph(n, 0.4, seed=2, weights=WeightSpec(1, 9),
+                        inf_value=_INF)
+        m = PPAMachine(PPAConfig(n=n, word_bits=_H))
+        with m.telemetry.capture():
+            res = all_pairs_minimum_cost(m, W)
+        profile = RunProfile.from_tracer(m.telemetry)
+        (root,) = profile.spans
+        assert root.name == "apsp"
+        destinations = profile.find("apsp.destination")
+        assert [s.attrs["d"] for s in destinations] == list(range(n))
+        assert profile.counters == res.counters
+
+    def test_mst_span_tree(self):
+        n = 8
+        rng = np.random.default_rng(5)
+        w = rng.permutation(n * (n - 1) // 2) + 1
+        W = np.full((n, n), _INF, dtype=np.int64)
+        k = 0
+        for i in range(n):
+            W[i, i] = 0
+            for j in range(i + 1, n):
+                W[i, j] = W[j, i] = w[k]
+                k += 1
+        m = PPAMachine(PPAConfig(n=n, word_bits=_H))
+        with m.telemetry.capture():
+            res = boruvka_mst(m, W)
+        profile = RunProfile.from_tracer(m.telemetry)
+        (root,) = profile.spans
+        assert root.name == "mst"
+        rounds = profile.find("mst.round")
+        assert len(rounds) == res.rounds
+        for r in rounds:
+            names = [c.name for c in r.children]
+            assert names == ["mst.labels", "mst.vertex_min",
+                             "mst.component_min"]
+        assert profile.counters == res.counters
+
+    def test_selftest_span_tree(self):
+        from repro.ppa.selftest import diagnose_switches
+
+        m = PPAMachine(PPAConfig(n=8, word_bits=_H))
+        with m.telemetry.capture():
+            report = diagnose_switches(m)
+        profile = RunProfile.from_tracer(m.telemetry)
+        (root,) = profile.spans
+        assert root.name == "selftest"
+        assert [s.attrs["axis"] for s in profile.find("selftest.axis")] == [0, 1]
+        assert profile.counters["bus_cycles"] == report.transactions

@@ -1,0 +1,281 @@
+"""RunProfile serialisation, aggregation, persistence and diffing."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ppa.counters import CycleCounters
+from repro.telemetry import (
+    PROFILE_FORMAT,
+    RunProfile,
+    Tracer,
+    aggregate_phases,
+    compare_profiles,
+    load_profile,
+    phase_table,
+    save_profile,
+)
+
+
+def make_profile() -> RunProfile:
+    """Deterministic synthetic profile (fixed fake clock, hand-set counts)."""
+    c = CycleCounters()
+    t = Tracer(c, clock=iter([float(i) for i in range(20)]).__next__)
+    t.enable()
+    with t.span("mcp", arch="ppa", n=4, d=1):
+        with t.span("mcp.init"):
+            c.instructions += 2
+            c.bus_cycles += 1
+        for k in (1, 2):
+            with t.span("mcp.iteration", k=k):
+                with t.span("mcp.broadcast"):
+                    c.instructions += 1
+                    c.broadcasts += 1
+                    c.bus_cycles += 1
+                with t.span("mcp.min"):
+                    c.instructions += 4
+                    c.reductions += 4
+                    c.bus_cycles += 4
+    return RunProfile.from_tracer(t, arch="ppa", n=4, d=1, recorded_at="T")
+
+
+GOLDEN = {
+    "format": "repro-profile-v1",
+    "meta": {"arch": "ppa", "n": 4, "d": 1, "recorded_at": "T"},
+    "counters": {
+        "instructions": 12, "broadcasts": 2, "reductions": 8, "shifts": 0,
+        "alu_ops": 0, "global_ors": 0, "bus_cycles": 11, "bit_cycles": 0,
+    },
+    "spans": [
+        {
+            "name": "mcp",
+            "start": 0.0,
+            "end": 15.0,
+            "counters": {
+                "instructions": 12, "broadcasts": 2, "reductions": 8,
+                "shifts": 0, "alu_ops": 0, "global_ors": 0,
+                "bus_cycles": 11, "bit_cycles": 0,
+            },
+            "attrs": {"arch": "ppa", "n": 4, "d": 1},
+            "children": [
+                {
+                    "name": "mcp.init",
+                    "start": 1.0,
+                    "end": 2.0,
+                    "counters": {
+                        "instructions": 2, "broadcasts": 0, "reductions": 0,
+                        "shifts": 0, "alu_ops": 0, "global_ors": 0,
+                        "bus_cycles": 1, "bit_cycles": 0,
+                    },
+                },
+                {
+                    "name": "mcp.iteration",
+                    "start": 3.0,
+                    "end": 8.0,
+                    "counters": {
+                        "instructions": 5, "broadcasts": 1, "reductions": 4,
+                        "shifts": 0, "alu_ops": 0, "global_ors": 0,
+                        "bus_cycles": 5, "bit_cycles": 0,
+                    },
+                    "attrs": {"k": 1},
+                    "children": [
+                        {
+                            "name": "mcp.broadcast",
+                            "start": 4.0,
+                            "end": 5.0,
+                            "counters": {
+                                "instructions": 1, "broadcasts": 1,
+                                "reductions": 0, "shifts": 0, "alu_ops": 0,
+                                "global_ors": 0, "bus_cycles": 1,
+                                "bit_cycles": 0,
+                            },
+                        },
+                        {
+                            "name": "mcp.min",
+                            "start": 6.0,
+                            "end": 7.0,
+                            "counters": {
+                                "instructions": 4, "broadcasts": 0,
+                                "reductions": 4, "shifts": 0, "alu_ops": 0,
+                                "global_ors": 0, "bus_cycles": 4,
+                                "bit_cycles": 0,
+                            },
+                        },
+                    ],
+                },
+                {
+                    "name": "mcp.iteration",
+                    "start": 9.0,
+                    "end": 14.0,
+                    "counters": {
+                        "instructions": 5, "broadcasts": 1, "reductions": 4,
+                        "shifts": 0, "alu_ops": 0, "global_ors": 0,
+                        "bus_cycles": 5, "bit_cycles": 0,
+                    },
+                    "attrs": {"k": 2},
+                    "children": [
+                        {
+                            "name": "mcp.broadcast",
+                            "start": 10.0,
+                            "end": 11.0,
+                            "counters": {
+                                "instructions": 1, "broadcasts": 1,
+                                "reductions": 0, "shifts": 0, "alu_ops": 0,
+                                "global_ors": 0, "bus_cycles": 1,
+                                "bit_cycles": 0,
+                            },
+                        },
+                        {
+                            "name": "mcp.min",
+                            "start": 12.0,
+                            "end": 13.0,
+                            "counters": {
+                                "instructions": 4, "broadcasts": 0,
+                                "reductions": 4, "shifts": 0, "alu_ops": 0,
+                                "global_ors": 0, "bus_cycles": 4,
+                                "bit_cycles": 0,
+                            },
+                        },
+                    ],
+                },
+            ],
+        }
+    ],
+}
+
+
+class TestGoldenSerialisation:
+    """The native JSON schema is frozen: byte-level drift is an API break."""
+
+    def test_matches_golden(self):
+        payload = make_profile().to_jsonable()
+        # Root span wall-times depend only on the injected clock.
+        assert payload == GOLDEN
+
+    def test_golden_round_trips(self):
+        back = RunProfile.from_jsonable(GOLDEN)
+        assert back.to_jsonable() == GOLDEN
+
+    def test_json_stable_under_dumps(self):
+        a = json.dumps(make_profile().to_jsonable(), sort_keys=True)
+        b = json.dumps(GOLDEN, sort_keys=True)
+        assert a == b
+
+
+class TestRunProfile:
+    def test_totals_are_root_inclusive(self):
+        p = make_profile()
+        assert p.counters["instructions"] == 12
+        assert p.counters["bus_cycles"] == 11
+
+    def test_find_and_walk(self):
+        p = make_profile()
+        assert len(p.find("mcp.iteration")) == 2
+        assert len(list(p.walk())) == 8
+
+    def test_from_jsonable_rejects_other_format(self):
+        with pytest.raises(ReproError, match="not a repro-profile"):
+            RunProfile.from_jsonable({"format": "something-else"})
+
+
+class TestChromeTrace:
+    def test_valid_trace_event_json(self):
+        trace = make_profile().to_chrome_trace()
+        events = trace["traceEvents"]
+        # One metadata event plus one "X" event per span.
+        assert events[0]["ph"] == "M"
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 8
+        for e in xs:
+            assert set(e) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+            assert e["dur"] >= 0
+        # Microsecond conversion: mcp.init ran [1.0 s, 2.0 s].
+        init = next(e for e in xs if e["name"] == "mcp.init")
+        assert init["ts"] == 1_000_000.0 and init["dur"] == 1_000_000.0
+        # Counter deltas ride in args.
+        assert init["args"]["instructions"] == 2
+        json.dumps(trace)  # must be JSON-serialisable as-is
+
+    def test_iteration_attrs_in_args(self):
+        trace = make_profile().to_chrome_trace()
+        its = [e for e in trace["traceEvents"] if e["name"] == "mcp.iteration"]
+        assert [e["args"]["k"] for e in its] == [1, 2]
+
+
+class TestAggregation:
+    def test_exclusive_sums_to_totals(self):
+        p = make_profile()
+        agg = aggregate_phases(p)
+        for key in ("instructions", "bus_cycles", "broadcasts", "reductions"):
+            assert sum(b.get(key, 0) for b in agg.values()) == p.counters[key]
+
+    def test_span_counts(self):
+        agg = aggregate_phases(make_profile())
+        assert agg["mcp.iteration"]["spans"] == 2
+        assert agg["mcp.min"]["spans"] == 2
+
+    def test_phase_table_total_row(self):
+        p = make_profile()
+        table = phase_table(p)
+        total = table.rows[-1]
+        assert total[0] == "(total)"
+        assert total[2] == p.counters["instructions"]
+        assert total[4] == p.counters["bus_cycles"]
+        # Phase rows sum exactly to the total row, column by column.
+        for col in range(1, len(table.headers)):
+            assert sum(r[col] for r in table.rows[:-1]) == total[col]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        p = make_profile()
+        path = tmp_path / "prof.json"
+        save_profile(p, path)
+        back = load_profile(path)
+        assert back.to_jsonable() == p.to_jsonable()
+
+    def test_save_chrome_format(self, tmp_path):
+        path = tmp_path / "prof.chrome.json"
+        save_profile(make_profile(), path, trace_format="chrome")
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+
+    def test_save_unknown_format(self, tmp_path):
+        with pytest.raises(ReproError, match="unknown trace format"):
+            save_profile(make_profile(), tmp_path / "x", trace_format="xml")
+
+    def test_load_missing_file(self):
+        with pytest.raises(ReproError, match="not found"):
+            load_profile("/nonexistent/prof.json")
+
+    def test_load_rejects_chrome_file(self, tmp_path):
+        path = tmp_path / "prof.chrome.json"
+        save_profile(make_profile(), path, trace_format="chrome")
+        with pytest.raises(ReproError, match=PROFILE_FORMAT):
+            load_profile(path)
+
+
+class TestCompare:
+    def test_identical(self):
+        assert compare_profiles(make_profile(), make_profile()) == []
+
+    def test_counter_drift_reported(self):
+        a, b = make_profile(), make_profile()
+        b.find("mcp.init")[0].counters["bus_cycles"] += 1
+        diffs = compare_profiles(a, b)
+        assert any("mcp.init.bus_cycles: 1 -> 2" in d for d in diffs)
+
+    def test_phase_only_in_one(self):
+        a, b = make_profile(), make_profile()
+        b.spans[0].children[0].name = "mcp.setup"
+        diffs = compare_profiles(a, b)
+        assert "mcp.init: only in the old profile" in diffs
+        assert "mcp.setup: only in the new profile" in diffs
+
+    def test_walltime_drift_ignored(self):
+        a, b = make_profile(), make_profile()
+        for s in b.walk():
+            s.start += 5.0
+            s.end += 9.0
+        assert compare_profiles(a, b) == []

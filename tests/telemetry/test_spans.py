@@ -1,0 +1,183 @@
+"""Span tracer mechanics: nesting, attribution, zero-allocation disabled path."""
+
+import pytest
+
+from repro.ppa.counters import CycleCounters
+from repro.telemetry import NULL_SPAN, Span, Tracer
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        t = Tracer()
+        assert t.span("anything") is NULL_SPAN
+        assert t.span("other", k=1) is NULL_SPAN  # same object every call
+
+    def test_disabled_records_nothing(self):
+        t = Tracer()
+        with t.span("mcp"):
+            with t.span("mcp.iteration", k=1):
+                pass
+        assert len(t) == 0
+        assert t.roots == []
+
+    def test_null_span_yields_none(self):
+        t = Tracer()
+        with t.span("x") as span:
+            assert span is None
+
+    def test_add_opcode_noop_when_disabled(self):
+        t = Tracer()
+        t.add_opcode("ADD")
+        assert t.orphan_opcodes == {}
+
+
+class TestRecording:
+    def test_nesting_structure(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+            with t.span("b"):
+                with t.span("c"):
+                    pass
+        assert [r.name for r in t.roots] == ["a"]
+        a = t.roots[0]
+        assert [c.name for c in a.children] == ["b", "b"]
+        assert [c.name for c in a.children[1].children] == ["c"]
+
+    def test_yields_live_span_with_attrs(self):
+        t = Tracer()
+        t.enable()
+        with t.span("mcp.iteration", k=3) as span:
+            assert isinstance(span, Span)
+            assert span.attrs == {"k": 3}
+        assert t.roots[0] is span
+
+    def test_current_tracks_innermost(self):
+        t = Tracer()
+        t.enable()
+        assert t.current is None
+        with t.span("a") as a:
+            assert t.current is a
+            with t.span("b") as b:
+                assert t.current is b
+            assert t.current is a
+        assert t.current is None
+
+    def test_counter_attribution(self):
+        c = CycleCounters()
+        t = Tracer(c)
+        t.enable()
+        with t.span("outer"):
+            c.instructions += 2
+            with t.span("inner"):
+                c.instructions += 5
+            c.instructions += 1
+        outer = t.roots[0]
+        inner = outer.children[0]
+        assert outer.counters["instructions"] == 8
+        assert inner.counters["instructions"] == 5
+        assert outer.self_counters["instructions"] == 3
+
+    def test_tracing_never_perturbs_counters(self):
+        c = CycleCounters()
+        c.bus_cycles = 9
+        t = Tracer(c)
+        t.enable()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        assert c.snapshot() == CycleCounters.from_snapshot(c.snapshot()).snapshot()
+        assert c.bus_cycles == 9
+        assert all(
+            v == 0 for k, v in c.snapshot().items() if k != "bus_cycles"
+        )
+
+    def test_counterless_tracer_records_walltime_only(self):
+        t = Tracer(None, clock=iter([10.0, 12.5]).__next__)
+        t.enable()
+        with t.span("a") as a:
+            pass
+        assert a.counters == {}
+        assert a.start == 0.0 and a.end == 2.5  # epoch-relative
+
+    def test_exception_still_closes_span(self):
+        c = CycleCounters()
+        t = Tracer(c)
+        t.enable()
+        with pytest.raises(RuntimeError):
+            with t.span("a"):
+                c.alu_ops += 1
+                raise RuntimeError
+        assert t.current is None
+        assert t.roots[0].counters["alu_ops"] == 1
+
+    def test_clear_resets_everything(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            t.add_opcode("MOV")
+        t.clear()
+        assert t.roots == [] and t.orphan_opcodes == {}
+
+    def test_capture_restores_prior_state(self):
+        t = Tracer()
+        with t.capture():
+            assert t.enabled
+            with t.span("a"):
+                pass
+        assert not t.enabled
+        assert len(t) == 1
+
+
+class TestOpcodes:
+    def test_opcode_goes_to_innermost_span(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a") as a:
+            with t.span("b") as b:
+                t.add_opcode("ADD")
+                t.add_opcode("ADD")
+            t.add_opcode("MOV")
+        assert b.opcodes == {"ADD": 2}
+        assert a.opcodes == {"MOV": 1}
+
+    def test_orphan_opcodes_outside_spans(self):
+        t = Tracer()
+        t.enable()
+        t.add_opcode("HALT")
+        assert t.orphan_opcodes == {"HALT": 1}
+
+
+class TestInvariants:
+    def test_self_counters_partition(self):
+        c = CycleCounters()
+        t = Tracer(c)
+        t.enable()
+        with t.span("root"):
+            c.instructions += 1
+            for _ in range(3):
+                with t.span("child"):
+                    c.instructions += 4
+        root = t.roots[0]
+        total = root.counters["instructions"]
+        assert total == 13
+        reconstructed = root.self_counters["instructions"] + sum(
+            ch.counters["instructions"] for ch in root.children
+        )
+        assert reconstructed == total
+
+    def test_span_jsonable_round_trip(self):
+        c = CycleCounters()
+        t = Tracer(c, clock=iter([float(i) for i in range(10)]).__next__)
+        t.enable()
+        with t.span("root", d=2):
+            c.broadcasts += 1
+            with t.span("leaf"):
+                t.add_opcode("WOR")
+        back = Span.from_jsonable(t.roots[0].to_jsonable())
+        assert back.name == "root" and back.attrs == {"d": 2}
+        assert back.counters == t.roots[0].counters
+        assert back.children[0].opcodes == {"WOR": 1}
+        assert back.children[0].start == t.roots[0].children[0].start

@@ -59,6 +59,94 @@ class TestMcpCommand:
         assert main(["mcp", "--graph", str(path)]) == 2
 
 
+class TestMcpObservability:
+    def test_profile_flag_writes_native_json(self, tmp_path, capsys):
+        from repro.telemetry import load_profile
+
+        path = tmp_path / "out.json"
+        assert main(["mcp", "--generate", "gnp", "--n", "8", "--seed", "1",
+                     "-d", "2", "--profile", str(path)]) == 0
+        assert f"profile written to {path}" in capsys.readouterr().out
+        profile = load_profile(path)
+        assert profile.meta["command"] == "mcp"
+        assert profile.find("mcp.iteration")
+        # Profile totals equal the run's printed counters.
+        assert profile.counters["bus_cycles"] > 0
+
+    def test_profile_chrome_format(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "out.chrome.json"
+        assert main(["mcp", "--generate", "gnp", "--n", "8",
+                     "--profile", str(path),
+                     "--trace-format", "chrome"]) == 0
+        data = json.loads(path.read_text())
+        assert {e["ph"] for e in data["traceEvents"]} <= {"M", "X"}
+
+    def test_profile_does_not_change_counters(self, tmp_path, capsys):
+        argv = ["mcp", "--generate", "gnp", "--n", "8", "--seed", "3"]
+        assert main(argv) == 0
+        plain = [ln for ln in capsys.readouterr().out.splitlines()
+                 if ln.startswith("counters:")]
+        assert main(argv + ["--profile", str(tmp_path / "p.json")]) == 0
+        traced = [ln for ln in capsys.readouterr().out.splitlines()
+                  if ln.startswith("counters:")]
+        assert plain == traced
+
+    def test_trace_flag_summarises_bus(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "8", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "bus transactions:" in out
+        assert "broadcast" in out and "reduce" in out
+
+    def test_trace_rejected_off_ppa(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "8",
+                     "--arch", "mesh", "--trace"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_works_on_baselines(self, tmp_path, capsys):
+        from repro.telemetry import load_profile
+
+        path = tmp_path / "mesh.json"
+        assert main(["mcp", "--generate", "gnp", "--n", "8",
+                     "--arch", "mesh", "--profile", str(path)]) == 0
+        assert load_profile(path).meta["arch"] == "mesh"
+
+
+class TestProfileCommand:
+    def test_prints_phase_table(self, capsys):
+        assert main(["profile", "--generate", "gnp", "--n", "8",
+                     "--seed", "1", "-d", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase cost breakdown" in out
+        assert "(total)" in out
+        assert "mcp.min" in out
+        assert "iterations:" in out
+
+    def test_out_and_compare_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "prof.json"
+        argv = ["profile", "--generate", "gnp", "--n", "8", "--seed", "1"]
+        assert main(argv + ["--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--compare", str(path)]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_compare_detects_drift(self, tmp_path, capsys):
+        path = tmp_path / "prof.json"
+        assert main(["profile", "--generate", "gnp", "--n", "8",
+                     "--seed", "1", "--out", str(path)]) == 0
+        capsys.readouterr()
+        # A different workload must profile differently.
+        assert main(["profile", "--generate", "complete", "--n", "8",
+                     "--compare", str(path)]) == 1
+        assert "drift against" in capsys.readouterr().out
+
+    def test_other_architecture(self, capsys):
+        assert main(["profile", "--generate", "gnp", "--n", "8",
+                     "--arch", "hypercube"]) == 0
+        assert "hypercube" in capsys.readouterr().out
+
+
 class TestReportCommand:
     def test_quick_single_experiment(self, capsys):
         assert main(["report", "--quick", "F4"]) == 0
@@ -126,6 +214,20 @@ class TestSelftestCommand:
 
     def test_bad_fault_spec(self, capsys):
         assert main(["selftest", "--fault", "1,2,banana"]) == 2
+
+    def test_trace_flag(self, capsys):
+        assert main(["selftest", "--n", "5", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "bus transactions: 6" in out  # the 6-probe diagnostic
+
+    def test_profile_flag(self, tmp_path, capsys):
+        from repro.telemetry import load_profile
+
+        path = tmp_path / "selftest.json"
+        assert main(["selftest", "--n", "5", "--profile", str(path)]) == 0
+        profile = load_profile(path)
+        assert profile.meta["command"] == "selftest"
+        assert [s.attrs["axis"] for s in profile.find("selftest.axis")] == [0, 1]
 
 
 class TestParser:
