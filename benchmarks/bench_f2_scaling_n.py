@@ -1,8 +1,10 @@
 """F2 — per-iteration communication cost vs array size (PPA flat, mesh Θ(n))."""
 
+import numpy as np
+
 from repro.analysis.experiments import run_f2
 from repro.baselines import MeshMachine
-from repro.core import minimum_cost_path
+from repro.core import batched_mcp_on_new_machine, minimum_cost_path
 from repro.metrics import loglog_slope
 from repro.ppa import PPAConfig, PPAMachine
 from repro.workloads import WeightSpec, complete_graph
@@ -29,3 +31,16 @@ def test_f2_ppa_n32(benchmark):
 def test_f2_mesh_n32(benchmark):
     W = _workload(32)
     benchmark(lambda: MeshMachine(32).mcp(W, 16))
+
+
+def test_f2_ppa_n32_batched(benchmark, lanes):
+    """Batched driver: every destination of the n=32 workload as one stack."""
+    W = _workload(32)
+    dests = np.arange(32)[: lanes or 32]
+    res = benchmark(lambda: batched_mcp_on_new_machine(W, dests))
+    serial = minimum_cost_path(PPAMachine(PPAConfig(n=32)), W, 16)
+    lane = res.lane(int(np.flatnonzero(dests == 16)[0])) if 16 in dests \
+        else res.lane(0)
+    if lane.destination == 16:
+        assert np.array_equal(lane.sow, serial.sow)
+        assert lane.counters == serial.counters

@@ -22,3 +22,22 @@ def test_f3_mcp_h32(benchmark):
             PPAMachine(PPAConfig(n=16, word_bits=32)), W, 3
         )
     )
+
+
+def test_f3_mcp_h32_batched(benchmark, lanes):
+    """Batched driver: the h=32 workload, all destinations lane-parallel."""
+    import numpy as np
+
+    from repro.core import batched_mcp_on_new_machine
+
+    inf = (1 << 32) - 1
+    W = gnp_digraph(16, 0.35, seed=1, weights=WeightSpec(1, 7), inf_value=inf)
+    dests = np.arange(16)[: lanes or 16]
+    res = benchmark(
+        lambda: batched_mcp_on_new_machine(W, dests, word_bits=32)
+    )
+    serial = minimum_cost_path(
+        PPAMachine(PPAConfig(n=16, word_bits=32)), W, 3
+    )
+    assert np.array_equal(res.lane(3).sow, serial.sow)
+    assert res.lane(3).counters == serial.counters

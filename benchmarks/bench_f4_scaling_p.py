@@ -20,3 +20,24 @@ def test_f4_deep_dag(benchmark):
     W, d = layered_graph(16, 2, seed=0, weights=WeightSpec(1, 5), inf_value=INF16)
     n = W.shape[0]
     benchmark(lambda: minimum_cost_path(PPAMachine(PPAConfig(n=n)), W, d))
+
+
+def test_f4_deep_dag_batched(benchmark, lanes):
+    """Batched driver: the deep DAG, all destinations lane-parallel.
+
+    Per-lane convergence masking is exercised hard here — destinations in
+    shallow layers converge in 1-2 iterations while the deepest needs p.
+    """
+    import numpy as np
+
+    from repro.core import batched_mcp_on_new_machine
+
+    W, d = layered_graph(16, 2, seed=0, weights=WeightSpec(1, 5), inf_value=INF16)
+    n = W.shape[0]
+    dests = np.arange(n)[: lanes or n]
+    res = benchmark(lambda: batched_mcp_on_new_machine(W, dests))
+    serial = minimum_cost_path(PPAMachine(PPAConfig(n=n)), W, d)
+    if d < dests.size:
+        assert res.lane(d).iterations == serial.iterations
+        assert np.array_equal(res.lane(d).sow, serial.sow)
+        assert res.lane(d).counters == serial.counters

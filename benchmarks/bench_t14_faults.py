@@ -22,3 +22,34 @@ def test_t14_selftest_n16(benchmark):
     )
     report = benchmark(lambda: diagnose_switches(machine))
     assert len(report.faults) == 2
+
+
+def test_t14_faulty_mcp_batched(benchmark, lanes):
+    """Batched driver on a faulty machine: a fault hits the same physical
+    switch in every lane, so batched per-lane results still equal the
+    serial runs on the same faulted machine — fault campaigns can sweep
+    all destinations in one pass."""
+    import numpy as np
+
+    from repro.core import batched_minimum_cost_path, minimum_cost_path
+    from repro.workloads import WeightSpec, gnp_digraph
+
+    inf = (1 << 16) - 1
+    n = 8
+    W = gnp_digraph(n, 0.4, seed=3, weights=WeightSpec(1, 9), inf_value=inf)
+    plan = FaultPlan().add(2, 5, FaultKind.STUCK_SHORT, axis=1)
+    dests = np.arange(n)[: lanes or n]
+
+    def run():
+        machine = PPAMachine(PPAConfig(n=n))
+        machine.inject_faults(plan)
+        return batched_minimum_cost_path(machine, W, dests)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    for d in dests:
+        serial_machine = PPAMachine(PPAConfig(n=n))
+        serial_machine.inject_faults(plan)
+        serial = minimum_cost_path(serial_machine, W, int(d))
+        assert np.array_equal(res.lane(int(d)).sow, serial.sow)
+        assert np.array_equal(res.lane(int(d)).ptn, serial.ptn)
+        assert res.lane(int(d)).counters == serial.counters

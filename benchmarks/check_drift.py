@@ -1,0 +1,147 @@
+"""Deterministic counter drift guard over the committed BENCH_*.json files.
+
+The simulator's cost model is deterministic: re-running the exact workload
+behind each committed benchmark artefact must reproduce every bus-cycle /
+ALU / transaction counter bit-for-bit. This script regenerates each
+artefact in-process and fails (exit 1) on any counter difference —
+**wall-clock fields are explicitly excluded** (they are host-dependent and
+never guarded).
+
+Run it from the repository root:
+
+    PYTHONPATH=src python benchmarks/check_drift.py
+
+CI runs it as the ``perf-regression-guard`` job (see
+``.github/workflows/ci.yml``); docs/performance.md explains how to
+regenerate the artefacts intentionally after a cost-model change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+PROFILE_DIR = Path(__file__).parent / "profiles"
+
+INF16 = (1 << 16) - 1
+
+
+def _mcp_profile(n: int, d: int, seed: int, arch: str):
+    """Regenerate one of the T1/T5 MCP span profiles in-process."""
+    from repro.baselines import GCNMachine, HypercubeMachine, MeshMachine
+    from repro.core import minimum_cost_path
+    from repro.ppa import PPAConfig, PPAMachine
+    from repro.telemetry import RunProfile
+    from repro.workloads import WeightSpec, gnp_digraph
+
+    W = gnp_digraph(n, 0.3, seed=seed, weights=WeightSpec(1, 9),
+                    inf_value=INF16)
+    if arch == "ppa":
+        machine = PPAMachine(PPAConfig(n=n))
+        run = lambda: minimum_cost_path(machine, W, d)  # noqa: E731
+    else:
+        machine = {"gcn": GCNMachine, "hypercube": HypercubeMachine,
+                   "mesh": MeshMachine}[arch](n)
+        run = lambda: machine.mcp(W, d)  # noqa: E731
+    with machine.telemetry.capture():
+        run()
+    return RunProfile.from_tracer(machine.telemetry)
+
+
+def _regen_t1_mcp():
+    return _mcp_profile(16, 3, 1, "ppa")
+
+
+def _regen_t5(arch: str):
+    return lambda: _mcp_profile(16, 1, 4, arch)
+
+
+def _check_profile(path: Path, regen) -> list[str]:
+    """Per-phase + total counter comparison (compare_profiles semantics)."""
+    from repro.telemetry import compare_profiles, load_profile
+
+    return compare_profiles(load_profile(path), regen())
+
+
+def _check_p2(path: Path, regen_unused=None) -> list[str]:
+    """Exact counter comparison for the P2 batching artefact.
+
+    Only the batched pass is re-run (fast); its lane-summed
+    serial-equivalent counters stand in for the serial sweep by
+    construction — the equivalence itself is asserted by
+    ``bench_p2_batching.py``.
+    """
+    from repro.core import all_pairs_minimum_cost
+    from repro.ppa import PPAConfig, PPAMachine
+    from repro.workloads import WeightSpec, gnp_digraph
+
+    committed = json.loads(path.read_text())
+    wl = committed["workload"]
+    W = gnp_digraph(wl["n"], wl["density"], seed=wl["seed"],
+                    weights=WeightSpec(1, 9),
+                    inf_value=(1 << wl["word_bits"]) - 1)
+    machine = PPAMachine(PPAConfig(n=wl["n"], word_bits=wl["word_bits"]))
+    res = all_pairs_minimum_cost(machine, W)
+
+    diffs: list[str] = []
+    if committed["iterations"] != [int(i) for i in res.iterations]:
+        diffs.append("iterations: per-destination counts drifted")
+    for field, fresh in (
+        ("counters_serial_equivalent", res.counters),
+        ("machine_counters_batched", res.machine_counters),
+    ):
+        old = committed[field]
+        for k in sorted(set(old) | set(fresh)):
+            va, vb = old.get(k, 0), int(fresh.get(k, 0))
+            if va != vb:
+                diffs.append(f"{field}.{k}: {va} -> {vb}")
+    return diffs
+
+
+# Committed artefact -> regenerating callable returning drift lines.
+CHECKS = {
+    "BENCH_t1_mcp.json": lambda p: _check_profile(p, _regen_t1_mcp),
+    "BENCH_t5_ppa.json": lambda p: _check_profile(p, _regen_t5("ppa")),
+    "BENCH_t5_gcn.json": lambda p: _check_profile(p, _regen_t5("gcn")),
+    "BENCH_t5_hypercube.json": lambda p: _check_profile(
+        p, _regen_t5("hypercube")),
+    "BENCH_t5_mesh.json": lambda p: _check_profile(p, _regen_t5("mesh")),
+    "BENCH_p2_batching.json": _check_p2,
+}
+
+
+def main() -> int:
+    failed = False
+    missing_checks = sorted(
+        f.name for f in PROFILE_DIR.glob("BENCH_*.json")
+        if f.name not in CHECKS
+    )
+    if missing_checks:
+        print(f"error: committed artefacts without a drift check: "
+              f"{missing_checks}", file=sys.stderr)
+        failed = True
+    for name, check in CHECKS.items():
+        path = PROFILE_DIR / name
+        if not path.exists():
+            print(f"  SKIP {name} (not committed)")
+            continue
+        diffs = check(path)
+        if diffs:
+            failed = True
+            print(f"  FAIL {name}:")
+            for line in diffs:
+                print(f"       {line}")
+        else:
+            print(f"  OK   {name}")
+    if failed:
+        print("\ncounter drift detected — if intentional, regenerate the "
+              "artefacts with `pytest benchmarks/` and commit them "
+              "(see docs/performance.md)", file=sys.stderr)
+        return 1
+    print("no counter drift")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

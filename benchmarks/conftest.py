@@ -22,6 +22,24 @@ _printed: set[str] = set()
 _PROFILE_DIR = Path(__file__).parent / "profiles"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--lanes",
+        action="store",
+        type=int,
+        default=None,
+        metavar="B",
+        help="lane batch size for the batched benchmark drivers "
+        "(default: pack all same-size cases / destinations into one stack)",
+    )
+
+
+@pytest.fixture
+def lanes(request):
+    """The ``--lanes`` knob: destinations/cases per batched kernel pass."""
+    return request.config.getoption("--lanes")
+
+
 @pytest.fixture
 def report(capsys):
     """Print a Table/Series once per session, outside capture."""

@@ -4,6 +4,8 @@
 
 * ``mcp``      — run minimum cost path on a generated or file-loaded graph,
   on any of the four simulated architectures;
+* ``apsp``     — all-pairs minimum cost paths; batched (lane-parallel) by
+  default with a ``--lanes`` knob, ``--serial`` for the literal sweep;
 * ``report``   — regenerate the evaluation artefacts (see EXPERIMENTS.md);
 * ``ppc``      — run (or pretty-print) a Polymorphic Parallel C source file;
 * ``selftest`` — run the bus diagnostic, optionally with injected faults;
@@ -90,6 +92,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full path for every reachable vertex",
     )
     _add_observability_flags(mcp)
+
+    apsp = sub.add_parser(
+        "apsp",
+        help="all-pairs minimum cost paths (batched lanes by default)",
+    )
+    src = apsp.add_mutually_exclusive_group(required=True)
+    src.add_argument("--graph", type=Path, help=".npy/.npz/.txt weight matrix")
+    src.add_argument("--generate", choices=sorted(_FAMILIES), help="workload family")
+    apsp.add_argument("--n", type=int, default=16, help="vertex count (generated)")
+    apsp.add_argument("--seed", type=int, default=0)
+    apsp.add_argument("--density", type=float, default=0.3, help="gnp density")
+    apsp.add_argument("--word-bits", type=int, default=16)
+    apsp.add_argument(
+        "--word-parallel",
+        action="store_true",
+        help="A7 variant: word-wide bus minimum",
+    )
+    apsp.add_argument(
+        "--lanes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="destinations per batched pass (default: all n)",
+    )
+    apsp.add_argument(
+        "--serial",
+        action="store_true",
+        help="force the literal one-destination-per-pass host loop",
+    )
+    apsp.add_argument(
+        "--matrix",
+        action="store_true",
+        help="print the full distance matrix (default: summary only)",
+    )
+    _add_observability_flags(apsp)
 
     prof = sub.add_parser(
         "profile",
@@ -298,6 +335,59 @@ def _cmd_mcp(args) -> int:
     return 0
 
 
+def _cmd_apsp(args) -> int:
+    from repro.core import all_pairs_minimum_cost
+
+    inf = (1 << args.word_bits) - 1
+    if args.graph is not None:
+        W = _load_graph(args.graph, inf)
+    else:
+        W = _FAMILIES[args.generate](args.n, args.seed, args.density, inf)
+    n = W.shape[0]
+
+    machine = PPAMachine(PPAConfig(n=n, word_bits=args.word_bits))
+    if args.profile is not None:
+        machine.telemetry.enable()
+    if args.trace:
+        machine.trace.enabled = True
+    res = all_pairs_minimum_cost(
+        machine,
+        W,
+        word_parallel=args.word_parallel,
+        serial=args.serial,
+        lanes=args.lanes,
+    )
+
+    mode = "serial sweep" if args.serial else (
+        f"batched lanes={args.lanes or n}"
+    )
+    print(f"all-pairs minimum cost on ppa ({n}x{n}, h={args.word_bits}, "
+          f"{mode})")
+    reachable = res.dist < res.maxint
+    off_diag = int(reachable.sum()) - n
+    print(f"reachable ordered pairs: {off_diag}/{n * (n - 1)}")
+    print(f"iterations per destination: min {int(res.iterations.min())}, "
+          f"max {int(res.iterations.max())}")
+    if args.matrix:
+        shown = np.where(reachable, res.dist, -1)
+        print("distance matrix (-1 = unreachable):")
+        print(shown)
+    print("counters (serial-equivalent): "
+          + ", ".join(f"{k}={v}" for k, v in res.counters.items()))
+    if res.machine_counters != res.counters:
+        print("counters (batched machine):  "
+              + ", ".join(f"{k}={v}" for k, v in res.machine_counters.items()))
+    if args.trace:
+        _print_trace_summary(machine)
+    if args.profile is not None:
+        _export_profile(
+            machine, args.profile, args.trace_format,
+            command="apsp", arch="ppa", n=n, word_bits=args.word_bits,
+            serial=bool(args.serial), lanes=args.lanes,
+        )
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.telemetry import (
         RunProfile,
@@ -451,6 +541,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handler = {
         "mcp": _cmd_mcp,
+        "apsp": _cmd_apsp,
         "profile": _cmd_profile,
         "report": _cmd_report,
         "ppc": _cmd_ppc,

@@ -6,8 +6,12 @@ Public surface:
   paper's Section 3 (bit-serial ``min``/``selected_min``), O(p*h) bus cycles.
 * :func:`~repro.core.variants.minimum_cost_path_word` — A7 ablation with a
   word-parallel bus minimum, O(p) transactions.
-* :func:`~repro.core.variants.minimum_cost_path_multi` — batched multiple
-  destinations.
+* :func:`~repro.core.variants.minimum_cost_path_multi` — serial loop over
+  multiple destinations (per-destination result dict).
+* :func:`~repro.core.batched.batched_minimum_cost_path` — the lane axis:
+  ``B`` destinations (and optionally ``B`` weight matrices) advanced by
+  one SIMD kernel with per-lane convergence masking; results and per-lane
+  counters bit-identical to serial runs.
 * :mod:`~repro.core.path` — PTN successor-chain reconstruction/validation.
 * :mod:`~repro.core.graph` — weight-matrix normalisation and validation.
 * :mod:`~repro.core.apsp`, :mod:`~repro.core.closure` — extensions (all
@@ -24,7 +28,12 @@ from repro.core.variants import (
     minimum_cost_path_word,
 )
 from repro.core.asm_mcp import mcp_assembly, minimum_cost_path_asm
-from repro.core.apsp import all_pairs_minimum_cost
+from repro.core.apsp import APSPResult, all_pairs_minimum_cost
+from repro.core.batched import (
+    BatchedMCPResult,
+    batched_mcp_on_new_machine,
+    batched_minimum_cost_path,
+)
 from repro.core.closure import transitive_closure, reachable_set
 from repro.core.mst import boruvka_mst, MSTResult
 
@@ -40,6 +49,10 @@ __all__ = [
     "mcp_assembly",
     "extract_path",
     "validate_tree",
+    "BatchedMCPResult",
+    "batched_minimum_cost_path",
+    "batched_mcp_on_new_machine",
+    "APSPResult",
     "all_pairs_minimum_cost",
     "transitive_closure",
     "reachable_set",

@@ -49,25 +49,31 @@ def _max_cluster_span(open_plane: np.ndarray, axis: int) -> int:
     Each ring (a row when ``axis == 1``, a column when ``axis == 0``) is a
     *circular* bus: with the opens at positions ``idx`` the clusters are the
     circular gaps between consecutive opens, so the longest cluster is the
-    largest circular gap — ``max(diff(idx), wrap)`` where ``wrap`` closes
-    the ring from the last open back to the first. Rings with zero or one
-    open form a single cluster spanning the whole ring.
+    largest circular gap. Rings with zero or one open form a single cluster
+    spanning the whole ring.
+
+    Fully vectorised (no per-ring Python loop): for every *open* position
+    ``c`` the cluster ending there spans ``((c - prev - 1) mod L) + 1``
+    switches, where ``prev`` is the nearest open strictly upstream
+    (cyclic) — obtained from a cumulative-maximum "head index" grid rolled
+    by one. The ``+1``-after-``mod`` form maps the single-open case
+    (``prev == c``) to a whole-ring span of ``L``. Accepts batched
+    ``(B, n, n)`` plane stacks; rings of all lanes are flattened together.
     """
-    rings = open_plane if axis == 1 else open_plane.T
-    ring_len = rings.shape[1]
-    best = 0
-    for ring in rings:
-        idx = np.flatnonzero(ring)
-        if idx.size <= 1:
-            span = ring_len
-        else:
-            wrap = ring_len - int(idx[-1]) + int(idx[0])
-            span = max(int(np.diff(idx).max()), wrap)
-        if span > best:
-            best = span
-            if best == ring_len:
-                break  # cannot get longer
-    return best
+    rings = open_plane if axis == 1 else open_plane.swapaxes(-1, -2)
+    ring_len = rings.shape[-1]
+    rings = np.ascontiguousarray(rings).reshape(-1, ring_len)
+    counts = rings.sum(axis=1)
+    if not counts.all():
+        return ring_len  # some ring has no Open: it floats whole
+    cols = np.arange(ring_len, dtype=np.int64)
+    idx = np.where(rings, cols, -1)
+    head = np.maximum.accumulate(idx, axis=1)
+    head = np.where(head < 0, head[:, -1:], head)  # cyclic wrap-around
+    prev = np.roll(head, 1, axis=1)
+    gap = (cols[None, :] - prev - 1) % ring_len + 1
+    spans = np.where(rings, gap, 0).max(axis=1)
+    return int(spans.max())
 
 
 @dataclass(frozen=True)

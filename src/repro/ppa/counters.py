@@ -22,6 +22,23 @@ hid typos and version skew between recorded snapshots), and
 :mod:`repro.telemetry` span tracer is built on: it reads counters at entry
 and exit and exposes the delta, without ever *writing* a counter — which is
 what guarantees telemetry adds zero counter overhead.
+
+Two kinds of accounting live here:
+
+* **machine-cost counters** — the priced cost model above. These make up
+  the snapshot vocabulary (:meth:`CycleCounters.field_names`) and every
+  recorded golden value.
+* **host-side metrics** — measurements of the *simulator* itself, not the
+  simulated machine: :class:`PlanCacheStats` tracks the bus-plan LRU of
+  :mod:`repro.ppa.segments`. They are deliberately **excluded** from
+  ``snapshot``/``diff``/``merge`` so that golden counter values, profile
+  drift checks and the batched/serial counter-parity guarantees stay
+  independent of host cache state.
+
+:class:`LaneCounters` adds the batch dimension: a batched machine
+(``PPAMachine(..., batch=B)``) carries one *counter plane* per lane, so a
+lane that converges early stops accruing and its delta prices exactly what
+a serial run of that lane would have cost (see ``core/batched.py``).
 """
 
 from __future__ import annotations
@@ -30,7 +47,61 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from typing import Iterator, Mapping
 
-__all__ = ["CycleCounters", "CounterCheckpoint"]
+import numpy as np
+
+__all__ = [
+    "CycleCounters",
+    "CounterCheckpoint",
+    "LaneCounters",
+    "PlanCacheStats",
+]
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss tallies of the bus-plan LRU (host-side metric).
+
+    One hit or miss is recorded per *public* bus resolution
+    (:func:`repro.ppa.segments.broadcast_values` /
+    :func:`~repro.ppa.segments.segmented_reduce`): a hit means the resolved
+    gather/``reduceat`` plan for the call's switch plane (or plane *stack*,
+    in batched mode) was served from cache. Per-lane plan lookups made
+    while assembling a batched stack plan are not double-counted.
+
+    Not part of the :class:`CycleCounters` snapshot vocabulary — cache
+    behaviour depends on process history, so it must never leak into golden
+    counter values or profile drift comparisons.
+    """
+
+    broadcast_hits: int = 0
+    broadcast_misses: int = 0
+    reduce_hits: int = 0
+    reduce_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.broadcast_hits + self.reduce_hits
+
+    @property
+    def misses(self) -> int:
+        return self.broadcast_misses + self.reduce_misses
+
+    def snapshot(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def diff(self, before: Mapping[str, int]) -> dict[str, int]:
+        """Stats accumulated since *before* (a prior :meth:`snapshot`)."""
+        return {k: v - int(before.get(k, 0)) for k, v in self.snapshot().items()}
+
+    def merge(self, other: "PlanCacheStats | Mapping[str, int]") -> None:
+        if isinstance(other, PlanCacheStats):
+            other = other.snapshot()
+        for k, v in other.items():
+            setattr(self, k, getattr(self, k) + int(v))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
 
 @dataclass
@@ -63,18 +134,35 @@ class CycleCounters:
     the metric that compares bit-serial machines (PPA, GCN) with
     word-stepped ones (hypercube) on equal footing; see experiment T5."""
 
+    plan_cache: PlanCacheStats = field(
+        default_factory=PlanCacheStats,
+        repr=False,
+        compare=False,
+        metadata={"host": True},
+    )
+    """Host-side bus-plan cache hit/miss tallies for this machine. Excluded
+    from the snapshot vocabulary (see module docstring); read it directly
+    (``machine.counters.plan_cache.hits``) or via its own ``snapshot()``."""
+
     @classmethod
     def field_names(cls) -> tuple[str, ...]:
-        """The counter vocabulary, in declaration order."""
-        return tuple(f.name for f in fields(cls))
+        """The machine-cost counter vocabulary, in declaration order.
+
+        Host-side metric fields (``metadata={"host": True}``) are excluded:
+        they are not part of the priced cost model.
+        """
+        return tuple(
+            f.name for f in fields(cls) if not f.metadata.get("host")
+        )
 
     def snapshot(self) -> dict[str, int]:
-        """Plain-dict copy of the current counts (always every field)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Plain-dict copy of the current counts (always every cost field)."""
+        return {name: getattr(self, name) for name in self.field_names()}
 
     def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        for name in self.field_names():
+            setattr(self, name, 0)
+        self.plan_cache.reset()
 
     def _require_full(self, mapping: Mapping[str, int], what: str) -> None:
         names = set(self.field_names())
@@ -104,8 +192,11 @@ class CycleCounters:
         """Add *other*'s counts into this bundle (for aggregating runs).
 
         Accepts another :class:`CycleCounters` or a complete snapshot dict.
+        When *other* is a :class:`CycleCounters`, its host-side
+        :attr:`plan_cache` stats are merged too.
         """
         if isinstance(other, CycleCounters):
+            self.plan_cache.merge(other.plan_cache)
             other = other.snapshot()
         self._require_full(other, "merge() argument")
         for k, v in other.items():
@@ -142,3 +233,126 @@ class CycleCounters:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
         return f"CycleCounters({parts})"
+
+
+class LaneCounters:
+    """Per-lane counter planes for a batched machine.
+
+    A batched :class:`~repro.ppa.machine.PPAMachine` executes one SIMD
+    instruction across ``B`` independent problem lanes; its scalar
+    :class:`CycleCounters` bundle counts that instruction **once** (it is
+    one controller issue on the batched machine), while this structure
+    prices it **per lane** — each active lane is charged what a serial run
+    of that lane would have been charged. Lanes masked inactive (converged)
+    accrue nothing, which is what makes a batched run's per-lane deltas
+    bit-identical to the corresponding serial runs.
+
+    Vocabulary and exactness rules mirror :class:`CycleCounters`:
+    ``snapshot``/``diff``/``merge`` are round-trip safe over the same
+    field set, with one int64 vector of length ``lanes`` per field.
+    """
+
+    __slots__ = ("lanes", "_data")
+
+    def __init__(self, lanes: int):
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = int(lanes)
+        self._data: dict[str, np.ndarray] = {
+            name: np.zeros(self.lanes, dtype=np.int64)
+            for name in CycleCounters.field_names()
+        }
+
+    # -- accumulation ----------------------------------------------------
+
+    def add(
+        self,
+        increments: Mapping[str, int],
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Charge *increments* to every lane (or only to masked lanes).
+
+        *mask* is a boolean vector of length :attr:`lanes`; ``None`` means
+        all lanes. Unknown counter names raise :class:`ValueError` (same
+        typo protection as :meth:`CycleCounters.diff`).
+        """
+        for name, value in increments.items():
+            try:
+                plane = self._data[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown counter {name!r}; vocabulary is "
+                    f"{CycleCounters.field_names()}"
+                ) from None
+            if mask is None:
+                plane += value
+            else:
+                plane[mask] += value
+
+    # -- snapshots -------------------------------------------------------
+
+    def _require_full(self, mapping: Mapping, what: str) -> None:
+        names = set(self._data)
+        unknown = set(mapping) - names
+        missing = names - set(mapping)
+        if unknown or missing:
+            parts = []
+            if unknown:
+                parts.append(f"unknown keys {sorted(unknown)}")
+            if missing:
+                parts.append(f"missing keys {sorted(missing)}")
+            raise ValueError(
+                f"{what} is not a complete lane-counter snapshot: "
+                + "; ".join(parts)
+            )
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copies of every per-lane counter plane."""
+        return {k: v.copy() for k, v in self._data.items()}
+
+    def diff(self, before: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Per-lane counts accumulated since *before* (a full snapshot)."""
+        self._require_full(before, "diff() argument")
+        return {k: v - np.asarray(before[k]) for k, v in self._data.items()}
+
+    def merge(self, other: "LaneCounters | Mapping[str, np.ndarray]") -> None:
+        """Add *other*'s per-lane counts into this bundle, lane for lane."""
+        if isinstance(other, LaneCounters):
+            if other.lanes != self.lanes:
+                raise ValueError(
+                    f"cannot merge {other.lanes} lanes into {self.lanes}"
+                )
+            other = other._data
+        self._require_full(other, "merge() argument")
+        for k, v in other.items():
+            self._data[k] += np.asarray(v, dtype=np.int64)
+
+    def reset(self) -> None:
+        for plane in self._data.values():
+            plane[...] = 0
+
+    # -- views -----------------------------------------------------------
+
+    def lane(self, index: int) -> dict[str, int]:
+        """One lane's counts as a plain :class:`CycleCounters`-style dict."""
+        return {k: int(v[index]) for k, v in self._data.items()}
+
+    def total(self) -> dict[str, int]:
+        """Counts summed over all lanes (= the serial-equivalent total)."""
+        return {k: int(v.sum()) for k, v in self._data.items()}
+
+    @staticmethod
+    def lane_of(delta: Mapping[str, np.ndarray], index: int) -> dict[str, int]:
+        """Extract one lane from a :meth:`diff`-style per-lane delta dict."""
+        return {k: int(np.asarray(v)[index]) for k, v in delta.items()}
+
+    @staticmethod
+    def total_of(delta: Mapping[str, np.ndarray]) -> dict[str, int]:
+        """Sum a :meth:`diff`-style per-lane delta dict over lanes."""
+        return {k: int(np.asarray(v).sum()) for k, v in delta.items()}
+
+    def __len__(self) -> int:
+        return self.lanes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LaneCounters(lanes={self.lanes})"

@@ -95,12 +95,17 @@ class FaultPlan:
         return len(self.faults)
 
     def apply(self, open_plane: np.ndarray, axis: int) -> np.ndarray:
-        """Effective switch plane after the stuck-at faults, for one axis."""
+        """Effective switch plane after the stuck-at faults, for one axis.
+
+        Works on a single ``(n, n)`` plane or a batched ``(B, n, n)`` lane
+        stack — a hardware fault afflicts the same physical switch-box in
+        every lane, so the fault is applied across the leading axis.
+        """
         if not self.faults:
             return open_plane
         out = open_plane.copy()
         for f in self.faults:
             if not f.affects_axis(axis):
                 continue
-            out[f.row, f.col] = f.kind is FaultKind.STUCK_OPEN
+            out[..., f.row, f.col] = f.kind is FaultKind.STUCK_OPEN
         return out

@@ -15,6 +15,24 @@ settings come from the instruction's ``L`` operand, not from the activity
 mask, so an inactive PE still drives the bus if ``L`` marks it Open. The
 mask only gates *stores* (:meth:`store`), exactly as ``where`` gates
 assignment in Polymorphic Parallel C.
+
+Batched (lane) execution
+------------------------
+``PPAMachine(config, batch=B)`` models ``B`` *independent* copies of the
+same physical array running the same instruction stream — the SIMD lever
+for multi-destination MCP, APSP and parameter sweeps. Parallel variables
+become ``(B, n, n)`` stacks, switch planes may be shared ``(n, n)`` or
+per-lane ``(B, n, n)``, and every bus primitive resolves all lanes in one
+vectorised pass (see :mod:`repro.ppa.segments`).
+
+Counters keep **two books**. The scalar :class:`CycleCounters` price the
+*batched* instruction stream: one broadcast instruction is one broadcast,
+however many lanes it serves (that is the point of batching). The
+:class:`LaneCounters` plane prices each lane as if it ran *serially*:
+every charge is replicated into each lane's ledger, but only for lanes in
+the current *lane mask* (:meth:`set_active_lanes`) — a converged lane
+stops accruing cost, which is what makes per-lane totals bit-identical to
+independent serial runs.
 """
 
 from __future__ import annotations
@@ -23,10 +41,10 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro.errors import MaskError, WordWidthError
+from repro.errors import ConfigurationError, MaskError, WordWidthError
 from repro.ppa.bus import BusTrace
 from repro.ppa.faults import FaultPlan
-from repro.ppa.counters import CycleCounters
+from repro.ppa.counters import CycleCounters, LaneCounters
 from repro.ppa.directions import Direction
 from repro.ppa.memory import ParallelMemory
 from repro.ppa.segments import (
@@ -45,12 +63,26 @@ __all__ = ["PPAMachine"]
 class PPAMachine:
     """Simulator of one ``n x n`` Polymorphic Processor Array."""
 
-    def __init__(self, config: PPAConfig | int, *, trace: bool = False):
+    def __init__(
+        self,
+        config: PPAConfig | int,
+        *,
+        trace: bool = False,
+        batch: int | None = None,
+    ):
         if isinstance(config, int):
             config = PPAConfig(n=config)
+        if batch is not None and batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
         self.config = config
+        self.batch = batch
         self.counters = CycleCounters()
-        self.memory = ParallelMemory(config.shape)
+        #: per-lane serial-equivalent cost ledger (batched machines only)
+        self.lane_counters: LaneCounters | None = (
+            LaneCounters(batch) if batch is not None else None
+        )
+        self._lane_mask: np.ndarray | None = None
+        self.memory = ParallelMemory(self.parallel_shape)
         self.trace = BusTrace()
         self.trace.enabled = trace
         #: span tracer (see :mod:`repro.telemetry`); disabled by default —
@@ -80,6 +112,14 @@ class PPAMachine:
         return self.config.shape
 
     @property
+    def parallel_shape(self) -> tuple[int, ...]:
+        """Shape of a parallel variable: ``(n, n)``, or ``(B, n, n)`` when
+        the machine carries a batch (lane) axis."""
+        if self.batch is None:
+            return self.config.shape
+        return (self.batch, *self.config.shape)
+
+    @property
     def word_bits(self) -> int:
         """Machine word width ``h``."""
         return self.config.word_bits
@@ -105,15 +145,20 @@ class PPAMachine:
 
     @property
     def active_mask(self) -> np.ndarray:
-        """Boolean grid of currently active PEs (all-True outside ``where``)."""
+        """Boolean grid of currently active PEs (all-True outside ``where``).
+
+        On a batched machine the innermost ``where`` condition may be a
+        shared ``(n, n)`` plane or a per-lane ``(B, n, n)`` stack; the
+        returned copy has whichever shape is on top of the stack.
+        """
         if not self._mask_stack:
-            return np.ones(self.shape, dtype=bool)
+            return np.ones(self.parallel_shape, dtype=bool)
         return self._mask_stack[-1].copy()
 
     @contextmanager
     def where(self, condition):
         """Restrict stores to PEs satisfying *condition* (nests by AND)."""
-        cond = as_switch_plane(condition, self.shape)
+        cond = as_switch_plane(condition, self.shape, lanes=self.batch)
         if self._mask_stack:
             cond = cond & self._mask_stack[-1]
         self._mask_stack.append(cond)
@@ -126,16 +171,20 @@ class PPAMachine:
     def elsewhere(self, condition):
         """Complement of :meth:`where`: restrict to PEs *failing* condition
         (still intersected with the enclosing mask)."""
-        with self.where(~as_switch_plane(condition, self.shape)):
+        with self.where(
+            ~as_switch_plane(condition, self.shape, lanes=self.batch)
+        ):
             yield self
 
     def store(self, dest: np.ndarray, value) -> np.ndarray:
         """Masked in-place store ``dest <- value`` on active PEs.
 
         Returns *dest* for chaining. Outside any ``where`` the store is a
-        plain full-grid assignment.
+        plain full-grid assignment. Batched machines store per-lane stacks
+        the same way; the ``where`` mask broadcasts across lanes when it is
+        a shared plane.
         """
-        value = np.broadcast_to(np.asarray(value, dtype=dest.dtype), self.shape)
+        value = np.broadcast_to(np.asarray(value, dtype=dest.dtype), dest.shape)
         if self._mask_stack:
             np.copyto(dest, value, where=self._mask_stack[-1])
         else:
@@ -144,8 +193,71 @@ class PPAMachine:
         return dest
 
     def new_parallel(self, init=0, dtype=np.int64) -> np.ndarray:
-        """Allocate an anonymous parallel value (full-grid array)."""
-        return np.full(self.shape, init, dtype=dtype)
+        """Allocate an anonymous parallel value (full-grid array, one layer
+        per lane on a batched machine)."""
+        return np.full(self.parallel_shape, init, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Lane management (batched machines)
+    # ------------------------------------------------------------------
+
+    def _require_batched(self, what: str) -> int:
+        if self.batch is None:
+            raise MaskError(f"{what} requires a batched machine (batch=B)")
+        return self.batch
+
+    def set_active_lanes(self, mask) -> None:
+        """Select which lanes accrue :attr:`lane_counters` charges.
+
+        ``None`` re-activates every lane. The mask only gates the per-lane
+        *cost ledger* — the SIMD datapath always computes all lanes; callers
+        freeze converged lanes' state themselves (convergence masking).
+        """
+        batch = self._require_batched("set_active_lanes")
+        if mask is None:
+            self._lane_mask = None
+            return
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != (batch,):
+            raise MaskError(
+                f"lane mask shape {m.shape} does not match batch ({batch},)"
+            )
+        self._lane_mask = m.copy()
+
+    @property
+    def active_lanes(self) -> np.ndarray:
+        """Boolean ``(B,)`` vector of lanes currently accruing cost."""
+        batch = self._require_batched("active_lanes")
+        if self._lane_mask is None:
+            return np.ones(batch, dtype=bool)
+        return self._lane_mask.copy()
+
+    def lanes(self, batch: int) -> "PPAMachine":
+        """A batched *view* of this (unbatched) machine.
+
+        The view is a fresh ``PPAMachine`` with a lane axis that **shares**
+        this machine's scalar counters, telemetry tracer, bus trace and
+        fault plan — so a batched kernel run through the view is attributed
+        to the caller's profile exactly like a serial run would be. Memory
+        and lane counters are the view's own.
+        """
+        if self.batch is not None:
+            raise MaskError("lanes() requires an unbatched machine")
+        view = PPAMachine(self.config, batch=batch)
+        view.counters = self.counters
+        view.telemetry = self.telemetry
+        view.trace = self.trace
+        view._faults = self._faults
+        return view
+
+    def _charge(self, **inc: int) -> None:
+        """Add *inc* to the scalar counters and, on a batched machine, to
+        every lane's ledger currently selected by the lane mask."""
+        c = self.counters
+        for name, value in inc.items():
+            setattr(c, name, getattr(c, name) + value)
+        if self.lane_counters is not None:
+            self.lane_counters.add(inc, self._lane_mask)
 
     # ------------------------------------------------------------------
     # Bus primitives
@@ -158,20 +270,24 @@ class PPAMachine:
 
         ``L`` follows the PPC convention: ``True``/1 means Open.
         """
-        plane = self._effective_plane(as_switch_plane(L, self.shape), direction)
+        plane = self._effective_plane(
+            as_switch_plane(L, self.shape, lanes=self.batch), direction
+        )
         src = np.asarray(src)
         out = broadcast_values(
             src,
             plane,
             direction,
             strict=self.config.strict_bus,
+            stats=self.counters.plan_cache,
         )
-        c = self.counters
-        c.instructions += 1
-        c.broadcasts += 1
         cycles = self.config.bus_transaction_cycles()
-        c.bus_cycles += cycles
-        c.bit_cycles += cycles * self._operand_bits(src)
+        self._charge(
+            instructions=1,
+            broadcasts=1,
+            bus_cycles=cycles,
+            bit_cycles=cycles * self._operand_bits(src),
+        )
         self.trace.record("broadcast", direction, plane)
         return out
 
@@ -192,7 +308,9 @@ class PPAMachine:
         digit-serial minimum drives ``2**k - 1`` presence lanes per
         transaction instead of a full word.
         """
-        plane = self._effective_plane(as_switch_plane(L, self.shape), direction)
+        plane = self._effective_plane(
+            as_switch_plane(L, self.shape, lanes=self.batch), direction
+        )
         values = np.asarray(values)
         out = segmented_reduce(
             values,
@@ -200,14 +318,15 @@ class PPAMachine:
             direction,
             op,
             strict=self.config.strict_bus,
+            stats=self.counters.plan_cache,
         )
-        c = self.counters
-        c.instructions += 1
-        c.reductions += 1
         cycles = self.config.bus_transaction_cycles()
-        c.bus_cycles += cycles
-        c.bit_cycles += cycles * (
-            self._operand_bits(values) if bits is None else bits
+        self._charge(
+            instructions=1,
+            reductions=1,
+            bus_cycles=cycles,
+            bit_cycles=cycles
+            * (self._operand_bits(values) if bits is None else bits),
         )
         self.trace.record("reduce", direction, plane)
         return out
@@ -234,11 +353,12 @@ class PPAMachine:
             torus=self.config.torus if torus is None else torus,
             fill=fill,
         )
-        c = self.counters
-        c.instructions += 1
-        c.shifts += 1
-        c.bus_cycles += 1
-        c.bit_cycles += self._operand_bits(src)
+        self._charge(
+            instructions=1,
+            shifts=1,
+            bus_cycles=1,
+            bit_cycles=self._operand_bits(src),
+        )
         return out
 
     def global_or(self, bits) -> bool:
@@ -248,14 +368,31 @@ class PPAMachine:
         wired-OR into the controller's condition flag; charged as two bus
         transactions.
         """
-        c = self.counters
-        c.instructions += 1
-        c.global_ors += 1
         cycles = 2 * self.config.bus_transaction_cycles()
-        c.bus_cycles += cycles
-        c.bit_cycles += cycles
+        self._charge(
+            instructions=1, global_ors=1, bus_cycles=cycles, bit_cycles=cycles
+        )
         self.trace.record("global_or", None, None)
         return bool(np.asarray(bits, dtype=bool).any())
+
+    def lane_global_or(self, bits) -> np.ndarray:
+        """Per-lane controller OR: a ``(B,)`` boolean vector.
+
+        Each lane is an independent copy of the physical array, so the
+        condition flag exists per lane; cost is identical to
+        :meth:`global_or` (one row + one column wired-OR), charged once to
+        the batched stream and once to each *active* lane's ledger.
+        """
+        batch = self._require_batched("lane_global_or")
+        arr = np.broadcast_to(
+            np.asarray(bits, dtype=bool), self.parallel_shape
+        )
+        cycles = 2 * self.config.bus_transaction_cycles()
+        self._charge(
+            instructions=1, global_ors=1, bus_cycles=cycles, bit_cycles=cycles
+        )
+        self.trace.record("global_or", None, None)
+        return arr.reshape(batch, -1).any(axis=1)
 
     # ------------------------------------------------------------------
     # Word arithmetic
@@ -268,8 +405,7 @@ class PPAMachine:
 
     def count_alu(self, k: int = 1) -> None:
         """Charge *k* local (per-PE, fully parallel) ALU instructions."""
-        self.counters.instructions += k
-        self.counters.alu_ops += k
+        self._charge(instructions=k, alu_ops=k)
 
     def sat_add(self, a, b) -> np.ndarray:
         """Saturating word addition: ``min(a + b, MAXINT)``.
@@ -335,7 +471,8 @@ class PPAMachine:
         return self._faults.apply(plane, direction.axis)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lanes = "" if self.batch is None else f", batch={self.batch}"
         return (
             f"PPAMachine(n={self.n}, word_bits={self.word_bits}, "
-            f"cost={self.config.bus_cost_model.value})"
+            f"cost={self.config.bus_cost_model.value}{lanes})"
         )

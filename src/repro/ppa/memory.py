@@ -25,13 +25,15 @@ _DTYPES = {"int": np.int64, "logical": np.bool_}
 class ParallelMemory:
     """A named table of parallel (per-PE) variables on one machine grid."""
 
-    def __init__(self, shape: tuple[int, int]):
-        self._shape = shape
+    def __init__(self, shape: tuple[int, ...]):
+        #: grid shape — ``(n, n)``, or ``(B, n, n)`` on a batched machine
+        #: (one copy of every variable per lane; see ``PPAMachine(batch=B)``)
+        self._shape = tuple(shape)
         self._vars: dict[str, np.ndarray] = {}
         self._kinds: dict[str, str] = {}
 
     @property
-    def shape(self) -> tuple[int, int]:
+    def shape(self) -> tuple[int, ...]:
         return self._shape
 
     def declare(self, name: str, kind: str = "int", init=None) -> np.ndarray:

@@ -21,12 +21,26 @@ Both are computed for the entire grid at once with numpy primitives
 (cumulative maxima, ``reduceat`` over a rolled layout) — no per-PE Python
 loops, per the project's hpc-parallel coding guides.
 
+Batched (lane) execution
+------------------------
+Every public kernel also accepts a *stack* of ``B`` independent problem
+instances — a ``(B, n, n)`` value array and either a shared ``(n, n)``
+switch plane or a per-lane ``(B, n, n)`` plane stack. One bus transaction
+then resolves **all lanes in a single gather / ``reduceat``** instead of
+``B`` serial python-level passes. A shared 2-D plane is resolved once and
+lane-expanded into cached flat indices (so ``B`` lanes programming the
+same switch configuration share one plan resolution); a per-lane stack is
+resolved as one ``(B*m, n)`` ring pile in a single vectorised pass, and
+assembled stack plans are themselves cached.
+
 Canonical layout
 ----------------
-All internal helpers operate on a canonical orientation: rings are *rows*
-(axis 1) and downstream is *increasing column index*. :func:`_to_canonical`
-transposes/flips inputs into that layout and :func:`_from_canonical` undoes
-it; both are O(1) views or cheap copies.
+All internal helpers operate on a canonical orientation: rings live on the
+*last* axis and downstream is *increasing index* (for 2-D grids that means
+rings are rows). :func:`_to_canonical` transposes/flips inputs into that
+layout and :func:`_from_canonical` undoes it; both are O(1) views or cheap
+copies, and both are lane-axis agnostic (they only touch the trailing two
+axes).
 """
 
 from __future__ import annotations
@@ -37,6 +51,7 @@ from typing import Literal
 import numpy as np
 
 from repro.errors import BusError
+from repro.ppa.counters import PlanCacheStats
 from repro.ppa.directions import Direction
 
 __all__ = [
@@ -44,13 +59,17 @@ __all__ = [
     "segmented_reduce",
     "shift_values",
     "clear_plan_cache",
+    "plan_cache_stats",
+    "reset_plan_cache_stats",
+    "plan_cache_sizes",
+    "PlanCacheStats",
     "ReduceOp",
 ]
 
 ReduceOp = Literal["or", "and", "min", "max", "sum"]
 
 # ---------------------------------------------------------------------------
-# Bus-plan cache
+# Bus-plan caches
 #
 # Algorithms reprogram the same switch planes over and over (the MCP's
 # bit-serial min issues ~2h wired-ORs per iteration against one plane), and
@@ -58,11 +77,30 @@ ReduceOp = Literal["or", "and", "min", "max", "sum"]
 # resolution is a pure function of (plane bytes, direction), so a small LRU
 # of "plans" makes repeat transactions index-lookup cheap. 64 entries is
 # far beyond what any algorithm here cycles through.
+#
+# Four caches exist:
+#   _broadcast_plans / _reduce_plans  — per-plane plans, keyed on the raw
+#       (direction, shape, bytes) of one 2-D switch plane. Shared between
+#       unbatched calls and the per-lane resolution step of batched calls.
+#   _broadcast_stacks / _reduce_stacks — assembled (B, n, n) stack plans,
+#       keyed on the bytes of the whole per-lane plane stack. Smaller cap:
+#       each entry is B× the size of a per-plane plan.
+#
+# ``clear_plan_cache()`` drops all four.
 # ---------------------------------------------------------------------------
 
 _PLAN_CACHE_SIZE = 64
+_STACK_CACHE_SIZE = 16
 _broadcast_plans: "OrderedDict[tuple, tuple]" = OrderedDict()
 _reduce_plans: "OrderedDict[tuple, tuple]" = OrderedDict()
+_broadcast_stacks: "OrderedDict[tuple, tuple]" = OrderedDict()
+_reduce_stacks: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+# Module-wide hit/miss accounting (host-side metric: depends on process
+# history, never part of the machine cost model). Public kernels bump this
+# once per call; a per-machine ``PlanCacheStats`` sink may be passed in
+# addition via the ``stats`` kwarg.
+_stats = PlanCacheStats()
 
 
 def _cache_get(cache: "OrderedDict", key: tuple):
@@ -74,16 +112,53 @@ def _cache_get(cache: "OrderedDict", key: tuple):
     return value
 
 
-def _cache_put(cache: "OrderedDict", key: tuple, value: tuple) -> None:
+def _cache_put(
+    cache: "OrderedDict", key: tuple, value: tuple, limit: int = _PLAN_CACHE_SIZE
+) -> None:
     cache[key] = value
-    while len(cache) > _PLAN_CACHE_SIZE:
+    while len(cache) > limit:
         cache.popitem(last=False)
 
 
 def clear_plan_cache() -> None:
-    """Drop all cached bus plans (memory hygiene for huge sweeps)."""
+    """Drop all cached bus plans (memory hygiene for huge sweeps).
+
+    Clears **all four** plan caches: the per-plane broadcast and reduce
+    LRUs *and* the assembled batched stack-plan LRUs. Hit/miss statistics
+    are left untouched (use :func:`reset_plan_cache_stats` for those).
+    """
     _broadcast_plans.clear()
     _reduce_plans.clear()
+    _broadcast_stacks.clear()
+    _reduce_stacks.clear()
+
+
+def plan_cache_stats() -> PlanCacheStats:
+    """The module-wide plan-cache hit/miss counters (live object)."""
+    return _stats
+
+
+def reset_plan_cache_stats() -> None:
+    """Zero the module-wide plan-cache hit/miss counters."""
+    _stats.reset()
+
+
+def plan_cache_sizes() -> dict[str, int]:
+    """Current entry counts of all four plan caches (for memory tests)."""
+    return {
+        "broadcast": len(_broadcast_plans),
+        "reduce": len(_reduce_plans),
+        "broadcast_stacks": len(_broadcast_stacks),
+        "reduce_stacks": len(_reduce_stacks),
+    }
+
+
+def _record(stats: PlanCacheStats | None, kind: str, hit: bool) -> None:
+    name = f"{kind}_{'hits' if hit else 'misses'}"
+    setattr(_stats, name, getattr(_stats, name) + 1)
+    if stats is not None and stats is not _stats:
+        setattr(stats, name, getattr(stats, name) + 1)
+
 
 _UFUNCS = {
     "or": np.maximum,  # operands are 0/1 integers
@@ -95,72 +170,26 @@ _UFUNCS = {
 
 
 def _to_canonical(arr: np.ndarray, direction: Direction) -> np.ndarray:
-    """View/copy of *arr* with rings on axis 1 and downstream = +1."""
+    """View/copy of *arr* with rings on the last axis and downstream = +1."""
     if direction.axis == 0:
-        arr = arr.T
+        arr = arr.swapaxes(-1, -2)
     if not direction.is_forward:
-        arr = arr[:, ::-1]
+        arr = arr[..., ::-1]
     return arr
 
 
 def _from_canonical(arr: np.ndarray, direction: Direction) -> np.ndarray:
     """Inverse of :func:`_to_canonical` (same sequence, reversed)."""
     if not direction.is_forward:
-        arr = arr[:, ::-1]
+        arr = arr[..., ::-1]
     if direction.axis == 0:
-        arr = arr.T
+        arr = arr.swapaxes(-1, -2)
     return np.ascontiguousarray(arr)
 
 
-def broadcast_values(
-    src: np.ndarray,
-    open_plane: np.ndarray,
-    direction: Direction,
-    *,
-    strict: bool = False,
-) -> np.ndarray:
-    """Resolve one bus broadcast over the whole grid.
-
-    Parameters
-    ----------
-    src
-        Per-PE values to (potentially) inject.
-    open_plane
-        Boolean grid; ``True`` marks an Open switch-box.
-    direction
-        Controller-selected data-movement direction.
-    strict
-        If True, a ring with no Open switch raises :class:`BusError`
-        (an un-driven bus). If False, such rings keep their ``src`` values
-        unchanged (the PE latches its own register).
-
-    Returns
-    -------
-    numpy.ndarray
-        ``received[p] = src[head(p)]`` for every PE ``p``, where ``head(p)``
-        is the nearest Open node at-or-upstream of ``p`` on its ring
-        (cyclic) — i.e. the extreme node of the cluster ``p`` belongs to.
-        Same shape/dtype as *src*.
-    """
-    s = _to_canonical(np.asarray(src), direction)
-    o = np.asarray(open_plane, dtype=bool)
-    key = (direction, o.shape, o.tobytes())
-    plan = _cache_get(_broadcast_plans, key)
-    if plan is None:
-        oc = _to_canonical(o, direction)
-        head, has_open = _head_index(oc)
-        safe = np.where(head >= 0, head, np.arange(oc.shape[1])[None, :])
-        plan = (safe, bool(has_open.all()), 
-                -1 if has_open.all() else int(np.flatnonzero(~has_open)[0]))
-        _cache_put(_broadcast_plans, key, plan)
-    safe, all_driven, bad = plan
-    if strict and not all_driven:
-        raise BusError(
-            f"broadcast({direction}): ring {bad} has no Open switch; "
-            "the bus is un-driven"
-        )
-    out = np.take_along_axis(s, safe, axis=1)
-    return _from_canonical(out, direction)
+# ---------------------------------------------------------------------------
+# Plan resolution (pure functions of one canonical 2-D plane)
+# ---------------------------------------------------------------------------
 
 
 def _head_index(open_plane: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -178,6 +207,271 @@ def _head_index(open_plane: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return head, last[:, 0] >= 0
 
 
+def _resolve_broadcast(oc: np.ndarray) -> tuple:
+    """Broadcast plan ``(safe, all_driven, bad_ring)`` for one canonical plane."""
+    head, has_open = _head_index(oc)
+    safe = np.where(head >= 0, head, np.arange(oc.shape[1])[None, :])
+    all_driven = bool(has_open.all())
+    bad = -1 if all_driven else int(np.flatnonzero(~has_open)[0])
+    return safe, all_driven, bad
+
+
+def _resolve_reduce(oc: np.ndarray) -> tuple:
+    """Reduce plan ``(cols, starts, seg_map, nseg, all_driven, bad_ring)``.
+
+    ``cols`` rolls each ring so it begins at its first Open node (clusters
+    become contiguous runs and ``reduceat`` applies); ``starts`` are flat
+    segment starts in the rolled ``(m*n,)`` layout; ``seg_map`` maps each
+    rolled position to its segment id. Open-free rings keep offset 0 and
+    form one whole-ring segment.
+    """
+    m, n = oc.shape
+    has_open = oc.any(axis=1)
+    first = np.where(has_open, np.argmax(oc, axis=1), 0)
+    cols = (np.arange(n)[None, :] + first[:, None]) % n
+    o_rolled = np.take_along_axis(oc, cols, axis=1)
+    boundary = o_rolled.copy()
+    boundary[:, 0] = True  # every ring contributes >= 1 segment
+    flat_bound = boundary.reshape(-1)
+    starts = np.flatnonzero(flat_bound)
+    seg_map = (np.cumsum(flat_bound) - 1).reshape(m, n)
+    nseg = int(starts.size)
+    all_driven = bool(has_open.all())
+    bad = -1 if all_driven else int(np.flatnonzero(~has_open)[0])
+    return cols, starts, seg_map, nseg, all_driven, bad
+
+
+def _plane_plan(cache: "OrderedDict", o_raw: np.ndarray, direction: Direction,
+                resolver) -> tuple:
+    """Per-plane plan for a raw-orientation 2-D plane, via the LRU cache."""
+    key = (direction, o_raw.shape, o_raw.tobytes())
+    plan = _cache_get(cache, key)
+    if plan is None:
+        oc = np.ascontiguousarray(_to_canonical(o_raw, direction))
+        plan = resolver(oc)
+        _cache_put(cache, key, plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Lane-expanded plans (one shared 2-D plane driving a (B, n, n) lane stack)
+#
+# The naive expansion — rebuilding reduceat starts and per-lane segment
+# maps on every transaction — dominated the batched profile. Instead the
+# per-plane plan is expanded ONCE per (plane, B) into flat gather indices
+# and cached alongside the 2-D plans. Two shapes exist:
+#
+#   "fast" — every ring is a single cluster (<= 1 Open switch per ring:
+#       exactly the planes the MCP's bit-serial min hammers 2h times per
+#       iteration). The whole transaction is one SIMD ``ufunc.reduce``
+#       over the ring axis (reduce) or one per-ring gather + broadcast
+#       (broadcast); no index arrays touch memory at apply time.
+#   "gen" — arbitrary segmentation: precomputed *flat* roll-gather,
+#       reduceat starts and un-rolled segment-id indices, so apply is
+#       two contiguous fancy gathers plus one ``reduceat``.
+# ---------------------------------------------------------------------------
+
+
+def _expand_broadcast_plan(plan: tuple, B: int) -> tuple:
+    safe, all_driven, bad = plan
+    m, n = safe.shape
+    if bool((safe == safe[:, :1]).all()):
+        # Per-ring-constant gather map: one driver (or one node) per ring.
+        head_abs = np.arange(m, dtype=np.int64) * n + safe[:, 0]
+        return ("fast", head_abs, m, n, all_driven, bad)
+    safe_flat = (safe + np.arange(m, dtype=np.int64)[:, None] * n).ravel()
+    return ("gen", safe_flat, m, n, all_driven, bad)
+
+
+def _apply_broadcast_batched(s: np.ndarray, plan: tuple) -> np.ndarray:
+    kind, idx, m, n, _all_driven, _bad = plan
+    B = s.shape[0]
+    s2 = np.reshape(s, (B, m * n))
+    if kind == "fast":
+        return np.broadcast_to(s2[:, idx][:, :, None], (B, m, n))
+    return s2[:, idx].reshape(B, m, n)
+
+
+def _expand_reduce_plan(plan: tuple, B: int) -> tuple:
+    cols, starts, seg_map, nseg, all_driven, bad = plan
+    m, n = cols.shape
+    if nseg == m:
+        # One segment per ring: a plain axis reduction, no index arrays.
+        return ("fast", None, None, None, m, n, nseg, all_driven, bad)
+    mn = m * n
+    roll_flat = (cols + np.arange(m, dtype=np.int64)[:, None] * n).ravel()
+    starts_b = (starts[None, :] + (np.arange(B) * mn)[:, None]).reshape(-1)
+    seg_un = np.empty((m, n), dtype=np.int64)
+    np.put_along_axis(seg_un, cols, seg_map, axis=1)
+    return ("gen", roll_flat, starts_b, seg_un.ravel(), m, n, nseg,
+            all_driven, bad)
+
+
+def _apply_reduce_batched(v: np.ndarray, plan: tuple, ufunc) -> np.ndarray:
+    kind, roll_flat, starts_b, seg_un, m, n, nseg, _driven, _bad = plan
+    if kind == "fast":
+        red = ufunc.reduce(v, axis=-1, keepdims=True)
+        return np.broadcast_to(red, v.shape)
+    B = v.shape[0]
+    flat = np.reshape(v, (B, m * n))[:, roll_flat]
+    seg_vals = ufunc.reduceat(flat.reshape(-1), starts_b)
+    return seg_vals.reshape(B, nseg)[:, seg_un].reshape(B, m, n)
+
+
+# ---------------------------------------------------------------------------
+# Stack-plan assembly (per-lane plane stacks)
+#
+# A (B, n, n) per-lane stack is resolved as ONE (B*m, n) ring pile — the
+# resolvers are already vectorised over rings, so a whole stack costs one
+# cumulative-max/argmax pass instead of B python-level lane resolutions.
+# The assembled flat gather/reduceat indices are cached so repeated
+# transactions against the same plane stack are a single LRU lookup; the
+# per-plane LRU is deliberately untouched (a stack of B distinct
+# data-dependent planes would wipe it in one call).
+# ---------------------------------------------------------------------------
+
+
+def _build_broadcast_stack(o: np.ndarray, direction: Direction) -> tuple:
+    oc = np.ascontiguousarray(_to_canonical(o, direction))
+    B, m, n = oc.shape
+    safe, all_driven, bad = _resolve_broadcast(oc.reshape(B * m, n))
+    bad_lane = None if all_driven else tuple(divmod(bad, m))
+    base = (np.arange(B * m, dtype=np.int64) * n)[:, None]
+    return (safe + base).ravel(), (m, n), all_driven, bad_lane
+
+
+def _build_reduce_stack(o: np.ndarray, direction: Direction) -> tuple:
+    oc = np.ascontiguousarray(_to_canonical(o, direction))
+    B, m, n = oc.shape
+    cols, starts, seg_map, nseg, all_driven, bad = _resolve_reduce(
+        oc.reshape(B * m, n)
+    )
+    bad_lane = None if all_driven else tuple(divmod(bad, m))
+    base = (np.arange(B * m, dtype=np.int64) * n)[:, None]
+    roll_full = (cols + base).ravel()
+    seg_un = np.empty_like(seg_map)
+    np.put_along_axis(seg_un, cols, seg_map, axis=1)
+    return (roll_full, starts, seg_un.ravel(), nseg, (m, n),
+            all_driven, bad_lane)
+
+
+# ---------------------------------------------------------------------------
+# Public kernels
+# ---------------------------------------------------------------------------
+
+
+def broadcast_values(
+    src: np.ndarray,
+    open_plane: np.ndarray,
+    direction: Direction,
+    *,
+    strict: bool = False,
+    stats: PlanCacheStats | None = None,
+) -> np.ndarray:
+    """Resolve one bus broadcast over the whole grid (all lanes at once).
+
+    Parameters
+    ----------
+    src
+        Per-PE values to (potentially) inject — ``(n, n)`` or a batched
+        ``(B, n, n)`` lane stack.
+    open_plane
+        Boolean grid; ``True`` marks an Open switch-box. Either one shared
+        ``(n, n)`` plane (applied to every lane) or a per-lane
+        ``(B, n, n)`` stack.
+    direction
+        Controller-selected data-movement direction.
+    strict
+        If True, a ring with no Open switch raises :class:`BusError`
+        (an un-driven bus). If False, such rings keep their ``src`` values
+        unchanged (the PE latches its own register).
+    stats
+        Optional per-machine :class:`PlanCacheStats` sink; hit/miss is
+        recorded there *and* in the module-wide counters, once per call.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``received[p] = src[head(p)]`` for every PE ``p``, where ``head(p)``
+        is the nearest Open node at-or-upstream of ``p`` on its ring
+        (cyclic) — i.e. the extreme node of the cluster ``p`` belongs to.
+        Shape is the broadcast of *src* and *open_plane* shapes.
+    """
+    s = _to_canonical(np.asarray(src), direction)
+    o = np.asarray(open_plane, dtype=bool)
+    if o.ndim == 2:
+        if s.ndim == 2:
+            plan = _cache_get(_broadcast_plans,
+                              (direction, o.shape, o.tobytes()))
+            hit = plan is not None
+            if plan is None:
+                plan = _plane_plan(_broadcast_plans, o, direction,
+                                   _resolve_broadcast)
+            _record(stats, "broadcast", hit)
+            safe, all_driven, bad = plan
+            if strict and not all_driven:
+                raise BusError(
+                    f"broadcast({direction}): ring {bad} has no Open switch; "
+                    "the bus is un-driven"
+                )
+            out = np.take_along_axis(s, safe, axis=-1)
+            return _from_canonical(out, direction)
+        # Shared 2-D plane, (B, n, n) lane stack: lane-expanded flat plan.
+        B = s.shape[0]
+        key = (direction, o.shape, o.tobytes(), B, "bx")
+        plan = _cache_get(_broadcast_plans, key)
+        hit = plan is not None
+        if plan is None:
+            plan = _expand_broadcast_plan(
+                _plane_plan(_broadcast_plans, o, direction,
+                            _resolve_broadcast),
+                B,
+            )
+            _cache_put(_broadcast_plans, key, plan)
+        _record(stats, "broadcast", hit)
+        if strict and not plan[4]:
+            raise BusError(
+                f"broadcast({direction}): ring {plan[5]} has no Open switch; "
+                "the bus is un-driven"
+            )
+        return _from_canonical(_apply_broadcast_batched(s, plan), direction)
+    if o.ndim != 3:
+        raise ValueError(
+            f"open_plane must be 2-D or a (B, n, n) stack, got {o.shape}"
+        )
+    key = (direction, o.shape, o.tobytes())
+    plan = _cache_get(_broadcast_stacks, key)
+    hit = plan is not None
+    if plan is None:
+        plan = _build_broadcast_stack(o, direction)
+        _cache_put(_broadcast_stacks, key, plan, _STACK_CACHE_SIZE)
+    _record(stats, "broadcast", hit)
+    safe_full, (m, n), all_driven, bad = plan
+    if strict and not all_driven:
+        lane, ring = bad
+        raise BusError(
+            f"broadcast({direction}): lane {lane} ring {ring} has no Open "
+            "switch; the bus is un-driven"
+        )
+    B = o.shape[0]
+    if s.ndim == 2:
+        s = np.broadcast_to(s, (B,) + s.shape)
+    out = np.reshape(s, -1)[safe_full].reshape(B, m, n)
+    return _from_canonical(out, direction)
+
+
+def _apply_reduce(v: np.ndarray, cols: np.ndarray, starts: np.ndarray,
+                  seg_map: np.ndarray, ufunc) -> np.ndarray:
+    """Shared apply step: roll, flat ``reduceat``, scatter back, un-roll."""
+    v_rolled = np.take_along_axis(v, cols, axis=-1)
+    seg_vals = ufunc.reduceat(np.ascontiguousarray(v_rolled).reshape(-1),
+                              starts)
+    out_rolled = seg_vals[seg_map]
+    out = np.empty_like(out_rolled)
+    np.put_along_axis(out, cols, out_rolled, axis=-1)
+    return out
+
+
 def segmented_reduce(
     values: np.ndarray,
     open_plane: np.ndarray,
@@ -185,6 +479,7 @@ def segmented_reduce(
     op: ReduceOp,
     *,
     strict: bool = False,
+    stats: PlanCacheStats | None = None,
 ) -> np.ndarray:
     """Reduce *values* within each bus cluster; every member gets the result.
 
@@ -192,6 +487,9 @@ def segmented_reduce(
     next Open node (cyclic). This models the constant-time wired-OR the
     paper's ``min()``/``selected_min()`` routines rely on, generalised to
     ``and``/``min``/``max``/``sum`` for the extension algorithms.
+
+    Accepts batched ``(B, n, n)`` *values* with a shared 2-D or per-lane
+    3-D *open_plane* — all lanes reduce in one flat ``reduceat``.
 
     Rings with no Open switch raise :class:`BusError` when *strict*,
     otherwise every node of such a ring receives the reduction over the
@@ -201,49 +499,71 @@ def segmented_reduce(
         raise ValueError(f"unknown reduction op {op!r}")
     ufunc = _UFUNCS[op]
 
-    v = np.ascontiguousarray(_to_canonical(np.asarray(values), direction))
-    o_raw = np.asarray(open_plane, dtype=bool)
-    m, n = v.shape
+    v = _to_canonical(np.asarray(values), direction)
+    o = np.asarray(open_plane, dtype=bool)
 
-    key = (direction, o_raw.shape, o_raw.tobytes())
-    plan = _cache_get(_reduce_plans, key)
+    if o.ndim == 2:
+        if v.ndim == 2:
+            plan = _cache_get(_reduce_plans,
+                              (direction, o.shape, o.tobytes()))
+            hit = plan is not None
+            if plan is None:
+                plan = _plane_plan(_reduce_plans, o, direction,
+                                   _resolve_reduce)
+            _record(stats, "reduce", hit)
+            cols, starts, seg_map, nseg, all_driven, bad = plan
+            if strict and not all_driven:
+                raise BusError(
+                    f"segmented_reduce({direction}): ring {bad} has no "
+                    "Open switch"
+                )
+            out = _apply_reduce(v, cols, starts, seg_map, ufunc)
+            return _from_canonical(out, direction)
+        # Shared 2-D plane, (B, n, n) lane stack: lane-expanded flat plan
+        # (one reduceat — or, for whole-ring clusters, one SIMD axis
+        # reduction — covers all lanes).
+        B = v.shape[0]
+        key = (direction, o.shape, o.tobytes(), B, "rx")
+        plan = _cache_get(_reduce_plans, key)
+        hit = plan is not None
+        if plan is None:
+            plan = _expand_reduce_plan(
+                _plane_plan(_reduce_plans, o, direction, _resolve_reduce),
+                B,
+            )
+            _cache_put(_reduce_plans, key, plan)
+        _record(stats, "reduce", hit)
+        if strict and not plan[7]:
+            raise BusError(
+                f"segmented_reduce({direction}): ring {plan[8]} has no "
+                "Open switch"
+            )
+        return _from_canonical(_apply_reduce_batched(v, plan, ufunc),
+                               direction)
+
+    if o.ndim != 3:
+        raise ValueError(
+            f"open_plane must be 2-D or a (B, n, n) stack, got {o.shape}"
+        )
+    key = (direction, o.shape, o.tobytes())
+    plan = _cache_get(_reduce_stacks, key)
+    hit = plan is not None
     if plan is None:
-        o = np.ascontiguousarray(_to_canonical(o_raw, direction))
-        has_open = o.any(axis=1)
-        # Roll each ring so it starts at its first Open node; clusters
-        # become contiguous runs and `reduceat` applies. Open-free rings
-        # keep offset 0 and form one whole-ring segment.
-        first = np.where(has_open, np.argmax(o, axis=1), 0)
-        rows = np.arange(m)[:, None]
-        cols = (np.arange(n)[None, :] + first[:, None]) % n
-        o_rolled = o[rows, cols]
-        boundary = o_rolled.copy()
-        boundary[:, 0] = True  # every ring contributes >= 1 segment
-        flat_bound = boundary.reshape(-1)
-        starts = np.flatnonzero(flat_bound)
-        seg_id = np.cumsum(flat_bound) - 1
-        plan = (
-            rows,
-            cols,
-            starts,
-            seg_id,
-            bool(has_open.all()),
-            -1 if has_open.all() else int(np.flatnonzero(~has_open)[0]),
-        )
-        _cache_put(_reduce_plans, key, plan)
-    rows, cols, starts, seg_id, all_driven, bad = plan
+        plan = _build_reduce_stack(o, direction)
+        _cache_put(_reduce_stacks, key, plan, _STACK_CACHE_SIZE)
+    _record(stats, "reduce", hit)
+    roll_full, starts_full, seg_un, nseg, (m, n), all_driven, bad = plan
     if strict and not all_driven:
+        lane, ring = bad
         raise BusError(
-            f"segmented_reduce({direction}): ring {bad} has no Open switch"
+            f"segmented_reduce({direction}): lane {lane} ring {ring} has no "
+            "Open switch"
         )
-
-    v_rolled = v[rows, cols]
-    seg_vals = ufunc.reduceat(v_rolled.reshape(-1), starts)
-    out_rolled = seg_vals[seg_id].reshape(m, n)
-
-    # Undo the roll.
-    out = np.empty_like(out_rolled)
-    out[rows, cols] = out_rolled
+    B = o.shape[0]
+    if v.ndim == 2:
+        v = np.broadcast_to(v, (B,) + v.shape)
+    flat = np.reshape(v, -1)[roll_full]
+    out = ufunc.reduceat(flat, starts_full)[seg_un].reshape(B, m, n)
     return _from_canonical(out, direction)
 
 
@@ -259,10 +579,11 @@ def shift_values(
     ``j`` hold what column ``j-1`` held).
 
     With ``torus=False`` the array edge feeds in *fill* instead of wrapping.
+    Lane stacks ``(B, n, n)`` shift all lanes in one roll.
     """
     s = _to_canonical(np.asarray(src), direction)
-    out = np.roll(s, 1, axis=1)
+    out = np.roll(s, 1, axis=-1)
     if not torus:
         out = out.copy()
-        out[:, 0] = fill
+        out[..., 0] = fill
     return _from_canonical(out, direction)

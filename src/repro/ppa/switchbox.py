@@ -31,7 +31,9 @@ OPEN: bool = True
 SHORT: bool = False
 
 
-def as_switch_plane(L, shape: tuple[int, int]) -> np.ndarray:
+def as_switch_plane(
+    L, shape: tuple[int, int], *, lanes: int | None = None
+) -> np.ndarray:
     """Coerce *L* into a boolean ``shape`` switch plane.
 
     Parameters
@@ -41,26 +43,36 @@ def as_switch_plane(L, shape: tuple[int, int]) -> np.ndarray:
         integer 0/1 grid, or a scalar (uniform configuration).
     shape
         Expected ``(rows, cols)`` grid shape.
+    lanes
+        When the machine carries a batch (lane) axis, the lane count.
+        A 3-D ``L`` is then coerced to ``(lanes, rows, cols)`` — one
+        switch plane per lane. A 2-D/scalar ``L`` still yields a plain
+        ``shape`` plane: a *shared* plane that the bus kernels apply to
+        every lane with a single cached plan (the fast path).
 
     Returns
     -------
     numpy.ndarray
-        A C-contiguous boolean array of exactly ``shape``.
+        A C-contiguous boolean array of exactly ``shape`` (shared plane)
+        or ``(lanes, *shape)`` (per-lane plane stack).
 
     Raises
     ------
     MachineError
-        If *L* cannot be broadcast to ``shape``.
+        If *L* cannot be broadcast to the target shape.
     """
     plane = np.asarray(L)
     if plane.dtype != np.bool_:
         plane = plane.astype(bool)
-    if plane.shape != shape:
+    target: tuple[int, ...] = tuple(shape)
+    if lanes is not None and plane.ndim == 3:
+        target = (lanes, *shape)
+    if plane.shape != target:
         try:
-            plane = np.broadcast_to(plane, shape)
+            plane = np.broadcast_to(plane, target)
         except ValueError as exc:
             raise MachineError(
                 f"switch plane of shape {np.asarray(L).shape} does not match "
-                f"machine grid {shape}"
+                f"machine grid {target}"
             ) from exc
     return np.ascontiguousarray(plane)

@@ -7,9 +7,12 @@ bit-serial arithmetic (ripple-carry add, lexicographic compare) that models
 what a 1-bit PE datapath would execute — useful for cost ablations and for
 property-testing the word-level fast paths against a bit-exact reference.
 
-All helpers are vectorised over the grid: a "bit plane" is a boolean array
-of the grid's shape; a decomposition is an ``(h, *grid)`` boolean array with
-plane ``j`` holding bit ``j`` (LSB first).
+All helpers are vectorised over the grid — and over the batch (lane) axis:
+a "bit plane" is a boolean array of the grid's shape (``(n, n)`` or a
+``(B, n, n)`` lane stack); a decomposition is an ``(h, *grid)`` boolean
+array with plane ``j`` holding bit ``j`` (LSB first). Every function here
+is shape-generic over the trailing grid dimensions, so batched words
+decompose/compose/add/compare lane-parallel with no extra code.
 """
 
 from __future__ import annotations

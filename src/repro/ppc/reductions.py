@@ -82,7 +82,7 @@ def _deliver_min(
     """
     with machine.telemetry.span("min.deliver"):
         to_heads = machine.broadcast(src, opposite(orientation), enable)
-        L = as_switch_plane(L, machine.shape)
+        L = as_switch_plane(L, machine.shape, lanes=machine.batch)
         staged = np.where(L, to_heads, src)
         machine.count_alu()  # the masked store of statement 12
         return machine.broadcast(staged, orientation, L)
@@ -97,8 +97,10 @@ def ppa_min(machine: PPAMachine, src, orientation: Direction, L) -> np.ndarray:
     """
     with machine.telemetry.span("min"):
         src = np.asarray(src, dtype=np.int64)
-        # parallel logical enable = 1
-        enable = np.ones(machine.shape, dtype=bool)
+        # parallel logical enable = 1 (per lane on a batched machine)
+        enable = np.ones(
+            np.broadcast_shapes(src.shape, machine.parallel_shape), dtype=bool
+        )
         machine.count_alu()
         enable = _bit_serial_survivors(machine, src, orientation, L, enable)
         return _deliver_min(machine, src, orientation, L, enable)
@@ -124,7 +126,9 @@ def ppa_selected_min(
     """
     with machine.telemetry.span("selected_min"):
         src = np.asarray(src, dtype=np.int64)
-        enable = as_switch_plane(selected, machine.shape).copy()
+        enable = as_switch_plane(
+            selected, machine.shape, lanes=machine.batch
+        ).copy()
         machine.count_alu()
         enable = _bit_serial_survivors(machine, src, orientation, L, enable)
         return _deliver_min(machine, src, orientation, L, enable)
@@ -188,7 +192,9 @@ def ppa_min_digit_serial(
     tele = machine.telemetry
     with tele.span("min.digit_serial", digit_bits=digit_bits):
         src = np.asarray(src, dtype=np.int64)
-        enable = np.ones(machine.shape, dtype=bool)
+        enable = np.ones(
+            np.broadcast_shapes(src.shape, machine.parallel_shape), dtype=bool
+        )
         machine.count_alu()
         positions = range(((h + digit_bits - 1) // digit_bits) - 1, -1, -1)
         for pos in positions:

@@ -14,7 +14,7 @@ on the RMESH and Θ(n) communication steps on the PPA.
 
 from repro.rmesh.switches import Config, CONFIGS, partition_of
 from repro.rmesh.machine import RMeshMachine, Port
-from repro.rmesh.mcp import rmesh_mcp
+from repro.rmesh.mcp import rmesh_all_pairs, rmesh_mcp
 from repro.rmesh.algorithms import (
     count_ones,
     parity,
@@ -37,4 +37,5 @@ __all__ = [
     "global_or_one_step",
     "ppa_count_ones_row",
     "rmesh_mcp",
+    "rmesh_all_pairs",
 ]

@@ -19,7 +19,7 @@ from repro.errors import GraphError
 from repro.rmesh.machine import Port, RMeshMachine
 from repro.rmesh.switches import CONFIGS
 
-__all__ = ["rmesh_mcp"]
+__all__ = ["rmesh_mcp", "rmesh_all_pairs"]
 
 
 def _row_broadcast(machine: RMeshMachine, values, driver_mask) -> np.ndarray:
@@ -128,4 +128,41 @@ def rmesh_mcp(machine: RMeshMachine, W, d: int, **kwargs) -> MCPResult:
         iterations=iterations,
         maxint=machine.maxint,
         counters=machine.counters.diff(before),
+    )
+
+
+def rmesh_all_pairs(machine: RMeshMachine, W, **kwargs):
+    """All-pairs MCP on the RMESH: the literal destination sweep.
+
+    API parity with :func:`repro.core.apsp.all_pairs_minimum_cost` (same
+    :class:`~repro.core.apsp.APSPResult` container) so cross-architecture
+    experiments can swap drivers. The RMESH simulator has no lane axis —
+    its port-partition bus resolution is connected-components-based, not a
+    per-ring gather — so this is the serial execution model and
+    ``machine_counters`` equals ``counters``.
+    """
+    from repro.core.apsp import APSPResult
+
+    n = machine.n
+    dist = np.full((n, n), machine.maxint, dtype=np.int64)
+    succ = np.zeros((n, n), dtype=np.int64)
+    iterations = np.zeros(n, dtype=np.int64)
+    totals: dict[str, int] = {}
+    tele = machine.telemetry
+    with tele.span("apsp", n=n, arch=machine.architecture, lanes=1):
+        for d in range(n):
+            with tele.span("apsp.destination", d=d):
+                res = rmesh_mcp(machine, W, d, **kwargs)
+            dist[:, d] = res.sow
+            succ[:, d] = res.ptn
+            iterations[d] = res.iterations
+            for k, v in res.counters.items():
+                totals[k] = totals.get(k, 0) + v
+    return APSPResult(
+        dist=dist,
+        succ=succ,
+        iterations=iterations,
+        maxint=machine.maxint,
+        counters=totals,
+        machine_counters=dict(totals),
     )

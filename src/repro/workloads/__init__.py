@@ -10,7 +10,14 @@ from repro.workloads.generators import (
     complete_graph,
 )
 from repro.workloads.weights import WeightSpec, uniform_weights, unit_weights
-from repro.workloads.suites import SUITES, WorkloadCase, suite_cases
+from repro.workloads.suites import (
+    SUITES,
+    BatchedWorkloadCase,
+    WorkloadCase,
+    batch_suite,
+    run_batched_suite,
+    suite_cases,
+)
 
 __all__ = [
     "gnp_digraph",
@@ -26,4 +33,7 @@ __all__ = [
     "SUITES",
     "WorkloadCase",
     "suite_cases",
+    "BatchedWorkloadCase",
+    "batch_suite",
+    "run_batched_suite",
 ]

@@ -4,12 +4,22 @@ A suite is a reproducible list of :class:`WorkloadCase` (weight matrix +
 destination + provenance string). Keeping the parameters here — rather than
 scattered through benchmarks — makes every EXPERIMENTS.md row regenerable
 from one place.
+
+Batched driving
+---------------
+:func:`batch_suite` groups same-size cases of a suite into
+:class:`BatchedWorkloadCase` lane stacks — ``(B, n, n)`` weights plus a
+``(B,)`` destination vector — and :func:`run_batched_suite` executes each
+stack as **one** batched MCP kernel (`repro.core.batched`), returning the
+same per-case :class:`~repro.core.result.MCPResult` objects (bit-identical
+results *and* counters) a serial sweep would produce. This is how the
+benchmarks drive whole suites at SIMD speed with a ``--lanes`` knob.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -17,7 +27,14 @@ from repro.errors import GraphError
 from repro.workloads import generators as g
 from repro.workloads.weights import WeightSpec, unit_weights
 
-__all__ = ["WorkloadCase", "SUITES", "suite_cases"]
+__all__ = [
+    "WorkloadCase",
+    "BatchedWorkloadCase",
+    "SUITES",
+    "suite_cases",
+    "batch_suite",
+    "run_batched_suite",
+]
 
 
 @dataclass(frozen=True)
@@ -103,3 +120,80 @@ def suite_cases(name: str, *, inf_value: int) -> list[WorkloadCase]:
             f"unknown suite {name!r}; available: {sorted(SUITES)}"
         ) from None
     return factory(inf_value)
+
+
+@dataclass(frozen=True)
+class BatchedWorkloadCase:
+    """Several same-size MCP instances stacked into one lane batch."""
+
+    name: str
+    W: np.ndarray  # (B, n, n) per-lane weight stack
+    destinations: np.ndarray  # (B,) per-lane destination
+    members: tuple[str, ...]  # source case names, lane order
+
+    @property
+    def n(self) -> int:
+        return int(self.W.shape[-1])
+
+    @property
+    def batch(self) -> int:
+        return int(self.W.shape[0])
+
+
+def batch_suite(
+    cases: Iterable[WorkloadCase], *, lanes: int | None = None
+) -> list[BatchedWorkloadCase]:
+    """Group *cases* by grid size into lane stacks of at most *lanes* each.
+
+    Order within a stack follows suite order, so results map back to the
+    originating cases deterministically. ``lanes=None`` packs every
+    same-size case into a single stack.
+    """
+    if lanes is not None and lanes < 1:
+        raise GraphError(f"lanes must be >= 1, got {lanes}")
+    groups: dict[int, list[WorkloadCase]] = {}
+    for case in cases:
+        groups.setdefault(case.n, []).append(case)
+    stacks: list[BatchedWorkloadCase] = []
+    for n in sorted(groups):
+        members = groups[n]
+        cap = len(members) if lanes is None else lanes
+        for start in range(0, len(members), cap):
+            chunk = members[start : start + cap]
+            stacks.append(
+                BatchedWorkloadCase(
+                    name=f"batch(n={n},lanes={len(chunk)},#{start // cap})",
+                    W=np.stack([c.W for c in chunk]),
+                    destinations=np.array(
+                        [c.destination for c in chunk], dtype=np.int64
+                    ),
+                    members=tuple(c.name for c in chunk),
+                )
+            )
+    return stacks
+
+
+def run_batched_suite(
+    cases: Sequence[WorkloadCase],
+    *,
+    word_bits: int = 16,
+    lanes: int | None = None,
+    **kwargs,
+):
+    """Execute a whole suite through the batched MCP kernel.
+
+    Returns ``{case.name: MCPResult}`` with results and per-case counters
+    bit-identical to running :func:`repro.core.mcp.minimum_cost_path` on
+    each case serially — but one SIMD kernel per same-size stack instead
+    of one machine pass per case.
+    """
+    from repro.core.batched import batched_mcp_on_new_machine
+
+    results = {}
+    for stack in batch_suite(cases, lanes=lanes):
+        res = batched_mcp_on_new_machine(
+            stack.W, stack.destinations, word_bits=word_bits, **kwargs
+        )
+        for b, member in enumerate(stack.members):
+            results[member] = res.lane(b)
+    return results

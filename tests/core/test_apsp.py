@@ -61,3 +61,93 @@ class TestAPSP:
         m = PPAMachine(PPAConfig(n=7, word_bits=16))
         fast = all_pairs_minimum_cost(m, W, word_parallel=True)
         assert np.array_equal(fast.dist, apsp.dist)
+
+
+class TestBatchedSweep:
+    """The default sweep runs all destinations as lanes of one batched
+    pass; ``serial=True`` is the literal host-controller loop. The two
+    must be bit-identical in results AND serial-equivalent counters."""
+
+    def test_batched_equals_serial_bit_for_bit(self, setup):
+        W, _, batched = setup
+        serial = all_pairs_minimum_cost(
+            PPAMachine(PPAConfig(n=7, word_bits=16)), W, serial=True
+        )
+        assert np.array_equal(batched.dist, serial.dist)
+        assert np.array_equal(batched.succ, serial.succ)
+        assert np.array_equal(batched.iterations, serial.iterations)
+        assert batched.counters == serial.counters
+
+    def test_serial_sweep_machine_counters_equal_totals(self, setup):
+        W, _, _ = setup
+        serial = all_pairs_minimum_cost(
+            PPAMachine(PPAConfig(n=7, word_bits=16)), W, serial=True
+        )
+        assert serial.machine_counters == serial.counters
+        assert serial.lane_counters == {}
+
+    def test_batched_machine_counters_amortise(self, setup):
+        _, _, batched = setup
+        # one SIMD stream serves 7 lanes: far fewer actual bus cycles
+        assert (
+            batched.machine_counters["bus_cycles"] * 3
+            < batched.counters["bus_cycles"]
+        )
+
+    def test_lane_counters_partition_totals(self, setup):
+        _, _, batched = setup
+        for name, total in batched.counters.items():
+            assert int(batched.lane_counters[name].sum()) == total
+            assert batched.lane_counters[name].shape == (7,)
+
+    def test_lane_column_matches_single_destination_run(self, setup):
+        from repro import minimum_cost_path
+
+        W, _, batched = setup
+        for d in (0, 3, 6):
+            res = minimum_cost_path(
+                PPAMachine(PPAConfig(n=7, word_bits=16)), W, d
+            )
+            lane = {
+                k: int(v[d]) for k, v in batched.lane_counters.items()
+            }
+            assert lane == res.counters
+            assert batched.iterations[d] == res.iterations
+
+    @pytest.mark.parametrize("lanes", [1, 2, 3, 7, 99])
+    def test_lanes_chunking_invariant(self, setup, lanes):
+        """Any lane cap gives the same matrices and the same
+        serial-equivalent totals — chunking is purely a memory knob."""
+        W, _, full = setup
+        res = all_pairs_minimum_cost(
+            PPAMachine(PPAConfig(n=7, word_bits=16)), W, lanes=lanes
+        )
+        assert np.array_equal(res.dist, full.dist)
+        assert np.array_equal(res.succ, full.succ)
+        assert res.counters == full.counters
+        for name in full.lane_counters:
+            assert np.array_equal(
+                res.lane_counters[name], full.lane_counters[name]
+            )
+
+    def test_word_parallel_batched_equals_word_parallel_serial(self, setup):
+        W, _, _ = setup
+        fast_b = all_pairs_minimum_cost(
+            PPAMachine(PPAConfig(n=7, word_bits=16)), W, word_parallel=True
+        )
+        fast_s = all_pairs_minimum_cost(
+            PPAMachine(PPAConfig(n=7, word_bits=16)), W,
+            word_parallel=True, serial=True,
+        )
+        assert np.array_equal(fast_b.dist, fast_s.dist)
+        assert fast_b.counters == fast_s.counters
+
+    def test_caller_machine_attribution(self, setup):
+        """Batched passes run through lanes() views, so the caller's
+        scalar counters see exactly the batched-stream cost."""
+        W, _, _ = setup
+        m = PPAMachine(PPAConfig(n=7, word_bits=16))
+        res = all_pairs_minimum_cost(m, W)
+        assert m.counters.snapshot() == {
+            k: res.machine_counters[k] for k in m.counters.snapshot()
+        }

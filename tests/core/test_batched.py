@@ -1,0 +1,254 @@
+"""Batched multi-lane MCP: lane-for-lane equivalence with serial runs.
+
+The headline satellite lives here: a hypothesis property test pinning the
+batched driver to the serial :func:`repro.core.mcp.minimum_cost_path`
+**lane for lane** — same ``sow``, same ``ptn``, same per-lane
+``iterations``, and the same per-lane *counter deltas*. The counter half
+is the strong claim: one MCP iteration issues a fixed instruction
+sequence, so a lane's ledger on the batched machine must price exactly
+what its own serial run would have priced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PPAConfig, PPAMachine, minimum_cost_path
+from repro.core import (
+    BatchedMCPResult,
+    batched_mcp_on_new_machine,
+    batched_minimum_cost_path,
+)
+from repro.core.result import MCPResult
+from repro.errors import GraphError
+from repro.ppc.reductions import word_parallel_min
+from repro.workloads import WeightSpec, gnp_digraph, layered_graph, ring_graph
+
+INF16 = (1 << 16) - 1
+
+
+def serial_run(W, d, h=16, **kwargs):
+    n = W.shape[0]
+    return minimum_cost_path(
+        PPAMachine(PPAConfig(n=n, word_bits=h)), W, d, **kwargs
+    )
+
+
+def assert_lane_equals_serial(res: BatchedMCPResult, b: int, serial: MCPResult):
+    """Full lane-for-lane contract: data planes AND counter deltas."""
+    lane = res.lane(b)
+    assert lane.destination == serial.destination
+    assert np.array_equal(lane.sow, serial.sow)
+    assert np.array_equal(lane.ptn, serial.ptn)
+    assert lane.iterations == serial.iterations
+    assert lane.counters == serial.counters
+
+
+class TestPropertyBatchedVsSerial:
+    """The satellite: batched == serial, lane for lane, counters included."""
+
+    @given(
+        n=st.integers(2, 7),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_destinations_shared_graph(self, n, density, seed):
+        W = gnp_digraph(n, density, seed=seed, weights=WeightSpec(0, 12),
+                        inf_value=INF16)
+        dests = np.arange(n)
+        res = batched_mcp_on_new_machine(W, dests)
+        for b, d in enumerate(dests):
+            assert_lane_equals_serial(res, b, serial_run(W, int(d)))
+        # per-lane ledgers partition the serial sweep totals exactly
+        serial_totals = {}
+        for d in dests:
+            for k, v in serial_run(W, int(d)).counters.items():
+                serial_totals[k] = serial_totals.get(k, 0) + v
+        assert res.lane_counter_totals() == serial_totals
+
+    @given(
+        n=st.integers(2, 6),
+        batch=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_per_lane_weight_stacks(self, n, batch, seed):
+        """Sweep form: every lane is its own graph + destination."""
+        rng = np.random.default_rng(seed)
+        W_stack = np.stack([
+            gnp_digraph(n, float(rng.uniform(0.1, 0.9)),
+                        seed=int(rng.integers(1 << 30)),
+                        weights=WeightSpec(1, 9), inf_value=INF16)
+            for _ in range(batch)
+        ])
+        dests = rng.integers(0, n, size=batch)
+        res = batched_mcp_on_new_machine(W_stack, dests)
+        for b in range(batch):
+            assert_lane_equals_serial(
+                res, b, serial_run(W_stack[b], int(dests[b]))
+            )
+
+
+class TestConvergenceMasking:
+    def test_layered_graph_lanes_converge_at_different_depths(self):
+        """Shallow lanes freeze early; every lane's iteration count and
+        frozen planes still match its serial run."""
+        W, deep = layered_graph(6, 2, seed=0, weights=WeightSpec(1, 5),
+                                inf_value=INF16)
+        n = W.shape[0]
+        dests = np.arange(n)
+        res = batched_mcp_on_new_machine(W, dests)
+        serials = [serial_run(W, d) for d in range(n)]
+        assert res.iterations.min() < res.iterations.max()  # masking exercised
+        assert int(res.iterations[deep]) == max(s.iterations for s in serials)
+        for b in range(n):
+            assert_lane_equals_serial(res, b, serials[b])
+
+    def test_converged_lane_stops_accruing(self):
+        W, deep = layered_graph(5, 2, seed=1, weights=WeightSpec(1, 5),
+                                inf_value=INF16)
+        n = W.shape[0]
+        res = batched_mcp_on_new_machine(W, np.arange(n))
+        shallow = int(np.argmin(res.iterations))
+        assert (
+            res.lane_counters["bus_cycles"][shallow]
+            < res.lane_counters["bus_cycles"][deep]
+        )
+
+    def test_duplicate_destinations_allowed(self):
+        W = gnp_digraph(5, 0.5, seed=7, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        res = batched_mcp_on_new_machine(W, np.array([2, 2, 0]))
+        serial2 = serial_run(W, 2)
+        assert_lane_equals_serial(res, 0, serial2)
+        assert_lane_equals_serial(res, 1, serial2)
+        assert_lane_equals_serial(res, 2, serial_run(W, 0))
+
+
+class TestMachineForms:
+    def test_unbatched_machine_gets_a_lanes_view(self):
+        """Passing an unbatched machine works and attributes the batched
+        stream's cost to the caller's scalar counters."""
+        W = gnp_digraph(5, 0.4, seed=3, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        m = PPAMachine(PPAConfig(n=5))
+        res = batched_minimum_cost_path(m, W, np.arange(5))
+        assert m.counters.snapshot() == {
+            k: res.counters[k] for k in m.counters.snapshot()
+        }
+        assert_lane_equals_serial(res, 1, serial_run(W, 1))
+
+    def test_prebatched_machine(self):
+        W = gnp_digraph(4, 0.5, seed=2, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        m = PPAMachine(PPAConfig(n=4), batch=4)
+        res = batched_minimum_cost_path(m, W, np.arange(4))
+        assert_lane_equals_serial(res, 3, serial_run(W, 3))
+
+    def test_batch_mismatch_raises(self):
+        W = ring_graph(4, seed=0, inf_value=INF16)
+        m = PPAMachine(PPAConfig(n=4), batch=3)
+        with pytest.raises(GraphError, match="batch=3 but 4 destinations"):
+            batched_minimum_cost_path(m, W, np.arange(4))
+
+    def test_scalar_counters_amortise_over_lanes(self):
+        """The batched stream's machine cost is far below the per-lane
+        serial-equivalent totals — that is the point of batching."""
+        W = gnp_digraph(8, 0.3, seed=4, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        res = batched_mcp_on_new_machine(W, np.arange(8))
+        totals = res.lane_counter_totals()
+        assert res.counters["bus_cycles"] * 4 < totals["bus_cycles"]
+        assert res.counters["broadcasts"] * 4 < totals["broadcasts"]
+
+
+class TestValidationAndErrors:
+    def test_empty_destinations(self):
+        W = ring_graph(4, seed=0, inf_value=INF16)
+        with pytest.raises(GraphError, match="non-empty"):
+            batched_mcp_on_new_machine(W, np.array([], dtype=np.int64))
+
+    def test_non_vector_destinations(self):
+        W = ring_graph(4, seed=0, inf_value=INF16)
+        with pytest.raises(GraphError, match="1-D vector"):
+            batched_mcp_on_new_machine(W, np.array([[0, 1]]))
+
+    def test_destination_out_of_range(self):
+        W = ring_graph(4, seed=0, inf_value=INF16)
+        with pytest.raises(GraphError, match=r"destination 7 outside"):
+            batched_mcp_on_new_machine(W, np.array([0, 7]))
+
+    def test_weight_stack_lane_mismatch(self):
+        W = np.stack([ring_graph(4, seed=s, inf_value=INF16) for s in (0, 1)])
+        with pytest.raises(GraphError, match="2 lanes but 3 destinations"):
+            batched_mcp_on_new_machine(W, np.array([0, 1, 2]))
+
+    def test_weight_rank_rejected(self):
+        with pytest.raises(GraphError, match=r"\(n, n\) or \(B, n, n\)"):
+            batched_mcp_on_new_machine(
+                np.zeros((2, 2, 2, 2)), np.array([0, 1])
+            )
+
+    def test_max_iterations_guard(self):
+        W = ring_graph(8, seed=0, inf_value=INF16)
+        with pytest.raises(GraphError, match="did not converge"):
+            batched_mcp_on_new_machine(W, np.arange(8), max_iterations=2)
+
+    def test_nonzero_diagonal_rejected_per_lane(self):
+        W = np.stack([ring_graph(4, seed=s, inf_value=INF16) for s in (0, 1)])
+        W[1, 2, 2] = 5
+        with pytest.raises(GraphError, match="diagonal"):
+            batched_mcp_on_new_machine(W, np.array([0, 1]))
+
+
+class TestInjectableRoutines:
+    def test_word_parallel_min_matches_serial_variant(self):
+        """The A7 ablation routine threads through the batched driver and
+        still matches its own serial counterpart lane for lane."""
+        W = gnp_digraph(6, 0.4, seed=5, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        res = batched_mcp_on_new_machine(
+            W, np.arange(6), min_routine=word_parallel_min
+        )
+        for d in range(6):
+            serial = serial_run(W, d, min_routine=word_parallel_min)
+            assert_lane_equals_serial(res, d, serial)
+
+
+class TestResultContainer:
+    def test_shapes_and_metadata(self):
+        W = gnp_digraph(5, 0.5, seed=1, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        res = batched_mcp_on_new_machine(W, np.array([4, 0, 2]))
+        assert res.batch == 3
+        assert res.n == 5
+        assert res.sow.shape == res.ptn.shape == (3, 5)
+        assert res.iterations.shape == (3,)
+        assert res.maxint == INF16
+        assert res.destinations.tolist() == [4, 0, 2]
+
+    def test_lane_accessor_returns_mcp_result(self):
+        W = gnp_digraph(5, 0.5, seed=1, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        res = batched_mcp_on_new_machine(W, np.array([4, 0]))
+        lane = res.lane(0)
+        assert isinstance(lane, MCPResult)
+        assert lane.destination == 4
+        assert lane.path(4) == [4]
+
+    def test_lane_planes_are_copies(self):
+        W = ring_graph(4, seed=0, inf_value=INF16)
+        res = batched_mcp_on_new_machine(W, np.array([0, 1]))
+        res.lane(0).sow[0] = -99
+        assert res.sow[0, 0] != -99
+
+    def test_shape_validation(self):
+        with pytest.raises(GraphError, match="equal shape"):
+            BatchedMCPResult(
+                destinations=np.array([0]),
+                sow=np.zeros((1, 4)),
+                ptn=np.zeros((1, 5)),
+                iterations=np.array([1]),
+                maxint=INF16,
+            )

@@ -209,6 +209,10 @@ class TestExecutorOpcodes:
 
 class TestExtensions:
     def test_apsp_span_tree(self):
+        # Batched by default: all n destinations ride as lanes of one
+        # "apsp.batch" span; the profile's counters are the batched-stream
+        # deltas (res.machine_counters), while res.counters keeps the
+        # serial-equivalent sum.
         n = 8
         W = gnp_digraph(n, 0.4, seed=2, weights=WeightSpec(1, 9),
                         inf_value=_INF)
@@ -218,9 +222,33 @@ class TestExtensions:
         profile = RunProfile.from_tracer(m.telemetry)
         (root,) = profile.spans
         assert root.name == "apsp"
+        assert root.attrs["lanes"] == n
+        batches = profile.find("apsp.batch")
+        assert [s.attrs["first"] for s in batches] == [0]
+        assert batches[0].attrs["lanes"] == n
+        (mcp_span,) = profile.find("mcp.batched")
+        assert mcp_span.attrs["lanes"] == n
+        assert profile.counters == res.machine_counters
+        # Serial-equivalent totals are preserved and strictly larger than
+        # the batched stream actually paid.
+        assert res.counters["bus_cycles"] > res.machine_counters["bus_cycles"]
+
+    def test_apsp_serial_span_tree(self):
+        # serial=True keeps the literal host-controller sweep and its
+        # per-destination span shape.
+        n = 8
+        W = gnp_digraph(n, 0.4, seed=2, weights=WeightSpec(1, 9),
+                        inf_value=_INF)
+        m = PPAMachine(PPAConfig(n=n, word_bits=_H))
+        with m.telemetry.capture():
+            res = all_pairs_minimum_cost(m, W, serial=True)
+        profile = RunProfile.from_tracer(m.telemetry)
+        (root,) = profile.spans
+        assert root.name == "apsp"
         destinations = profile.find("apsp.destination")
         assert [s.attrs["d"] for s in destinations] == list(range(n))
         assert profile.counters == res.counters
+        assert res.machine_counters == res.counters
 
     def test_mst_span_tree(self):
         n = 8

@@ -113,6 +113,79 @@ class TestMcpObservability:
         assert load_profile(path).meta["arch"] == "mesh"
 
 
+class TestApspCommand:
+    def test_generate_gnp_batched_default(self, capsys):
+        assert main(["apsp", "--generate", "gnp", "--n", "6", "--seed",
+                     "1"]) == 0
+        out = capsys.readouterr().out
+        assert "all-pairs minimum cost on ppa" in out
+        assert "batched lanes=6" in out
+        assert "counters (serial-equivalent):" in out
+        # batched mode also reports the amortised machine-stream cost
+        assert "counters (batched machine):" in out
+
+    def test_serial_flag(self, capsys):
+        assert main(["apsp", "--generate", "gnp", "--n", "6", "--seed", "1",
+                     "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "serial sweep" in out
+        # serial sweep: machine counters == serial-equivalent, not reprinted
+        assert "counters (batched machine):" not in out
+
+    def test_batched_and_serial_report_same_totals(self, capsys):
+        main(["apsp", "--generate", "gnp", "--n", "6", "--seed", "3"])
+        batched = capsys.readouterr().out
+        main(["apsp", "--generate", "gnp", "--n", "6", "--seed", "3",
+              "--serial"])
+        serial = capsys.readouterr().out
+        pick = lambda s: next(  # noqa: E731
+            ln for ln in s.splitlines() if "serial-equivalent" in ln
+        )
+        assert pick(batched) == pick(serial)
+
+    def test_lanes_knob(self, capsys):
+        assert main(["apsp", "--generate", "gnp", "--n", "6", "--lanes",
+                     "2"]) == 0
+        assert "batched lanes=2" in capsys.readouterr().out
+
+    def test_matrix_flag(self, capsys):
+        assert main(["apsp", "--generate", "complete", "--n", "5",
+                     "--matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "distance matrix" in out
+        assert "reachable ordered pairs: 20/20" in out
+
+    def test_word_parallel(self, capsys):
+        assert main(["apsp", "--generate", "ring", "--n", "5",
+                     "--word-parallel"]) == 0
+
+    def test_graph_from_file(self, tmp_path, capsys):
+        path = tmp_path / "w.txt"
+        path.write_text("0 2 inf\ninf 0 4\n1 inf 0\n")
+        assert main(["apsp", "--graph", str(path)]) == 0
+        assert "reachable ordered pairs: 6/6" in capsys.readouterr().out
+
+    def test_profile_export(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "apsp.json"
+        assert main(["apsp", "--generate", "gnp", "--n", "6", "--profile",
+                     str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "repro-profile-v1"
+        assert payload["meta"]["command"] == "apsp"
+        assert payload["meta"]["serial"] is False
+        top = payload["spans"][0]
+        assert top["name"] == "apsp"
+        assert top["attrs"]["lanes"] == 6
+        assert {c["name"] for c in top["children"]} == {"apsp.batch"}
+
+    def test_trace_summary(self, capsys):
+        assert main(["apsp", "--generate", "gnp", "--n", "5",
+                     "--trace"]) == 0
+        assert "bus transactions:" in capsys.readouterr().out
+
+
 class TestProfileCommand:
     def test_prints_phase_table(self, capsys):
         assert main(["profile", "--generate", "gnp", "--n", "8",

@@ -1,9 +1,15 @@
 """Named workload suites."""
 
+import numpy as np
 import pytest
 
 from repro.errors import GraphError
-from repro.workloads.suites import SUITES, suite_cases
+from repro.workloads.suites import (
+    SUITES,
+    batch_suite,
+    run_batched_suite,
+    suite_cases,
+)
 
 INF16 = (1 << 16) - 1
 
@@ -40,3 +46,60 @@ class TestSuites:
     def test_unknown_suite(self):
         with pytest.raises(GraphError, match="unknown suite"):
             suite_cases("nope", inf_value=INF16)
+
+
+class TestBatchSuite:
+    def test_groups_by_grid_size(self):
+        cases = suite_cases("correctness", inf_value=INF16)
+        stacks = batch_suite(cases)
+        # one stack per distinct grid size when lanes is uncapped
+        assert len(stacks) == len({c.n for c in cases})
+        for stack in stacks:
+            assert stack.W.shape == (stack.batch, stack.n, stack.n)
+            assert stack.destinations.shape == (stack.batch,)
+            assert len(stack.members) == stack.batch
+
+    def test_lane_cap_chunks_deterministically(self):
+        cases = suite_cases("correctness", inf_value=INF16)
+        stacks = batch_suite(cases, lanes=4)
+        assert all(s.batch <= 4 for s in stacks)
+        # chunking preserves suite order and loses no case
+        flat = [m for s in stacks for m in s.members]
+        by_n: dict[int, list[str]] = {}
+        for c in cases:
+            by_n.setdefault(c.n, []).append(c.name)
+        expected = [m for n in sorted(by_n) for m in by_n[n]]
+        assert flat == expected
+
+    def test_lane_order_maps_back_to_cases(self):
+        cases = suite_cases("unit", inf_value=INF16)
+        by_name = {c.name: c for c in cases}
+        for stack in batch_suite(cases):
+            for b, member in enumerate(stack.members):
+                assert np.array_equal(stack.W[b], by_name[member].W)
+                assert stack.destinations[b] == by_name[member].destination
+
+    def test_invalid_lanes(self):
+        with pytest.raises(GraphError, match="lanes must be >= 1"):
+            batch_suite(suite_cases("unit", inf_value=INF16), lanes=0)
+
+
+class TestRunBatchedSuite:
+    @pytest.mark.parametrize("lanes", [None, 3])
+    def test_results_match_serial_runs(self, lanes):
+        from repro import PPAConfig, PPAMachine, minimum_cost_path
+
+        cases = suite_cases("unit", inf_value=INF16)
+        results = run_batched_suite(cases, lanes=lanes)
+        assert set(results) == {c.name for c in cases}
+        for case in cases:
+            serial = minimum_cost_path(
+                PPAMachine(PPAConfig(n=case.n, word_bits=16)),
+                case.W,
+                case.destination,
+            )
+            got = results[case.name]
+            assert np.array_equal(got.sow, serial.sow)
+            assert np.array_equal(got.ptn, serial.ptn)
+            assert got.iterations == serial.iterations
+            assert got.counters == serial.counters
