@@ -1,0 +1,53 @@
+"""T16 — resilient execution campaign: coverage + recovery overhead.
+
+Runs the deterministic detect/diagnose/recover campaign behind the T16
+table (:func:`repro.analysis.experiments.run_t16_campaign`): one
+fault-free baseline, one mid-run permanent, one screen-time permanent,
+and three stochastic sweeps (intermittent stuck-ats, transient
+bit-flips, a mixed plan) with seeded activation RNGs. Asserts the
+acceptance bar — **zero silent corruption** and at least 95 % of runs
+detected-or-benign — and writes ``BENCH_t16_resilience.json``.
+
+All counter fields in the artefact are deterministic (the stochastic
+sweeps draw from per-run seeded RNGs) and are drift-guarded by
+``benchmarks/check_drift.py`` / the CI perf-regression job. The artefact
+holds no wall-clock fields.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import run_t16_campaign
+
+_ARTIFACT = Path(__file__).parent / "profiles" / "BENCH_t16_resilience.json"
+
+
+def _acceptance(campaign: dict) -> None:
+    total = sum(sc["runs"] for sc in campaign["scenarios"])
+    silent = sum(sc["silent_wrong"] for sc in campaign["scenarios"])
+    # detected-or-benign = every run that is either correct (trustworthy
+    # and bit-identical) or honestly FAILED; silent-wrong is the only
+    # other bucket.
+    assert silent == 0, f"{silent} silently corrupted run(s)"
+    detected_or_benign = total - silent
+    assert detected_or_benign / total >= 0.95
+    baseline = campaign["scenarios"][0]
+    assert baseline["label"] == "fault-free"
+    assert baseline["status"]["clean"] == baseline["runs"]
+    assert baseline["rollbacks"] == 0 and baseline["remaps"] == 0
+
+
+def test_t16_campaign(benchmark, report):
+    campaign = benchmark.pedantic(run_t16_campaign, rounds=1, iterations=1)
+    _acceptance(campaign)
+
+    _ARTIFACT.parent.mkdir(exist_ok=True)
+    _ARTIFACT.write_text(json.dumps({
+        "schema": "repro-bench-t16-v1",
+        "workload": campaign["workload"],
+        "scenarios": campaign["scenarios"],
+    }, indent=2, sort_keys=True) + "\n")
+
+    from repro.analysis.experiments import run_t16
+
+    report(run_t16(campaign=campaign))

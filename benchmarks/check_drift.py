@@ -99,6 +99,36 @@ def _check_p2(path: Path, regen_unused=None) -> list[str]:
     return diffs
 
 
+def _check_t16(path: Path) -> list[str]:
+    """Exact re-run of the T16 resilience campaign.
+
+    Everything in the artefact is deterministic — the stochastic fault
+    sweeps draw from per-run seeded RNGs — so every status tally,
+    recovery action, counter total and overhead bucket must regenerate
+    bit-for-bit. (A resilience-disabled corollary is guarded by the
+    profile checks above: none of their counters may move either.)
+    """
+    from repro.analysis.experiments import run_t16_campaign
+
+    committed = json.loads(path.read_text())
+    fresh = run_t16_campaign()
+
+    diffs: list[str] = []
+    if committed["workload"] != fresh["workload"]:
+        diffs.append("workload: parameters drifted")
+    old_sc = {sc["label"]: sc for sc in committed["scenarios"]}
+    new_sc = {sc["label"]: sc for sc in fresh["scenarios"]}
+    for label in sorted(set(old_sc) | set(new_sc)):
+        if label not in old_sc or label not in new_sc:
+            diffs.append(f"scenario set changed: {label}")
+            continue
+        a, b = old_sc[label], new_sc[label]
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                diffs.append(f"{label}.{key}: {a.get(key)} -> {b.get(key)}")
+    return diffs
+
+
 # Committed artefact -> regenerating callable returning drift lines.
 CHECKS = {
     "BENCH_t1_mcp.json": lambda p: _check_profile(p, _regen_t1_mcp),
@@ -108,6 +138,7 @@ CHECKS = {
         p, _regen_t5("hypercube")),
     "BENCH_t5_mesh.json": lambda p: _check_profile(p, _regen_t5("mesh")),
     "BENCH_p2_batching.json": _check_p2,
+    "BENCH_t16_resilience.json": _check_t16,
 }
 
 

@@ -55,6 +55,8 @@ __all__ = [
     "run_t13",
     "run_t14",
     "run_t15",
+    "run_t16",
+    "run_t16_campaign",
     "ALL_EXPERIMENTS",
 ]
 
@@ -864,6 +866,193 @@ def run_t15(quick: bool = False) -> Table:
     return table
 
 
+# ---------------------------------------------------------------------------
+# T16 — resilient execution: detect / diagnose / recover campaigns
+# ---------------------------------------------------------------------------
+
+
+def run_t16_campaign(quick: bool = False) -> dict:
+    """Deterministic detect/recover campaign behind the T16 table.
+
+    Returns the raw per-scenario aggregates (status tallies, correctness
+    against the fault-free serial reference, recovery actions, counter
+    totals and the four overhead buckets) shared by :func:`run_t16`, the
+    ``BENCH_t16_resilience.json`` artefact and the CI fault-campaign
+    smoke. Every stochastic fault activation draws from a per-run seeded
+    RNG (:class:`~repro.ppa.faults.FaultPlan`), so all numbers —
+    including the transient/intermittent sweeps' — regenerate
+    bit-for-bit.
+    """
+    from repro.ppa.faults import FaultKind, FaultPlan
+    from repro.resilience import ResilienceStatus, ResilientExecutor
+
+    m, n_phys, d = 6, 8, 2
+    seeds = 3 if quick else 12
+    W = gnp_digraph(m, 0.4, seed=3, weights=WeightSpec(1, 9),
+                    inf_value=_INF16)
+    ref = minimum_cost_path(_machine(m), W, d)
+
+    def midrun_hook():
+        fired = {"done": False}
+
+        def hook(k, base):
+            if k == 3 and not fired["done"]:
+                fired["done"] = True
+                base.inject_faults(
+                    FaultPlan().add(2, 4, FaultKind.STUCK_SHORT, axis=0)
+                )
+
+        return hook
+
+    scenarios = [
+        ("fault-free", None, False, 1),
+        ("permanent short mid-run", None, True, 1),
+        (
+            "permanent open at start",
+            lambda s: FaultPlan().add(3, 5, FaultKind.STUCK_OPEN, axis=1),
+            False,
+            1,
+        ),
+        (
+            "intermittent open p=0.3",
+            lambda s: FaultPlan(seed=s).add_intermittent(
+                2, 4, FaultKind.STUCK_OPEN, probability=0.3, axis=0
+            ),
+            False,
+            seeds,
+        ),
+        (
+            "intermittent short p=0.15",
+            lambda s: FaultPlan(seed=s).add_intermittent(
+                6, 3, FaultKind.STUCK_SHORT, probability=0.15, axis=0
+            ),
+            False,
+            seeds,
+        ),
+        (
+            "transient bit-flips p=0.05",
+            lambda s: FaultPlan(seed=s)
+            .add_transient(2, 4, bit=3, probability=0.05, axis=0)
+            .add_transient(5, 1, bit=0, probability=0.05, axis=1),
+            False,
+            seeds,
+        ),
+        (
+            "mixed intermittent+transient",
+            lambda s: FaultPlan(seed=s)
+            .add_intermittent(
+                1, 5, FaultKind.STUCK_OPEN, probability=0.2, axis=1
+            )
+            .add_transient(4, 2, bit=5, probability=0.1, axis=0),
+            False,
+            seeds,
+        ),
+    ]
+
+    campaign: dict = {
+        "workload": {
+            "m": m,
+            "n_phys": n_phys,
+            "d": d,
+            "density": 0.4,
+            "graph_seed": 3,
+            "word_bits": _H,
+            "runs_per_sweep": seeds,
+        },
+        "scenarios": [],
+    }
+    for label, mkplan, midrun, runs in scenarios:
+        agg: dict = {
+            "label": label,
+            "runs": runs,
+            "status": {s.value: 0 for s in ResilienceStatus},
+            "correct": 0,
+            "silent_wrong": 0,
+            "rollbacks": 0,
+            "remaps": 0,
+            "checkpoints": 0,
+            "detections": 0,
+            "benign_glitches": 0,
+            "replayed_rounds": 0,
+            "counters": {},
+            "overhead": {},
+        }
+        for s in range(runs):
+            machine = _machine(n_phys)
+            if mkplan is not None:
+                machine.inject_faults(mkplan(s))
+            res = ResilientExecutor(machine).run(
+                W,
+                d,
+                round_hook=midrun_hook() if midrun else None,
+                raise_on_failure=False,
+            )
+            agg["status"][res.status.value] += 1
+            ok = bool(
+                np.array_equal(res.sow[0], ref.sow)
+                and np.array_equal(res.ptn[0], ref.ptn)
+            )
+            if res.trustworthy:
+                # FAILED is an honest detection; only a trustworthy-but-
+                # wrong result counts as silent corruption.
+                if ok:
+                    agg["correct"] += 1
+                else:
+                    agg["silent_wrong"] += 1
+            agg["rollbacks"] += res.rollbacks
+            agg["remaps"] += res.remaps
+            agg["checkpoints"] += res.checkpoints
+            agg["detections"] += res.detections
+            agg["benign_glitches"] += res.benign_glitches
+            agg["replayed_rounds"] += res.replayed_rounds
+            for k, v in res.counters.items():
+                agg["counters"][k] = agg["counters"].get(k, 0) + int(v)
+            for k, v in res.overhead_total().items():
+                agg["overhead"][k] = agg["overhead"].get(k, 0) + int(v)
+        campaign["scenarios"].append(agg)
+    return campaign
+
+
+def run_t16(quick: bool = False, campaign: dict | None = None) -> Table:
+    """Resilient runtime campaign: status outcomes, recovery actions and
+    the counter overhead of running guarded (docs/robustness.md).
+
+    Pass a precomputed ``campaign`` (from :func:`run_t16_campaign`) to
+    render without re-running the sweeps.
+    """
+    table = Table(
+        "T16 - resilient MCP campaign (gnp m=6 on an 8x8 array, h=16)",
+        ["scenario", "runs", "clean", "recovered", "degraded", "failed",
+         "silent-wrong", "rollbacks", "remaps", "overhead"],
+    )
+    if campaign is None:
+        campaign = run_t16_campaign(quick)
+    for sc in campaign["scenarios"]:
+        bus = sc["counters"].get("bus_cycles", 0)
+        obus = sc["overhead"].get("bus_cycles", 0)
+        pct = 100.0 * obus / bus if bus else 0.0
+        table.add_row(
+            sc["label"],
+            sc["runs"],
+            sc["status"]["clean"],
+            sc["status"]["recovered"],
+            sc["status"]["degraded"],
+            sc["status"]["failed"],
+            sc["silent_wrong"],
+            sc["rollbacks"],
+            sc["remaps"],
+            f"{pct:.0f}% bus",
+        )
+    table.note(
+        "every trustworthy (non-failed) result is bit-identical to the "
+        "fault-free serial run - 'silent-wrong' must be 0; overhead = "
+        "share of bus cycles spent on detection + diagnosis + checkpoint "
+        "+ recovery; stochastic sweeps draw from seeded fault-activation "
+        "RNGs, so the whole campaign is deterministic"
+    )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "T1": run_t1,
     "F2": run_f2,
@@ -881,4 +1070,5 @@ ALL_EXPERIMENTS = {
     "T13": run_t13,
     "T14": run_t14,
     "T15": run_t15,
+    "T16": run_t16,
 }

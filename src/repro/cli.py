@@ -17,6 +17,15 @@ profile; ``--trace-format chrome`` emits Chrome ``trace_event`` JSON for
 chrome://tracing / Perfetto instead of the native schema) and ``--trace``
 (print the bus transaction log summary; PPA architecture only).
 
+``mcp``, ``apsp`` and ``selftest`` accept fault-injection flags
+(``--fault``, ``--fault-intermittent``, ``--fault-transient``,
+``--fault-seed``; see :mod:`repro.ppa.faults`). ``mcp`` and ``apsp``
+additionally accept ``--screen`` (pre-flight self-test that refuses a
+diagnosed-faulty array) and ``--resilient`` with its policy knobs
+(``--array-n``, ``--checkpoint-every``, ``--max-retries``,
+``--detect-every``) to run under the detect/diagnose/recover runtime of
+:mod:`repro.resilience` — see docs/robustness.md.
+
 Graphs load from ``.npy``/``.npz`` (array ``W``) or whitespace/CSV text via
 :func:`numpy.loadtxt`; ``inf`` entries mean "no edge".
 """
@@ -91,6 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full path for every reachable vertex",
     )
+    _add_fault_flags(mcp)
+    _add_resilience_flags(mcp)
     _add_observability_flags(mcp)
 
     apsp = sub.add_parser(
@@ -126,6 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full distance matrix (default: summary only)",
     )
+    _add_fault_flags(apsp)
+    _add_resilience_flags(apsp)
     _add_observability_flags(apsp)
 
     prof = sub.add_parser(
@@ -201,15 +214,91 @@ def build_parser() -> argparse.ArgumentParser:
 
     st = sub.add_parser("selftest", help="bus switch diagnostic")
     st.add_argument("--n", type=int, default=8)
-    st.add_argument(
+    _add_fault_flags(st)
+    _add_observability_flags(st)
+    return parser
+
+
+def _add_fault_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
         "--fault",
         action="append",
         default=[],
         metavar="ROW,COL,KIND[,AXIS]",
-        help="inject a fault first (KIND: open|short; AXIS: 0|1|both)",
+        help="inject a permanent switch fault (KIND: open|short; "
+        "AXIS: 0|1|both)",
     )
-    _add_observability_flags(st)
-    return parser
+    sub.add_argument(
+        "--fault-intermittent",
+        action="append",
+        default=[],
+        metavar="ROW,COL,KIND,PROB[,AXIS]",
+        help="inject an intermittent stuck-at that fires with "
+        "probability PROB per bus transaction",
+    )
+    sub.add_argument(
+        "--fault-transient",
+        action="append",
+        default=[],
+        metavar="ROW,COL,BIT,PROB[,AXIS]",
+        help="inject a transient bit-flip on the word PE (ROW, COL) "
+        "receives, with probability PROB per bus transaction",
+    )
+    sub.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="RNG seed for stochastic fault activation",
+    )
+
+
+def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--resilient",
+        action="store_true",
+        help="run under the resilient executor: screen, online "
+        "detectors, checkpoint/rollback/replay, spare-row remap "
+        "(ppa only; see docs/robustness.md)",
+    )
+    sub.add_argument(
+        "--array-n",
+        type=int,
+        default=None,
+        metavar="N_PHYS",
+        help="physical array side, >= the problem size; the slack is "
+        "spare capacity for quarantine (default: exactly the problem "
+        "size, i.e. no spares)",
+    )
+    sub.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        metavar="K",
+        help="commit a verified checkpoint every K productive "
+        "iterations (resilient mode)",
+    )
+    sub.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="R",
+        help="rollback/replay attempts per recovery episode "
+        "(resilient mode)",
+    )
+    sub.add_argument(
+        "--detect-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="run the online detectors every K productive iterations "
+        "(resilient mode)",
+    )
+    sub.add_argument(
+        "--screen",
+        action="store_true",
+        help="pre-flight self-test; without --resilient a diagnosed-"
+        "faulty array is refused",
+    )
 
 
 def _add_observability_flags(sub: argparse.ArgumentParser) -> None:
@@ -293,6 +382,168 @@ def _check_trace_supported(args) -> None:
         raise ReproError("--trace records the PPA bus; use --arch ppa")
 
 
+_FAULT_KINDS = {"open": FaultKind.STUCK_OPEN, "short": FaultKind.STUCK_SHORT}
+
+
+def _parse_axis(token: str, spec: str) -> int | None:
+    if token == "both":
+        return None
+    if token in ("0", "1"):
+        return int(token)
+    raise ReproError(f"fault axis must be 0, 1 or both, got {token!r} "
+                     f"in {spec!r}")
+
+
+def _build_fault_plan(args) -> FaultPlan | None:
+    """Assemble a :class:`FaultPlan` from the ``--fault*`` flags."""
+    if not (args.fault or args.fault_intermittent or args.fault_transient):
+        return None
+    plan = FaultPlan(seed=args.fault_seed)
+    try:
+        for spec in args.fault:
+            parts = spec.split(",")
+            if len(parts) not in (3, 4) or parts[2] not in _FAULT_KINDS:
+                raise ReproError(
+                    f"--fault expects ROW,COL,open|short[,AXIS], got {spec!r}"
+                )
+            axis = _parse_axis(parts[3], spec) if len(parts) == 4 else None
+            plan.add(
+                int(parts[0]), int(parts[1]), _FAULT_KINDS[parts[2]], axis
+            )
+        for spec in args.fault_intermittent:
+            parts = spec.split(",")
+            if len(parts) not in (4, 5) or parts[2] not in _FAULT_KINDS:
+                raise ReproError(
+                    "--fault-intermittent expects ROW,COL,open|short,PROB"
+                    f"[,AXIS], got {spec!r}"
+                )
+            axis = _parse_axis(parts[4], spec) if len(parts) == 5 else None
+            plan.add_intermittent(
+                int(parts[0]), int(parts[1]), _FAULT_KINDS[parts[2]],
+                probability=float(parts[3]), axis=axis,
+            )
+        for spec in args.fault_transient:
+            parts = spec.split(",")
+            if len(parts) not in (4, 5):
+                raise ReproError(
+                    "--fault-transient expects ROW,COL,BIT,PROB[,AXIS], "
+                    f"got {spec!r}"
+                )
+            axis = _parse_axis(parts[4], spec) if len(parts) == 5 else None
+            plan.add_transient(
+                int(parts[0]), int(parts[1]), bit=int(parts[2]),
+                probability=float(parts[3]), axis=axis,
+            )
+    except ValueError as exc:  # int()/float() on a malformed token
+        raise ReproError(f"malformed fault spec: {exc}") from exc
+    return plan
+
+
+def _preflight_screen(machine: PPAMachine) -> None:
+    """``--screen`` without ``--resilient``: refuse a faulty array."""
+    report = diagnose_switches(machine)
+    if report.healthy:
+        print(f"pre-flight screen: all switch-boxes healthy "
+              f"({report.transactions} probe transactions)")
+        return
+    raise ReproError(
+        f"pre-flight screen diagnosed {len(report.faults)} fault(s) and "
+        f"{len(report.undiagnosable_rings)} undiagnosable ring(s); rerun "
+        "with --resilient to quarantine and continue"
+    )
+
+
+def _resilience_config(args):
+    from repro.resilience import (
+        CheckpointPolicy,
+        ResilienceConfig,
+        RetryPolicy,
+    )
+
+    return ResilienceConfig(
+        detect_every=args.detect_every,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        checkpoint=CheckpointPolicy(every=args.checkpoint_every),
+    )
+
+
+def _resilient_executor(args, m: int):
+    """Machine + executor for ``--resilient`` runs (PPA only)."""
+    from repro.resilience import ResilientExecutor
+
+    n_phys = args.array_n if args.array_n is not None else m
+    if n_phys < m:
+        raise ReproError(
+            f"--array-n {n_phys} is smaller than the {m}-vertex problem"
+        )
+    machine = PPAMachine(PPAConfig(n=n_phys, word_bits=args.word_bits))
+    plan = _build_fault_plan(args)
+    if plan is not None:
+        machine.inject_faults(plan)
+    if args.profile is not None:
+        machine.telemetry.enable()
+    if args.trace:
+        machine.trace.enabled = True
+    if args.word_parallel:
+        from repro.core.variants import _word_selected_min
+        from repro.ppc.reductions import word_parallel_min
+
+        executor = ResilientExecutor(
+            machine, _resilience_config(args),
+            min_routine=word_parallel_min,
+            selected_min_routine=_word_selected_min,
+        )
+    else:
+        executor = ResilientExecutor(machine, _resilience_config(args))
+    return machine, executor
+
+
+def _print_resilient_summary(res) -> None:
+    e = res.embedding
+    print(f"resilience: status {res.status.value}"
+          + ("" if res.failure is None else f" ({res.failure})"))
+    print(f"  embedding: {e.m} logical on {e.n_phys}x{e.n_phys} physical, "
+          f"quarantined {sorted(e.quarantined) or '[]'}, "
+          f"spares left {e.spares_left}")
+    print(f"  rounds {res.rounds} (furthest {res.furthest_round}, "
+          f"replayed {res.replayed_rounds}), checkpoints {res.checkpoints}, "
+          f"rollbacks {res.rollbacks}, remaps {res.remaps}, "
+          f"detections {res.detections}, benign glitches "
+          f"{res.benign_glitches}")
+    for name, delta in res.overhead.items():
+        if delta:
+            body = ", ".join(f"{k}={v}" for k, v in sorted(delta.items()))
+            print(f"  overhead[{name}]: {body}")
+    for ev in res.events:
+        print(f"  round {ev.round:>3}  {ev.kind}: {ev.detail}")
+
+
+def _print_vertices(result, n: int, paths: bool) -> None:
+    for v in range(n):
+        if not result.reachable[v]:
+            print(f"  {v:>3}: unreachable")
+        elif paths:
+            chain = " -> ".join(map(str, result.path(v)))
+            print(f"  {v:>3}: cost {int(result.sow[v]):>6}   {chain}")
+        else:
+            print(f"  {v:>3}: cost {int(result.sow[v]):>6}   "
+                  f"next {int(result.ptn[v])}")
+
+
+def _check_ppa_only_flags(args) -> None:
+    uses_faults = bool(
+        args.fault or args.fault_intermittent or args.fault_transient
+    )
+    if args.arch != "ppa" and (
+        uses_faults or args.resilient or args.screen
+        or args.array_n is not None
+    ):
+        raise ReproError(
+            "fault injection, --screen and --resilient drive the PPA "
+            "switch fabric; use --arch ppa"
+        )
+
+
 def _cmd_mcp(args) -> int:
     inf = (1 << args.word_bits) - 1
     if args.graph is not None:
@@ -302,10 +553,38 @@ def _cmd_mcp(args) -> int:
     n = W.shape[0]
     d = args.destination
     _check_trace_supported(args)
+    _check_ppa_only_flags(args)
+
+    if args.resilient:
+        machine, executor = _resilient_executor(args, n)
+        res = executor.run(W, d, raise_on_failure=False)
+        print(f"minimum cost paths to vertex {d} on resilient ppa "
+              f"({res.embedding.n_phys}x{res.embedding.n_phys} physical, "
+              f"h={args.word_bits})")
+        _print_resilient_summary(res)
+        lane = res.lane(0)
+        print(f"iterations: {lane.iterations}")
+        _print_vertices(lane, n, args.paths)
+        print("counters: " + ", ".join(
+            f"{k}={v}" for k, v in res.counters.items()))
+        if args.trace:
+            _print_trace_summary(machine)
+        if args.profile is not None:
+            _export_profile(
+                machine, args.profile, args.trace_format,
+                command="mcp", arch="ppa", n=n, d=d,
+                word_bits=args.word_bits, resilient=True,
+            )
+        return 0 if res.trustworthy else 1
 
     machine, run = _make_machine_and_runner(
         args.arch, n, args.word_bits, args.word_parallel
     )
+    plan = _build_fault_plan(args)
+    if plan is not None:
+        machine.inject_faults(plan)
+    if args.screen:
+        _preflight_screen(machine)
     if args.profile is not None:
         machine.telemetry.enable()
     if args.trace:
@@ -315,14 +594,7 @@ def _cmd_mcp(args) -> int:
     print(f"minimum cost paths to vertex {d} on {args.arch} ({n}x{n}, "
           f"h={args.word_bits})")
     print(f"iterations: {result.iterations}")
-    for v in range(n):
-        if not result.reachable[v]:
-            print(f"  {v:>3}: unreachable")
-        elif args.paths:
-            chain = " -> ".join(map(str, result.path(v)))
-            print(f"  {v:>3}: cost {int(result.sow[v]):>6}   {chain}")
-        else:
-            print(f"  {v:>3}: cost {int(result.sow[v]):>6}   next {int(result.ptn[v])}")
+    _print_vertices(result, n, args.paths)
     print("counters: " + ", ".join(f"{k}={v}" for k, v in result.counters.items()))
     if args.trace:
         _print_trace_summary(machine)
@@ -345,7 +617,48 @@ def _cmd_apsp(args) -> int:
         W = _FAMILIES[args.generate](args.n, args.seed, args.density, inf)
     n = W.shape[0]
 
+    if args.resilient:
+        if args.serial:
+            raise ReproError(
+                "--resilient runs all destinations as batched lanes; "
+                "drop --serial"
+            )
+        machine, executor = _resilient_executor(args, n)
+        res = executor.run_batched(
+            W, list(range(n)), raise_on_failure=False
+        )
+        print(f"all-pairs minimum cost on resilient ppa "
+              f"({res.embedding.n_phys}x{res.embedding.n_phys} physical, "
+              f"h={args.word_bits}, lanes={n})")
+        _print_resilient_summary(res)
+        reachable = res.sow < res.maxint
+        off_diag = int(reachable.sum()) - n
+        print(f"reachable ordered pairs: {off_diag}/{n * (n - 1)}")
+        print(f"iterations per destination: "
+              f"min {int(res.iterations.min())}, "
+              f"max {int(res.iterations.max())}")
+        if args.matrix:
+            shown = np.where(reachable, res.sow, -1)
+            print("distance matrix (row = destination, -1 = unreachable):")
+            print(shown)
+        print("counters: " + ", ".join(
+            f"{k}={v}" for k, v in res.counters.items()))
+        if args.trace:
+            _print_trace_summary(machine)
+        if args.profile is not None:
+            _export_profile(
+                machine, args.profile, args.trace_format,
+                command="apsp", arch="ppa", n=n,
+                word_bits=args.word_bits, resilient=True,
+            )
+        return 0 if res.trustworthy else 1
+
     machine = PPAMachine(PPAConfig(n=n, word_bits=args.word_bits))
+    plan = _build_fault_plan(args)
+    if plan is not None:
+        machine.inject_faults(plan)
+    if args.screen:
+        _preflight_screen(machine)
     if args.profile is not None:
         machine.telemetry.enable()
     if args.trace:
@@ -493,23 +806,10 @@ def _cmd_ppc(args) -> int:
     return 0
 
 
-_FAULT_KINDS = {"open": FaultKind.STUCK_OPEN, "short": FaultKind.STUCK_SHORT}
-
-
 def _cmd_selftest(args) -> int:
     machine = PPAMachine(PPAConfig(n=args.n, word_bits=16))
-    if args.fault:
-        plan = FaultPlan()
-        for spec in args.fault:
-            parts = spec.split(",")
-            if len(parts) not in (3, 4) or parts[2] not in _FAULT_KINDS:
-                raise ReproError(
-                    f"--fault expects ROW,COL,open|short[,AXIS], got {spec!r}"
-                )
-            axis = None
-            if len(parts) == 4 and parts[3] != "both":
-                axis = int(parts[3])
-            plan.add(int(parts[0]), int(parts[1]), _FAULT_KINDS[parts[2]], axis)
+    plan = _build_fault_plan(args)
+    if plan is not None:
         machine.inject_faults(plan)
     if args.profile is not None:
         machine.telemetry.enable()

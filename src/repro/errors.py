@@ -17,6 +17,7 @@ __all__ = [
     "VariableError",
     "GraphError",
     "WordWidthError",
+    "ResilienceError",
     "PPCError",
     "PPCSyntaxError",
     "PPCTypeError",
@@ -55,6 +56,12 @@ class GraphError(ReproError):
 
 class WordWidthError(GraphError):
     """Weights or accumulated path costs do not fit the machine word."""
+
+
+class ResilienceError(ReproError):
+    """The resilient runtime could not deliver a trustworthy result
+    (recovery budget exhausted, spare rows/columns insufficient, or the
+    array failed its pre-flight screen)."""
 
 
 class PPCError(ReproError):

@@ -289,7 +289,7 @@ class PPAMachine:
             bit_cycles=cycles * self._operand_bits(src),
         )
         self.trace.record("broadcast", direction, plane)
-        return out
+        return self._corrupt(out, direction)
 
     def bus_reduce(
         self,
@@ -329,7 +329,7 @@ class PPAMachine:
             * (self._operand_bits(values) if bits is None else bits),
         )
         self.trace.record("reduce", direction, plane)
-        return out
+        return self._corrupt(out, direction)
 
     def bus_or(self, bits, direction: Direction, L) -> np.ndarray:
         """Wired-OR of 1-bit values within each cluster (boolean result)."""
@@ -455,7 +455,7 @@ class PPAMachine:
     def inject_faults(self, plan: FaultPlan) -> None:
         """Attach a :class:`FaultPlan`; every subsequent bus transaction
         sees the stuck-at switches instead of the programmed plane."""
-        plan.validate(self.shape)
+        plan.validate(self.shape, self.word_bits)
         self._faults = plan
 
     def clear_faults(self) -> None:
@@ -468,7 +468,17 @@ class PPAMachine:
     def _effective_plane(self, plane: np.ndarray, direction: Direction) -> np.ndarray:
         if self._faults is None:
             return plane
-        return self._faults.apply(plane, direction.axis)
+        return self._faults.effective_plane(plane, direction.axis)
+
+    def _corrupt(self, out: np.ndarray, direction: Direction) -> np.ndarray:
+        """Apply this transaction's transient bit-flips (if any) to the
+        received values. Width is the operand width actually driven on the
+        bus, so flips above a 1-bit wired-OR transfer are no-ops."""
+        if self._faults is None:
+            return out
+        return self._faults.corrupt(
+            out, direction.axis, width=self._operand_bits(out)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         lanes = "" if self.batch is None else f", batch={self.batch}"

@@ -1,0 +1,44 @@
+"""Resilient execution runtime for the PPA (detect/diagnose/recover).
+
+The PPA's selling point is fault tolerance through reconfiguration —
+the restricted switch-box is hardware-implementable, hence failable.
+This package closes the loop that :mod:`repro.ppa.faults` (fault
+models) and :mod:`repro.ppa.selftest` (offline localisation) leave
+open: online detection while MCP runs, checkpoint/rollback/replay for
+glitches, and quarantine-plus-remap onto spare rows/columns for
+permanent damage. See docs/robustness.md for the design and cost model
+and EXPERIMENTS.md (T16) for the measured campaigns.
+"""
+
+from repro.resilience.checkpoint import Checkpoint, CheckpointStore
+from repro.resilience.detectors import InvariantMonitor, StructuralProbe
+from repro.resilience.embedding import ArrayEmbedding, quarantine_indices
+from repro.resilience.executor import (
+    ResilienceEvent,
+    ResilienceStatus,
+    ResilientExecutor,
+    ResilientMCPResult,
+)
+from repro.resilience.policies import (
+    CheckpointPolicy,
+    RemapPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ArrayEmbedding",
+    "Checkpoint",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "InvariantMonitor",
+    "quarantine_indices",
+    "RemapPolicy",
+    "ResilienceConfig",
+    "ResilienceEvent",
+    "ResilienceStatus",
+    "ResilientExecutor",
+    "ResilientMCPResult",
+    "RetryPolicy",
+    "StructuralProbe",
+]

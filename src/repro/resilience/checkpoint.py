@@ -1,0 +1,88 @@
+"""Checkpoint store for the resilient MCP runtime.
+
+One MCP iteration carries *only* the row-``d`` ``SOW``/``PTN`` vectors
+between rounds (every other plane is recomputed from them before it is
+read — see docs/robustness.md, "What a checkpoint must hold"), so a
+checkpoint is two ``(B, m)`` vectors plus the per-lane loop bookkeeping.
+Vectors are stored in **logical** vertex coordinates: a restore maps
+them through the *current* :class:`~repro.resilience.embedding.
+ArrayEmbedding`, which is exactly what lets the executor roll a run
+forward onto a different physical embedding after a remap.
+
+The store is controller-side (host) memory. Snapshots are cheap — the
+executor charges the read/write of the two row vectors to the machine's
+ALU counters so the cost model stays honest (see the cost table in
+docs/robustness.md) — and the store keeps the newest ``keep`` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ResilienceError
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Verified carried state at one iteration boundary.
+
+    Attributes
+    ----------
+    round
+        Productive iteration count at which the snapshot was taken
+        (0 = right after initialisation).
+    sow, ptn
+        ``(B, m)`` logical row-``d`` state per lane; ``ptn`` holds
+        *logical* successor ids.
+    iterations
+        ``(B,)`` per-lane productive iteration counts.
+    active
+        ``(B,)`` per-lane liveness (False = lane had converged).
+    """
+
+    round: int
+    sow: np.ndarray
+    ptn: np.ndarray
+    iterations: np.ndarray
+    active: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("sow", "ptn", "iterations", "active"):
+            arr = getattr(self, name)
+            object.__setattr__(self, name, np.array(arr, copy=True))
+            getattr(self, name).setflags(write=False)
+
+
+class CheckpointStore:
+    """Bounded stack of verified checkpoints (newest last)."""
+
+    def __init__(self, keep: int = 2):
+        if keep < 1:
+            raise ResilienceError(f"store must keep >= 1 checkpoints: {keep}")
+        self.keep = keep
+        self._stack: list[Checkpoint] = []
+        #: lifetime statistics (commits survive eviction).
+        self.commits = 0
+        self.restores = 0
+
+    def commit(self, checkpoint: Checkpoint) -> None:
+        self._stack.append(checkpoint)
+        self.commits += 1
+        del self._stack[: -self.keep]
+
+    def latest(self) -> Checkpoint:
+        if not self._stack:
+            raise ResilienceError("checkpoint store is empty")
+        self.restores += 1
+        return self._stack[-1]
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rounds = [c.round for c in self._stack]
+        return f"CheckpointStore(rounds={rounds}, commits={self.commits})"

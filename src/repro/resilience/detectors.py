@@ -1,0 +1,198 @@
+"""Online fault detectors: structural echo probe + algorithmic invariant.
+
+Two detectors with complementary blind spots (docs/robustness.md gives
+the full coverage table):
+
+**Structural echo probe** (:class:`StructuralProbe`) — four real bus
+transactions, two per bus axis:
+
+1. *All-Open echo*: every switch Open, broadcast the ring-index plane.
+   A healthy PE is its own cluster head and reads its own position; a
+   stuck-**short** switch cannot drive and reads its upstream head.
+2. *Head-zero sweep*: one Open switch per ring at position 0, broadcast
+   the index plane. A healthy ring reads ``0`` everywhere; a stuck-
+   **open** switch at position ``p > 0`` splits the ring and every PE at
+   or downstream of ``p`` reads ``p`` instead. (A stuck-open *at*
+   position 0 is electrically identical to the programmed head — that
+   one blind spot is covered by the invariant monitor and the full
+   self-test escalation.)
+
+The probe is *differential* and *masked*: it compares against the
+signature captured on the (diagnosed) array at run start, ignores rings
+the embedding has already quarantined (an intermittent switch on a
+retired ring toggles its echo forever without carrying any logical
+traffic — it must not re-alarm), and names the deviating rings so the
+executor can quarantine a persistent-but-undiagnosable offender as a
+*suspect*. The baseline is recaptured after every remap. Probe
+transactions run through the machine's normal ``broadcast`` path — they
+cost real counter cycles and observe the attached fault plan, transients
+included (a transient hitting a probe transaction deviates once and
+vanishes on the executor's confirm re-probe: a benign glitch).
+
+**Relaxation-invariant monitor** (:class:`InvariantMonitor`) — recomputes
+one Bellman-Ford relaxation of the *previous* round's row-``d`` state
+with word-parallel checker hardware (broadcasts + saturating add + one
+``min`` bus reduction + select and compares) and alarms when the
+current row-``d`` ``SOW`` is not *exactly* the relaxation of the
+previous one, or when the successor each ``PTN`` word names fails to
+achieve it. This catches non-repeatable corruption — transient flips
+and intermittent stuck-ats that fired during the round — that the probe
+cannot see. Deterministically *repeatable* corruption (a permanent
+stuck-at) corrupts the recomputation the same way and passes the
+equality; that class is the probe's job. The check is masked to logical
+(non-padding) diagonal positions, so quarantined rings cannot false-
+alarm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BusError
+from repro.ppa.directions import Direction
+from repro.ppa.machine import PPAMachine
+
+__all__ = ["StructuralProbe", "InvariantMonitor"]
+
+_AXIS_DIRECTION = {0: Direction.SOUTH, 1: Direction.EAST}
+
+
+class StructuralProbe:
+    """Four-transaction differential echo probe on one physical array."""
+
+    #: bus transactions issued per :meth:`capture`.
+    TRANSACTIONS = 4
+
+    def __init__(self, machine: PPAMachine):
+        if machine.batch is not None:
+            raise BusError("structural probe runs on the physical array")
+        self.machine = machine
+        self._baseline: list[np.ndarray] | None = None
+        self._ignore: tuple[int, ...] = ()
+
+    def set_ignore(self, indices) -> None:
+        """Exclude quarantined physical indices from signature comparison
+        (their columns on the axis-0 probes, their rows on axis-1)."""
+        self._ignore = tuple(sorted(int(p) for p in set(indices)))
+
+    def capture(self) -> list[np.ndarray]:
+        """Issue the four probe transactions; returns the signature."""
+        m = self.machine
+        planes: list[np.ndarray] = []
+        with m.telemetry.span("resilience.probe"):
+            for axis in (0, 1):
+                direction = _AXIS_DIRECTION[axis]
+                idx = m.row_index if axis == 0 else m.col_index
+                all_open = np.ones(m.shape, dtype=bool)
+                head_zero = idx == 0
+                for plane in (all_open, head_zero):
+                    try:
+                        planes.append(
+                            np.array(m.broadcast(idx, direction, plane))
+                        )
+                    except BusError:
+                        # Strict-bus machines raise when a stuck-short
+                        # head leaves a ring driverless; that *is* a
+                        # detection — encode it as an impossible echo.
+                        planes.append(np.full(m.shape, -1, dtype=np.int64))
+        return planes
+
+    def rebaseline(self) -> None:
+        """Capture the current signature as the reference (run start and
+        after every remap)."""
+        self._baseline = self.capture()
+
+    def check(self) -> set[tuple[int, int]]:
+        """Re-probe and return the deviating ``(axis, ring)`` set.
+
+        Empty = the signature matches the baseline on every ring that is
+        not quarantined. A ring's index *is* its physical index (ring
+        ``r`` of axis 0 is column ``r``; of axis 1, row ``r``), which is
+        what lets the executor quarantine a persistent offender.
+        """
+        if self._baseline is None:
+            raise BusError("probe has no baseline; call rebaseline() first")
+        now = self.capture()
+        devs: set[tuple[int, int]] = set()
+        ignore = np.asarray(self._ignore, dtype=np.int64)
+        for i, (a, b) in enumerate(zip(now, self._baseline)):
+            axis = 0 if i < 2 else 1
+            diff = a != b
+            if ignore.size:
+                if axis == 0:
+                    diff[:, ignore] = False
+                else:
+                    diff[ignore, :] = False
+            hit = diff.any(axis=0) if axis == 0 else diff.any(axis=1)
+            devs.update((axis, int(r)) for r in np.nonzero(hit)[0])
+        return devs
+
+
+class InvariantMonitor:
+    """Relaxation-equality check on the batched machine.
+
+    ``check`` answers, per lane: *is the current row-``d`` SOW exactly
+    one saturating Bellman-Ford relaxation of the previous round's?*
+    The destination diagonal passes vacuously (weights are non-negative
+    and ``w[d, d] = 0``, so the relaxed minimum at ``d`` is ``0 ==
+    SOW[d, d]``). Costs are charged through the machine primitives:
+    three broadcasts, one word-parallel ``min`` reduction, one
+    saturating add, a select plus four ALU compares and one per-lane
+    controller OR.
+    """
+
+    def __init__(self, machine: PPAMachine):
+        if machine.batch is None:
+            raise BusError("invariant monitor runs on the batched view")
+        self.machine = machine
+
+    def check(
+        self,
+        sow: np.ndarray,
+        ptn: np.ndarray,
+        prev_sow: np.ndarray,
+        weights: np.ndarray,
+        row_d: np.ndarray,
+        col_last: np.ndarray,
+        real_diag: np.ndarray,
+    ) -> np.ndarray:
+        """Per-lane alarm vector ``(B,)``; True = invariant violated.
+
+        Parameters are the executor's live planes: current ``SOW`` and
+        ``PTN`` stacks, the previous ``SOW`` stack, embedded weights, the
+        per-lane row-``d`` head plane, the shared rightmost-column head
+        plane and the shared logical-diagonal mask.
+
+        Two invariants are audited per logical diagonal position ``j``:
+
+        * *value*: ``SOW[d, j]`` equals the reduced minimum of this
+          round's candidates (one relaxation of the previous state);
+        * *successor*: the candidate ``PTN[d, j]`` names achieves that
+          minimum. ``PTN`` is only rewritten where ``SOW`` changed, but
+          a stale successor still achieves the (monotone non-increasing)
+          current value, so equality is exact for healthy hardware —
+          while a corrupted ``PTN`` word with an intact ``SOW`` row,
+          invisible to the value check, fails the select-and-compare.
+        """
+        m = self.machine
+        n = sow.shape[-1]
+        with m.telemetry.span("resilience.invariant"):
+            # Re-derive this round's candidates from the previous state
+            # and minimise each row with the word-parallel checker.
+            cand = m.sat_add(m.broadcast(prev_sow, Direction.SOUTH, row_d), weights)
+            relaxed = m.bus_reduce(cand, Direction.WEST, col_last, "min")
+            # Co-locate the current row-d state on the diagonal.
+            cur = m.broadcast(sow, Direction.SOUTH, row_d)
+            bad = (relaxed != cur) & real_diag
+            # Successor audit: select the candidate each PTN names and
+            # compare it against the reduced minimum. A flipped PTN word
+            # may name an index outside the array — that is an alarm,
+            # not an indexing accident.
+            ptn_cur = m.broadcast(ptn, Direction.SOUTH, row_d)
+            wild = (ptn_cur < 0) | (ptn_cur >= n)
+            named = np.take_along_axis(
+                cand, np.clip(ptn_cur, 0, n - 1), axis=-1
+            )
+            bad = bad | (((named != relaxed) | wild) & real_diag)
+            m.count_alu(4)
+            return m.lane_global_or(bad)

@@ -1,0 +1,184 @@
+"""Logical-to-physical array embedding with quarantined rows/columns.
+
+A fault on the switch-box at PE ``(r, c)`` compromises one *ring*: the
+column bus of column ``c`` when the fault sits on the axis-0 switch, the
+row bus of row ``r`` on the axis-1 switch. The MCP workload binds vertex
+``v`` to physical row *and* column ``v`` (its weights live in row ``v``,
+its candidates are minimised along row ``v``, its costs broadcast down
+column ``v``), so the unit of quarantine is a whole physical *index*:
+quarantining ``p`` retires both row ``p`` and column ``p`` from the
+logical workload.
+
+:class:`ArrayEmbedding` is the order-preserving injection of ``m``
+logical vertices into the healthy physical indices of an
+``n_phys x n_phys`` array. Padding rows/columns (quarantined or spare)
+carry ``MAXINT`` off-diagonal weights and a zero diagonal; the saturating
+add of MCP's statement 10 then maps *any* value a faulty bus delivers
+into a padding row/column back to ``MAXINT`` before it can reach a
+logical row minimum — garbage is confined to padding entries by
+construction (the proof is in docs/robustness.md). The executor masks
+its convergence test and its detectors to logical indices, so padding
+garbage can neither stall nor corrupt a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ResilienceError
+from repro.ppa.faults import SwitchFault
+
+__all__ = ["ArrayEmbedding", "quarantine_indices"]
+
+
+def quarantine_indices(
+    faults: Iterable[SwitchFault],
+    undiagnosable_rings: Iterable[tuple[int, int]] = (),
+) -> set[int]:
+    """Physical indices retired by *faults* and undiagnosable rings.
+
+    An axis-0 fault at ``(r, c)`` poisons column ``c``; an axis-1 fault
+    poisons row ``r``; ``axis=None`` (both switch-boxes) poisons both.
+    An undiagnosable ring ``(axis, ring)`` is quarantined whole — the
+    self-test could not clear it, so it must not carry logical traffic.
+    """
+    out: set[int] = set()
+    for f in faults:
+        if f.axis in (0, None):
+            out.add(f.col)
+        if f.axis in (1, None):
+            out.add(f.row)
+    for _axis, ring in undiagnosable_rings:
+        out.add(ring)
+    return out
+
+
+@dataclass(frozen=True)
+class ArrayEmbedding:
+    """Order-preserving map of ``m`` logical vertices onto healthy
+    physical indices of an ``n_phys``-wide array."""
+
+    n_phys: int
+    physical: tuple[int, ...]  # ascending physical index per logical vertex
+    quarantined: frozenset[int]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, n_phys: int, m: int, quarantined: Iterable[int] = ()
+    ) -> "ArrayEmbedding":
+        """Embed ``m`` vertices into the ``m`` smallest healthy indices.
+
+        Raises :class:`ResilienceError` when fewer than ``m`` healthy
+        indices remain — the caller is out of spares.
+        """
+        q = frozenset(int(p) for p in quarantined)
+        for p in q:
+            if not (0 <= p < n_phys):
+                raise ResilienceError(
+                    f"quarantined index {p} outside array of {n_phys}"
+                )
+        healthy = [p for p in range(n_phys) if p not in q]
+        if m < 1 or m > n_phys:
+            raise ResilienceError(
+                f"cannot embed {m} vertices into a {n_phys}x{n_phys} array"
+            )
+        if len(healthy) < m:
+            raise ResilienceError(
+                f"only {len(healthy)} healthy rows/columns remain on the "
+                f"{n_phys}x{n_phys} array ({len(q)} quarantined); "
+                f"{m} are required — spare capacity exhausted"
+            )
+        return cls(
+            n_phys=n_phys, physical=tuple(healthy[:m]), quarantined=q
+        )
+
+    def requarantine(self, extra: Iterable[int]) -> "ArrayEmbedding":
+        """A new embedding with *extra* physical indices also retired."""
+        return ArrayEmbedding.build(
+            self.n_phys, self.m, self.quarantined | set(extra)
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Logical problem size."""
+        return len(self.physical)
+
+    @property
+    def spares_left(self) -> int:
+        """Healthy physical indices not carrying logical traffic."""
+        return self.n_phys - len(self.quarantined) - self.m
+
+    @property
+    def is_identity(self) -> bool:
+        return self.physical == tuple(range(self.m))
+
+    def physical_array(self) -> np.ndarray:
+        return np.asarray(self.physical, dtype=np.int64)
+
+    def inverse(self) -> np.ndarray:
+        """``(n_phys,)`` physical→logical map; ``-1`` at padding."""
+        inv = np.full(self.n_phys, -1, dtype=np.int64)
+        inv[self.physical_array()] = np.arange(self.m, dtype=np.int64)
+        return inv
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+
+    def embed_weights(self, Wl: np.ndarray, maxint: int) -> np.ndarray:
+        """Lift a logical ``(m, m)`` (or per-lane ``(B, m, m)``) weight
+        matrix onto the physical array: padding is ``MAXINT`` off the
+        diagonal and ``0`` on it."""
+        Wl = np.asarray(Wl, dtype=np.int64)
+        m = self.m
+        if Wl.shape[-2:] != (m, m):
+            raise ResilienceError(
+                f"weights {Wl.shape} do not match embedding of {m} vertices"
+            )
+        shape = (*Wl.shape[:-2], self.n_phys, self.n_phys)
+        out = np.full(shape, maxint, dtype=np.int64)
+        diag = np.arange(self.n_phys)
+        out[..., diag, diag] = 0
+        phys = self.physical_array()
+        out[..., phys[:, None], phys[None, :]] = Wl
+        return out
+
+    def extract(self, vec_phys: np.ndarray) -> np.ndarray:
+        """Logical view of a physical vector's last axis."""
+        return np.asarray(vec_phys)[..., self.physical_array()]
+
+    def to_logical_ptn(
+        self, ptn_phys: np.ndarray, dest_logical: np.ndarray
+    ) -> np.ndarray:
+        """Map an extracted ``(B, m)`` successor vector (physical column
+        indices) back to logical vertex ids.
+
+        A healthy run can only name logical successors (padding columns
+        saturate at ``MAXINT`` and an unreachable vertex keeps its init
+        value ``d``); a physical index with no logical preimage is mapped
+        to the lane's destination defensively, mirroring the vacuous
+        ``ptn = d`` convention for unreachable vertices.
+        """
+        ptn_phys = np.asarray(ptn_phys, dtype=np.int64)
+        dest = np.asarray(dest_logical, dtype=np.int64)
+        logical = self.inverse()[np.clip(ptn_phys, 0, self.n_phys - 1)]
+        fallback = np.broadcast_to(dest[:, None], ptn_phys.shape)
+        return np.where(logical < 0, fallback, logical)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArrayEmbedding(m={self.m}, n_phys={self.n_phys}, "
+            f"quarantined={sorted(self.quarantined)}, "
+            f"spares_left={self.spares_left})"
+        )

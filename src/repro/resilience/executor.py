@@ -1,0 +1,985 @@
+"""The resilient MCP runtime: detect → diagnose → recover → resume.
+
+:class:`ResilientExecutor` wraps the Section-3 MCP loop (single- or
+multi-destination, batched lanes) in a closed control loop:
+
+1. **Screen** — a full diagnostic sweep
+   (:func:`repro.ppa.selftest.diagnose_switches`) before the run;
+   pre-existing faults are quarantined by embedding the ``m``-vertex
+   problem into the healthy rows/columns of the ``n_phys``-wide array
+   (:mod:`repro.resilience.embedding`).
+2. **Detect** — every ``detect_every`` productive iterations (and always
+   on the final one) the structural echo probe and the relaxation-
+   invariant monitor run (:mod:`repro.resilience.detectors`), their bus
+   and ALU cost charged to the machine counters and attributed to the
+   ``detection`` overhead bucket.
+3. **Diagnose** — a structural alarm (or an invariant alarm that has
+   exhausted its retry budget) triggers the full self-test; faults not
+   already known are *new* hardware damage.
+4. **Recover** — new faults: quarantine their rings, rebuild the
+   embedding on the remaining healthy indices (``RemapPolicy``), restore
+   the last verified checkpoint through the *new* embedding and replay.
+   No new faults: the alarm was a glitch (transient, or an intermittent
+   that went quiet) — roll back and replay, bounded by ``RetryPolicy``.
+5. **Resume** — checkpoints (``CheckpointPolicy``) are committed only at
+   boundaries the detectors passed, so the store never holds corrupted
+   state; a restore therefore resumes a trajectory bit-identical to a
+   fault-free run of the same logical problem.
+
+Everything the runtime does is priced through the machine primitives and
+split into ``detection`` / ``diagnosis`` / ``checkpoint`` / ``recovery``
+counter buckets, so the overhead of resilience is a first-class
+measurement (see the T16 campaign in EXPERIMENTS.md). With every
+detector disabled and no faults, the algorithmic statement stream is the
+batched MCP loop unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError, ResilienceError
+from repro.core.graph import normalize_weights
+from repro.core.result import MCPResult
+from repro.ppa.directions import Direction
+from repro.ppa.faults import SwitchFault
+from repro.ppa.machine import PPAMachine
+from repro.ppa.selftest import diagnose_switches
+from repro.ppa.topology import PPAConfig
+from repro.ppc.reductions import ppa_min, ppa_selected_min
+from repro.resilience.checkpoint import Checkpoint, CheckpointStore
+from repro.resilience.detectors import InvariantMonitor, StructuralProbe
+from repro.resilience.embedding import ArrayEmbedding, quarantine_indices
+from repro.resilience.policies import ResilienceConfig
+
+__all__ = [
+    "ResilienceStatus",
+    "ResilienceEvent",
+    "ResilientMCPResult",
+    "ResilientExecutor",
+]
+
+
+class ResilienceStatus(enum.Enum):
+    """Terminal health classification of one resilient run."""
+
+    #: no detector fired, no spare consumed — the fast path.
+    CLEAN = "clean"
+    #: detections occurred and rollback/replay absorbed them without
+    #: consuming array capacity.
+    RECOVERED = "recovered"
+    #: the run completed correctly but on a reduced array (spare
+    #: rows/columns were consumed by quarantine, at screen time or by a
+    #: mid-run remap).
+    DEGRADED = "degraded"
+    #: recovery budget exhausted — the reported result is NOT trustworthy.
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One entry of the run's recovery log."""
+
+    round: int
+    kind: str  # screen | probe-alarm | invariant-alarm | rollback |
+    #          # remap | glitch | checkpoint | failed
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ResilientMCPResult:
+    """Outcome of one resilient (possibly multi-lane) MCP run.
+
+    ``sow``/``ptn``/``iterations`` are **logical** per-lane results: for a
+    non-``FAILED`` status they are bit-identical to what fault-free
+    serial runs on the same graph would produce. ``overhead`` maps each
+    bucket (``detection``/``diagnosis``/``checkpoint``/``recovery``) to a
+    counter delta; ``counters`` is the total for the run, algorithm
+    included.
+    """
+
+    destinations: np.ndarray
+    sow: np.ndarray
+    ptn: np.ndarray
+    iterations: np.ndarray
+    maxint: int
+    status: ResilienceStatus
+    embedding: ArrayEmbedding
+    rounds: int
+    furthest_round: int
+    replayed_rounds: int
+    retries_used: int
+    rollbacks: int
+    remaps: int
+    checkpoints: int
+    detections: int
+    benign_glitches: int
+    failure: str | None
+    events: tuple[ResilienceEvent, ...]
+    overhead: dict[str, dict[str, int]] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def batch(self) -> int:
+        return int(np.asarray(self.sow).shape[0])
+
+    @property
+    def trustworthy(self) -> bool:
+        return self.status is not ResilienceStatus.FAILED
+
+    def lane(self, b: int) -> MCPResult:
+        """Lane *b* as a plain :class:`MCPResult` (no per-lane counters —
+        the resilient cost story lives in :attr:`overhead`)."""
+        return MCPResult(
+            destination=int(self.destinations[b]),
+            sow=np.asarray(self.sow)[b].copy(),
+            ptn=np.asarray(self.ptn)[b].copy(),
+            iterations=int(self.iterations[b]),
+            maxint=self.maxint,
+            counters={},
+        )
+
+    def overhead_total(self) -> dict[str, int]:
+        """All four buckets summed into one counter delta."""
+        out: dict[str, int] = {}
+        for bucket in self.overhead.values():
+            for k, v in bucket.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResilientMCPResult(status={self.status.value}, "
+            f"lanes={self.batch}, rounds={self.rounds}, "
+            f"remaps={self.remaps}, rollbacks={self.rollbacks})"
+        )
+
+
+def _acc(dst: dict[str, int], delta: dict[str, int]) -> None:
+    for k, v in delta.items():
+        dst[k] = dst.get(k, 0) + int(v)
+
+
+def _sub(a: dict[str, int], b: dict[str, int]) -> dict[str, int]:
+    keys = set(a) | set(b)
+    return {k: a.get(k, 0) - b.get(k, 0) for k in keys}
+
+
+class ResilientExecutor:
+    """Detect → diagnose → recover → resume orchestration for MCP.
+
+    Parameters
+    ----------
+    machine
+        An *unbatched* physical machine. The problem size ``m`` may be
+        smaller than ``machine.n``; the difference is spare capacity for
+        quarantine.
+    config
+        Detector and policy configuration.
+    min_routine, selected_min_routine
+        As in :func:`repro.core.mcp.minimum_cost_path`.
+    """
+
+    def __init__(
+        self,
+        machine: PPAMachine,
+        config: ResilienceConfig | None = None,
+        *,
+        min_routine=ppa_min,
+        selected_min_routine=ppa_selected_min,
+    ):
+        if machine.batch is not None:
+            raise ConfigurationError(
+                "ResilientExecutor drives the physical machine; pass the "
+                "unbatched PPAMachine (lanes are created internally)"
+            )
+        self.machine = machine
+        self.config = config or ResilienceConfig()
+        self.min_routine = min_routine
+        self.selected_min_routine = selected_min_routine
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        W,
+        d: int,
+        *,
+        zero_diagonal: str = "require",
+        max_rounds: int | None = None,
+        round_hook=None,
+        raise_on_failure: bool = True,
+    ) -> ResilientMCPResult:
+        """Single-destination resilient MCP (one lane)."""
+        return self._run(
+            W,
+            np.asarray([d], dtype=np.int64),
+            zero_diagonal=zero_diagonal,
+            max_rounds=max_rounds,
+            round_hook=round_hook,
+            raise_on_failure=raise_on_failure,
+        )
+
+    def run_batched(
+        self,
+        W,
+        destinations,
+        *,
+        zero_diagonal: str = "require",
+        max_rounds: int | None = None,
+        round_hook=None,
+        raise_on_failure: bool = True,
+    ) -> ResilientMCPResult:
+        """Multi-destination resilient MCP — one lane per destination,
+        all lanes sharing the physical array, its faults, its embedding
+        and its recovery control flow (an alarm rolls every lane back to
+        the common checkpoint)."""
+        dest = np.asarray(destinations, dtype=np.int64)
+        if dest.ndim != 1 or dest.size == 0:
+            raise GraphError(
+                f"destinations must be a non-empty 1-D vector, got shape "
+                f"{dest.shape}"
+            )
+        return self._run(
+            W,
+            dest,
+            zero_diagonal=zero_diagonal,
+            max_rounds=max_rounds,
+            round_hook=round_hook,
+            raise_on_failure=raise_on_failure,
+        )
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        W,
+        dest: np.ndarray,
+        *,
+        zero_diagonal: str,
+        max_rounds: int | None,
+        round_hook,
+        raise_on_failure: bool,
+    ) -> ResilientMCPResult:
+        base = self.machine
+        cfg = self.config
+        n_phys = base.n
+        arr = np.asarray(W)
+        if arr.ndim not in (2, 3) or arr.shape[-1] != arr.shape[-2]:
+            raise GraphError(
+                f"weights must be (m, m) or (B, m, m), got {arr.shape}"
+            )
+        m = int(arr.shape[-1])
+        if m > n_phys:
+            raise GraphError(
+                f"problem of size {m} does not fit the {n_phys}x{n_phys} "
+                "array"
+            )
+        B = int(dest.size)
+        if ((dest < 0) | (dest >= m)).any():
+            bad = int(dest[(dest < 0) | (dest >= m)][0])
+            raise GraphError(f"destination {bad} outside [0, {m})")
+        # Normalise on a scratch machine of the *logical* size, so the
+        # headroom check reasons about real paths, not padding.
+        scratch = PPAMachine(PPAConfig(n=m, word_bits=base.word_bits))
+        if arr.ndim == 2:
+            Wl = normalize_weights(arr, scratch, zero_diagonal=zero_diagonal)
+        else:
+            if arr.shape[0] != B:
+                raise GraphError(
+                    f"weight stack has {arr.shape[0]} lanes but {B} "
+                    "destinations were given"
+                )
+            Wl = np.stack(
+                [
+                    normalize_weights(
+                        arr[b], scratch, zero_diagonal=zero_diagonal
+                    )
+                    for b in range(B)
+                ]
+            )
+        if max_rounds is None:
+            max_rounds = (m + 2) * (cfg.retry.max_retries + 3)
+
+        tele = base.telemetry
+        counters0 = base.counters.snapshot()
+        overhead: dict[str, dict[str, int]] = {
+            k: {} for k in ("detection", "diagnosis", "checkpoint", "recovery")
+        }
+        events: list[ResilienceEvent] = []
+        known_faults: set[SwitchFault] = set()
+        known_rings: set[tuple[int, int]] = set()
+
+        @contextmanager
+        def bucket(name: str):
+            before = base.counters.snapshot()
+            yield
+            _acc(overhead[name], base.counters.diff(before))
+
+        # State mutated by the nested helpers.
+        state: dict = dict(
+            cursor=0,
+            furthest=0,
+            total_rounds=0,
+            replayed=0,
+            retries=0,
+            rollbacks=0,
+            remaps=0,
+            detections=0,
+            benign=0,
+            suspects=set(),
+            suspect_history=set(),
+            failure=None,
+            replay_snapshot=None,
+            replay_overhead=None,
+        )
+
+        with tele.span("resilience.run", n=n_phys, m=m, lanes=B):
+            # ---------------- screen + initial embedding ----------------
+            quarantined: set[int] = set()
+            if cfg.initial_diagnosis:
+                with bucket("diagnosis"):
+                    report = diagnose_switches(base)
+                known_faults = set(report.faults)
+                known_rings = set(report.undiagnosable_rings)
+                quarantined = quarantine_indices(
+                    report.faults, report.undiagnosable_rings
+                )
+                if quarantined:
+                    events.append(
+                        ResilienceEvent(
+                            0,
+                            "screen",
+                            f"quarantined {sorted(quarantined)} at start",
+                        )
+                    )
+            if (
+                cfg.remap.max_spares is not None
+                and len(quarantined) > cfg.remap.max_spares
+            ):
+                raise ResilienceError(
+                    f"screen quarantined {len(quarantined)} indices but the "
+                    f"spare budget is {cfg.remap.max_spares}"
+                )
+            embedding = ArrayEmbedding.build(n_phys, m, quarantined)
+            initial_degraded = bool(quarantined)
+
+            view = base.lanes(B)
+            probe = StructuralProbe(base)
+            probe.set_ignore(embedding.quarantined)
+            monitor = InvariantMonitor(view)
+            store = CheckpointStore(keep=cfg.checkpoint.keep)
+
+            SOUTH, WEST = Direction.SOUTH, Direction.WEST
+            ROW = view.row_index
+            COL = view.col_index
+            diag = ROW == COL
+            col_last = COL == (n_phys - 1)
+            lane_idx = np.arange(B)
+
+            # Embedding-dependent planes, rebuilt after every remap.
+            geo: dict = {}
+
+            def rebuild_geometry() -> None:
+                phys = embedding.physical_array()
+                geo["phys"] = phys
+                geo["dest_phys"] = phys[dest]
+                geo["We"] = embedding.embed_weights(Wl, base.maxint)
+                geo["row_d"] = (
+                    ROW[None, :, :] == geo["dest_phys"][:, None, None]
+                )
+                geo["col_d"] = (
+                    COL[None, :, :] == geo["dest_phys"][:, None, None]
+                )
+                geo["real_cols"] = np.isin(COL, phys)
+                geo["real_diag"] = diag & geo["real_cols"]
+
+            rebuild_geometry()
+
+            # ---------------- init (statements 4-7) ----------------
+            SOW = view.new_parallel(0)
+            PTN = view.new_parallel(0)
+            MIN_SOW = view.new_parallel(0)
+            PREV = SOW
+
+            def initialize() -> None:
+                nonlocal SOW, PTN, MIN_SOW, PREV
+                SOW = view.new_parallel(0)
+                PTN = view.new_parallel(0)
+                MIN_SOW = view.new_parallel(0)
+                with tele.span("mcp.init"):
+                    view.count_alu(3)
+                    view.count_alu()
+                    w_to_d = view.broadcast(
+                        geo["We"], Direction.EAST, geo["col_d"]
+                    )
+                    transposed = view.broadcast(w_to_d, SOUTH, diag)
+                    with view.where(geo["row_d"]):
+                        view.store(SOW, transposed)
+                        view.store(PTN, geo["dest_phys"][:, None, None])
+                PREV = SOW
+
+            def init_verified() -> bool:
+                """Round-0 case of the relaxation invariant: right after
+                initialisation the carried row-``d`` ``SOW`` must equal
+                the embedded weight column into ``d`` and ``PTN`` the
+                destination itself, at every *logical* position. The
+                controller wrote the weights, so this is two row-vector
+                compares of checker work — it closes the one window the
+                relaxation monitor cannot see (there is no previous
+                round to relax from), which is exactly where a glitch
+                hitting the init broadcasts would otherwise become
+                silently self-consistent state."""
+                dp, phys, We = geo["dest_phys"], geo["phys"], geo["We"]
+                if We.ndim == 2:
+                    expect = We[:, dp].T
+                else:
+                    expect = We[lane_idx, :, dp]
+                view.count_alu(2)
+                sow_ok = np.array_equal(
+                    SOW[lane_idx, dp, :][:, phys], expect[:, phys]
+                )
+                ptn_ok = bool(
+                    (PTN[lane_idx, dp, :][:, phys] == dp[:, None]).all()
+                )
+                return bool(sow_ok) and ptn_ok
+
+            iterations = np.zeros(B, dtype=np.int64)
+            active = np.ones(B, dtype=bool)
+            changed = np.zeros(view.parallel_shape, dtype=bool)
+
+            # ---------------- helpers over the mutable state -----------
+
+            def fail(reason: str) -> None:
+                state["failure"] = reason
+                events.append(
+                    ResilienceEvent(state["cursor"], "failed", reason)
+                )
+
+            def commit_checkpoint() -> None:
+                # Verified progress: the detectors passed this boundary,
+                # so consecutive-fruitless-replay accounting restarts.
+                state["retries"] = 0
+                with bucket("checkpoint"):
+                    dp = geo["dest_phys"]
+                    sow_row = SOW[lane_idx, dp, :]
+                    ptn_row = PTN[lane_idx, dp, :]
+                    store.commit(
+                        Checkpoint(
+                            round=state["cursor"],
+                            sow=embedding.extract(sow_row),
+                            ptn=embedding.to_logical_ptn(
+                                embedding.extract(ptn_row), dest
+                            ),
+                            iterations=iterations,
+                            active=active,
+                        )
+                    )
+                    # Controller reads two row vectors into host memory.
+                    view.count_alu(2)
+
+            def restore(ckpt: Checkpoint) -> None:
+                nonlocal SOW, PTN, MIN_SOW, PREV, iterations, active
+                phys, dp = geo["phys"], geo["dest_phys"]
+                SOW = view.new_parallel(0)
+                PTN = view.new_parallel(0)
+                MIN_SOW = view.new_parallel(0)
+                sow_row = np.full((B, n_phys), base.maxint, dtype=np.int64)
+                sow_row[:, phys] = ckpt.sow
+                ptn_row = np.repeat(dp[:, None], n_phys, axis=1)
+                ptn_row[:, phys] = phys[np.asarray(ckpt.ptn)]
+                SOW[lane_idx, dp, :] = sow_row
+                PTN[lane_idx, dp, :] = ptn_row
+                PREV = SOW.copy()
+                iterations = ckpt.iterations.copy()
+                active = ckpt.active.copy()
+                # Controller writes two row vectors back onto the array.
+                view.count_alu(2)
+
+            def rollback(why: str) -> None:
+                ckpt = store.latest()
+                with bucket("recovery"):
+                    restore(ckpt)
+                state["rollbacks"] += 1
+                events.append(
+                    ResilienceEvent(
+                        state["cursor"],
+                        "rollback",
+                        f"{why}; resuming from round {ckpt.round}",
+                    )
+                )
+                # Open (or extend) the replay-accounting window: counters
+                # spent re-running rounds we had already executed are
+                # recovery overhead, minus whatever the other buckets
+                # claim inside the window.
+                if state["replay_snapshot"] is None:
+                    state["replay_snapshot"] = base.counters.snapshot()
+                    state["replay_overhead"] = {
+                        k: dict(v) for k, v in overhead.items()
+                    }
+                state["replayed"] += state["cursor"] - ckpt.round
+                state["cursor"] = ckpt.round
+
+            def close_replay_window() -> None:
+                if state["replay_snapshot"] is None:
+                    return
+                delta = base.counters.diff(state["replay_snapshot"])
+                for name, snap in state["replay_overhead"].items():
+                    _acc(delta, {k: -v for k, v in _sub(overhead[name], snap).items()})
+                _acc(overhead["recovery"], delta)
+                state["replay_snapshot"] = None
+                state["replay_overhead"] = None
+
+            def diagnose_new() -> set[int]:
+                """Full self-test; returns the *quarantinable* physical
+                indices it names beyond what is already known. A
+                transient corrupting the self-test's own echo planes can
+                make the diagnosis name coordinates outside the array —
+                those are discarded (nothing to quarantine), which sends
+                the caller down the glitch/suspect path instead."""
+                nonlocal known_faults, known_rings
+                with bucket("diagnosis"):
+                    report = diagnose_switches(base)
+                new_f = [f for f in report.faults if f not in known_faults]
+                new_r = [
+                    r
+                    for r in report.undiagnosable_rings
+                    if r not in known_rings
+                ]
+                known_faults |= set(report.faults)
+                known_rings |= set(report.undiagnosable_rings)
+                return {
+                    i
+                    for i in quarantine_indices(new_f, new_r)
+                    if 0 <= i < n_phys
+                }
+
+            def remap(extra: set[int], why: str) -> None:
+                nonlocal embedding
+                if not cfg.remap.enabled:
+                    fail(f"{why} but remapping is disabled")
+                    return
+                target = embedding.quarantined | extra
+                if (
+                    cfg.remap.max_spares is not None
+                    and len(target) > cfg.remap.max_spares
+                ):
+                    fail(
+                        f"quarantining {sorted(extra)} exceeds the spare "
+                        f"budget of {cfg.remap.max_spares}"
+                    )
+                    return
+                try:
+                    embedding = ArrayEmbedding.build(n_phys, m, target)
+                except ResilienceError as exc:
+                    fail(str(exc))
+                    return
+                with tele.span("resilience.remap"):
+                    with bucket("recovery"):
+                        rebuild_geometry()
+                        # Controller re-embeds W onto the new layout.
+                        view.count_alu(1)
+                    probe.set_ignore(embedding.quarantined)
+                    state["remaps"] += 1
+                    state["retries"] = 0
+                    events.append(
+                        ResilienceEvent(
+                            state["cursor"],
+                            "remap",
+                            f"{why}: quarantined {sorted(extra)}; spares "
+                            f"left {embedding.spares_left}",
+                        )
+                    )
+                    rollback("remapped onto healthy rows/columns")
+                    if cfg.structural_probe:
+                        with bucket("recovery"):
+                            probe.rebaseline()
+
+            def quarantine_suspects_or_fail(reason: str) -> None:
+                # Current confirmed deviations first; fall back to the
+                # lifetime deviation history (rings that repeatedly
+                # glitched but always went quiet before the confirm).
+                localised = state["suspects"] or state["suspect_history"]
+                suspects = {int(r) for _axis, r in localised}
+                if (
+                    cfg.remap.enabled
+                    and cfg.remap.quarantine_suspects
+                    and suspects
+                ):
+                    remap(
+                        suspects,
+                        f"{reason}; quarantining probe-localised suspects",
+                    )
+                else:
+                    fail(
+                        f"{reason}: retry budget exhausted and the "
+                        "self-test names no new fault"
+                    )
+
+            def retry_or_escalate(reason: str, allow_escalate: bool) -> None:
+                if state["retries"] < cfg.retry.max_retries:
+                    state["retries"] += 1
+                    rollback(
+                        f"{reason} (retry {state['retries']}/"
+                        f"{cfg.retry.max_retries})"
+                    )
+                elif allow_escalate and cfg.retry.escalate:
+                    extra = diagnose_new()
+                    if extra:
+                        remap(extra, "escalated self-test named new faults")
+                    else:
+                        quarantine_suspects_or_fail(reason)
+                else:
+                    fail(f"{reason}: retry budget exhausted")
+
+            def guard() -> str | None:
+                if not (cfg.structural_probe or cfg.invariant_monitor):
+                    return None
+                with tele.span("resilience.guard", k=state["cursor"]):
+                    if cfg.structural_probe:
+                        with bucket("detection"):
+                            devs = probe.check()
+                            # Confirm: a transient that hit a probe
+                            # transaction deviates once and is gone on the
+                            # re-probe — benign; a stuck-at deviates again.
+                            confirmed = probe.check() if devs else set()
+                        if devs and not confirmed:
+                            # Benign for *this* boundary, but remember
+                            # the ring: an intermittent that keeps
+                            # glitching the same ring is localised by
+                            # the history even though every individual
+                            # deviation vanishes on confirm.
+                            state["benign"] += 1
+                            state["suspect_history"] |= set(devs)
+                            events.append(
+                                ResilienceEvent(
+                                    state["cursor"],
+                                    "glitch",
+                                    f"probe deviation {sorted(devs)} "
+                                    "vanished on confirm (transient)",
+                                )
+                            )
+                        elif confirmed:
+                            state["detections"] += 1
+                            state["suspects"] = set(confirmed)
+                            state["suspect_history"] |= set(confirmed)
+                            events.append(
+                                ResilienceEvent(
+                                    state["cursor"],
+                                    "probe-alarm",
+                                    f"echo deviation confirmed on rings "
+                                    f"{sorted(confirmed)}",
+                                )
+                            )
+                            return "structural"
+                    if cfg.invariant_monitor:
+                        with bucket("detection"):
+                            alarms = monitor.check(
+                                SOW,
+                                PTN,
+                                PREV,
+                                geo["We"],
+                                geo["row_d"],
+                                col_last,
+                                geo["real_diag"],
+                            )
+                            # Confirm: deterministic recomputation — if
+                            # only the first check's own transactions were
+                            # corrupted, the re-check comes back clean.
+                            confirmed_inv = (
+                                monitor.check(
+                                    SOW,
+                                    PTN,
+                                    PREV,
+                                    geo["We"],
+                                    geo["row_d"],
+                                    col_last,
+                                    geo["real_diag"],
+                                )
+                                if alarms.any()
+                                else alarms
+                            )
+                        if alarms.any() and not confirmed_inv.any():
+                            state["benign"] += 1
+                            events.append(
+                                ResilienceEvent(
+                                    state["cursor"],
+                                    "glitch",
+                                    "invariant alarm vanished on re-check "
+                                    "(transient hit the checker)",
+                                )
+                            )
+                        elif confirmed_inv.any():
+                            state["detections"] += 1
+                            lanes = np.flatnonzero(confirmed_inv).tolist()
+                            events.append(
+                                ResilienceEvent(
+                                    state["cursor"],
+                                    "invariant-alarm",
+                                    f"relaxation equality violated in "
+                                    f"lanes {lanes}",
+                                )
+                            )
+                            return "invariant"
+                return None
+
+            # ---------------- run + verify the init ----------------
+            initialize()
+            if cfg.invariant_monitor:
+                tries = 0
+                escalated = False
+                while state["failure"] is None:
+                    with bucket("detection"):
+                        ok = init_verified()
+                    if ok:
+                        break
+                    state["detections"] += 1
+                    events.append(
+                        ResilienceEvent(
+                            0,
+                            "init-alarm",
+                            "initialised row-d state does not match the "
+                            "embedded weights",
+                        )
+                    )
+                    if tries < cfg.retry.max_retries:
+                        tries += 1
+                        state["rollbacks"] += 1
+                        with bucket("recovery"):
+                            initialize()
+                        continue
+                    if cfg.retry.escalate and not escalated:
+                        escalated = True
+                        extra = diagnose_new()
+                        target = embedding.quarantined | extra
+                        if (
+                            extra
+                            and cfg.remap.enabled
+                            and (
+                                cfg.remap.max_spares is None
+                                or len(target) <= cfg.remap.max_spares
+                            )
+                        ):
+                            try:
+                                embedding = ArrayEmbedding.build(
+                                    n_phys, m, target
+                                )
+                            except ResilienceError as exc:
+                                fail(str(exc))
+                                break
+                            with bucket("recovery"):
+                                rebuild_geometry()
+                                view.count_alu(1)
+                                initialize()
+                            probe.set_ignore(embedding.quarantined)
+                            state["remaps"] += 1
+                            events.append(
+                                ResilienceEvent(
+                                    0,
+                                    "remap",
+                                    "init escalation: quarantined "
+                                    f"{sorted(extra)}; spares left "
+                                    f"{embedding.spares_left}",
+                                )
+                            )
+                            tries = 0
+                            continue
+                    fail(
+                        "initialisation could not be verified against "
+                        "the embedded weights"
+                    )
+
+            if cfg.structural_probe and state["failure"] is None:
+                with bucket("detection"):
+                    probe.rebaseline()
+
+            # ---------------- round 0 checkpoint ----------------
+            if state["failure"] is None:
+                commit_checkpoint()
+
+            # ---------------- the loop ----------------
+            try:
+                while active.any() and state["failure"] is None:
+                    if state["total_rounds"] >= max_rounds:
+                        fail(
+                            f"round budget ({max_rounds}) exhausted before "
+                            "convergence"
+                        )
+                        break
+                    state["total_rounds"] += 1
+                    state["cursor"] += 1
+                    cursor = state["cursor"]
+                    if round_hook is not None:
+                        round_hook(cursor, base)
+                        # A hook may inject new damage into the physical
+                        # machine; the batched view snapshots the fault
+                        # plan at creation, so re-sync it — algorithm
+                        # lanes must see exactly what the probes see.
+                        view._faults = base._faults
+
+                    view.set_active_lanes(active)
+                    iterations = iterations + active
+                    gate = active[:, None, None]
+                    if cfg.invariant_monitor:
+                        PREV = SOW.copy()
+                        view.count_alu()
+
+                    row_d = geo["row_d"]
+                    with tele.span("mcp.iteration", k=cursor):
+                        # Statements 9-13.
+                        with view.where(gate & ~row_d):
+                            with tele.span("mcp.broadcast"):
+                                candidates = view.sat_add(
+                                    view.broadcast(SOW, SOUTH, row_d),
+                                    geo["We"],
+                                )
+                                view.store(SOW, candidates)
+                            with tele.span("mcp.min"):
+                                view.store(
+                                    MIN_SOW,
+                                    self.min_routine(
+                                        view, SOW, WEST, col_last
+                                    ),
+                                )
+                            with tele.span("mcp.selected_min"):
+                                achieves = MIN_SOW == SOW
+                                view.count_alu()
+                                view.store(
+                                    PTN,
+                                    self.selected_min_routine(
+                                        view, COL, WEST, col_last, achieves
+                                    ),
+                                )
+                        # Statements 14-19.
+                        with tele.span("mcp.writeback"):
+                            with view.where(gate & row_d):
+                                OLD_SOW = SOW.copy()
+                                view.count_alu()
+                                view.store(
+                                    SOW,
+                                    view.broadcast(MIN_SOW, SOUTH, diag),
+                                )
+                                changed = SOW != OLD_SOW
+                                view.count_alu()
+                                with view.where(changed):
+                                    view.store(
+                                        PTN,
+                                        view.broadcast(PTN, SOUTH, diag),
+                                    )
+                        # Statement 20, masked to logical columns so
+                        # padding garbage cannot stall convergence.
+                        with tele.span("mcp.convergence"):
+                            still = view.lane_global_or(
+                                changed & row_d & geo["real_cols"]
+                            )
+
+                    state["furthest"] = max(state["furthest"], cursor)
+                    finishing = not (active & still).any()
+                    checkpoint_due = (
+                        cursor % cfg.checkpoint.every == 0 or finishing
+                    )
+                    detect_due = (
+                        cursor % cfg.detect_every == 0
+                        or finishing
+                        or (checkpoint_due and cfg.checkpoint.verify)
+                    )
+
+                    alarm = guard() if detect_due else None
+                    if alarm is None:
+                        active = active & still
+                        if (
+                            state["replay_snapshot"] is not None
+                            and cursor >= state["furthest"]
+                        ):
+                            close_replay_window()
+                        if checkpoint_due:
+                            commit_checkpoint()
+                    elif alarm == "structural":
+                        extra = diagnose_new()
+                        if extra:
+                            remap(extra, "self-test named new faults")
+                        else:
+                            events.append(
+                                ResilienceEvent(
+                                    cursor,
+                                    "glitch",
+                                    "confirmed probe alarm but self-test "
+                                    "names no new fault",
+                                )
+                            )
+                            if state["retries"] < cfg.retry.max_retries:
+                                state["retries"] += 1
+                                rollback(
+                                    "undiagnosed structural alarm (retry "
+                                    f"{state['retries']}/"
+                                    f"{cfg.retry.max_retries})"
+                                )
+                            else:
+                                quarantine_suspects_or_fail(
+                                    "undiagnosed structural alarm"
+                                )
+                    else:  # invariant
+                        retry_or_escalate(
+                            "invariant violation", allow_escalate=True
+                        )
+            finally:
+                view.set_active_lanes(None)
+            close_replay_window()
+
+        # ---------------- extraction ----------------
+        dp = geo["dest_phys"]
+        sow_log = embedding.extract(SOW[lane_idx, dp, :])
+        ptn_log = embedding.to_logical_ptn(
+            embedding.extract(PTN[lane_idx, dp, :]), dest
+        )
+
+        if state["failure"] is not None:
+            status = ResilienceStatus.FAILED
+        elif state["remaps"] > 0 or initial_degraded:
+            status = ResilienceStatus.DEGRADED
+        elif (
+            state["detections"] > 0
+            or state["rollbacks"] > 0
+            or state["benign"] > 0
+        ):
+            status = ResilienceStatus.RECOVERED
+        else:
+            status = ResilienceStatus.CLEAN
+
+        result = ResilientMCPResult(
+            destinations=dest.copy(),
+            sow=np.array(sow_log),
+            ptn=np.array(ptn_log),
+            iterations=iterations.copy(),
+            maxint=base.maxint,
+            status=status,
+            embedding=embedding,
+            rounds=state["total_rounds"],
+            furthest_round=state["furthest"],
+            replayed_rounds=state["replayed"],
+            retries_used=state["retries"],
+            rollbacks=state["rollbacks"],
+            remaps=state["remaps"],
+            checkpoints=store.commits,
+            detections=state["detections"],
+            benign_glitches=state["benign"],
+            failure=state["failure"],
+            events=tuple(events),
+            overhead=overhead,
+            counters=base.counters.diff(counters0),
+        )
+        if status is ResilienceStatus.FAILED and raise_on_failure:
+            raise ResilienceError(
+                f"resilient run failed: {state['failure']} "
+                f"(after {state['total_rounds']} rounds, "
+                f"{state['rollbacks']} rollbacks, {state['remaps']} remaps)"
+            )
+        return result

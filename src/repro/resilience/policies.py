@@ -1,0 +1,135 @@
+"""Recovery policy knobs for the resilient runtime.
+
+Three orthogonal policies, composed by
+:class:`~repro.resilience.executor.ResilientExecutor`:
+
+:class:`RetryPolicy`
+    What to do when a detector fires but diagnosis names no new hardware
+    fault (a transient glitch, or an intermittent switch that went quiet
+    again): roll back to the last verified checkpoint and *replay* the
+    window — the bus transactions of the replayed iterations are
+    re-issued, which is the PPA's unit of retry. Bounded; when the budget
+    is exhausted the executor either escalates to a full diagnostic sweep
+    (``escalate=True``) or declares the run failed.
+
+:class:`CheckpointPolicy`
+    How often the controller snapshots the algorithm's carried state into
+    the checkpoint store. One MCP iteration carries only the row-``d``
+    ``SOW``/``PTN`` vectors between rounds (see docs/robustness.md), so a
+    checkpoint is two ``m``-vectors per lane, stored in *logical* vertex
+    coordinates — which is what makes a checkpoint restorable onto a
+    *different* physical embedding after a remap. ``verify=True`` runs
+    the detectors first and only commits when they are quiet, so the
+    store never holds state written after an undetected fault.
+
+:class:`RemapPolicy`
+    Whether (and how far) the executor may consume spare rows/columns to
+    quarantine physical indices that diagnosis has named faulty. The
+    machine must be larger than the problem (``n_phys > m``) for a remap
+    to be possible at all.
+
+All three are frozen; build a new instance to change a knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RetryPolicy",
+    "CheckpointPolicy",
+    "RemapPolicy",
+    "ResilienceConfig",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded rollback-and-replay with optional escalation."""
+
+    #: rollback/replay attempts allowed per recovery *episode*: the
+    #: budget resets on verified progress (a committed checkpoint) and on
+    #: a successful remap — it bounds consecutive fruitless replays, not
+    #: the run's lifetime total.
+    max_retries: int = 3
+    #: when the budget runs out on invariant alarms, run one full
+    #: diagnostic sweep before giving up — an intermittent switch that
+    #: misbehaves often enough to exhaust retries will usually show up.
+    escalate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Verified snapshots of the carried row-``d`` state."""
+
+    #: commit a checkpoint every this many productive iterations.
+    every: int = 4
+    #: run the detectors before committing; an alarmed boundary recovers
+    #: first and commits only after a clean replay.
+    verify: bool = True
+    #: checkpoints retained in the store (rollback always targets the
+    #: newest; older ones are kept for post-mortems).
+    keep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ConfigurationError(
+                f"checkpoint cadence must be >= 1, got {self.every}"
+            )
+        if self.keep < 1:
+            raise ConfigurationError(f"keep must be >= 1, got {self.keep}")
+
+
+@dataclass(frozen=True)
+class RemapPolicy:
+    """Quarantine-and-re-embed around diagnosed faults."""
+
+    enabled: bool = True
+    #: cap on the number of physical indices that may be quarantined over
+    #: the run (``None`` = limited only by the array's actual slack).
+    max_spares: int | None = None
+    #: when a *confirmed* structural alarm keeps recurring but the full
+    #: self-test names no fault (an intermittent switch quiet during the
+    #: diagnostic, say), quarantine the probe-localised suspect rings
+    #: rather than failing the run — trade a spare for forward progress.
+    quarantine_suspects: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_spares is not None and self.max_spares < 0:
+            raise ConfigurationError(
+                f"max_spares must be >= 0 or None, got {self.max_spares}"
+            )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Complete detector + policy configuration for one executor."""
+
+    #: evaluate the online detectors every this many productive
+    #: iterations (1 = every iteration; the final iteration is always
+    #: guarded regardless).
+    detect_every: int = 1
+    #: enable the 4-transaction structural echo probe.
+    structural_probe: bool = True
+    #: enable the algorithm-level relaxation-invariant monitor.
+    invariant_monitor: bool = True
+    #: run the full diagnostic sweep before starting and refuse (raise)
+    #: when the array cannot host the problem.
+    initial_diagnosis: bool = True
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint: CheckpointPolicy = field(default_factory=CheckpointPolicy)
+    remap: RemapPolicy = field(default_factory=RemapPolicy)
+
+    def __post_init__(self) -> None:
+        if self.detect_every < 1:
+            raise ConfigurationError(
+                f"detect_every must be >= 1, got {self.detect_every}"
+            )

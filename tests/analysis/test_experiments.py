@@ -233,5 +233,5 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "T1", "F2", "F3", "F4", "T5", "T5P", "T6", "A7", "A8", "T9",
-            "A11", "A12", "A13", "T13", "T14", "T15",
+            "A11", "A12", "A13", "T13", "T14", "T15", "T16",
         }

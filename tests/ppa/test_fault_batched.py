@@ -1,0 +1,228 @@
+"""Fault application on the batched bus paths and the plan caches.
+
+:mod:`repro.ppa.faults` promises three cache-safety properties (its
+module docstring): a faulted transaction must never reuse a faultless
+plan (stuck-ats rewrite the switch plane *before* plan resolution), an
+intermittent fault that does not fire leaves the programmed plane
+byte-identical and *may* reuse the faultless plan, and transients are
+applied to the received values *after* the kernel — invisible to every
+cache. This file pins all three against the serial 2-D path, the
+lane-expanded shared-plane path and the per-lane-stack path, and then
+pins the headline regression: a static fault corrupts a batched
+multi-destination run **lane-for-lane identically** to the serial
+per-destination runs, counters included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import all_pairs_minimum_cost, minimum_cost_path
+from repro.ppa import PPAConfig, PPAMachine
+from repro.ppa.directions import Direction
+from repro.ppa.faults import FaultKind, FaultPlan
+from repro.ppa.segments import (
+    clear_plan_cache,
+    plan_cache_stats,
+    reset_plan_cache_stats,
+)
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+def machine(n: int = 4, plan: FaultPlan | None = None) -> PPAMachine:
+    m = PPAMachine(PPAConfig(n=n, word_bits=16))
+    if plan is not None:
+        m.inject_faults(plan)
+    return m
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_plan_cache()
+    reset_plan_cache_stats()
+    yield
+    clear_plan_cache()
+
+
+def _open_plan() -> FaultPlan:
+    return FaultPlan().add(2, 1, FaultKind.STUCK_OPEN, axis=0)
+
+
+class TestCacheIsolation:
+    """Faulted and faultless transactions never share a plan."""
+
+    def test_serial_faulted_plane_misses_faultless_plan(self):
+        m = machine()
+        heads = m.row_index == 0
+        healthy = m.broadcast(m.row_index, Direction.SOUTH, heads)
+        m.broadcast(m.row_index, Direction.SOUTH, heads)
+        stats = plan_cache_stats()
+        assert (stats.broadcast_misses, stats.broadcast_hits) == (1, 1)
+
+        m.inject_faults(_open_plan())
+        faulted = m.broadcast(m.row_index, Direction.SOUTH, heads)
+        assert stats.broadcast_misses == 2  # new plan, not the cached one
+        assert not np.array_equal(healthy, faulted)
+
+    def test_lane_expanded_faulted_plane_misses_too(self):
+        base = machine()
+        view = base.lanes(3)
+        heads = base.row_index == 0  # shared 2-D plane, expanded per lane
+        src = np.broadcast_to(base.row_index, (3, 4, 4))
+        healthy = view.broadcast(src, Direction.SOUTH, heads)
+        stats = plan_cache_stats()
+        misses0 = stats.broadcast_misses
+
+        base.inject_faults(_open_plan())
+        faulted = base.lanes(3).broadcast(src, Direction.SOUTH, heads)
+        assert stats.broadcast_misses > misses0
+        assert not np.array_equal(healthy, faulted)
+        # Physical damage hits every lane the same way.
+        for b in range(1, 3):
+            assert np.array_equal(faulted[0], faulted[b])
+
+    def test_per_lane_stack_faulted_plane_misses_too(self):
+        base = machine()
+        view = base.lanes(2)
+        stack = np.stack([base.row_index == 0, base.row_index == 1])
+        src = np.broadcast_to(base.row_index, (2, 4, 4))
+        healthy = view.broadcast(src, Direction.SOUTH, stack)
+        stats = plan_cache_stats()
+        misses0 = stats.broadcast_misses
+
+        base.inject_faults(_open_plan())
+        faulted = base.lanes(2).broadcast(src, Direction.SOUTH, stack)
+        assert stats.broadcast_misses > misses0
+        assert not np.array_equal(healthy, faulted)
+
+    def test_reduce_path_is_isolated_as_well(self):
+        m = machine()
+        heads = m.col_index == m.n - 1
+        healthy = m.bus_reduce(m.col_index, Direction.WEST, heads, "min")
+        m.bus_reduce(m.col_index, Direction.WEST, heads, "min")
+        stats = plan_cache_stats()
+        assert (stats.reduce_misses, stats.reduce_hits) == (1, 1)
+
+        m.inject_faults(FaultPlan().add(1, 2, FaultKind.STUCK_OPEN, axis=1))
+        faulted = m.bus_reduce(m.col_index, Direction.WEST, heads, "min")
+        assert stats.reduce_misses == 2
+        assert not np.array_equal(healthy, faulted)
+
+
+class TestIntermittentCacheBehaviour:
+    def test_quiet_intermittent_reuses_the_faultless_plan(self):
+        """An activation draw that does not fire leaves the programmed
+        plane byte-identical — the faultless plan is reused (no cache
+        pollution, no spurious result change)."""
+        m = machine()
+        heads = m.row_index == 0
+        healthy = m.broadcast(m.row_index, Direction.SOUTH, heads)
+
+        m.inject_faults(FaultPlan(seed=0).add_intermittent(
+            2, 1, FaultKind.STUCK_OPEN, probability=1e-12, axis=0))
+        again = m.broadcast(m.row_index, Direction.SOUTH, heads)
+        stats = plan_cache_stats()
+        assert (stats.broadcast_misses, stats.broadcast_hits) == (1, 1)
+        assert np.array_equal(healthy, again)
+
+    def test_firing_intermittent_behaves_like_the_permanent(self):
+        m = machine()
+        heads = m.row_index == 0
+        healthy = m.broadcast(m.row_index, Direction.SOUTH, heads)
+
+        m.inject_faults(FaultPlan(seed=0).add_intermittent(
+            2, 1, FaultKind.STUCK_OPEN, probability=1.0, axis=0))
+        flaky = m.broadcast(m.row_index, Direction.SOUTH, heads)
+        perm = machine(plan=_open_plan()).broadcast(
+            machine().row_index, Direction.SOUTH, heads)
+        assert np.array_equal(flaky, perm)
+        assert not np.array_equal(flaky, healthy)
+
+
+class TestTransientCacheInvisibility:
+    def test_transient_corrupts_values_but_hits_the_cache(self):
+        m = machine()
+        heads = m.row_index == 0
+        healthy = m.broadcast(m.row_index, Direction.SOUTH, heads)
+
+        m.inject_faults(FaultPlan(seed=0).add_transient(
+            2, 1, bit=3, probability=1.0, axis=0))
+        flipped = m.broadcast(m.row_index, Direction.SOUTH, heads)
+        stats = plan_cache_stats()
+        # Same programmed plane -> plan served from cache...
+        assert (stats.broadcast_misses, stats.broadcast_hits) == (1, 1)
+        # ...yet the received word at (2, 1) has bit 3 flipped.
+        assert flipped[2, 1] == healthy[2, 1] ^ (1 << 3)
+        delta = flipped != healthy
+        assert delta.sum() == 1 and delta[2, 1]
+
+    def test_transient_hits_every_lane_of_a_stack(self):
+        base = machine()
+        base.inject_faults(FaultPlan(seed=0).add_transient(
+            2, 1, bit=0, probability=1.0, axis=0))
+        view = base.lanes(3)
+        heads = base.row_index == 0
+        src = np.broadcast_to(base.row_index, (3, 4, 4))
+        out = view.broadcast(src, Direction.SOUTH, heads)
+        assert (out[:, 2, 1] == (0 ^ 1)).all()
+
+    def test_flip_above_the_driven_width_is_a_no_op(self):
+        m = machine()
+        heads = m.row_index == 0
+        m.inject_faults(FaultPlan(seed=0).add_transient(
+            2, 1, bit=9, probability=1.0, axis=0))
+        flags = m.bus_or(m.row_index == 0, Direction.SOUTH, heads)
+        healthy = machine().bus_or(
+            machine().row_index == 0, Direction.SOUTH, heads)
+        # A 1-bit wired-OR transfer has no bit 9 to flip.
+        assert np.array_equal(flags, healthy)
+
+
+class TestLaneForLaneEquivalence:
+    """One batched faulted run == the per-destination serial faulted
+    runs, value-for-value and counter-for-counter."""
+
+    N = 5
+
+    def _graph(self):
+        return gnp_digraph(self.N, 0.5, seed=2, weights=WeightSpec(1, 9),
+                           inf_value=INF16)
+
+    def _plan(self):
+        return FaultPlan().add(3, 1, FaultKind.STUCK_OPEN, axis=0)
+
+    def test_static_fault_batched_equals_serial(self):
+        W = self._graph()
+        res = all_pairs_minimum_cost(machine(self.N, self._plan()), W)
+        totals: dict[str, int] = {}
+        for d in range(self.N):
+            s = minimum_cost_path(machine(self.N, self._plan()), W, d)
+            assert np.array_equal(res.dist[:, d], s.sow), d
+            assert np.array_equal(res.succ[:, d], s.ptn), d
+            assert int(res.iterations[d]) == int(s.iterations), d
+            for k, v in s.counters.items():
+                totals[k] = totals.get(k, 0) + int(v)
+        for k in sorted(set(totals) | set(res.counters)):
+            assert totals.get(k, 0) == int(res.counters.get(k, 0)), k
+
+    def test_seeded_stochastic_plan_replays_bit_for_bit(self):
+        W = self._graph()
+
+        def run():
+            plan = FaultPlan(seed=7).add_intermittent(
+                3, 1, FaultKind.STUCK_OPEN, probability=0.5, axis=0
+            ).add_transient(1, 2, bit=2, probability=0.2, axis=1)
+            return all_pairs_minimum_cost(machine(self.N, plan), W)
+
+        a, b = run(), run()
+        assert np.array_equal(a.dist, b.dist)
+        assert np.array_equal(a.succ, b.succ)
+        assert dict(a.machine_counters) == dict(b.machine_counters)
+
+    def test_fault_actually_changes_the_answer(self):
+        """Guard the guard: the fault chosen above is not a no-op."""
+        W = self._graph()
+        healthy = all_pairs_minimum_cost(machine(self.N), W)
+        faulted = all_pairs_minimum_cost(machine(self.N, self._plan()), W)
+        assert not np.array_equal(healthy.dist, faulted.dist)

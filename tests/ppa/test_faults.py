@@ -128,3 +128,161 @@ class TestFaultyMCP:
         # (3,5) must head a row cluster; the MCP only heads rows at col n-1
         assert broken is not None
         assert np.array_equal(broken.sow, healthy.sow)
+
+
+class TestFaultPlanValidationEdges:
+    """The stricter validate() surface behind the resilience campaigns."""
+
+    def test_out_of_grid_intermittent_rejected_on_inject(self):
+        plan = FaultPlan().add_intermittent(
+            7, 1, FaultKind.STUCK_OPEN, probability=0.5)
+        with pytest.raises(ConfigurationError, match="outside grid"):
+            machine(4).inject_faults(plan)
+
+    def test_out_of_grid_transient_rejected_on_inject(self):
+        plan = FaultPlan().add_transient(1, 7, bit=0, probability=0.5)
+        with pytest.raises(ConfigurationError, match="outside grid"):
+            machine(4).inject_faults(plan)
+
+    def test_duplicate_stuck_at_same_switch_same_axis(self):
+        plan = (FaultPlan()
+                .add(1, 2, FaultKind.STUCK_OPEN, axis=0)
+                .add(1, 2, FaultKind.STUCK_SHORT, axis=0))
+        with pytest.raises(ConfigurationError,
+                           match="duplicate stuck-at"):
+            plan.validate((4, 4))
+
+    def test_duplicate_via_axis_none_overlap(self):
+        # axis=None touches both switch-boxes, so it collides with any
+        # single-axis stuck-at on the same PE.
+        plan = (FaultPlan()
+                .add(1, 2, FaultKind.STUCK_OPEN, axis=None)
+                .add(1, 2, FaultKind.STUCK_OPEN, axis=1))
+        with pytest.raises(ConfigurationError,
+                           match="duplicate stuck-at"):
+            plan.validate((4, 4))
+
+    def test_permanent_and_intermittent_on_same_switch_conflict(self):
+        plan = (FaultPlan()
+                .add(1, 2, FaultKind.STUCK_OPEN, axis=0)
+                .add_intermittent(1, 2, FaultKind.STUCK_SHORT,
+                                  probability=0.5, axis=0))
+        with pytest.raises(ConfigurationError,
+                           match="duplicate stuck-at"):
+            plan.validate((4, 4))
+
+    def test_same_switch_different_axes_is_legal(self):
+        plan = (FaultPlan()
+                .add(1, 2, FaultKind.STUCK_OPEN, axis=0)
+                .add(1, 2, FaultKind.STUCK_SHORT, axis=1))
+        plan.validate((4, 4))
+        assert len(plan) == 2
+
+    def test_duplicate_transient_same_bit_rejected(self):
+        plan = (FaultPlan()
+                .add_transient(1, 2, bit=3, probability=0.5, axis=0)
+                .add_transient(1, 2, bit=3, probability=0.9, axis=0))
+        with pytest.raises(ConfigurationError,
+                           match="duplicate transient"):
+            plan.validate((4, 4))
+
+    def test_transients_on_different_bits_are_legal(self):
+        plan = (FaultPlan()
+                .add_transient(1, 2, bit=3, probability=0.5, axis=0)
+                .add_transient(1, 2, bit=4, probability=0.5, axis=0))
+        plan.validate((4, 4), word_bits=16)
+
+    def test_probability_zero_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"\(0, 1\]"):
+            FaultPlan().add_intermittent(
+                0, 0, FaultKind.STUCK_OPEN, probability=0.0)
+
+    def test_probability_above_one_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"\(0, 1\]"):
+            FaultPlan().add_transient(0, 0, bit=0, probability=1.5)
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(ConfigurationError, match="bit index"):
+            FaultPlan().add_transient(0, 0, bit=-1, probability=0.5)
+
+    def test_bit_outside_machine_word_rejected_on_inject(self):
+        plan = FaultPlan().add_transient(0, 0, bit=16, probability=0.5)
+        with pytest.raises(ConfigurationError, match="16-bit"):
+            machine(4).inject_faults(plan)
+
+    def test_is_static_and_len(self):
+        assert FaultPlan().add(0, 0, FaultKind.STUCK_OPEN).is_static
+        plan = (FaultPlan()
+                .add(0, 0, FaultKind.STUCK_OPEN)
+                .add_intermittent(1, 1, FaultKind.STUCK_SHORT,
+                                  probability=0.5)
+                .add_transient(2, 2, bit=0, probability=0.5))
+        assert not plan.is_static
+        assert len(plan) == 3
+
+    def test_reseed_replays_the_activation_stream(self):
+        def stream(plan):
+            plane = np.zeros((4, 4), bool)
+            return [plan.effective_plane(plane, 0).tobytes()
+                    for _ in range(32)]
+
+        plan = FaultPlan(seed=5).add_intermittent(
+            1, 1, FaultKind.STUCK_OPEN, probability=0.5)
+        first = stream(plan)
+        assert first != stream(plan)  # the stream advances...
+        plan.reseed()
+        assert stream(plan) == first  # ...and reseed() rewinds it
+
+    def test_draw_order_is_axis_independent(self):
+        """One draw per intermittent per transaction regardless of which
+        axis the transaction uses — the activation history cannot be
+        perturbed by the direction sequence an algorithm issues."""
+        mk = lambda: FaultPlan(seed=9).add_intermittent(  # noqa: E731
+            1, 1, FaultKind.STUCK_OPEN, probability=0.5, axis=0)
+        plane = np.zeros((4, 4), bool)
+
+        a = mk()
+        a.effective_plane(plane, 0)           # transaction 1 on axis 0
+        second_a = a.effective_plane(plane, 0).tobytes()
+
+        b = mk()
+        b.effective_plane(plane, 1)           # transaction 1 on axis 1
+        second_b = b.effective_plane(plane, 0).tobytes()
+        assert second_a == second_b
+
+
+class TestClearFaultsMidRun:
+    def test_clear_restores_healthy_behaviour_and_plan_reuse(self):
+        from repro.ppa.segments import (
+            clear_plan_cache, plan_cache_stats, reset_plan_cache_stats,
+        )
+
+        clear_plan_cache()
+        reset_plan_cache_stats()
+        m = machine()
+        heads = m.row_index == 0
+        healthy = m.broadcast(m.row_index, Direction.SOUTH, heads)
+
+        m.inject_faults(FaultPlan().add(2, 1, FaultKind.STUCK_OPEN, axis=0))
+        corrupted = m.broadcast(m.row_index, Direction.SOUTH, heads)
+        assert not np.array_equal(healthy, corrupted)
+
+        m.clear_faults()
+        after = m.broadcast(m.row_index, Direction.SOUTH, heads)
+        assert np.array_equal(healthy, after)
+        # The faultless plan is served from cache again: 2 misses total
+        # (healthy + faulted), the post-clear transaction is a hit.
+        stats = plan_cache_stats()
+        assert (stats.broadcast_misses, stats.broadcast_hits) == (2, 1)
+        clear_plan_cache()
+
+    def test_clear_faults_between_mcp_runs(self):
+        W = gnp_digraph(6, 0.4, seed=3, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        healthy = minimum_cost_path(machine(6), W, 2)
+        m = machine(6)
+        m.inject_faults(FaultPlan().add(2, 4, FaultKind.STUCK_SHORT, axis=0))
+        m.clear_faults()
+        again = minimum_cost_path(m, W, 2)
+        assert np.array_equal(healthy.sow, again.sow)
+        assert np.array_equal(healthy.ptn, again.ptn)

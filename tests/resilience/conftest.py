@@ -1,0 +1,36 @@
+"""Shared workload for the resilience suite.
+
+One small G(n, p) digraph plus its fault-free serial reference result,
+computed once per session — every executor test compares against the
+same golden answer, which is exactly the acceptance bar: a non-FAILED
+resilient run must be bit-identical to the fault-free run of the same
+logical problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import minimum_cost_path
+from repro.ppa import PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+M, N_PHYS, DEST = 6, 8, 2
+
+
+def machine(n: int = N_PHYS) -> PPAMachine:
+    return PPAMachine(PPAConfig(n=n, word_bits=16))
+
+
+@pytest.fixture(scope="session")
+def graph() -> np.ndarray:
+    return gnp_digraph(M, 0.4, seed=3, weights=WeightSpec(1, 9),
+                      inf_value=INF16)
+
+
+@pytest.fixture(scope="session")
+def reference(graph):
+    """Fault-free serial MCP results, one per destination."""
+    return {d: minimum_cost_path(machine(M), graph, d) for d in range(M)}

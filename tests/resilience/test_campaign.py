@@ -1,0 +1,55 @@
+"""Quick T16 campaign smoke: the acceptance bar in miniature.
+
+The full campaign (12 seeds per stochastic sweep) lives in
+``benchmarks/bench_t16_resilience.py`` and is drift-guarded; this quick
+variant (3 seeds) keeps the bar — zero silent corruption, >= 95 %
+detected-or-benign — inside the tier-1 suite and the CI fault-campaign
+smoke job.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_t16, run_t16_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_t16_campaign(quick=True)
+
+
+class TestQuickCampaign:
+    def test_zero_silent_corruption(self, campaign):
+        silent = sum(sc["silent_wrong"] for sc in campaign["scenarios"])
+        assert silent == 0
+
+    def test_detected_or_benign_bar(self, campaign):
+        total = sum(sc["runs"] for sc in campaign["scenarios"])
+        silent = sum(sc["silent_wrong"] for sc in campaign["scenarios"])
+        assert (total - silent) / total >= 0.95
+
+    def test_fault_free_baseline_is_clean_and_free(self, campaign):
+        base = campaign["scenarios"][0]
+        assert base["label"] == "fault-free"
+        assert base["status"]["clean"] == base["runs"]
+        assert base["rollbacks"] == 0 and base["remaps"] == 0
+
+    def test_midrun_permanent_is_absorbed_by_one_remap(self, campaign):
+        sc = {s["label"]: s for s in campaign["scenarios"]}
+        mid = sc["permanent short mid-run"]
+        assert mid["status"]["degraded"] == mid["runs"]
+        assert mid["remaps"] == mid["runs"]
+        assert mid["silent_wrong"] == 0
+
+    def test_every_scenario_quantifies_overhead(self, campaign):
+        for sc in campaign["scenarios"][1:]:
+            assert sc["overhead"].get("bus_cycles", 0) > 0, sc["label"]
+            assert sc["counters"]["bus_cycles"] >= sc["overhead"]["bus_cycles"]
+
+    def test_campaign_is_deterministic(self, campaign):
+        again = run_t16_campaign(quick=True)
+        assert again == campaign
+
+    def test_table_renders(self, campaign):
+        text = run_t16(campaign=campaign).render()
+        assert "fault-free" in text
+        assert "silent-wrong" in text

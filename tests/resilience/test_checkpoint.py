@@ -1,0 +1,57 @@
+"""Checkpoint immutability and store bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import Checkpoint, CheckpointStore
+
+
+def _ckpt(rnd: int) -> Checkpoint:
+    return Checkpoint(
+        round=rnd,
+        sow=np.array([[1, 2, 3]]),
+        ptn=np.array([[0, 0, 1]]),
+        iterations=np.array([rnd]),
+        active=np.array([True]),
+    )
+
+
+class TestCheckpoint:
+    def test_snapshot_is_a_copy(self):
+        sow = np.array([[1, 2, 3]])
+        c = Checkpoint(round=0, sow=sow, ptn=sow, iterations=np.array([0]),
+                       active=np.array([True]))
+        sow[0, 0] = 99
+        assert c.sow[0, 0] == 1
+
+    def test_snapshot_is_read_only(self):
+        c = _ckpt(0)
+        with pytest.raises(ValueError):
+            c.sow[0, 0] = 99
+
+
+class TestCheckpointStore:
+    def test_latest_of_empty_store_raises(self):
+        with pytest.raises(ResilienceError, match="empty"):
+            CheckpointStore().latest()
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(ResilienceError):
+            CheckpointStore(keep=0)
+
+    def test_eviction_keeps_newest(self):
+        store = CheckpointStore(keep=2)
+        for r in range(5):
+            store.commit(_ckpt(r))
+        assert len(store) == 2
+        assert store.latest().round == 4
+
+    def test_lifetime_stats_survive_eviction(self):
+        store = CheckpointStore(keep=1)
+        for r in range(3):
+            store.commit(_ckpt(r))
+        store.latest()
+        store.latest()
+        assert store.commits == 3
+        assert store.restores == 2

@@ -1,0 +1,145 @@
+"""Structural echo probe + relaxation-invariant monitor units."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BusError
+from repro.ppa.directions import Direction
+from repro.ppa.faults import FaultKind, FaultPlan
+from repro.resilience import InvariantMonitor, StructuralProbe
+
+from .conftest import machine
+
+
+class TestProbeWiring:
+    def test_probe_requires_physical_machine(self):
+        with pytest.raises(BusError, match="physical"):
+            StructuralProbe(machine(4).lanes(2))
+
+    def test_monitor_requires_batched_view(self):
+        with pytest.raises(BusError, match="batched"):
+            InvariantMonitor(machine(4))
+
+    def test_check_without_baseline_raises(self):
+        with pytest.raises(BusError, match="baseline"):
+            StructuralProbe(machine(4)).check()
+
+    def test_capture_charges_four_transactions(self):
+        m = machine(4)
+        before = m.counters.snapshot()
+        StructuralProbe(m).capture()
+        diff = m.counters.diff(before)
+        assert diff.get("broadcasts", 0) == StructuralProbe.TRANSACTIONS
+
+
+class TestProbeDetection:
+    def test_healthy_array_is_quiet(self):
+        m = machine(6)
+        probe = StructuralProbe(m)
+        probe.rebaseline()
+        assert probe.check() == set()
+
+    @pytest.mark.parametrize("kind", [FaultKind.STUCK_OPEN,
+                                      FaultKind.STUCK_SHORT])
+    def test_new_permanent_fault_names_its_ring(self, kind):
+        m = machine(6)
+        probe = StructuralProbe(m)
+        probe.rebaseline()
+        m.inject_faults(FaultPlan().add(2, 4, kind, axis=0))
+        devs = probe.check()
+        assert (0, 4) in devs
+        # The fault sits on an axis-0 (column bus) switch: no row ring
+        # may be blamed.
+        assert all(axis == 0 for axis, _ in devs)
+
+    def test_axis1_fault_names_its_row_ring(self):
+        m = machine(6)
+        probe = StructuralProbe(m)
+        probe.rebaseline()
+        m.inject_faults(FaultPlan().add(3, 1, FaultKind.STUCK_OPEN, axis=1))
+        devs = probe.check()
+        assert (1, 3) in devs
+        assert all(axis == 1 for axis, _ in devs)
+
+    def test_ignored_ring_cannot_alarm(self):
+        m = machine(6)
+        probe = StructuralProbe(m)
+        probe.rebaseline()
+        m.inject_faults(FaultPlan().add(2, 4, FaultKind.STUCK_OPEN, axis=0))
+        probe.set_ignore({4})
+        assert probe.check() == set()
+
+    def test_always_on_intermittent_keeps_alarming(self):
+        m = machine(6)
+        probe = StructuralProbe(m)
+        probe.rebaseline()
+        m.inject_faults(FaultPlan().add_intermittent(
+            2, 4, FaultKind.STUCK_OPEN, probability=1.0, axis=0))
+        assert (0, 4) in probe.check()
+        assert (0, 4) in probe.check()  # confirm re-probe still sees it
+
+    def test_rebaseline_absorbs_known_damage(self):
+        m = machine(6)
+        m.inject_faults(FaultPlan().add(2, 4, FaultKind.STUCK_OPEN, axis=0))
+        probe = StructuralProbe(m)
+        probe.rebaseline()  # differential: damage present at baseline
+        assert probe.check() == set()
+
+
+class TestInvariantMonitor:
+    """Direct relaxation audit on hand-built planes (n = 3, dest = 0)."""
+
+    def _setup(self):
+        base = machine(3)
+        view = base.lanes(1)
+        INF = base.maxint
+        W = np.array([[0, INF, INF],
+                      [4, 0, INF],
+                      [7, 3, 0]], dtype=np.int64)
+        ROW, COL = view.row_index, view.col_index
+        planes = dict(
+            weights=W,
+            row_d=(ROW == 0)[None, :, :],
+            col_last=(COL == base.n - 1),
+            real_diag=(ROW == COL),
+        )
+        # prev = init state SOW[j] = W[j, 0]; one relaxation leaves it
+        # fixed on this graph (every candidate is already optimal).
+        prev = np.zeros((1, 3, 3), dtype=np.int64)
+        prev[0, 0, :] = W[:, 0]
+        sow = prev.copy()
+        ptn = np.zeros((1, 3, 3), dtype=np.int64)  # successor 0 achieves all
+        return view, sow, ptn, prev, planes
+
+    def _alarm(self, view, sow, ptn, prev, planes):
+        return InvariantMonitor(view).check(
+            sow, ptn, prev, planes["weights"], planes["row_d"],
+            planes["col_last"], planes["real_diag"])
+
+    def test_exact_relaxation_passes(self):
+        view, sow, ptn, prev, planes = self._setup()
+        assert not self._alarm(view, sow, ptn, prev, planes).any()
+
+    def test_corrupted_sow_word_alarms(self):
+        view, sow, ptn, prev, planes = self._setup()
+        sow[0, 0, 1] += 1  # one flipped cost word in the carried row
+        assert self._alarm(view, sow, ptn, prev, planes).all()
+
+    def test_corrupted_ptn_word_alarms_with_intact_sow(self):
+        view, sow, ptn, prev, planes = self._setup()
+        ptn[0, 0, 1] = 2  # names a candidate that does not achieve the min
+        assert self._alarm(view, sow, ptn, prev, planes).all()
+
+    def test_wild_ptn_index_alarms(self):
+        view, sow, ptn, prev, planes = self._setup()
+        ptn[0, 0, 2] = 17  # outside the array: alarm, not an index error
+        assert self._alarm(view, sow, ptn, prev, planes).all()
+
+    def test_monitor_charges_counters(self):
+        view, sow, ptn, prev, planes = self._setup()
+        before = view.counters.snapshot()
+        self._alarm(view, sow, ptn, prev, planes)
+        diff = view.counters.diff(before)
+        assert diff.get("broadcasts", 0) == 3
+        assert diff.get("alu_ops", 0) >= 4
+        assert diff.get("bus_cycles", 0) > 0

@@ -1,0 +1,107 @@
+"""ArrayEmbedding and quarantine geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResilienceError
+from repro.ppa.faults import FaultKind, SwitchFault
+from repro.resilience import ArrayEmbedding, quarantine_indices
+
+INF = (1 << 16) - 1
+
+
+class TestQuarantineIndices:
+    def test_axis0_fault_retires_its_column(self):
+        f = SwitchFault(2, 5, FaultKind.STUCK_OPEN, axis=0)
+        assert quarantine_indices([f]) == {5}
+
+    def test_axis1_fault_retires_its_row(self):
+        f = SwitchFault(2, 5, FaultKind.STUCK_SHORT, axis=1)
+        assert quarantine_indices([f]) == {2}
+
+    def test_axis_none_retires_both(self):
+        f = SwitchFault(2, 5, FaultKind.STUCK_OPEN, axis=None)
+        assert quarantine_indices([f]) == {2, 5}
+
+    def test_undiagnosable_rings_are_retired_whole(self):
+        assert quarantine_indices([], [(0, 3), (1, 3), (1, 6)]) == {3, 6}
+
+
+class TestBuild:
+    def test_identity_when_healthy(self):
+        e = ArrayEmbedding.build(8, 6)
+        assert e.physical == (0, 1, 2, 3, 4, 5)
+        assert e.is_identity
+        assert e.spares_left == 2
+
+    def test_skips_quarantined_indices_in_order(self):
+        e = ArrayEmbedding.build(8, 6, {1, 4})
+        assert e.physical == (0, 2, 3, 5, 6, 7)
+        assert not e.is_identity
+        assert e.spares_left == 0
+
+    def test_exhausted_spares_raise(self):
+        with pytest.raises(ResilienceError, match="spare capacity"):
+            ArrayEmbedding.build(8, 6, {0, 1, 2})
+
+    def test_problem_larger_than_array_raises(self):
+        with pytest.raises(ResilienceError, match="cannot embed"):
+            ArrayEmbedding.build(4, 5)
+
+    def test_quarantined_index_outside_array_raises(self):
+        with pytest.raises(ResilienceError, match="outside array"):
+            ArrayEmbedding.build(4, 2, {4})
+
+    def test_requarantine_accumulates(self):
+        e = ArrayEmbedding.build(8, 6, {1})
+        e2 = e.requarantine({2})
+        assert e2.quarantined == frozenset({1, 2})
+        assert e2.physical == (0, 3, 4, 5, 6, 7)
+        # The original embedding is unchanged (frozen dataclass).
+        assert e.quarantined == frozenset({1})
+
+
+class TestGeometry:
+    def test_inverse_marks_padding(self):
+        e = ArrayEmbedding.build(5, 3, {1})
+        inv = e.inverse()
+        assert inv.tolist() == [0, -1, 1, 2, -1]
+
+    def test_embed_weights_padding_is_maxint_off_diagonal(self):
+        e = ArrayEmbedding.build(4, 2, {1})
+        Wl = np.array([[0, 7], [3, 0]], dtype=np.int64)
+        We = e.embed_weights(Wl, INF)
+        assert We.shape == (4, 4)
+        # Logical block lands on physical indices (0, 2).
+        assert We[0, 2] == 7 and We[2, 0] == 3
+        # Padding: zero diagonal, MAXINT elsewhere.
+        assert We[1, 1] == 0 and We[3, 3] == 0
+        assert We[1, 0] == INF and We[0, 1] == INF and We[3, 1] == INF
+
+    def test_embed_weights_lane_stack(self):
+        e = ArrayEmbedding.build(4, 2)
+        Wl = np.zeros((3, 2, 2), dtype=np.int64)
+        assert e.embed_weights(Wl, INF).shape == (3, 4, 4)
+
+    def test_embed_weights_shape_mismatch_raises(self):
+        e = ArrayEmbedding.build(4, 2)
+        with pytest.raises(ResilienceError, match="do not match"):
+            e.embed_weights(np.zeros((3, 3), dtype=np.int64), INF)
+
+    def test_extract_round_trips_embed(self):
+        e = ArrayEmbedding.build(6, 3, {0, 4})
+        vec = np.full(6, -9, dtype=np.int64)
+        vec[e.physical_array()] = [10, 11, 12]
+        assert e.extract(vec).tolist() == [10, 11, 12]
+
+    def test_to_logical_ptn_maps_physical_successors(self):
+        e = ArrayEmbedding.build(6, 3, {0, 4})  # physical = (1, 2, 3)
+        ptn_phys = np.array([[3, 1, 2]])
+        dest = np.array([0])
+        assert e.to_logical_ptn(ptn_phys, dest).tolist() == [[2, 0, 1]]
+
+    def test_to_logical_ptn_padding_falls_back_to_destination(self):
+        e = ArrayEmbedding.build(6, 3, {0, 4})
+        ptn_phys = np.array([[4, 0, 5]])  # all padding indices
+        dest = np.array([2])
+        assert e.to_logical_ptn(ptn_phys, dest).tolist() == [[2, 2, 2]]

@@ -1,0 +1,263 @@
+"""ResilientExecutor: detect → diagnose → recover → resume.
+
+The acceptance bar throughout: every run whose status is not ``FAILED``
+must be **bit-identical** to the fault-free serial reference on the same
+logical graph — resilience may cost cycles, never correctness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphError, ResilienceError
+from repro.ppa.faults import FaultKind, FaultPlan
+from repro.resilience import (
+    RemapPolicy,
+    ResilienceConfig,
+    ResilienceStatus,
+    ResilientExecutor,
+    RetryPolicy,
+)
+
+from .conftest import DEST, M, N_PHYS, machine
+
+
+def _lane_matches(res, b, ref) -> bool:
+    return bool(
+        np.array_equal(res.sow[b], ref.sow)
+        and np.array_equal(res.ptn[b], ref.ptn)
+    )
+
+
+def _inject_at(round_no: int, plan: FaultPlan):
+    fired = {"done": False}
+
+    def hook(k, base):
+        if k == round_no and not fired["done"]:
+            fired["done"] = True
+            base.inject_faults(plan)
+
+    return hook
+
+
+class TestWiring:
+    def test_rejects_batched_machine(self):
+        with pytest.raises(ConfigurationError, match="unbatched"):
+            ResilientExecutor(machine().lanes(2))
+
+    def test_rejects_oversized_problem(self, graph):
+        ex = ResilientExecutor(machine(4))
+        with pytest.raises(GraphError, match="does not fit"):
+            ex.run(graph, DEST)
+
+    def test_rejects_bad_destination(self, graph):
+        with pytest.raises(GraphError, match="outside"):
+            ResilientExecutor(machine()).run(graph, M)
+
+    def test_rejects_empty_destination_vector(self, graph):
+        with pytest.raises(GraphError, match="non-empty"):
+            ResilientExecutor(machine()).run_batched(graph, [])
+
+
+class TestFaultFree:
+    def test_single_lane_clean_and_bit_identical(self, graph, reference):
+        res = ResilientExecutor(machine()).run(graph, DEST)
+        assert res.status is ResilienceStatus.CLEAN
+        assert res.trustworthy
+        assert res.rollbacks == res.remaps == 0
+        assert res.failure is None
+        assert res.embedding.is_identity
+        assert _lane_matches(res, 0, reference[DEST])
+
+    def test_batched_all_destinations(self, graph, reference):
+        res = ResilientExecutor(machine()).run_batched(graph, range(M))
+        assert res.status is ResilienceStatus.CLEAN
+        assert res.batch == M
+        for d in range(M):
+            assert _lane_matches(res, d, reference[d])
+            lane = res.lane(d)
+            assert lane.destination == d
+            assert np.array_equal(lane.iterations, res.iterations[d])
+
+    def test_identity_array_needs_no_spares(self, graph, reference):
+        res = ResilientExecutor(machine(M)).run(graph, DEST)
+        assert res.status is ResilienceStatus.CLEAN
+        assert _lane_matches(res, 0, reference[DEST])
+
+    def test_checkpoints_committed_on_cadence(self, graph):
+        res = ResilientExecutor(machine()).run(graph, DEST)
+        assert res.checkpoints >= 1 + res.rounds // 4  # round-0 + cadence
+
+    def test_all_overhead_in_named_buckets(self, graph):
+        res = ResilientExecutor(machine()).run(graph, DEST)
+        assert set(res.overhead) == {
+            "detection", "diagnosis", "checkpoint", "recovery"}
+        assert res.overhead["detection"].get("broadcasts", 0) > 0
+        assert res.overhead["diagnosis"].get("broadcasts", 0) > 0  # screen
+        assert res.overhead["recovery"] == {}  # nothing to recover from
+        # Buckets never exceed the run totals.
+        for bucket in res.overhead.values():
+            for k, v in bucket.items():
+                assert 0 <= v <= res.counters.get(k, 0)
+
+    def test_detectors_off_matches_plain_batched_algorithm(self, graph,
+                                                           reference):
+        """With every detector disabled and no faults, the resilient
+        wrapper may only add host-side (bucketed) cost: subtracting the
+        buckets from the totals leaves the plain batched MCP stream."""
+        from repro.core import all_pairs_minimum_cost
+
+        cfg = ResilienceConfig(structural_probe=False,
+                               invariant_monitor=False,
+                               initial_diagnosis=False)
+        res = ResilientExecutor(machine(M), cfg).run_batched(graph, range(M))
+        assert res.status is ResilienceStatus.CLEAN
+
+        plain = all_pairs_minimum_cost(machine(M), graph)
+        algo = dict(res.counters)
+        for bucket in res.overhead.values():
+            for k, v in bucket.items():
+                algo[k] = algo.get(k, 0) - v
+        for k, v in plain.machine_counters.items():
+            assert algo.get(k, 0) == int(v), k
+
+
+class TestPermanentFaults:
+    def test_pre_existing_fault_is_screened_and_quarantined(
+            self, graph, reference):
+        m = machine()
+        m.inject_faults(FaultPlan().add(3, 5, FaultKind.STUCK_OPEN, axis=1))
+        res = ResilientExecutor(m).run(graph, DEST)
+        assert res.status is ResilienceStatus.DEGRADED
+        assert 3 in res.embedding.quarantined
+        assert any(e.kind == "screen" for e in res.events)
+        assert _lane_matches(res, 0, reference[DEST])
+
+    def test_midrun_fault_detect_remap_replay(self, graph, reference):
+        plan = FaultPlan().add(2, 4, FaultKind.STUCK_SHORT, axis=0)
+        res = ResilientExecutor(machine()).run(
+            graph, DEST, round_hook=_inject_at(3, plan))
+        assert res.status is ResilienceStatus.DEGRADED
+        assert res.detections >= 1
+        assert res.remaps == 1
+        assert 4 in res.embedding.quarantined
+        assert res.replayed_rounds >= 1
+        assert any(e.kind == "remap" for e in res.events)
+        assert res.overhead["recovery"].get("broadcasts", 0) > 0
+        assert _lane_matches(res, 0, reference[DEST])
+
+    def test_midrun_fault_batched_lanes_all_recover(self, graph, reference):
+        plan = FaultPlan().add(2, 4, FaultKind.STUCK_SHORT, axis=0)
+        res = ResilientExecutor(machine()).run_batched(
+            graph, range(M), round_hook=_inject_at(2, plan))
+        assert res.status is ResilienceStatus.DEGRADED
+        assert res.remaps == 1
+        for d in range(M):
+            assert _lane_matches(res, d, reference[d])
+
+    def test_no_spares_left_fails_honestly(self, graph):
+        plan = FaultPlan().add(2, 4, FaultKind.STUCK_SHORT, axis=0)
+        ex = ResilientExecutor(machine(M))  # n_phys == m: zero slack
+        with pytest.raises(ResilienceError):
+            ex.run(graph, DEST, round_hook=_inject_at(3, plan))
+
+    def test_no_spares_failure_is_reported_not_silent(self, graph,
+                                                      reference):
+        plan = FaultPlan().add(2, 4, FaultKind.STUCK_SHORT, axis=0)
+        res = ResilientExecutor(machine(M)).run(
+            graph, DEST, round_hook=_inject_at(3, plan),
+            raise_on_failure=False)
+        assert res.status is ResilienceStatus.FAILED
+        assert not res.trustworthy
+        assert res.failure is not None
+        assert any(e.kind == "failed" for e in res.events)
+
+    def test_remap_disabled_fails_on_new_damage(self, graph):
+        cfg = ResilienceConfig(remap=RemapPolicy(enabled=False))
+        plan = FaultPlan().add(2, 4, FaultKind.STUCK_SHORT, axis=0)
+        res = ResilientExecutor(machine(), cfg).run(
+            graph, DEST, round_hook=_inject_at(3, plan),
+            raise_on_failure=False)
+        assert res.status is ResilienceStatus.FAILED
+
+    def test_screen_over_spare_budget_raises(self, graph):
+        m = machine()
+        m.inject_faults(FaultPlan()
+                        .add(3, 5, FaultKind.STUCK_OPEN, axis=1)
+                        .add(1, 2, FaultKind.STUCK_OPEN, axis=0))
+        cfg = ResilienceConfig(remap=RemapPolicy(max_spares=1))
+        with pytest.raises(ResilienceError, match="spare budget"):
+            ResilientExecutor(m, cfg).run(graph, DEST)
+
+
+class TestStochasticFaults:
+    """Seeded sweeps: zero silent corruption, always."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_intermittent_open_sweep(self, graph, reference, seed):
+        m = machine()
+        m.inject_faults(FaultPlan(seed=seed).add_intermittent(
+            2, 4, FaultKind.STUCK_OPEN, probability=0.3, axis=0))
+        res = ResilientExecutor(m).run(graph, DEST, raise_on_failure=False)
+        if res.trustworthy:
+            assert _lane_matches(res, 0, reference[DEST])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_transient_bitflip_sweep(self, graph, reference, seed):
+        m = machine()
+        m.inject_faults(FaultPlan(seed=seed)
+                        .add_transient(2, 4, bit=3, probability=0.05, axis=0)
+                        .add_transient(5, 1, bit=0, probability=0.05, axis=1))
+        res = ResilientExecutor(m).run(graph, DEST, raise_on_failure=False)
+        if res.trustworthy:
+            assert _lane_matches(res, 0, reference[DEST])
+
+    def test_transient_recovery_consumes_no_spares(self, graph, reference):
+        """A pure glitch must be absorbed by rollback/replay alone."""
+        hits = 0
+        for seed in range(6):
+            m = machine()
+            m.inject_faults(FaultPlan(seed=seed).add_transient(
+                2, 4, bit=3, probability=0.1, axis=0))
+            res = ResilientExecutor(m).run(graph, DEST,
+                                           raise_on_failure=False)
+            if res.status is ResilienceStatus.RECOVERED:
+                hits += 1
+                assert res.rollbacks >= 1
+                assert res.remaps == 0
+                assert res.embedding.is_identity
+                assert _lane_matches(res, 0, reference[DEST])
+        assert hits >= 1  # the sweep exercises the rollback path
+
+    def test_zero_retry_budget_still_honest(self, graph, reference):
+        cfg = ResilienceConfig(retry=RetryPolicy(max_retries=0))
+        m = machine()
+        m.inject_faults(FaultPlan(seed=1).add_transient(
+            2, 4, bit=3, probability=0.1, axis=0))
+        res = ResilientExecutor(m, cfg).run(graph, DEST,
+                                            raise_on_failure=False)
+        if res.trustworthy:
+            assert _lane_matches(res, 0, reference[DEST])
+
+
+class TestInitCorruption:
+    """An intermittent firing during the init broadcasts has no previous
+    round to be checked against — the round-0 verification must catch
+    it (the silent-corruption regression behind docs/robustness.md)."""
+
+    @pytest.mark.parametrize("seed", [4, 5, 11])
+    def test_init_glitch_seeds_stay_correct(self, graph, reference, seed):
+        m = machine()
+        m.inject_faults(FaultPlan(seed=seed).add_intermittent(
+            2, 4, FaultKind.STUCK_OPEN, probability=0.3, axis=0))
+        res = ResilientExecutor(m).run(graph, DEST, raise_on_failure=False)
+        assert res.trustworthy
+        assert _lane_matches(res, 0, reference[DEST])
+
+    def test_init_verification_can_be_the_only_detection(self, graph):
+        """Seed 4 historically corrupted init silently: the run must now
+        log an init alarm (or recover some other way) and end correct."""
+        m = machine()
+        m.inject_faults(FaultPlan(seed=4).add_intermittent(
+            2, 4, FaultKind.STUCK_OPEN, probability=0.3, axis=0))
+        res = ResilientExecutor(m).run(graph, DEST, raise_on_failure=False)
+        assert res.detections >= 1

@@ -1,0 +1,53 @@
+"""Policy dataclass validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    CheckpointPolicy,
+    RemapPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+
+class TestDefaults:
+    def test_config_defaults(self):
+        cfg = ResilienceConfig()
+        assert cfg.detect_every == 1
+        assert cfg.structural_probe and cfg.invariant_monitor
+        assert cfg.initial_diagnosis
+        assert cfg.retry.max_retries == 3 and cfg.retry.escalate
+        assert cfg.checkpoint.every == 4 and cfg.checkpoint.verify
+        assert cfg.remap.enabled and cfg.remap.max_spares is None
+        assert cfg.remap.quarantine_suspects
+
+    def test_policies_are_frozen(self):
+        with pytest.raises(AttributeError):
+            RetryPolicy().max_retries = 5
+
+
+class TestValidation:
+    def test_negative_retries(self):
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_zero_retries_is_legal(self):
+        assert RetryPolicy(max_retries=0).max_retries == 0
+
+    def test_checkpoint_cadence(self):
+        with pytest.raises(ConfigurationError, match="cadence"):
+            CheckpointPolicy(every=0)
+
+    def test_checkpoint_keep(self):
+        with pytest.raises(ConfigurationError, match="keep"):
+            CheckpointPolicy(keep=0)
+
+    def test_remap_spares(self):
+        with pytest.raises(ConfigurationError, match="max_spares"):
+            RemapPolicy(max_spares=-1)
+        assert RemapPolicy(max_spares=0).max_spares == 0
+
+    def test_detect_every(self):
+        with pytest.raises(ConfigurationError, match="detect_every"):
+            ResilienceConfig(detect_every=0)

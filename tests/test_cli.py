@@ -369,3 +369,98 @@ class TestPpcCompileModes:
                        "void main() { X = shift(X, d); }")
         assert main(["ppc", str(src), "--compile"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestFaultFlags:
+    def test_intermittent_fault_flag_on_selftest(self, capsys):
+        # p = 1.0 fires on every transaction: diagnosed like a permanent.
+        assert main(["selftest", "--n", "5",
+                     "--fault-intermittent", "1,2,open,1.0,0"]) == 1
+        assert "stuck-open" in capsys.readouterr().out
+
+    def test_bad_intermittent_probability(self, capsys):
+        assert main(["selftest", "--n", "5",
+                     "--fault-intermittent", "1,2,open,2.0,0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_transient_spec(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "5",
+                     "--fault-transient", "1,2,banana,0.5"]) == 2
+
+    def test_fault_flags_rejected_off_ppa(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "5", "--arch",
+                     "mesh", "--fault", "1,2,open,0"]) == 2
+        assert "--arch ppa" in capsys.readouterr().err
+
+
+class TestScreenFlag:
+    def test_healthy_screen_passes(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
+                     "-d", "2", "--screen"]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_screen_refuses_faulty_array(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
+                     "-d", "2", "--screen", "--fault", "2,4,short,0"]) == 2
+        assert "pre-flight screen" in capsys.readouterr().err
+
+    def test_screen_on_apsp(self, capsys):
+        assert main(["apsp", "--generate", "gnp", "--n", "5", "--screen",
+                     "--fault", "1,2,open,1"]) == 2
+        assert "--resilient" in capsys.readouterr().err
+
+
+class TestResilientFlag:
+    def test_clean_resilient_run_matches_plain(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
+                     "-d", "2"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
+                     "-d", "2", "--resilient"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience: status clean" in out
+        # Same per-vertex cost lines, resilience banner aside.
+        for line in plain.splitlines():
+            if "next" in line:
+                assert line in out
+
+    def test_resilient_quarantines_pre_existing_fault(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
+                     "-d", "2", "--resilient", "--array-n", "8",
+                     "--fault", "2,4,short,0"]) == 0
+        out = capsys.readouterr().out
+        assert "status degraded" in out
+        assert "quarantined [4]" in out
+
+    def test_resilient_apsp(self, capsys):
+        assert main(["apsp", "--generate", "gnp", "--n", "5", "--seed", "1",
+                     "--resilient", "--array-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience: status clean" in out
+        assert "reachable ordered pairs" in out
+
+    def test_resilient_apsp_rejects_serial(self, capsys):
+        assert main(["apsp", "--generate", "gnp", "--n", "5", "--serial",
+                     "--resilient"]) == 2
+        assert "drop --serial" in capsys.readouterr().err
+
+    def test_array_smaller_than_problem_rejected(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--resilient",
+                     "--array-n", "4"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resilient_rejected_off_ppa(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "5", "--arch",
+                     "gcn", "--resilient"]) == 2
+
+    def test_resilient_with_transient_sweep(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
+                     "-d", "2", "--resilient", "--array-n", "8",
+                     "--fault-transient", "2,4,3,0.05,0",
+                     "--fault-seed", "1"]) == 0
+        assert "resilience: status" in capsys.readouterr().out
+
+    def test_policy_knobs_accepted(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
+                     "-d", "2", "--resilient", "--checkpoint-every", "2",
+                     "--max-retries", "1", "--detect-every", "2"]) == 0
