@@ -99,6 +99,58 @@ def _check_p2(path: Path, regen_unused=None) -> list[str]:
     return diffs
 
 
+def _check_p17(path: Path) -> list[str]:
+    """Exact counter comparison for the P17 engine artefact.
+
+    Both sections regenerate through the *fused* engine (fast); fused ==
+    cycle bit-for-bit is asserted by ``bench_p17_engines.py`` and the
+    ``tests/engine/`` differential suite, so any drift caught here is a
+    genuine cost-model change.
+    """
+    from repro.core import all_pairs_minimum_cost, minimum_cost_path
+    from repro.ppa import PPAConfig, PPAMachine
+    from repro.workloads import WeightSpec, gnp_digraph
+
+    committed = json.loads(path.read_text())
+    diffs: list[str] = []
+
+    def _graph(wl):
+        return gnp_digraph(wl["n"], wl["density"], seed=wl["seed"],
+                           weights=WeightSpec(1, 9),
+                           inf_value=(1 << wl["word_bits"]) - 1)
+
+    def _compare(section, field, old, fresh):
+        for k in sorted(set(old) | set(fresh)):
+            va, vb = old.get(k, 0), int(fresh.get(k, 0))
+            if va != vb:
+                diffs.append(f"{section}.{field}.{k}: {va} -> {vb}")
+
+    apsp = committed["apsp"]
+    wl = apsp["workload"]
+    res = all_pairs_minimum_cost(
+        PPAMachine(PPAConfig(n=wl["n"], word_bits=wl["word_bits"])),
+        _graph(wl), engine="fused",
+    )
+    if apsp["iterations"] != [int(i) for i in res.iterations]:
+        diffs.append("apsp.iterations: per-destination counts drifted")
+    _compare("apsp", "counters_serial_equivalent",
+             apsp["counters_serial_equivalent"], res.counters)
+    _compare("apsp", "machine_counters_batched",
+             apsp["machine_counters_batched"], res.machine_counters)
+
+    mcp = committed["mcp_n512"]
+    wl = mcp["workload"]
+    res = minimum_cost_path(
+        PPAMachine(PPAConfig(n=wl["n"], word_bits=wl["word_bits"])),
+        _graph(wl), wl["destination"], engine="fused",
+    )
+    if mcp["iterations"] != int(res.iterations):
+        diffs.append(f"mcp_n512.iterations: {mcp['iterations']} -> "
+                     f"{int(res.iterations)}")
+    _compare("mcp_n512", "counters", mcp["counters"], res.counters)
+    return diffs
+
+
 def _check_t16(path: Path) -> list[str]:
     """Exact re-run of the T16 resilience campaign.
 
@@ -138,6 +190,7 @@ CHECKS = {
         p, _regen_t5("hypercube")),
     "BENCH_t5_mesh.json": lambda p: _check_profile(p, _regen_t5("mesh")),
     "BENCH_p2_batching.json": _check_p2,
+    "BENCH_p17_engines.json": _check_p17,
     "BENCH_t16_resilience.json": _check_t16,
 }
 

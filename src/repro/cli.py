@@ -17,6 +17,16 @@ profile; ``--trace-format chrome`` emits Chrome ``trace_event`` JSON for
 chrome://tracing / Perfetto instead of the native schema) and ``--trace``
 (print the bus transaction log summary; PPA architecture only).
 
+``mcp``, ``apsp`` and ``profile`` accept ``--engine {auto,cycle,fused}``
+(see docs/performance.md, "Choosing an engine"). ``auto`` — the default —
+runs the fused analytic-cost engine whenever the machine is eligible and
+silently falls back to the faithful cycle engine otherwise. An explicit
+``--engine fused`` combined with anything that needs per-transaction
+execution (``--resilient``, ``--fault*``, ``--trace``, ``--profile``,
+``--word-parallel``, a non-PPA ``--arch``) prints a note naming the
+blocking condition and runs the cycle engine — exit code 0, results and
+counters identical either way.
+
 ``mcp``, ``apsp`` and ``selftest`` accept fault-injection flags
 (``--fault``, ``--fault-intermittent``, ``--fault-transient``,
 ``--fault-seed``; see :mod:`repro.ppa.faults`). ``mcp`` and ``apsp``
@@ -100,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full path for every reachable vertex",
     )
+    _add_engine_flag(mcp)
     _add_fault_flags(mcp)
     _add_resilience_flags(mcp)
     _add_observability_flags(mcp)
@@ -137,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full distance matrix (default: summary only)",
     )
+    _add_engine_flag(apsp)
     _add_fault_flags(apsp)
     _add_resilience_flags(apsp)
     _add_observability_flags(apsp)
@@ -172,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         help="diff the per-phase counters against a saved profile",
     )
+    _add_engine_flag(prof)
 
     report = sub.add_parser("report", help="regenerate the evaluation")
     report.add_argument("--quick", action="store_true")
@@ -217,6 +230,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(st)
     _add_observability_flags(st)
     return parser
+
+
+def _add_engine_flag(sub: argparse.ArgumentParser) -> None:
+    from repro.engine import ENGINE_NAMES
+
+    sub.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="auto",
+        help="execution engine: 'auto' (default) fuses MCP rounds into "
+        "analytic-cost numpy kernels when the machine is eligible and "
+        "falls back to the faithful cycle engine otherwise; results and "
+        "counters are bit-identical (see docs/performance.md)",
+    )
+
+
+def _effective_engine(
+    args,
+    machine: PPAMachine | None = None,
+    *,
+    ppa: bool = True,
+    word_parallel: bool = False,
+    resilient: bool = False,
+) -> str:
+    """The engine to forward down the library call.
+
+    ``auto``/``cycle`` pass through untouched (``auto`` falls back
+    silently inside :func:`repro.engine.select.resolve_engine`). An
+    explicit ``fused`` request that cannot be honoured prints a note
+    naming the blocking condition and downgrades to ``cycle`` — the CLI
+    never fails a run over an engine preference (exit 0).
+    """
+    engine = getattr(args, "engine", "auto")
+    if engine != "fused":
+        return engine
+    from repro.engine import fused_block_reason
+
+    reason = None
+    if not ppa:
+        reason = f"--arch {args.arch} has no fused engine (PPA only)"
+    elif resilient:
+        reason = (
+            "--resilient detects and recovers per-transaction faults, "
+            "which only the cycle engine executes"
+        )
+    elif word_parallel:
+        reason = "--word-parallel swaps in non-default reduction routines"
+    elif machine is not None:
+        reason = fused_block_reason(machine)
+    if reason is None:
+        return "fused"
+    print(f"note: engine 'fused' unavailable: {reason}; "
+          "running the cycle engine (results are identical)")
+    return "cycle"
 
 
 def _add_fault_flags(sub: argparse.ArgumentParser) -> None:
@@ -344,18 +411,20 @@ def _make_machine_and_runner(arch: str, n: int, word_bits: int,
     if arch == "ppa":
         machine = PPAMachine(PPAConfig(n=n, word_bits=word_bits))
         runner = minimum_cost_path_word if word_parallel else minimum_cost_path
-        return machine, lambda W, d: runner(machine, W, d)
+        return machine, (
+            lambda W, d, engine="auto": runner(machine, W, d, engine=engine)
+        )
     if word_parallel:
         raise ReproError("--word-parallel applies to --arch ppa only")
     if arch == "rmesh":
         from repro.rmesh import RMeshMachine, rmesh_mcp
 
         machine = RMeshMachine(n, word_bits=word_bits)
-        return machine, lambda W, d: rmesh_mcp(machine, W, d)
+        return machine, lambda W, d, engine="auto": rmesh_mcp(machine, W, d)
     cls = {"gcn": GCNMachine, "hypercube": HypercubeMachine,
            "mesh": MeshMachine}[arch]
     machine = cls(n, word_bits=word_bits)
-    return machine, lambda W, d: machine.mcp(W, d)
+    return machine, lambda W, d, engine="auto": machine.mcp(W, d)
 
 
 def _export_profile(machine, path: Path, trace_format: str, **meta) -> None:
@@ -556,6 +625,7 @@ def _cmd_mcp(args) -> int:
     _check_ppa_only_flags(args)
 
     if args.resilient:
+        _effective_engine(args, resilient=True)  # note on --engine fused
         machine, executor = _resilient_executor(args, n)
         res = executor.run(W, d, raise_on_failure=False)
         print(f"minimum cost paths to vertex {d} on resilient ppa "
@@ -589,7 +659,13 @@ def _cmd_mcp(args) -> int:
         machine.telemetry.enable()
     if args.trace:
         machine.trace.enabled = True
-    result = run(W, d)
+    engine = _effective_engine(
+        args,
+        machine if args.arch == "ppa" else None,
+        ppa=args.arch == "ppa",
+        word_parallel=args.word_parallel,
+    )
+    result = run(W, d, engine=engine)
 
     print(f"minimum cost paths to vertex {d} on {args.arch} ({n}x{n}, "
           f"h={args.word_bits})")
@@ -623,6 +699,7 @@ def _cmd_apsp(args) -> int:
                 "--resilient runs all destinations as batched lanes; "
                 "drop --serial"
             )
+        _effective_engine(args, resilient=True)  # note on --engine fused
         machine, executor = _resilient_executor(args, n)
         res = executor.run_batched(
             W, list(range(n)), raise_on_failure=False
@@ -663,12 +740,16 @@ def _cmd_apsp(args) -> int:
         machine.telemetry.enable()
     if args.trace:
         machine.trace.enabled = True
+    engine = _effective_engine(
+        args, machine, word_parallel=args.word_parallel
+    )
     res = all_pairs_minimum_cost(
         machine,
         W,
         word_parallel=args.word_parallel,
         serial=args.serial,
         lanes=args.lanes,
+        engine=engine,
     )
 
     mode = "serial sweep" if args.serial else (
@@ -719,8 +800,14 @@ def _cmd_profile(args) -> int:
     d = args.destination
 
     machine, run = _make_machine_and_runner(args.arch, n, args.word_bits)
+    engine = getattr(args, "engine", "auto")
+    if engine == "fused":
+        print("note: engine 'fused' unavailable: the profiler's span "
+              "tracer needs per-transaction cycle spans; running the "
+              "cycle engine (results are identical)")
+        engine = "cycle"
     with machine.telemetry.capture():
-        result = run(W, d)
+        result = run(W, d, engine=engine)
     profile = RunProfile.from_tracer(
         machine.telemetry, command="profile", arch=args.arch, n=n, d=d,
         word_bits=args.word_bits,

@@ -97,6 +97,7 @@ def all_pairs_minimum_cost(
     word_parallel: bool = False,
     serial: bool = False,
     lanes: int | None = None,
+    engine: str = "auto",
     **kwargs,
 ) -> APSPResult:
     """Assemble the all-pairs matrices from per-destination MCP runs.
@@ -117,9 +118,18 @@ def all_pairs_minimum_cost(
     lanes
         Destinations per batched pass (default: all ``n``). Lower it to
         bound the ``O(lanes * n^2)`` working set on big grids.
+    engine
+        Execution engine per destination batch: ``"auto"`` (default) runs
+        the fused analytic-cost engine when eligible — which is the normal
+        case for plain sweeps — and the cycle engine otherwise (profiling,
+        fault plans, ``word_parallel=True`` ablations). Forcing
+        ``"cycle"``/``"fused"`` is forwarded verbatim; results and all
+        counter books are bit-identical either way (see
+        :mod:`repro.engine`).
     """
     n = machine.n
     tele = machine.telemetry
+    kwargs = dict(kwargs, engine=engine)
 
     if serial:
         runner = minimum_cost_path_word if word_parallel else minimum_cost_path

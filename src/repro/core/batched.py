@@ -42,6 +42,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.core.graph import normalize_weights
 from repro.core.result import MCPResult
+from repro.engine.select import resolve_engine
 from repro.ppa.counters import LaneCounters
 from repro.ppa.directions import Direction
 from repro.ppa.machine import PPAMachine
@@ -172,6 +173,7 @@ def batched_minimum_cost_path(
     max_iterations: int | None = None,
     min_routine=ppa_min,
     selected_min_routine=ppa_selected_min,
+    engine: str = "auto",
 ) -> BatchedMCPResult:
     """Run ``B`` independent MCP instances as lanes of one batched pass.
 
@@ -189,6 +191,11 @@ def batched_minimum_cost_path(
         ``(B,)`` destination vertex per lane. Duplicates are allowed.
     zero_diagonal, max_iterations, min_routine, selected_min_routine
         As in :func:`repro.core.mcp.minimum_cost_path`.
+    engine
+        ``"auto"`` (default) upgrades to the fused analytic-cost engine on
+        eligible machines (see :mod:`repro.engine`); ``"cycle"``/``"fused"``
+        force one. Results and both counter books are bit-identical either
+        way.
 
     Returns
     -------
@@ -196,6 +203,22 @@ def batched_minimum_cost_path(
         Per-lane results bit-identical to serial runs, plus both cost
         books (batched-stream scalars and per-lane serial-equivalents).
     """
+    choice = resolve_engine(
+        machine,
+        engine,
+        min_routine=min_routine,
+        selected_min_routine=selected_min_routine,
+    )
+    if choice.fused:
+        from repro.engine.fused import fused_batched_minimum_cost_path
+
+        return fused_batched_minimum_cost_path(
+            machine,
+            W,
+            destinations,
+            zero_diagonal=zero_diagonal,
+            max_iterations=max_iterations,
+        )
     dest = np.asarray(destinations, dtype=np.int64)
     if dest.ndim != 1 or dest.size == 0:
         raise GraphError(
@@ -222,6 +245,7 @@ def batched_minimum_cost_path(
     lanes_before = machine.lane_counters.snapshot()
     SOUTH, WEST = Direction.SOUTH, Direction.WEST
     tele = machine.telemetry
+    lane_idx = np.arange(batch)
 
     machine.set_active_lanes(None)
     try:
@@ -286,15 +310,22 @@ def batched_minimum_cost_path(
                                 ),
                             )
 
-                    # Statements 14-19.
+                    # Statements 14-19. Only each lane's destination row
+                    # can change under the gated row-d store mask, so
+                    # OLD_SOW materialises just those B rows instead of
+                    # copying (and comparing) the whole (B, n, n) stack —
+                    # counter-neutral, as in the serial loop.
                     with tele.span("mcp.writeback"):
                         with machine.where(gate & row_d):
-                            OLD_SOW = SOW.copy()
+                            OLD_ROWS = SOW[lane_idx, dest, :].copy()
                             machine.count_alu()
                             machine.store(
                                 SOW, machine.broadcast(MIN_SOW, SOUTH, diag)
                             )
-                            changed = SOW != OLD_SOW
+                            changed = np.zeros(SOW.shape, dtype=bool)
+                            changed[lane_idx, dest, :] = (
+                                SOW[lane_idx, dest, :] != OLD_ROWS
+                            )
                             machine.count_alu()
                             with machine.where(changed):
                                 machine.store(
@@ -316,7 +347,6 @@ def batched_minimum_cost_path(
     finally:
         machine.set_active_lanes(None)
 
-    lane_idx = np.arange(batch)
     return BatchedMCPResult(
         destinations=dest.copy(),
         sow=SOW[lane_idx, dest, :].copy(),

@@ -41,6 +41,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.core.graph import normalize_weights
 from repro.core.result import MCPResult
+from repro.engine.select import resolve_engine
 from repro.ppa.directions import Direction
 from repro.ppa.machine import PPAMachine
 from repro.ppa.topology import PPAConfig
@@ -58,6 +59,7 @@ def minimum_cost_path(
     max_iterations: int | None = None,
     min_routine=ppa_min,
     selected_min_routine=ppa_selected_min,
+    engine: str = "auto",
 ) -> MCPResult:
     """Compute minimum cost paths from every vertex to destination *d*.
 
@@ -80,6 +82,14 @@ def minimum_cost_path(
         The bus reduction implementations — the paper's bit-serial routines
         by default; :mod:`repro.core.variants` injects the word-parallel
         ones for ablation A7.
+    engine
+        ``"auto"`` (default) runs the fused analytic-cost engine whenever
+        the machine is eligible — no fault plan, span tracer, bus trace or
+        non-default reduction routines — and the faithful cycle engine
+        otherwise; ``"cycle"``/``"fused"`` force one (``"fused"`` raises
+        :class:`~repro.errors.EngineError` on an ineligible machine). Both
+        engines return bit-identical results and counters; see
+        :mod:`repro.engine`.
 
     Returns
     -------
@@ -87,6 +97,22 @@ def minimum_cost_path(
         Costs (``SOW``), successors (``PTN``), iteration count and machine
         counter deltas for this run.
     """
+    choice = resolve_engine(
+        machine,
+        engine,
+        min_routine=min_routine,
+        selected_min_routine=selected_min_routine,
+    )
+    if choice.fused:
+        from repro.engine.fused import fused_minimum_cost_path
+
+        return fused_minimum_cost_path(
+            machine,
+            W,
+            d,
+            zero_diagonal=zero_diagonal,
+            max_iterations=max_iterations,
+        )
     Wm = normalize_weights(W, machine, zero_diagonal=zero_diagonal)
     n = machine.n
     if not (0 <= d < n):
@@ -158,15 +184,22 @@ def minimum_cost_path(
                             ),
                         )
 
-                # Statements 14-19.
+                # Statements 14-19. Only row d can change under the
+                # where(row_d) store mask, so OLD_SOW materialises just
+                # that row instead of copying (and comparing) the whole
+                # plane — the charged cost (one ALU op for the copy, one
+                # for the compare) is exactly what the full-plane version
+                # charged, since a plane-wide SIMD op costs one instruction
+                # regardless of how many PEs store.
                 with tele.span("mcp.writeback"):
                     with machine.where(row_d):
-                        OLD_SOW = SOW.copy()
+                        OLD_ROW = SOW[d].copy()
                         machine.count_alu()
                         machine.store(
                             SOW, machine.broadcast(MIN_SOW, SOUTH, diag)
                         )
-                        changed = SOW != OLD_SOW
+                        changed = np.zeros(SOW.shape, dtype=bool)
+                        changed[d] = SOW[d] != OLD_ROW
                         machine.count_alu()
                         with machine.where(changed):
                             machine.store(

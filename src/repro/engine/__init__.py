@@ -1,0 +1,52 @@
+"""Execution engines for the MCP relaxation loop.
+
+``cycle``
+    The faithful transaction-level simulator (lives in :mod:`repro.core`):
+    every bus primitive is individually executed and charged. Required for
+    fault plans, span tracing, bus traces and reduction-routine ablations.
+
+``fused``
+    The analytic-cost engine (:mod:`repro.engine.fused`): each relaxation
+    round is a few vectorised numpy kernels, and the counters are charged
+    from a per-configuration cost vector replayed off the cycle engine
+    (:mod:`repro.engine.costs`). Bit-identical results and ledgers, orders
+    of magnitude less Python dispatch — the ``n = 256``/``512`` regime.
+
+``auto`` (default everywhere)
+    :func:`~repro.engine.select.resolve_engine` upgrades to ``fused`` when
+    the machine is eligible and silently falls back to ``cycle`` otherwise.
+"""
+
+from repro.engine.costs import (
+    MCPCostVector,
+    clear_cost_cache,
+    cost_cache_size,
+    cost_cache_stats,
+    mcp_cost_vector,
+    reset_cost_cache_stats,
+)
+from repro.engine.fused import (
+    fused_batched_minimum_cost_path,
+    fused_minimum_cost_path,
+)
+from repro.engine.select import (
+    ENGINE_NAMES,
+    EngineChoice,
+    fused_block_reason,
+    resolve_engine,
+)
+
+__all__ = [
+    "ENGINE_NAMES",
+    "EngineChoice",
+    "fused_block_reason",
+    "resolve_engine",
+    "MCPCostVector",
+    "mcp_cost_vector",
+    "clear_cost_cache",
+    "cost_cache_size",
+    "cost_cache_stats",
+    "reset_cost_cache_stats",
+    "fused_minimum_cost_path",
+    "fused_batched_minimum_cost_path",
+]

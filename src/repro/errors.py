@@ -17,6 +17,7 @@ __all__ = [
     "VariableError",
     "GraphError",
     "WordWidthError",
+    "EngineError",
     "ResilienceError",
     "PPCError",
     "PPCSyntaxError",
@@ -56,6 +57,13 @@ class GraphError(ReproError):
 
 class WordWidthError(GraphError):
     """Weights or accumulated path costs do not fit the machine word."""
+
+
+class EngineError(ReproError):
+    """An execution-engine request cannot be honoured — e.g. ``engine=
+    "fused"`` on a machine carrying a fault plan, an enabled tracer or bus
+    trace, or with non-default reduction routines. ``engine="auto"`` never
+    raises this: it transparently falls back to the cycle engine instead."""
 
 
 class ResilienceError(ReproError):

@@ -50,6 +50,7 @@ from repro.ppa.memory import ParallelMemory
 from repro.ppa.segments import (
     ReduceOp,
     broadcast_values,
+    invalidate_stack_digest,
     segmented_reduce,
     shift_values,
 )
@@ -189,6 +190,10 @@ class PPAMachine:
             np.copyto(dest, value, where=self._mask_stack[-1])
         else:
             dest[...] = value
+        # Writeback invalidation for the per-lane stack digest memo: if
+        # this array was ever presented as a (B, n, n) switch stack its
+        # memoized content digest is now stale.
+        invalidate_stack_digest(dest)
         self.count_alu()
         return dest
 
@@ -258,6 +263,17 @@ class PPAMachine:
             setattr(c, name, getattr(c, name) + value)
         if self.lane_counters is not None:
             self.lane_counters.add(inc, self._lane_mask)
+
+    def apply_counter_delta(self, delta: dict) -> None:
+        """Charge a pre-computed counter delta in one shot.
+
+        Used by the fused engine (:mod:`repro.engine`) to *replay* the
+        exact per-phase cost of a cycle-engine run without issuing the
+        individual bus transactions. The delta lands on the scalar book
+        and — on a batched machine — on every lane selected by the current
+        lane mask, exactly like organic per-primitive charges do.
+        """
+        self._charge(**delta)
 
     # ------------------------------------------------------------------
     # Bus primitives

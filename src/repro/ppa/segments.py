@@ -45,6 +45,8 @@ axes).
 
 from __future__ import annotations
 
+import hashlib
+import weakref
 from collections import OrderedDict
 from typing import Literal
 
@@ -62,6 +64,10 @@ __all__ = [
     "plan_cache_stats",
     "reset_plan_cache_stats",
     "plan_cache_sizes",
+    "invalidate_stack_digest",
+    "stack_digest_stats",
+    "reset_stack_digest_stats",
+    "stack_digest_memo_size",
     "PlanCacheStats",
     "ReduceOp",
 ]
@@ -158,6 +164,72 @@ def _record(stats: PlanCacheStats | None, kind: str, hit: bool) -> None:
     setattr(_stats, name, getattr(_stats, name) + 1)
     if stats is not None and stats is not _stats:
         setattr(stats, name, getattr(stats, name) + 1)
+
+
+# ---------------------------------------------------------------------------
+# Per-stack digest memo
+#
+# The stack-plan LRUs key on the *content* of a whole (B, n, n) per-lane
+# plane stack. Hashing those bytes (``o.tobytes()``) on every transaction
+# costs O(B * n^2) per call — and the hot caller (the batched MCP loop)
+# re-presents the *same* resolved plane-stack object (``row_d``) thousands
+# of times per run, because :func:`repro.ppa.switchbox.as_switch_plane` is
+# identity-stable for boolean contiguous inputs. So the digest is memoized
+# per array object (``id``), with two eviction paths:
+#
+# * garbage collection — a ``weakref.finalize`` drops the entry the moment
+#   the array dies, so a recycled ``id()`` can never resurrect a stale
+#   digest;
+# * **writeback** — :meth:`repro.ppa.machine.PPAMachine.store` mutates
+#   parallel variables in place and calls
+#   :func:`invalidate_stack_digest` on the destination, so a plane derived
+#   from (and aliasing) machine state re-hashes after any store.
+#
+# The memoized value is a 16-byte BLAKE2b digest, which also shrinks the
+# LRU keys from B*n^2 bytes to 16.
+# ---------------------------------------------------------------------------
+
+_digest_memo: dict[int, bytes] = {}
+_digest_stats = {"hits": 0, "misses": 0}
+
+
+def _stack_digest(o: np.ndarray) -> bytes:
+    """Memoized content digest of one per-lane plane stack (see above)."""
+    key = id(o)
+    cached = _digest_memo.get(key)
+    if cached is not None:
+        _digest_stats["hits"] += 1
+        return cached
+    _digest_stats["misses"] += 1
+    digest = hashlib.blake2b(o.tobytes(), digest_size=16).digest()
+    _digest_memo[key] = digest
+    weakref.finalize(o, _digest_memo.pop, key, None)
+    return digest
+
+
+def invalidate_stack_digest(arr: np.ndarray) -> None:
+    """Forget the memoized digest of *arr* (it is about to be mutated).
+
+    Called by :meth:`repro.ppa.machine.PPAMachine.store` on every masked
+    writeback; a no-op for arrays that were never presented as per-lane
+    switch stacks.
+    """
+    _digest_memo.pop(id(arr), None)
+
+
+def stack_digest_stats() -> dict[str, int]:
+    """Host-side hit/miss tallies of the stack digest memo (copy)."""
+    return dict(_digest_stats)
+
+
+def reset_stack_digest_stats() -> None:
+    _digest_stats["hits"] = 0
+    _digest_stats["misses"] = 0
+
+
+def stack_digest_memo_size() -> int:
+    """Live entries in the digest memo (bounded by live plane stacks)."""
+    return len(_digest_memo)
 
 
 _UFUNCS = {
@@ -439,7 +511,7 @@ def broadcast_values(
         raise ValueError(
             f"open_plane must be 2-D or a (B, n, n) stack, got {o.shape}"
         )
-    key = (direction, o.shape, o.tobytes())
+    key = (direction, o.shape, _stack_digest(o))
     plan = _cache_get(_broadcast_stacks, key)
     hit = plan is not None
     if plan is None:
@@ -545,7 +617,7 @@ def segmented_reduce(
         raise ValueError(
             f"open_plane must be 2-D or a (B, n, n) stack, got {o.shape}"
         )
-    key = (direction, o.shape, o.tobytes())
+    key = (direction, o.shape, _stack_digest(o))
     plan = _cache_get(_reduce_stacks, key)
     hit = plan is not None
     if plan is None:

@@ -1,0 +1,107 @@
+"""The analytic cost vector: replay correctness and cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import minimum_cost_path
+from repro.engine import (
+    clear_cost_cache,
+    cost_cache_size,
+    cost_cache_stats,
+    mcp_cost_vector,
+    reset_cost_cache_stats,
+)
+from repro.engine.costs import _COST_CACHE_SIZE
+from repro.ppa import BusCostModel, PPAConfig, PPAMachine
+from repro.workloads import WeightSpec, gnp_digraph
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cost_cache()
+    reset_cost_cache_stats()
+    yield
+    clear_cost_cache()
+
+
+class TestVector:
+    def test_probe_verifies_two_rounds_when_possible(self):
+        vec = mcp_cost_vector(PPAConfig(n=8, word_bits=16))
+        assert vec.probe_iterations == 2
+
+    def test_probe_falls_back_to_one_round_on_n2(self):
+        vec = mcp_cost_vector(PPAConfig(n=2, word_bits=8))
+        assert vec.probe_iterations == 1
+
+    def test_total_is_init_plus_k_iterations(self):
+        vec = mcp_cost_vector(PPAConfig(n=5, word_bits=16))
+        k = 7
+        for name, value in vec.total(k).items():
+            assert value == vec.init[name] + k * vec.iteration[name]
+
+    @pytest.mark.parametrize("word_bits", [8, 12, 16])
+    def test_replay_matches_cycle_run_exactly(self, word_bits):
+        """init + iterations * iteration == an arbitrary cycle run's
+        counter delta (the whole point of the replay)."""
+        config = PPAConfig(n=8, word_bits=word_bits)
+        vec = mcp_cost_vector(config)
+        machine = PPAMachine(config)
+        W = gnp_digraph(8, 0.4, seed=9, weights=WeightSpec(1, 9),
+                        inf_value=machine.maxint)
+        res = minimum_cost_path(machine, W, 3, engine="cycle")
+        assert vec.total(res.iterations) == res.counters
+
+    def test_vector_depends_on_bus_cost_model(self):
+        unit = mcp_cost_vector(PPAConfig(n=6, word_bits=16))
+        linear = mcp_cost_vector(
+            PPAConfig(n=6, word_bits=16, bus_cost_model=BusCostModel.LINEAR)
+        )
+        assert unit.iteration["bus_cycles"] < linear.iteration["bus_cycles"]
+        # Instruction issue counts are model-independent.
+        assert unit.iteration["instructions"] == linear.iteration["instructions"]
+
+    def test_vector_scales_with_word_width(self):
+        h8 = mcp_cost_vector(PPAConfig(n=6, word_bits=8))
+        h16 = mcp_cost_vector(PPAConfig(n=6, word_bits=16))
+        # The bit-serial min dominates: 2h wired-ORs per iteration.
+        assert h16.iteration["reductions"] - h8.iteration["reductions"] == 16
+
+
+class TestCache:
+    def test_hit_miss_accounting(self):
+        config = PPAConfig(n=5, word_bits=16)
+        mcp_cost_vector(config)
+        assert cost_cache_stats() == {"hits": 0, "misses": 1}
+        again = mcp_cost_vector(PPAConfig(n=5, word_bits=16))
+        assert cost_cache_stats() == {"hits": 1, "misses": 1}
+        assert again.config == config
+        assert cost_cache_size() == 1
+
+    def test_distinct_configs_probe_separately(self):
+        mcp_cost_vector(PPAConfig(n=5, word_bits=16))
+        mcp_cost_vector(PPAConfig(n=5, word_bits=8))
+        mcp_cost_vector(PPAConfig(n=6, word_bits=16))
+        assert cost_cache_stats()["misses"] == 3
+        assert cost_cache_size() == 3
+
+    def test_clear_cache_forces_reprobe(self):
+        config = PPAConfig(n=4, word_bits=16)
+        first = mcp_cost_vector(config)
+        clear_cost_cache()
+        assert cost_cache_size() == 0
+        second = mcp_cost_vector(config)
+        assert cost_cache_stats()["misses"] == 2
+        assert first.init == second.init
+        assert first.iteration == second.iteration
+
+    def test_lru_stays_bounded(self):
+        for n in range(2, 2 + _COST_CACHE_SIZE + 8):
+            mcp_cost_vector(PPAConfig(n=n, word_bits=16))
+        assert cost_cache_size() == _COST_CACHE_SIZE
+
+    def test_probe_counters_never_leak_into_caller(self, machine8):
+        """Probing runs on a scratch machine: the caller's books and the
+        module-wide probe must not interact."""
+        before = machine8.counters.snapshot()
+        mcp_cost_vector(machine8.config)
+        assert machine8.counters.snapshot() == before

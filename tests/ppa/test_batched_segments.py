@@ -18,11 +18,15 @@ from repro.ppa.directions import Direction
 from repro.ppa.segments import (
     broadcast_values,
     clear_plan_cache,
+    invalidate_stack_digest,
     plan_cache_sizes,
     plan_cache_stats,
     reset_plan_cache_stats,
+    reset_stack_digest_stats,
     segmented_reduce,
     shift_values,
+    stack_digest_memo_size,
+    stack_digest_stats,
 )
 
 DIRECTIONS = list(Direction)
@@ -237,7 +241,9 @@ class TestPlanCacheObservability:
         machine = PPAMachine(PPAConfig(n=8, word_bits=16))
         W = gnp_digraph(8, 0.4, seed=1, weights=WeightSpec(1, 9),
                         inf_value=machine.maxint)
-        res = minimum_cost_path(machine, W, 2)
+        # Per-transaction observability is a cycle-engine property — the
+        # fused engine issues no bus transactions at all.
+        res = minimum_cost_path(machine, W, 2, engine="cycle")
         stats = machine.counters.plan_cache
         h = machine.word_bits
         # 2h wired-ORs per iteration (h for min, h for selected_min); all
@@ -269,7 +275,88 @@ class TestPlanCacheObservability:
             "broadcast_stacks": 0, "reduce_stacks": 0,
         }
 
-    def test_lru_bounds_memory_under_1k_plane_sweep(self):
+    def test_stack_digest_memoized_per_resolved_stack(self):
+        """The (B, n, n) stack branches must hash the ring-pile bytes ONCE
+        per resolved stack object, not on every call — repeat transactions
+        against the same plane stack are an id-lookup plus an LRU hit."""
+        clear_plan_cache()
+        reset_stack_digest_stats()
+        rng = np.random.default_rng(3)
+        vals = rng.integers(0, 99, size=(4, 6, 6))
+        L = rng.random((4, 6, 6)) < 0.3
+        L[:, :, 0] = True  # every ring driven
+        want_b = broadcast_values(vals, L, Direction.EAST)
+        want_r = segmented_reduce(vals, L, Direction.EAST, "min")
+        for _ in range(49):
+            assert np.array_equal(
+                broadcast_values(vals, L, Direction.EAST), want_b
+            )
+            assert np.array_equal(
+                segmented_reduce(vals, L, Direction.EAST, "min"), want_r
+            )
+        stats = stack_digest_stats()
+        # One hash for the first broadcast; the reduce and every later call
+        # reuse it. 100 calls => 1 miss, 99 hits.
+        assert stats == {"hits": 99, "misses": 1}
+        assert stack_digest_memo_size() >= 1
+
+    def test_stack_digest_invalidated_on_writeback(self):
+        """Mutating a plane stack through the machine's store() must drop
+        the memoized digest so the next transaction re-hashes (and resolves
+        a fresh plan) instead of resurrecting the stale one."""
+        from repro.ppa import PPAConfig, PPAMachine
+
+        clear_plan_cache()
+        machine = PPAMachine(PPAConfig(n=4, word_bits=8), batch=2)
+        L = np.zeros((2, 4, 4), dtype=bool)
+        L[:, :, 0] = True
+        vals = np.arange(32, dtype=np.int64).reshape(2, 4, 4)
+        got = machine.broadcast(vals, Direction.EAST, L)
+        assert np.array_equal(got, np.repeat(vals[:, :, 0:1], 4, axis=-1))
+        # Writeback: move the Open column from 0 to 1 *in place*.
+        machine.store(L, np.roll(L, 1, axis=-1))
+        got = machine.broadcast(vals, Direction.EAST, L)
+        assert np.array_equal(got, np.repeat(vals[:, :, 1:2], 4, axis=-1))
+
+    def test_stack_digest_memo_drops_dead_arrays(self):
+        """Garbage-collected stacks leave no memo entries behind (so a
+        recycled id() can never alias a stale digest)."""
+        clear_plan_cache()
+        vals = np.zeros((2, 3, 3), dtype=np.int64)
+        base = stack_digest_memo_size()
+        for _ in range(50):
+            L = np.eye(3, dtype=bool)[None, :, :].repeat(2, axis=0)
+            segmented_reduce(vals, L, Direction.EAST, "or")
+            del L
+        assert stack_digest_memo_size() <= base + 1
+
+    def test_invalidate_is_noop_for_unseen_arrays(self):
+        invalidate_stack_digest(np.zeros((2, 2, 2), dtype=bool))
+
+    def test_batched_mcp_hashes_each_stack_once(self):
+        """The batched MCP loop presents the same row-d plane stack every
+        round — the digest memo must collapse all of those to one hash."""
+        from repro.core.batched import batched_minimum_cost_path
+        from repro.ppa import PPAConfig, PPAMachine
+        from repro.workloads import WeightSpec, gnp_digraph
+
+        clear_plan_cache()
+        machine = PPAMachine(PPAConfig(n=8, word_bits=16), batch=8)
+        W = gnp_digraph(8, 0.4, seed=5, weights=WeightSpec(1, 9),
+                        inf_value=machine.maxint)
+        reset_stack_digest_stats()
+        res = batched_minimum_cost_path(
+            machine, W, np.arange(8), engine="cycle"
+        )
+        stats = stack_digest_stats()
+        rounds = int(res.iterations.max())
+        # Fresh (data-dependent) 3-D stacks are hashed once each: col_d at
+        # init plus the two bit-serial survivor planes per round. The
+        # stable row_d stack — re-presented as the statement-10 broadcast
+        # plane every round — hashes once and then hits the memo, where it
+        # previously re-hashed the whole (B*n^2,) pile per round.
+        assert stats["misses"] <= 2 + 2 * rounds
+        assert stats["hits"] >= rounds - 1
         """A sweep over 1000 distinct planes must evict, not accumulate."""
         clear_plan_cache()
         src = np.arange(16, dtype=np.int64).reshape(4, 4)

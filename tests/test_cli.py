@@ -464,3 +464,89 @@ class TestResilientFlag:
         assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
                      "-d", "2", "--resilient", "--checkpoint-every", "2",
                      "--max-retries", "1", "--detect-every", "2"]) == 0
+
+
+class TestEngineFlag:
+    """``--engine {auto,cycle,fused}`` on mcp/apsp/profile."""
+
+    def _counters_line(self, out):
+        return [ln for ln in out.splitlines() if ln.startswith("counters:")]
+
+    @pytest.mark.parametrize("engine", ["auto", "cycle", "fused"])
+    def test_mcp_accepts_every_engine(self, engine, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "1",
+                     "-d", "2", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert "minimum cost paths to vertex 2 on ppa" in out
+
+    def test_mcp_engines_report_identical_counters(self, capsys):
+        argv = ["mcp", "--generate", "gnp", "--n", "7", "--seed", "5", "-d", "1"]
+        main(argv + ["--engine", "cycle"])
+        cycle = self._counters_line(capsys.readouterr().out)
+        main(argv + ["--engine", "fused"])
+        fused = self._counters_line(capsys.readouterr().out)
+        assert cycle == fused
+
+    def test_mcp_unknown_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["mcp", "--generate", "gnp", "--n", "6", "--engine", "warp"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_fused_with_trace_downgrades_with_note(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "1",
+                     "-d", "0", "--engine", "fused", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "note: engine 'fused' unavailable" in out
+        assert "results are identical" in out
+        assert "bus transactions:" in out  # the cycle run really traced
+
+    def test_fused_with_faults_downgrades_with_note(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "1",
+                     "--engine", "fused", "--fault", "1,1,open"]) == 0
+        assert "note: engine 'fused' unavailable" in capsys.readouterr().out
+
+    def test_fused_with_resilient_downgrades_with_note(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "3",
+                     "-d", "2", "--resilient", "--engine", "fused"]) == 0
+        assert "note: engine 'fused' unavailable" in capsys.readouterr().out
+
+    def test_fused_with_profile_downgrades_with_note(self, tmp_path, capsys):
+        path = tmp_path / "prof.json"
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--seed", "1",
+                     "--engine", "fused", "--profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "note: engine 'fused' unavailable" in out
+        assert path.exists()
+
+    def test_fused_off_ppa_downgrades_with_note(self, capsys):
+        assert main(["mcp", "--generate", "gnp", "--n", "6", "--arch", "mesh",
+                     "--engine", "fused"]) == 0
+        out = capsys.readouterr().out
+        assert "note: engine 'fused' unavailable" in out
+        assert "PPA only" in out
+
+    def test_fused_with_word_parallel_downgrades_with_note(self, capsys):
+        assert main(["mcp", "--generate", "ring", "--n", "5",
+                     "--word-parallel", "--engine", "fused"]) == 0
+        assert "note: engine 'fused' unavailable" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["cycle", "fused"])
+    def test_apsp_accepts_engine(self, engine, capsys):
+        assert main(["apsp", "--generate", "gnp", "--n", "6", "--seed", "2",
+                     "--engine", engine]) == 0
+        assert "all-pairs minimum cost" in capsys.readouterr().out
+
+    def test_apsp_engines_report_identical_counters(self, capsys):
+        argv = ["apsp", "--generate", "gnp", "--n", "6", "--seed", "2"]
+        main(argv + ["--engine", "cycle"])
+        cycle = self._counters_line(capsys.readouterr().out)
+        main(argv + ["--engine", "fused"])
+        fused = self._counters_line(capsys.readouterr().out)
+        assert cycle == fused
+
+    def test_profile_command_downgrades_fused_with_note(self, capsys):
+        assert main(["profile", "--generate", "gnp", "--n", "6", "--seed", "1",
+                     "--engine", "fused"]) == 0
+        out = capsys.readouterr().out
+        assert "note: engine 'fused' unavailable" in out
+        assert "span tracer" in out
