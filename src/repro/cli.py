@@ -8,6 +8,9 @@
   default with a ``--lanes`` knob, ``--serial`` for the literal sweep;
 * ``report``   — regenerate the evaluation artefacts (see EXPERIMENTS.md);
 * ``ppc``      — run (or pretty-print) a Polymorphic Parallel C source file;
+* ``lint``     — statically verify PPC sources and bundled programs
+  (bus races, use-before-def, word-width, cost audit; see
+  docs/static-analysis.md) with text or ``--json`` findings;
 * ``selftest`` — run the bus diagnostic, optionally with injected faults;
 * ``profile``  — run MCP under the span tracer and print the per-phase
   cost breakdown (see docs/observability.md).
@@ -223,6 +226,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--graph",
         type=Path,
         help="weight matrix loaded into the parallel global W",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify PPC sources / bundled programs",
+    )
+    lint.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="PPC source files; .py files are scanned for module-level "
+        "PPC string listings",
+    )
+    lint.add_argument(
+        "--program",
+        action="append",
+        default=[],
+        choices=sorted(_LINT_PROGRAMS) + ["all"],
+        help="lint a bundled program ('all' = every bundled listing plus "
+        "the assembly MCP)",
+    )
+    lint.add_argument("--n", type=int, default=8, help="analysis grid side")
+    lint.add_argument("--word-bits", type=int, default=16)
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable diagnostics instead of text",
+    )
+    lint.add_argument(
+        "--no-cost-audit",
+        action="store_true",
+        help="skip the three-way cost audit leg of asm-mcp linting",
     )
 
     st = sub.add_parser("selftest", help="bus switch diagnostic")
@@ -893,6 +928,153 @@ def _cmd_ppc(args) -> int:
     return 0
 
 
+#: bundled PPC listings lintable by name (plus "asm-mcp", handled apart).
+_LINT_PPC_PROGRAMS = {
+    "min": "MIN_CODE",
+    "selected-min": "SELECTED_MIN_CODE",
+    "mcp": "MCP_CODE",
+    "mcp-library-min": "MCP_WITH_LIBRARY_MIN",
+    "distance-transform": "DISTANCE_TRANSFORM_CODE",
+}
+_LINT_PROGRAMS = {**_LINT_PPC_PROGRAMS, "asm-mcp": None}
+
+
+def _extract_ppc_strings(path: Path) -> list[tuple[str, str]]:
+    """Module-level PPC listings embedded in a Python file.
+
+    A string constant assigned at module level counts as a PPC listing
+    when it mentions the ``parallel`` keyword and parses as a PPC
+    program. Strings inside functions (e.g. deliberately-broken demo
+    snippets) are not scanned.
+    """
+    import ast as pyast
+
+    from repro.errors import PPCError
+    from repro.ppc.lang.parser import parse as ppc_parse
+
+    tree = pyast.parse(path.read_text())
+    found: list[tuple[str, str]] = []
+    for node in tree.body:
+        targets = []
+        if isinstance(node, pyast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, pyast.Name)
+            ]
+            value = node.value
+        elif isinstance(node, pyast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, pyast.Name):
+                targets = [node.target.id]
+            value = node.value
+        else:
+            continue
+        if not (
+            targets
+            and isinstance(value, pyast.Constant)
+            and isinstance(value.value, str)
+            and "parallel" in value.value
+        ):
+            continue
+        try:
+            program = ppc_parse(value.value)
+        except PPCError:
+            continue  # a string, but not a PPC program
+        if program.functions:
+            found.append((targets[0], value.value))
+    return found
+
+
+def _lint_asm_mcp(args) -> "object":
+    """Verify + cost-audit the bundled assembly MCP stream."""
+    from repro.core.asm_mcp import mcp_assembly
+    from repro.ppa.assembler import assemble
+    from repro.verify import audit_mcp_cost, verify_isa
+    from repro.verify.diagnostics import Report
+
+    config = PPAConfig(n=args.n, word_bits=args.word_bits)
+    program = assemble(mcp_assembly(config.n, config.word_bits))
+    report = Report(source="asm-mcp")
+    for d in sorted({0, args.n // 2, args.n - 1}):
+        verify_isa(
+            program, config, inputs={"r0": None, "s0": d}, report=report
+        )
+    if not args.no_cost_audit:
+        report.extend(audit_mcp_cost(config))
+    return report
+
+
+def _cmd_lint(args) -> int:
+    from repro.ppc.lang import programs as bundled
+    from repro.verify import verify_ppc_source
+
+    selected = list(args.program)
+    if not selected and not args.files:
+        selected = ["all"]
+    if "all" in selected:
+        selected = sorted(_LINT_PROGRAMS)
+
+    reports = []
+    for name in selected:
+        if name == "asm-mcp":
+            reports.append(_lint_asm_mcp(args))
+            continue
+        source = getattr(bundled, _LINT_PPC_PROGRAMS[name])
+        reports.append(
+            verify_ppc_source(
+                source,
+                n=args.n,
+                word_bits=args.word_bits,
+                source_name=name,
+            )
+        )
+    for path in args.files:
+        if not path.exists():
+            raise ReproError(f"lint target not found: {path}")
+        if path.suffix == ".py":
+            listings = _extract_ppc_strings(path)
+            for var, source in listings:
+                reports.append(
+                    verify_ppc_source(
+                        source,
+                        n=args.n,
+                        word_bits=args.word_bits,
+                        source_name=f"{path}:{var}",
+                    )
+                )
+            if not listings and not args.json:
+                print(f"{path}: no module-level PPC listings found")
+        else:
+            reports.append(
+                verify_ppc_source(
+                    path.read_text(),
+                    n=args.n,
+                    word_bits=args.word_bits,
+                    source_name=str(path),
+                )
+            )
+
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "errors": errors,
+                "warnings": warnings,
+                "reports": [r.to_dict() for r in reports],
+            },
+            indent=2,
+        ))
+    else:
+        for report in reports:
+            print(report.render())
+        print(
+            f"lint: {len(reports)} unit(s), {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+    return 1 if errors else 0
+
+
 def _cmd_selftest(args) -> int:
     machine = PPAMachine(PPAConfig(n=args.n, word_bits=16))
     plan = _build_fault_plan(args)
@@ -932,6 +1114,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "report": _cmd_report,
         "ppc": _cmd_ppc,
+        "lint": _cmd_lint,
         "selftest": _cmd_selftest,
     }[args.command]
     try:

@@ -13,6 +13,7 @@ __all__ = [
     "ConfigurationError",
     "MachineError",
     "BusError",
+    "BusConflictError",
     "MaskError",
     "VariableError",
     "GraphError",
@@ -22,6 +23,7 @@ __all__ = [
     "PPCError",
     "PPCSyntaxError",
     "PPCTypeError",
+    "PPCVerifyError",
     "PPCRuntimeError",
 ]
 
@@ -41,6 +43,16 @@ class MachineError(ReproError):
 class BusError(MachineError):
     """Invalid bus operation, e.g. a broadcast on a ring with no Open switch
     while the machine runs in ``strict`` bus mode."""
+
+
+class BusConflictError(BusError):
+    """A dynamically detected bus write race: two or more Open drivers on
+    the same ring injected *disagreeing* values during a broadcast (the
+    equal-value multi-driver case is the paper's legitimate wired-OR /
+    ``min()`` survivor idiom and is not a conflict). Raised only when the
+    machine was built with ``PPAMachine(check_bus_conflicts=True)`` — the
+    dynamic counterpart of the static bus-race detector in
+    :mod:`repro.verify`."""
 
 
 class MaskError(MachineError):
@@ -89,6 +101,18 @@ class PPCSyntaxError(PPCError):
 
 class PPCTypeError(PPCError):
     """Static semantic error (undeclared identifier, wrong arity, ...)."""
+
+
+class PPCVerifyError(PPCError):
+    """A PPC program was rejected by the static verifier
+    (:mod:`repro.verify`) under ``compile_ppc(..., verify="error")``.
+
+    Carries the full diagnostics :class:`~repro.verify.Report` on the
+    ``report`` attribute."""
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
 
 
 class PPCRuntimeError(PPCError):

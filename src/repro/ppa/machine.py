@@ -41,7 +41,12 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro.errors import ConfigurationError, MaskError, WordWidthError
+from repro.errors import (
+    BusConflictError,
+    ConfigurationError,
+    MaskError,
+    WordWidthError,
+)
 from repro.ppa.bus import BusTrace
 from repro.ppa.faults import FaultPlan
 from repro.ppa.counters import CycleCounters, LaneCounters
@@ -58,7 +63,65 @@ from repro.ppa.switchbox import as_switch_plane
 from repro.ppa.topology import PPAConfig
 from repro.telemetry.spans import Tracer
 
-__all__ = ["PPAMachine"]
+__all__ = ["PPAMachine", "check_broadcast_conflicts"]
+
+_RING_SENTINEL = np.int64(1) << 62
+
+
+def check_broadcast_conflicts(src, plane, direction: Direction) -> None:
+    """Dynamic bus-race detector for one broadcast transaction.
+
+    Flags rings where **two or more** Open drivers inject *disagreeing*
+    values. Rationale (see docs/static-analysis.md):
+
+    * one Open per ring — the intended single-writer broadcast; fine.
+    * all nodes Open — the identity configuration (every PE is its own
+      cluster head); fine by construction.
+    * several Opens, **all injecting the same value** — the paper's
+      ``min()`` survivor idiom: after the bit-serial elimination every
+      surviving driver holds the cluster minimum, so the multi-driver
+      broadcast is deterministic. Fine.
+    * several Opens with differing values — the program's answer now
+      depends on which driver each PE happens to sit downstream of:
+      a genuine write race on the physical bus. Raises
+      :class:`~repro.errors.BusConflictError`.
+
+    Rings with *zero* Open drivers are the province of the existing
+    ``strict_bus`` machine mode (an undriven ring may legitimately float
+    when its result is never stored, as in ``selected_min`` on row ``d``
+    of the MCP listing), so they are not reported here.
+
+    Works on ``(n, n)`` grids and batched ``(B, n, n)`` stacks alike;
+    *src* and *plane* broadcast against each other.
+    """
+    src_a = np.asarray(src)
+    if src_a.dtype == np.bool_:
+        src_a = src_a.astype(np.int64)
+    vals, opens = np.broadcast_arrays(src_a, np.asarray(plane, dtype=bool))
+    if direction.axis == 0:
+        # Rings run along axis 0 (columns); canonicalise onto last axis.
+        vals = np.swapaxes(vals, -1, -2)
+        opens = np.swapaxes(opens, -1, -2)
+    ring_len = opens.shape[-1]
+    n_open = opens.sum(axis=-1)
+    multi = (n_open >= 2) & (n_open < ring_len)
+    if not multi.any():
+        return
+    lo = np.where(opens, vals, _RING_SENTINEL).min(axis=-1)
+    hi = np.where(opens, vals, -_RING_SENTINEL).max(axis=-1)
+    bad = multi & (lo != hi)
+    if not bad.any():
+        return
+    where = np.argwhere(bad)[0]
+    ring = int(where[-1])
+    lane = f" (lane {int(where[0])})" if bad.ndim == 2 else ""
+    axis_name = "column" if direction.axis == 0 else "row"
+    raise BusConflictError(
+        f"bus write race: broadcast {direction} drives {axis_name} {ring}"
+        f"{lane} from {int(n_open[tuple(where)])} Open PEs holding "
+        f"disagreeing values [{int(lo[tuple(where)])}, "
+        f"{int(hi[tuple(where)])}]"
+    )
 
 
 class PPAMachine:
@@ -70,6 +133,7 @@ class PPAMachine:
         *,
         trace: bool = False,
         batch: int | None = None,
+        check_bus_conflicts: bool = False,
     ):
         if isinstance(config, int):
             config = PPAConfig(n=config)
@@ -77,6 +141,12 @@ class PPAMachine:
             raise ConfigurationError(f"batch must be >= 1, got {batch}")
         self.config = config
         self.batch = batch
+        #: dynamic bus-race detection: every broadcast transaction is
+        #: screened by :func:`check_broadcast_conflicts` (the runtime
+        #: counterpart of the static detector in :mod:`repro.verify`, for
+        #: the switch planes static analysis cannot decide). Off by
+        #: default — the check reads the plane but never moves a counter.
+        self.check_bus_conflicts = check_bus_conflicts
         self.counters = CycleCounters()
         #: per-lane serial-equivalent cost ledger (batched machines only)
         self.lane_counters: LaneCounters | None = (
@@ -248,7 +318,11 @@ class PPAMachine:
         """
         if self.batch is not None:
             raise MaskError("lanes() requires an unbatched machine")
-        view = PPAMachine(self.config, batch=batch)
+        view = PPAMachine(
+            self.config,
+            batch=batch,
+            check_bus_conflicts=self.check_bus_conflicts,
+        )
         view.counters = self.counters
         view.telemetry = self.telemetry
         view.trace = self.trace
@@ -290,6 +364,8 @@ class PPAMachine:
             as_switch_plane(L, self.shape, lanes=self.batch), direction
         )
         src = np.asarray(src)
+        if self.check_bus_conflicts:
+            check_broadcast_conflicts(src, plane, direction)
         out = broadcast_values(
             src,
             plane,

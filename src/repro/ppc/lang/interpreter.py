@@ -101,17 +101,77 @@ class ExecutionResult:
     counters: dict[str, int] = field(default_factory=dict)
 
 
-def compile_ppc(source: str) -> "PPCProgram":
-    """Parse + analyze *source* into a reusable :class:`PPCProgram`."""
-    return PPCProgram(analyze(parse(source)))
+#: memo of verifier reports keyed on (source, n, word_bits) — the static
+#: passes are pure functions of the text and analysis geometry, and
+#: callers routinely re-compile the same bundled listing.
+_VERIFY_CACHE: dict[tuple[str, int, int], object] = {}
+_VERIFY_CACHE_SIZE = 32
+
+
+def compile_ppc(
+    source: str,
+    *,
+    verify: str = "off",
+    verify_n: int = 8,
+    verify_word_bits: int = 16,
+) -> "PPCProgram":
+    """Parse + analyze *source* into a reusable :class:`PPCProgram`.
+
+    ``verify`` selects the static-analysis policy (docs/static-analysis.md):
+
+    * ``"off"`` (default) — parse and type-check only;
+    * ``"warn"`` — run the :mod:`repro.verify` passes and attach the
+      diagnostics as :attr:`PPCProgram.verify_report`, never raising;
+    * ``"error"`` — additionally raise
+      :class:`~repro.errors.PPCVerifyError` when any error-severity
+      diagnostic is found (the report rides on the exception).
+
+    ``verify_n``/``verify_word_bits`` set the sample grid geometry the
+    abstract interpreter analyses concrete switch planes on. Reports are
+    memoized per (source, n, h) — verification of a cached listing is
+    free on re-compile.
+    """
+    if verify not in ("off", "warn", "error"):
+        raise ValueError(
+            f'verify must be "off", "warn" or "error", got {verify!r}'
+        )
+    program = PPCProgram(analyze(parse(source)))
+    if verify == "off":
+        return program
+    from repro.errors import PPCVerifyError
+    from repro.verify.ppc_checks import verify_ppc
+
+    key = (source, verify_n, verify_word_bits)
+    report = _VERIFY_CACHE.get(key)
+    if report is None:
+        report = verify_ppc(
+            program.ast, n=verify_n, word_bits=verify_word_bits
+        )
+        if len(_VERIFY_CACHE) >= _VERIFY_CACHE_SIZE:
+            _VERIFY_CACHE.pop(next(iter(_VERIFY_CACHE)))
+        _VERIFY_CACHE[key] = report
+    program.verify_report = report
+    if verify == "error" and not report.ok:
+        raise PPCVerifyError(
+            f"static verification failed with {len(report.errors)} "
+            f"error(s):\n{report.render()}",
+            report=report,
+        )
+    return program
 
 
 class PPCProgram:
-    """A checked PPC program, runnable on any machine of any size."""
+    """A checked PPC program, runnable on any machine of any size.
+
+    ``verify_report`` carries the :class:`repro.verify.Report` when the
+    program was compiled with ``verify="warn"``/``"error"``; ``None``
+    otherwise.
+    """
 
     def __init__(self, program: ast.Program):
         self.ast = program
         self.functions = {f.name: f for f in program.functions}
+        self.verify_report = None
 
     def run(
         self,

@@ -1,0 +1,48 @@
+"""Static analysis for PPC programs and assembled ISA streams.
+
+The verifier is the third leg of the reproduction's correctness story,
+next to the interpreter/executor (dynamic semantics) and the counter
+parity suite (cost semantics). It finds machine-model violations
+*before* a program runs:
+
+* :mod:`repro.verify.ppc_checks` — abstract interpretation of the PPC
+  AST: bus-race geometry on statically-known switch planes,
+  mask-aware use-before-def / dead-write dataflow, and interval-based
+  word-width analysis;
+* :mod:`repro.verify.isa_checks` — the same discipline over assembled
+  instruction streams, with a concrete controller path and per-opcode
+  static cost prediction;
+* :mod:`repro.verify.cost_audit` — the three-way audit pinning static
+  prediction == analytic cost vector == real cycle-engine counters on
+  the assembly MCP;
+* :mod:`repro.verify.diagnostics` — the structured
+  :class:`~repro.verify.diagnostics.Report` all passes share.
+
+Entry points: ``compile_ppc(..., verify="error"|"warn"|"off")``, the
+``repro lint`` CLI command, and the functions re-exported here. The rule
+catalogue lives in docs/static-analysis.md.
+"""
+
+from repro.verify.cost_audit import audit_mcp_cost, fit_affine_cost
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.isa_checks import (
+    ISARun,
+    analyze_isa,
+    instruction_cost,
+    verify_isa,
+)
+from repro.verify.ppc_checks import verify_ppc, verify_ppc_source
+
+__all__ = [
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "ISARun",
+    "analyze_isa",
+    "instruction_cost",
+    "verify_isa",
+    "verify_ppc",
+    "verify_ppc_source",
+    "audit_mcp_cost",
+    "fit_affine_cost",
+]

@@ -1,0 +1,177 @@
+"""Structured diagnostics for the PPC/ISA program verifier.
+
+Every analysis pass in :mod:`repro.verify` reports its findings as
+:class:`Diagnostic` records collected into a :class:`Report`. A diagnostic
+is location-annotated — source ``line`` for PPC programs, instruction
+``pc`` (and the assembler-recorded source line) for ISA streams — and
+carries a machine-readable ``rule`` identifier so tests can pin exact
+findings and the CLI can render either human text or ``--json``.
+
+Severity policy (see docs/static-analysis.md):
+
+``ERROR``
+    The program provably (on at least one analysis context) violates the
+    machine model — a statically-decided bus race, a read of a variable no
+    execution path has defined, a value that cannot fit the ``h``-bit
+    word, a cost-audit disagreement. ``repro lint`` exits non-zero;
+    ``compile_ppc(..., verify="error")`` raises.
+
+``WARNING``
+    Suspicious but not provably wrong — dead writes, unreachable
+    ``elsewhere`` arms, *possible* width overflow, reads of registers the
+    stream never initialised. Reported, never fatal.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "Report"]
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding.
+
+    ``line`` is the 1-based source line (0 when unknown); ``pc`` is the
+    instruction index for ISA findings (``None`` for PPC findings).
+    ``function`` names the enclosing PPC function when known; ``source``
+    names the unit under analysis (file name or bundled-program name).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    line: int = 0
+    pc: int | None = None
+    function: str | None = None
+    source: str | None = None
+
+    @property
+    def location(self) -> str:
+        parts = []
+        if self.source:
+            parts.append(self.source)
+        if self.pc is not None:
+            parts.append(f"pc={self.pc}")
+        if self.line:
+            parts.append(f"line {self.line}")
+        return ":".join(parts) if parts else "<unknown>"
+
+    def render(self) -> str:
+        where = self.location
+        scope = f" (in {self.function})" if self.function else ""
+        return f"{where}: {self.severity.value}: [{self.rule}] {self.message}{scope}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "line": self.line,
+            "pc": self.pc,
+            "function": self.function,
+            "source": self.source,
+        }
+
+
+@dataclass
+class Report:
+    """An ordered, de-duplicated collection of diagnostics."""
+
+    source: str | None = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        severity: Severity,
+        message: str,
+        *,
+        line: int = 0,
+        pc: int | None = None,
+        function: str | None = None,
+    ) -> None:
+        """Append a diagnostic unless an identical finding (same rule and
+        location) was already recorded — abstract interpretation revisits
+        loop bodies and analysis contexts, and one finding per site is
+        enough."""
+        diag = Diagnostic(
+            rule=rule,
+            severity=severity,
+            message=message,
+            line=line,
+            pc=pc,
+            function=function,
+            source=self.source,
+        )
+        key = (diag.rule, diag.line, diag.pc, diag.function)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.diagnostics.append(diag)
+
+    def __post_init__(self) -> None:
+        self._seen: set[tuple] = {
+            (d.rule, d.line, d.pc, d.function) for d in self.diagnostics
+        }
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the report carries no error-severity diagnostic."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def extend(self, other: "Report") -> "Report":
+        for d in other.diagnostics:
+            key = (d.rule, d.line, d.pc, d.function)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.diagnostics.append(d)
+        return self
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        name = self.source or "<program>"
+        if not self.diagnostics:
+            return f"{name}: clean (no diagnostics)"
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            f"{name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

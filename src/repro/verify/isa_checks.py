@@ -1,0 +1,756 @@
+"""Static verifier and cost predictor for assembled ISA streams.
+
+The ISA has a clean concrete/abstract split that the analysis exploits:
+the *controller* (scalar registers, program counter, scalar branches) is
+data-independent except for the ``gor`` condition flag, while the
+*datapath* (parallel registers, memory planes) carries the actual graph
+data. :class:`_AbstractExecutor` therefore runs the controller
+**concretely** — scalar registers hold real integers, scalar branches
+take their real direction — and the datapath **abstractly** as
+:class:`~repro.verify.planes.PVal` values (a concrete plane when every
+PE's word is statically known, an interval otherwise).
+
+The only data-dependent control is ``gor``; each execution consumes its
+flag outcomes from an explicit *flag schedule* (missing entries default
+to False, i.e. loops exit). Running the same stream under schedules
+``[F]``, ``[T,F]``, ``[T,T,F]`` yields one, two and three rounds of a
+``gor``-controlled do-while — the basis of the affine cost audit in
+:mod:`repro.verify.cost_audit`.
+
+Because the controller path is concrete, the per-``pc`` execution counts
+are exact for the given schedule, and the predicted counter totals follow
+from the static per-opcode cost table (:func:`instruction_cost`), which
+mirrors the charges of :mod:`repro.ppa.executor` +
+:class:`~repro.ppa.machine.PPAMachine` primitive by primitive.
+
+Diagnostics (see docs/static-analysis.md for the rule catalogue):
+
+* ``isa-bus-undriven`` / ``isa-bus-multi-driver`` — bus-race geometry on
+  ``bcast`` whenever the ``L`` plane is statically known;
+* ``isa-uninit-read`` — a register/memory word read on the executed path
+  before any instruction wrote it (the executor zero-fills, so this is a
+  silent-wrong-answer, not a crash: WARNING);
+* ``isa-flag-before-gor`` — a flag branch before any ``gor`` set it;
+* ``isa-width-bit-index`` — ``biti``/``bits`` index outside the word
+  (the executor raises :class:`~repro.errors.WordWidthError`);
+* ``isa-width-imm`` — ``ldi``/``lds`` placing a value outside the
+  ``h``-bit word into a parallel register;
+* ``isa-width-shift`` — ``shli`` provably truncating on every PE;
+* ``isa-div-zero`` — ``div``/``mod`` by a plane statically containing 0;
+* ``isa-mask-underflow`` / ``isa-mask-leak`` — unbalanced
+  ``pushm``/``popm``;
+* ``isa-pc-range`` — execution runs off the end of the stream
+  (a missing ``halt``); ``isa-step-budget`` — the analysis step bound
+  was hit (suspected divergence under the schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ppa.isa import Instruction, N_PREGS, N_SREGS, Opcode
+from repro.ppa.segments import broadcast_values, shift_values
+from repro.ppa.topology import PPAConfig
+from repro.verify.diagnostics import Report, Severity
+from repro.verify.planes import Interval, PVal, classify_plane
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "ISARun",
+    "instruction_cost",
+    "analyze_isa",
+    "verify_isa",
+]
+
+#: counter vocabulary of the static cost model — must match
+#: :meth:`repro.ppa.counters.CycleCounters.field_names`.
+COUNTER_FIELDS = (
+    "instructions",
+    "broadcasts",
+    "reductions",
+    "shifts",
+    "alu_ops",
+    "global_ors",
+    "bus_cycles",
+    "bit_cycles",
+)
+
+_DEFAULT_MAX_STEPS = 400_000
+
+#: opcodes whose executor realisation is ``count_alu()`` + ``store()``
+#: (two SIMD instructions, two ALU charges).
+_ALU2 = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD,
+    Opcode.MIN, Opcode.MAX, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.NOT, Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE,
+    Opcode.SHLI, Opcode.SHRI, Opcode.BITI, Opcode.BITS,
+}
+
+#: opcodes realised as a single masked ``store()``.
+_STORE1 = {
+    Opcode.LDI, Opcode.LDS, Opcode.MOV, Opcode.ROW, Opcode.COL,
+    Opcode.LD, Opcode.ST,
+}
+
+#: pure controller opcodes — free in the machine cost model.
+_FREE = {
+    Opcode.POPM, Opcode.SLDI, Opcode.SMOV, Opcode.SADDI,
+    Opcode.JMP, Opcode.JNZ, Opcode.JZ, Opcode.SJGE,
+    Opcode.SBLT, Opcode.SBGE, Opcode.SBEQ, Opcode.SBNE, Opcode.HALT,
+}
+
+
+def instruction_cost(op: Opcode, config: PPAConfig) -> dict[str, int]:
+    """Machine-counter delta charged by one execution of *op*.
+
+    Mirrors exactly what :func:`repro.ppa.executor.execute` charges
+    through the machine primitives: every store is ``count_alu()``
+    (one instruction + one ALU op), communication adds the primitive's
+    own bus/bit charges. ``c`` is the per-transaction bus cycle count of
+    the config's cost model, ``h`` the word width; ``bcast``/``shift``
+    move int64 planes (word-width transfers) while ``wor`` moves boolean
+    planes (1-bit transfers).
+    """
+    c = config.bus_transaction_cycles()
+    h = config.word_bits
+    zero = dict.fromkeys(COUNTER_FIELDS, 0)
+    if op in _FREE:
+        return zero
+    if op in _STORE1 or op is Opcode.PUSHM:
+        return {**zero, "instructions": 1, "alu_ops": 1}
+    if op in _ALU2:
+        return {**zero, "instructions": 2, "alu_ops": 2}
+    if op is Opcode.SHIFT:
+        return {
+            **zero, "instructions": 2, "alu_ops": 1, "shifts": 1,
+            "bus_cycles": 1, "bit_cycles": h,
+        }
+    if op is Opcode.BCAST:
+        return {
+            **zero, "instructions": 2, "alu_ops": 1, "broadcasts": 1,
+            "bus_cycles": c, "bit_cycles": c * h,
+        }
+    if op is Opcode.WOR:
+        return {
+            **zero, "instructions": 2, "alu_ops": 1, "reductions": 1,
+            "bus_cycles": c, "bit_cycles": c,
+        }
+    if op is Opcode.GOR:
+        return {
+            **zero, "instructions": 1, "global_ors": 1,
+            "bus_cycles": 2 * c, "bit_cycles": 2 * c,
+        }
+    raise AssertionError(f"unpriced opcode {op}")  # pragma: no cover
+
+
+@dataclass
+class ISARun:
+    """Result of one abstract execution under a flag schedule."""
+
+    report: Report
+    pc_counts: np.ndarray  # executions per instruction index
+    counters: dict[str, int]  # predicted machine-counter totals
+    halted: bool = False
+    gors: int = 0  # gor instructions executed (= flags consumed)
+    steps: int = 0
+    flag_schedule: tuple[bool, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok and self.halted
+
+
+class _AbstractExecutor:
+    """Concrete controller / abstract datapath interpreter."""
+
+    def __init__(
+        self,
+        program: list[Instruction],
+        config: PPAConfig,
+        report: Report,
+        *,
+        inputs: dict[str, object] | None = None,
+        flag_schedule: tuple[bool, ...] = (),
+        mem_words: int = 8,
+        max_steps: int = _DEFAULT_MAX_STEPS,
+    ):
+        self.program = program
+        self.config = config
+        self.report = report
+        self.maxint = config.maxint
+        self.shape = config.shape
+        self.max_steps = max_steps
+        self.flag_schedule = list(flag_schedule)
+
+        zero = PVal.splat(0, self.shape)
+        self.pregs: list[PVal] = [zero] * N_PREGS
+        self.mem: list[PVal] = [zero] * mem_words
+        self.sregs = [0] * N_SREGS
+        self.preg_written = [False] * N_PREGS
+        self.sreg_written = [False] * N_SREGS
+        self.mem_written = [False] * mem_words
+        self.flag = False
+        self.flag_written = False
+        self.mask_depth = 0
+        self.pc = 0
+        self.steps = 0
+        self.halted = False
+        self.gors = 0
+        self.pc_counts = np.zeros(len(program), dtype=np.int64)
+        #: one finding per (rule, register) pair is enough
+        self._warned: set[tuple[str, str]] = set()
+        #: uninitialised names read by the current instruction, combined
+        #: into one diagnostic per site (the Report deduplicates on pc)
+        self._pending_uninit: list[str] = []
+
+        rows, cols = np.indices(self.shape)
+        self.row_plane = PVal.from_plane(rows.astype(np.int64))
+        self.col_plane = PVal.from_plane(cols.astype(np.int64))
+
+        for key, value in (inputs or {}).items():
+            kind, idx = key[0], int(key[1:])
+            if kind == "r":
+                self.preg_written[idx] = True
+                self.pregs[idx] = self._input_pval(value)
+            elif kind == "s":
+                self.sreg_written[idx] = True
+                self.sregs[idx] = int(value)  # controller inputs: concrete
+            elif kind == "m":
+                self.mem_written[idx] = True
+                self.mem[idx] = self._input_pval(value)
+            else:
+                raise ValueError(f"unknown input key {key!r}")
+
+    def _input_pval(self, value) -> PVal:
+        if value is None:  # externally supplied, statically unknown
+            return PVal.unknown_int(self.maxint)
+        arr = np.broadcast_to(
+            np.asarray(value, dtype=np.int64), self.shape
+        ).copy()
+        return PVal.from_plane(arr)
+
+    # -- diagnostics -------------------------------------------------------
+
+    def _diag(self, rule: str, sev: Severity, msg: str, instr: Instruction):
+        self.report.add(
+            rule, sev, msg, line=instr.line, pc=self.pc_of(instr)
+        )
+
+    def pc_of(self, instr: Instruction) -> int:
+        # self.pc already advanced past the current instruction
+        return self.pc - 1
+
+    def _note_uninit(self, name: str) -> None:
+        key = ("isa-uninit-read", name)
+        if key not in self._warned:
+            self._warned.add(key)
+            self._pending_uninit.append(name)
+
+    def _flush_uninit(self, instr: Instruction) -> None:
+        if not self._pending_uninit:
+            return
+        names = ", ".join(self._pending_uninit)
+        obj = "them" if len(self._pending_uninit) > 1 else "it"
+        self._pending_uninit = []
+        self._diag(
+            "isa-uninit-read", Severity.WARNING,
+            f"{names} read before any instruction writes {obj} "
+            "(the executor zero-fills state, so this computes on silent "
+            "zeroes)", instr,
+        )
+
+    def _read_preg(self, idx: int, instr: Instruction) -> PVal:
+        if not self.preg_written[idx]:
+            self._note_uninit(f"r{idx}")
+            self.preg_written[idx] = True  # one finding per register
+        return self.pregs[idx]
+
+    def _write_preg(self, idx: int, value: PVal) -> None:
+        self.preg_written[idx] = True
+        if self.mask_depth and value.plane is not None:
+            # a masked store merges with unknown prior contents: keep the
+            # bounds, drop the concrete plane unless it matches the old one
+            old = self.pregs[idx]
+            if old.plane is None or not np.array_equal(old.plane, value.plane):
+                value = PVal(
+                    None, value.ivl.join(old.ivl), value.base
+                )
+        elif self.mask_depth:
+            value = PVal(
+                None, value.ivl.join(self.pregs[idx].ivl), value.base
+            )
+        self.pregs[idx] = value
+
+    # -- abstract ALU ------------------------------------------------------
+
+    def _binary(self, a: PVal, b: PVal, op: Opcode) -> PVal:
+        m = self.maxint
+        if a.plane is not None and b.plane is not None:
+            x = a.plane.astype(np.int64)
+            y = b.plane.astype(np.int64)
+            if op is Opcode.ADD:
+                return PVal.from_plane(np.minimum(x + y, m))
+            if op is Opcode.SUB:
+                return PVal.from_plane(np.maximum(x - y, 0))
+            if op is Opcode.MUL:
+                return PVal.from_plane(np.minimum(x * y, m))
+            if op is Opcode.MIN:
+                return PVal.from_plane(np.minimum(x, y))
+            if op is Opcode.MAX:
+                return PVal.from_plane(np.maximum(x, y))
+            if op is Opcode.AND:
+                return PVal.from_plane(x & y)
+            if op is Opcode.OR:
+                return PVal.from_plane(x | y)
+            if op is Opcode.XOR:
+                return PVal.from_plane(x ^ y)
+            if op is Opcode.CMPEQ:
+                return PVal.from_plane((x == y).astype(np.int64))
+            if op is Opcode.CMPNE:
+                return PVal.from_plane((x != y).astype(np.int64))
+            if op is Opcode.CMPLT:
+                return PVal.from_plane((x < y).astype(np.int64))
+            if op is Opcode.CMPLE:
+                return PVal.from_plane((x <= y).astype(np.int64))
+            if op in (Opcode.DIV, Opcode.MOD) and (y != 0).all():
+                out = x // y if op is Opcode.DIV else x % y
+                return PVal.from_plane(out)
+        ai, bi = a.ivl, b.ivl
+        if op is Opcode.ADD:
+            return PVal.unknown(ai.sat_add(bi, m))
+        if op is Opcode.SUB:
+            return PVal.unknown(ai.sub_clamp(bi))
+        if op is Opcode.MUL:
+            return PVal.unknown(ai.mul_sat(bi, m))
+        if op is Opcode.MIN:
+            return PVal.unknown(
+                Interval.of(min(ai.lo, bi.lo), min(ai.hi, bi.hi))
+            )
+        if op is Opcode.MAX:
+            return PVal.unknown(
+                Interval.of(max(ai.lo, bi.lo), max(ai.hi, bi.hi))
+            )
+        if op is Opcode.AND:
+            return PVal.unknown(Interval.of(0, max(0, min(ai.hi, bi.hi))))
+        if op in (Opcode.OR, Opcode.XOR):
+            return PVal.unknown(Interval.of(0, m))
+        if op in (Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE):
+            return PVal.unknown(Interval.boolean())
+        if op is Opcode.DIV:
+            return PVal.unknown(Interval.of(0, max(0, ai.hi)))
+        if op is Opcode.MOD:
+            return PVal.unknown(Interval.of(0, max(0, bi.hi - 1)))
+        raise AssertionError(op)  # pragma: no cover
+
+    # -- bus geometry ------------------------------------------------------
+
+    def _bus_check(self, src: PVal, L: PVal, direction, instr) -> None:
+        plane = L.as_bool_plane()
+        if plane is None:
+            return  # data-dependent topology: dynamic checker's job
+        undriven, multi, _len = classify_plane(plane, direction)
+        axis_name = "column" if direction.axis == 0 else "row"
+        if undriven.size:
+            rings = ", ".join(str(int(r)) for r in undriven[:4])
+            more = "..." if undriven.size > 4 else ""
+            self._diag(
+                "isa-bus-undriven", Severity.ERROR,
+                f"bcast {direction} leaves {axis_name}(s) {rings}{more} "
+                "with no Open driver: the bus floats and every PE on the "
+                "ring reads an undefined value", instr,
+            )
+        if multi.size:
+            if src.plane is not None:
+                canon = (
+                    src.plane.T if direction.axis == 0 else src.plane
+                ).astype(np.int64)
+                open_canon = plane.T if direction.axis == 0 else plane
+                racy = [
+                    int(r) for r in multi
+                    if len(set(canon[r][open_canon[r]].tolist())) > 1
+                ]
+            else:
+                racy = [int(r) for r in multi]
+            if racy:
+                rings = ", ".join(str(r) for r in racy[:4])
+                more = "..." if len(racy) > 4 else ""
+                self._diag(
+                    "isa-bus-multi-driver", Severity.ERROR,
+                    f"bcast {direction} has multiple Open drivers on "
+                    f"{axis_name}(s) {rings}{more} whose values are not "
+                    "provably equal: the delivered word depends on switch "
+                    "topology (use wor for wired-OR reductions)", instr,
+                )
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        program = self.program
+        while not self.halted:
+            if self.pc < 0 or self.pc >= len(program):
+                last = program[-1] if program else None
+                self.report.add(
+                    "isa-pc-range", Severity.ERROR,
+                    f"program counter {self.pc} runs outside the program "
+                    "(missing halt on some path?)",
+                    line=last.line if last else 0,
+                    pc=self.pc,
+                )
+                return
+            if self.steps >= self.max_steps:
+                instr = program[self.pc]
+                self.report.add(
+                    "isa-step-budget", Severity.WARNING,
+                    f"analysis stopped after {self.max_steps} steps under "
+                    f"flag schedule {tuple(self.flag_schedule)!r} — the "
+                    "stream may not terminate",
+                    line=instr.line, pc=self.pc,
+                )
+                return
+            instr = program[self.pc]
+            self.pc_counts[self.pc] += 1
+            self.pc += 1
+            self.steps += 1
+            alive = self._step(instr)
+            self._flush_uninit(instr)
+            if not alive:
+                return
+        # balanced-mask check at halt
+        if self.mask_depth:
+            last = self.program[self.pc - 1]
+            self.report.add(
+                "isa-mask-leak", Severity.WARNING,
+                f"halt with {self.mask_depth} mask(s) still pushed "
+                "(missing popm)", line=last.line, pc=self.pc - 1,
+            )
+
+    def _step(self, instr: Instruction) -> bool:
+        op = instr.opcode
+        a = instr.operands
+        m = self.maxint
+        S = self.sregs
+
+        if op is Opcode.HALT:
+            self.halted = True
+        elif op is Opcode.LDI:
+            if not (0 <= a[1] <= m):
+                self._diag(
+                    "isa-width-imm", Severity.WARNING,
+                    f"ldi immediate {a[1]} outside the {self.config.word_bits}"
+                    f"-bit word [0, {m}]", instr,
+                )
+            self._write_preg(a[0], PVal.splat(a[1], self.shape))
+        elif op is Opcode.LDS:
+            v = self._read_sreg(a[1], instr)
+            if not (0 <= v <= m):
+                self._diag(
+                    "isa-width-imm", Severity.WARNING,
+                    f"lds moves scalar value {v} outside the "
+                    f"{self.config.word_bits}-bit word [0, {m}] into r{a[0]}",
+                    instr,
+                )
+            self._write_preg(a[0], PVal.splat(v, self.shape))
+        elif op is Opcode.MOV:
+            self._write_preg(a[0], self._read_preg(a[1], instr))
+        elif op is Opcode.ROW:
+            self._write_preg(a[0], self.row_plane)
+        elif op is Opcode.COL:
+            self._write_preg(a[0], self.col_plane)
+        elif op is Opcode.LD:
+            if not self.mem_written[a[1]]:
+                self._note_uninit(f"memory word {a[1]}")
+                self.mem_written[a[1]] = True
+            self._write_preg(a[0], self.mem[a[1]])
+        elif op is Opcode.ST:
+            value = self._read_preg(a[1], instr)
+            self.mem_written[a[0]] = True
+            if self.mask_depth:
+                old = self.mem[a[0]]
+                value = PVal(None, value.ivl.join(old.ivl), value.base)
+            self.mem[a[0]] = value
+        elif op in _ALU2 and op not in (
+            Opcode.NOT, Opcode.SHLI, Opcode.SHRI, Opcode.BITI, Opcode.BITS,
+        ):
+            ra = self._read_preg(a[1], instr)
+            rb = self._read_preg(a[2], instr)
+            if op in (Opcode.DIV, Opcode.MOD):
+                zero_sure = (
+                    rb.plane is not None and bool((rb.plane == 0).any())
+                ) or rb.ivl.is_const and rb.ivl.lo == 0
+                if zero_sure:
+                    self._diag(
+                        "isa-div-zero", Severity.ERROR,
+                        f"{op.value} divides by r{a[2]}, which is statically "
+                        "0 on at least one PE (the executor traps)", instr,
+                    )
+            self._write_preg(a[0], self._binary(ra, rb, op))
+        elif op is Opcode.NOT:
+            ra = self._read_preg(a[1], instr)
+            if ra.plane is not None:
+                self._write_preg(
+                    a[0],
+                    PVal.from_plane((ra.plane == 0).astype(np.int64)),
+                )
+            else:
+                out = Interval.boolean()
+                if ra.ivl.lo > 0:
+                    out = Interval.const(0)
+                elif ra.ivl.is_const and ra.ivl.lo == 0:
+                    out = Interval.const(1)
+                self._write_preg(a[0], PVal.unknown(out))
+        elif op is Opcode.SHLI:
+            ra = self._read_preg(a[1], instr)
+            raw = ra.ivl.shl_raw(Interval.const(a[2]))
+            if ra.plane is not None:
+                shifted = ra.plane.astype(np.int64) << min(a[2], 62)
+                if (shifted > m).all() and ra.plane.size:
+                    self._diag(
+                        "isa-width-shift", Severity.ERROR,
+                        f"shli by {a[2]} truncates on every PE: results "
+                        f"exceed MAXINT={m} before the word mask", instr,
+                    )
+                elif (shifted > m).any():
+                    self._diag(
+                        "isa-width-shift", Severity.WARNING,
+                        f"shli by {a[2]} truncates on some PEs "
+                        f"(results exceed MAXINT={m} before the word mask)",
+                        instr,
+                    )
+                self._write_preg(a[0], PVal.from_plane(shifted & m))
+            else:
+                if raw.lo > m:
+                    self._diag(
+                        "isa-width-shift", Severity.ERROR,
+                        f"shli by {a[2]} truncates on every PE: the operand "
+                        f"range {ra.ivl} makes every result exceed "
+                        f"MAXINT={m}", instr,
+                    )
+                self._write_preg(a[0], PVal.unknown(Interval.of(0, m)))
+        elif op is Opcode.SHRI:
+            ra = self._read_preg(a[1], instr)
+            if ra.plane is not None:
+                self._write_preg(
+                    a[0], PVal.from_plane(ra.plane.astype(np.int64) >> a[2])
+                )
+            else:
+                sh = min(max(a[2], 0), 62)
+                self._write_preg(
+                    a[0],
+                    PVal.unknown(
+                        Interval.of(max(ra.ivl.lo, 0) >> sh,
+                                    max(ra.ivl.hi, 0) >> sh)
+                    ),
+                )
+        elif op in (Opcode.BITI, Opcode.BITS):
+            ra = self._read_preg(a[1], instr)
+            j = a[2] if op is Opcode.BITI else self._read_sreg(a[2], instr)
+            h = self.config.word_bits
+            if not (0 <= j < h):
+                self._diag(
+                    "isa-width-bit-index", Severity.ERROR,
+                    f"{op.value} selects bit {j} outside the {h}-bit word "
+                    "(the executor raises WordWidthError)", instr,
+                )
+                self._write_preg(a[0], PVal.unknown(Interval.boolean()))
+            elif ra.plane is not None:
+                self._write_preg(
+                    a[0],
+                    PVal.from_plane(
+                        ((ra.plane.astype(np.int64) >> j) & 1)
+                    ),
+                )
+            else:
+                self._write_preg(a[0], PVal.unknown(Interval.boolean()))
+        elif op is Opcode.SHIFT:
+            ra = self._read_preg(a[1], instr)
+            if ra.plane is not None:
+                out = shift_values(
+                    ra.plane.astype(np.int64), a[2],
+                    torus=self.config.torus, fill=0,
+                )
+                self._write_preg(a[0], PVal.from_plane(out))
+            else:
+                lo = ra.ivl.lo if self.config.torus else min(ra.ivl.lo, 0)
+                self._write_preg(
+                    a[0], PVal.unknown(Interval.of(lo, ra.ivl.hi))
+                )
+        elif op is Opcode.BCAST:
+            src = self._read_preg(a[1], instr)
+            L = self._read_preg(a[3], instr)
+            self._bus_check(src, L, a[2], instr)
+            plane = L.as_bool_plane()
+            if src.plane is not None and plane is not None:
+                try:
+                    out = broadcast_values(
+                        src.plane.astype(np.int64), plane, a[2], strict=False
+                    )
+                    self._write_preg(a[0], PVal.from_plane(out))
+                except Exception:
+                    self._write_preg(
+                        a[0],
+                        PVal.unknown(Interval.of(min(src.ivl.lo, 0),
+                                                 src.ivl.hi)),
+                    )
+            else:
+                self._write_preg(
+                    a[0],
+                    PVal.unknown(
+                        Interval.of(min(src.ivl.lo, 0), src.ivl.hi)
+                    ),
+                )
+        elif op is Opcode.WOR:
+            self._read_preg(a[1], instr)
+            self._read_preg(a[3], instr)
+            # wired-OR combines every cluster member: multi-driver is the
+            # intended semantics, so no race geometry check applies
+            self._write_preg(a[0], PVal.unknown(Interval.boolean()))
+        elif op is Opcode.PUSHM:
+            self._read_preg(a[0], instr)
+            self.mask_depth += 1
+        elif op is Opcode.POPM:
+            if self.mask_depth == 0:
+                self._diag(
+                    "isa-mask-underflow", Severity.ERROR,
+                    "popm with empty mask stack (the executor raises "
+                    "MachineError)", instr,
+                )
+                return False
+            self.mask_depth -= 1
+        elif op is Opcode.GOR:
+            self._read_preg(a[0], instr)
+            if self.gors < len(self.flag_schedule):
+                self.flag = self.flag_schedule[self.gors]
+            else:
+                self.flag = False  # schedules exhaust into loop exit
+            self.gors += 1
+            self.flag_written = True
+        elif op is Opcode.SLDI:
+            S[a[0]] = a[1]
+            self.sreg_written[a[0]] = True
+        elif op is Opcode.SMOV:
+            S[a[0]] = self._read_sreg(a[1], instr)
+            self.sreg_written[a[0]] = True
+        elif op is Opcode.SADDI:
+            S[a[0]] = self._read_sreg(a[0], instr) + a[1]
+            self.sreg_written[a[0]] = True
+        elif op is Opcode.JMP:
+            self.pc = a[0]
+        elif op in (Opcode.JNZ, Opcode.JZ):
+            if not self.flag_written:
+                key = ("isa-flag-before-gor", op.value)
+                if key not in self._warned:
+                    self._warned.add(key)
+                    self._diag(
+                        "isa-flag-before-gor", Severity.WARNING,
+                        f"{op.value} tests the condition flag before any "
+                        "gor sets it (flag starts False)", instr,
+                    )
+            taken = self.flag if op is Opcode.JNZ else not self.flag
+            if taken:
+                self.pc = a[0]
+        elif op is Opcode.SJGE:
+            if self._read_sreg(a[0], instr) >= 0:
+                self.pc = a[1]
+        elif op in (Opcode.SBLT, Opcode.SBGE, Opcode.SBEQ, Opcode.SBNE):
+            v = self._read_sreg(a[0], instr)
+            taken = {
+                Opcode.SBLT: v < a[1],
+                Opcode.SBGE: v >= a[1],
+                Opcode.SBEQ: v == a[1],
+                Opcode.SBNE: v != a[1],
+            }[op]
+            if taken:
+                self.pc = a[2]
+        else:  # pragma: no cover - signature table is exhaustive
+            raise AssertionError(f"unhandled opcode {op}")
+        return True
+
+    def _read_sreg(self, idx: int, instr: Instruction) -> int:
+        if not self.sreg_written[idx]:
+            self._note_uninit(f"s{idx}")
+            self.sreg_written[idx] = True
+        return self.sregs[idx]
+
+
+def analyze_isa(
+    program: list[Instruction],
+    config: PPAConfig,
+    *,
+    inputs: dict[str, object] | None = None,
+    flag_schedule: tuple[bool, ...] = (),
+    mem_words: int = 8,
+    max_steps: int = _DEFAULT_MAX_STEPS,
+    report: Report | None = None,
+    source_name: str | None = None,
+) -> ISARun:
+    """Abstractly execute *program* under one ``gor`` flag schedule.
+
+    Returns the per-``pc`` execution counts, the predicted machine-counter
+    totals (static cost table x execution counts), and the diagnostics
+    gathered along the concrete controller path.
+    """
+    rep = report if report is not None else Report(source=source_name)
+    # size memory to the stream's furthest ld/st address (compiled PPC
+    # programs spill locals well past the executor's 8-word default)
+    referenced = [
+        instr.operands[1] if instr.opcode is Opcode.LD else instr.operands[0]
+        for instr in program
+        if instr.opcode in (Opcode.LD, Opcode.ST)
+    ]
+    if referenced:
+        mem_words = max(mem_words, max(referenced) + 1)
+    ex = _AbstractExecutor(
+        program, config, rep,
+        inputs=inputs, flag_schedule=flag_schedule,
+        mem_words=mem_words, max_steps=max_steps,
+    )
+    ex.run()
+    counters = dict.fromkeys(COUNTER_FIELDS, 0)
+    for pc, count in enumerate(ex.pc_counts):
+        if not count:
+            continue
+        cost = instruction_cost(program[pc].opcode, config)
+        for k, v in cost.items():
+            if v:
+                counters[k] += int(count) * v
+    return ISARun(
+        report=rep,
+        pc_counts=ex.pc_counts,
+        counters=counters,
+        halted=ex.halted,
+        gors=ex.gors,
+        steps=ex.steps,
+        flag_schedule=tuple(flag_schedule),
+    )
+
+
+def verify_isa(
+    program: list[Instruction],
+    config: PPAConfig,
+    *,
+    inputs: dict[str, object] | None = None,
+    schedules: list[tuple[bool, ...]] | None = None,
+    mem_words: int = 8,
+    max_steps: int = _DEFAULT_MAX_STEPS,
+    source_name: str | None = None,
+    report: Report | None = None,
+) -> Report:
+    """Verify an assembled stream across several ``gor`` flag schedules.
+
+    The default schedules cover the loop-exit path (``(False,)``) and two
+    loop-taken rounds (``(True, True, False)``), which reaches every
+    instruction of single-do-while programs like the assembly MCP.
+    Diagnostics are deduplicated across schedules by (rule, pc).
+    """
+    rep = report if report is not None else Report(source=source_name)
+    if schedules is None:
+        schedules = [(False,), (True, True, False)]
+    for schedule in schedules:
+        analyze_isa(
+            program, config,
+            inputs=inputs, flag_schedule=schedule,
+            mem_words=mem_words, max_steps=max_steps, report=rep,
+        )
+    return rep

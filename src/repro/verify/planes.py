@@ -1,0 +1,282 @@
+"""Abstract value domains shared by the PPC and ISA verifier passes.
+
+Two abstractions cooperate (see docs/static-analysis.md):
+
+* :class:`Interval` — a classic integer range ``[lo, hi]`` with the
+  machine's *word semantics* baked in: saturating ``+``/``*`` (``MAXINT``
+  absorbs, the paper's infinity sentinel), clamped ``-`` and masked
+  ``<<``. Sentinel bounds ``±2**62`` stand for "unbounded".
+
+* concrete **switch planes** — masks built from ``ROW``/``COL``/constants
+  (the paper's ``ROW == d`` style predicates) are evaluated *concretely*
+  on a sample grid, so the bus-race detector can count the exact writer
+  set per ring. Anything data-dependent degrades to an interval and the
+  plane becomes statically "unknown" — conservatively silent, deferred to
+  the dynamic ``check_bus_conflicts`` machine mode.
+
+:func:`ring_driver_counts` is the single place the writer-set geometry
+lives: for a bus transaction along ``direction`` the rings are the grid
+lines *parallel to the data movement* (columns for NORTH/SOUTH, rows for
+EAST/WEST), so the per-ring Open count is ``plane.sum(axis=direction.axis)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ppa.directions import Direction
+
+__all__ = [
+    "UNBOUNDED",
+    "Interval",
+    "PVal",
+    "SVal",
+    "ring_driver_counts",
+    "classify_plane",
+]
+
+#: magnitude standing in for "unbounded" — far above any 62-bit word.
+UNBOUNDED = 1 << 62
+
+
+def _clamp(v: int) -> int:
+    return max(-UNBOUNDED, min(UNBOUNDED, v))
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Inclusive integer range with word-semantics arithmetic."""
+
+    lo: int
+    hi: int
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(v: int) -> "Interval":
+        v = int(v)
+        return Interval(_clamp(v), _clamp(v))
+
+    @staticmethod
+    def of(lo: int, hi: int) -> "Interval":
+        return Interval(_clamp(int(lo)), _clamp(int(hi)))
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(-UNBOUNDED, UNBOUNDED)
+
+    @staticmethod
+    def word(maxint: int) -> "Interval":
+        """Any well-formed machine word: ``[0, MAXINT]``."""
+        return Interval(0, int(maxint))
+
+    @staticmethod
+    def boolean() -> "Interval":
+        return Interval(0, 1)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    def fits_word(self, maxint: int) -> bool:
+        return self.lo >= 0 and self.hi <= maxint
+
+    def surely_overflows(self, maxint: int) -> bool:
+        """Every value in the range is outside ``[0, MAXINT]``."""
+        return self.hi < 0 or self.lo > maxint
+
+    def may_overflow(self, maxint: int) -> bool:
+        return not self.fits_word(maxint)
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    # -- plain (controller) arithmetic -------------------------------------
+
+    def add(self, o: "Interval") -> "Interval":
+        return Interval.of(self.lo + o.lo, self.hi + o.hi)
+
+    def sub(self, o: "Interval") -> "Interval":
+        return Interval.of(self.lo - o.hi, self.hi - o.lo)
+
+    def neg(self) -> "Interval":
+        return Interval.of(-self.hi, -self.lo)
+
+    def mul(self, o: "Interval") -> "Interval":
+        corners = [
+            self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi,
+        ]
+        return Interval.of(min(corners), max(corners))
+
+    # -- word (parallel) arithmetic ----------------------------------------
+
+    def sat_add(self, o: "Interval", maxint: int) -> "Interval":
+        """Saturating word add: ``min(a + b, MAXINT)`` — never overflows,
+        by the machine definition (MAXINT is the absorbing infinity)."""
+        return Interval.of(
+            min(self.lo + o.lo, maxint), min(self.hi + o.hi, maxint)
+        )
+
+    def sub_clamp(self, o: "Interval") -> "Interval":
+        """Word subtraction clamping at 0."""
+        return Interval.of(max(self.lo - o.hi, 0), max(self.hi - o.lo, 0))
+
+    def mul_sat(self, o: "Interval", maxint: int) -> "Interval":
+        raw = self.mul(o)
+        return Interval.of(min(raw.lo, maxint), min(raw.hi, maxint))
+
+    def shl_raw(self, o: "Interval") -> "Interval":
+        """Pre-mask ``<<`` result (used to decide truncation); shift
+        amounts are clamped into ``[0, 64]`` to keep the math finite."""
+        slo = max(0, min(64, o.lo))
+        shi = max(0, min(64, o.hi))
+        corners = [
+            self.lo << slo, self.lo << shi, self.hi << slo, self.hi << shi,
+        ]
+        return Interval.of(min(corners), max(corners))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_const:
+            return str(self.lo)
+        lo = "-inf" if self.lo <= -UNBOUNDED else str(self.lo)
+        hi = "+inf" if self.hi >= UNBOUNDED else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+class SVal:
+    """Abstract scalar (controller) value.
+
+    ``value`` holds the concrete Python value when statically known (int,
+    bool or :class:`Direction`); otherwise ``None`` with ``ivl`` bounding
+    the numeric range.
+    """
+
+    __slots__ = ("value", "ivl")
+
+    def __init__(self, value=None, ivl: Interval | None = None):
+        self.value = value
+        if value is not None and not isinstance(value, Direction):
+            ivl = Interval.const(int(value))
+        self.ivl = ivl if ivl is not None else Interval.top()
+
+    @property
+    def known(self) -> bool:
+        return self.value is not None
+
+    @staticmethod
+    def unknown(ivl: Interval | None = None) -> "SVal":
+        return SVal(None, ivl)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SVal({self.value if self.known else self.ivl})"
+
+
+class PVal:
+    """Abstract parallel value: an optional concrete plane + a range.
+
+    ``plane`` is a full concrete grid (int64 or bool) when every PE's
+    value is statically known — the case for ``ROW``/``COL``/constant
+    derived masks; ``None`` otherwise. ``ivl`` always bounds the per-PE
+    values. ``base`` tracks the int/logical distinction for bus-width
+    purposes.
+    """
+
+    __slots__ = ("plane", "ivl", "base")
+
+    def __init__(
+        self,
+        plane: np.ndarray | None,
+        ivl: Interval,
+        base: str = "int",
+    ):
+        self.plane = plane
+        self.ivl = ivl
+        self.base = base
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_plane(arr: np.ndarray, base: str | None = None) -> "PVal":
+        arr = np.asarray(arr)
+        if base is None:
+            base = "logical" if arr.dtype == np.bool_ else "int"
+        if arr.size:
+            ivl = Interval.of(int(arr.min()), int(arr.max()))
+        else:  # pragma: no cover - degenerate grid
+            ivl = Interval.const(0)
+        return PVal(arr, ivl, base)
+
+    @staticmethod
+    def splat(value: int, shape: tuple[int, int], base: str = "int") -> "PVal":
+        dtype = bool if base == "logical" else np.int64
+        return PVal.from_plane(np.full(shape, value, dtype=dtype), base)
+
+    @staticmethod
+    def unknown_int(maxint: int) -> "PVal":
+        return PVal(None, Interval.word(maxint), "int")
+
+    @staticmethod
+    def unknown_bool() -> "PVal":
+        return PVal(None, Interval.boolean(), "logical")
+
+    @staticmethod
+    def unknown(ivl: Interval, base: str = "int") -> "PVal":
+        return PVal(None, ivl, base)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def known(self) -> bool:
+        return self.plane is not None
+
+    def as_bool_plane(self) -> np.ndarray | None:
+        if self.plane is None:
+            return None
+        return self.plane.astype(bool)
+
+    def join(self, other: "PVal") -> "PVal":
+        base = self.base if self.base == other.base else "int"
+        if (
+            self.plane is not None
+            and other.plane is not None
+            and self.plane.dtype == other.plane.dtype
+            and np.array_equal(self.plane, other.plane)
+        ):
+            return PVal(self.plane, self.ivl.join(other.ivl), base)
+        return PVal(None, self.ivl.join(other.ivl), base)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "known" if self.known else "unknown"
+        return f"PVal({kind} {self.base} {self.ivl})"
+
+
+def ring_driver_counts(plane: np.ndarray, direction: Direction) -> np.ndarray:
+    """Open-driver count per ring for a transaction along *direction*.
+
+    Rings are columns for NORTH/SOUTH (data moves along axis 0) and rows
+    for EAST/WEST; the returned vector is indexed by ring id (column index
+    resp. row index).
+    """
+    return np.asarray(plane, dtype=bool).sum(axis=direction.axis)
+
+
+def classify_plane(
+    plane: np.ndarray, direction: Direction
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Return ``(undriven_rings, multi_driver_rings, ring_len)``.
+
+    ``multi_driver_rings`` excludes fully-Open rings — with every switch
+    Open each PE heads its own single-member cluster, the identity
+    configuration, which cannot race.
+    """
+    counts = ring_driver_counts(plane, direction)
+    ring_len = np.asarray(plane).shape[direction.axis]
+    undriven = np.flatnonzero(counts == 0)
+    multi = np.flatnonzero((counts >= 2) & (counts < ring_len))
+    return undriven, multi, ring_len

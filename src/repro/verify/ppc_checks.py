@@ -1,0 +1,1182 @@
+"""Static analysis of PPC programs by abstract interpretation.
+
+Runs *after* :func:`repro.ppc.lang.analyzer.analyze` (so names resolve and
+kinds are consistent) and walks the AST with abstract values
+(:class:`~repro.verify.planes.PVal`/:class:`~repro.verify.planes.SVal`)
+on a small sample grid. Scalar ``int`` globals — the controller inputs,
+like the MCP's destination ``d`` — are sampled over a handful of concrete
+values so index predicates (``ROW == d``) stay concrete planes.
+
+Three analysis families (rule identifiers in parentheses; full catalogue
+in docs/static-analysis.md):
+
+* **bus races** — for every ``broadcast`` whose switch plane and
+  direction are statically known, count the Open drivers per ring:
+  a ring with none is undriven (``ppc-bus-undriven``, error), a ring with
+  two or more (but not all — the identity configuration) drivers whose
+  injected values are not provably equal is a write race
+  (``ppc-bus-multi-driver``, error). Data-dependent planes are
+  conservatively "unknown": silent here, deferred to the dynamic
+  ``PPAMachine(check_bus_conflicts=True)`` detector.
+
+* **mask dataflow** — use-before-def of variables through
+  ``where``/``elsewhere`` joins (``ppc-use-before-def``, error; a store
+  under mask ``M`` only defines the variable for reads under masks at
+  least as strict as ``M``, and matching ``where``/``elsewhere`` arms
+  promote to a full definition), straight-line dead writes
+  (``ppc-dead-write``, warning) and ``where`` arms that can never
+  execute (``ppc-unreachable-elsewhere`` / ``ppc-unreachable-where``,
+  warnings — only when the condition is constant on *every* analysis
+  context).
+
+* **width/overflow** — intervals are propagated through the machine's
+  word semantics. Saturating ``+``/``*`` cannot overflow by definition
+  (``MAXINT`` absorbs — the paper's infinity); what *is* flagged is a
+  scalar value outside ``[0, MAXINT]`` crossing into the parallel domain
+  (``ppc-width-store``, error when guaranteed, warning when possible),
+  a parallel ``<<`` that drops high bits (``ppc-width-shift``), and a
+  ``bit()`` index outside the word (``ppc-width-bit-index``).
+
+Loops with statically known scalar trip counts (the ``min()`` listing's
+``for (j = h - 1; j >= 0; ...)``) are unrolled concretely; data-dependent
+loops get two abstract passes after which loop-carried state is widened.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PPCError, PPCSyntaxError, PPCTypeError
+from repro.ppa.directions import Direction, opposite
+from repro.ppa.segments import broadcast_values, shift_values
+from repro.ppc.lang import ast_nodes as ast
+from repro.ppc.lang.analyzer import analyze
+from repro.ppc.lang.builtins import BUILTINS
+from repro.ppc.lang.parser import parse
+from repro.verify.diagnostics import Report, Severity
+from repro.verify.planes import Interval, PVal, SVal, classify_plane
+
+__all__ = ["verify_ppc", "verify_ppc_source"]
+
+#: concrete-unroll budget per loop before degrading to abstract passes
+_UNROLL_CAP = 256
+#: inline depth guard
+_MAX_INLINE_DEPTH = 16
+
+_DIRECTIONS = {
+    "NORTH": Direction.NORTH,
+    "EAST": Direction.EAST,
+    "SOUTH": Direction.SOUTH,
+    "WEST": Direction.WEST,
+}
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _Cell:
+    """Abstract variable: value + mask-aware definedness + write tracking."""
+
+    __slots__ = ("parallel", "base", "value", "defs", "pending", "is_global")
+
+    def __init__(self, parallel, base, value, *, defined, is_global=False):
+        self.parallel = parallel
+        self.base = base
+        self.value = value
+        #: set of chains (frozensets of (node-id, polarity)) under which a
+        #: store happened; ``frozenset()`` present means fully defined.
+        self.defs: set[frozenset] = {frozenset()} if defined else set()
+        #: (line, chain) of the last store not yet observed by a read
+        self.pending: tuple[int, frozenset] | None = None
+        self.is_global = is_global
+
+    @property
+    def defined_everywhere(self) -> bool:
+        return frozenset() in self.defs
+
+    def covers(self, chain: frozenset) -> bool:
+        """Is the variable defined for a read under *chain*? True when
+        some recorded store chain is a subset (i.e. its mask is at least
+        as wide as the read context)."""
+        return any(s <= chain for s in self.defs)
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.cells: dict[str, _Cell] = {}
+
+    def lookup(self, name: str) -> _Cell | None:
+        scope = self
+        while scope is not None:
+            if name in scope.cells:
+                return scope.cells[name]
+            scope = scope.parent
+        return None
+
+    def all_cells(self):
+        scope = self
+        while scope is not None:
+            yield from scope.cells.items()
+            scope = scope.parent
+
+
+class _ArmState:
+    """Cross-context reachability facts for one ``where`` statement."""
+
+    __slots__ = ("line", "has_else", "always_true", "always_false")
+
+    def __init__(self, line, has_else):
+        self.line = line
+        self.has_else = has_else
+        self.always_true = True
+        self.always_false = True
+
+
+class _AbstractInterpreter:
+    def __init__(
+        self,
+        program: ast.Program,
+        report: Report,
+        *,
+        n: int,
+        word_bits: int,
+        scalars: dict[str, int],
+        arm_states: dict[int, _ArmState],
+    ):
+        self.program = program
+        self.functions = {f.name: f for f in program.functions}
+        self.report = report
+        self.n = n
+        self.h = word_bits
+        self.maxint = (1 << word_bits) - 1
+        self.shape = (n, n)
+        self.arm_states = arm_states
+        row = np.repeat(np.arange(n, dtype=np.int64)[:, None], n, axis=1)
+        self.constants: dict[str, object] = {
+            "NORTH": SVal(Direction.NORTH),
+            "EAST": SVal(Direction.EAST),
+            "SOUTH": SVal(Direction.SOUTH),
+            "WEST": SVal(Direction.WEST),
+            "ROW": PVal.from_plane(row, "int"),
+            "COL": PVal.from_plane(row.T.copy(), "int"),
+            "N": SVal(n),
+            "h": SVal(word_bits),
+            "MAXINT": SVal(self.maxint),
+        }
+        self.globals = _Scope()
+        for decl in program.globals:
+            for d in decl.declarators:
+                self.globals.cells[d.name] = self._global_cell(
+                    decl, d, scalars
+                )
+        #: (node, polarity, concrete-mask-or-None) active ``where`` stack
+        self.mask_stack: list[tuple[int, str, np.ndarray | None]] = []
+        #: widening frames for abstract loops / unknown branches
+        self.store_frames: list[dict[int, tuple[_Cell, object, set]]] = []
+        self.fn_stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _global_cell(self, decl, declarator, scalars) -> _Cell:
+        base = decl.type.base
+        if decl.type.parallel:
+            value = (
+                PVal.unknown_bool()
+                if base == "logical"
+                else PVal.unknown_int(self.maxint)
+            )
+            return _Cell(True, base, value, defined=True, is_global=True)
+        if base == "int" and declarator.name in scalars:
+            value = SVal(scalars[declarator.name])
+        elif base == "logical":
+            value = SVal.unknown(Interval.boolean())
+        else:
+            value = SVal.unknown(Interval.word(self.maxint))
+        return _Cell(False, base, value, defined=True, is_global=True)
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run_entry(self, fn: ast.FunctionDef) -> None:
+        scope = _Scope(self.globals)
+        for p in fn.params:
+            scope.cells[p.name] = self._param_cell(p)
+        self.fn_stack.append(fn.name)
+        try:
+            self._exec(fn.body, scope, fn)
+        except _ReturnSignal:
+            pass
+        finally:
+            self.fn_stack.pop()
+        self._sweep_scope(scope, fn)
+
+    def _param_cell(self, p: ast.Param) -> _Cell:
+        if p.type.parallel:
+            value = (
+                PVal.unknown_bool()
+                if p.type.base == "logical"
+                else PVal.unknown_int(self.maxint)
+            )
+            return _Cell(True, p.type.base, value, defined=True)
+        ivl = (
+            Interval.boolean()
+            if p.type.base == "logical"
+            else Interval.word(self.maxint)
+        )
+        return _Cell(False, p.type.base, SVal.unknown(ivl), defined=True)
+
+    # ------------------------------------------------------------------
+    # diagnostics helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def _fn(self) -> str | None:
+        return self.fn_stack[-1] if self.fn_stack else None
+
+    def _error(self, rule, message, line):
+        self.report.add(
+            rule, Severity.ERROR, message, line=line, function=self._fn
+        )
+
+    def _warn(self, rule, message, line):
+        self.report.add(
+            rule, Severity.WARNING, message, line=line, function=self._fn
+        )
+
+    # ------------------------------------------------------------------
+    # mask / chain machinery
+    # ------------------------------------------------------------------
+
+    def _chain(self) -> frozenset:
+        return frozenset((nid, pol) for nid, pol, _ in self.mask_stack)
+
+    def _concrete_mask(self) -> np.ndarray | None:
+        """AND of the active masks, or None when any level is unknown.
+        Returns None for an empty stack too (callers treat an empty stack
+        as the trivial all-True mask)."""
+        if not self.mask_stack:
+            return None
+        acc = None
+        for _nid, _pol, mask in self.mask_stack:
+            if mask is None:
+                return None
+            acc = mask if acc is None else (acc & mask)
+        return acc
+
+    def _clear_pending(self, scope: _Scope) -> None:
+        for _name, cell in scope.all_cells():
+            cell.pending = None
+
+    def _sweep_scope(self, scope: _Scope, fn) -> None:
+        """End of a lexical scope: locals with unobserved writes are dead."""
+        for name, cell in scope.cells.items():
+            if cell.is_global or cell.pending is None:
+                continue
+            line, _chain = cell.pending
+            self._warn(
+                "ppc-dead-write",
+                f"value stored to {name!r} is never read",
+                line,
+            )
+            cell.pending = None
+
+    # -- widening frames ---------------------------------------------------
+
+    def _push_frame(self) -> None:
+        self.store_frames.append({})
+
+    def _log_store(self, cell: _Cell) -> None:
+        for frame in self.store_frames:
+            if id(cell) not in frame:
+                frame[id(cell)] = (cell, cell.value, set(cell.defs))
+
+    def _pop_frame_widen(self, *, keep_defs: bool) -> None:
+        """Close a widening frame: every cell stored inside gets its value
+        joined with (and degraded towards) its pre-frame state, since the
+        enclosed region may have run zero or many times."""
+        frame = self.store_frames.pop()
+        for cell, pre_value, pre_defs in frame.values():
+            if cell.parallel:
+                pre: PVal = pre_value
+                post: PVal = cell.value
+                cell.value = pre.join(post)
+            else:
+                pre_s: SVal = pre_value
+                post_s: SVal = cell.value
+                if not (
+                    pre_s.known
+                    and post_s.known
+                    and pre_s.value == post_s.value
+                ):
+                    cell.value = SVal.unknown(pre_s.ivl.join(post_s.ivl))
+            if not keep_defs:
+                cell.defs = pre_defs
+            cell.pending = None
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _exec(self, stmt, scope: _Scope, fn) -> None:
+        if isinstance(stmt, ast.Block):
+            inner = _Scope(scope)
+            for s in stmt.statements:
+                self._exec(s, inner, fn)
+            self._sweep_scope(inner, fn)
+        elif isinstance(stmt, ast.VarDecl):
+            self._exec_decl(stmt, scope)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, scope)
+        elif isinstance(stmt, ast.ExprStatement):
+            self._eval(stmt.expr, scope)
+        elif isinstance(stmt, ast.Where):
+            self._exec_where(stmt, scope, fn)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, scope, fn)
+        elif isinstance(stmt, (ast.DoWhile, ast.While, ast.For)):
+            self._exec_loop(stmt, scope, fn)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.Return):
+            value = (
+                None if stmt.value is None else self._eval(stmt.value, scope)
+            )
+            raise _ReturnSignal(value)
+        else:  # pragma: no cover - analyzer rejects other nodes
+            raise PPCTypeError(f"unknown statement node {stmt!r}")
+
+    def _exec_decl(self, decl: ast.VarDecl, scope: _Scope) -> None:
+        for d in decl.declarators:
+            explicit = d.init is not None
+            init = (
+                self._eval(d.init, scope) if explicit else SVal(0)
+            )
+            if decl.type.parallel:
+                value = self._coerce_parallel(
+                    init, decl.line, base=decl.type.base,
+                    check_width=explicit,
+                )
+                cell = _Cell(True, decl.type.base, value, defined=explicit)
+            else:
+                if isinstance(init, PVal):  # pragma: no cover - analyzer
+                    init = SVal.unknown(init.ivl)
+                cell = _Cell(
+                    False, decl.type.base, init, defined=explicit
+                )
+            scope.cells[d.name] = cell
+
+    def _exec_assign(self, stmt: ast.Assign, scope: _Scope) -> None:
+        cell = scope.lookup(stmt.target)
+        if cell is None:  # pragma: no cover - analyzer rejects
+            return
+        value = self._eval(stmt.value, scope)
+        if stmt.op != "=":
+            current = self._read(cell, stmt.target, stmt.line)
+            value = self._binary_values(
+                stmt.op[:-1], current, value, stmt.line
+            )
+        self._store(cell, stmt.target, value, stmt.line)
+
+    def _exec_where(self, stmt: ast.Where, scope: _Scope, fn) -> None:
+        cond = self._eval(stmt.condition, scope)
+        cond = self._coerce_parallel(
+            cond, stmt.line, base="logical", check_width=False
+        )
+        mask = cond.as_bool_plane()
+        state = self.arm_states.get(id(stmt))
+        if state is None:
+            state = _ArmState(stmt.line, stmt.otherwise is not None)
+            self.arm_states[id(stmt)] = state
+        if mask is None:
+            state.always_true = False
+            state.always_false = False
+        else:
+            if not bool(mask.all()):
+                state.always_true = False
+            if bool(mask.any()):
+                state.always_false = False
+        nid = id(stmt)
+        self.mask_stack.append((nid, "+", mask))
+        try:
+            self._exec(stmt.then, _Scope(scope), fn)
+        finally:
+            self.mask_stack.pop()
+        if stmt.otherwise is not None:
+            self.mask_stack.append(
+                (nid, "-", None if mask is None else ~mask)
+            )
+            try:
+                self._exec(stmt.otherwise, _Scope(scope), fn)
+            finally:
+                self.mask_stack.pop()
+        self._promote_arm_defs(nid, scope)
+
+    def _promote_arm_defs(self, nid: int, scope: _Scope) -> None:
+        """A variable stored in both the ``where`` and the matching
+        ``elsewhere`` arm (under otherwise-identical chains) is defined on
+        the union — drop the pair down to the common chain."""
+        for _name, cell in scope.all_cells():
+            promoted = set()
+            for chain in cell.defs:
+                if (nid, "+") in chain:
+                    twin = (chain - {(nid, "+")}) | {(nid, "-")}
+                    if twin in cell.defs:
+                        promoted.add(chain - {(nid, "+")})
+            if promoted:
+                cell.defs |= promoted
+                if frozenset() in cell.defs:
+                    cell.defs = {frozenset()}
+
+    def _exec_if(self, stmt: ast.If, scope: _Scope, fn) -> None:
+        cond = self._eval(stmt.condition, scope)
+        if isinstance(cond, SVal) and cond.known:
+            if bool(cond.value):
+                self._exec(stmt.then, _Scope(scope), fn)
+            elif stmt.otherwise is not None:
+                self._exec(stmt.otherwise, _Scope(scope), fn)
+            return
+        # Unknown controller condition: walk both arms, then widen away
+        # anything either arm stored.
+        self._push_frame()
+        try:
+            for arm in (stmt.then, stmt.otherwise):
+                if arm is None:
+                    continue
+                self._clear_pending(scope)
+                try:
+                    self._exec(arm, _Scope(scope), fn)
+                except (_BreakSignal, _ContinueSignal):
+                    raise
+                except _ReturnSignal:
+                    pass
+        finally:
+            self._pop_frame_widen(keep_defs=False)
+
+    # -- loops -------------------------------------------------------------
+
+    def _exec_loop(self, stmt, scope: _Scope, fn) -> None:
+        if isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._exec(stmt.init, inner, fn)
+            cond_fn = (
+                (lambda: SVal(True))
+                if stmt.condition is None
+                else (lambda: self._eval(stmt.condition, inner))
+            )
+            step = stmt.step
+            body = stmt.body
+            pre_test = True
+            run_scope = inner
+        elif isinstance(stmt, ast.While):
+            run_scope = scope
+            cond_fn = lambda: self._eval(stmt.condition, scope)  # noqa: E731
+            step, body, pre_test = None, stmt.body, True
+        else:  # DoWhile
+            run_scope = scope
+            cond_fn = lambda: self._eval(stmt.condition, scope)  # noqa: E731
+            step, body, pre_test = None, stmt.body, False
+
+        def run_body() -> bool:
+            """One pass; returns False when the loop broke."""
+            self._clear_pending(run_scope)
+            try:
+                self._exec(body, _Scope(run_scope), fn)
+            except _BreakSignal:
+                return False
+            except _ContinueSignal:
+                pass
+            if step is not None:
+                self._exec(step, run_scope, fn)
+            return True
+
+        iters = 0
+        while True:
+            if pre_test or iters > 0:
+                cond = cond_fn()
+                if not (isinstance(cond, SVal) and cond.known):
+                    break  # data-dependent: go abstract
+                if not bool(cond.value):
+                    if not pre_test and iters == 0:
+                        # do-while with a constant-false condition still
+                        # runs once
+                        run_body()
+                    return
+            if iters >= _UNROLL_CAP:
+                break
+            if not run_body():
+                return
+            iters += 1
+
+        # Abstract fixpointing: two passes, then widen loop-carried state.
+        self._push_frame()
+        try:
+            for _ in range(2):
+                if not run_body():
+                    break
+                cond_fn()
+        finally:
+            self._pop_frame_widen(keep_defs=not pre_test and iters == 0)
+
+    # ------------------------------------------------------------------
+    # reads / writes
+    # ------------------------------------------------------------------
+
+    def _read(self, cell: _Cell, name: str, line: int):
+        cell.pending = None
+        if not cell.covers(self._chain()):
+            if not cell.defs:
+                self._error(
+                    "ppc-use-before-def",
+                    f"{name!r} is read before any assignment (the "
+                    "implicit zero initialisation is a simulator "
+                    "convenience, not part of the machine model)",
+                    line,
+                )
+            else:
+                self._error(
+                    "ppc-use-before-def",
+                    f"{name!r} may be read where it was never assigned: "
+                    "its stores are guarded by 'where' masks that do not "
+                    "cover this context",
+                    line,
+                )
+            # report once, then consider it defined to avoid cascades
+            cell.defs.add(frozenset())
+        return cell.value
+
+    def _store(self, cell: _Cell, name: str, value, line: int) -> None:
+        self._log_store(cell)
+        chain = self._chain()
+        if cell.parallel:
+            new = self._coerce_parallel(
+                value, line, base=cell.base, check_width=True
+            )
+            old: PVal = cell.value
+            mask = self._concrete_mask()
+            if not self.mask_stack:
+                cell.value = new
+            elif (
+                mask is not None
+                and old.plane is not None
+                and new.plane is not None
+                and old.plane.dtype == new.plane.dtype
+            ):
+                cell.value = PVal.from_plane(
+                    np.where(mask, new.plane, old.plane), cell.base
+                )
+            else:
+                joined = new if not cell.defs else old.join(new)
+                cell.value = PVal(None, joined.ivl, cell.base)
+        else:
+            if isinstance(value, PVal):  # pragma: no cover - analyzer
+                value = SVal.unknown(value.ivl)
+            cell.value = value
+            chain = frozenset()  # scalars ignore where masks entirely
+        # definedness
+        cell.defs.add(chain)
+        if frozenset() in cell.defs:
+            cell.defs = {frozenset()}
+        # straight-line dead-write detection
+        if cell.pending is not None:
+            old_line, old_chain = cell.pending
+            if chain <= old_chain:
+                self._warn(
+                    "ppc-dead-write",
+                    f"store to {name!r} is overwritten before any read",
+                    old_line,
+                )
+        cell.pending = (line, chain)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr, scope: _Scope):
+        if isinstance(expr, ast.IntLiteral):
+            return SVal(expr.value)
+        if isinstance(expr, ast.Identifier):
+            if expr.name in self.constants:
+                return self.constants[expr.name]
+            cell = scope.lookup(expr.name)
+            if cell is None:  # pragma: no cover - analyzer rejects
+                return SVal.unknown()
+            return self._read(cell, expr.name, expr.line)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            left = self._eval(expr.left, scope)
+            # mimic the interpreter's scalar short-circuit
+            if (
+                expr.op in ("&&", "||")
+                and isinstance(left, SVal)
+                and left.known
+                and not isinstance(left.value, Direction)
+            ):
+                lb = bool(left.value)
+                if expr.op == "&&" and not lb:
+                    return SVal(False)
+                if expr.op == "||" and lb:
+                    return SVal(True)
+                right = self._eval(expr.right, scope)
+                if isinstance(right, PVal):
+                    return self._parallel_logic(expr.op, right, right)
+                return right if not right.known else SVal(bool(right.value))
+            right = self._eval(expr.right, scope)
+            return self._binary_values(expr.op, left, right, expr.line)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, scope)
+        raise PPCTypeError(f"unknown expression node {expr!r}")
+
+    def _unary(self, expr: ast.Unary, scope: _Scope):
+        v = self._eval(expr.operand, scope)
+        if isinstance(v, PVal):
+            if expr.op == "!":
+                plane = v.as_bool_plane()
+                return PVal.from_plane(~plane, "logical") if plane is not None \
+                    else PVal.unknown_bool()
+            if expr.op == "~":
+                if v.plane is not None and v.plane.dtype != np.bool_:
+                    return PVal.from_plane(
+                        (~v.plane) & self.maxint, "int"
+                    )
+                return PVal.unknown(Interval.word(self.maxint), "int")
+            if expr.op == "-":
+                if v.plane is not None and v.plane.dtype != np.bool_:
+                    return PVal.from_plane(-v.plane, "int")
+                return PVal.unknown(v.ivl.neg(), "int")
+            return PVal.unknown(Interval.top(), "int")
+        s: SVal = v
+        if expr.op == "!":
+            if s.known and not isinstance(s.value, Direction):
+                return SVal(not bool(s.value))
+            return SVal.unknown(Interval.boolean())
+        if expr.op == "~":
+            if s.known and not isinstance(s.value, Direction):
+                return SVal(~int(s.value) & self.maxint)
+            return SVal.unknown(Interval.word(self.maxint))
+        if expr.op == "-":
+            if s.known and not isinstance(s.value, Direction):
+                return SVal(-int(s.value))
+            return SVal.unknown(s.ivl.neg())
+        return SVal.unknown()
+
+    # -- binary dispatch ---------------------------------------------------
+
+    def _binary_values(self, op, left, right, line):
+        if isinstance(left, PVal) or isinstance(right, PVal):
+            check = op not in (
+                "==", "!=", "<", "<=", ">", ">=", "&&", "||"
+            )
+            lp = self._coerce_parallel(left, line, check_width=check)
+            rp = self._coerce_parallel(right, line, check_width=check)
+            return self._parallel_binary(op, lp, rp, line)
+        return self._scalar_binary(op, left, right)
+
+    def _parallel_logic(self, op, lp: PVal, rp: PVal) -> PVal:
+        lb, rb = lp.as_bool_plane(), rp.as_bool_plane()
+        if lb is not None and rb is not None:
+            return PVal.from_plane(
+                (lb & rb) if op == "&&" else (lb | rb), "logical"
+            )
+        return PVal.unknown_bool()
+
+    _NP_CMP = {
+        "==": np.equal, "!=": np.not_equal, "<": np.less,
+        "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal,
+    }
+
+    def _parallel_binary(self, op, lp: PVal, rp: PVal, line) -> PVal:
+        maxint = self.maxint
+        if op in ("&&", "||"):
+            return self._parallel_logic(op, lp, rp)
+        if op in self._NP_CMP:
+            if lp.plane is not None and rp.plane is not None:
+                li = lp.plane.astype(np.int64)
+                ri = rp.plane.astype(np.int64)
+                return PVal.from_plane(self._NP_CMP[op](li, ri), "logical")
+            return PVal.unknown_bool()
+        lplane = (
+            lp.plane.astype(np.int64) if lp.plane is not None else None
+        )
+        rplane = (
+            rp.plane.astype(np.int64) if rp.plane is not None else None
+        )
+        both = lplane is not None and rplane is not None
+        if op == "+":
+            if both:
+                return PVal.from_plane(
+                    np.minimum(lplane + rplane, maxint), "int"
+                )
+            return PVal.unknown(lp.ivl.sat_add(rp.ivl, maxint), "int")
+        if op == "-":
+            if both:
+                return PVal.from_plane(
+                    np.maximum(lplane - rplane, 0), "int"
+                )
+            return PVal.unknown(lp.ivl.sub_clamp(rp.ivl), "int")
+        if op == "*":
+            if both:
+                return PVal.from_plane(
+                    np.minimum(lplane * rplane, maxint), "int"
+                )
+            return PVal.unknown(lp.ivl.mul_sat(rp.ivl, maxint), "int")
+        if op == "<<":
+            raw = lp.ivl.shl_raw(rp.ivl)
+            if raw.hi > maxint:
+                guaranteed = (
+                    lp.ivl.lo << max(0, min(64, rp.ivl.lo))
+                ) > maxint
+                if guaranteed:
+                    self._error(
+                        "ppc-width-shift",
+                        f"'<<' always drops high bits: the result reaches "
+                        f"{raw} but the word holds at most "
+                        f"{maxint} (h={self.h})",
+                        line,
+                    )
+                else:
+                    self._warn(
+                        "ppc-width-shift",
+                        f"'<<' may drop high bits: the result can reach "
+                        f"{raw.hi} but the word holds at most "
+                        f"{maxint} (h={self.h})",
+                        line,
+                    )
+            if both and int(rplane.min()) >= 0 and int(rplane.max()) <= 62:
+                return PVal.from_plane(
+                    (lplane << rplane) & maxint, "int"
+                )
+            return PVal.unknown(Interval.word(maxint), "int")
+        if op == ">>":
+            if both and int(rplane.min()) >= 0 and int(rplane.max()) <= 62:
+                return PVal.from_plane(lplane >> rplane, "int")
+            return PVal.unknown(Interval.of(0, max(lp.ivl.hi, 0)), "int")
+        if op in ("&", "|", "^"):
+            if both:
+                fn = {
+                    "&": np.bitwise_and,
+                    "|": np.bitwise_or,
+                    "^": np.bitwise_xor,
+                }[op]
+                return PVal.from_plane(fn(lplane, rplane), "int")
+            return PVal.unknown(Interval.word(maxint), "int")
+        if op in ("/", "%"):
+            if both and int(rplane.min()) > 0:
+                fn = np.floor_divide if op == "/" else np.mod
+                return PVal.from_plane(fn(lplane, rplane), "int")
+            return PVal.unknown(Interval.of(0, max(lp.ivl.hi, 0)), "int")
+        return PVal.unknown(Interval.top(), "int")
+
+    def _scalar_binary(self, op, left: SVal, right: SVal) -> SVal:
+        if isinstance(left.value, Direction) or isinstance(
+            right.value, Direction
+        ):
+            if op in ("==", "!="):
+                if left.known and right.known:
+                    eq = left.value == right.value
+                    return SVal(eq if op == "==" else not eq)
+            return SVal.unknown(Interval.boolean())
+        if left.known and right.known:
+            lv, rv = int(left.value), int(right.value)
+            try:
+                if op == "+":
+                    return SVal(lv + rv)
+                if op == "-":
+                    return SVal(lv - rv)
+                if op == "*":
+                    return SVal(lv * rv)
+                if op == "/":
+                    return SVal(lv // rv)
+                if op == "%":
+                    return SVal(lv % rv)
+                if op == "<<":
+                    return SVal(lv << min(rv, 128))
+                if op == ">>":
+                    return SVal(lv >> min(rv, 128))
+                if op == "&":
+                    return SVal(lv & rv)
+                if op == "|":
+                    return SVal(lv | rv)
+                if op == "^":
+                    return SVal(lv ^ rv)
+                if op == "&&":
+                    return SVal(bool(lv) and bool(rv))
+                if op == "||":
+                    return SVal(bool(lv) or bool(rv))
+                if op in self._NP_CMP:
+                    return SVal(
+                        bool(self._NP_CMP[op](np.int64(lv), np.int64(rv)))
+                    )
+            except (ZeroDivisionError, ValueError):
+                return SVal.unknown()
+        li, ri = left.ivl, right.ivl
+        if op == "+":
+            return SVal.unknown(li.add(ri))
+        if op == "-":
+            return SVal.unknown(li.sub(ri))
+        if op == "*":
+            return SVal.unknown(li.mul(ri))
+        if op in self._NP_CMP or op in ("&&", "||"):
+            return SVal.unknown(Interval.boolean())
+        return SVal.unknown()
+
+    # -- scalar -> parallel boundary ---------------------------------------
+
+    def _coerce_parallel(
+        self, value, line, *, base=None, check_width=True
+    ) -> PVal:
+        if isinstance(value, PVal):
+            if check_width:
+                self._check_word(value.ivl, line)
+            return value
+        s: SVal = value if isinstance(value, SVal) else SVal(value)
+        if isinstance(s.value, Direction):  # pragma: no cover - analyzer
+            return PVal.unknown(Interval.top(), base or "int")
+        if check_width:
+            self._check_word(s.ivl, line)
+        tgt_base = base or ("logical" if isinstance(s.value, bool) else "int")
+        if s.known:
+            v = int(s.value)
+            if tgt_base == "logical":
+                return PVal.splat(bool(v), self.shape, "logical")
+            if 0 <= v <= self.maxint:
+                return PVal.splat(v, self.shape, "int")
+            return PVal.unknown(s.ivl, "int")
+        return PVal.unknown(s.ivl, tgt_base)
+
+    def _check_word(self, ivl: Interval, line) -> None:
+        if ivl.surely_overflows(self.maxint):
+            self._error(
+                "ppc-width-store",
+                f"value {ivl} can never fit the h={self.h} word "
+                f"[0, {self.maxint}]",
+                line,
+            )
+        elif ivl.may_overflow(self.maxint):
+            self._warn(
+                "ppc-width-store",
+                f"value {ivl} may leave the h={self.h} word "
+                f"[0, {self.maxint}]",
+                line,
+            )
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    def _call(self, call: ast.Call, scope: _Scope):
+        args = [self._eval(a, scope) for a in call.args]
+        fn = self.functions.get(call.name)
+        if fn is not None:
+            return self._inline(fn, args, call.line, scope)
+        spec = BUILTINS.get(call.name)
+        if spec is None:  # pragma: no cover - analyzer rejects
+            return SVal.unknown()
+        return self._builtin(call.name, args, call.line)
+
+    def _inline(self, fn: ast.FunctionDef, args, line, caller_scope):
+        if (
+            len(self.fn_stack) >= _MAX_INLINE_DEPTH
+            or fn.name in self.fn_stack
+        ):
+            if fn.return_type.parallel:
+                return PVal.unknown_int(self.maxint)
+            return SVal.unknown()
+        self._clear_pending(caller_scope)
+        scope = _Scope(self.globals)
+        for p, a in zip(fn.params, args):
+            cell = self._param_cell(p)
+            if p.type.parallel:
+                cell.value = self._coerce_parallel(
+                    a, line, base=p.type.base, check_width=True
+                )
+            else:
+                cell.value = (
+                    a if isinstance(a, SVal) else SVal.unknown()
+                )
+            scope.cells[p.name] = cell
+        self.fn_stack.append(fn.name)
+        result = None
+        try:
+            self._exec(fn.body, scope, fn)
+        except _ReturnSignal as ret:
+            result = ret.value
+        finally:
+            self.fn_stack.pop()
+        self._sweep_scope(scope, fn)
+        if fn.return_type.base == "void":
+            return SVal(0)
+        if fn.return_type.parallel:
+            if result is None:
+                return PVal.unknown_int(self.maxint)
+            return self._coerce_parallel(result, line, check_width=False)
+        return result if isinstance(result, SVal) else SVal.unknown()
+
+    # ------------------------------------------------------------------
+    # builtins
+    # ------------------------------------------------------------------
+
+    def _direction_of(self, v) -> Direction | None:
+        if isinstance(v, SVal) and isinstance(v.value, Direction):
+            return v.value
+        return None
+
+    def _builtin(self, name, args, line):
+        if name == "opposite":
+            d = self._direction_of(args[0])
+            return SVal(opposite(d)) if d is not None else SVal.unknown()
+        if name == "any":
+            return SVal.unknown(Interval.boolean())
+        if name == "bit":
+            return self._bi_bit(args, line)
+        if name == "shift":
+            return self._bi_shift(args, line)
+        if name == "broadcast":
+            return self._bi_broadcast(args, line)
+        if name == "or":
+            # Cluster wired-OR: a reduction — multiple drivers per segment
+            # are the whole point, so no race check applies.
+            return PVal.unknown_bool()
+        if name in ("min", "selected_min"):
+            src = self._coerce_parallel(args[0], line)
+            return PVal.unknown(
+                Interval.of(min(src.ivl.lo, 0), src.ivl.hi), "int"
+            )
+        return SVal.unknown()  # pragma: no cover - table is exhaustive
+
+    def _bi_bit(self, args, line):
+        self._coerce_parallel(args[0], line, check_width=False)
+        j = args[1]
+        if isinstance(j, PVal):  # runtime rejects parallel index
+            return PVal.unknown_bool()
+        if j.known and not isinstance(j.value, Direction):
+            jj = int(j.value)
+            if not (0 <= jj < self.h):
+                self._error(
+                    "ppc-width-bit-index",
+                    f"bit index {jj} outside the h={self.h} word "
+                    f"[0, {self.h - 1}] (the machine traps here)",
+                    line,
+                )
+        elif not j.known:
+            if j.ivl.hi < 0 or j.ivl.lo > self.h - 1:
+                self._error(
+                    "ppc-width-bit-index",
+                    f"bit index {j.ivl} lies entirely outside the "
+                    f"h={self.h} word [0, {self.h - 1}]",
+                    line,
+                )
+            elif j.ivl.lo < 0 or j.ivl.hi > self.h - 1:
+                self._warn(
+                    "ppc-width-bit-index",
+                    f"bit index {j.ivl} may leave the h={self.h} word "
+                    f"[0, {self.h - 1}]",
+                    line,
+                )
+        return PVal.unknown_bool()
+
+    def _bi_shift(self, args, line):
+        src = self._coerce_parallel(args[0], line)
+        d = self._direction_of(args[1])
+        if src.plane is not None and d is not None:
+            return PVal.from_plane(
+                shift_values(src.plane, d, torus=True, fill=0), src.base
+            )
+        return PVal.unknown(
+            Interval.of(min(src.ivl.lo, 0), src.ivl.hi), src.base
+        )
+
+    def _bi_broadcast(self, args, line):
+        src = self._coerce_parallel(args[0], line)
+        d = self._direction_of(args[1])
+        plane_v = self._coerce_parallel(
+            args[2], line, base="logical", check_width=False
+        )
+        plane = plane_v.as_bool_plane()
+        if plane is not None and d is not None:
+            self._static_bus_check(src, plane, d, line)
+            if src.plane is not None:
+                try:
+                    out = broadcast_values(
+                        src.plane.astype(np.int64), plane, d, strict=False
+                    )
+                    if src.base == "logical":
+                        return PVal.from_plane(out != 0, "logical")
+                    return PVal.from_plane(out, "int")
+                except Exception:  # degraded topology: stay abstract
+                    pass
+        return PVal.unknown(
+            Interval.of(min(src.ivl.lo, 0), src.ivl.hi), src.base
+        )
+
+    def _static_bus_check(
+        self, src: PVal, plane: np.ndarray, d: Direction, line
+    ) -> None:
+        undriven, multi, _ring_len = classify_plane(plane, d)
+        axis_name = "column" if d.axis == 0 else "row"
+        if undriven.size:
+            rings = ", ".join(str(int(r)) for r in undriven[:4])
+            more = "..." if undriven.size > 4 else ""
+            self._error(
+                "ppc-bus-undriven",
+                f"broadcast {d} leaves {axis_name}(s) {rings}{more} with "
+                "no Open driver: the bus floats and every PE on the ring "
+                "reads an undefined value",
+                line,
+            )
+        if multi.size:
+            # equal injected values are the wired-OR / min() survivor
+            # idiom — provably race-free
+            if src.plane is not None:
+                canon = (
+                    src.plane.T if d.axis == 0 else src.plane
+                ).astype(np.int64)
+                open_canon = plane.T if d.axis == 0 else plane
+                racy = [
+                    int(r)
+                    for r in multi
+                    if len(set(canon[r][open_canon[r]].tolist())) > 1
+                ]
+            else:
+                racy = [int(r) for r in multi]
+            if racy:
+                rings = ", ".join(str(r) for r in racy[:4])
+                more = "..." if len(racy) > 4 else ""
+                self._error(
+                    "ppc-bus-multi-driver",
+                    f"broadcast {d} has multiple Open drivers on "
+                    f"{axis_name}(s) {rings}{more} whose values are not "
+                    "provably equal: the delivered word depends on switch "
+                    "topology (wired-OR reductions use or()/min() instead)",
+                    line,
+                )
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def _sample_contexts(program: ast.Program, n: int) -> list[dict[str, int]]:
+    scalar_ints = [
+        d.name
+        for decl in program.globals
+        if not decl.type.parallel and decl.type.base == "int"
+        for d in decl.declarators
+    ]
+    if not scalar_ints:
+        return [{}]
+    picks = [0, 2 % n, n - 1]
+    contexts = [{name: p for name in scalar_ints} for p in picks]
+    contexts.append(
+        {name: picks[i % len(picks)] for i, name in enumerate(scalar_ints)}
+    )
+    seen, out = set(), []
+    for ctx in contexts:
+        key = tuple(sorted(ctx.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(ctx)
+    return out
+
+
+def verify_ppc(
+    program: ast.Program,
+    *,
+    n: int = 8,
+    word_bits: int = 16,
+    source_name: str | None = None,
+    report: Report | None = None,
+) -> Report:
+    """Run all static PPC analyses over *program* (post-``analyze()``).
+
+    Every function is analysed as an entry point with unknown parameters
+    and freshly-initialised globals, once per sampled scalar-global
+    context. Diagnostics are de-duplicated per (rule, line).
+    """
+    if report is None:
+        report = Report(source=source_name)
+    arm_states: dict[int, _ArmState] = {}
+    for ctx in _sample_contexts(program, n):
+        for fn in program.functions:
+            interp = _AbstractInterpreter(
+                program,
+                report,
+                n=n,
+                word_bits=word_bits,
+                scalars=ctx,
+                arm_states=arm_states,
+            )
+            interp.fn_stack.clear()
+            interp.run_entry(fn)
+    for state in arm_states.values():
+        if state.always_true and state.has_else:
+            report.add(
+                "ppc-unreachable-elsewhere",
+                Severity.WARNING,
+                "the 'where' condition is true on every PE in every "
+                "analysis context: the 'elsewhere' arm never stores",
+                line=state.line,
+            )
+        elif state.always_false:
+            report.add(
+                "ppc-unreachable-where",
+                Severity.WARNING,
+                "the 'where' condition is false on every PE in every "
+                "analysis context: the body never stores",
+                line=state.line,
+            )
+    return report
+
+
+def verify_ppc_source(
+    source: str,
+    *,
+    n: int = 8,
+    word_bits: int = 16,
+    source_name: str | None = None,
+) -> Report:
+    """Parse, analyze and verify PPC *source*; front-end failures become
+    diagnostics instead of exceptions (for ``repro lint``)."""
+    report = Report(source=source_name)
+    try:
+        program = analyze(parse(source))
+    except PPCSyntaxError as exc:
+        report.add(
+            "ppc-parse", Severity.ERROR, str(exc), line=exc.line or 0
+        )
+        return report
+    except PPCError as exc:
+        message = str(exc)
+        line = 0
+        if message.startswith("line "):
+            try:
+                line = int(message.split(":", 1)[0].split()[1])
+            except (ValueError, IndexError):  # pragma: no cover
+                line = 0
+        report.add("ppc-type", Severity.ERROR, message, line=line)
+        return report
+    return verify_ppc(
+        program,
+        n=n,
+        word_bits=word_bits,
+        source_name=source_name,
+        report=report,
+    )

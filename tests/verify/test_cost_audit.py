@@ -1,0 +1,111 @@
+"""The three-way cost audit: static prediction == analytic vector ==
+real cycle-engine counters, plus the non-affine failure mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.asm_mcp import mcp_assembly, minimum_cost_path_asm
+from repro.engine.costs import mcp_cost_vector
+from repro.ppa.assembler import assemble
+from repro.ppa.machine import PPAMachine
+from repro.ppa.topology import BusCostModel, PPAConfig
+from repro.verify import Severity, audit_mcp_cost, fit_affine_cost
+from repro.verify.cost_audit import ANALYTIC_FIELDS
+from repro.verify.isa_checks import COUNTER_FIELDS
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        PPAConfig(n=6, word_bits=16),
+        PPAConfig(n=8, word_bits=12),
+        PPAConfig(n=5, word_bits=16, bus_cost_model=BusCostModel.LINEAR),
+        PPAConfig(n=4, word_bits=8),
+    ],
+    ids=lambda c: f"n{c.n}h{c.word_bits}{c.bus_cost_model.name}",
+)
+def test_three_way_audit_is_clean(config):
+    report = audit_mcp_cost(config)
+    assert not report.diagnostics, report.render()
+
+
+def test_affine_fit_matches_analytic_on_communication_ledger():
+    config = PPAConfig(n=7, word_bits=16)
+    program = assemble(mcp_assembly(config.n, config.word_bits))
+    init, iteration, runs, report = fit_affine_cost(
+        program, config, inputs={"r0": None, "s0": 0}
+    )
+    assert report.ok, report.render()
+    assert all(r.halted for r in runs)
+    vector = mcp_cost_vector(config)
+    for k in ANALYTIC_FIELDS:
+        assert iteration[k] == vector.iteration[k], k
+        assert init[k] == vector.init[k], k
+
+
+def test_prediction_matches_real_run_on_all_counters():
+    config = PPAConfig(n=7, word_bits=16)
+    program = assemble(mcp_assembly(config.n, config.word_bits))
+    init, iteration, _, report = fit_affine_cost(
+        program, config, inputs={"r0": None, "s0": 2}
+    )
+    assert report.ok
+
+    rng = np.random.default_rng(7)
+    W = rng.integers(1, 40, size=(config.n, config.n)).astype(np.int64)
+    np.fill_diagonal(W, 0)
+    machine = PPAMachine(config)
+    result = minimum_cost_path_asm(machine, W, 2)
+    for k in COUNTER_FIELDS:
+        predicted = init[k] + result.iterations * iteration[k]
+        assert predicted == result.counters[k], (
+            f"{k}: predicted {predicted}, actual {result.counters[k]}"
+        )
+
+
+def test_round_dependent_stream_is_flagged_non_affine():
+    # one extra add on every other round: cost(k) is not affine in k
+    program = assemble(
+        """
+        ldi   r1, 1
+        sldi  s1, 0
+loop:
+        sbne  s1, 0, skip
+        add   r2, r1, r1
+        sldi  s1, 1
+        jmp   tail
+skip:
+        sldi  s1, 0
+tail:
+        gor   r1
+        jnz   loop
+        halt
+"""
+    )
+    config = PPAConfig(n=4, word_bits=16)
+    _, _, _, report = fit_affine_cost(program, config)
+    found = report.by_rule("cost-audit-nonaffine")
+    assert len(found) == 1, report.render()
+    diag = found[0]
+    assert diag.severity is Severity.ERROR
+    assert diag.pc is not None
+    assert "instructions" in diag.message or "alu_ops" in diag.message
+
+
+def test_affine_stream_with_constant_rounds_is_clean():
+    program = assemble(
+        """
+        ldi   r1, 1
+loop:
+        add   r2, r1, r1
+        gor   r1
+        jnz   loop
+        halt
+"""
+    )
+    config = PPAConfig(n=4, word_bits=16)
+    init, iteration, _, report = fit_affine_cost(program, config)
+    assert report.ok, report.render()
+    # one add + one gor per round
+    assert iteration["alu_ops"] == 2
+    assert iteration["global_ors"] == 1

@@ -1,0 +1,61 @@
+"""Report/Diagnostic mechanics: dedup, rendering, JSON round-trip."""
+
+import json
+
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+
+
+def test_add_deduplicates_on_rule_and_location():
+    rep = Report(source="unit")
+    for _ in range(3):
+        rep.add("ppc-dead-write", Severity.WARNING, "dup", line=4)
+    rep.add("ppc-dead-write", Severity.WARNING, "other site", line=9)
+    assert len(rep.diagnostics) == 2
+    assert [d.line for d in rep.diagnostics] == [4, 9]
+
+
+def test_severity_partition_and_ok():
+    rep = Report()
+    assert rep.ok
+    rep.add("a", Severity.WARNING, "w")
+    assert rep.ok and len(rep.warnings) == 1
+    rep.add("b", Severity.ERROR, "e")
+    assert not rep.ok and len(rep.errors) == 1
+
+
+def test_render_includes_rule_location_and_summary():
+    rep = Report(source="prog")
+    rep.add("ppc-bus-undriven", Severity.ERROR, "boom", line=7, function="main")
+    text = rep.render()
+    assert "prog:line 7" in text
+    assert "[ppc-bus-undriven]" in text
+    assert "(in main)" in text
+    assert "1 error(s), 0 warning(s)" in text
+
+
+def test_clean_render():
+    assert "clean" in Report(source="x").render()
+
+
+def test_json_round_trip():
+    rep = Report(source="p")
+    rep.add("r1", Severity.ERROR, "m1", pc=12, line=3)
+    data = json.loads(rep.to_json())
+    assert data["errors"] == 1
+    assert data["diagnostics"][0]["pc"] == 12
+    assert data["diagnostics"][0]["severity"] == "error"
+
+
+def test_extend_merges_without_duplicates():
+    a = Report(source="a")
+    a.add("r", Severity.ERROR, "m", line=1)
+    b = Report(source="b")
+    b.add("r", Severity.ERROR, "m", line=1)  # same key
+    b.add("r", Severity.ERROR, "m", line=2)
+    a.extend(b)
+    assert len(a.diagnostics) == 2
+
+
+def test_pc_location_rendering():
+    d = Diagnostic("r", Severity.WARNING, "m", pc=5, source="s")
+    assert d.location == "s:pc=5"

@@ -1,0 +1,166 @@
+"""The dynamic bus-race detector: unit fixtures for every geometry the
+checker distinguishes, the machine-flag wiring, and the bridge property —
+programs the static verifier passes never trip the runtime detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.sequential import bellman_ford
+from repro.core.asm_mcp import minimum_cost_path_asm
+from repro.core.mcp import minimum_cost_path
+from repro.errors import BusConflictError
+from repro.ppa.directions import Direction
+from repro.ppa.machine import PPAMachine, check_broadcast_conflicts
+from repro.ppa.topology import PPAConfig
+
+N = 4
+
+
+def plane(rows):
+    return np.array(rows, dtype=bool)
+
+
+# ---------------------------------------------------------------------------
+# check_broadcast_conflicts unit geometry
+# ---------------------------------------------------------------------------
+
+
+def test_single_driver_per_ring_is_fine():
+    src = np.arange(N * N, dtype=np.int64).reshape(N, N)
+    L = np.zeros((N, N), dtype=bool)
+    L[0, :] = True  # one Open per column
+    check_broadcast_conflicts(src, L, Direction.SOUTH)
+
+
+def test_all_open_identity_is_fine():
+    # every PE its own cluster head: the identity configuration
+    src = np.arange(N * N, dtype=np.int64).reshape(N, N)
+    L = np.ones((N, N), dtype=bool)
+    check_broadcast_conflicts(src, L, Direction.SOUTH)
+    check_broadcast_conflicts(src, L, Direction.EAST)
+
+
+def test_undriven_ring_is_not_reported_here():
+    # zero Opens is strict_bus territory, not a write race
+    src = np.ones((N, N), dtype=np.int64)
+    L = np.zeros((N, N), dtype=bool)
+    check_broadcast_conflicts(src, L, Direction.SOUTH)
+
+
+def test_multi_driver_equal_values_is_fine():
+    # the paper's min() survivor idiom: several Opens, same value
+    src = np.full((N, N), 9, dtype=np.int64)
+    L = plane([[1, 0, 0, 0], [1, 0, 0, 0], [0, 0, 0, 0], [1, 1, 1, 1]])
+    check_broadcast_conflicts(src, L, Direction.SOUTH)
+
+
+def test_multi_driver_disagreeing_raises():
+    src = np.arange(N * N, dtype=np.int64).reshape(N, N)
+    L = np.zeros((N, N), dtype=bool)
+    L[0, 2] = L[1, 2] = True  # two Opens on column 2, values 2 and 6
+    with pytest.raises(BusConflictError) as exc:
+        check_broadcast_conflicts(src, L, Direction.SOUTH)
+    msg = str(exc.value)
+    assert "column 2" in msg
+    assert "2 Open" in msg
+    assert "[2, 6]" in msg
+
+
+def test_axis_follows_direction():
+    # same plane: a race along rows (EAST) but not along columns (SOUTH)
+    src = np.arange(N * N, dtype=np.int64).reshape(N, N)
+    L = np.zeros((N, N), dtype=bool)
+    L[1, 0] = L[1, 3] = True  # two Opens on row 1; one per column
+    check_broadcast_conflicts(src, L, Direction.SOUTH)
+    with pytest.raises(BusConflictError, match="row 1"):
+        check_broadcast_conflicts(src, L, Direction.EAST)
+
+
+def test_boolean_src_is_coerced():
+    src = np.zeros((N, N), dtype=bool)
+    src[0, 0] = True
+    L = np.zeros((N, N), dtype=bool)
+    L[0, 0] = L[1, 0] = True
+    with pytest.raises(BusConflictError):
+        check_broadcast_conflicts(src, L, Direction.SOUTH)
+
+
+def test_batched_stack_reports_lane():
+    src = np.arange(N * N, dtype=np.int64).reshape(N, N)
+    stack = np.stack([src, src])
+    L = np.zeros((2, N, N), dtype=bool)
+    L[0, 0, :] = True  # lane 0 clean: single driver per column
+    L[1, 0, 1] = L[1, 2, 1] = True  # lane 1 races on column 1
+    with pytest.raises(BusConflictError, match=r"lane 1"):
+        check_broadcast_conflicts(stack, L, Direction.SOUTH)
+
+
+# ---------------------------------------------------------------------------
+# machine flag wiring
+# ---------------------------------------------------------------------------
+
+
+def test_machine_flag_off_by_default():
+    machine = PPAMachine(PPAConfig(n=N))
+    src = np.arange(N * N, dtype=np.int64).reshape(N, N)
+    L = np.zeros((N, N), dtype=bool)
+    L[0, 1] = L[2, 1] = True
+    machine.broadcast(src, Direction.SOUTH, L)  # silent race, by default
+
+
+def test_machine_flag_detects_race():
+    machine = PPAMachine(PPAConfig(n=N), check_bus_conflicts=True)
+    src = np.arange(N * N, dtype=np.int64).reshape(N, N)
+    L = np.zeros((N, N), dtype=bool)
+    L[0, 1] = L[2, 1] = True
+    with pytest.raises(BusConflictError):
+        machine.broadcast(src, Direction.SOUTH, L)
+
+
+def test_machine_flag_passes_clean_broadcast():
+    machine = PPAMachine(PPAConfig(n=N), check_bus_conflicts=True)
+    src = np.arange(N * N, dtype=np.int64).reshape(N, N)
+    L = np.zeros((N, N), dtype=bool)
+    L[0, :] = True
+    out = machine.broadcast(src, Direction.SOUTH, L)
+    assert np.array_equal(out, np.broadcast_to(src[0], (N, N)))
+
+
+# ---------------------------------------------------------------------------
+# the bridge: statically-clean programs never trip the dynamic detector
+# ---------------------------------------------------------------------------
+
+_graphs = st.integers(0, 2**32 - 1).flatmap(
+    lambda seed: st.tuples(st.just(seed), st.integers(0, 7))
+)
+
+
+@given(_graphs)
+def test_static_pass_mcp_never_races_dynamically(params):
+    seed, d = params
+    config = PPAConfig(n=8, word_bits=16)
+    rng = np.random.default_rng(seed)
+    W = rng.integers(1, 50, size=(8, 8)).astype(np.int64)
+    W[rng.random((8, 8)) < 0.3] = config.maxint  # some missing edges
+    np.fill_diagonal(W, 0)
+
+    checked = PPAMachine(config, check_bus_conflicts=True)
+    res = minimum_cost_path(checked, W, d)  # must not raise
+    bf = bellman_ford(W, d, maxint=config.maxint)
+    assert np.array_equal(res.sow, bf.sow)
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_static_pass_asm_mcp_never_races_dynamically(seed):
+    config = PPAConfig(n=6, word_bits=16)
+    rng = np.random.default_rng(seed)
+    W = rng.integers(1, 30, size=(6, 6)).astype(np.int64)
+    np.fill_diagonal(W, 0)
+    d = int(rng.integers(0, 6))
+
+    checked = PPAMachine(config, check_bus_conflicts=True)
+    res = minimum_cost_path_asm(checked, W, d)  # must not raise
+    bf = bellman_ford(W, d, maxint=config.maxint)
+    assert np.array_equal(res.sow, bf.sow)

@@ -1,0 +1,298 @@
+"""Golden diagnostics for the ISA-stream verifier, pc-accurate, plus the
+clean bill for the assembly MCP and for compiled PPC streams."""
+
+import pytest
+
+from repro.core.asm_mcp import mcp_assembly
+from repro.ppa.assembler import assemble
+from repro.ppa.topology import PPAConfig
+from repro.ppc.lang import programs
+from repro.ppc.lang.codegen import compile_to_asm
+from repro.verify import Severity, analyze_isa, verify_isa
+
+CFG = PPAConfig(n=8, word_bits=16)
+
+
+def run(asm, **kwargs):
+    return verify_isa(assemble(asm), CFG, **kwargs)
+
+
+def one(report, rule):
+    found = report.by_rule(rule)
+    assert len(found) == 1, report.render()
+    return found[0]
+
+
+# ---------------------------------------------------------------------------
+# bus-race geometry
+# ---------------------------------------------------------------------------
+
+
+def test_bcast_undriven_ring_is_error():
+    rep = run(
+        """
+        row   r4
+        ldi   r10, 8
+        cmpeq r6, r4, r10    ; ROW == 8 is false everywhere
+        ldi   r1, 5
+        bcast r2, r1, SOUTH, r6
+        halt
+"""
+    )
+    d = one(rep, "isa-bus-undriven")
+    assert d.severity is Severity.ERROR
+    assert d.pc == 4  # the bcast
+
+
+def test_bcast_multi_driver_disagreeing_is_error():
+    rep = run(
+        """
+        row   r4
+        ldi   r10, 2
+        cmplt r6, r4, r10    ; rows 0 and 1 Open on every column
+        bcast r2, r4, SOUTH, r6
+        halt
+"""
+    )
+    d = one(rep, "isa-bus-multi-driver")
+    assert d.severity is Severity.ERROR
+    assert d.pc == 3
+
+
+def test_bcast_multi_driver_equal_values_is_clean():
+    rep = run(
+        """
+        row   r4
+        ldi   r10, 2
+        cmplt r6, r4, r10
+        ldi   r1, 9          ; every driver injects the same constant
+        bcast r2, r1, SOUTH, r6
+        halt
+"""
+    )
+    assert rep.ok, rep.render()
+
+
+def test_bcast_unknown_plane_is_silent():
+    rep = run(
+        """
+        ldi   r1, 3
+        bcast r2, r1, EAST, r0   ; r0 is an input: plane unknown
+        halt
+""",
+        inputs={"r0": None},
+    )
+    assert not rep.by_rule("isa-bus-undriven")
+    assert not rep.by_rule("isa-bus-multi-driver")
+
+
+def test_wor_multi_driver_is_not_a_race():
+    # wired-OR combines all cluster members by design
+    rep = run(
+        """
+        row   r4
+        ldi   r10, 2
+        cmplt r6, r4, r10
+        wor   r2, r4, SOUTH, r6
+        halt
+"""
+    )
+    assert rep.ok, rep.render()
+
+
+# ---------------------------------------------------------------------------
+# dataflow / structural checks
+# ---------------------------------------------------------------------------
+
+
+def test_uninit_preg_read_is_warning():
+    rep = run(
+        """
+        add   r1, r2, r3
+        halt
+"""
+    )
+    d = one(rep, "isa-uninit-read")
+    assert d.severity is Severity.WARNING and d.pc == 0
+    assert "r2" in d.message and "r3" in d.message
+
+
+def test_declared_inputs_are_not_uninit():
+    rep = run(
+        """
+        add   r1, r2, r3
+        halt
+""",
+        inputs={"r2": None, "r3": 7},
+    )
+    assert not rep.by_rule("isa-uninit-read")
+
+
+def test_uninit_memory_read_is_warning():
+    rep = run(
+        """
+        ld    r1, 3
+        halt
+"""
+    )
+    d = one(rep, "isa-uninit-read")
+    assert "memory word 3" in d.message
+
+
+def test_flag_branch_before_gor_is_warning():
+    rep = run(
+        """
+        jnz   end
+end:    halt
+"""
+    )
+    d = one(rep, "isa-flag-before-gor")
+    assert d.severity is Severity.WARNING and d.pc == 0
+
+
+def test_popm_underflow_is_error():
+    rep = run(
+        """
+        popm
+        halt
+"""
+    )
+    d = one(rep, "isa-mask-underflow")
+    assert d.severity is Severity.ERROR and d.pc == 0
+
+
+def test_mask_leak_at_halt_is_warning():
+    rep = run(
+        """
+        ldi   r1, 1
+        pushm r1
+        halt
+"""
+    )
+    d = one(rep, "isa-mask-leak")
+    assert d.severity is Severity.WARNING
+
+
+def test_halt_unreached_on_executed_path_is_error():
+    # the assembler requires a halt *somewhere*; this one is jumped over
+    rep = run(
+        """
+        jmp   skip
+        halt
+skip:   ldi   r1, 1
+"""
+    )
+    d = one(rep, "isa-pc-range")
+    assert d.severity is Severity.ERROR
+    assert "halt" in d.message
+
+
+# ---------------------------------------------------------------------------
+# width / arithmetic checks
+# ---------------------------------------------------------------------------
+
+
+def test_ldi_immediate_outside_word_is_warning():
+    rep = run(
+        """
+        ldi   r1, 70000
+        halt
+"""
+    )
+    d = one(rep, "isa-width-imm")
+    assert d.severity is Severity.WARNING and d.pc == 0
+
+
+def test_bit_index_outside_word_is_error():
+    rep = run(
+        """
+        ldi   r1, 3
+        biti  r2, r1, 20
+        halt
+"""
+    )
+    d = one(rep, "isa-width-bit-index")
+    assert d.severity is Severity.ERROR and d.pc == 1
+
+
+def test_bits_dynamic_index_checked_against_concrete_sreg():
+    rep = run(
+        """
+        ldi   r1, 3
+        sldi  s1, 16
+        bits  r2, r1, s1
+        halt
+"""
+    )
+    d = one(rep, "isa-width-bit-index")
+    assert d.pc == 2
+
+
+def test_guaranteed_shli_truncation_is_error():
+    rep = run(
+        """
+        ldi   r1, 40000
+        shli  r2, r1, 2
+        halt
+"""
+    )
+    d = one(rep, "isa-width-shift")
+    assert d.severity is Severity.ERROR and d.pc == 1
+
+
+def test_div_by_statically_zero_plane_is_error():
+    rep = run(
+        """
+        ldi   r1, 4
+        ldi   r2, 0
+        div   r3, r1, r2
+        halt
+"""
+    )
+    d = one(rep, "isa-div-zero")
+    assert d.severity is Severity.ERROR and d.pc == 2
+
+
+# ---------------------------------------------------------------------------
+# bundled streams are clean
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n,word_bits", [(6, 16), (8, 12), (5, 8)])
+def test_assembly_mcp_is_clean(n, word_bits):
+    config = PPAConfig(n=n, word_bits=word_bits)
+    program = assemble(mcp_assembly(n, word_bits))
+    for d in (0, n // 2, n - 1):
+        rep = verify_isa(
+            program, config, inputs={"r0": None, "s0": d},
+            source_name=f"asm-mcp d={d}",
+        )
+        assert not rep.diagnostics, rep.render()
+
+
+def test_compiled_ppc_mcp_passes_isa_checks():
+    n, h = 8, 16
+    compiled = compile_to_asm(
+        programs.MCP_CODE, n, h, entry="minimum_cost_path"
+    )
+    program = assemble(compiled.asm)
+    config = PPAConfig(n=n, word_bits=h)
+    # layout maps globals to their locations; W and d are the inputs
+    for d in (0, 3, n - 1):
+        rep = verify_isa(
+            program, config, inputs={"m0": None, "s0": d},
+            source_name="compiled-mcp",
+        )
+        assert not rep.diagnostics, rep.render()
+
+
+def test_analysis_reaches_every_instruction_of_asm_mcp():
+    n, h = 6, 16
+    config = PPAConfig(n=n, word_bits=h)
+    program = assemble(mcp_assembly(n, h))
+    result = analyze_isa(
+        program, config, inputs={"r0": None, "s0": 0},
+        flag_schedule=(True, False),
+    )
+    assert result.halted
+    assert (result.pc_counts > 0).all(), "unreached instructions"

@@ -1,0 +1,304 @@
+"""Golden diagnostics for the PPC verifier: one fixture per lint rule,
+pinning rule id, severity and source line — plus the clean bill of health
+for every bundled paper listing."""
+
+import pytest
+
+from repro.errors import PPCVerifyError
+from repro.ppc.lang import compile_ppc, programs
+from repro.verify import Severity, verify_ppc_source
+
+
+def one(report, rule):
+    found = report.by_rule(rule)
+    assert len(found) == 1, report.render()
+    return found[0]
+
+
+# ---------------------------------------------------------------------------
+# bus-race geometry
+# ---------------------------------------------------------------------------
+
+
+def test_bus_undriven_ring_is_error():
+    rep = verify_ppc_source(
+        """
+parallel int X, Y;
+void main() { Y = broadcast(X, SOUTH, ROW == N); }
+""",
+        source_name="fixture",
+    )
+    d = one(rep, "ppc-bus-undriven")
+    assert d.severity is Severity.ERROR
+    assert d.line == 3
+    assert "no Open driver" in d.message
+
+
+def test_bus_multi_driver_unknown_values_is_error():
+    rep = verify_ppc_source(
+        """
+parallel int X, Y;
+void main() { Y = broadcast(X, SOUTH, ROW < 2); }
+"""
+    )
+    d = one(rep, "ppc-bus-multi-driver")
+    assert d.severity is Severity.ERROR
+    assert d.line == 3
+
+
+def test_bus_multi_driver_equal_values_is_clean():
+    # every Open driver provably injects the same constant: the paper's
+    # legitimate wired-OR survivor idiom
+    rep = verify_ppc_source(
+        """
+parallel int Y;
+void main() {
+    parallel int X;
+    X = 7;
+    Y = broadcast(X, SOUTH, ROW < 2);
+}
+"""
+    )
+    assert not rep.by_rule("ppc-bus-multi-driver"), rep.render()
+
+
+def test_bus_single_driver_is_clean():
+    rep = verify_ppc_source(
+        """
+parallel int X, Y;
+void main() { Y = broadcast(X, SOUTH, ROW == 0); }
+"""
+    )
+    assert rep.ok, rep.render()
+
+
+def test_bus_data_dependent_plane_is_silent():
+    # the plane depends on input data: statically unknown, deferred to
+    # the dynamic check_bus_conflicts machine mode
+    rep = verify_ppc_source(
+        """
+parallel int X, Y;
+void main() { Y = broadcast(X, SOUTH, X > 3); }
+"""
+    )
+    assert rep.ok, rep.render()
+
+
+# ---------------------------------------------------------------------------
+# mask-aware dataflow
+# ---------------------------------------------------------------------------
+
+
+def test_use_before_def_through_where_is_error():
+    rep = verify_ppc_source(
+        """
+parallel int B;
+void main() {
+    parallel int T;
+    where (ROW == 0) { T = 1; }
+    B = T + 1;
+}
+"""
+    )
+    d = one(rep, "ppc-use-before-def")
+    assert d.severity is Severity.ERROR
+    assert d.line == 6
+    assert "'T'" in d.message
+
+
+def test_where_elsewhere_pair_fully_defines():
+    rep = verify_ppc_source(
+        """
+parallel int B;
+void main() {
+    parallel int T;
+    where (ROW == 0) { T = 1; }
+    elsewhere { T = 2; }
+    B = T + 1;
+}
+"""
+    )
+    assert rep.ok, rep.render()
+
+
+def test_dead_write_is_warning():
+    rep = verify_ppc_source(
+        """
+parallel int X;
+void main() {
+    X = 1;
+    X = 2;
+}
+"""
+    )
+    d = one(rep, "ppc-dead-write")
+    assert d.severity is Severity.WARNING
+    assert d.line == 4  # the overwritten store
+
+
+def test_unreachable_elsewhere_is_warning():
+    rep = verify_ppc_source(
+        """
+parallel int X;
+void main() {
+    where (ROW >= 0) { X = 1; }
+    elsewhere { X = 2; }
+}
+"""
+    )
+    d = one(rep, "ppc-unreachable-elsewhere")
+    assert d.severity is Severity.WARNING
+
+
+# ---------------------------------------------------------------------------
+# width / overflow analysis
+# ---------------------------------------------------------------------------
+
+
+def test_guaranteed_store_overflow_is_error():
+    rep = verify_ppc_source(
+        """
+parallel int X;
+void main() { X = MAXINT + 1; }
+"""
+    )
+    d = one(rep, "ppc-width-store")
+    assert d.severity is Severity.ERROR
+    assert d.line == 3
+    assert "65535" in d.message
+
+
+def test_saturating_parallel_add_never_flags():
+    # parallel '+' saturates at MAXINT by the machine definition; the
+    # sentinel arithmetic of the paper must stay silent
+    rep = verify_ppc_source(
+        """
+parallel int X, Y;
+void main() { Y = X + MAXINT; }
+"""
+    )
+    assert rep.ok, rep.render()
+
+
+def test_guaranteed_shift_truncation_is_error():
+    rep = verify_ppc_source(
+        """
+parallel int X, Y;
+void main() {
+    X = 40000;
+    Y = X << 2;
+}
+"""
+    )
+    d = one(rep, "ppc-width-shift")
+    assert d.severity is Severity.ERROR
+    assert d.line == 5
+
+
+def test_bit_index_outside_word_is_error():
+    rep = verify_ppc_source(
+        """
+parallel int X;
+parallel logical B;
+void main() { B = bit(X, 20); }
+"""
+    )
+    d = one(rep, "ppc-width-bit-index")
+    assert d.severity is Severity.ERROR
+    assert d.line == 4
+    assert "20" in d.message
+
+
+def test_word_width_is_parametric():
+    source = """
+parallel int X;
+void main() { X = 1000; }
+"""
+    assert verify_ppc_source(source, word_bits=16).ok
+    rep = verify_ppc_source(source, word_bits=8)
+    assert one(rep, "ppc-width-store").severity is Severity.ERROR
+
+
+# ---------------------------------------------------------------------------
+# front-end failures become diagnostics
+# ---------------------------------------------------------------------------
+
+
+def test_parse_error_diagnostic():
+    rep = verify_ppc_source("void main( {")
+    d = one(rep, "ppc-parse")
+    assert d.severity is Severity.ERROR and d.line == 1
+
+
+def test_type_error_diagnostic():
+    rep = verify_ppc_source("void main() { X = 1; }")
+    d = one(rep, "ppc-type")
+    assert d.severity is Severity.ERROR
+    assert "undeclared" in d.message
+
+
+# ---------------------------------------------------------------------------
+# bundled paper listings are clean
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "MIN_CODE",
+        "SELECTED_MIN_CODE",
+        "MCP_CODE",
+        "MCP_WITH_LIBRARY_MIN",
+        "DISTANCE_TRANSFORM_CODE",
+    ],
+)
+@pytest.mark.parametrize("n,word_bits", [(8, 16), (4, 8), (12, 16)])
+def test_bundled_listings_are_clean(name, n, word_bits):
+    rep = verify_ppc_source(
+        getattr(programs, name), n=n, word_bits=word_bits, source_name=name
+    )
+    assert not rep.diagnostics, rep.render()
+
+
+# ---------------------------------------------------------------------------
+# compile_ppc(verify=...) wiring
+# ---------------------------------------------------------------------------
+
+_BAD = """
+parallel int X, Y;
+void main() { Y = broadcast(X, SOUTH, ROW < 2); }
+"""
+
+
+def test_compile_verify_off_by_default():
+    program = compile_ppc(_BAD)
+    assert program.verify_report is None
+
+
+def test_compile_verify_warn_attaches_report():
+    program = compile_ppc(_BAD, verify="warn")
+    assert program.verify_report is not None
+    assert not program.verify_report.ok
+
+
+def test_compile_verify_error_raises_with_report():
+    with pytest.raises(PPCVerifyError) as exc:
+        compile_ppc(_BAD, verify="error")
+    assert exc.value.report is not None
+    assert exc.value.report.by_rule("ppc-bus-multi-driver")
+
+
+def test_compile_verify_error_passes_clean_program():
+    program = compile_ppc(programs.MCP_CODE, verify="error")
+    assert program.verify_report.ok
+
+
+def test_compile_verify_reports_are_memoized():
+    a = compile_ppc(programs.MIN_CODE, verify="warn").verify_report
+    b = compile_ppc(programs.MIN_CODE, verify="warn").verify_report
+    assert a is b
+
+
+def test_compile_verify_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        compile_ppc(_BAD, verify="loud")
