@@ -181,6 +181,70 @@ def _check_t16(path: Path) -> list[str]:
     return diffs
 
 
+def _check_p18(path: Path) -> list[str]:
+    """Exact counter comparison for the P18 compiled/roofline artefact.
+
+    Regenerates through the *compiled* engine (the fastest tier; compiled
+    == fused == cycle bit-for-bit is asserted by ``bench_p18_compiled.py``
+    and the ``tests/engine/`` differential suites). Full-sweep roofline
+    entries up to the artefact's ``drift_guard_max_n`` are re-run — the
+    larger entries' counters are pinned inside the benchmark itself,
+    where the in-run equality assertions make a CI-sized re-run
+    redundant. Wall-time and kernel-backend fields are host-dependent and
+    never guarded.
+    """
+    from repro.core import all_pairs_minimum_cost
+    from repro.ppa import PPAConfig, PPAMachine
+    from repro.workloads import WeightSpec, gnp_digraph
+
+    committed = json.loads(path.read_text())
+    wl = committed["workload"]
+    guard_max = int(committed["drift_guard_max_n"])
+    diffs: list[str] = []
+
+    def _graph(n):
+        lo, hi = wl["weights"]
+        return gnp_digraph(n, wl["degree"] / n, seed=wl["seed"],
+                           weights=WeightSpec(lo, hi),
+                           inf_value=(1 << wl["word_bits"]) - 1)
+
+    def _sweep(n, lanes):
+        return all_pairs_minimum_cost(
+            PPAMachine(PPAConfig(n=n, word_bits=wl["word_bits"])),
+            _graph(n), engine="compiled", lanes=lanes,
+        )
+
+    def _compare(section, field, old, fresh):
+        for k in sorted(set(old) | set(fresh)):
+            va, vb = old.get(k, 0), int(fresh.get(k, 0))
+            if va != vb:
+                diffs.append(f"{section}.{field}.{k}: {va} -> {vb}")
+
+    for entry in committed["roofline"]:
+        n = int(entry["n"])
+        if n > guard_max or entry["destinations"] != n:
+            continue  # pinned by the benchmark's own equality assertions
+        res = _sweep(n, int(entry["lanes"]))
+        section = f"roofline[n={n}]"
+        if entry["iterations_total"] != int(res.iterations.sum()):
+            diffs.append(f"{section}.iterations_total: "
+                         f"{entry['iterations_total']} -> "
+                         f"{int(res.iterations.sum())}")
+        _compare(section, "counters_serial_equivalent",
+                 entry["counters_serial_equivalent"], res.counters)
+
+    eq = committed["equivalence"]
+    res = _sweep(int(eq["n"]), int(eq["lanes"]))
+    if eq["iterations"] != [int(i) for i in res.iterations]:
+        diffs.append("equivalence.iterations: per-destination counts "
+                     "drifted")
+    _compare("equivalence", "counters_serial_equivalent",
+             eq["counters_serial_equivalent"], res.counters)
+    _compare("equivalence", "machine_counters_batched",
+             eq["machine_counters_batched"], res.machine_counters)
+    return diffs
+
+
 # Committed artefact -> regenerating callable returning drift lines.
 CHECKS = {
     "BENCH_t1_mcp.json": lambda p: _check_profile(p, _regen_t1_mcp),
@@ -191,8 +255,49 @@ CHECKS = {
     "BENCH_t5_mesh.json": lambda p: _check_profile(p, _regen_t5("mesh")),
     "BENCH_p2_batching.json": _check_p2,
     "BENCH_p17_engines.json": _check_p17,
+    "BENCH_p18_compiled.json": _check_p18,
     "BENCH_t16_resilience.json": _check_t16,
 }
+
+# The serialisation each artefact must declare before its check runs.
+# Span-profile exports carry ``format``; bench artefacts carry ``schema``.
+EXPECTED_SCHEMAS = {
+    "BENCH_t1_mcp.json": ("format", "repro-profile-v1"),
+    "BENCH_t5_ppa.json": ("format", "repro-profile-v1"),
+    "BENCH_t5_gcn.json": ("format", "repro-profile-v1"),
+    "BENCH_t5_hypercube.json": ("format", "repro-profile-v1"),
+    "BENCH_t5_mesh.json": ("format", "repro-profile-v1"),
+    "BENCH_p2_batching.json": ("schema", "repro-bench-p2-v1"),
+    "BENCH_p17_engines.json": ("schema", "repro-bench-p17-v1"),
+    "BENCH_p18_compiled.json": ("schema", "repro-bench-p18-v1"),
+    "BENCH_t16_resilience.json": ("schema", "repro-bench-t16-v1"),
+}
+
+
+def _validate_artifact(path: Path) -> list[str]:
+    """Pre-flight: the artefact must exist, parse, and declare the schema
+    this checker understands. Returns failure lines (empty = proceed)."""
+    if not path.exists():
+        return [
+            "registered artefact is missing — every name in CHECKS must "
+            "be committed; regenerate it with `pytest benchmarks/` or "
+            "remove the registration"
+        ]
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"unreadable JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"expected a JSON object, found {type(payload).__name__}"]
+    key, want = EXPECTED_SCHEMAS[path.name]
+    got = payload.get(key)
+    if got != want:
+        return [
+            f"unknown {key}: {got!r} (this checker understands {want!r}) "
+            "— regenerate the artefact or update check_drift.py in the "
+            "same change that bumped the schema"
+        ]
+    return []
 
 
 def main() -> int:
@@ -205,12 +310,23 @@ def main() -> int:
         print(f"error: committed artefacts without a drift check: "
               f"{missing_checks}", file=sys.stderr)
         failed = True
+    if set(CHECKS) != set(EXPECTED_SCHEMAS):
+        print("error: CHECKS and EXPECTED_SCHEMAS disagree: "
+              f"{sorted(set(CHECKS) ^ set(EXPECTED_SCHEMAS))}",
+              file=sys.stderr)
+        failed = True
     for name, check in CHECKS.items():
         path = PROFILE_DIR / name
-        if not path.exists():
-            print(f"  SKIP {name} (not committed)")
-            continue
-        diffs = check(path)
+        diffs = _validate_artifact(path)
+        if not diffs:
+            try:
+                diffs = check(path)
+            except KeyError as exc:
+                diffs = [
+                    f"artefact is missing key {exc} — its schema version "
+                    "matches but the layout does not; regenerate it with "
+                    "`pytest benchmarks/`"
+                ]
         if diffs:
             failed = True
             print(f"  FAIL {name}:")

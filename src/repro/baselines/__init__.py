@@ -1,6 +1,8 @@
 """Comparator systems.
 
 * :mod:`~repro.baselines.sequential` — Bellman-Ford and Dijkstra oracles.
+* :mod:`~repro.baselines.delta_stepping` — Meyer-Sanders Δ-stepping, the
+  native parallel-CPU yardstick for the P18 roofline study.
 * :mod:`~repro.baselines.mesh` — plain (non-reconfigurable) mesh, the foil
   the paper's bus design improves on: O(n) per sweep.
 * :mod:`~repro.baselines.hypercube` — Connection-Machine-style hypercube
@@ -13,6 +15,12 @@ the same counter vocabulary, so experiment T5 compares like with like.
 """
 
 from repro.baselines.sequential import bellman_ford, dijkstra
+from repro.baselines.delta_stepping import (
+    DeltaAPSPResult,
+    default_delta,
+    delta_stepping,
+    delta_stepping_all_pairs,
+)
 from repro.baselines.mesh import MeshMachine
 from repro.baselines.hypercube import HypercubeMachine
 from repro.baselines.gcn import GCNMachine
@@ -20,6 +28,10 @@ from repro.baselines.gcn import GCNMachine
 __all__ = [
     "bellman_ford",
     "dijkstra",
+    "DeltaAPSPResult",
+    "default_delta",
+    "delta_stepping",
+    "delta_stepping_all_pairs",
     "MeshMachine",
     "HypercubeMachine",
     "GCNMachine",

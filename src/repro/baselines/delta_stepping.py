@@ -1,0 +1,236 @@
+"""Δ-stepping: the native CPU shortest-path baseline for the roofline study.
+
+The PPA simulator answers "how many *bus cycles* does the array spend?";
+experiment P18 asks the complementary question: how fast can a modern CPU
+solve the same instances natively, with the best practical parallel
+shortest-path algorithm, so the compiled tier's wall-clock can be judged
+against a competitive yardstick rather than only against our own slower
+engines. Δ-stepping (Meyer & Sanders 2003) is the standard choice — it is
+the algorithm behind the parallel SSSP baselines in the related GPU/CPU
+literature (see PAPERS.md) and degenerates gracefully to Dijkstra
+(``delta = 1`` on integer weights) and Bellman-Ford (``delta = inf``).
+
+Orientation and conventions match :mod:`repro.baselines.sequential`: costs
+from every vertex *i* **to** destination *d* (shortest paths from ``d`` in
+the reversed graph), ``maxint``-coded missing edges, non-negative integer
+weights, zero diagonal. ``sow`` is validated exactly against Dijkstra in
+the tests; ``ptn`` is a *cost-consistent* successor (``sow[i] ==
+w[i, ptn[i]] + sow[ptn[i]]``) but not necessarily the smallest-index one —
+Δ-stepping's relaxation order is bucket-driven, so pinning the PPA's
+``selected_min`` tie-break would be artificial.
+
+The bucket phases are vectorised: one light-edge relaxation of a frontier
+is a masked min-plus product over the frontier's columns (numpy), not a
+per-edge Python loop, and the all-pairs driver can shard destinations
+over ``fork`` worker processes — the same worker topology as
+``all_pairs_minimum_cost(workers=...)``, which is exactly what the P18
+roofline compares against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.sequential import SequentialResult, _check
+from repro.errors import GraphError
+
+__all__ = [
+    "DeltaAPSPResult",
+    "default_delta",
+    "delta_stepping",
+    "delta_stepping_all_pairs",
+]
+
+
+def default_delta(W, *, maxint: int) -> int:
+    """The Meyer-Sanders heuristic bucket width ``max(1, wmax / dmax)``.
+
+    ``wmax`` is the largest finite edge weight and ``dmax`` the maximum
+    out-degree of the reversed graph; the ratio balances the number of
+    bucket phases against re-relaxation within a bucket. Any positive
+    ``delta`` is correct — this only tunes performance.
+    """
+    W = np.asarray(W, dtype=np.int64)
+    edges = (W < maxint) & (W > 0)
+    if not edges.any():
+        return 1
+    wmax = int(W[edges].max())
+    dmax = int(edges.sum(axis=1).max())
+    return max(1, wmax // max(1, dmax))
+
+
+def delta_stepping(
+    W, d: int, *, maxint: int, delta: int | None = None
+) -> SequentialResult:
+    """Destination-oriented Δ-stepping toward *d*.
+
+    Returns a :class:`~repro.baselines.sequential.SequentialResult` whose
+    ``iterations`` field counts processed bucket phases (the algorithm's
+    parallel-depth proxy, as Bellman-Ford's counts relaxation sweeps).
+    """
+    W = _check(W, d, maxint)
+    n = W.shape[0]
+    if delta is None:
+        delta = default_delta(W, maxint=maxint)
+    delta = int(delta)
+    if delta < 1:
+        raise GraphError(f"delta must be >= 1, got {delta}")
+
+    finite = W < maxint
+    np.fill_diagonal(finite, False)
+    # Edge (u -> v) of weight W[u, v] is, viewed from the destination, a
+    # relaxation of u *through* v; light/heavy masked matrices keep
+    # non-qualifying entries at maxint so they never win a min.
+    light = np.where(finite & (W <= delta), W, maxint)
+    heavy = np.where(finite & (W > delta), W, maxint)
+    has_heavy = bool((heavy < maxint).any())
+
+    tent = np.full(n, maxint, dtype=np.int64)
+    ptn = np.full(n, d, dtype=np.int64)
+    tent[d] = 0
+    in_bucket = np.zeros(n, dtype=bool)
+    in_bucket[d] = True
+
+    def relax(frontier: np.ndarray, Wmask: np.ndarray) -> None:
+        """Relax all Wmask-edges out of *frontier* (vertex index array)."""
+        if frontier.size == 0:
+            return
+        block = Wmask[:, frontier] + tent[frontier][None, :]
+        np.minimum(block, maxint, out=block)
+        cand = block.min(axis=1)
+        improved = cand < tent
+        if not improved.any():
+            return
+        arg = frontier[block[improved].argmin(axis=1)]
+        tent[improved] = cand[improved]
+        ptn[improved] = arg
+        in_bucket[improved] = True
+
+    phases = 0
+    # Each bucket is emptied at most once per phase value; 1 + n * wmax /
+    # delta bounds the bucket indices, and the inner loop strictly
+    # decreases tentative values — the guard only trips on corrupt input.
+    max_phases = n * max(1, int(W[finite].max()) if finite.any() else 1)
+    while in_bucket.any():
+        phases += 1
+        if phases > max_phases + 1:  # pragma: no cover - invariant
+            raise GraphError("delta-stepping failed to converge")
+        k = int((tent[in_bucket] // delta).min())
+        removed = np.zeros(n, dtype=bool)
+        while True:
+            frontier_mask = in_bucket & (tent // delta == k)
+            if not frontier_mask.any():
+                break
+            in_bucket[frontier_mask] = False
+            removed |= frontier_mask
+            relax(np.flatnonzero(frontier_mask), light)
+        if has_heavy:
+            relax(np.flatnonzero(removed), heavy)
+
+    return SequentialResult(
+        destination=d, sow=tent, ptn=ptn, iterations=phases, maxint=maxint
+    )
+
+
+@dataclass(frozen=True)
+class DeltaAPSPResult:
+    """All-pairs Δ-stepping outcome (native baseline for P18).
+
+    ``dist[i, j]``/``succ[i, j]`` follow the
+    :class:`~repro.core.apsp.APSPResult` convention; ``phases[j]`` is the
+    bucket-phase count of destination ``j``'s run.
+    """
+
+    dist: np.ndarray
+    succ: np.ndarray
+    phases: np.ndarray
+    maxint: int
+    delta: int
+    workers: int
+
+
+# Worker-side state for the fork pool (set by the initializer).
+_ap_ctx: dict = {}
+
+
+def _ap_init(W: np.ndarray, maxint: int, delta: int) -> None:
+    _ap_ctx.update(W=W, maxint=maxint, delta=delta)
+
+
+def _ap_shard(span: tuple[int, int]):
+    start, stop = span
+    ctx = _ap_ctx
+    n = ctx["W"].shape[0]
+    dist = np.empty((n, stop - start), dtype=np.int64)
+    succ = np.empty((n, stop - start), dtype=np.int64)
+    phases = np.empty(stop - start, dtype=np.int64)
+    for i, d in enumerate(range(start, stop)):
+        res = delta_stepping(
+            ctx["W"], d, maxint=ctx["maxint"], delta=ctx["delta"]
+        )
+        dist[:, i] = res.sow
+        succ[:, i] = res.ptn
+        phases[i] = res.iterations
+    return start, stop, dist, succ, phases
+
+
+def delta_stepping_all_pairs(
+    W,
+    *,
+    maxint: int,
+    delta: int | None = None,
+    workers: int | None = None,
+) -> DeltaAPSPResult:
+    """All-pairs shortest costs via one Δ-stepping run per destination.
+
+    ``workers > 1`` shards the destination range over ``fork`` worker
+    processes (the weight matrix rides into the children at fork; shard
+    outputs are stitched deterministically by destination range). The
+    result is identical for every worker count.
+    """
+    W = np.asarray(W, dtype=np.int64)
+    n = W.shape[0]
+    _check(W, 0, maxint)
+    if delta is None:
+        delta = default_delta(W, maxint=maxint)
+    delta = int(delta)
+
+    nworkers = 1 if workers is None else max(1, min(int(workers), n))
+    if nworkers > 1 and "fork" not in mp.get_all_start_methods():
+        nworkers = 1  # pragma: no cover - non-fork platforms only
+
+    dist = np.empty((n, n), dtype=np.int64)
+    succ = np.empty((n, n), dtype=np.int64)
+    phases = np.empty(n, dtype=np.int64)
+
+    if nworkers == 1:
+        for d in range(n):
+            res = delta_stepping(W, d, maxint=maxint, delta=delta)
+            dist[:, d] = res.sow
+            succ[:, d] = res.ptn
+            phases[d] = res.iterations
+    else:
+        pieces = np.array_split(np.arange(n), nworkers)
+        spans = [(int(p[0]), int(p[-1]) + 1) for p in pieces if p.size]
+        ctx = mp.get_context("fork")
+        with ctx.Pool(
+            processes=len(spans),
+            initializer=_ap_init,
+            initargs=(W, maxint, delta),
+        ) as pool:
+            for start, stop, dcols, scols, ph in pool.map(_ap_shard, spans):
+                dist[:, start:stop] = dcols
+                succ[:, start:stop] = scols
+                phases[start:stop] = ph
+
+    return DeltaAPSPResult(
+        dist=dist,
+        succ=succ,
+        phases=phases,
+        maxint=maxint,
+        delta=delta,
+        workers=nworkers,
+    )

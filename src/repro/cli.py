@@ -147,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the literal one-destination-per-pass host loop",
     )
     apsp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="P",
+        help="shard destinations over P worker processes (shared-memory "
+        "planes; results and serial-equivalent counters are bit-identical "
+        "to the inline sweep)",
+    )
+    apsp.add_argument(
         "--matrix",
         action="store_true",
         help="print the full distance matrix (default: summary only)",
@@ -274,10 +283,11 @@ def _add_engine_flag(sub: argparse.ArgumentParser) -> None:
         "--engine",
         choices=ENGINE_NAMES,
         default="auto",
-        help="execution engine: 'auto' (default) fuses MCP rounds into "
-        "analytic-cost numpy kernels when the machine is eligible and "
-        "falls back to the faithful cycle engine otherwise; results and "
-        "counters are bit-identical (see docs/performance.md)",
+        help="execution engine: 'auto' (default) runs the fastest eligible "
+        "analytic tier — cache-blocked 'compiled' kernels on large grids, "
+        "'fused' whole-array kernels below — and falls back to the "
+        "faithful cycle engine otherwise; results and counters are "
+        "bit-identical (see docs/performance.md)",
     )
 
 
@@ -293,18 +303,19 @@ def _effective_engine(
 
     ``auto``/``cycle`` pass through untouched (``auto`` falls back
     silently inside :func:`repro.engine.select.resolve_engine`). An
-    explicit ``fused`` request that cannot be honoured prints a note
-    naming the blocking condition and downgrades to ``cycle`` — the CLI
-    never fails a run over an engine preference (exit 0).
+    explicit ``fused`` or ``compiled`` request that cannot be honoured
+    prints a note naming the blocking condition and downgrades to
+    ``cycle`` — the CLI never fails a run over an engine preference
+    (exit 0).
     """
     engine = getattr(args, "engine", "auto")
-    if engine != "fused":
+    if engine not in ("fused", "compiled"):
         return engine
     from repro.engine import fused_block_reason
 
     reason = None
     if not ppa:
-        reason = f"--arch {args.arch} has no fused engine (PPA only)"
+        reason = f"--arch {args.arch} has no {engine} engine (PPA only)"
     elif resilient:
         reason = (
             "--resilient detects and recovers per-transaction faults, "
@@ -315,8 +326,8 @@ def _effective_engine(
     elif machine is not None:
         reason = fused_block_reason(machine)
     if reason is None:
-        return "fused"
-    print(f"note: engine 'fused' unavailable: {reason}; "
+        return engine
+    print(f"note: engine '{engine}' unavailable: {reason}; "
           "running the cycle engine (results are identical)")
     return "cycle"
 
@@ -734,6 +745,10 @@ def _cmd_apsp(args) -> int:
                 "--resilient runs all destinations as batched lanes; "
                 "drop --serial"
             )
+        if args.workers is not None and args.workers > 1:
+            print("note: --workers ignored with --resilient (fault "
+                  "recovery observes individual transactions; running "
+                  "inline)")
         _effective_engine(args, resilient=True)  # note on --engine fused
         machine, executor = _resilient_executor(args, n)
         res = executor.run_batched(
@@ -785,11 +800,20 @@ def _cmd_apsp(args) -> int:
         serial=args.serial,
         lanes=args.lanes,
         engine=engine,
+        workers=args.workers,
     )
 
+    report = res.shard_report
+    if report.get("blocked"):
+        print(f"note: --workers {report['requested_workers']} unavailable: "
+              f"{report['blocked']}; running the inline sweep (results "
+              "are identical)")
     mode = "serial sweep" if args.serial else (
         f"batched lanes={args.lanes or n}"
     )
+    if report.get("workers", 1) > 1:
+        mode += (f", {report['workers']} workers "
+                 f"({report['engine']} engine per shard)")
     print(f"all-pairs minimum cost on ppa ({n}x{n}, h={args.word_bits}, "
           f"{mode})")
     reachable = res.dist < res.maxint

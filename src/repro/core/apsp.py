@@ -63,6 +63,12 @@ class APSPResult:
         Per-destination counter deltas ``{name: (n,) int64}``; column
         ``d`` is what a serial run for destination ``d`` records. Empty
         for ``serial=True`` sweeps (use the scalar totals instead).
+    shard_report
+        How a ``workers=`` request was honoured. Empty for plain inline
+        sweeps; for a sharded sweep it carries the shard layout, the
+        concrete engine and per-worker cost-cache stats; for a blocked
+        request it carries ``{"workers": 1, "blocked": reason}`` (the
+        sweep ran inline — the CLI surfaces the reason as a note).
     """
 
     dist: np.ndarray
@@ -72,6 +78,7 @@ class APSPResult:
     counters: dict[str, int] = field(default_factory=dict)
     machine_counters: dict[str, int] = field(default_factory=dict)
     lane_counters: dict[str, np.ndarray] = field(default_factory=dict)
+    shard_report: dict = field(default_factory=dict)
 
     def path(self, source: int, target: int) -> list[int]:
         """Vertex sequence of a minimum cost path ``source -> target``."""
@@ -98,6 +105,7 @@ def all_pairs_minimum_cost(
     serial: bool = False,
     lanes: int | None = None,
     engine: str = "auto",
+    workers: int | None = None,
     **kwargs,
 ) -> APSPResult:
     """Assemble the all-pairs matrices from per-destination MCP runs.
@@ -123,13 +131,50 @@ def all_pairs_minimum_cost(
         the fused analytic-cost engine when eligible — which is the normal
         case for plain sweeps — and the cycle engine otherwise (profiling,
         fault plans, ``word_parallel=True`` ablations). Forcing
-        ``"cycle"``/``"fused"`` is forwarded verbatim; results and all
-        counter books are bit-identical either way (see
+        ``"cycle"``/``"fused"``/``"compiled"`` is forwarded verbatim;
+        results and all counter books are bit-identical either way (see
         :mod:`repro.engine`).
+    workers
+        Number of worker processes to shard destinations over
+        (``None``/``1`` = inline). Each worker runs a contiguous
+        destination shard on a fresh machine over shared-memory planes;
+        results and the serial-equivalent ``counters`` are bit-identical
+        to the inline sweep for every worker count. When sharding is
+        blocked (serial sweep, fault plan, tracer, bus trace, custom
+        routines — see :func:`repro.engine.shard.workers_block_reason`)
+        the sweep falls back inline and records the reason in
+        :attr:`APSPResult.shard_report`.
     """
     n = machine.n
     tele = machine.telemetry
     kwargs = dict(kwargs, engine=engine)
+
+    shard_report: dict = {}
+    if workers is not None and int(workers) > 1:
+        from repro.engine.shard import sharded_all_pairs, workers_block_reason
+
+        blocked = workers_block_reason(
+            machine,
+            serial=serial,
+            word_parallel=word_parallel,
+            min_routine=kwargs.get("min_routine"),
+            selected_min_routine=kwargs.get("selected_min_routine"),
+        )
+        if blocked is None:
+            return sharded_all_pairs(
+                machine,
+                W,
+                workers=int(workers),
+                lanes=lanes,
+                engine=engine,
+                zero_diagonal=kwargs.get("zero_diagonal", "require"),
+                max_iterations=kwargs.get("max_iterations"),
+            )
+        shard_report = {
+            "requested_workers": int(workers),
+            "workers": 1,
+            "blocked": blocked,
+        }
 
     if serial:
         runner = minimum_cost_path_word if word_parallel else minimum_cost_path
@@ -153,6 +198,7 @@ def all_pairs_minimum_cost(
             maxint=machine.maxint,
             counters=totals,
             machine_counters=dict(totals),
+            shard_report=shard_report,
         )
 
     if word_parallel:
@@ -197,4 +243,5 @@ def all_pairs_minimum_cost(
         counters=LaneCounters.total_of(lane_deltas),
         machine_counters=machine.counters.diff(machine_before),
         lane_counters=lane_deltas,
+        shard_report=shard_report,
     )

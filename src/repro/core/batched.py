@@ -192,10 +192,11 @@ def batched_minimum_cost_path(
     zero_diagonal, max_iterations, min_routine, selected_min_routine
         As in :func:`repro.core.mcp.minimum_cost_path`.
     engine
-        ``"auto"`` (default) upgrades to the fused analytic-cost engine on
-        eligible machines (see :mod:`repro.engine`); ``"cycle"``/``"fused"``
-        force one. Results and both counter books are bit-identical either
-        way.
+        ``"auto"`` (default) upgrades to the fastest eligible analytic
+        tier — ``compiled`` on large grids, ``fused`` below — on eligible
+        machines (see :mod:`repro.engine`); ``"cycle"``/``"fused"``/
+        ``"compiled"`` force one. Results and both counter books are
+        bit-identical every way.
 
     Returns
     -------
@@ -209,6 +210,16 @@ def batched_minimum_cost_path(
         min_routine=min_routine,
         selected_min_routine=selected_min_routine,
     )
+    if choice.compiled:
+        from repro.engine.compiled import compiled_batched_minimum_cost_path
+
+        return compiled_batched_minimum_cost_path(
+            machine,
+            W,
+            destinations,
+            zero_diagonal=zero_diagonal,
+            max_iterations=max_iterations,
+        )
     if choice.fused:
         from repro.engine.fused import fused_batched_minimum_cost_path
 

@@ -83,11 +83,13 @@ def minimum_cost_path(
         by default; :mod:`repro.core.variants` injects the word-parallel
         ones for ablation A7.
     engine
-        ``"auto"`` (default) runs the fused analytic-cost engine whenever
-        the machine is eligible — no fault plan, span tracer, bus trace or
-        non-default reduction routines — and the faithful cycle engine
-        otherwise; ``"cycle"``/``"fused"`` force one (``"fused"`` raises
-        :class:`~repro.errors.EngineError` on an ineligible machine). Both
+        ``"auto"`` (default) runs the fastest eligible analytic tier —
+        ``compiled`` (cache-blocked kernels) on large grids, ``fused``
+        below that — whenever the machine is eligible (no fault plan,
+        span tracer, bus trace or non-default reduction routines) and the
+        faithful cycle engine otherwise; ``"cycle"``/``"fused"``/
+        ``"compiled"`` force one (the analytic tiers raise
+        :class:`~repro.errors.EngineError` on an ineligible machine). All
         engines return bit-identical results and counters; see
         :mod:`repro.engine`.
 
@@ -103,6 +105,16 @@ def minimum_cost_path(
         min_routine=min_routine,
         selected_min_routine=selected_min_routine,
     )
+    if choice.compiled:
+        from repro.engine.compiled import compiled_minimum_cost_path
+
+        return compiled_minimum_cost_path(
+            machine,
+            W,
+            d,
+            zero_diagonal=zero_diagonal,
+            max_iterations=max_iterations,
+        )
     if choice.fused:
         from repro.engine.fused import fused_minimum_cost_path
 

@@ -10,18 +10,39 @@
     round is a few vectorised numpy kernels, and the counters are charged
     from a per-configuration cost vector replayed off the cycle engine
     (:mod:`repro.engine.costs`). Bit-identical results and ledgers, orders
-    of magnitude less Python dispatch — the ``n = 256``/``512`` regime.
+    of magnitude less Python dispatch — the ``n = 64``..``255`` regime.
+
+``compiled``
+    The cache-blocked tier (:mod:`repro.engine.compiled`): the same
+    analytic replay, but the min-plus relaxation runs in L2-resident row
+    tiles (optionally JIT'd via numba when installed — never required).
+    The large-grid regime; ``auto`` prefers it from
+    ``n >= COMPILED_AUTO_MIN_N``.
 
 ``auto`` (default everywhere)
-    :func:`~repro.engine.select.resolve_engine` upgrades to ``fused`` when
-    the machine is eligible and silently falls back to ``cycle`` otherwise.
+    :func:`~repro.engine.select.resolve_engine` upgrades to the fastest
+    eligible analytic tier and silently falls back to ``cycle`` otherwise.
+
+Process-parallel APSP destination sharding (:mod:`repro.engine.shard`)
+composes with any tier through ``all_pairs_minimum_cost(workers=...)``.
 """
 
+from repro.engine.compiled import (
+    HAS_NUMBA,
+    blocked_relax,
+    compiled_batched_minimum_cost_path,
+    compiled_kernel_info,
+    compiled_minimum_cost_path,
+    numba_active,
+    row_block,
+)
 from repro.engine.costs import (
     MCPCostVector,
     clear_cost_cache,
     cost_cache_size,
     cost_cache_stats,
+    export_cost_cache,
+    install_cost_cache,
     mcp_cost_vector,
     reset_cost_cache_stats,
 )
@@ -30,16 +51,25 @@ from repro.engine.fused import (
     fused_minimum_cost_path,
 )
 from repro.engine.select import (
+    COMPILED_AUTO_MIN_N,
     ENGINE_NAMES,
     EngineChoice,
+    compiled_block_reason,
     fused_block_reason,
     resolve_engine,
+)
+from repro.engine.shard import (
+    destination_shards,
+    sharded_all_pairs,
+    workers_block_reason,
 )
 
 __all__ = [
     "ENGINE_NAMES",
+    "COMPILED_AUTO_MIN_N",
     "EngineChoice",
     "fused_block_reason",
+    "compiled_block_reason",
     "resolve_engine",
     "MCPCostVector",
     "mcp_cost_vector",
@@ -47,6 +77,18 @@ __all__ = [
     "cost_cache_size",
     "cost_cache_stats",
     "reset_cost_cache_stats",
+    "export_cost_cache",
+    "install_cost_cache",
     "fused_minimum_cost_path",
     "fused_batched_minimum_cost_path",
+    "HAS_NUMBA",
+    "numba_active",
+    "row_block",
+    "blocked_relax",
+    "compiled_kernel_info",
+    "compiled_minimum_cost_path",
+    "compiled_batched_minimum_cost_path",
+    "workers_block_reason",
+    "destination_shards",
+    "sharded_all_pairs",
 ]

@@ -1,0 +1,193 @@
+"""The shared analytic-cost MCP loop.
+
+Both analytic tiers — ``fused`` (whole-array kernels) and ``compiled``
+(cache-blocked kernels, optional numba) — run the *same* control flow:
+init row-``d`` state, relax until convergence, charge counters by
+replaying the per-configuration cost vector (:mod:`repro.engine.costs`).
+The only difference between the tiers is the relaxation kernel, so the
+loop lives here once, parameterised by a ``relax(sow, W, maxint)``
+callable, and the per-tier modules stay thin. Anything pinned about the
+fused engine's semantics (smallest-index tie-break, convergence masking,
+lane ledgers, the ``MIN_SOW[d, d] = 0`` invariant) is pinned about this
+loop — the differential suite in ``tests/engine/`` exercises it through
+both tiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import normalize_weights
+from repro.core.result import MCPResult
+from repro.engine.costs import mcp_cost_vector
+from repro.errors import GraphError
+from repro.ppa.machine import PPAMachine
+
+__all__ = ["run_analytic_mcp", "run_analytic_batched_mcp"]
+
+
+def run_analytic_mcp(
+    machine: PPAMachine,
+    W,
+    d: int,
+    relax,
+    *,
+    zero_diagonal: str = "require",
+    max_iterations: int | None = None,
+) -> MCPResult:
+    """Single-destination MCP with counters replayed from the cost vector.
+
+    *relax* is the tier's kernel: ``relax(sow, W, maxint) -> (new_sow,
+    arg)`` with ``arg`` the smallest-index argmin per row (the bit-serial
+    ``selected_min`` tie-break). Eligibility is the caller's job.
+    """
+    Wm = normalize_weights(W, machine, zero_diagonal=zero_diagonal)
+    n = machine.n
+    if not (0 <= d < n):
+        raise GraphError(f"destination {d} outside [0, {n})")
+    if max_iterations is None:
+        max_iterations = n + 1
+
+    before = machine.counters.snapshot()
+    cost = mcp_cost_vector(machine.config)
+    maxint = machine.maxint
+
+    # Init (statements 4-7 + the directed-graph transposition): row d of
+    # SOW holds the 1-edge costs *to* d — column d of W — and PTN holds d.
+    machine.apply_counter_delta(cost.init)
+    sow = Wm[:, d].copy()
+    ptn = np.full(n, d, dtype=np.int64)
+
+    iterations = 0
+    converged = False
+    while not converged:
+        iterations += 1
+        machine.apply_counter_delta(cost.iteration)
+
+        new_sow, arg = relax(sow, Wm, maxint)
+        # Node (d, d) never stores into MIN_SOW (statement 11 is masked off
+        # row d), so the diagonal writeback always delivers 0 to SOW[d, d].
+        new_sow[d] = 0
+        changed = new_sow != sow
+        # PTN writeback reads the diagonal: PTN[j, j] = arg[j] for j != d,
+        # and PTN[d, d] stays d forever (row d never runs statement 12).
+        arg[d] = d
+        ptn = np.where(changed, arg, ptn)
+        sow = new_sow
+        converged = not changed.any()
+
+        if not converged and iterations >= max_iterations:
+            raise GraphError(
+                f"MCP did not converge within {max_iterations} "
+                "iterations; the input violates the algorithm's "
+                "preconditions"
+            )
+
+    return MCPResult(
+        destination=d,
+        sow=sow.copy(),
+        ptn=ptn.copy(),
+        iterations=iterations,
+        maxint=maxint,
+        counters=machine.counters.diff(before),
+    )
+
+
+def run_analytic_batched_mcp(
+    machine: PPAMachine,
+    W,
+    destinations,
+    relax,
+    *,
+    zero_diagonal: str = "require",
+    max_iterations: int | None = None,
+):
+    """Batched multi-destination MCP with replayed counters.
+
+    Bit-identical to :func:`repro.core.batched.batched_minimum_cost_path`
+    with ``engine="cycle"``: per-lane SOW/PTN/iterations, the batched-stream
+    scalar counter delta *and* every lane's serial-equivalent ledger. Lane
+    convergence masking happens on the host: a converged lane's state rows
+    freeze and its ledger stops accruing (``set_active_lanes``), exactly as
+    in the cycle loop.
+    """
+    from repro.core.batched import BatchedMCPResult, _normalize_lane_weights
+
+    dest = np.asarray(destinations, dtype=np.int64)
+    if dest.ndim != 1 or dest.size == 0:
+        raise GraphError(
+            f"destinations must be a non-empty 1-D vector, got shape "
+            f"{dest.shape}"
+        )
+    batch = int(dest.size)
+    if machine.batch is None:
+        machine = machine.lanes(batch)
+    elif machine.batch != batch:
+        raise GraphError(
+            f"machine has batch={machine.batch} but {batch} destinations "
+            "were given"
+        )
+    n = machine.n
+    if ((dest < 0) | (dest >= n)).any():
+        bad = int(dest[(dest < 0) | (dest >= n)][0])
+        raise GraphError(f"destination {bad} outside [0, {n})")
+    Wm = _normalize_lane_weights(W, machine, batch, zero_diagonal)
+    if max_iterations is None:
+        max_iterations = n + 1
+
+    before = machine.counters.snapshot()
+    lanes_before = machine.lane_counters.snapshot()
+    cost = mcp_cost_vector(machine.config)
+    maxint = machine.maxint
+    lane_idx = np.arange(batch)
+
+    machine.set_active_lanes(None)
+    try:
+        # Init: every lane charges the init delta (lane mask is all-True),
+        # and lane b's row-d state holds column dest[b] of its matrix.
+        machine.apply_counter_delta(cost.init)
+        if Wm.ndim == 2:
+            sow = Wm[:, dest].T.copy()  # (B, n): sow[b, j] = W[j, dest[b]]
+        else:
+            sow = np.take_along_axis(
+                Wm, dest[:, None, None], axis=2
+            )[:, :, 0].copy()
+        ptn = np.broadcast_to(dest[:, None], (batch, n)).copy()
+
+        iterations = np.zeros(batch, dtype=np.int64)
+        active = np.ones(batch, dtype=bool)
+        rounds = 0
+        while active.any():
+            rounds += 1
+            machine.set_active_lanes(active)
+            iterations += active
+            machine.apply_counter_delta(cost.iteration)
+
+            new_sow, arg = relax(sow, Wm, maxint)
+            new_sow[lane_idx, dest] = 0
+            arg[lane_idx, dest] = dest
+            # Freeze converged lanes: the SIMD datapath computed them, but
+            # their stores are gated off (the cycle loop's `gate` mask).
+            changed = (new_sow != sow) & active[:, None]
+            sow = np.where(active[:, None], new_sow, sow)
+            ptn = np.where(changed, arg, ptn)
+            active = active & changed.any(axis=1)
+
+            if active.any() and rounds >= max_iterations:
+                raise GraphError(
+                    f"batched MCP did not converge within "
+                    f"{max_iterations} iterations; the input violates "
+                    "the algorithm's preconditions"
+                )
+    finally:
+        machine.set_active_lanes(None)
+
+    return BatchedMCPResult(
+        destinations=dest.copy(),
+        sow=sow.copy(),
+        ptn=ptn.copy(),
+        iterations=iterations,
+        maxint=maxint,
+        counters=machine.counters.diff(before),
+        lane_counters=machine.lane_counters.diff(lanes_before),
+    )

@@ -53,6 +53,8 @@ __all__ = [
     "cost_cache_size",
     "cost_cache_stats",
     "reset_cost_cache_stats",
+    "export_cost_cache",
+    "install_cost_cache",
 ]
 
 _COST_CACHE_SIZE = 32
@@ -175,6 +177,41 @@ def mcp_cost_vector(config: PPAConfig) -> MCPCostVector:
     while len(_cache) > _COST_CACHE_SIZE:
         _cache.popitem(last=False)
     return vector
+
+
+def export_cost_cache() -> tuple[MCPCostVector, ...]:
+    """Every cached cost vector, oldest-first — a picklable snapshot.
+
+    :class:`MCPCostVector` is a frozen dataclass of a frozen
+    :class:`PPAConfig` plus plain dicts, so the tuple pickles cleanly.
+    The APSP shard runner (:mod:`repro.engine.shard`) probes the parent
+    process once, exports, and ships the vectors to every worker through
+    the pool initializer — workers then *hit* the cache instead of
+    silently re-probing (and re-tracing) per process; the worker-side
+    hit/miss stats are asserted in ``tests/engine/test_shard.py``.
+    """
+    return tuple(_cache.values())
+
+
+def install_cost_cache(vectors) -> None:
+    """Install pre-probed cost vectors (e.g. in a worker process at fork).
+
+    Installation counts as neither hit nor miss — the stats measure lookup
+    traffic, and shipped vectors exist precisely so the first worker
+    lookup is a hit. Unknown objects are rejected loudly: a silently
+    dropped vector would reintroduce the per-worker re-probe this API
+    exists to prevent.
+    """
+    for vector in vectors:
+        if not isinstance(vector, MCPCostVector):
+            raise EngineError(
+                f"install_cost_cache() takes MCPCostVector instances, got "
+                f"{type(vector).__name__}"
+            )
+        _cache.pop(vector.config, None)
+        _cache[vector.config] = vector
+    while len(_cache) > _COST_CACHE_SIZE:
+        _cache.popitem(last=False)
 
 
 def clear_cost_cache() -> None:

@@ -30,6 +30,11 @@ lane's serial-equivalent ledger, where lane ``b`` receives ``init +
 iterations[b] * iteration`` exactly as the batched cycle engine charges
 it. The differential suite in ``tests/engine/`` pins all of this.
 
+The control flow (and the counter replay) is shared with the compiled
+tier — see :mod:`repro.engine._loop`; this module contributes only the
+whole-array relaxation kernel. :mod:`repro.engine.compiled` contributes
+the cache-blocked one.
+
 Eligibility is the caller's job (:func:`repro.engine.select.resolve_engine`
 — no fault plan, tracer, bus trace, or non-default reduction routines);
 the entry points here re-check and raise :class:`~repro.errors.EngineError`
@@ -40,11 +45,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.graph import normalize_weights
 from repro.core.result import MCPResult
-from repro.engine.costs import mcp_cost_vector
+from repro.engine._loop import run_analytic_batched_mcp, run_analytic_mcp
 from repro.engine.select import resolve_engine
-from repro.errors import GraphError
 from repro.ppa.machine import PPAMachine
 
 __all__ = ["fused_minimum_cost_path", "fused_batched_minimum_cost_path"]
@@ -79,55 +82,13 @@ def fused_minimum_cost_path(
     through ``engine="auto"``/``"fused"`` dispatch rather than directly.
     """
     resolve_engine(machine, "fused")  # raises EngineError when ineligible
-    Wm = normalize_weights(W, machine, zero_diagonal=zero_diagonal)
-    n = machine.n
-    if not (0 <= d < n):
-        raise GraphError(f"destination {d} outside [0, {n})")
-    if max_iterations is None:
-        max_iterations = n + 1
-
-    before = machine.counters.snapshot()
-    cost = mcp_cost_vector(machine.config)
-    maxint = machine.maxint
-
-    # Init (statements 4-7 + the directed-graph transposition): row d of
-    # SOW holds the 1-edge costs *to* d — column d of W — and PTN holds d.
-    machine.apply_counter_delta(cost.init)
-    sow = Wm[:, d].copy()
-    ptn = np.full(n, d, dtype=np.int64)
-
-    iterations = 0
-    converged = False
-    while not converged:
-        iterations += 1
-        machine.apply_counter_delta(cost.iteration)
-
-        new_sow, arg = _relax(sow, Wm, maxint)
-        # Node (d, d) never stores into MIN_SOW (statement 11 is masked off
-        # row d), so the diagonal writeback always delivers 0 to SOW[d, d].
-        new_sow[d] = 0
-        changed = new_sow != sow
-        # PTN writeback reads the diagonal: PTN[j, j] = arg[j] for j != d,
-        # and PTN[d, d] stays d forever (row d never runs statement 12).
-        arg[d] = d
-        ptn = np.where(changed, arg, ptn)
-        sow = new_sow
-        converged = not changed.any()
-
-        if not converged and iterations >= max_iterations:
-            raise GraphError(
-                f"MCP did not converge within {max_iterations} "
-                "iterations; the input violates the algorithm's "
-                "preconditions"
-            )
-
-    return MCPResult(
-        destination=d,
-        sow=sow.copy(),
-        ptn=ptn.copy(),
-        iterations=iterations,
-        maxint=maxint,
-        counters=machine.counters.diff(before),
+    return run_analytic_mcp(
+        machine,
+        W,
+        d,
+        _relax,
+        zero_diagonal=zero_diagonal,
+        max_iterations=max_iterations,
     )
 
 
@@ -148,84 +109,12 @@ def fused_batched_minimum_cost_path(
     freeze and its ledger stops accruing (``set_active_lanes``), exactly as
     in the cycle loop.
     """
-    from repro.core.batched import BatchedMCPResult, _normalize_lane_weights
-
     resolve_engine(machine, "fused")  # raises EngineError when ineligible
-    dest = np.asarray(destinations, dtype=np.int64)
-    if dest.ndim != 1 or dest.size == 0:
-        raise GraphError(
-            f"destinations must be a non-empty 1-D vector, got shape "
-            f"{dest.shape}"
-        )
-    batch = int(dest.size)
-    if machine.batch is None:
-        machine = machine.lanes(batch)
-    elif machine.batch != batch:
-        raise GraphError(
-            f"machine has batch={machine.batch} but {batch} destinations "
-            "were given"
-        )
-    n = machine.n
-    if ((dest < 0) | (dest >= n)).any():
-        bad = int(dest[(dest < 0) | (dest >= n)][0])
-        raise GraphError(f"destination {bad} outside [0, {n})")
-    Wm = _normalize_lane_weights(W, machine, batch, zero_diagonal)
-    if max_iterations is None:
-        max_iterations = n + 1
-
-    before = machine.counters.snapshot()
-    lanes_before = machine.lane_counters.snapshot()
-    cost = mcp_cost_vector(machine.config)
-    maxint = machine.maxint
-    lane_idx = np.arange(batch)
-
-    machine.set_active_lanes(None)
-    try:
-        # Init: every lane charges the init delta (lane mask is all-True),
-        # and lane b's row-d state holds column dest[b] of its matrix.
-        machine.apply_counter_delta(cost.init)
-        if Wm.ndim == 2:
-            sow = Wm[:, dest].T.copy()  # (B, n): sow[b, j] = W[j, dest[b]]
-        else:
-            sow = np.take_along_axis(
-                Wm, dest[:, None, None], axis=2
-            )[:, :, 0].copy()
-        ptn = np.broadcast_to(dest[:, None], (batch, n)).copy()
-
-        iterations = np.zeros(batch, dtype=np.int64)
-        active = np.ones(batch, dtype=bool)
-        rounds = 0
-        while active.any():
-            rounds += 1
-            machine.set_active_lanes(active)
-            iterations += active
-            machine.apply_counter_delta(cost.iteration)
-
-            new_sow, arg = _relax(sow, Wm, maxint)
-            new_sow[lane_idx, dest] = 0
-            arg[lane_idx, dest] = dest
-            # Freeze converged lanes: the SIMD datapath computed them, but
-            # their stores are gated off (the cycle loop's `gate` mask).
-            changed = (new_sow != sow) & active[:, None]
-            sow = np.where(active[:, None], new_sow, sow)
-            ptn = np.where(changed, arg, ptn)
-            active = active & changed.any(axis=1)
-
-            if active.any() and rounds >= max_iterations:
-                raise GraphError(
-                    f"batched MCP did not converge within "
-                    f"{max_iterations} iterations; the input violates "
-                    "the algorithm's preconditions"
-                )
-    finally:
-        machine.set_active_lanes(None)
-
-    return BatchedMCPResult(
-        destinations=dest.copy(),
-        sow=sow.copy(),
-        ptn=ptn.copy(),
-        iterations=iterations,
-        maxint=maxint,
-        counters=machine.counters.diff(before),
-        lane_counters=machine.lane_counters.diff(lanes_before),
+    return run_analytic_batched_mcp(
+        machine,
+        W,
+        destinations,
+        _relax,
+        zero_diagonal=zero_diagonal,
+        max_iterations=max_iterations,
     )

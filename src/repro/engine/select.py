@@ -1,6 +1,6 @@
 """Execution-engine selection policy.
 
-Two engines can run the paper's MCP relaxation loop:
+Three engines can run the paper's MCP relaxation loop:
 
 ``cycle``
     The faithful simulator: every bus transaction is an individually
@@ -19,16 +19,32 @@ Two engines can run the paper's MCP relaxation loop:
     bit-identical to the cycle engine — but per-transaction observers see
     nothing, which is why eligibility is gated.
 
+``compiled``
+    The cache-aware tier (:mod:`repro.engine.compiled`): the same
+    analytic-cost replay as ``fused``, but the min-plus relaxation runs as
+    a *blocked* kernel — row tiles sized to stay cache-resident instead of
+    one whole-array temporary — with an optional numba ``@njit`` fast path
+    detected at import (never required; the pure-numpy tiling is always
+    available). Eligibility conditions are identical to ``fused``; the
+    payoff grows with ``n`` (~4-5x over ``fused`` at ``n = 1024``).
+
 :func:`resolve_engine` implements the policy:
 
-* ``engine="auto"`` (the default everywhere) upgrades to ``fused``
-  whenever the machine is eligible and otherwise silently falls back to
-  ``cycle`` — existing workflows (fault injection, ``--trace``,
-  profiling, A7/A13 routine ablations) keep their exact behaviour.
+* ``engine="auto"`` (the default everywhere) upgrades to the fastest
+  eligible tier — ``compiled`` on large grids
+  (``n >= COMPILED_AUTO_MIN_N``), ``fused`` below that — and otherwise
+  silently falls back to ``cycle``; existing workflows (fault injection,
+  ``--trace``, profiling, A7/A13 routine ablations) keep their exact
+  behaviour.
 * ``engine="cycle"`` always honours the request.
-* ``engine="fused"`` raises :class:`~repro.errors.EngineError` with the
-  blocking reason when the machine is ineligible (the CLI catches this
-  earlier and prints a friendly note instead; see ``repro.cli``).
+* ``engine="fused"`` / ``engine="compiled"`` raise
+  :class:`~repro.errors.EngineError` with the blocking reason when the
+  machine is ineligible (the CLI catches this earlier and prints a
+  friendly note instead; see ``repro.cli``).
+
+Process-parallel APSP sharding (``all_pairs_minimum_cost(workers=...)``)
+adds one more gate on top of engine eligibility — see
+:func:`repro.engine.shard.workers_block_reason`.
 """
 
 from __future__ import annotations
@@ -37,9 +53,23 @@ from dataclasses import dataclass
 
 from repro.errors import EngineError
 
-__all__ = ["EngineChoice", "ENGINE_NAMES", "fused_block_reason", "resolve_engine"]
+__all__ = [
+    "EngineChoice",
+    "ENGINE_NAMES",
+    "COMPILED_AUTO_MIN_N",
+    "fused_block_reason",
+    "compiled_block_reason",
+    "resolve_engine",
+]
 
-ENGINE_NAMES = ("auto", "cycle", "fused")
+ENGINE_NAMES = ("auto", "cycle", "fused", "compiled")
+
+#: Grid side at which ``auto`` prefers the blocked (compiled) kernels over
+#: whole-array fusion. Below this the fused engine's single temporary fits
+#: cache anyway and the tiling loop is pure overhead; above it the blocked
+#: kernels win by keeping each candidate tile L2-resident. Either choice is
+#: bit-identical — this threshold only picks the faster one.
+COMPILED_AUTO_MIN_N = 256
 
 
 @dataclass(frozen=True)
@@ -49,9 +79,11 @@ class EngineChoice:
     Attributes
     ----------
     name
-        The engine that will actually run: ``"cycle"`` or ``"fused"``.
+        The engine that will actually run: ``"cycle"``, ``"fused"`` or
+        ``"compiled"``.
     requested
-        The caller's request (``"auto"``/``"cycle"``/``"fused"``).
+        The caller's request (``"auto"``/``"cycle"``/``"fused"``/
+        ``"compiled"``).
     reason
         Why the choice was made — for ``auto`` fallbacks this is the
         blocking condition (``"fault plan attached"``...), otherwise a
@@ -65,6 +97,15 @@ class EngineChoice:
     @property
     def fused(self) -> bool:
         return self.name == "fused"
+
+    @property
+    def compiled(self) -> bool:
+        return self.name == "compiled"
+
+    @property
+    def analytic(self) -> bool:
+        """True for either analytic-replay tier (``fused``/``compiled``)."""
+        return self.name in ("fused", "compiled")
 
 
 def fused_block_reason(
@@ -103,6 +144,27 @@ def fused_block_reason(
     return None
 
 
+def compiled_block_reason(
+    machine,
+    *,
+    min_routine=None,
+    selected_min_routine=None,
+) -> str | None:
+    """The first condition blocking the compiled engine, or ``None``.
+
+    The compiled tier charges the same replayed analytic cost vectors as
+    the fused engine and issues no individual bus transactions either, so
+    its eligibility conditions are exactly the fused ones. (numba is an
+    optional fast path, never a requirement — the pure-numpy blocked
+    kernels run everywhere.)
+    """
+    return fused_block_reason(
+        machine,
+        min_routine=min_routine,
+        selected_min_routine=selected_min_routine,
+    )
+
+
 def resolve_engine(
     machine,
     engine: str = "auto",
@@ -127,14 +189,21 @@ def resolve_engine(
         min_routine=min_routine,
         selected_min_routine=selected_min_routine,
     )
-    if engine == "fused":
+    if engine in ("fused", "compiled"):
         if blocked is not None:
             raise EngineError(
-                f"engine='fused' unavailable: {blocked}; use engine='auto' "
+                f"engine={engine!r} unavailable: {blocked}; use engine='auto' "
                 "to fall back to the cycle engine transparently"
             )
-        return EngineChoice("fused", engine, "fused engine requested")
+        return EngineChoice(engine, engine, f"{engine} engine requested")
     # auto
     if blocked is not None:
         return EngineChoice("cycle", engine, blocked)
+    if machine.n >= COMPILED_AUTO_MIN_N:
+        return EngineChoice(
+            "compiled",
+            engine,
+            f"large grid (n >= {COMPILED_AUTO_MIN_N}): blocked kernels "
+            "beat whole-array fusion",
+        )
     return EngineChoice("fused", engine, "machine eligible for fused execution")

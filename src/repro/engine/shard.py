@@ -1,0 +1,375 @@
+"""Process-parallel APSP destination sharding over shared memory.
+
+The all-pairs sweep is embarrassingly parallel across destinations: every
+destination's MCP run reads the same weight matrix and writes disjoint
+columns of ``dist``/``succ``. This module splits the destination range
+into contiguous shards, runs one worker process per shard (``fork`` start
+method), and stitches the results back together **deterministically** —
+output planes land in preallocated :mod:`multiprocessing.shared_memory`
+blocks (each worker owns its own columns, so there are no write
+conflicts), and the per-worker machine-counter deltas are merged in shard
+order.
+
+Counter semantics
+-----------------
+``APSPResult.counters`` (the serial-equivalent sum over destinations) is
+**invariant across worker counts**: each destination's lane ledger is the
+serial-equivalent cost of its own run, regardless of which process or
+lane chunk hosted it. ``APSPResult.machine_counters`` reports what the
+worker machines actually accrued, summed over shards — it varies with the
+shard/lane chunking exactly as the inline batched sweep's
+``machine_counters`` already varies with ``lanes=``; the differential
+tests pin the former bit-for-bit and validate the latter's structure.
+
+Cost vectors ride along at fork
+-------------------------------
+The analytic tiers replay counters from per-configuration cost vectors
+(:mod:`repro.engine.costs`). The parent probes its vector **once**,
+exports the cache, and ships it to every worker through the pool
+initializer — workers install it and *hit* on every lookup instead of
+silently re-probing (and re-running a traced cycle MCP) per process. The
+per-worker hit/miss tallies come back in ``APSPResult.shard_report`` and
+are asserted in ``tests/engine/test_shard.py``.
+
+Eligibility
+-----------
+Sharding is gated separately from engine choice by
+:func:`workers_block_reason`: anything that must observe the run from the
+parent process — fault plans, the span tracer, the bus trace — cannot see
+worker activity, and custom reduction routines / pre-batched machines /
+``serial=True`` sweeps are out of scope. A blocked request **falls back
+to the inline sweep** and records the reason in
+``APSPResult.shard_report`` (the CLI surfaces it as a note), mirroring
+the ``engine="auto"`` downgrade convention.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.engine.costs import (
+    cost_cache_stats,
+    export_cost_cache,
+    install_cost_cache,
+    mcp_cost_vector,
+    reset_cost_cache_stats,
+)
+from repro.engine.select import resolve_engine
+from repro.errors import EngineError
+
+__all__ = [
+    "workers_block_reason",
+    "destination_shards",
+    "sharded_all_pairs",
+]
+
+
+def workers_block_reason(
+    machine,
+    *,
+    serial: bool = False,
+    word_parallel: bool = False,
+    min_routine=None,
+    selected_min_routine=None,
+) -> str | None:
+    """The first condition blocking a sharded (multi-process) sweep.
+
+    Returns ``None`` when ``workers > 1`` can be honoured. The conditions
+    are about *cross-process observability*, not engine tier — an
+    eligible machine may shard the ``cycle`` engine just as well as the
+    analytic tiers (the differential suite does exactly that).
+    """
+    from repro.ppc.reductions import ppa_min, ppa_selected_min
+
+    if serial:
+        return (
+            "serial sweep requested (one destination per machine pass is "
+            "inherently sequential)"
+        )
+    if machine.batch is not None:
+        return (
+            "machine is already batched (sharding drives its own lane "
+            "views over an unbatched machine)"
+        )
+    if machine.fault_plan is not None:
+        return (
+            "fault plan attached (workers cannot report per-transaction "
+            "faults back to the parent)"
+        )
+    if machine.telemetry.enabled:
+        return (
+            "span tracer enabled (worker spans cannot attach to the "
+            "parent's trace tree)"
+        )
+    if machine.trace.enabled:
+        return (
+            "bus trace enabled (worker transactions cannot append to the "
+            "parent's trace)"
+        )
+    if word_parallel:
+        return (
+            "word-parallel routines requested (the A7 ablation is a "
+            "cycle-engine study; run it inline)"
+        )
+    if min_routine is not None and min_routine is not ppa_min:
+        return "non-default min routine (not shipped to worker processes)"
+    if (
+        selected_min_routine is not None
+        and selected_min_routine is not ppa_selected_min
+    ):
+        return (
+            "non-default selected_min routine (not shipped to worker "
+            "processes)"
+        )
+    if "fork" not in mp.get_all_start_methods():
+        return "fork start method unavailable on this platform"
+    if machine.n < 2:
+        return "grid side < 2 (nothing to shard)"
+    return None
+
+
+def destination_shards(n: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` destination ranges, one per worker.
+
+    ``workers`` is clamped to ``n``; ranges are as equal as
+    :func:`numpy.array_split` makes them and cover ``range(n)`` exactly.
+    """
+    if workers < 1:
+        raise EngineError(f"workers must be >= 1, got {workers}")
+    pieces = np.array_split(np.arange(n), min(int(workers), n))
+    return [(int(p[0]), int(p[-1]) + 1) for p in pieces if p.size]
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shm block without taking ownership.
+
+    ``track=False`` (Python >= 3.13) keeps the attach out of the resource
+    tracker entirely. On older Pythons the attach re-registers the name —
+    harmless here, because fork-pool workers share the parent's tracker
+    and its cache is a set (the duplicate collapses onto the parent's own
+    registration, which the parent's ``unlink()`` clears exactly once).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+# Worker-side state installed by the pool initializer (one dict per worker
+# process; empty in the parent).
+_worker_ctx: dict = {}
+
+
+def _worker_init(payload: dict) -> None:
+    """Pool initializer: install shipped cost vectors and the task spec.
+
+    The cache is cleared first so the worker's cost vectors are exactly
+    the shipped set (under ``fork`` the parent's cache is inherited — the
+    explicit clear+install keeps the contract identical under ``spawn``),
+    and the stats are reset so the per-worker hit/miss tallies returned to
+    the parent measure only this worker's lookups.
+    """
+    from repro.engine.costs import clear_cost_cache
+
+    clear_cost_cache()
+    install_cost_cache(payload["cost_vectors"])
+    reset_cost_cache_stats()
+    _worker_ctx.clear()
+    _worker_ctx.update(payload)
+
+
+def _run_shard(task: tuple[int, int, int]) -> dict:
+    """Execute one destination shard inside a worker process.
+
+    Opens the parent's shared-memory planes, runs the batched sweep for
+    ``[start, stop)`` on a fresh machine, writes its columns, and returns
+    the shard's machine-counter delta plus cost-cache stats.
+    """
+    from repro.core.batched import batched_minimum_cost_path
+    from repro.ppa.machine import PPAMachine
+
+    shard_index, start, stop = task
+    ctx = _worker_ctx
+    config = ctx["config"]
+    n = config.n
+    fields = ctx["fields"]
+
+    handles = [_attach(ctx[key]) for key in ("w", "dist", "succ", "iters", "lanes")]
+    shm_w, shm_dist, shm_succ, shm_iters, shm_lanes = handles
+    try:
+        W = np.ndarray((n, n), dtype=np.int64, buffer=shm_w.buf)
+        W.flags.writeable = False
+        dist = np.ndarray((n, n), dtype=np.int64, buffer=shm_dist.buf)
+        succ = np.ndarray((n, n), dtype=np.int64, buffer=shm_succ.buf)
+        iters = np.ndarray(n, dtype=np.int64, buffer=shm_iters.buf)
+        lane_planes = np.ndarray(
+            (len(fields), n), dtype=np.int64, buffer=shm_lanes.buf
+        )
+
+        machine = PPAMachine(config)
+        before = machine.counters.snapshot()
+        lane_cap = ctx["lane_cap"]
+        for chunk in range(start, stop, lane_cap):
+            dests = np.arange(chunk, min(chunk + lane_cap, stop))
+            view = machine.lanes(int(dests.size))
+            res = batched_minimum_cost_path(
+                view,
+                W,
+                dests,
+                engine=ctx["engine"],
+                zero_diagonal="require",
+                max_iterations=ctx["max_iterations"],
+            )
+            dist[:, dests] = res.sow.T
+            succ[:, dests] = res.ptn.T
+            iters[dests] = res.iterations
+            for row, name in enumerate(fields):
+                lane_planes[row, dests] = res.lane_counters[name]
+        return {
+            "shard": shard_index,
+            "destinations": [start, stop],
+            "machine_counters": machine.counters.diff(before),
+            "cost_cache": cost_cache_stats(),
+        }
+    finally:
+        for shm in handles:
+            shm.close()
+
+
+def sharded_all_pairs(
+    machine,
+    W,
+    *,
+    workers: int,
+    lanes: int | None = None,
+    engine: str = "auto",
+    zero_diagonal: str = "require",
+    max_iterations: int | None = None,
+):
+    """All-pairs minimum cost via destination shards in worker processes.
+
+    Callers reach this through
+    :func:`repro.core.apsp.all_pairs_minimum_cost` with ``workers > 1``
+    after :func:`workers_block_reason` cleared the machine; invoking it
+    directly on an ineligible machine raises
+    :class:`~repro.errors.EngineError`.
+
+    Returns the same :class:`~repro.core.apsp.APSPResult` as the inline
+    sweep — ``dist``/``succ``/``iterations``, the serial-equivalent
+    ``counters`` and per-destination ``lane_counters`` bit-identical to
+    every other engine/worker-count combination — plus a ``shard_report``
+    describing the shard layout and per-worker cache stats. The parent
+    machine is charged the merged worker deltas, so its
+    ``machine_counters`` stay a faithful account of the sweep.
+    """
+    from repro.core.apsp import APSPResult
+    from repro.core.graph import normalize_weights
+
+    blocked = workers_block_reason(machine)
+    if blocked is not None:
+        raise EngineError(
+            f"workers={workers} unavailable: {blocked}; use "
+            "all_pairs_minimum_cost(), which falls back to the inline "
+            "sweep transparently"
+        )
+
+    n = machine.n
+    Wm = np.ascontiguousarray(
+        normalize_weights(W, machine, zero_diagonal=zero_diagonal),
+        dtype=np.int64,
+    )
+    # Resolve once in the parent so every worker runs the same concrete
+    # tier ("auto" would resolve identically on each fresh worker machine,
+    # but forwarding the name makes the report unambiguous).
+    choice = resolve_engine(machine, engine)
+    if choice.analytic:
+        mcp_cost_vector(machine.config)  # probe once here, ship below
+
+    shards = destination_shards(n, workers)
+    lane_cap = n if lanes is None else max(1, min(int(lanes), n))
+    fields = tuple(type(machine.counters).field_names())
+
+    blocks: list[shared_memory.SharedMemory] = []
+
+    def _alloc(shape) -> tuple[str, np.ndarray]:
+        size = int(np.prod(shape)) * 8
+        shm = shared_memory.SharedMemory(create=True, size=max(size, 8))
+        blocks.append(shm)
+        return shm.name, np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+
+    machine_before = machine.counters.snapshot()
+    try:
+        w_name, w_arr = _alloc((n, n))
+        w_arr[:] = Wm
+        dist_name, dist_arr = _alloc((n, n))
+        succ_name, succ_arr = _alloc((n, n))
+        iters_name, iters_arr = _alloc((n,))
+        lanes_name, lanes_arr = _alloc((len(fields), n))
+        for arr in (dist_arr, succ_arr, iters_arr, lanes_arr):
+            arr[:] = 0
+
+        payload = {
+            "config": machine.config,
+            "engine": choice.name,
+            "lane_cap": lane_cap,
+            "max_iterations": max_iterations,
+            "fields": fields,
+            "cost_vectors": export_cost_cache(),
+            "w": w_name,
+            "dist": dist_name,
+            "succ": succ_name,
+            "iters": iters_name,
+            "lanes": lanes_name,
+        }
+        tasks = [(i, start, stop) for i, (start, stop) in enumerate(shards)]
+        ctx = mp.get_context("fork")
+        with ctx.Pool(
+            processes=len(shards),
+            initializer=_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            reports = pool.map(_run_shard, tasks)
+
+        reports.sort(key=lambda r: r["shard"])  # deterministic merge order
+        merged: dict[str, int] = {name: 0 for name in fields}
+        for report in reports:
+            for name, value in report["machine_counters"].items():
+                merged[name] += int(value)
+        machine.apply_counter_delta(merged)
+
+        lane_deltas = {
+            name: lanes_arr[row].copy() for row, name in enumerate(fields)
+        }
+        from repro.ppa.counters import LaneCounters
+
+        return APSPResult(
+            dist=dist_arr.copy(),
+            succ=succ_arr.copy(),
+            iterations=iters_arr.copy(),
+            maxint=machine.maxint,
+            counters=LaneCounters.total_of(lane_deltas),
+            machine_counters=machine.counters.diff(machine_before),
+            lane_counters=lane_deltas,
+            shard_report={
+                "requested_workers": int(workers),
+                "workers": len(shards),
+                "engine": choice.name,
+                "lane_cap": lane_cap,
+                "shards": [list(s) for s in shards],
+                "worker_stats": [
+                    {
+                        "shard": r["shard"],
+                        "destinations": r["destinations"],
+                        "cost_cache": r["cost_cache"],
+                    }
+                    for r in reports
+                ],
+            },
+        )
+    finally:
+        for shm in blocks:
+            shm.close()
+            shm.unlink()

@@ -290,6 +290,15 @@ class _Compiler:
             }[expr.op](v)
         if isinstance(expr, ast.Binary):
             a = self.const_eval(expr.left, scope)
+            # A deciding constant left operand short-circuits through a
+            # non-constant right, exactly like the interpreter: `1 || x`
+            # is scalar 1 and `0 && x` is scalar 0 whatever x is, and x
+            # — including any communication it contains — never runs.
+            if isinstance(a, int):
+                if expr.op == "||" and a:
+                    return 1
+                if expr.op == "&&" and not a:
+                    return 0
             b = self.const_eval(expr.right, scope)
             if not (isinstance(a, int) and isinstance(b, int)):
                 return None

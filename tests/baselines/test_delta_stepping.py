@@ -1,0 +1,117 @@
+"""Δ-stepping baseline — validated against Dijkstra as the oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    DeltaAPSPResult,
+    default_delta,
+    delta_stepping,
+    delta_stepping_all_pairs,
+)
+from repro.baselines.sequential import dijkstra
+from repro.errors import GraphError
+from repro.workloads import WeightSpec, gnp_digraph
+
+INF16 = (1 << 16) - 1
+
+
+class TestAgainstDijkstra:
+    @given(
+        n=st.integers(2, 20),
+        seed=st.integers(0, 10_000),
+        density=st.floats(0.05, 0.9),
+        delta=st.one_of(st.none(), st.integers(1, 50)),
+    )
+    @settings(max_examples=40)
+    def test_sow_exact_for_any_delta(self, n, seed, density, delta):
+        W = gnp_digraph(n, density, seed=seed, weights=WeightSpec(0, 40),
+                        inf_value=INF16)
+        d = seed % n
+        ref = dijkstra(W, d, maxint=INF16)
+        got = delta_stepping(W, d, maxint=INF16, delta=delta)
+        assert np.array_equal(got.sow, ref.sow)
+
+    @given(n=st.integers(2, 12), seed=st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_ptn_is_cost_consistent(self, n, seed):
+        W = gnp_digraph(n, 0.4, seed=seed, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        d = seed % n
+        res = delta_stepping(W, d, maxint=INF16)
+        for i in range(n):
+            if i == d or res.sow[i] >= INF16:
+                continue
+            s = int(res.ptn[i])
+            assert res.sow[i] == W[i, s] + res.sow[s], (i, s)
+
+    def test_degenerate_deltas_agree(self):
+        """delta=1 (Dijkstra-like) and a huge delta (Bellman-Ford-like)
+        bracket the heuristic default; all must give the same costs."""
+        W = gnp_digraph(15, 0.3, seed=3, weights=WeightSpec(1, 20),
+                        inf_value=INF16)
+        ref = dijkstra(W, 4, maxint=INF16).sow
+        for delta in (1, default_delta(W, maxint=INF16), 10_000):
+            got = delta_stepping(W, 4, maxint=INF16, delta=delta)
+            assert np.array_equal(got.sow, ref), delta
+
+    def test_edgeless_graph(self):
+        W = np.full((5, 5), INF16, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        res = delta_stepping(W, 2, maxint=INF16)
+        expect = np.full(5, INF16, dtype=np.int64)
+        expect[2] = 0
+        assert np.array_equal(res.sow, expect)
+        assert default_delta(W, maxint=INF16) == 1
+
+    def test_phase_count_positive(self):
+        W = gnp_digraph(8, 0.5, seed=1, weights=WeightSpec(1, 9),
+                        inf_value=INF16)
+        assert delta_stepping(W, 0, maxint=INF16).iterations >= 1
+
+
+class TestValidation:
+    def test_delta_below_one_rejected(self):
+        W = np.zeros((3, 3), dtype=np.int64)
+        with pytest.raises(GraphError, match="delta"):
+            delta_stepping(W, 0, maxint=INF16, delta=0)
+
+    def test_input_checks_delegate_to_sequential(self):
+        W = np.zeros((3, 3), dtype=np.int64)
+        with pytest.raises(GraphError):
+            delta_stepping(W, 5, maxint=INF16)  # destination out of range
+
+
+class TestAllPairs:
+    def _W(self, n=11, seed=7):
+        return gnp_digraph(n, 0.3, seed=seed, weights=WeightSpec(1, 9),
+                           inf_value=INF16)
+
+    def test_matches_per_destination_runs(self):
+        W = self._W()
+        res = delta_stepping_all_pairs(W, maxint=INF16)
+        for d in range(W.shape[0]):
+            single = delta_stepping(W, d, maxint=INF16, delta=res.delta)
+            assert np.array_equal(res.dist[:, d], single.sow)
+            assert res.phases[d] == single.iterations
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_worker_invariance(self, workers):
+        W = self._W(seed=9)
+        base = delta_stepping_all_pairs(W, maxint=INF16)
+        res = delta_stepping_all_pairs(W, maxint=INF16, workers=workers)
+        assert np.array_equal(base.dist, res.dist)
+        assert np.array_equal(base.succ, res.succ)
+        assert np.array_equal(base.phases, res.phases)
+        assert res.workers == workers
+
+    def test_result_fields(self):
+        W = self._W(n=4, seed=2)
+        res = delta_stepping_all_pairs(W, maxint=INF16, workers=8)
+        assert isinstance(res, DeltaAPSPResult)
+        assert res.maxint == INF16
+        assert res.delta == default_delta(W, maxint=INF16)
+        assert res.workers == 4  # clamped to n
+        assert res.dist.shape == (4, 4)
+        assert np.array_equal(np.diag(res.dist), np.zeros(4, dtype=np.int64))

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.engine import ENGINE_NAMES, EngineChoice, fused_block_reason, resolve_engine
+from repro.engine import (
+    COMPILED_AUTO_MIN_N,
+    ENGINE_NAMES,
+    EngineChoice,
+    compiled_block_reason,
+    fused_block_reason,
+    resolve_engine,
+)
 from repro.errors import EngineError
 from repro.ppa import FaultKind, FaultPlan, PPAConfig, PPAMachine
 from repro.ppc.reductions import ppa_min, ppa_selected_min, word_parallel_min
@@ -58,13 +65,32 @@ class TestEligibility:
         assert "bus trace" in fused_block_reason(view)
 
 
+    def test_compiled_blockers_match_fused(self, machine8):
+        assert compiled_block_reason(machine8) is None
+        machine8.trace.enabled = True
+        assert compiled_block_reason(machine8) == fused_block_reason(machine8)
+
+
 class TestResolve:
     def test_auto_upgrades_when_eligible(self, machine8):
         choice = resolve_engine(machine8, "auto")
         assert choice == EngineChoice(
             "fused", "auto", "machine eligible for fused execution"
         )
-        assert choice.fused
+        assert choice.fused and choice.analytic and not choice.compiled
+
+    def test_auto_prefers_compiled_on_large_grids(self):
+        machine = PPAMachine(PPAConfig(n=COMPILED_AUTO_MIN_N, word_bits=16))
+        choice = resolve_engine(machine, "auto")
+        assert choice.name == "compiled"
+        assert choice.compiled and choice.analytic and not choice.fused
+        assert "large grid" in choice.reason
+
+    def test_auto_large_grid_still_falls_back_when_blocked(self):
+        machine = PPAMachine(PPAConfig(n=COMPILED_AUTO_MIN_N, word_bits=16))
+        machine.trace.enabled = True
+        choice = resolve_engine(machine, "auto")
+        assert choice.name == "cycle" and not choice.analytic
 
     def test_auto_falls_back_with_reason(self, machine8):
         machine8.trace.enabled = True
@@ -82,16 +108,26 @@ class TestResolve:
         with pytest.raises(EngineError, match="span tracer"):
             resolve_engine(machine8, "fused")
 
+    def test_compiled_raises_when_blocked(self, machine8):
+        machine8.telemetry.enable()
+        with pytest.raises(EngineError, match="span tracer"):
+            resolve_engine(machine8, "compiled")
+
     def test_fused_honoured_when_eligible(self, machine8):
         choice = resolve_engine(machine8, "fused")
         assert choice.name == "fused" and choice.requested == "fused"
+
+    def test_compiled_honoured_when_eligible(self, machine8):
+        choice = resolve_engine(machine8, "compiled")
+        assert choice.name == "compiled" and choice.requested == "compiled"
+        assert choice.compiled and choice.analytic
 
     def test_unknown_engine_rejected(self, machine8):
         with pytest.raises(EngineError, match="unknown engine"):
             resolve_engine(machine8, "warp")
 
     def test_engine_names_constant(self):
-        assert ENGINE_NAMES == ("auto", "cycle", "fused")
+        assert ENGINE_NAMES == ("auto", "cycle", "fused", "compiled")
 
 
 class TestDispatchEntryPoints:
@@ -124,3 +160,16 @@ class TestDispatchEntryPoints:
             fused_minimum_cost_path(machine4, W, 0)
         with pytest.raises(EngineError, match="bus trace"):
             fused_batched_minimum_cost_path(machine4, W, np.arange(4))
+
+    def test_compiled_entry_points_revalidate(self, machine4):
+        from repro.engine import (
+            compiled_batched_minimum_cost_path,
+            compiled_minimum_cost_path,
+        )
+
+        machine4.trace.enabled = True
+        W = np.zeros((4, 4), dtype=np.int64)
+        with pytest.raises(EngineError, match="bus trace"):
+            compiled_minimum_cost_path(machine4, W, 0)
+        with pytest.raises(EngineError, match="bus trace"):
+            compiled_batched_minimum_cost_path(machine4, W, np.arange(4))

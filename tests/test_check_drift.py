@@ -1,0 +1,121 @@
+"""The drift guard's artefact validation: clear failures, never a KeyError.
+
+``benchmarks/check_drift.py`` is a standalone script (not part of the
+``repro`` package), so it is loaded here by file path. Only the cheap
+pre-flight machinery is exercised — the regeneration checks themselves run
+in CI via ``python benchmarks/check_drift.py``.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_drift.py"
+
+
+@pytest.fixture(scope="module")
+def drift():
+    spec = importlib.util.spec_from_file_location("check_drift", _SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+NAME = "BENCH_p2_batching.json"  # any registered bench artefact
+
+
+class TestValidateArtifact:
+    def test_missing_file_fails_with_instructions(self, drift, tmp_path):
+        diffs = drift._validate_artifact(tmp_path / NAME)
+        assert len(diffs) == 1
+        assert "missing" in diffs[0]
+        assert "pytest benchmarks/" in diffs[0]
+
+    def test_unreadable_json_fails(self, drift, tmp_path):
+        path = tmp_path / NAME
+        path.write_text("{not json")
+        (diff,) = drift._validate_artifact(path)
+        assert "unreadable JSON" in diff
+
+    def test_non_object_payload_fails(self, drift, tmp_path):
+        path = tmp_path / NAME
+        path.write_text("[1, 2, 3]")
+        (diff,) = drift._validate_artifact(path)
+        assert "JSON object" in diff
+
+    def test_unknown_schema_version_fails(self, drift, tmp_path):
+        path = tmp_path / NAME
+        path.write_text(json.dumps({"schema": "repro-bench-p2-v999"}))
+        (diff,) = drift._validate_artifact(path)
+        assert "unknown schema" in diff
+        assert "repro-bench-p2-v999" in diff
+        assert "repro-bench-p2-v1" in diff  # says what it understands
+
+    def test_missing_schema_key_fails(self, drift, tmp_path):
+        path = tmp_path / NAME
+        path.write_text(json.dumps({"entries": []}))
+        (diff,) = drift._validate_artifact(path)
+        assert "unknown schema: None" in diff
+
+    def test_profile_files_use_format_key(self, drift, tmp_path):
+        path = tmp_path / "BENCH_t1_mcp.json"
+        path.write_text(json.dumps({"format": "repro-profile-v2"}))
+        (diff,) = drift._validate_artifact(path)
+        assert "unknown format" in diff
+
+    def test_registered_artifacts_all_pass_preflight(self, drift):
+        for name in drift.CHECKS:
+            assert drift._validate_artifact(drift.PROFILE_DIR / name) == []
+
+
+class TestMain:
+    def test_registries_are_symmetric(self, drift):
+        assert set(drift.CHECKS) == set(drift.EXPECTED_SCHEMAS)
+
+    def test_missing_artifact_fails_run(self, drift, tmp_path, monkeypatch,
+                                         capsys):
+        monkeypatch.setattr(drift, "PROFILE_DIR", tmp_path)
+        monkeypatch.setattr(
+            drift, "CHECKS", {NAME: lambda p: []}
+        )
+        monkeypatch.setattr(
+            drift, "EXPECTED_SCHEMAS",
+            {NAME: ("schema", "repro-bench-p2-v1")},
+        )
+        assert drift.main() == 1
+        out = capsys.readouterr().out
+        assert f"FAIL {NAME}" in out
+        assert "missing" in out
+
+    def test_keyerror_in_check_reports_layout_problem(
+        self, drift, tmp_path, monkeypatch, capsys
+    ):
+        path = tmp_path / NAME
+        path.write_text(json.dumps({"schema": "repro-bench-p2-v1"}))
+
+        def bad_check(p):
+            return json.loads(p.read_text())["entries"]  # raises KeyError
+
+        monkeypatch.setattr(drift, "PROFILE_DIR", tmp_path)
+        monkeypatch.setattr(drift, "CHECKS", {NAME: bad_check})
+        monkeypatch.setattr(
+            drift, "EXPECTED_SCHEMAS",
+            {NAME: ("schema", "repro-bench-p2-v1")},
+        )
+        assert drift.main() == 1
+        out = capsys.readouterr().out
+        assert "missing key 'entries'" in out
+        assert "regenerate" in out
+
+    def test_unregistered_committed_artifact_fails(
+        self, drift, tmp_path, monkeypatch, capsys
+    ):
+        (tmp_path / "BENCH_rogue.json").write_text("{}")
+        monkeypatch.setattr(drift, "PROFILE_DIR", tmp_path)
+        monkeypatch.setattr(drift, "CHECKS", {})
+        monkeypatch.setattr(drift, "EXPECTED_SCHEMAS", {})
+        assert drift.main() == 1
+        err = capsys.readouterr().err
+        assert "BENCH_rogue.json" in err
