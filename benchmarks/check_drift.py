@@ -245,6 +245,44 @@ def _check_p18(path: Path) -> list[str]:
     return diffs
 
 
+def _check_p19(path: Path) -> list[str]:
+    """Invariant + digest guard for the P19 serving artefact.
+
+    The committed robustness invariants (``wrong == 0``,
+    ``silent_wrong == 0``, ``leaked_shm == []``) are validated statically,
+    and the determinism campaign — the chaos slice whose ok-answer set is
+    independent of host timing — is re-run in-process: its oracle digest
+    and validation count must regenerate bit-for-bit. Latency, throughput
+    and wall-clock fields are host-dependent and never guarded.
+    """
+    from repro.serve.chaos import run_chaos_campaign
+
+    committed = json.loads(path.read_text())
+    diffs: list[str] = []
+    for section in ("healthy", "chaos"):
+        wrong = committed[section]["wrong"]
+        if wrong != 0:
+            diffs.append(f"{section}.wrong: {wrong} independently "
+                         "validated answers disagreed")
+    if committed["campaign"]["silent_wrong"] != 0:
+        diffs.append("campaign.silent_wrong: "
+                     f"{committed['campaign']['silent_wrong']}")
+    if committed["campaign"]["leaked_shm"]:
+        diffs.append("campaign.leaked_shm: "
+                     f"{committed['campaign']['leaked_shm']}")
+
+    det = committed["determinism"]
+    fresh = run_chaos_campaign(
+        runs=int(det["runs"]), seed=int(det["seed"]), n=int(det["n"]),
+        requests_per_run=int(det["requests_per_run"]),
+        kinds=tuple(det["kinds"]),
+    )
+    for key in ("digest", "silent_wrong", "validated"):
+        if det[key] != fresh[key]:
+            diffs.append(f"determinism.{key}: {det[key]} -> {fresh[key]}")
+    return diffs
+
+
 # Committed artefact -> regenerating callable returning drift lines.
 CHECKS = {
     "BENCH_t1_mcp.json": lambda p: _check_profile(p, _regen_t1_mcp),
@@ -256,6 +294,7 @@ CHECKS = {
     "BENCH_p2_batching.json": _check_p2,
     "BENCH_p17_engines.json": _check_p17,
     "BENCH_p18_compiled.json": _check_p18,
+    "BENCH_p19_serving.json": _check_p19,
     "BENCH_t16_resilience.json": _check_t16,
 }
 
@@ -270,6 +309,7 @@ EXPECTED_SCHEMAS = {
     "BENCH_p2_batching.json": ("schema", "repro-bench-p2-v1"),
     "BENCH_p17_engines.json": ("schema", "repro-bench-p17-v1"),
     "BENCH_p18_compiled.json": ("schema", "repro-bench-p18-v1"),
+    "BENCH_p19_serving.json": ("schema", "repro-bench-p19-v1"),
     "BENCH_t16_resilience.json": ("schema", "repro-bench-t16-v1"),
 }
 

@@ -13,7 +13,15 @@
   docs/static-analysis.md) with text or ``--json`` findings;
 * ``selftest`` — run the bus diagnostic, optionally with injected faults;
 * ``profile``  — run MCP under the span tracer and print the per-phase
-  cost breakdown (see docs/observability.md).
+  cost breakdown (see docs/observability.md);
+* ``serve``    — run the fault-tolerant async path-query service
+  (admission control, deadlines/retries, degradation ladder, circuit
+  breaker; see docs/robustness.md, "Serving and failure handling");
+* ``loadgen``  — drive a running service (or ``--self-serve`` one
+  in-process) with a seeded query stream; reports latency percentiles
+  and independently validates sampled answers;
+* ``chaos``    — run the seeded service-level chaos campaign and check
+  its invariants (0 silent-wrong, 0 leaked shared memory).
 
 ``mcp`` and ``selftest`` accept ``--profile PATH`` (write the run's span
 profile; ``--trace-format chrome`` emits Chrome ``trace_event`` JSON for
@@ -273,6 +281,74 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--n", type=int, default=8)
     _add_fault_flags(st)
     _add_observability_flags(st)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant path-query service (JSON lines over "
+        "TCP; see docs/robustness.md, 'Serving and failure handling')",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7464,
+                       help="TCP port (0 = ephemeral, printed on startup)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrently computing requests")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission wait-queue bound (beyond: shed)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="APSP shard workers at the top ladder rung")
+    serve.add_argument("--shard-timeout", type=float, default=30.0,
+                       help="per-shard-attempt deadline (seconds)")
+    serve.add_argument("--deadline-ms", type=float, default=30_000.0,
+                       help="default per-request deadline")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="retry-jitter RNG seed")
+    serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip Bellman-fixpoint verification of computed answers "
+        "(forfeits the 0-silent-wrong guarantee; benchmarking only)",
+    )
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive a running service with a seeded query stream and "
+        "report latency percentiles + independent answer validation",
+    )
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=7464)
+    lg.add_argument("--requests", type=int, default=2000)
+    lg.add_argument("--concurrency", type=int, default=256,
+                    help="maximum in-flight requests")
+    lg.add_argument("--connections", type=int, default=8,
+                    help="TCP connections to multiplex over")
+    lg.add_argument("--n", type=int, default=24, help="graph vertex count")
+    lg.add_argument("--density", type=float, default=0.35)
+    lg.add_argument("--deadline-ms", type=float, default=5_000.0)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--graph", default="loadgen", help="graph name to use")
+    lg.add_argument(
+        "--self-serve",
+        action="store_true",
+        help="start an in-process service on an ephemeral port and drive "
+        "that (no separate 'repro serve' needed)",
+    )
+    lg.add_argument("--json", action="store_true",
+                    help="emit the result as JSON")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the seeded service-level chaos campaign (worker kill / "
+        "slow worker / overload / bus faults) and check its invariants",
+    )
+    chaos.add_argument("--runs", type=int, default=50)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--n", type=int, default=10)
+    chaos.add_argument("--requests-per-run", type=int, default=12)
+    chaos.add_argument("--max-p99-ms", type=float, default=None,
+                       help="also fail (exit 1) if the campaign's p99 "
+                       "latency exceeds this bound")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the campaign report as JSON")
     return parser
 
 
@@ -1129,6 +1205,127 @@ def _cmd_selftest(args) -> int:
     return 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import PathQueryService, ServiceConfig
+
+    config = ServiceConfig(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        default_deadline_ms=args.deadline_ms,
+        seed=args.seed,
+        verify=not args.no_verify,
+    )
+
+    async def run() -> None:
+        service = PathQueryService(config)
+        server = await service.start(args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"repro serve: listening on {host}:{port} "
+              f"(max_inflight={config.max_inflight}, "
+              f"max_queue={config.max_queue}, workers={config.workers}, "
+              f"verify={'on' if config.verify else 'OFF'})")
+        try:
+            await server.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: shut down")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.loadgen import run_loadgen
+
+    async def run():
+        service = None
+        host, port = args.host, args.port
+        if args.self_serve:
+            from repro.serve import PathQueryService, ServiceConfig
+
+            service = PathQueryService(ServiceConfig(seed=args.seed))
+            server = await service.start("127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+        try:
+            return await run_loadgen(
+                host, port,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                connections=args.connections,
+                graph=args.graph,
+                n=args.n,
+                density=args.density,
+                deadline_ms=args.deadline_ms,
+                seed=args.seed,
+            )
+        finally:
+            if service is not None:
+                await service.stop()
+
+    result = asyncio.run(run())
+    body = result.to_dict()
+    if args.json:
+        print(json.dumps(body, indent=2))
+    else:
+        lat = body["latency_ms"]
+        print(f"requests      {body['requests']}")
+        print(f"statuses      {body['by_status']}")
+        print(f"degraded      {body['degraded']}")
+        print(f"validated     {body['validated']} (wrong: {body['wrong']})")
+        if lat:
+            print(f"latency ms    p50={lat['p50']}  p90={lat['p90']}  "
+                  f"p99={lat['p99']}  max={lat['max']}")
+        print(f"throughput    {body['throughput_rps']} req/s "
+              f"(goodput {body['goodput_rps']} ok/s) over "
+              f"{body['wall_s']} s")
+    return 1 if result.wrong else 0
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.serve.chaos import run_chaos_campaign
+
+    report = run_chaos_campaign(
+        runs=args.runs,
+        seed=args.seed,
+        n=args.n,
+        requests_per_run=args.requests_per_run,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"chaos campaign: {report['runs']} runs, seed {report['seed']}")
+        print(f"statuses        {report['by_status']}")
+        print(f"degraded        {report['degraded_responses']} "
+              f"(verify rejections: {report['verify_rejections']}, "
+              f"ladder downgrades: {report['ladder_downgrades']}, "
+              f"breaker trips: {report['breaker_trips']})")
+        print(f"latency ms      {report['latency_ms']}")
+        print(f"silent wrong    {report['silent_wrong']}")
+        print(f"leaked shm      {report['leaked_shm'] or 'none'}")
+        print(f"digest          {report['digest']}")
+    failed = bool(report["silent_wrong"] or report["leaked_shm"])
+    p99 = report["latency_ms"].get("p99")
+    if args.max_p99_ms is not None and (p99 is None
+                                        or p99 > args.max_p99_ms):
+        print(f"p99 latency {p99} ms exceeds --max-p99-ms "
+              f"{args.max_p99_ms}", file=sys.stderr)
+        failed = True
+    if failed:
+        print("chaos campaign FAILED its invariants", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1140,6 +1337,9 @@ def main(argv: list[str] | None = None) -> int:
         "ppc": _cmd_ppc,
         "lint": _cmd_lint,
         "selftest": _cmd_selftest,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
+        "chaos": _cmd_chaos,
     }[args.command]
     try:
         return handler(args)

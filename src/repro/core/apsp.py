@@ -106,6 +106,7 @@ def all_pairs_minimum_cost(
     lanes: int | None = None,
     engine: str = "auto",
     workers: int | None = None,
+    shard_timeout: float | None = None,
     **kwargs,
 ) -> APSPResult:
     """Assemble the all-pairs matrices from per-destination MCP runs.
@@ -144,6 +145,12 @@ def all_pairs_minimum_cost(
         routines — see :func:`repro.engine.shard.workers_block_reason`)
         the sweep falls back inline and records the reason in
         :attr:`APSPResult.shard_report`.
+    shard_timeout
+        Per-worker-attempt deadline in seconds for sharded sweeps
+        (default :data:`repro.engine.shard.DEFAULT_SHARD_TIMEOUT`). A
+        crashed, wedged or injected-faulty worker is respawned once and,
+        failing that, its shard is recomputed inline — see
+        :class:`repro.engine.shard.ShardFailure`.
     """
     n = machine.n
     tele = machine.telemetry
@@ -169,6 +176,7 @@ def all_pairs_minimum_cost(
                 engine=engine,
                 zero_diagonal=kwargs.get("zero_diagonal", "require"),
                 max_iterations=kwargs.get("max_iterations"),
+                shard_timeout=shard_timeout,
             )
         shard_report = {
             "requested_workers": int(workers),

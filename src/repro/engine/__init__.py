@@ -52,14 +52,20 @@ from repro.engine.fused import (
 )
 from repro.engine.select import (
     COMPILED_AUTO_MIN_N,
+    ENGINE_DEGRADE_ORDER,
     ENGINE_NAMES,
     EngineChoice,
     compiled_block_reason,
+    degrade_engine,
     fused_block_reason,
     resolve_engine,
 )
 from repro.engine.shard import (
+    DEFAULT_SHARD_TIMEOUT,
+    ShardFailure,
+    clear_shard_chaos,
     destination_shards,
+    set_shard_chaos,
     sharded_all_pairs,
     workers_block_reason,
 )
@@ -91,4 +97,10 @@ __all__ = [
     "workers_block_reason",
     "destination_shards",
     "sharded_all_pairs",
+    "DEFAULT_SHARD_TIMEOUT",
+    "ShardFailure",
+    "set_shard_chaos",
+    "clear_shard_chaos",
+    "ENGINE_DEGRADE_ORDER",
+    "degrade_engine",
 ]

@@ -56,13 +56,41 @@ from repro.errors import EngineError
 __all__ = [
     "EngineChoice",
     "ENGINE_NAMES",
+    "ENGINE_DEGRADE_ORDER",
     "COMPILED_AUTO_MIN_N",
     "fused_block_reason",
     "compiled_block_reason",
+    "degrade_engine",
     "resolve_engine",
 ]
 
 ENGINE_NAMES = ("auto", "cycle", "fused", "compiled")
+
+#: Graceful-degradation order used by the serving tier
+#: (:mod:`repro.serve.degrade`): each engine maps to the next tier to try
+#: when the current one fails or is under pressure. All tiers are
+#: bit-identical on results and counters, so walking down the ladder
+#: trades throughput for isolation/diagnosability, never correctness.
+ENGINE_DEGRADE_ORDER = ("compiled", "fused", "cycle")
+
+
+def degrade_engine(name: str) -> str | None:
+    """The next-lower engine tier, or ``None`` at the bottom.
+
+    ``auto`` degrades like ``compiled`` (the fastest tier it can resolve
+    to); ``cycle`` has nothing below it. Unknown names raise
+    :class:`~repro.errors.EngineError`.
+    """
+    if name == "auto":
+        name = ENGINE_DEGRADE_ORDER[0]
+    if name not in ENGINE_NAMES:
+        raise EngineError(
+            f"unknown engine {name!r}; choose one of {ENGINE_NAMES}"
+        )
+    idx = ENGINE_DEGRADE_ORDER.index(name)
+    if idx + 1 >= len(ENGINE_DEGRADE_ORDER):
+        return None
+    return ENGINE_DEGRADE_ORDER[idx + 1]
 
 #: Grid side at which ``auto`` prefers the blocked (compiled) kernels over
 #: whole-array fusion. Below this the fused engine's single temporary fits

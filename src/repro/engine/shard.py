@@ -3,33 +3,55 @@
 The all-pairs sweep is embarrassingly parallel across destinations: every
 destination's MCP run reads the same weight matrix and writes disjoint
 columns of ``dist``/``succ``. This module splits the destination range
-into contiguous shards, runs one worker process per shard (``fork`` start
-method), and stitches the results back together **deterministically** —
-output planes land in preallocated :mod:`multiprocessing.shared_memory`
-blocks (each worker owns its own columns, so there are no write
-conflicts), and the per-worker machine-counter deltas are merged in shard
-order.
+into contiguous shards, runs one **supervised worker process** per shard
+(``fork`` start method), and stitches the results back together
+**deterministically** — output planes land in preallocated
+:mod:`multiprocessing.shared_memory` blocks (each worker owns its own
+columns, so there are no write conflicts), and the per-worker
+machine-counter deltas are merged in shard order.
+
+Failure handling
+----------------
+Workers are real processes and real processes die. The parent never
+waits unboundedly on a shard: every worker runs under a deadline
+(``shard_timeout``) and a liveness watch. A shard that crashes (nonzero
+exit, e.g. SIGKILL), raises, or blows its deadline is **respawned and
+retried exactly once**; if the retry fails too, the parent recomputes
+that shard **inline** on its own machine, so the sweep always returns a
+complete, correct :class:`~repro.core.apsp.APSPResult`. Every incident
+is surfaced as a structured :class:`ShardFailure` in
+``APSPResult.shard_report["failures"]`` — nothing hangs and nothing is
+silently dropped. ``repro.serve`` wraps this layer in a circuit breaker
+and a degradation ladder (see docs/robustness.md).
+
+Shared-memory hygiene: the parent owns every segment and releases each
+one individually on **every** exit path (success, worker failure, parent
+exception, interpreter teardown ordering) — a failure while cleaning one
+block cannot leak the others. Workers attach without ownership and close
+in a ``finally``; a SIGKILLed worker's mappings are reclaimed by the
+kernel, and the parent's unlink removes the name. The leak-check test in
+``tests/engine/test_shard_failures.py`` enumerates ``/dev/shm`` around
+crashing sweeps.
 
 Counter semantics
 -----------------
 ``APSPResult.counters`` (the serial-equivalent sum over destinations) is
-**invariant across worker counts**: each destination's lane ledger is the
-serial-equivalent cost of its own run, regardless of which process or
-lane chunk hosted it. ``APSPResult.machine_counters`` reports what the
-worker machines actually accrued, summed over shards — it varies with the
-shard/lane chunking exactly as the inline batched sweep's
-``machine_counters`` already varies with ``lanes=``; the differential
-tests pin the former bit-for-bit and validate the latter's structure.
+**invariant across worker counts** and across failure/recovery paths:
+each destination's lane ledger is the serial-equivalent cost of its own
+run, regardless of which process (or the parent, after a fallback)
+hosted it. ``APSPResult.machine_counters`` reports what the machines
+actually accrued — merged worker deltas plus any inline-recovery work —
+exactly as the inline batched sweep's ``machine_counters`` already
+varies with ``lanes=``.
 
 Cost vectors ride along at fork
 -------------------------------
 The analytic tiers replay counters from per-configuration cost vectors
 (:mod:`repro.engine.costs`). The parent probes its vector **once**,
-exports the cache, and ships it to every worker through the pool
-initializer — workers install it and *hit* on every lookup instead of
+exports the cache, and ships it to every worker through the spawn
+payload — workers install it and *hit* on every lookup instead of
 silently re-probing (and re-running a traced cycle MCP) per process. The
-per-worker hit/miss tallies come back in ``APSPResult.shard_report`` and
-are asserted in ``tests/engine/test_shard.py``.
+per-worker hit/miss tallies come back in ``APSPResult.shard_report``.
 
 Eligibility
 -----------
@@ -41,11 +63,26 @@ worker activity, and custom reduction routines / pre-batched machines /
 to the inline sweep** and records the reason in
 ``APSPResult.shard_report`` (the CLI surfaces it as a note), mirroring
 the ``engine="auto"`` downgrade convention.
+
+Chaos hooks
+-----------
+:func:`set_shard_chaos` arms deterministic failure injection — kill,
+delay or raise inside chosen shards for a chosen number of attempts —
+used by the service-level chaos harness (:mod:`repro.serve.chaos`) and
+the failure tests. The hooks ship to workers inside the spawn payload,
+so injection is exact (per shard, per attempt) rather than
+probabilistic.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue as queue_mod
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -61,10 +98,57 @@ from repro.engine.select import resolve_engine
 from repro.errors import EngineError
 
 __all__ = [
+    "ShardFailure",
     "workers_block_reason",
     "destination_shards",
     "sharded_all_pairs",
+    "set_shard_chaos",
+    "clear_shard_chaos",
 ]
+
+#: Default per-shard deadline (seconds). Generous — a healthy shard of a
+#: CI-sized sweep finishes in well under a second; the deadline exists so
+#: a wedged or killed worker can never hang the parent. Override per call
+#: (``shard_timeout=``) or process-wide via ``REPRO_SHARD_TIMEOUT``.
+DEFAULT_SHARD_TIMEOUT = 120.0
+
+#: Seconds the parent keeps draining the result queue after a worker
+#: process exits, before declaring the shard crashed — covers the window
+#: where the report is still in the queue's feeder pipe.
+_EXIT_DRAIN_GRACE = 1.0
+
+_POLL_INTERVAL = 0.02
+
+
+@dataclass
+class ShardFailure:
+    """One failed attempt at running a destination shard in a worker.
+
+    Appended (as a dict) to ``APSPResult.shard_report["failures"]``;
+    ``recovered`` records how the sweep ultimately absorbed the failure —
+    ``"respawn"`` (the one retry in a fresh worker succeeded) or
+    ``"inline"`` (the parent recomputed the shard itself). It is never
+    ``None`` on a returned result: one way or the other the shard's
+    columns are complete and correct.
+    """
+
+    shard: int
+    destinations: tuple[int, int]
+    kind: str  #: ``"crash"`` | ``"timeout"`` | ``"error"``
+    detail: str
+    attempt: int
+    recovered: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": int(self.shard),
+            "destinations": [int(self.destinations[0]),
+                             int(self.destinations[1])],
+            "kind": self.kind,
+            "detail": self.detail,
+            "attempt": int(self.attempt),
+            "recovered": self.recovered,
+        }
 
 
 def workers_block_reason(
@@ -148,8 +232,8 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
     ``track=False`` (Python >= 3.13) keeps the attach out of the resource
     tracker entirely. On older Pythons the attach re-registers the name —
-    harmless here, because fork-pool workers share the parent's tracker
-    and its cache is a set (the duplicate collapses onto the parent's own
+    harmless here, because fork workers share the parent's tracker and
+    its cache is a set (the duplicate collapses onto the parent's own
     registration, which the parent's ``unlink()`` clears exactly once).
     """
     try:
@@ -158,13 +242,65 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
 
 
-# Worker-side state installed by the pool initializer (one dict per worker
-# process; empty in the parent).
+# ---------------------------------------------------------------------------
+# Deterministic failure injection (chaos hooks)
+# ---------------------------------------------------------------------------
+
+#: Armed injection spec, shipped to workers inside the spawn payload.
+#: Maps are ``{shard_index: attempts_affected}`` — an entry of 1 fails
+#: the first attempt only (the respawn retry then succeeds), 2 fails both
+#: worker attempts (forcing the inline fallback), and so on.
+_chaos_spec: dict = {}
+
+
+def set_shard_chaos(
+    *,
+    kill_shards: dict[int, int] | None = None,
+    slow_shards: dict[int, int] | None = None,
+    raise_shards: dict[int, int] | None = None,
+    slow_seconds: float = 5.0,
+) -> None:
+    """Arm deterministic shard-failure injection (tests / chaos harness).
+
+    ``kill_shards`` SIGKILLs the worker before it computes (a hard
+    crash); ``slow_shards`` sleeps ``slow_seconds`` first (tripping the
+    shard deadline when ``slow_seconds > shard_timeout``);
+    ``raise_shards`` raises after the shared-memory attach (the
+    worker-exception leak path). Injection is per (shard, attempt) and
+    therefore exactly reproducible. Call :func:`clear_shard_chaos` to
+    disarm — production code never arms this.
+    """
+    _chaos_spec.clear()
+    _chaos_spec.update(
+        {
+            "kill": dict(kill_shards or {}),
+            "slow": dict(slow_shards or {}),
+            "raise": dict(raise_shards or {}),
+            "slow_seconds": float(slow_seconds),
+        }
+    )
+
+
+def clear_shard_chaos() -> None:
+    """Disarm :func:`set_shard_chaos`."""
+    _chaos_spec.clear()
+
+
+def _chaos_hits(chaos: dict, key: str, shard: int, attempt: int) -> bool:
+    return bool(chaos) and attempt < int(chaos.get(key, {}).get(shard, 0))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+# Worker-side state installed at spawn (one dict per worker process;
+# empty in the parent).
 _worker_ctx: dict = {}
 
 
 def _worker_init(payload: dict) -> None:
-    """Pool initializer: install shipped cost vectors and the task spec.
+    """Install shipped cost vectors and the task spec in a fresh worker.
 
     The cache is cleared first so the worker's cost vectors are exactly
     the shipped set (under ``fork`` the parent's cache is inherited — the
@@ -181,7 +317,7 @@ def _worker_init(payload: dict) -> None:
     _worker_ctx.update(payload)
 
 
-def _run_shard(task: tuple[int, int, int]) -> dict:
+def _run_shard(task: tuple[int, int, int], attempt: int = 0) -> dict:
     """Execute one destination shard inside a worker process.
 
     Opens the parent's shared-memory planes, runs the batched sweep for
@@ -196,10 +332,21 @@ def _run_shard(task: tuple[int, int, int]) -> dict:
     config = ctx["config"]
     n = config.n
     fields = ctx["fields"]
+    chaos = ctx.get("chaos") or {}
+
+    if _chaos_hits(chaos, "kill", shard_index, attempt):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if _chaos_hits(chaos, "slow", shard_index, attempt):
+        time.sleep(chaos["slow_seconds"])
 
     handles = [_attach(ctx[key]) for key in ("w", "dist", "succ", "iters", "lanes")]
     shm_w, shm_dist, shm_succ, shm_iters, shm_lanes = handles
     try:
+        if _chaos_hits(chaos, "raise", shard_index, attempt):
+            raise RuntimeError(
+                f"injected worker exception (shard {shard_index}, "
+                f"attempt {attempt})"
+            )
         W = np.ndarray((n, n), dtype=np.int64, buffer=shm_w.buf)
         W.flags.writeable = False
         dist = np.ndarray((n, n), dtype=np.int64, buffer=shm_dist.buf)
@@ -231,12 +378,190 @@ def _run_shard(task: tuple[int, int, int]) -> dict:
         return {
             "shard": shard_index,
             "destinations": [start, stop],
+            "attempt": attempt,
             "machine_counters": machine.counters.diff(before),
             "cost_cache": cost_cache_stats(),
         }
     finally:
         for shm in handles:
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+
+def _worker_main(payload: dict, task: tuple[int, int, int], attempt: int,
+                 result_queue) -> None:
+    """Worker process entry point: run one shard, report through the queue.
+
+    Exceptions are converted into an ``error`` report so the parent can
+    distinguish a clean Python failure from a hard crash (nonzero exit
+    with no report).
+    """
+    _worker_init(payload)
+    try:
+        report = _run_shard(task, attempt)
+    except BaseException:
+        report = {
+            "shard": task[0],
+            "destinations": [task[1], task[2]],
+            "attempt": attempt,
+            "error": traceback.format_exc(limit=8),
+        }
+    result_queue.put(report)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _ShardSupervisor:
+    """Run every shard under a deadline; respawn each failed shard once.
+
+    Tracks one live process per in-flight shard, drains the shared result
+    queue, and classifies failures: ``error`` (worker raised; it reported
+    itself), ``crash`` (worker gone with no report — SIGKILL, OOM-kill,
+    segfault) and ``timeout`` (deadline blown; the worker is killed). A
+    shard failing its respawn attempt too is handed back in
+    ``needs_inline`` for the parent to recompute.
+    """
+
+    def __init__(self, ctx, payload: dict, timeout: float):
+        self._ctx = ctx
+        self._payload = payload
+        self._timeout = timeout
+        self._queue = ctx.Queue()
+        self._live: dict[int, dict] = {}  # shard -> {proc, deadline, ...}
+        self.reports: dict[int, dict] = {}
+        self.failures: list[ShardFailure] = []
+        self.needs_inline: list[tuple[int, int, int]] = []
+
+    def spawn(self, task: tuple[int, int, int], attempt: int = 0) -> None:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._payload, task, attempt, self._queue),
+            daemon=True,
+        )
+        proc.start()
+        self._live[task[0]] = {
+            "proc": proc,
+            "task": task,
+            "attempt": attempt,
+            "deadline": time.monotonic() + self._timeout,
+            "exit_seen": None,
+        }
+
+    def _fail(self, shard: int, kind: str, detail: str) -> None:
+        entry = self._live.pop(shard)
+        proc = entry["proc"]
+        if proc.is_alive():
+            proc.kill()
+        proc.join()
+        failure = ShardFailure(
+            shard=shard,
+            destinations=(entry["task"][1], entry["task"][2]),
+            kind=kind,
+            detail=detail,
+            attempt=entry["attempt"],
+        )
+        self.failures.append(failure)
+        if entry["attempt"] == 0:
+            failure.recovered = "respawn"  # provisional; see run()
+            self.spawn(entry["task"], attempt=1)
+        else:
+            failure.recovered = "inline"
+            self.needs_inline.append(entry["task"])
+
+    def _absorb(self, report: dict) -> None:
+        shard = report["shard"]
+        if "error" in report:
+            if shard in self._live:
+                self._fail(shard, "error", report["error"].strip())
+            return
+        entry = self._live.pop(shard, None)
+        if entry is not None:
+            entry["proc"].join()
+        self.reports[shard] = report
+
+    def run(self) -> None:
+        while self._live:
+            try:
+                report = self._queue.get(timeout=_POLL_INTERVAL)
+            except queue_mod.Empty:
+                report = None
+            if report is not None:
+                self._absorb(report)
+                continue
+            now = time.monotonic()
+            for shard in list(self._live):
+                entry = self._live[shard]
+                proc = entry["proc"]
+                if not proc.is_alive():
+                    # Exited without a report reaching us yet: give the
+                    # queue feeder a short grace, then call it a crash.
+                    if entry["exit_seen"] is None:
+                        entry["exit_seen"] = now
+                    elif now - entry["exit_seen"] > _EXIT_DRAIN_GRACE:
+                        self._fail(
+                            shard,
+                            "crash",
+                            f"worker exited with code {proc.exitcode} "
+                            "before reporting",
+                        )
+                elif now > entry["deadline"]:
+                    self._fail(
+                        shard,
+                        "timeout",
+                        f"shard exceeded its {self._timeout:.1f}s deadline",
+                    )
+        # A first-attempt failure is only truly "respawn"-recovered if the
+        # retry reported success; otherwise the inline record supersedes.
+        recovered_shards = set(self.reports)
+        for failure in self.failures:
+            if failure.recovered == "respawn" and (
+                failure.shard not in recovered_shards
+            ):
+                failure.recovered = "inline"
+
+    def shutdown(self) -> None:
+        """Kill anything still alive and release the queue (error paths)."""
+        for entry in self._live.values():
+            proc = entry["proc"]
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+        self._live.clear()
+        self._queue.close()
+        self._queue.join_thread()
+
+
+def _release_blocks(blocks: list[shared_memory.SharedMemory]) -> None:
+    """Close + unlink every segment, best-effort and individually.
+
+    A failure releasing one block (already-closed buffer, racing unlink)
+    must never leak the rest — each step runs in its own guard. This is
+    the single cleanup path for every exit from :func:`sharded_all_pairs`.
+    """
+    for shm in blocks:
+        try:
             shm.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            pass
+        except OSError:  # pragma: no cover - defensive
+            pass
+    blocks.clear()
+
+
+def _default_shard_timeout() -> float:
+    try:
+        return float(os.environ.get("REPRO_SHARD_TIMEOUT", ""))
+    except ValueError:
+        return DEFAULT_SHARD_TIMEOUT
 
 
 def sharded_all_pairs(
@@ -248,6 +573,7 @@ def sharded_all_pairs(
     engine: str = "auto",
     zero_diagonal: str = "require",
     max_iterations: int | None = None,
+    shard_timeout: float | None = None,
 ):
     """All-pairs minimum cost via destination shards in worker processes.
 
@@ -257,13 +583,22 @@ def sharded_all_pairs(
     directly on an ineligible machine raises
     :class:`~repro.errors.EngineError`.
 
+    ``shard_timeout`` bounds each worker attempt (default
+    :data:`DEFAULT_SHARD_TIMEOUT`, overridable via the
+    ``REPRO_SHARD_TIMEOUT`` environment variable). Worker failures never
+    propagate as hangs or missing columns: each failed shard is respawned
+    once and, failing that, recomputed inline by the parent — the
+    incidents are recorded as :class:`ShardFailure` entries in
+    ``shard_report["failures"]``.
+
     Returns the same :class:`~repro.core.apsp.APSPResult` as the inline
     sweep — ``dist``/``succ``/``iterations``, the serial-equivalent
     ``counters`` and per-destination ``lane_counters`` bit-identical to
     every other engine/worker-count combination — plus a ``shard_report``
-    describing the shard layout and per-worker cache stats. The parent
-    machine is charged the merged worker deltas, so its
-    ``machine_counters`` stay a faithful account of the sweep.
+    describing the shard layout, per-worker cache stats and any absorbed
+    failures. The parent machine is charged the merged worker deltas (and
+    any inline-recovery work it ran itself), so its ``machine_counters``
+    stay a faithful account of the sweep.
     """
     from repro.core.apsp import APSPResult
     from repro.core.graph import normalize_weights
@@ -288,6 +623,13 @@ def sharded_all_pairs(
     if choice.analytic:
         mcp_cost_vector(machine.config)  # probe once here, ship below
 
+    timeout = (
+        float(shard_timeout) if shard_timeout is not None
+        else _default_shard_timeout()
+    )
+    if timeout <= 0:
+        raise EngineError(f"shard_timeout must be > 0, got {timeout}")
+
     shards = destination_shards(n, workers)
     lane_cap = n if lanes is None else max(1, min(int(lanes), n))
     fields = tuple(type(machine.counters).field_names())
@@ -301,6 +643,7 @@ def sharded_all_pairs(
         return shm.name, np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
 
     machine_before = machine.counters.snapshot()
+    supervisor = None
     try:
         w_name, w_arr = _alloc((n, n))
         w_arr[:] = Wm
@@ -318,22 +661,46 @@ def sharded_all_pairs(
             "max_iterations": max_iterations,
             "fields": fields,
             "cost_vectors": export_cost_cache(),
+            "chaos": dict(_chaos_spec) if _chaos_spec else None,
             "w": w_name,
             "dist": dist_name,
             "succ": succ_name,
             "iters": iters_name,
             "lanes": lanes_name,
         }
-        tasks = [(i, start, stop) for i, (start, stop) in enumerate(shards)]
         ctx = mp.get_context("fork")
-        with ctx.Pool(
-            processes=len(shards),
-            initializer=_worker_init,
-            initargs=(payload,),
-        ) as pool:
-            reports = pool.map(_run_shard, tasks)
+        supervisor = _ShardSupervisor(ctx, payload, timeout)
+        for i, (start, stop) in enumerate(shards):
+            supervisor.spawn((i, start, stop))
+        supervisor.run()
 
-        reports.sort(key=lambda r: r["shard"])  # deterministic merge order
+        # Shards that failed both worker attempts: recompute inline on the
+        # parent machine, writing the same shared planes. Correctness and
+        # the serial-equivalent ledgers are engine/host-invariant, so the
+        # recovered columns are bit-identical to a healthy worker's.
+        for shard_index, start, stop in sorted(supervisor.needs_inline):
+            from repro.core.batched import batched_minimum_cost_path
+
+            for chunk in range(start, stop, lane_cap):
+                dests = np.arange(chunk, min(chunk + lane_cap, stop))
+                view = machine.lanes(int(dests.size))
+                res = batched_minimum_cost_path(
+                    view,
+                    Wm,
+                    dests,
+                    engine=choice.name,
+                    zero_diagonal="require",
+                    max_iterations=max_iterations,
+                )
+                dist_arr[:, dests] = res.sow.T
+                succ_arr[:, dests] = res.ptn.T
+                iters_arr[dests] = res.iterations
+                for row, name in enumerate(fields):
+                    lanes_arr[row, dests] = res.lane_counters[name]
+
+        reports = sorted(
+            supervisor.reports.values(), key=lambda r: r["shard"]
+        )  # deterministic merge order
         merged: dict[str, int] = {name: 0 for name in fields}
         for report in reports:
             for name, value in report["machine_counters"].items():
@@ -345,6 +712,39 @@ def sharded_all_pairs(
         }
         from repro.ppa.counters import LaneCounters
 
+        worker_stats = [
+            {
+                "shard": r["shard"],
+                "destinations": r["destinations"],
+                "attempt": r.get("attempt", 0),
+                "cost_cache": r["cost_cache"],
+            }
+            for r in reports
+        ]
+        for shard_index, start, stop in sorted(supervisor.needs_inline):
+            worker_stats.append(
+                {
+                    "shard": shard_index,
+                    "destinations": [start, stop],
+                    "recovered": "inline",
+                }
+            )
+        worker_stats.sort(key=lambda s: s["shard"])
+
+        report_out: dict = {
+            "requested_workers": int(workers),
+            "workers": len(shards),
+            "engine": choice.name,
+            "lane_cap": lane_cap,
+            "shard_timeout": timeout,
+            "shards": [list(s) for s in shards],
+            "worker_stats": worker_stats,
+        }
+        if supervisor.failures:
+            report_out["failures"] = [
+                f.to_dict() for f in supervisor.failures
+            ]
+
         return APSPResult(
             dist=dist_arr.copy(),
             succ=succ_arr.copy(),
@@ -353,23 +753,9 @@ def sharded_all_pairs(
             counters=LaneCounters.total_of(lane_deltas),
             machine_counters=machine.counters.diff(machine_before),
             lane_counters=lane_deltas,
-            shard_report={
-                "requested_workers": int(workers),
-                "workers": len(shards),
-                "engine": choice.name,
-                "lane_cap": lane_cap,
-                "shards": [list(s) for s in shards],
-                "worker_stats": [
-                    {
-                        "shard": r["shard"],
-                        "destinations": r["destinations"],
-                        "cost_cache": r["cost_cache"],
-                    }
-                    for r in reports
-                ],
-            },
+            shard_report=report_out,
         )
     finally:
-        for shm in blocks:
-            shm.close()
-            shm.unlink()
+        if supervisor is not None:
+            supervisor.shutdown()
+        _release_blocks(blocks)

@@ -20,6 +20,7 @@ from repro.resilience.executor import (
     ResilientMCPResult,
 )
 from repro.resilience.policies import (
+    BackoffPolicy,
     CheckpointPolicy,
     RemapPolicy,
     ResilienceConfig,
@@ -28,6 +29,7 @@ from repro.resilience.policies import (
 
 __all__ = [
     "ArrayEmbedding",
+    "BackoffPolicy",
     "Checkpoint",
     "CheckpointPolicy",
     "CheckpointStore",

@@ -28,21 +28,74 @@ Three orthogonal policies, composed by
     machine must be larger than the problem (``n_phys > m``) for a remap
     to be possible at all.
 
-All three are frozen; build a new instance to change a knob.
+:class:`BackoffPolicy` is the *shared* retry-delay schedule — exponential
+backoff with deterministic, seeded jitter — used by the serving tier
+(:mod:`repro.serve`) for transient service-level failures (worker
+crashes, breaker probes). It lives here so service retries and the
+executor's replay budget share one accounting vocabulary; the executor
+itself replays synchronously (a simulated array has no reason to sleep).
+
+All policies are frozen; build a new instance to change a knob.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "BackoffPolicy",
     "RetryPolicy",
     "CheckpointPolicy",
     "RemapPolicy",
     "ResilienceConfig",
 ]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic full jitter.
+
+    Delay for attempt ``k`` (0-based) is drawn uniformly from
+    ``[0, min(base * multiplier**k, cap)]`` ("full jitter", which
+    decorrelates retry storms better than fixed fractions) — from a
+    generator seeded per request, so a replayed campaign schedules the
+    exact same delays. ``max_attempts`` counts *retries*, not the first
+    try: ``max_attempts=2`` means up to three executions.
+    """
+
+    base: float = 0.01
+    multiplier: float = 2.0
+    cap: float = 0.5
+    max_attempts: int = 2
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.cap < 0:
+            raise ConfigurationError(
+                f"backoff base/cap must be >= 0, got {self.base}/{self.cap}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_attempts < 0:
+            raise ConfigurationError(
+                f"max_attempts must be >= 0, got {self.max_attempts}"
+            )
+
+    def delay(self, attempt: int, rng: np.random.Generator | None = None
+              ) -> float:
+        """Seconds to wait before retry *attempt* (0-based)."""
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        ceiling = min(self.base * self.multiplier ** attempt, self.cap)
+        if not self.jitter or rng is None:
+            return ceiling
+        return float(rng.uniform(0.0, ceiling))
 
 
 @dataclass(frozen=True)

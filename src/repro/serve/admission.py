@@ -1,0 +1,159 @@
+"""Admission control: bounded queue, load shedding, backpressure.
+
+The service admits at most ``max_inflight`` concurrently-executing
+requests; up to ``max_queue`` more may wait. Anything beyond that is
+**shed immediately** with a ``retry_after_ms`` hint — the server's memory
+and tail latency stay bounded no matter how hard the open-loop offered
+load exceeds capacity (the p99 the SLO benchmark reports is over
+*admitted* requests; shed ones fail fast by design).
+
+The controller is a plain asyncio primitive: ``acquire()`` either
+returns an admission slot (possibly after queueing) or raises
+:class:`QueueFull` synchronously. ``pressure`` in ``[0, 1]`` is the
+queue-occupancy signal the degradation ladder consumes, and
+:class:`AdmissionStats` is the running tally exported via ``stats`` /
+the load generator reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = ["AdmissionController", "AdmissionStats", "QueueFull"]
+
+
+class QueueFull(ReproError):
+    """Raised synchronously by :meth:`AdmissionController.acquire` when
+    both the execution slots and the wait queue are saturated."""
+
+    def __init__(self, retry_after_ms: float):
+        super().__init__("admission queue full")
+        self.retry_after_ms = retry_after_ms
+
+
+@dataclass
+class AdmissionStats:
+    """Monotonic admission tallies (exported via the ``stats`` op)."""
+
+    admitted: int = 0
+    shed: int = 0
+    peak_queue: int = 0
+    peak_inflight: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "peak_queue": self.peak_queue,
+            "peak_inflight": self.peak_inflight,
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Bounded-concurrency gate with an explicitly bounded wait queue."""
+
+    max_inflight: int = 64
+    max_queue: int = 1024
+    #: baseline retry hint for shed requests; scaled by queue occupancy.
+    base_retry_after_ms: float = 50.0
+
+    _inflight: int = field(default=0, init=False)
+    _waiters: list = field(default_factory=list, init=False)
+    stats: AdmissionStats = field(default_factory=AdmissionStats, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_queue < 0:
+            raise ConfigurationError(
+                f"max_queue must be >= 0, got {self.max_queue}"
+            )
+
+    # -- signals ---------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def pressure(self) -> float:
+        """Queue occupancy in ``[0, 1]`` — the ladder's pressure input."""
+        if self.max_queue == 0:
+            return 1.0 if self._inflight >= self.max_inflight else 0.0
+        return min(1.0, len(self._waiters) / self.max_queue)
+
+    def retry_after_ms(self) -> float:
+        """Backpressure hint: grows with queue occupancy."""
+        return self.base_retry_after_ms * (1.0 + 4.0 * self.pressure)
+
+    def snapshot(self) -> dict:
+        return {
+            "inflight": self._inflight,
+            "queue_depth": self.queue_depth,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "pressure": round(self.pressure, 4),
+            **self.stats.to_dict(),
+        }
+
+    # -- admission -------------------------------------------------------
+
+    async def acquire(self) -> None:
+        """Wait for an execution slot; raise :class:`QueueFull` if the
+        wait queue is already at capacity (synchronously — a shed request
+        never consumes queue memory)."""
+        if self._inflight < self.max_inflight and not self._waiters:
+            self._inflight += 1
+            self._note_admitted()
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.stats.shed += 1
+            raise QueueFull(self.retry_after_ms())
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self.stats.peak_queue = max(self.stats.peak_queue,
+                                    len(self._waiters))
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if not waiter.cancelled() and waiter.done():
+                # the slot was granted between cancellation and wakeup —
+                # hand it to the next waiter instead of leaking it
+                self._release_slot()
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            raise
+        self._note_admitted()
+
+    def release(self) -> None:
+        """Return an execution slot (always from a ``finally``)."""
+        self._release_slot()
+
+    def _note_admitted(self) -> None:
+        self.stats.admitted += 1
+        self.stats.peak_inflight = max(self.stats.peak_inflight,
+                                       self._inflight)
+
+    def _release_slot(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.pop(0)
+            if not waiter.done():
+                # hand the slot over: inflight count is unchanged
+                waiter.set_result(None)
+                return
+        self._inflight -= 1
+        if self._inflight < 0:  # pragma: no cover - defensive
+            self._inflight = 0

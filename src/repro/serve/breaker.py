@@ -1,0 +1,143 @@
+"""Circuit breaker around the sharded APSP worker pool.
+
+The worker pool already absorbs individual failures (respawn + inline
+fallback, :mod:`repro.engine.shard`) — but *absorbing* a crash still
+costs a deadline wait plus an inline recompute. When crashes repeat, the
+cheapest correct behaviour is to stop asking the pool at all for a
+cooldown and run inline directly; that is exactly the classic breaker:
+
+``CLOSED``
+    Normal operation. Consecutive failures are counted; reaching
+    ``failure_threshold`` trips to OPEN.
+``OPEN``
+    The protected call is refused (``allow()`` is ``False``) — callers
+    take the degraded path — until ``cooldown_s`` has elapsed, then one
+    probe is admitted (HALF_OPEN).
+``HALF_OPEN``
+    Up to ``half_open_probes`` trial calls run; one success closes the
+    breaker, one failure re-opens it (restarting the cooldown).
+
+The clock is injectable so tests and the deterministic chaos harness can
+drive state transitions without sleeping. Transition history is bounded
+and exported through the service ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    failure_threshold: int = 3
+    cooldown_s: float = 5.0
+    half_open_probes: int = 1
+    clock: Callable[[], float] = time.monotonic
+    #: bounded transition log ``(t, from, to, reason)``.
+    max_history: int = 32
+
+    state: BreakerState = field(default=BreakerState.CLOSED, init=False)
+    _consecutive_failures: int = field(default=0, init=False)
+    _opened_at: float = field(default=0.0, init=False)
+    _probes_inflight: int = field(default=0, init=False)
+    history: list = field(default_factory=list, init=False)
+    stats: dict = field(
+        default_factory=lambda: {"successes": 0, "failures": 0,
+                                 "rejections": 0, "trips": 0},
+        init=False,
+    )
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got "
+                f"{self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ConfigurationError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}"
+            )
+        if self.half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+    # -- queries ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the protected call run now?  (Counts a rejection when not.)
+
+        OPEN transitions to HALF_OPEN lazily once the cooldown elapses;
+        HALF_OPEN admits at most ``half_open_probes`` concurrent trials.
+        """
+        if self.state is BreakerState.OPEN:
+            if self.clock() - self._opened_at >= self.cooldown_s:
+                self._transition(BreakerState.HALF_OPEN, "cooldown elapsed")
+            else:
+                self.stats["rejections"] += 1
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes_inflight >= self.half_open_probes:
+                self.stats["rejections"] += 1
+                return False
+            self._probes_inflight += 1
+        return True
+
+    # -- outcomes --------------------------------------------------------
+
+    def record_success(self) -> None:
+        self.stats["successes"] += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_inflight = 0
+            self._transition(BreakerState.CLOSED, "probe succeeded")
+        self._consecutive_failures = 0
+
+    def record_failure(self, reason: str = "") -> None:
+        self.stats["failures"] += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_inflight = 0
+            self._trip(f"probe failed: {reason}" if reason else
+                       "probe failed")
+            return
+        self._consecutive_failures += 1
+        if (self.state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._trip(reason or
+                       f"{self._consecutive_failures} consecutive failures")
+
+    # -- internals -------------------------------------------------------
+
+    def _trip(self, reason: str) -> None:
+        self.stats["trips"] += 1
+        self._consecutive_failures = 0
+        self._opened_at = self.clock()
+        self._transition(BreakerState.OPEN, reason)
+
+    def _transition(self, to: BreakerState, reason: str) -> None:
+        self.history.append(
+            (self.clock(), self.state.value, to.value, reason)
+        )
+        del self.history[: max(0, len(self.history) - self.max_history)]
+        self.state = to
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self._consecutive_failures,
+            **self.stats,
+        }

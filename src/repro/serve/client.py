@@ -1,0 +1,161 @@
+"""Multiplexed JSON-lines client for the path-query service.
+
+One :class:`ServeClient` owns one TCP connection and any number of
+in-flight requests on it: requests are written pipelined (each gets a
+fresh ``id``), a single reader task correlates the out-of-order
+responses back to their futures. This is what lets the load generator
+hold 10k+ concurrent queries open over a few dozen sockets instead of
+10k ephemeral connections.
+
+The client is deliberately thin — no retries, no deadline enforcement
+beyond what the server applies. Interpreting ``shed``/``deadline``
+statuses (and honouring ``retry_after_ms``) is the *caller's* policy;
+the load generator and chaos harness each make that policy explicit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any
+
+from repro.errors import ReproError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    Response,
+    decode_line,
+    encode_message,
+)
+
+__all__ = ["ServeClient"]
+
+_client_counter = itertools.count(1)
+
+
+class ServeClient:
+    """Async client: many in-flight requests multiplexed on one socket."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._tag = f"c{next(_client_counter)}"
+        self._next = itertools.count(1)
+        self._pending: dict[str, asyncio.Future] = {}
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES + 1024,
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fail_pending(ReproError("connection closed"))
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- plumbing --------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        error: Exception = ReproError("connection closed by server")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = Response.from_dict(decode_line(line))
+                future = self._pending.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            error = exc
+        finally:
+            self._fail_pending(error)
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    # -- requests --------------------------------------------------------
+
+    def submit(self, op: str, **fields: Any) -> "asyncio.Future[Response]":
+        """Fire one request; the returned future resolves to its
+        :class:`Response`. Call :meth:`drain` periodically when
+        pipelining thousands of submissions."""
+        if self._writer is None:
+            raise ReproError("client is not connected")
+        rid = f"{self._tag}-{next(self._next)}"
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        payload = {"id": rid, "op": op}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        self._writer.write(encode_message(payload))
+        return future
+
+    async def drain(self) -> None:
+        """Respect transport backpressure (awaits the write buffer)."""
+        if self._writer is not None:
+            await self._writer.drain()
+
+    async def request(self, op: str, **fields: Any) -> Response:
+        future = self.submit(op, **fields)
+        await self.drain()
+        return await future
+
+    # -- conveniences ----------------------------------------------------
+
+    async def put_graph(self, name: str, weights, *, word_bits: int = 16
+                        ) -> Response:
+        return await self.request("put_graph", graph=name, weights=weights,
+                                  word_bits=word_bits)
+
+    async def point(self, graph: str, source: int, dest: int, *,
+                    deadline_ms: float | None = None,
+                    want_path: bool = False) -> Response:
+        return await self.request("point", graph=graph, source=source,
+                                  dest=dest, deadline_ms=deadline_ms,
+                                  want_path=want_path or None)
+
+    async def dest(self, graph: str, dest: int, *,
+                   deadline_ms: float | None = None) -> Response:
+        return await self.request("dest", graph=graph, dest=dest,
+                                  deadline_ms=deadline_ms)
+
+    async def apsp(self, graph: str, *,
+                   deadline_ms: float | None = None) -> Response:
+        return await self.request("apsp", graph=graph,
+                                  deadline_ms=deadline_ms)
+
+    async def stats(self) -> Response:
+        return await self.request("stats")
+
+    async def health(self) -> Response:
+        return await self.request("health")
+
+    async def ping(self) -> Response:
+        return await self.request("ping")

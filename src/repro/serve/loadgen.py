@@ -1,0 +1,224 @@
+"""Seeded load generator with independent answer validation.
+
+Drives a running service over TCP with a reproducible request stream
+(point / dest / apsp mix over one or more seeded random graphs) and
+measures what the SLO benchmark and the chaos campaign both need:
+
+* latency percentiles (p50/p90/p99/max) over completed requests,
+* a status breakdown (ok / shed / deadline / error) + degraded count,
+* **independent validation**: sampled ``ok`` answers are re-checked
+  against a local plain-numpy Bellman solution
+  (:func:`repro.serve.oracle.bellman_reference`) — the generator trusts
+  neither the service's engines nor its verifier, so a non-zero
+  ``wrong`` count would catch even a broken *oracle*.
+
+Concurrency is a closed loop bounded by ``concurrency`` in-flight
+requests multiplexed over ``connections`` sockets; with
+``concurrency=10_000`` the service sees 10k simultaneous queries while
+the generator holds a few dozen file descriptors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.client import ServeClient
+from repro.serve.oracle import bellman_reference
+
+__all__ = ["LoadGenResult", "random_graph", "run_loadgen"]
+
+
+def random_graph(n: int, density: float, rng: np.random.Generator,
+                 *, max_weight: int = 9) -> list[list[int | None]]:
+    """A seeded random weighted digraph in wire form (``None`` = no edge)."""
+    present = rng.random((n, n)) < density
+    weights = rng.integers(1, max_weight + 1, size=(n, n))
+    out: list[list[int | None]] = []
+    for i in range(n):
+        row: list[int | None] = []
+        for j in range(n):
+            if i == j:
+                row.append(0)
+            elif present[i, j]:
+                row.append(int(weights[i, j]))
+            else:
+                row.append(None)
+        out.append(row)
+    return out
+
+
+@dataclass
+class LoadGenResult:
+    """One load-generation run's measurements."""
+
+    requests: int = 0
+    by_status: dict = field(default_factory=dict)
+    degraded: int = 0
+    validated: int = 0
+    #: independently-validated answers that disagreed — MUST be 0.
+    wrong: int = 0
+    wall_s: float = 0.0
+    latency_ms: dict = field(default_factory=dict)
+    #: completed requests (any status) per wall second.
+    throughput_rps: float = 0.0
+    #: verified-ok requests per wall second.
+    goodput_rps: float = 0.0
+    peak_inflight: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "by_status": dict(self.by_status),
+            "degraded": self.degraded,
+            "validated": self.validated,
+            "wrong": self.wrong,
+            "wall_s": round(self.wall_s, 4),
+            "latency_ms": {k: round(v, 3)
+                           for k, v in self.latency_ms.items()},
+            "throughput_rps": round(self.throughput_rps, 1),
+            "goodput_rps": round(self.goodput_rps, 1),
+            "peak_inflight": self.peak_inflight,
+        }
+
+
+def _percentiles(samples_ms: list[float]) -> dict:
+    if not samples_ms:
+        return {}
+    arr = np.asarray(samples_ms)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    requests: int = 2000,
+    concurrency: int = 256,
+    connections: int = 8,
+    graph: str = "loadgen",
+    n: int = 24,
+    density: float = 0.35,
+    word_bits: int = 16,
+    deadline_ms: float = 5_000.0,
+    apsp_every: int = 500,
+    dest_every: int = 25,
+    validate_every: int = 17,
+    seed: int = 0,
+    register_graph: bool = True,
+) -> LoadGenResult:
+    """Drive the service at ``host:port`` and measure SLOs.
+
+    The request stream, the graph and the validation sample are all
+    functions of ``seed`` alone. ``concurrency`` bounds in-flight
+    requests (closed loop); ``requests`` is the total issued.
+    """
+    rng = np.random.default_rng(seed)
+    wire = random_graph(n, density, rng)
+    W = np.asarray(
+        [[np.inf if v is None else v for v in row] for row in wire],
+        dtype=np.float64,
+    )
+    maxint = (1 << word_bits) - 1
+    grid = np.where(np.isinf(W), maxint, W).astype(np.int64)
+    reference_columns: dict[int, np.ndarray] = {}
+
+    clients = [ServeClient(host, port)
+               for _ in range(max(1, min(connections, requests)))]
+    for client in clients:
+        await client.connect()
+
+    result = LoadGenResult(requests=requests)
+    latencies: list[float] = []
+    gate = asyncio.Semaphore(concurrency)
+    inflight = 0
+
+    def reference(dest: int) -> np.ndarray:
+        if dest not in reference_columns:
+            reference_columns[dest] = bellman_reference(grid, dest, maxint)
+        return reference_columns[dest]
+
+    async def one(i: int, op: str, source: int, dest: int,
+                  validate: bool) -> None:
+        nonlocal inflight
+        async with gate:
+            inflight += 1
+            result.peak_inflight = max(result.peak_inflight, inflight)
+            client = clients[i % len(clients)]
+            t0 = time.monotonic()
+            try:
+                if op == "apsp":
+                    resp = await client.apsp(graph, deadline_ms=deadline_ms)
+                elif op == "dest":
+                    resp = await client.dest(graph, dest,
+                                             deadline_ms=deadline_ms)
+                else:
+                    resp = await client.point(graph, source, dest,
+                                              deadline_ms=deadline_ms)
+            except Exception:
+                result.by_status["transport_error"] = \
+                    result.by_status.get("transport_error", 0) + 1
+                inflight -= 1
+                return
+            latencies.append((time.monotonic() - t0) * 1e3)
+            inflight -= 1
+            result.by_status[resp.status] = \
+                result.by_status.get(resp.status, 0) + 1
+            if resp.degraded is not None:
+                result.degraded += 1
+            if resp.status != "ok" or not validate:
+                return
+            result.validated += 1
+            if op == "point":
+                expect = int(reference(dest)[source])
+                got = resp.result.get("cost")
+                expected = None if expect >= maxint else expect
+                if got != expected:
+                    result.wrong += 1
+            elif op == "dest":
+                if resp.result.get("sow") != [int(v)
+                                              for v in reference(dest)]:
+                    result.wrong += 1
+
+    if register_graph:
+        put = await clients[0].put_graph(graph, wire, word_bits=word_bits)
+        if put.status != "ok":
+            for client in clients:
+                await client.close()
+            raise RuntimeError(f"put_graph failed: {put.error}")
+
+    plan = []
+    for i in range(requests):
+        if apsp_every and i % apsp_every == apsp_every - 1:
+            op = "apsp"
+        elif dest_every and i % dest_every == dest_every - 1:
+            op = "dest"
+        else:
+            op = "point"
+        source = int(rng.integers(0, n))
+        dest = int(rng.integers(0, n))
+        validate = validate_every > 0 and i % validate_every == 0
+        plan.append((i, op, source, dest, validate))
+
+    t_start = time.monotonic()
+    await asyncio.gather(*(one(*spec) for spec in plan))
+    result.wall_s = time.monotonic() - t_start
+
+    for client in clients:
+        await client.close()
+
+    completed = sum(v for k, v in result.by_status.items()
+                    if k != "transport_error")
+    result.latency_ms = _percentiles(latencies)
+    if result.wall_s > 0:
+        result.throughput_rps = completed / result.wall_s
+        result.goodput_rps = result.by_status.get("ok", 0) / result.wall_s
+    return result

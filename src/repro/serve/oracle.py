@@ -1,0 +1,230 @@
+"""Answer verification: the Bellman fixpoint as a serving invariant.
+
+With non-negative weights the single-destination minimum-cost vector is
+the *unique* fixpoint of
+
+    sow[d] = 0
+    sow[v] = min_u ( W[v, u] + sow[u] )        for v != d
+
+(the min taken over ``u != v`` — the zero diagonal would otherwise make
+any ``sow[v] = 0`` claim self-supporting), so a computed ``(sow, ptn)``
+pair can be *proved* correct in O(n^2) vectorised numpy — orders of
+magnitude cheaper than recomputing, and independent of which engine (or
+which possibly-faulted machine) produced it. The successor array is held
+to the same bar: every hop must be a real edge that closes the cost
+telescope, and following it must terminate at the destination — so even
+a zero-cost cycle of mutually-supporting wrong claims cannot verify. :class:`~repro.serve.service.PathQueryService` verifies every
+computed answer before caching or serving it; anything that fails is
+retried down the degradation ladder or reported as an ``error`` — never
+served. This check is what turns the chaos campaign's "0 silent-wrong"
+acceptance bar into a structural guarantee.
+
+The functions return a list of human-readable violation strings (empty =
+verified), so failures are diagnosable in logs and chaos reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["verify_mcp", "verify_apsp", "bellman_reference"]
+
+
+def _min_plus_column(W: np.ndarray, sow: np.ndarray, maxint: int,
+                     *, off_diagonal: bool = False) -> np.ndarray:
+    """One min-plus relaxation of ``sow`` through ``W``, saturated.
+
+    With ``off_diagonal=True`` the min excludes ``u == v``. Including the
+    zero diagonal is fine for *relaxation* (``W[v,v] + sow[v]`` never
+    improves anything) but fatal for *verification*: it makes
+    ``min_u(W[v,u] + sow[u]) <= sow[v]`` hold trivially, so an
+    underestimating ``sow`` would pass the fixpoint equality.
+    """
+    cand = W.astype(np.int64) + sow[np.newaxis, :]
+    np.minimum(cand, maxint, out=cand)
+    # entries where either leg is "infinite" must stay infinite
+    cand[(W >= maxint) | (sow[np.newaxis, :] >= maxint)] = maxint
+    if off_diagonal:
+        n = W.shape[0]
+        cand[np.arange(n), np.arange(n)] = maxint
+    return np.minimum(cand.min(axis=1), maxint)
+
+
+def verify_mcp(
+    W: np.ndarray,
+    sow: np.ndarray,
+    ptn: np.ndarray,
+    d: int,
+    maxint: int,
+) -> list[str]:
+    """Violations of the Bellman fixpoint for one destination (empty=ok).
+
+    Checks, in order: the destination's zero; saturation discipline (all
+    costs in ``[0, maxint]``); the fixpoint equation at every vertex; and
+    successor consistency — for every reachable non-destination vertex
+    ``v``, ``sow[v] == W[v, ptn[v]] + sow[ptn[v]]`` with a reachable
+    successor, so the returned *paths* (not just the costs) are optimal.
+    """
+    W = np.asarray(W, dtype=np.int64)
+    sow = np.asarray(sow, dtype=np.int64)
+    ptn = np.asarray(ptn, dtype=np.int64)
+    n = W.shape[0]
+    problems: list[str] = []
+    if sow.shape != (n,) or ptn.shape != (n,):
+        return [f"shape mismatch: W {W.shape}, sow {sow.shape}, "
+                f"ptn {ptn.shape}"]
+    if not 0 <= d < n:
+        return [f"destination {d} out of range for n={n}"]
+    if sow[d] != 0:
+        problems.append(f"sow[{d}] = {int(sow[d])}, expected 0")
+    if (sow < 0).any() or (sow > maxint).any():
+        problems.append("sow leaves [0, maxint]")
+        return problems
+    expected = _min_plus_column(W, sow, maxint, off_diagonal=True)
+    expected[d] = 0
+    bad = np.flatnonzero(expected != sow)
+    for v in bad[:4]:
+        problems.append(
+            f"fixpoint violated at {int(v)}: sow={int(sow[v])}, "
+            f"min-plus={int(expected[v])}"
+        )
+    if bad.size > 4:
+        problems.append(f"... and {int(bad.size) - 4} more fixpoint "
+                        "violations")
+    reachable = sow < maxint
+    via = np.flatnonzero(reachable & (np.arange(n) != d))
+    if via.size:
+        succ = ptn[via]
+        if (succ < 0).any() or (succ >= n).any():
+            problems.append("ptn points outside the vertex range")
+        else:
+            edge = W[via, succ]
+            hop_ok = (
+                (succ != via)  # self-loops prove nothing
+                & (edge < maxint)
+                & (sow[succ] < maxint)
+                & (sow[via] == edge + sow[succ])
+            )
+            bad_hop = np.flatnonzero(~hop_ok)
+            if bad_hop.size:
+                v = int(via[bad_hop[0]])
+                problems.append(
+                    f"ptn inconsistent at {v}: sow={int(sow[v])} != "
+                    f"W[v,ptn]+sow[ptn] ({int(bad_hop.size)} such)"
+                )
+            elif not problems:
+                # every hop telescopes, so if the walk also *terminates*
+                # at d the claimed costs are achievable path costs; a
+                # cycle here would mean mutually-supporting wrong claims
+                pos = np.arange(n)
+                stepping = reachable & (pos != d)
+                for _ in range(n):
+                    if not stepping.any():
+                        break
+                    pos = np.where(stepping, ptn[pos], pos)
+                    stepping = reachable & (pos != d)
+                stuck = np.flatnonzero(stepping)
+                if stuck.size:
+                    problems.append(
+                        f"ptn cycles without reaching {d} from "
+                        f"{int(stuck[0])} ({int(stuck.size)} such)"
+                    )
+    return problems
+
+
+def verify_apsp(
+    W: np.ndarray,
+    dist: np.ndarray,
+    succ: np.ndarray,
+    maxint: int,
+) -> list[str]:
+    """Bellman-fixpoint verification of a full APSP solution (empty=ok).
+
+    Vectorised over all destinations at once: O(n^3) numpy ops, still far
+    cheaper than any engine's solve. Successor consistency is checked on
+    every reachable off-diagonal pair.
+    """
+    W = np.asarray(W, dtype=np.int64)
+    dist = np.asarray(dist, dtype=np.int64)
+    succ = np.asarray(succ, dtype=np.int64)
+    n = W.shape[0]
+    problems: list[str] = []
+    if dist.shape != (n, n) or succ.shape != (n, n):
+        return [f"shape mismatch: W {W.shape}, dist {dist.shape}"]
+    if (np.diagonal(dist) != 0).any():
+        problems.append("diagonal of dist is not zero")
+    if (dist < 0).any() or (dist > maxint).any():
+        problems.append("dist leaves [0, maxint]")
+        return problems
+    # Fixpoint: dist == min-plus(W, dist) off-diagonal, all columns at
+    # once — the min over first hops u != v (see verify_mcp on why the
+    # zero diagonal must be excluded).
+    cand = W[:, :, np.newaxis] + dist[np.newaxis, :, :]
+    np.minimum(cand, maxint, out=cand)
+    cand[(W >= maxint), :] = maxint
+    inf_mid = dist >= maxint  # (u, d) legs that are infinite
+    cand[:, inf_mid] = maxint
+    cand[np.arange(n), np.arange(n), :] = maxint
+    expected = cand.min(axis=1)
+    expected[np.arange(n), np.arange(n)] = 0
+    bad = np.argwhere(expected != dist)
+    for v, d in bad[:4]:
+        problems.append(
+            f"fixpoint violated at ({int(v)} -> {int(d)}): "
+            f"dist={int(dist[v, d])}, min-plus={int(expected[v, d])}"
+        )
+    if bad.shape[0] > 4:
+        problems.append(f"... and {bad.shape[0] - 4} more fixpoint "
+                        "violations")
+    v_idx, d_idx = np.nonzero((dist < maxint)
+                              & (np.arange(n)[:, None] != np.arange(n)))
+    if v_idx.size:
+        s = succ[v_idx, d_idx]
+        if (s < 0).any() or (s >= n).any():
+            problems.append("succ points outside the vertex range")
+        else:
+            edge = W[v_idx, s]
+            tail = dist[s, d_idx]
+            ok = (s != v_idx) & (edge < maxint) & (tail < maxint) & (
+                dist[v_idx, d_idx] == edge + tail
+            )
+            if not ok.all():
+                k = int(np.flatnonzero(~ok)[0])
+                problems.append(
+                    f"succ inconsistent at ({int(v_idx[k])} -> "
+                    f"{int(d_idx[k])})"
+                )
+            elif not problems:
+                # per-column successor walks must all reach the diagonal
+                dest_row = np.arange(n)[np.newaxis, :]
+                pos = np.tile(np.arange(n)[:, np.newaxis], (1, n))
+                stepping = (dist < maxint) & (pos != dest_row)
+                for _ in range(n):
+                    if not stepping.any():
+                        break
+                    pos = np.where(stepping, succ[pos, dest_row], pos)
+                    stepping = (dist < maxint) & (pos != dest_row)
+                stuck = np.argwhere(stepping)
+                if stuck.size:
+                    v, d = stuck[0]
+                    problems.append(
+                        f"succ cycles without reaching the destination "
+                        f"({int(v)} -> {int(d)}, {stuck.shape[0]} such)"
+                    )
+    return problems
+
+
+def bellman_reference(W: np.ndarray, d: int, maxint: int) -> np.ndarray:
+    """Plain-numpy Bellman-Ford costs to ``d`` (load-generator oracle)."""
+    W = np.asarray(W, dtype=np.int64)
+    n = W.shape[0]
+    sow = np.full(n, maxint, dtype=np.int64)
+    sow[d] = 0
+    for _ in range(n):
+        relaxed = _min_plus_column(W, sow, maxint)
+        relaxed[d] = 0
+        nxt = np.minimum(sow, relaxed)
+        if np.array_equal(nxt, sow):
+            break
+        sow = nxt
+    return sow

@@ -51,3 +51,61 @@ class TestValidation:
     def test_detect_every(self):
         with pytest.raises(ConfigurationError, match="detect_every"):
             ResilienceConfig(detect_every=0)
+
+
+class TestBackoffPolicy:
+    """Exponential backoff with seeded full jitter (the serving tier's
+    retry schedule)."""
+
+    def test_defaults(self):
+        from repro.resilience import BackoffPolicy
+
+        policy = BackoffPolicy()
+        assert policy.base == 0.01
+        assert policy.multiplier == 2.0
+        assert policy.cap == 0.5
+        assert policy.max_attempts == 2
+        assert policy.jitter
+
+    def test_ceiling_grows_exponentially_then_caps(self):
+        from repro.resilience import BackoffPolicy
+
+        policy = BackoffPolicy(base=0.1, multiplier=2.0, cap=0.5,
+                               jitter=False)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(10) == pytest.approx(0.5)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        import numpy as np
+
+        from repro.resilience import BackoffPolicy
+
+        policy = BackoffPolicy(base=0.1, multiplier=2.0, cap=0.5)
+        a = [policy.delay(k, np.random.default_rng(42)) for k in range(4)]
+        b = [policy.delay(k, np.random.default_rng(42)) for k in range(4)]
+        assert a == b  # same seed, same schedule
+        for k, d in enumerate(a):
+            assert 0.0 <= d <= min(0.1 * 2.0 ** k, 0.5)
+
+    def test_no_rng_means_full_ceiling(self):
+        from repro.resilience import BackoffPolicy
+
+        assert BackoffPolicy(base=0.2, jitter=True).delay(0) == \
+            pytest.approx(0.2)
+
+    def test_frozen_and_validated(self):
+        from repro.resilience import BackoffPolicy
+
+        with pytest.raises(AttributeError):
+            BackoffPolicy().base = 1.0
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=-1)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(max_attempts=-1)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy().delay(-1)

@@ -1,0 +1,125 @@
+"""Admission control: bounded queue, shedding, backpressure, handover."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import AdmissionController, QueueFull
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFastPath:
+    def test_acquire_under_capacity_is_immediate(self):
+        async def main():
+            ctl = AdmissionController(max_inflight=2, max_queue=4)
+            await ctl.acquire()
+            await ctl.acquire()
+            assert ctl.inflight == 2
+            assert ctl.queue_depth == 0
+            ctl.release()
+            ctl.release()
+            assert ctl.inflight == 0
+
+        run(main())
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_queue=-1)
+
+
+class TestQueueing:
+    def test_waiter_runs_when_slot_frees(self):
+        async def main():
+            ctl = AdmissionController(max_inflight=1, max_queue=4)
+            await ctl.acquire()
+            got = asyncio.Event()
+
+            async def waiter():
+                await ctl.acquire()
+                got.set()
+
+            task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0)
+            assert ctl.queue_depth == 1
+            assert not got.is_set()
+            ctl.release()  # slot handover, not a decrement
+            await asyncio.wait_for(got.wait(), 1)
+            assert ctl.inflight == 1
+            assert ctl.queue_depth == 0
+            ctl.release()
+            await task
+
+        run(main())
+
+    def test_shed_beyond_queue_bound_is_synchronous(self):
+        async def main():
+            ctl = AdmissionController(max_inflight=1, max_queue=1)
+            await ctl.acquire()
+            filler = asyncio.ensure_future(ctl.acquire())
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFull) as exc:
+                await ctl.acquire()  # queue full: must raise, not wait
+            assert exc.value.retry_after_ms > 0
+            assert ctl.stats.shed == 1
+            ctl.release()
+            await filler
+            ctl.release()
+
+        run(main())
+
+    def test_cancelled_waiter_does_not_leak_slot(self):
+        async def main():
+            ctl = AdmissionController(max_inflight=1, max_queue=4)
+            await ctl.acquire()
+            task = asyncio.ensure_future(ctl.acquire())
+            await asyncio.sleep(0)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            ctl.release()
+            # the slot is actually free again
+            await asyncio.wait_for(ctl.acquire(), 1)
+            ctl.release()
+
+        run(main())
+
+
+class TestSignals:
+    def test_pressure_tracks_queue_occupancy(self):
+        async def main():
+            ctl = AdmissionController(max_inflight=1, max_queue=2)
+            assert ctl.pressure == 0.0
+            await ctl.acquire()
+            tasks = [asyncio.ensure_future(ctl.acquire())
+                     for _ in range(2)]
+            await asyncio.sleep(0)
+            assert ctl.pressure == 1.0
+            assert ctl.retry_after_ms() == pytest.approx(
+                ctl.base_retry_after_ms * 5.0)
+            for _ in range(3):
+                ctl.release()
+            await asyncio.gather(*tasks)
+
+        run(main())
+
+    def test_snapshot_counts(self):
+        async def main():
+            ctl = AdmissionController(max_inflight=2, max_queue=0)
+            await ctl.acquire()
+            await ctl.acquire()
+            with pytest.raises(QueueFull):
+                await ctl.acquire()
+            snap = ctl.snapshot()
+            assert snap["admitted"] == 2
+            assert snap["shed"] == 1
+            assert snap["peak_inflight"] == 2
+            ctl.release()
+            ctl.release()
+
+        run(main())

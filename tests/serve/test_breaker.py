@@ -1,0 +1,120 @@
+"""Circuit breaker state machine, driven by an injected clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.breaker import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_s=5.0, clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_trips_at_threshold(self, breaker):
+        for _ in range(2):
+            breaker.record_failure("boom")
+            assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure("boom")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats["trips"] == 1
+
+    def test_success_resets_the_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestOpen:
+    def test_rejects_during_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(4.9)
+        assert not breaker.allow()
+        assert breaker.stats["rejections"] == 2
+
+    def test_half_opens_after_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # the single half-open probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # probe budget spent
+
+
+class TestHalfOpen:
+    def _open_then_half(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._open_then_half(breaker, clock)
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self, breaker, clock):
+        self._open_then_half(breaker, clock)
+        breaker.record_failure("still broken")
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        # and the cooldown restarted
+        clock.advance(5.0)
+        assert breaker.allow()
+
+
+class TestBookkeeping:
+    def test_history_is_bounded_and_annotated(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0,
+                                 clock=clock, max_history=4)
+        for _ in range(10):
+            breaker.record_failure("x")
+            clock.advance(1.0)
+            breaker.allow()
+            breaker.record_success()
+        assert len(breaker.history) == 4
+        states = {frm for _, frm, _, _ in breaker.history} | \
+                 {to for _, _, to, _ in breaker.history}
+        assert states <= {"closed", "open", "half_open"}
+
+    def test_snapshot(self, breaker):
+        breaker.record_failure("a")
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["failures"] == 1
+        assert snap["consecutive_failures"] == 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_s=-1)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(half_open_probes=0)

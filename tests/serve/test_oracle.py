@@ -1,0 +1,166 @@
+"""Answer verification: the fixpoint check accepts truth, rejects lies."""
+
+import numpy as np
+import pytest
+
+from repro.core import all_pairs_minimum_cost, minimum_cost_path
+from repro.ppa import PPAConfig, PPAMachine
+from repro.serve.oracle import bellman_reference, verify_apsp, verify_mcp
+
+MAXINT = (1 << 16) - 1
+
+
+def _graph(n, seed=11, density=0.35):
+    rng = np.random.default_rng(seed)
+    W = rng.integers(1, 9, size=(n, n)).astype(np.int64)
+    W[rng.random((n, n)) < 1.0 - density] = MAXINT
+    np.fill_diagonal(W, 0)
+    return W
+
+
+@pytest.fixture(params=[6, 10])
+def solved(request):
+    n = request.param
+    W = _graph(n)
+    machine = PPAMachine(PPAConfig(n=n, word_bits=16))
+    res = minimum_cost_path(machine, W, 0)
+    return W, res
+
+
+class TestVerifyMcp:
+    def test_accepts_engine_output(self, solved):
+        W, res = solved
+        assert verify_mcp(W, res.sow, res.ptn, 0, MAXINT) == []
+
+    def test_rejects_wrong_cost(self, solved):
+        W, res = solved
+        sow = res.sow.copy()
+        victim = int(np.flatnonzero((sow > 0) & (sow < MAXINT))[0])
+        sow[victim] += 1
+        problems = verify_mcp(W, sow, res.ptn, 0, MAXINT)
+        assert any("fixpoint violated" in p for p in problems)
+
+    def test_rejects_fake_reachability(self, solved):
+        W, res = solved
+        sow = res.sow.copy()
+        unreachable = np.flatnonzero(sow >= MAXINT)
+        if unreachable.size == 0:
+            pytest.skip("all vertices reachable in this instance")
+        sow[int(unreachable[0])] = 7  # claim a path that does not exist
+        assert verify_mcp(W, sow, res.ptn, 0, MAXINT) != []
+
+    def test_rejects_nonzero_destination(self, solved):
+        W, res = solved
+        sow = res.sow.copy()
+        sow[0] = 1
+        problems = verify_mcp(W, sow, res.ptn, 0, MAXINT)
+        assert any("expected 0" in p for p in problems)
+
+    def test_rejects_bad_successor(self, solved):
+        W, res = solved
+        ptn = res.ptn.copy()
+        reachable = np.flatnonzero((res.sow < MAXINT)
+                                   & (np.arange(len(ptn)) != 0))
+        v = int(reachable[0])
+        # point v at a vertex that is not on any optimal continuation
+        for candidate in range(len(ptn)):
+            if candidate == ptn[v]:
+                continue
+            edge = W[v, candidate]
+            if edge >= MAXINT or res.sow[candidate] >= MAXINT \
+                    or edge + res.sow[candidate] != res.sow[v]:
+                ptn[v] = candidate
+                break
+        problems = verify_mcp(W, res.sow, ptn, 0, MAXINT)
+        assert any("ptn" in p for p in problems)
+
+    def test_rejects_self_supporting_underestimate(self, solved):
+        # the zero diagonal must not let a vertex claim cost 0 to
+        # everything with itself as successor (the stuck-open bus fault
+        # signature: seed-34 chaos regression)
+        W, res = solved
+        sow, ptn = res.sow.copy(), res.ptn.copy()
+        victim = int(np.flatnonzero(sow > 0)[0])
+        sow[victim] = 0
+        ptn[victim] = victim
+        problems = verify_mcp(W, sow, ptn, 0, MAXINT)
+        assert problems != []
+
+    def test_rejects_mutually_supporting_cycle(self):
+        # two vertices joined by zero-weight edges claiming each other as
+        # successors telescope perfectly but never reach the destination
+        W = np.full((4, 4), MAXINT, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        W[1, 0] = 5
+        W[2, 3] = 0
+        W[3, 2] = 0
+        W[2, 0] = 9
+        sow = np.array([0, 5, 2, 2], dtype=np.int64)
+        ptn = np.array([0, 0, 3, 2], dtype=np.int64)
+        problems = verify_mcp(W, sow, ptn, 0, MAXINT)
+        assert any("cycle" in p for p in problems)
+
+    def test_rejects_out_of_range(self, solved):
+        W, res = solved
+        sow = res.sow.copy()
+        sow[1] = -3
+        assert verify_mcp(W, sow, res.ptn, 0, MAXINT) != []
+        assert verify_mcp(W, res.sow, res.ptn, len(sow), MAXINT) != []
+        assert verify_mcp(W, res.sow[:-1], res.ptn, 0, MAXINT) != []
+
+
+class TestVerifyApsp:
+    def test_accepts_engine_output(self):
+        W = _graph(8)
+        machine = PPAMachine(PPAConfig(n=8, word_bits=16))
+        res = all_pairs_minimum_cost(machine, W)
+        assert verify_apsp(W, res.dist, res.succ, MAXINT) == []
+
+    def test_rejects_corruption_anywhere(self):
+        W = _graph(8)
+        machine = PPAMachine(PPAConfig(n=8, word_bits=16))
+        res = all_pairs_minimum_cost(machine, W)
+        dist = res.dist.copy()
+        off = np.argwhere((dist > 0) & (dist < MAXINT))
+        v, d = off[len(off) // 2]
+        dist[v, d] -= 1
+        problems = verify_apsp(W, dist, res.succ, MAXINT)
+        assert any("fixpoint violated" in p for p in problems)
+
+    def test_rejects_self_supporting_underestimate(self):
+        W = _graph(8)
+        machine = PPAMachine(PPAConfig(n=8, word_bits=16))
+        res = all_pairs_minimum_cost(machine, W)
+        dist, succ = res.dist.copy(), res.succ.copy()
+        off = np.argwhere((dist > 0) & (dist < MAXINT))
+        v, d = (int(x) for x in off[0])
+        dist[v, d] = 0
+        succ[v, d] = v
+        assert verify_apsp(W, dist, succ, MAXINT) != []
+
+    def test_rejects_nonzero_diagonal(self):
+        W = _graph(6)
+        machine = PPAMachine(PPAConfig(n=6, word_bits=16))
+        res = all_pairs_minimum_cost(machine, W)
+        dist = res.dist.copy()
+        dist[2, 2] = 5
+        problems = verify_apsp(W, dist, res.succ, MAXINT)
+        assert any("diagonal" in p for p in problems)
+
+
+class TestBellmanReference:
+    def test_matches_the_machine(self, solved):
+        W, res = solved
+        np.testing.assert_array_equal(
+            bellman_reference(W, 0, MAXINT), res.sow
+        )
+
+    def test_every_destination(self):
+        n = 7
+        W = _graph(n, seed=5)
+        machine = PPAMachine(PPAConfig(n=n, word_bits=16))
+        apsp = all_pairs_minimum_cost(machine, W)
+        for d in range(n):
+            np.testing.assert_array_equal(
+                bellman_reference(W, d, MAXINT), apsp.dist[:, d]
+            )

@@ -1,0 +1,88 @@
+"""Wire protocol: encoding, validation, size caps."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    STATUSES,
+    Request,
+    Response,
+    decode_line,
+    encode_message,
+)
+
+
+class TestRequest:
+    def test_roundtrip(self):
+        req = Request(id="a-1", op="point", graph="g", source=2, dest=5,
+                      deadline_ms=100.0, want_path=True)
+        back = Request.from_dict(decode_line(encode_message(req)))
+        assert back == req
+
+    def test_minimal(self):
+        req = Request.from_dict({"id": 1, "op": "ping"})
+        assert req.id == 1 and req.op == "ping"
+        assert req.word_bits == 16 and not req.want_path
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ReproError, match="unknown op"):
+            Request.from_dict({"id": 1, "op": "teleport"})
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ReproError, match="no id"):
+            Request.from_dict({"op": "ping"})
+
+    def test_non_numeric_fields_rejected(self):
+        with pytest.raises(ReproError, match="source"):
+            Request.from_dict({"id": 1, "op": "point", "source": "zero"})
+        with pytest.raises(ReproError, match="deadline_ms"):
+            Request.from_dict({"id": 1, "op": "point",
+                               "deadline_ms": "soon"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError, match="JSON object"):
+            Request.from_dict([1, 2, 3])
+
+    def test_all_ops_are_known(self):
+        assert set(OPS) == {"point", "dest", "apsp", "put_graph",
+                            "del_graph", "stats", "health", "ping"}
+
+
+class TestResponse:
+    def test_roundtrip_with_degraded(self):
+        resp = Response(id="a-1", status="ok", op="point",
+                        result={"cost": 3},
+                        degraded={"rung": 2, "reasons": ["pressure"]},
+                        timing={"total_ms": 1.5})
+        back = Response.from_dict(decode_line(encode_message(resp)))
+        assert back == resp
+
+    def test_sparse_encoding_omits_empty_fields(self):
+        wire = json.loads(
+            encode_message(Response(id=1, status="ok")).decode()
+        )
+        assert wire == {"id": 1, "status": "ok"}
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ReproError, match="unknown status"):
+            Response.from_dict({"id": 1, "status": "maybe"})
+
+    def test_statuses_constant(self):
+        assert STATUSES == ("ok", "shed", "deadline", "error")
+
+
+class TestFraming:
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ReproError, match="malformed"):
+            decode_line(b"{nope")
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ReproError, match="exceeds"):
+            decode_line(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_lines_are_newline_terminated(self):
+        assert encode_message({"id": 1, "op": "ping"}).endswith(b"\n")
