@@ -155,6 +155,7 @@ def test_p19_serving(benchmark, report):
     assert campaign["leaked_shm"] == []
     assert set(campaign["by_kind"]) == {
         "healthy", "worker-kill", "worker-slow", "overload", "bus-fault",
+        "update-storm",
     }
 
     determinism = run_chaos_campaign(

@@ -283,6 +283,50 @@ def _check_p19(path: Path) -> list[str]:
     return diffs
 
 
+def _check_p20(path: Path) -> list[str]:
+    """Invariant + digest guard for the P20 coalescing artefact.
+
+    The committed robustness invariants (``wrong == 0`` on every storm
+    arm, ``silent_wrong == 0``, ``leaked_shm == []``) are validated
+    statically, and the invariance campaign — the timing-independent
+    chaos slice including ``update-storm`` — is re-run twice, with
+    coalescing on and off: both fresh digests must match the committed
+    one bit-for-bit (coalescing is a throughput optimisation, never an
+    answer change). Throughput, speedup and latency fields are
+    host-dependent and never guarded.
+    """
+    from repro.serve.chaos import run_chaos_campaign
+
+    committed = json.loads(path.read_text())
+    diffs: list[str] = []
+    for section in ("coalesced", "uncoalesced", "update_storm"):
+        wrong = committed[section]["wrong"]
+        if wrong != 0:
+            diffs.append(f"{section}.wrong: {wrong} independently "
+                         "validated answers disagreed")
+    if committed["campaign"]["silent_wrong"] != 0:
+        diffs.append("campaign.silent_wrong: "
+                     f"{committed['campaign']['silent_wrong']}")
+    if committed["campaign"]["leaked_shm"]:
+        diffs.append("campaign.leaked_shm: "
+                     f"{committed['campaign']['leaked_shm']}")
+
+    inv = committed["invariance"]
+    for arm in (True, False):
+        fresh = run_chaos_campaign(
+            runs=int(inv["runs"]), seed=int(inv["seed"]),
+            n=int(inv["n"]),
+            requests_per_run=int(inv["requests_per_run"]),
+            kinds=tuple(inv["kinds"]), coalesce=arm,
+        )
+        label = "on" if arm else "off"
+        for key in ("digest", "silent_wrong", "validated"):
+            if inv[key] != fresh[key]:
+                diffs.append(f"invariance.{key} (coalesce {label}): "
+                             f"{inv[key]} -> {fresh[key]}")
+    return diffs
+
+
 # Committed artefact -> regenerating callable returning drift lines.
 CHECKS = {
     "BENCH_t1_mcp.json": lambda p: _check_profile(p, _regen_t1_mcp),
@@ -295,6 +339,7 @@ CHECKS = {
     "BENCH_p17_engines.json": _check_p17,
     "BENCH_p18_compiled.json": _check_p18,
     "BENCH_p19_serving.json": _check_p19,
+    "BENCH_p20_coalescing.json": _check_p20,
     "BENCH_t16_resilience.json": _check_t16,
 }
 
@@ -310,6 +355,7 @@ EXPECTED_SCHEMAS = {
     "BENCH_p17_engines.json": ("schema", "repro-bench-p17-v1"),
     "BENCH_p18_compiled.json": ("schema", "repro-bench-p18-v1"),
     "BENCH_p19_serving.json": ("schema", "repro-bench-p19-v1"),
+    "BENCH_p20_coalescing.json": ("schema", "repro-bench-p20-v1"),
     "BENCH_t16_resilience.json": ("schema", "repro-bench-t16-v1"),
 }
 

@@ -302,6 +302,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline")
     serve.add_argument("--seed", type=int, default=0,
                        help="retry-jitter RNG seed")
+    serve.add_argument("--coalesce-window-ms", type=float, default=2.0,
+                       help="how long a micro-batch collects concurrent "
+                       "column requests before dispatching")
+    serve.add_argument("--max-lanes", type=int, default=32,
+                       help="distinct destinations per coalesced batch "
+                       "(a full batch dispatches early)")
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable request coalescing / single-flight dedup (one "
+        "engine run per request, the pre-coalescing behaviour)",
+    )
     serve.add_argument(
         "--no-verify",
         action="store_true",
@@ -326,6 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--deadline-ms", type=float, default=5_000.0)
     lg.add_argument("--seed", type=int, default=0)
     lg.add_argument("--graph", default="loadgen", help="graph name to use")
+    lg.add_argument("--zipf", type=float, default=None,
+                    help="skew destination choice to a Zipf law with this "
+                    "exponent (hot-key workload; default: uniform)")
+    lg.add_argument("--update-every", type=int, default=0,
+                    help="issue a seeded sparse edge-delta update after "
+                    "every N requests (0 = never); answers are validated "
+                    "per graph version")
     lg.add_argument(
         "--self-serve",
         action="store_true",
@@ -338,7 +357,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         help="run the seeded service-level chaos campaign (worker kill / "
-        "slow worker / overload / bus faults) and check its invariants",
+        "slow worker / overload / bus faults / update storms) and check "
+        "its invariants",
     )
     chaos.add_argument("--runs", type=int, default=50)
     chaos.add_argument("--seed", type=int, default=0)
@@ -1218,7 +1238,27 @@ def _cmd_serve(args) -> int:
         default_deadline_ms=args.deadline_ms,
         seed=args.seed,
         verify=not args.no_verify,
+        coalesce=not args.no_coalesce,
+        coalesce_window_ms=args.coalesce_window_ms,
+        max_lanes=args.max_lanes,
     )
+
+    def summary(service: "PathQueryService") -> None:
+        stats = service.stats()
+        co = stats.get("coalescer")
+        if co is not None:
+            print(f"repro serve: coalescer dispatched {co['batches']} "
+                  f"batches for {co['requests']} requests "
+                  f"({co['single_flight_hits']} single-flight hits); "
+                  f"lane fill {co['lane_fill'] or '{}'}")
+        eng = stats.get("engine", {})
+        plan, cost = eng.get("plan_cache", {}), eng.get("cost_cache", {})
+        if plan or cost:
+            print("repro serve: engine plan cache "
+                  f"{plan.get('broadcast_hits', 0) + plan.get('reduce_hits', 0)} hits / "
+                  f"{plan.get('broadcast_misses', 0) + plan.get('reduce_misses', 0)} misses; "
+                  f"cost cache {cost.get('hits', 0)} hits / "
+                  f"{cost.get('misses', 0)} misses")
 
     async def run() -> None:
         service = PathQueryService(config)
@@ -1227,11 +1267,13 @@ def _cmd_serve(args) -> int:
         print(f"repro serve: listening on {host}:{port} "
               f"(max_inflight={config.max_inflight}, "
               f"max_queue={config.max_queue}, workers={config.workers}, "
+              f"coalesce={'on' if config.coalesce else 'OFF'}, "
               f"verify={'on' if config.verify else 'OFF'})")
         try:
             await server.serve_forever()
         finally:
             await service.stop()
+            summary(service)
 
     try:
         asyncio.run(run())
@@ -1266,6 +1308,8 @@ def _cmd_loadgen(args) -> int:
                 density=args.density,
                 deadline_ms=args.deadline_ms,
                 seed=args.seed,
+                zipf=args.zipf,
+                update_every=args.update_every,
             )
         finally:
             if service is not None:
@@ -1280,6 +1324,8 @@ def _cmd_loadgen(args) -> int:
         print(f"requests      {body['requests']}")
         print(f"statuses      {body['by_status']}")
         print(f"degraded      {body['degraded']}")
+        if body.get("updates"):
+            print(f"updates       {body['updates']}")
         print(f"validated     {body['validated']} (wrong: {body['wrong']})")
         if lat:
             print(f"latency ms    p50={lat['p50']}  p90={lat['p90']}  "

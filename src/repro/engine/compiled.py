@@ -210,6 +210,7 @@ def compiled_minimum_cost_path(
     *,
     zero_diagonal: str = "require",
     max_iterations: int | None = None,
+    warm_sow=None,
 ) -> MCPResult:
     """Single-destination MCP on the compiled tier.
 
@@ -225,6 +226,7 @@ def compiled_minimum_cost_path(
         blocked_relax,
         zero_diagonal=zero_diagonal,
         max_iterations=max_iterations,
+        warm_sow=warm_sow,
     )
 
 
@@ -235,6 +237,7 @@ def compiled_batched_minimum_cost_path(
     *,
     zero_diagonal: str = "require",
     max_iterations: int | None = None,
+    warm_sow=None,
 ):
     """Batched multi-destination MCP on the compiled tier.
 
@@ -251,4 +254,5 @@ def compiled_batched_minimum_cost_path(
         blocked_relax,
         zero_diagonal=zero_diagonal,
         max_iterations=max_iterations,
+        warm_sow=warm_sow,
     )

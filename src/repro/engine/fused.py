@@ -74,6 +74,7 @@ def fused_minimum_cost_path(
     *,
     zero_diagonal: str = "require",
     max_iterations: int | None = None,
+    warm_sow=None,
 ) -> MCPResult:
     """Single-destination MCP on the fused engine.
 
@@ -89,6 +90,7 @@ def fused_minimum_cost_path(
         _relax,
         zero_diagonal=zero_diagonal,
         max_iterations=max_iterations,
+        warm_sow=warm_sow,
     )
 
 
@@ -99,6 +101,7 @@ def fused_batched_minimum_cost_path(
     *,
     zero_diagonal: str = "require",
     max_iterations: int | None = None,
+    warm_sow=None,
 ):
     """Batched multi-destination MCP on the fused engine.
 
@@ -117,4 +120,5 @@ def fused_batched_minimum_cost_path(
         _relax,
         zero_diagonal=zero_diagonal,
         max_iterations=max_iterations,
+        warm_sow=warm_sow,
     )

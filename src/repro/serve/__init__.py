@@ -36,7 +36,16 @@ from repro.serve.admission import AdmissionController, AdmissionStats
 from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.chaos import ChaosScenario, run_chaos_campaign
 from repro.serve.client import ServeClient
+from repro.serve.coalesce import ColumnCoalescer, CoalesceStats
 from repro.serve.degrade import DegradationLadder, Rung, RUNGS
+from repro.serve.delta import (
+    apply_edge_delta,
+    certify_warm_column,
+    certify_warm_plane,
+    column_is_dirty,
+    decode_edges,
+    dirty_destinations,
+)
 from repro.serve.loadgen import LoadGenResult, run_loadgen
 from repro.serve.oracle import (
     bellman_reference,
@@ -58,6 +67,8 @@ __all__ = [
     "BreakerState",
     "ChaosScenario",
     "CircuitBreaker",
+    "CoalesceStats",
+    "ColumnCoalescer",
     "DegradationLadder",
     "LoadGenResult",
     "PathQueryService",
@@ -68,8 +79,14 @@ __all__ = [
     "RUNGS",
     "ServeClient",
     "ServiceConfig",
+    "apply_edge_delta",
     "bellman_reference",
+    "certify_warm_column",
+    "certify_warm_plane",
+    "column_is_dirty",
+    "decode_edges",
     "decode_line",
+    "dirty_destinations",
     "encode_message",
     "run_chaos_campaign",
     "run_loadgen",

@@ -42,6 +42,10 @@ class AdmissionStats:
     shed: int = 0
     peak_queue: int = 0
     peak_inflight: int = 0
+    #: work units admitted: a coalesced batch holds ONE slot but carries
+    #: ``weight`` = its lane count, so ``admitted_weight / admitted`` is
+    #: the average amortisation the coalescer achieved.
+    admitted_weight: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -49,6 +53,7 @@ class AdmissionStats:
             "shed": self.shed,
             "peak_queue": self.peak_queue,
             "peak_inflight": self.peak_inflight,
+            "admitted_weight": self.admitted_weight,
         }
 
 
@@ -108,13 +113,17 @@ class AdmissionController:
 
     # -- admission -------------------------------------------------------
 
-    async def acquire(self) -> None:
+    async def acquire(self, weight: int = 1) -> None:
         """Wait for an execution slot; raise :class:`QueueFull` if the
         wait queue is already at capacity (synchronously — a shed request
-        never consumes queue memory)."""
+        never consumes queue memory).
+
+        *weight* is accounting only: a coalesced batch occupies one slot
+        regardless of lane count (that is the amortisation), but reports
+        how many requests' worth of work the slot carries."""
         if self._inflight < self.max_inflight and not self._waiters:
             self._inflight += 1
-            self._note_admitted()
+            self._note_admitted(weight)
             return
         if len(self._waiters) >= self.max_queue:
             self.stats.shed += 1
@@ -136,14 +145,15 @@ class AdmissionController:
                 except ValueError:
                     pass
             raise
-        self._note_admitted()
+        self._note_admitted(weight)
 
     def release(self) -> None:
         """Return an execution slot (always from a ``finally``)."""
         self._release_slot()
 
-    def _note_admitted(self) -> None:
+    def _note_admitted(self, weight: int = 1) -> None:
         self.stats.admitted += 1
+        self.stats.admitted_weight += max(1, int(weight))
         self.stats.peak_inflight = max(self.stats.peak_inflight,
                                        self._inflight)
 

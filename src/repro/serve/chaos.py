@@ -32,6 +32,13 @@ Injection kinds (one per run, round-robin over the campaign):
     corrupted answers that the verifier rejects, and the ladder must
     walk down to the resilient rung — whose spare PEs quarantine the
     fault — before an ``ok`` can be served.
+``update-storm``
+    Strictly sequential stream interleaving sparse edge-delta
+    ``put_graph`` updates with queries. Every answer must carry the
+    *current* graph version and match the local reference for that
+    version — a stale surviving column or an unsoundly-kept cache entry
+    counts as silent-wrong. Sequential issuance keeps version
+    assignment (and hence the campaign digest) deterministic.
 
 Everything is a function of the campaign seed: graphs, query streams,
 fault placement. The campaign digest covers the scenario stream and all
@@ -65,7 +72,7 @@ __all__ = ["CHAOS_KINDS", "ChaosScenario", "run_chaos_campaign",
            "run_scenario"]
 
 CHAOS_KINDS = ("healthy", "worker-kill", "worker-slow", "overload",
-               "bus-fault")
+               "bus-fault", "update-storm")
 
 
 @dataclass
@@ -81,6 +88,11 @@ class ChaosScenario:
     word_bits: int = 16
     deadline_ms: float = 20_000.0
     workers: int = 2
+    #: service-side request coalescing. Not part of ``to_dict`` — the
+    #: campaign digest must be identical with it on or off (coalescing
+    #: changes throughput, never answers), and the coalescing test pins
+    #: exactly that.
+    coalesce: bool = True
 
     def to_dict(self) -> dict:
         return {"name": self.name, "kind": self.kind, "seed": self.seed,
@@ -103,6 +115,7 @@ def _config_for(sc: ChaosScenario) -> ServiceConfig:
             max_inflight=1, max_queue=2, workers=1,
             default_deadline_ms=sc.deadline_ms, backoff=fast_backoff,
             breaker_cooldown_s=0.2, recovery_successes=2, seed=sc.seed,
+            coalesce=sc.coalesce,
         )
     if sc.kind in ("worker-kill", "worker-slow"):
         return ServiceConfig(
@@ -110,12 +123,14 @@ def _config_for(sc: ChaosScenario) -> ServiceConfig:
             shard_timeout=0.25 if sc.kind == "worker-slow" else 10.0,
             default_deadline_ms=sc.deadline_ms, backoff=fast_backoff,
             breaker_cooldown_s=0.2, recovery_successes=2, seed=sc.seed,
+            coalesce=sc.coalesce,
         )
-    # healthy and bus-fault: inline compute, generous queue
+    # healthy, bus-fault, update-storm: inline compute, generous queue
     return ServiceConfig(
         max_inflight=4, max_queue=64, workers=1,
         default_deadline_ms=sc.deadline_ms, backoff=fast_backoff,
         breaker_cooldown_s=0.2, recovery_successes=2, seed=sc.seed,
+        coalesce=sc.coalesce,
     )
 
 
@@ -147,12 +162,14 @@ async def run_scenario(sc: ChaosScenario) -> dict:
         [[maxint if v is None else v for v in row] for row in wire],
         dtype=np.int64,
     )
-    reference: dict[int, np.ndarray] = {}
+    reference: dict[tuple[int, int], np.ndarray] = {}
+    state = {"version": 1}  # the service-side version the stream is at
 
     def expect_column(dest: int) -> np.ndarray:
-        if dest not in reference:
-            reference[dest] = bellman_reference(grid, dest, maxint)
-        return reference[dest]
+        key = (state["version"], dest)
+        if key not in reference:
+            reference[key] = bellman_reference(grid, dest, maxint)
+        return reference[key]
 
     service = PathQueryService(_config_for(sc),
                                machine_factory=_machine_factory_for(sc))
@@ -167,6 +184,7 @@ async def run_scenario(sc: ChaosScenario) -> dict:
         "by_status": {},
         "wrong": 0,
         "degraded": 0,
+        "updates": 0,
         "latency_ms": [],
         "ok_answers": [],
     }
@@ -180,7 +198,9 @@ async def run_scenario(sc: ChaosScenario) -> dict:
 
         plan = []
         for i in range(sc.requests):
-            if sc.kind in ("worker-kill", "worker-slow") and i % 7 == 0:
+            if sc.kind == "update-storm" and i % 4 == 3:
+                op = "update"
+            elif sc.kind in ("worker-kill", "worker-slow") and i % 7 == 0:
                 op = "apsp"
             elif i % 9 == 5:
                 op = "dest"
@@ -210,6 +230,10 @@ async def run_scenario(sc: ChaosScenario) -> dict:
                 outcome["wrong"] += 1  # shed without backpressure signal
             if resp.status != "ok":
                 return
+            if (sc.kind == "update-storm" and op in ("point", "dest")
+                    and resp.result.get("version") != state["version"]):
+                outcome["wrong"] += 1  # a stale version IS a wrong answer
+                return
             if op == "point":
                 expect = int(expect_column(dest)[source])
                 expected = None if expect >= maxint else expect
@@ -235,7 +259,41 @@ async def run_scenario(sc: ChaosScenario) -> dict:
                 else:
                     outcome["ok_answers"].append((i, op, want))
 
-        if sc.kind == "overload":
+        if sc.kind == "update-storm":
+            # strictly sequential: deterministic version assignment,
+            # every query validated against exactly one reference grid
+            upd_rng = np.random.default_rng(sc.seed ^ 0xDE17A)
+            for i, op, source, dest in plan:
+                if op != "update":
+                    await one(i, op, source, dest)
+                    continue
+                edges = []
+                for _ in range(max(1, sc.n // 6)):
+                    u = int(upd_rng.integers(0, sc.n))
+                    v = int(upd_rng.integers(0, sc.n - 1))
+                    if v >= u:
+                        v += 1
+                    w = None if upd_rng.random() < 0.2 \
+                        else int(upd_rng.integers(1, 10))
+                    edges.append([u, v, w])
+                resp = await service.handle_request({
+                    "id": f"u{i}", "op": "put_graph", "graph": "chaos",
+                    "edges": edges, "base_version": state["version"],
+                })
+                outcome["by_status"][resp.status] = \
+                    outcome["by_status"].get(resp.status, 0) + 1
+                if resp.status != "ok":
+                    outcome["wrong"] += 1  # conditional delta must apply
+                    continue
+                for u, v, w in edges:
+                    grid[u, v] = maxint if w is None else w
+                state["version"] += 1
+                outcome["updates"] += 1
+                # survivor count pins delta migration determinism
+                outcome["ok_answers"].append(
+                    (i, op, resp.result["delta"]["columns_kept"])
+                )
+        elif sc.kind == "overload":
             # full burst: everything at once against 1 slot + 2 queue
             await asyncio.gather(*(one(*spec) for spec in plan))
         else:
@@ -267,10 +325,13 @@ def run_chaos_campaign(
     n: int = 10,
     requests_per_run: int = 12,
     kinds: tuple = CHAOS_KINDS,
+    coalesce: bool = True,
 ) -> dict:
     """Run ``runs`` seeded scenarios (round-robin over ``kinds``) and
     aggregate the campaign-level invariants. Synchronous entry point —
-    owns its own event loop."""
+    owns its own event loop. ``coalesce`` toggles request coalescing in
+    every scenario's service; the campaign digest must be invariant
+    under it (asserted by ``benchmarks/bench_p20_coalescing.py``)."""
     scenarios = [
         ChaosScenario(
             name=f"run{i:03d}-{kinds[i % len(kinds)]}",
@@ -278,6 +339,7 @@ def run_chaos_campaign(
             seed=seed * 10_000 + i,
             n=n,
             requests=requests_per_run,
+            coalesce=coalesce,
         )
         for i in range(runs)
     ]
@@ -289,6 +351,7 @@ def run_chaos_campaign(
         "by_status": {},
         "silent_wrong": 0,
         "validated": 0,
+        "updates": 0,
         "degraded_responses": 0,
         "verify_rejections": 0,
         "breaker_trips": 0,
@@ -318,6 +381,7 @@ def run_chaos_campaign(
                 report["by_status"].get(status, 0) + count
         report["silent_wrong"] += outcome["wrong"]
         report["validated"] += len(outcome["ok_answers"])
+        report["updates"] += outcome.get("updates", 0)
         report["degraded_responses"] += outcome["degraded"]
         report["verify_rejections"] += outcome["verify_rejections"]
         report["breaker_trips"] += outcome["breaker"]["trips"]

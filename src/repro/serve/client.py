@@ -134,6 +134,14 @@ class ServeClient:
         return await self.request("put_graph", graph=name, weights=weights,
                                   word_bits=word_bits)
 
+    async def put_delta(self, name: str, edges, *,
+                        base_version: int | None = None) -> Response:
+        """Incremental ``put_graph``: apply a sparse ``[[u, v, w]]`` edge
+        delta (``w = None`` removes the edge); ``base_version`` makes the
+        update conditional on the graph still being at that version."""
+        return await self.request("put_graph", graph=name, edges=edges,
+                                  base_version=base_version)
+
     async def point(self, graph: str, source: int, dest: int, *,
                     deadline_ms: float | None = None,
                     want_path: bool = False) -> Response:

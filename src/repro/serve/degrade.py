@@ -52,6 +52,17 @@ class Rung:
     lane_div: int  #: lanes = max(1, n // lane_div)
     resilient: bool = False  #: run under the PR 3 resilient executor
 
+    def coalesce_width(self, n: int, cap: int) -> int:
+        """Max destinations per coalesced engine run at this rung.
+
+        The same ``lane_div`` that throttles APSP sweeps under pressure
+        throttles coalesced column batches: a degraded rung computes
+        narrower batches (bounding the working set and the blast radius
+        of a retry) at the cost of more engine runs. Always >= 1 — a
+        batch can always make progress one column at a time.
+        """
+        return max(1, min(int(cap), max(1, n // self.lane_div)))
+
     def record(self, reasons: list[str], workers: int) -> dict:
         """The machine-readable ``degraded`` payload for a response."""
         return {

@@ -1,0 +1,210 @@
+"""Incremental graph updates: sparse edge deltas, sound invalidation.
+
+A full ``put_graph`` invalidates every cached column and APSP plane for
+the graph. That is wasteful for the common production shape — a large
+graph receiving a trickle of edge updates — because a changed edge
+``(u, v)`` can only affect destination columns whose *current* answer
+actually routes cost or tree structure through it. This module supplies
+the three pieces the service's delta path is built from:
+
+* :func:`apply_edge_delta` — decode the wire form (``[[u, v, w]]``,
+  ``w = null`` removes the edge) and produce the new weight grid;
+* :func:`dirty_destinations` — the O(|delta| * n) **conservative-exact**
+  per-column invalidation test (see below);
+* :func:`certify_warm_plane` — turn a stale cached answer into a plane
+  of *certified* upper bounds that can warm-start the re-solve
+  (:func:`repro.core.mcp.minimum_cost_path`'s ``warm_sow`` contract).
+
+Invalidation soundness
+----------------------
+For destination ``d`` let ``sow``/``ptn`` be the cached (verified)
+answer under the old weights. For each changed edge ``(u, v)`` with new
+weight ``w'`` (``maxint`` when removed) the column is marked dirty iff
+
+1. ``sat(w' + sow[v]) < sow[u]`` — the edge now offers a strictly
+   better first hop out of ``u``, so the cached cost is an
+   overestimate; or
+2. ``ptn[u] == v`` and ``sat(w' + sow[v]) != sow[u]`` — the cached
+   successor tree routes ``u`` through this edge and the change broke
+   the cost telescope through it.
+
+If neither fires for any changed edge, the cached ``(sow, ptn)`` still
+satisfies every check in :func:`repro.serve.oracle.verify_mcp` under
+the *new* weights: the fixpoint minimum at ``u`` is preserved (any old
+minimizer that was a changed edge must be ``ptn[u]`` itself, pinned by
+test 2; other terms are untouched, and test 1 rules out new, better
+terms), the successor telescope is intact at every hop, and the
+termination walk is unchanged. The test is also *exact* in the useful
+direction: a clean verdict is a proof, so surviving columns are served
+(with a bumped version) without recomputation — this "delta
+invalidation never serves a stale column" property is what
+``tests/serve/test_delta.py`` pins against the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = [
+    "apply_edge_delta",
+    "decode_edges",
+    "dirty_destinations",
+    "column_is_dirty",
+    "certify_warm_plane",
+    "certify_warm_column",
+]
+
+
+def decode_edges(edges, n: int, maxint: int) -> list[tuple[int, int, int]]:
+    """Validate the wire edge list into ``(u, v, w)`` triples.
+
+    ``w`` arrives as a non-negative int (new weight) or ``None`` (remove
+    the edge -> ``maxint`` sentinel). Self-edges are rejected: the
+    algorithm's zero diagonal is structural, not data.
+    """
+    if not isinstance(edges, (list, tuple)) or not edges:
+        raise GraphError("edges must be a non-empty list of [u, v, w]")
+    out: list[tuple[int, int, int]] = []
+    for item in edges:
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise GraphError(f"edge entry must be [u, v, w], got {item!r}")
+        u, v, w = item
+        try:
+            u, v = int(u), int(v)
+        except (TypeError, ValueError):
+            raise GraphError(f"edge endpoints must be ints, got {item!r}") \
+                from None
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) outside [0, {n})^2")
+        if u == v:
+            raise GraphError(
+                f"edge ({u}, {u}) touches the diagonal; self-costs are "
+                "fixed at 0"
+            )
+        if w is None:
+            w = maxint
+        else:
+            try:
+                w = int(w)
+            except (TypeError, ValueError):
+                raise GraphError(
+                    f"edge weight must be an int or null, got {item!r}"
+                ) from None
+            if not (0 <= w <= maxint):
+                raise GraphError(
+                    f"edge ({u}, {v}) weight {w} outside [0, {maxint}]"
+                )
+        out.append((u, v, w))
+    return out
+
+
+def apply_edge_delta(W: np.ndarray, edges, maxint: int) -> np.ndarray:
+    """The new weight grid after applying decoded ``(u, v, w)`` triples.
+
+    Later entries win when a delta names the same edge twice (the wire
+    order is the client's statement of intent).
+    """
+    Wn = np.array(W, dtype=np.int64, copy=True)
+    for u, v, w in edges:
+        Wn[u, v] = w
+    return Wn
+
+
+def _sat(x: np.ndarray, maxint: int) -> np.ndarray:
+    return np.minimum(x, maxint)
+
+
+def column_is_dirty(edges, sow: np.ndarray, ptn: np.ndarray,
+                    maxint: int) -> bool:
+    """Whether one cached column can be invalidated by the delta."""
+    sow = np.asarray(sow, dtype=np.int64)
+    ptn = np.asarray(ptn, dtype=np.int64)
+    for u, v, w in edges:
+        through = int(_sat(np.int64(w) + sow[v], maxint))
+        if through < sow[u]:
+            return True  # better first hop out of u than the cached cost
+        if int(ptn[u]) == v and through != sow[u]:
+            return True  # cached tree hops u->v and the telescope broke
+    return False
+
+
+def dirty_destinations(edges, dist: np.ndarray, succ: np.ndarray,
+                       maxint: int) -> np.ndarray:
+    """Boolean ``(n,)`` mask of destinations a delta can invalidate.
+
+    Vectorised over a full cached APSP plane (``dist[x, d]`` /
+    ``succ[x, d]`` laid out as in :class:`repro.core.apsp.APSPResult`):
+    one pass of the two per-column tests per changed edge.
+    """
+    dist = np.asarray(dist, dtype=np.int64)
+    succ = np.asarray(succ, dtype=np.int64)
+    n = dist.shape[0]
+    dirty = np.zeros(n, dtype=bool)
+    for u, v, w in edges:
+        through = _sat(np.int64(w) + dist[v, :], maxint)
+        dirty |= through < dist[u, :]
+        dirty |= (succ[u, :] == v) & (through != dist[u, :])
+    return dirty
+
+
+def certify_warm_column(W_new: np.ndarray, sow: np.ndarray,
+                        ptn: np.ndarray, d: int, maxint: int) -> np.ndarray:
+    """Certified upper bounds on distances-to-``d`` under the new grid.
+
+    Walks the *cached* successor tree under the *new* weights: a vertex
+    whose walk telescopes edge costs all the way to ``d`` gets that path
+    cost (an achievable, hence sound, warm-start bound); anything broken
+    by the delta gets ``maxint``. Vectorised: n parallel walkers advance
+    together, accumulating saturated edge costs.
+    """
+    plane = certify_warm_plane(
+        W_new, np.asarray(sow)[:, None], np.asarray(ptn)[:, None],
+        np.asarray([d]), maxint,
+    )
+    return plane[:, 0]
+
+
+def certify_warm_plane(W_new: np.ndarray, dist: np.ndarray,
+                       succ: np.ndarray, dests: np.ndarray,
+                       maxint: int) -> np.ndarray:
+    """Column-stacked :func:`certify_warm_column` for many destinations.
+
+    ``dist``/``succ`` are ``(n, k)`` stale cached columns for the
+    destinations in ``dests``; the result is the ``(n, k)`` certified
+    bound plane (entries are achievable path costs under ``W_new`` or
+    ``maxint``). Only the successor structure of the stale answer is
+    trusted — every cost is re-accumulated from ``W_new``, so the output
+    satisfies the ``warm_sow`` contract no matter how stale the input.
+    """
+    W_new = np.asarray(W_new, dtype=np.int64)
+    succ = np.asarray(succ, dtype=np.int64)
+    dist = np.asarray(dist, dtype=np.int64)
+    n, k = succ.shape
+    dests = np.asarray(dests, dtype=np.int64)
+
+    pos = np.tile(np.arange(n)[:, None], (1, k))
+    cost = np.zeros((n, k), dtype=np.int64)
+    alive = dist < maxint  # the stale answer claimed reachability
+    arrived = alive & (pos == dests[None, :])
+    walking = alive & ~arrived
+    cols = np.tile(np.arange(k)[None, :], (n, 1))
+    for _ in range(n):
+        if not walking.any():
+            break
+        nxt = np.where(walking, succ[pos, cols], pos)
+        hop = np.where(walking, W_new[pos, nxt], 0)
+        # a removed edge (maxint) kills the walker: bound stays maxint
+        dead = walking & (hop >= maxint)
+        walking &= ~dead
+        hop = np.where(walking, hop, 0)
+        cost = _sat(cost + hop, maxint)
+        pos = np.where(walking, nxt, pos)
+        arrived |= walking & (pos == dests[None, :])
+        walking &= ~arrived
+    # walkers still moving after n hops are cycling: no certificate
+    out = np.full((n, k), maxint, dtype=np.int64)
+    out[arrived] = cost[arrived]
+    out[dests, np.arange(k)] = 0
+    return out

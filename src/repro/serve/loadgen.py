@@ -58,6 +58,8 @@ class LoadGenResult:
     requests: int = 0
     by_status: dict = field(default_factory=dict)
     degraded: int = 0
+    #: graph-delta updates issued mid-stream (``update_every``).
+    updates: int = 0
     validated: int = 0
     #: independently-validated answers that disagreed — MUST be 0.
     wrong: int = 0
@@ -74,6 +76,7 @@ class LoadGenResult:
             "requests": self.requests,
             "by_status": dict(self.by_status),
             "degraded": self.degraded,
+            "updates": self.updates,
             "validated": self.validated,
             "wrong": self.wrong,
             "wall_s": round(self.wall_s, 4),
@@ -114,12 +117,25 @@ async def run_loadgen(
     validate_every: int = 17,
     seed: int = 0,
     register_graph: bool = True,
+    zipf: float | None = None,
+    update_every: int = 0,
 ) -> LoadGenResult:
     """Drive the service at ``host:port`` and measure SLOs.
 
     The request stream, the graph and the validation sample are all
     functions of ``seed`` alone. ``concurrency`` bounds in-flight
     requests (closed loop); ``requests`` is the total issued.
+
+    ``zipf`` skews destination choice to a Zipf(``zipf``) law over a
+    seeded destination ranking — the hot-key shape request coalescing
+    and single-flight dedup are built for (``zipf=None`` keeps the
+    uniform draw). ``update_every`` > 0 splits the stream into segments
+    of that many requests; between segments the generator drains all
+    in-flight work, applies a seeded sparse edge delta via the
+    incremental ``put_graph`` path, and from then on validates answers
+    against the *new* local reference **and** asserts each answer
+    carries the current graph version — a served stale column counts as
+    ``wrong``.
     """
     rng = np.random.default_rng(seed)
     wire = random_graph(n, density, rng)
@@ -129,7 +145,10 @@ async def run_loadgen(
     )
     maxint = (1 << word_bits) - 1
     grid = np.where(np.isinf(W), maxint, W).astype(np.int64)
-    reference_columns: dict[int, np.ndarray] = {}
+    #: (version, dest) -> reference column for the grid at that version
+    reference_columns: dict[tuple[int, int], np.ndarray] = {}
+    state = {"version": 1}
+    check_version = bool(update_every) and register_graph
 
     clients = [ServeClient(host, port)
                for _ in range(max(1, min(connections, requests)))]
@@ -142,9 +161,10 @@ async def run_loadgen(
     inflight = 0
 
     def reference(dest: int) -> np.ndarray:
-        if dest not in reference_columns:
-            reference_columns[dest] = bellman_reference(grid, dest, maxint)
-        return reference_columns[dest]
+        key = (state["version"], dest)
+        if key not in reference_columns:
+            reference_columns[key] = bellman_reference(grid, dest, maxint)
+        return reference_columns[key]
 
     async def one(i: int, op: str, source: int, dest: int,
                   validate: bool) -> None:
@@ -177,6 +197,10 @@ async def run_loadgen(
             if resp.status != "ok" or not validate:
                 return
             result.validated += 1
+            if (check_version and op in ("point", "dest")
+                    and resp.result.get("version") != state["version"]):
+                result.wrong += 1  # a stale version IS a wrong answer
+                return
             if op == "point":
                 expect = int(reference(dest)[source])
                 got = resp.result.get("cost")
@@ -195,6 +219,13 @@ async def run_loadgen(
                 await client.close()
             raise RuntimeError(f"put_graph failed: {put.error}")
 
+    zipf_rng = np.random.default_rng(seed ^ 0x5A1F) if zipf else None
+    zipf_rank = zipf_probs = None
+    if zipf_rng is not None:
+        zipf_rank = zipf_rng.permutation(n)
+        zipf_probs = 1.0 / np.arange(1, n + 1) ** float(zipf)
+        zipf_probs /= zipf_probs.sum()
+
     plan = []
     for i in range(requests):
         if apsp_every and i % apsp_every == apsp_every - 1:
@@ -205,11 +236,49 @@ async def run_loadgen(
             op = "point"
         source = int(rng.integers(0, n))
         dest = int(rng.integers(0, n))
+        if zipf_rng is not None and op != "apsp":
+            dest = int(zipf_rank[zipf_rng.choice(n, p=zipf_probs)])
         validate = validate_every > 0 and i % validate_every == 0
         plan.append((i, op, source, dest, validate))
 
+    update_rng = np.random.default_rng(seed ^ 0xDE17A)
+
+    def make_delta() -> list:
+        edges: list = []
+        for _ in range(max(1, n // 8)):
+            u = int(update_rng.integers(0, n))
+            v = int(update_rng.integers(0, n - 1))
+            if v >= u:
+                v += 1
+            w = None if update_rng.random() < 0.2 \
+                else int(update_rng.integers(1, 10))
+            edges.append([u, v, w])
+        return edges
+
     t_start = time.monotonic()
-    await asyncio.gather(*(one(*spec) for spec in plan))
+    if update_every and update_every > 0:
+        # segments drain fully before each delta, so every in-flight
+        # answer has exactly one correct version to be validated against
+        for start in range(0, requests, update_every):
+            specs = plan[start:start + update_every]
+            await asyncio.gather(*(one(*spec) for spec in specs))
+            if start + update_every >= requests:
+                break
+            edges = make_delta()
+            resp = await clients[0].put_delta(
+                graph, edges,
+                base_version=state["version"] if check_version else None,
+            )
+            if resp.status != "ok":
+                for client in clients:
+                    await client.close()
+                raise RuntimeError(f"put_delta failed: {resp.error}")
+            for u, v, w in edges:
+                grid[u, v] = maxint if w is None else w
+            state["version"] += 1
+            result.updates += 1
+    else:
+        await asyncio.gather(*(one(*spec) for spec in plan))
     result.wall_s = time.monotonic() - t_start
 
     for client in clients:

@@ -19,7 +19,15 @@ Operations
     Solve (and cache) the full all-pairs problem; returns summary
     statistics and a result digest rather than the O(n^2) matrices.
 ``put_graph``
-    Register (or replace) a named weight matrix.
+    Register (or replace) a named weight matrix — or, with ``edges``
+    instead of ``weights``, apply a **sparse edge delta** to the
+    registered graph: ``edges`` is ``[[u, v, w], ...]`` (``w = null``
+    removes the edge), optionally guarded by ``base_version`` (the
+    update is rejected with a version-conflict error unless it applies
+    to exactly that version). Deltas bump the graph version but keep
+    every cached column the change provably cannot affect, and
+    warm-start the re-solve of the ones it can
+    (:mod:`repro.serve.delta`).
 ``stats`` / ``health``
     Server introspection: admission/breaker/ladder/cache state.
 
@@ -28,7 +36,11 @@ Statuses
 ``ok``
     Verified answer. May carry ``degraded`` — the machine-readable
     downgrade record (rung, reasons) when the service answered below
-    full capability.
+    full capability. Column answers carry batching accounting in
+    ``timing``: ``batched_with`` (how many distinct destinations shared
+    the engine run — 1 means the request rode alone) and
+    ``single_flight`` (the answer was joined to an identical in-flight
+    computation).
 ``shed``
     Load-shedding refusal from admission control; carries
     ``retry_after_ms`` (the backpressure signal).
@@ -85,6 +97,13 @@ class Request:
     #: edge) and word width.
     weights: list | None = None
     word_bits: int = 16
+    #: ``put_graph`` sparse-delta payload: ``[[u, v, w], ...]`` edge
+    #: updates (``w = null`` removes the edge). Mutually exclusive with
+    #: ``weights``.
+    edges: list | None = None
+    #: optional optimistic-concurrency guard for delta updates: the
+    #: delta only applies if the graph is at exactly this version.
+    base_version: int | None = None
 
     @classmethod
     def from_dict(cls, data: dict) -> "Request":
@@ -105,11 +124,14 @@ class Request:
             want_path=bool(data.get("want_path", False)),
             weights=data.get("weights"),
             word_bits=int(data.get("word_bits", 16)),
+            edges=data.get("edges"),
+            base_version=_opt_int(data, "base_version"),
         )
 
     def to_dict(self) -> dict:
         out: dict = {"id": self.id, "op": self.op}
-        for key in ("graph", "source", "dest", "deadline_ms", "weights"):
+        for key in ("graph", "source", "dest", "deadline_ms", "weights",
+                    "edges", "base_version"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value

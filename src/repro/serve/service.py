@@ -40,16 +40,28 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.apsp import all_pairs_minimum_cost
+from repro.core.batched import batched_minimum_cost_path
 from repro.core.graph import normalize_weights
 from repro.core.mcp import minimum_cost_path
+from repro.engine.costs import cost_cache_size, cost_cache_stats
 from repro.engine.select import fused_block_reason
 from repro.errors import ConfigurationError, GraphError, ReproError
 from repro.ppa.machine import PPAMachine
+from repro.ppa.segments import plan_cache_sizes, plan_cache_stats
 from repro.ppa.topology import PPAConfig
 from repro.resilience import BackoffPolicy, ResilienceConfig, ResilientExecutor
 from repro.serve.admission import AdmissionController, QueueFull
 from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.coalesce import ColumnCoalescer
 from repro.serve.degrade import DegradationLadder, Rung, RUNGS
+from repro.serve.delta import (
+    apply_edge_delta,
+    certify_warm_column,
+    certify_warm_plane,
+    column_is_dirty,
+    decode_edges,
+    dirty_destinations,
+)
 from repro.serve.oracle import verify_apsp, verify_mcp
 from repro.serve.protocol import PROTOCOL_VERSION, MAX_LINE_BYTES, Request, \
     Response, decode_line, encode_message
@@ -88,6 +100,16 @@ class ServiceConfig:
     #: LRU capacities (entries, not bytes).
     column_cache: int = 2048
     apsp_cache: int = 8
+    #: coalesce concurrent column requests into lane-batched engine runs
+    #: (:mod:`repro.serve.coalesce`). Off restores the one-request-per-
+    #: engine-run PR 8 behaviour (the benchmark's control arm).
+    coalesce: bool = True
+    #: how long a coalescing batch collects before dispatching (ms).
+    coalesce_window_ms: float = 2.0
+    #: distinct destinations per batch; a full batch dispatches early.
+    #: The degradation rung may chunk a batch into narrower engine runs
+    #: (:meth:`repro.serve.degrade.Rung.coalesce_width`).
+    max_lanes: int = 32
     #: spare PEs given to the resilient bottom rung (array n = problem
     #: n + spares, quarantine headroom for bus-fault recovery).
     resilient_spares: int = 2
@@ -117,6 +139,15 @@ class ServiceConfig:
         if self.resilient_spares < 0:
             raise ConfigurationError(
                 f"resilient_spares must be >= 0, got {self.resilient_spares}"
+            )
+        if self.coalesce_window_ms < 0:
+            raise ConfigurationError(
+                "coalesce_window_ms must be >= 0, got "
+                f"{self.coalesce_window_ms}"
+            )
+        if self.max_lanes < 1:
+            raise ConfigurationError(
+                f"max_lanes must be >= 1, got {self.max_lanes}"
             )
 
 
@@ -174,6 +205,19 @@ class PathQueryService:
         self.graphs: dict[str, _Graph] = {}
         self._columns: OrderedDict = OrderedDict()
         self._apsp: OrderedDict = OrderedDict()
+        #: certified warm-start seeds for dirtied columns,
+        #: (name, version, dest) -> (n,) int64 upper-bound vector
+        self._warm: OrderedDict = OrderedDict()
+        #: partially-invalidated APSP planes awaiting incremental
+        #: re-solve, (name, version) -> salvage record (see _put_delta)
+        self._apsp_salvage: OrderedDict = OrderedDict()
+        self._coalescer: ColumnCoalescer | None = None
+        if self.config.coalesce:
+            self._coalescer = ColumnCoalescer(
+                self._dispatch_columns,
+                window_ms=self.config.coalesce_window_ms,
+                max_lanes=self.config.max_lanes,
+            )
         self.counters: dict[str, int] = {
             "ok": 0, "shed": 0, "deadline": 0, "error": 0,
             "verify_rejections": 0, "retries": 0, "abandoned": 0,
@@ -220,6 +264,8 @@ class PathQueryService:
         if self._connections:
             await asyncio.gather(*list(self._connections),
                                  return_exceptions=True)
+        if self._coalescer is not None:
+            await self._coalescer.drain()
         if self._reapers:
             await asyncio.gather(*list(self._reapers),
                                  return_exceptions=True)
@@ -356,8 +402,16 @@ class PathQueryService:
     def _put_graph(self, req: Request) -> Response:
         if not req.graph:
             raise ReproError("put_graph needs a graph name")
+        if req.weights is not None and req.edges is not None:
+            raise ReproError(
+                "put_graph takes weights (full replace) or edges (delta), "
+                "not both"
+            )
+        if req.edges is not None:
+            return self._put_delta(req)
         if req.weights is None:
-            raise ReproError("put_graph needs a weights matrix")
+            raise ReproError("put_graph needs a weights matrix or an "
+                             "edges delta")
         raw = np.asarray(
             [[np.inf if v is None else v for v in row]
              for row in req.weights],
@@ -381,16 +435,124 @@ class PathQueryService:
                    version=version, digest=digest)
         self.graphs[req.graph] = g
         self.ladder.forget(req.graph)  # new content, fresh health record
+        self._purge_salvage(req.graph)
         return Response(id=req.id, status="ok", op="put_graph", result={
             "graph": g.name, "n": g.n, "version": g.version,
             "digest": g.digest, "maxint": g.maxint,
         })
+
+    def _put_delta(self, req: Request) -> Response:
+        """Incremental ``put_graph``: apply a sparse edge delta.
+
+        Bumps the graph version, then *migrates* instead of dropping
+        cached work: columns the delta provably cannot have changed
+        (:func:`repro.serve.delta.column_is_dirty`) are re-keyed to the
+        new version verbatim; dirtied columns leave behind a certified
+        warm-start seed so their re-solve starts from near-converged
+        bounds. A cached APSP plane is split the same way —
+        :func:`dirty_destinations` picks the columns to re-solve, and a
+        salvage record lets the next ``apsp`` request recompute only
+        those lanes (warm-started), splicing them into the kept plane.
+        """
+        g = self._graph(req)
+        if req.base_version is not None and req.base_version != g.version:
+            raise ReproError(
+                f"version conflict: graph {g.name!r} is at version "
+                f"{g.version}, delta targets {req.base_version}"
+            )
+        edges = decode_edges(req.edges, g.n, g.maxint)
+        W_new = apply_edge_delta(g.W, edges, g.maxint)
+        digest = hashlib.blake2b(
+            W_new.tobytes() + bytes([g.word_bits]), digest_size=16
+        ).hexdigest()
+        new = _Graph(name=g.name, W=W_new, n=g.n, word_bits=g.word_bits,
+                     maxint=g.maxint, version=g.version + 1, digest=digest)
+        self.graphs[g.name] = new
+        # unlike a full replace, graph health history stays: the content
+        # is mostly the same machine-shaped problem
+
+        kept = 0
+        dirtied = 0
+        for d in range(g.n):
+            key = (g.name, g.version, d)
+            entry = self._columns.pop(key, None)
+            if entry is None:
+                continue
+            if not column_is_dirty(edges, entry["sow"], entry["ptn"],
+                                   g.maxint):
+                self._columns[(g.name, new.version, d)] = entry
+                kept += 1
+            else:
+                self._warm[(g.name, new.version, d)] = certify_warm_column(
+                    W_new, entry["sow"], entry["ptn"], d, g.maxint
+                )
+                dirtied += 1
+        while len(self._warm) > self.config.column_cache:
+            self._warm.popitem(last=False)
+
+        apsp_dirty = None
+        plane = self._apsp.pop((g.name, g.version), None)
+        if plane is not None:
+            dirty = dirty_destinations(edges, plane["dist"], plane["succ"],
+                                       g.maxint)
+            apsp_dirty = int(dirty.sum())
+            if apsp_dirty == 0:
+                self._apsp[(g.name, new.version)] = plane
+            else:
+                dirty_idx = np.flatnonzero(dirty)
+                warm = certify_warm_plane(
+                    W_new, plane["dist"][:, dirty_idx],
+                    plane["succ"][:, dirty_idx], dirty_idx, g.maxint,
+                )
+                self._apsp_salvage[(g.name, new.version)] = {
+                    "dist": plane["dist"], "succ": plane["succ"],
+                    "iterations": plane["iterations"],
+                    "dirty": dirty_idx, "warm": warm,
+                }
+                while len(self._apsp_salvage) > self.config.apsp_cache:
+                    self._apsp_salvage.popitem(last=False)
+                # the clean columns also serve point/dest directly
+                for d in np.flatnonzero(~dirty):
+                    d = int(d)
+                    self._columns[(g.name, new.version, d)] = {
+                        "sow": plane["dist"][:, d],
+                        "ptn": plane["succ"][:, d],
+                        "iterations": int(plane["iterations"][d]),
+                        "engine": plane["engine"],
+                        "degraded": plane.get("degraded"),
+                    }
+        while len(self._columns) > self.config.column_cache:
+            self._columns.popitem(last=False)
+        self._purge_salvage(g.name, keep_version=new.version)
+
+        return Response(id=req.id, status="ok", op="put_graph", result={
+            "graph": new.name, "n": new.n, "version": new.version,
+            "digest": new.digest, "maxint": new.maxint,
+            "delta": {
+                "edges": len(edges),
+                "columns_kept": kept,
+                "columns_dirtied": dirtied,
+                "apsp_dirty": apsp_dirty,
+            },
+        })
+
+    def _purge_salvage(self, name: str, keep_version: int | None = None
+                       ) -> None:
+        """Drop warm seeds / salvage planes for *name* except, optionally,
+        the current version's."""
+        for key in [k for k in self._warm
+                    if k[0] == name and k[1] != keep_version]:
+            del self._warm[key]
+        for key in [k for k in self._apsp_salvage
+                    if k[0] == name and k[1] != keep_version]:
+            del self._apsp_salvage[key]
 
     def _del_graph(self, req: Request) -> Response:
         if not req.graph:
             raise ReproError("del_graph needs a graph name")
         existed = self.graphs.pop(req.graph, None) is not None
         self.ladder.forget(req.graph)
+        self._purge_salvage(req.graph)
         return Response(id=req.id, status="ok", op="del_graph",
                         result={"graph": req.graph, "deleted": existed})
 
@@ -426,10 +588,22 @@ class PathQueryService:
         # cached answers are served without consuming an admission slot
         cached = self._cache_lookup(req, g)
         if cached is not None:
+            hit = Span("serve.cache_hit", {
+                "graph": g.name, "version": g.version,
+                "op": req.op,
+                "dest": int(req.dest) if req.dest is not None else -1,
+            })
+            hit.start = self.config.clock() - self._epoch
             response = self._answer(req, g, cached, cached.get("degraded"))
+            hit.end = self.config.clock() - self._epoch
+            span.children.append(hit)
             response.timing["cached"] = True
             response.timing["queued_ms"] = 0.0
             return response
+
+        if self._coalescer is not None and req.op in ("point", "dest"):
+            return await self._query_coalesced(req, g, deadline_at, t0,
+                                               span)
 
         # -- admission ------------------------------------------------
         try:
@@ -464,6 +638,261 @@ class PathQueryService:
             if release_inline:
                 self.admission.release()
 
+    async def _query_coalesced(self, req: Request, g: _Graph,
+                               deadline_at: float, t0: float,
+                               span: Span) -> Response:
+        """Column path through the micro-batching coalescer.
+
+        The request parks on the shared per-destination future; the
+        coalescer dispatches one lane-batched engine run per collection
+        window (``_dispatch_columns``) and the outcome fans back here.
+        Per-request deadlines stay per-request: an expired waiter gets
+        its ``deadline`` response while the batch keeps computing for
+        the others (and still warms the cache).
+        """
+        future, joined = self._coalescer.join(g, int(req.dest),
+                                              deadline_at)
+        wait = Span("serve.coalesce", {
+            "graph": g.name, "version": g.version, "dest": int(req.dest),
+            "single_flight": joined,
+        })
+        wait.start = self.config.clock() - self._epoch
+        span.children.append(wait)
+        try:
+            remaining = deadline_at - self.config.clock()
+            if remaining <= 0:
+                raise asyncio.TimeoutError
+            outcome = await asyncio.wait_for(asyncio.shield(future),
+                                             timeout=remaining)
+        except asyncio.TimeoutError:
+            wait.end = self.config.clock() - self._epoch
+            wait.attrs["outcome"] = "deadline"
+            return Response(
+                id=req.id, status="deadline", op=req.op,
+                error="deadline expired awaiting coalesced batch",
+                timing={"queued_ms": round(
+                    (self.config.clock() - t0) * 1e3, 3)},
+            )
+        wait.end = self.config.clock() - self._epoch
+        wait.attrs["outcome"] = outcome["status"]
+        if outcome["status"] == "ok":
+            payload = outcome["payload"]
+            response = self._answer(req, g, payload,
+                                    payload.get("degraded"))
+            response.timing["queued_ms"] = payload.get("queued_ms", 0.0)
+            response.timing["attempts"] = payload.get("attempts", 1)
+            response.timing["batched_with"] = payload.get(
+                "batched_with", 1)
+            if joined:
+                response.timing["single_flight"] = True
+            return response
+        if outcome["status"] == "shed":
+            return Response(
+                id=req.id, status="shed", op=req.op,
+                error="admission queue full",
+                retry_after_ms=outcome.get("retry_after_ms"),
+            )
+        if outcome["status"] == "deadline":
+            return Response(
+                id=req.id, status="deadline", op=req.op,
+                error=outcome.get("message", "deadline expired"),
+                timing={"attempts": outcome.get("attempts", 1)},
+            )
+        return Response(
+            id=req.id, status="error", op=req.op,
+            error=outcome.get("message", "coalesced batch failed"),
+            timing={"attempts": outcome.get("attempts", 1)},
+        )
+
+    async def _dispatch_columns(self, g: _Graph,
+                                waiters: "dict[int, asyncio.Future]",
+                                deadline_at: float) -> None:
+        """Admission + retry loop for one coalesced batch (the
+        :class:`ColumnCoalescer`'s dispatch callback).
+
+        The whole batch consumes **one** admission slot, weighted by its
+        lane count in the admission statistics. Never raises — every
+        waiter is resolved to an outcome dict no matter what."""
+        t0 = self.config.clock()
+        batch_span = Span("serve.batch", {
+            "graph": g.name, "version": g.version, "lanes": len(waiters),
+        })
+        batch_span.start = t0 - self._epoch
+        self._spans.append(batch_span)
+
+        def _resolve_all(outcome: dict) -> None:
+            for fut in waiters.values():
+                if not fut.done():
+                    fut.set_result(outcome)
+
+        try:
+            remaining = deadline_at - self.config.clock()
+            if remaining <= 0:
+                raise asyncio.TimeoutError
+            await asyncio.wait_for(
+                self.admission.acquire(weight=len(waiters)),
+                timeout=remaining,
+            )
+        except asyncio.TimeoutError:
+            batch_span.end = self.config.clock() - self._epoch
+            batch_span.attrs["status"] = "deadline"
+            _resolve_all({"status": "deadline", "message":
+                          "deadline expired while queued for admission"})
+            return
+        except QueueFull as exc:
+            batch_span.end = self.config.clock() - self._epoch
+            batch_span.attrs["status"] = "shed"
+            _resolve_all({"status": "shed",
+                          "retry_after_ms": round(exc.retry_after_ms, 3)})
+            return
+        queued_ms = round((self.config.clock() - t0) * 1e3, 3)
+
+        release_inline = True
+        try:
+            release_inline = await self._batch_admitted(
+                g, waiters, deadline_at, queued_ms, batch_span
+            )
+        except Exception as exc:  # never leave a waiter hanging
+            _resolve_all({"status": "error",
+                          "message": f"internal error: {exc!r}"})
+        finally:
+            batch_span.end = self.config.clock() - self._epoch
+            if release_inline:
+                self.admission.release()
+
+    async def _batch_admitted(self, g: _Graph,
+                              waiters: "dict[int, asyncio.Future]",
+                              deadline_at: float, queued_ms: float,
+                              batch_span: Span) -> bool:
+        """The retry/degradation loop for one admitted coalesced batch.
+
+        Mirrors :meth:`_admitted` lane-wise: same ladder, backoff and
+        abandonment semantics, one batched engine run per attempt.
+        Returns ``release_inline`` — False when an abandoned compute
+        thread still owns the batch's admission slot."""
+        loop = asyncio.get_running_loop()
+        dests = sorted(waiters)
+        rng = np.random.default_rng(
+            self.config.seed
+            ^ (hash(("batch", g.name, g.version, tuple(dests)))
+               & 0xFFFF_FFFF)
+        )
+        # snapshot certified warm seeds on the event loop; compute
+        # threads must not touch service state
+        seeds = {d: self._warm.get((g.name, g.version, d)) for d in dests}
+        floor: Rung | None = None
+        attempt = 0
+        last_failure = "no attempt ran"
+
+        def _resolve_all(outcome: dict) -> None:
+            for fut in waiters.values():
+                if not fut.done():
+                    fut.set_result(outcome)
+
+        while True:
+            rung, reasons = self.ladder.rung_for(
+                g.name,
+                pressure=self.admission.pressure,
+                breaker_open=self.breaker.state is BreakerState.OPEN,
+            )
+            if floor is not None and floor.index > rung.index:
+                rung = floor
+                reasons.append(f"in-request retry after: {last_failure}")
+            notes: list[str] = []
+            width = rung.coalesce_width(g.n, self.config.max_lanes)
+
+            attempt_span = Span("serve.attempt", {
+                "rung": rung.index, "engine": rung.engine,
+                "workers": 1, "attempt": attempt,
+                "lanes": len(dests), "width": width,
+            })
+            attempt_span.start = self.config.clock() - self._epoch
+            batch_span.children.append(attempt_span)
+
+            work = functools.partial(self._compute_columns, g, dests,
+                                     rung, notes, seeds, width)
+            future = loop.run_in_executor(self._threads(), work)
+            remaining = deadline_at - self.config.clock()
+            failure: str | None = None
+            payloads = None
+            try:
+                if remaining <= 0:
+                    raise asyncio.TimeoutError
+                payloads = await asyncio.wait_for(asyncio.shield(future),
+                                                  timeout=remaining)
+            except asyncio.TimeoutError:
+                attempt_span.end = self.config.clock() - self._epoch
+                attempt_span.attrs["outcome"] = "deadline"
+                batch_span.attrs["status"] = "deadline"
+                release_inline = future.done()
+                if not release_inline:
+                    self.counters["abandoned"] += 1
+                    reaper = asyncio.ensure_future(self._reap(future))
+                    self._reapers.add(reaper)
+                    reaper.add_done_callback(self._reapers.discard)
+                _resolve_all({"status": "deadline",
+                              "message": "deadline expired during compute",
+                              "attempts": attempt + 1})
+                return release_inline
+            except _AnswerRejected as exc:
+                self.counters["verify_rejections"] += 1
+                failure = f"verification rejected the answer: {exc}"
+            except (ReproError, RuntimeError, ValueError) as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+            attempt_span.end = self.config.clock() - self._epoch
+
+            if failure is None:
+                attempt_span.attrs["outcome"] = "ok"
+                batch_span.attrs["status"] = "ok"
+                self.ladder.record_success(g.name)
+                degraded = None
+                if rung.index > 0 or reasons or notes:
+                    degraded = rung.record(reasons + notes, 1)
+                for d in dests:
+                    self._store_column(g, d, payloads[d], degraded)
+                    payload = dict(payloads[d])
+                    payload["degraded"] = degraded
+                    payload["batched_with"] = len(dests)
+                    payload["attempts"] = attempt + 1
+                    payload["queued_ms"] = queued_ms
+                    fut = waiters[d]
+                    if not fut.done():
+                        fut.set_result({"status": "ok",
+                                        "payload": payload})
+                return True
+
+            # -- failed attempt ---------------------------------------
+            attempt_span.attrs["outcome"] = failure
+            last_failure = failure
+            self.ladder.record_failure(g.name, rung, failure)
+            floor = self.ladder.rung_below(rung)
+            attempt += 1
+            exhausted = attempt >= (self.config.backoff.max_attempts
+                                    + len(RUNGS))
+            if exhausted or (floor is None
+                             and attempt > self.config.backoff.max_attempts):
+                batch_span.attrs["status"] = "error"
+                _resolve_all({
+                    "status": "error",
+                    "message": ("degradation ladder exhausted; last "
+                                "failure: " + failure),
+                    "attempts": attempt,
+                })
+                return True
+            self.counters["retries"] += 1
+            delay = self.config.backoff.delay(attempt, rng)
+            if self.config.clock() + delay >= deadline_at:
+                batch_span.attrs["status"] = "deadline"
+                _resolve_all({
+                    "status": "deadline",
+                    "message": ("deadline would expire during retry "
+                                "backoff; last failure: " + failure),
+                    "attempts": attempt,
+                })
+                return True
+            if delay > 0:
+                await asyncio.sleep(delay)
+
     async def _admitted(self, req: Request, g: _Graph, deadline_at: float,
                         span: Span) -> tuple[Response, bool]:
         """The retry/degradation loop for one admitted request.
@@ -489,9 +918,15 @@ class PathQueryService:
                 reasons.append(f"in-request retry after: {last_failure}")
             notes: list[str] = []
 
+            # snapshot any salvage plane on the event loop; the compute
+            # thread must not read mutable service state. An available
+            # incremental re-solve beats spinning up the worker pool.
+            salvage = None
+            if req.op == "apsp" and not rung.resilient:
+                salvage = self._apsp_salvage.get((g.name, g.version))
             workers = 1
             probing = False
-            if (req.op == "apsp" and rung.use_workers
+            if (req.op == "apsp" and salvage is None and rung.use_workers
                     and self.config.workers > 1):
                 if self.breaker.allow():
                     workers = self.config.workers
@@ -508,7 +943,7 @@ class PathQueryService:
 
             if req.op == "apsp":
                 work = functools.partial(self._compute_apsp, g, rung,
-                                         workers, notes)
+                                         workers, notes, salvage)
             else:
                 work = functools.partial(self._compute_column, g,
                                          int(req.dest), rung, notes)
@@ -646,9 +1081,82 @@ class PathQueryService:
                 raise _AnswerRejected(problems)
         return payload
 
+    def _compute_columns(self, g: _Graph, dests: list, rung: Rung,
+                         notes: list, seeds: dict, width: int) -> dict:
+        """Lane-batched column compute for one coalesced batch.
+
+        ``seeds`` maps dest -> certified warm-start bound vector (or
+        None); seeds ride only on the analytic engines — the cycle
+        simulator and the resilient executor always run cold (they are
+        the ground-truth/recovery paths). ``width`` is the rung-aware
+        lane cap: degraded rungs chunk the batch into narrower engine
+        runs. Returns dest -> payload."""
+        out: dict[int, dict] = {}
+        if rung.resilient:
+            machine = self.machine_factory(
+                g.n + self.config.resilient_spares, g.word_bits
+            )
+            executor = ResilientExecutor(machine, self.config.resilience)
+            for base in range(0, len(dests), width):
+                chunk = np.asarray(dests[base:base + width],
+                                   dtype=np.int64)
+                res = executor.run_batched(g.W, chunk,
+                                           raise_on_failure=False)
+                if not res.trustworthy:
+                    raise _ComputeFailed(
+                        "resilient executor exhausted its recovery budget"
+                    )
+                for b, d in enumerate(chunk):
+                    lane = res.lane(b)
+                    out[int(d)] = {"sow": lane.sow, "ptn": lane.ptn,
+                                   "iterations": int(lane.iterations),
+                                   "engine": "cycle+resilient"}
+        else:
+            machine = self.machine_factory(g.n, g.word_bits)
+            engine = rung.engine
+            blocked = fused_block_reason(machine)
+            if engine != "cycle" and blocked is not None:
+                notes.append(f"engine auto-downgrade to cycle: {blocked}")
+                engine = "cycle"
+            for base in range(0, len(dests), width):
+                chunk = np.asarray(dests[base:base + width],
+                                   dtype=np.int64)
+                warm = None
+                if engine != "cycle":
+                    rows = [seeds.get(int(d)) for d in chunk]
+                    if any(r is not None for r in rows):
+                        warm = np.full((chunk.size, g.n), g.maxint,
+                                       dtype=np.int64)
+                        for b, r in enumerate(rows):
+                            if r is not None:
+                                warm[b] = r
+                view = machine.lanes(int(chunk.size))
+                res = batched_minimum_cost_path(
+                    view, g.W, chunk, engine=engine, warm_sow=warm
+                )
+                for b, d in enumerate(chunk):
+                    d = int(d)
+                    out[d] = {
+                        "sow": res.sow[b].copy(),
+                        "ptn": res.ptn[b].copy(),
+                        "iterations": int(res.iterations[b]),
+                        "engine": engine,
+                        "warm_started": bool(
+                            warm is not None and seeds.get(d) is not None
+                        ),
+                    }
+        if self.config.verify:
+            for d, payload in out.items():
+                problems = verify_mcp(g.W, payload["sow"], payload["ptn"],
+                                      d, g.maxint)
+                if problems:
+                    raise _AnswerRejected(problems)
+        return out
+
     def _compute_apsp(self, g: _Graph, rung: Rung, workers: int,
-                      notes: list) -> dict:
+                      notes: list, salvage: dict | None = None) -> dict:
         lanes = max(1, g.n // rung.lane_div)
+        incremental = None
         if rung.resilient:
             machine = self.machine_factory(
                 g.n + self.config.resilient_spares, g.word_bits
@@ -673,6 +1181,38 @@ class PathQueryService:
                     iterations[d] = lane.iterations
             engine = "cycle+resilient"
             shard_failures = 0
+        elif salvage is not None and workers <= 1:
+            # incremental re-solve: only the delta-dirtied columns are
+            # recomputed (warm-started from certified bounds on analytic
+            # engines), spliced into the surviving plane, then the whole
+            # plane is oracle-verified like any other answer
+            machine = self.machine_factory(g.n, g.word_bits)
+            engine = rung.engine
+            blocked = fused_block_reason(machine)
+            if engine != "cycle" and blocked is not None:
+                notes.append(f"engine auto-downgrade to cycle: {blocked}")
+                engine = "cycle"
+            dist = np.array(salvage["dist"], copy=True)
+            succ = np.array(salvage["succ"], copy=True)
+            iterations = np.array(salvage["iterations"], copy=True)
+            dirty = np.asarray(salvage["dirty"], dtype=np.int64)
+            warm = salvage["warm"]
+            for base in range(0, int(dirty.size), lanes):
+                chunk = dirty[base:base + lanes]
+                seed = None
+                if engine != "cycle":
+                    seed = np.ascontiguousarray(
+                        warm[:, base:base + int(chunk.size)].T
+                    )
+                view = machine.lanes(int(chunk.size))
+                res = batched_minimum_cost_path(
+                    view, g.W, chunk, engine=engine, warm_sow=seed
+                )
+                dist[:, chunk] = res.sow.T
+                succ[:, chunk] = res.ptn.T
+                iterations[chunk] = res.iterations
+            shard_failures = 0
+            incremental = int(dirty.size)
         else:
             machine = self.machine_factory(g.n, g.word_bits)
             engine = rung.engine
@@ -697,7 +1237,8 @@ class PathQueryService:
         return {"dist": dist, "succ": succ,
                 "iterations": np.asarray(iterations),
                 "digest": digest, "engine": engine, "workers": workers,
-                "shard_failures": shard_failures}
+                "shard_failures": shard_failures,
+                "incremental": incremental}
 
     # ------------------------------------------------------------------
     # Caching
@@ -730,16 +1271,41 @@ class PathQueryService:
 
     def _cache_store(self, req: Request, g: _Graph, payload: dict,
                      degraded: dict | None) -> None:
+        if req.op == "apsp":
+            self._store_apsp(g, payload, degraded)
+        else:
+            self._store_column(g, int(req.dest), payload, degraded)
+
+    def _store_column(self, g: _Graph, dest: int, payload: dict,
+                      degraded: dict | None) -> None:
         entry = dict(payload)
         entry["degraded"] = degraded
-        if req.op == "apsp":
-            self._apsp[(g.name, g.version)] = entry
-            while len(self._apsp) > self.config.apsp_cache:
-                self._apsp.popitem(last=False)
-        else:
-            self._columns[(g.name, g.version, int(req.dest))] = entry
-            while len(self._columns) > self.config.column_cache:
-                self._columns.popitem(last=False)
+        self._columns[(g.name, g.version, int(dest))] = entry
+        self._warm.pop((g.name, g.version, int(dest)), None)
+        while len(self._columns) > self.config.column_cache:
+            self._columns.popitem(last=False)
+
+    def _store_apsp(self, g: _Graph, payload: dict,
+                    degraded: dict | None) -> None:
+        entry = dict(payload)
+        entry["degraded"] = degraded
+        self._apsp[(g.name, g.version)] = entry
+        while len(self._apsp) > self.config.apsp_cache:
+            self._apsp.popitem(last=False)
+        self._apsp_salvage.pop((g.name, g.version), None)
+        # a verified plane answers every per-destination column: seed
+        # the column LRU so later point/dest hits skip the apsp slice
+        dist, succ = entry["dist"], entry["succ"]
+        iterations = entry["iterations"]
+        for d in range(g.n):
+            self._columns[(g.name, g.version, d)] = {
+                "sow": dist[:, d], "ptn": succ[:, d],
+                "iterations": int(iterations[d]),
+                "engine": entry["engine"], "degraded": degraded,
+            }
+            self._warm.pop((g.name, g.version, d), None)
+        while len(self._columns) > self.config.column_cache:
+            self._columns.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Answers
@@ -757,6 +1323,7 @@ class PathQueryService:
                 "digest": payload["digest"],
                 "engine": payload["engine"],
                 "workers": payload.get("workers", 1),
+                "incremental": payload.get("incremental"),
             }
             return Response(id=req.id, status="ok", op="apsp",
                             result=result, degraded=degraded)
@@ -833,7 +1400,17 @@ class PathQueryService:
             "ladder": self.ladder.snapshot(),
             "counters": dict(self.counters),
             "caches": {"columns": len(self._columns),
-                       "apsp": len(self._apsp)},
+                       "apsp": len(self._apsp),
+                       "warm_seeds": len(self._warm),
+                       "apsp_salvage": len(self._apsp_salvage)},
+            "coalescer": (self._coalescer.snapshot()
+                          if self._coalescer is not None else None),
+            "engine": {
+                "plan_cache": plan_cache_stats().snapshot(),
+                "plan_cache_sizes": plan_cache_sizes(),
+                "cost_cache": cost_cache_stats(),
+                "cost_cache_size": cost_cache_size(),
+            },
         }
 
     def profile(self) -> RunProfile:

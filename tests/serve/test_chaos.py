@@ -19,7 +19,7 @@ class TestScenarioPlan:
     def test_kinds_cover_the_issue_matrix(self):
         assert set(CHAOS_KINDS) == {
             "healthy", "worker-kill", "worker-slow", "overload",
-            "bus-fault",
+            "bus-fault", "update-storm",
         }
 
     def test_unknown_kind_rejected(self):

@@ -1,0 +1,195 @@
+"""Request coalescing: identical answers, shared flights, real batching.
+
+Coalescing is a pure throughput optimisation — the tests here pin that
+claim from three directions: chaos campaign digests are identical with
+it on and off, single-flight waiters receive bit-identical payloads,
+and the coalescer's accounting (lane fill, admission weight) reflects
+real batches.
+"""
+
+import asyncio
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.resilience import BackoffPolicy
+from repro.serve.chaos import ChaosScenario, run_scenario
+from repro.serve.loadgen import random_graph
+from repro.serve.service import PathQueryService, ServiceConfig
+
+
+def fast_config(**overrides) -> ServiceConfig:
+    base = dict(
+        workers=1,
+        backoff=BackoffPolicy(base=0.001, cap=0.01, max_attempts=2),
+        breaker_cooldown_s=0.2,
+        recovery_successes=2,
+        coalesce_window_ms=5.0,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+async def put(service, n=10, seed=7, name="g"):
+    wire = random_graph(n, 0.4, np.random.default_rng(seed))
+    resp = await service.handle_request({
+        "id": "setup", "op": "put_graph", "graph": name,
+        "weights": wire, "word_bits": 16,
+    })
+    assert resp.status == "ok", resp.error
+    return wire
+
+
+class TestCoalescedAnswers:
+    def test_burst_coalesces_into_one_batch(self):
+        async def main():
+            service = PathQueryService(fast_config())
+            try:
+                await put(service)
+                out = await asyncio.gather(*(
+                    service.handle_request({"id": i, "op": "dest",
+                                            "graph": "g", "dest": i})
+                    for i in range(6)
+                ))
+                assert all(r.status == "ok" for r in out)
+                assert {r.timing.get("batched_with") for r in out} == {6}
+                snap = service.stats()["coalescer"]
+                assert snap["batches"] == 1
+                assert snap["lane_fill"] == {"6": 1}
+                assert snap["coalesced_requests"] == 6
+                # one admission slot consumed, weighted by 6 lanes
+                adm = service.stats()["admission"]
+                assert adm["admitted"] == 1
+                assert adm["admitted_weight"] == 6
+            finally:
+                await service.stop()
+        asyncio.run(main())
+
+    def test_single_flight_payloads_bit_identical(self):
+        async def main():
+            service = PathQueryService(fast_config())
+            try:
+                await put(service)
+                out = await asyncio.gather(*(
+                    service.handle_request({"id": i, "op": "dest",
+                                            "graph": "g", "dest": 3})
+                    for i in range(5)
+                ))
+                assert all(r.status == "ok" for r in out)
+                blobs = {
+                    json.dumps([r.result["sow"], r.result["ptn"],
+                                r.result["iterations"]])
+                    for r in out
+                }
+                assert len(blobs) == 1  # byte-for-byte the same answer
+                snap = service.stats()["coalescer"]
+                assert snap["single_flight_hits"] == 4
+                assert snap["lane_fill"] == {"1": 1}
+                assert sum(
+                    1 for r in out if r.timing.get("single_flight")
+                ) == 4
+            finally:
+                await service.stop()
+        asyncio.run(main())
+
+    def test_full_batch_dispatches_early(self):
+        async def main():
+            service = PathQueryService(
+                fast_config(max_lanes=2, coalesce_window_ms=10_000.0)
+            )
+            try:
+                await put(service)
+                # window is absurdly long: only the max_lanes flush can
+                # let these complete promptly
+                out = await asyncio.wait_for(asyncio.gather(*(
+                    service.handle_request({"id": i, "op": "dest",
+                                            "graph": "g", "dest": i})
+                    for i in range(4)
+                )), timeout=30)
+                assert all(r.status == "ok" for r in out)
+                snap = service.stats()["coalescer"]
+                assert snap["flushed_full"] == 2
+                assert snap["lane_fill"] == {"2": 2}
+            finally:
+                await service.stop()
+        asyncio.run(main())
+
+    def test_coalesced_matches_uncoalesced_answers(self):
+        async def main():
+            on = PathQueryService(fast_config(seed=5))
+            off = PathQueryService(fast_config(seed=5, coalesce=False))
+            try:
+                await put(on)
+                await put(off)
+                a = await asyncio.gather(*(
+                    on.handle_request({"id": i, "op": "dest",
+                                       "graph": "g", "dest": i % 10})
+                    for i in range(10)
+                ))
+                b = await asyncio.gather(*(
+                    off.handle_request({"id": i, "op": "dest",
+                                        "graph": "g", "dest": i % 10})
+                    for i in range(10)
+                ))
+                for ra, rb in zip(a, b):
+                    assert ra.status == rb.status == "ok"
+                    assert ra.result["sow"] == rb.result["sow"]
+                    assert ra.result["ptn"] == rb.result["ptn"]
+                    assert ra.result["iterations"] == \
+                        rb.result["iterations"]
+            finally:
+                await on.stop()
+                await off.stop()
+        asyncio.run(main())
+
+
+class TestChaosDigestInvariance:
+    @pytest.mark.parametrize("kinds", [
+        ("healthy", "bus-fault"),
+        ("update-storm",),
+    ])
+    def test_campaign_digest_identical_on_vs_off(self, kinds):
+        """Coalescing changes throughput, never answers: the chaos
+        digest over every verified answer must be invariant."""
+        def digest_with(coalesce: bool) -> str:
+            h = hashlib.blake2b(digest_size=16)
+            for i in range(4):
+                sc = ChaosScenario(
+                    name=f"run{i:03d}-{kinds[i % len(kinds)]}",
+                    kind=kinds[i % len(kinds)],
+                    seed=90_000 + i, n=8, requests=10,
+                    coalesce=coalesce,
+                )
+                outcome = asyncio.run(run_scenario(sc))
+                assert outcome["wrong"] == 0
+                h.update(json.dumps(
+                    [sc.to_dict(), sorted(outcome["ok_answers"])],
+                    sort_keys=True, separators=(",", ":"),
+                ).encode())
+            return h.hexdigest()
+
+        assert digest_with(True) == digest_with(False)
+
+
+class TestCacheHitSpan:
+    def test_cached_answer_emits_cache_hit_span(self):
+        async def main():
+            service = PathQueryService(fast_config())
+            try:
+                await put(service)
+                r1 = await service.handle_request(
+                    {"id": 1, "op": "dest", "graph": "g", "dest": 2})
+                assert r1.status == "ok"
+                assert not r1.timing.get("cached")
+                r2 = await service.handle_request(
+                    {"id": 2, "op": "dest", "graph": "g", "dest": 2})
+                assert r2.timing.get("cached") is True
+                hits = service.profile().find("serve.cache_hit")
+                assert len(hits) == 1
+                assert hits[0].attrs["dest"] == 2
+                assert hits[0].end >= hits[0].start
+            finally:
+                await service.stop()
+        asyncio.run(main())

@@ -1,0 +1,311 @@
+"""Delta invalidation soundness: a kept column is never stale.
+
+The service's incremental `put_graph` keeps cached columns that
+`column_is_dirty` clears. The claim this file pins (oracle-checked):
+every kept column still satisfies the full Bellman-fixpoint oracle
+under the NEW weights — so serving it at the bumped version can never
+be silent-wrong. The dirty test is conservative (may recompute a column
+that did not change) but never unsound, including multi-edge deltas.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.serve.delta import (
+    apply_edge_delta,
+    certify_warm_plane,
+    column_is_dirty,
+    decode_edges,
+    dirty_destinations,
+)
+from repro.serve.oracle import bellman_reference, verify_mcp
+from repro.serve.service import PathQueryService, ServiceConfig
+
+MAXINT = (1 << 16) - 1
+
+
+def random_grid(n, rng, density=0.4):
+    W = np.full((n, n), MAXINT, dtype=np.int64)
+    mask = rng.random((n, n)) < density
+    W[mask] = rng.integers(1, 10, size=int(mask.sum()))
+    np.fill_diagonal(W, 0)
+    return W
+
+
+def solve(W, d):
+    """Reference (sow, ptn) pair that passes the oracle."""
+    n = W.shape[0]
+    sow = bellman_reference(W, d, MAXINT)
+    ptn = np.full(n, d, dtype=np.int64)
+    for v in range(n):
+        if v == d or sow[v] >= MAXINT:
+            continue
+        for u in range(n):
+            if u != v and W[v, u] < MAXINT \
+                    and sow[v] == W[v, u] + sow[u]:
+                ptn[v] = u
+                break
+    return sow, ptn
+
+
+class TestDecodeEdges:
+    def test_valid_triples_decode(self):
+        edges = decode_edges([[0, 1, 5], [2, 3, None]], 4, MAXINT)
+        assert edges == [(0, 1, 5), (2, 3, MAXINT)]
+
+    @pytest.mark.parametrize("bad", [
+        [],                      # empty
+        "nope",                  # not a list
+        [[0, 1]],                # wrong arity
+        [[0, 0, 3]],             # diagonal
+        [[0, 9, 3]],             # out of range
+        [[0, 1, -1]],            # negative weight
+        [[0, 1, MAXINT + 1]],    # beyond the sentinel
+        [[0, 1, "x"]],           # non-int weight
+        [["a", 1, 2]],           # non-int endpoint
+    ])
+    def test_bad_wire_forms_rejected(self, bad):
+        with pytest.raises(GraphError):
+            decode_edges(bad, 4, MAXINT)
+
+    def test_later_entries_win(self):
+        W = np.zeros((3, 3), dtype=np.int64)
+        edges = decode_edges([[0, 1, 5], [0, 1, 7]], 3, MAXINT)
+        assert apply_edge_delta(W, edges, MAXINT)[0, 1] == 7
+
+
+class TestDirtySoundness:
+    def test_kept_columns_pass_the_oracle_under_new_weights(self):
+        """The headline property: clean verdict => oracle-clean at W_new."""
+        rng = np.random.default_rng(3)
+        kept = dirtied = 0
+        for trial in range(60):
+            n = int(rng.integers(4, 12))
+            W = random_grid(n, rng)
+            k = int(rng.integers(1, 5))  # multi-edge deltas included
+            edges = []
+            for _ in range(k):
+                u = int(rng.integers(0, n))
+                v = int(rng.integers(0, n - 1))
+                v += v >= u
+                w = MAXINT if rng.random() < 0.3 \
+                    else int(rng.integers(1, 10))
+                edges.append((u, v, w))
+            W_new = apply_edge_delta(W, edges, MAXINT)
+            for d in range(n):
+                sow, ptn = solve(W, d)
+                if column_is_dirty(edges, sow, ptn, MAXINT):
+                    dirtied += 1
+                    continue
+                kept += 1
+                assert not verify_mcp(W_new, sow, ptn, d, MAXINT), \
+                    f"kept a stale column (trial {trial}, dest {d})"
+        assert kept > 50, "dirty test too conservative to be useful"
+        assert dirtied > 50, "delta stream never dirtied anything"
+
+    def test_vectorised_plane_test_matches_scalar(self):
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            n = int(rng.integers(4, 10))
+            W = random_grid(n, rng)
+            cols = [solve(W, d) for d in range(n)]
+            dist = np.stack([c[0] for c in cols], axis=1)
+            succ = np.stack([c[1] for c in cols], axis=1)
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n - 1))
+            v += v >= u
+            edges = [(u, v, int(rng.integers(1, 10)))]
+            plane = dirty_destinations(edges, dist, succ, MAXINT)
+            scalar = [column_is_dirty(edges, dist[:, d], succ[:, d],
+                                      MAXINT) for d in range(n)]
+            assert plane.tolist() == scalar
+
+    def test_cost_improvement_dirties_affected_column(self):
+        # 0 -> 1 -> 2 costs 10; a 0->2 shortcut of 3 must dirty dest 2
+        W = np.full((3, 3), MAXINT, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        W[0, 1] = 5
+        W[1, 2] = 5
+        sow, ptn = solve(W, 2)
+        assert column_is_dirty([(0, 2, 3)], sow, ptn, MAXINT)
+
+    def test_removing_tree_edge_dirties_column(self):
+        W = np.full((3, 3), MAXINT, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        W[0, 1] = 5
+        W[1, 2] = 5
+        sow, ptn = solve(W, 2)
+        assert column_is_dirty([(1, 2, MAXINT)], sow, ptn, MAXINT)
+
+    def test_irrelevant_edge_keeps_column(self):
+        W = np.full((4, 4), MAXINT, dtype=np.int64)
+        np.fill_diagonal(W, 0)
+        W[0, 1] = 2
+        W[1, 2] = 2
+        W[1, 0] = 20  # expensive detour, not on the tree
+        # improving the detour without making it competitive (9 + 4 > 2)
+        # cannot affect any answer for dest 2
+        sow, ptn = solve(W, 2)
+        assert not column_is_dirty([(1, 0, 9)], sow, ptn, MAXINT)
+
+
+class TestCertifiedWarmPlane:
+    def test_bounds_are_achievable_or_maxint(self):
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            n = int(rng.integers(4, 10))
+            W = random_grid(n, rng)
+            cols = [solve(W, d) for d in range(n)]
+            dist = np.stack([c[0] for c in cols], axis=1)
+            succ = np.stack([c[1] for c in cols], axis=1)
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n - 1))
+            v += v >= u
+            edges = [(u, v, MAXINT if rng.random() < 0.5
+                      else int(rng.integers(1, 10)))]
+            W_new = apply_edge_delta(W, edges, MAXINT)
+            dests = np.arange(n, dtype=np.int64)
+            warm = certify_warm_plane(W_new, dist, succ, dests, MAXINT)
+            for d in range(n):
+                true = bellman_reference(W_new, d, MAXINT)
+                # certified upper bounds: never below the new fixpoint
+                assert (warm[:, d] >= true).all()
+                assert warm[d, d] == 0
+
+
+class TestServiceDelta:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_delta_updates_never_serve_stale_answers(self):
+        async def main():
+            rng = np.random.default_rng(29)
+            n = 10
+            W = random_grid(n, rng)
+            wire = [[None if int(c) >= MAXINT else int(c) for c in row]
+                    for row in W]
+            service = PathQueryService(ServiceConfig(workers=1, seed=1))
+            try:
+                resp = await service.handle_request({
+                    "id": 0, "op": "put_graph", "graph": "g",
+                    "weights": wire, "word_bits": 16,
+                })
+                assert resp.status == "ok"
+                grid = W.copy()
+                version = 1
+                for round_ in range(6):
+                    # query every destination (fills + migrates caches)
+                    for d in range(n):
+                        r = await service.handle_request({
+                            "id": f"{round_}-{d}", "op": "dest",
+                            "graph": "g", "dest": d,
+                        })
+                        assert r.status == "ok"
+                        assert r.result["version"] == version
+                        want = bellman_reference(grid, d, MAXINT)
+                        assert r.result["sow"] == [int(x) for x in want]
+                    u = int(rng.integers(0, n))
+                    v = int(rng.integers(0, n - 1))
+                    v += v >= u
+                    w = None if rng.random() < 0.3 \
+                        else int(rng.integers(1, 10))
+                    r = await service.handle_request({
+                        "id": f"u{round_}", "op": "put_graph",
+                        "graph": "g", "edges": [[u, v, w]],
+                        "base_version": version,
+                    })
+                    assert r.status == "ok", r.error
+                    grid[u, v] = MAXINT if w is None else w
+                    version += 1
+                    assert r.result["version"] == version
+            finally:
+                await service.stop()
+        self.run(main())
+
+    def test_version_conflict_rejected(self):
+        async def main():
+            service = PathQueryService(ServiceConfig(workers=1))
+            try:
+                wire = [[0, 1, None], [None, 0, 1], [1, None, 0]]
+                await service.handle_request({
+                    "id": 0, "op": "put_graph", "graph": "g",
+                    "weights": wire, "word_bits": 16,
+                })
+                r = await service.handle_request({
+                    "id": 1, "op": "put_graph", "graph": "g",
+                    "edges": [[0, 2, 4]], "base_version": 7,
+                })
+                assert r.status == "error"
+                assert "version conflict" in r.error
+            finally:
+                await service.stop()
+        self.run(main())
+
+    def test_weights_and_edges_together_rejected(self):
+        async def main():
+            service = PathQueryService(ServiceConfig(workers=1))
+            try:
+                wire = [[0, 1], [1, 0]]
+                await service.handle_request({
+                    "id": 0, "op": "put_graph", "graph": "g",
+                    "weights": wire, "word_bits": 16,
+                })
+                r = await service.handle_request({
+                    "id": 1, "op": "put_graph", "graph": "g",
+                    "weights": wire, "edges": [[0, 1, 2]],
+                })
+                assert r.status == "error"
+            finally:
+                await service.stop()
+        self.run(main())
+
+    def test_incremental_apsp_matches_cold_digest(self):
+        async def main():
+            rng = np.random.default_rng(41)
+            n = 9
+            W = random_grid(n, rng)
+            wire = [[None if int(c) >= MAXINT else int(c) for c in row]
+                    for row in W]
+            service = PathQueryService(ServiceConfig(workers=1, seed=2))
+            cold_svc = PathQueryService(ServiceConfig(workers=1, seed=2))
+            try:
+                for s in (service, cold_svc):
+                    r = await s.handle_request({
+                        "id": 0, "op": "put_graph", "graph": "g",
+                        "weights": wire, "word_bits": 16,
+                    })
+                    assert r.status == "ok"
+                r = await service.handle_request(
+                    {"id": 1, "op": "apsp", "graph": "g"})
+                assert r.status == "ok"
+                r = await service.handle_request({
+                    "id": 2, "op": "put_graph", "graph": "g",
+                    "edges": [[0, 1, 1], [2, 3, None]],
+                })
+                assert r.status == "ok", r.error
+                warm = await service.handle_request(
+                    {"id": 3, "op": "apsp", "graph": "g"})
+                assert warm.status == "ok"
+                # cold service registers the post-delta grid directly
+                W_new = apply_edge_delta(
+                    W, [(0, 1, 1), (2, 3, MAXINT)], MAXINT)
+                wire_new = [[None if int(c) >= MAXINT else int(c)
+                             for c in row] for row in W_new]
+                r = await cold_svc.handle_request({
+                    "id": 4, "op": "put_graph", "graph": "g",
+                    "weights": wire_new, "word_bits": 16,
+                })
+                assert r.status == "ok"
+                cold = await cold_svc.handle_request(
+                    {"id": 5, "op": "apsp", "graph": "g"})
+                assert cold.status == "ok"
+                assert warm.result["digest"] == cold.result["digest"]
+                if warm.result["incremental"] is not None:
+                    assert 0 < warm.result["incremental"] <= n
+            finally:
+                await service.stop()
+                await cold_svc.stop()
+        self.run(main())

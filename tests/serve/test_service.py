@@ -233,8 +233,11 @@ class TestOverload:
     def test_shed_with_backpressure_signal(self):
         async def main():
             factory = _GateFactory(0.3)
+            # coalescing would fold these six distinct-dest requests into
+            # one admission slot; this test pins the *per-request*
+            # admission path, so run with it off
             service = PathQueryService(
-                fast_config(max_inflight=1, max_queue=1),
+                fast_config(max_inflight=1, max_queue=1, coalesce=False),
                 machine_factory=factory,
             )
             await put(service)
