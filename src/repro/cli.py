@@ -276,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the three-way cost audit leg of asm-mcp linting",
     )
+    lint.add_argument(
+        "--host",
+        action="store_true",
+        help="run the host-* concurrency/resource-safety rules over "
+        "Python files or directories instead of PPC listings "
+        "(default target: src/repro)",
+    )
 
     st = sub.add_parser("selftest", help="bus switch diagnostic")
     st.add_argument("--n", type=int, default=8)
@@ -1122,9 +1129,50 @@ def _lint_asm_mcp(args) -> "object":
     return report
 
 
+#: bumped whenever the shape of `repro lint --json` changes; downstream
+#: tooling gates on it (tests/verify/test_cli_lint.py pins the golden).
+LINT_SCHEMA_VERSION = 1
+
+
+def _cmd_lint_host(args) -> int:
+    from repro.verify.host_checks import analyze_host_file, \
+        iter_python_files
+
+    targets = args.files or [Path("src/repro")]
+    reports = [analyze_host_file(p) for p in iter_python_files(targets)]
+    # keep only units with findings in text mode; JSON keeps everything
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "schema_version": LINT_SCHEMA_VERSION,
+                "mode": "host",
+                "errors": errors,
+                "warnings": warnings,
+                "reports": [r.to_dict() for r in reports],
+            },
+            indent=2,
+        ))
+    else:
+        for report in reports:
+            if report.diagnostics:
+                print(report.render())
+        print(
+            f"lint --host: {len(reports)} file(s), {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+    return 1 if errors else 0
+
+
 def _cmd_lint(args) -> int:
     from repro.ppc.lang import programs as bundled
     from repro.verify import verify_ppc_source
+
+    if args.host:
+        return _cmd_lint_host(args)
 
     selected = list(args.program)
     if not selected and not args.files:
@@ -1179,6 +1227,8 @@ def _cmd_lint(args) -> int:
 
         print(json.dumps(
             {
+                "schema_version": LINT_SCHEMA_VERSION,
+                "mode": "ppc",
                 "errors": errors,
                 "warnings": warnings,
                 "reports": [r.to_dict() for r in reports],

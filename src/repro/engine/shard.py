@@ -96,6 +96,7 @@ from repro.engine.costs import (
 )
 from repro.engine.select import resolve_engine
 from repro.errors import EngineError
+from repro.verify.sanitizer import note_shm_create, note_shm_release
 
 __all__ = [
     "ShardFailure",
@@ -339,9 +340,14 @@ def _run_shard(task: tuple[int, int, int], attempt: int = 0) -> dict:
     if _chaos_hits(chaos, "slow", shard_index, attempt):
         time.sleep(chaos["slow_seconds"])
 
-    handles = [_attach(ctx[key]) for key in ("w", "dist", "succ", "iters", "lanes")]
-    shm_w, shm_dist, shm_succ, shm_iters, shm_lanes = handles
+    # Attach one-by-one into a list owned by the finally below: if the
+    # k-th attach fails, the k-1 already-open handles must still be
+    # closed (a comprehension would strand them — host-shm-attach-leak).
+    handles: list[shared_memory.SharedMemory] = []
     try:
+        for key in ("w", "dist", "succ", "iters", "lanes"):
+            handles.append(_attach(ctx[key]))
+        shm_w, shm_dist, shm_succ, shm_iters, shm_lanes = handles
         if _chaos_hits(chaos, "raise", shard_index, attempt):
             raise RuntimeError(
                 f"injected worker exception (shard {shard_index}, "
@@ -554,6 +560,7 @@ def _release_blocks(blocks: list[shared_memory.SharedMemory]) -> None:
             pass
         except OSError:  # pragma: no cover - defensive
             pass
+        note_shm_release(shm.name)
     blocks.clear()
 
 
@@ -640,6 +647,7 @@ def sharded_all_pairs(
         size = int(np.prod(shape)) * 8
         shm = shared_memory.SharedMemory(create=True, size=max(size, 8))
         blocks.append(shm)
+        note_shm_create(shm.name, "sharded_all_pairs")
         return shm.name, np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
 
     machine_before = machine.counters.snapshot()

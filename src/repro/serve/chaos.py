@@ -93,6 +93,9 @@ class ChaosScenario:
     #: changes throughput, never answers), and the coalescing test pins
     #: exactly that.
     coalesce: bool = True
+    #: leak-sanitizer mode: None defers to REPRO_SANITIZE. Also not part
+    #: of ``to_dict`` — instrumentation must never change an answer.
+    sanitize: "bool | None" = None
 
     def to_dict(self) -> dict:
         return {"name": self.name, "kind": self.kind, "seed": self.seed,
@@ -165,14 +168,20 @@ async def run_scenario(sc: ChaosScenario) -> dict:
     reference: dict[tuple[int, int], np.ndarray] = {}
     state = {"version": 1}  # the service-side version the stream is at
 
-    def expect_column(dest: int) -> np.ndarray:
+    async def expect_column(dest: int) -> np.ndarray:
+        # The oracle pass is a full O(n^2) numpy sweep: run it on a
+        # worker thread so the loop keeps serving while we validate
+        # (host-blocking-compute).
         key = (state["version"], dest)
         if key not in reference:
-            reference[key] = bellman_reference(grid, dest, maxint)
+            loop = asyncio.get_running_loop()
+            reference[key] = await loop.run_in_executor(
+                None, bellman_reference, grid, dest, maxint)
         return reference[key]
 
     service = PathQueryService(_config_for(sc),
-                               machine_factory=_machine_factory_for(sc))
+                               machine_factory=_machine_factory_for(sc),
+                               sanitize=sc.sanitize)
 
     if sc.kind == "worker-kill":
         set_shard_chaos(kill_shards={0: 1})
@@ -235,7 +244,7 @@ async def run_scenario(sc: ChaosScenario) -> dict:
                 outcome["wrong"] += 1  # a stale version IS a wrong answer
                 return
             if op == "point":
-                expect = int(expect_column(dest)[source])
+                expect = int((await expect_column(dest))[source])
                 expected = None if expect >= maxint else expect
                 got = resp.result.get("cost")
                 if got != expected:
@@ -243,17 +252,16 @@ async def run_scenario(sc: ChaosScenario) -> dict:
                 else:
                     outcome["ok_answers"].append((i, op, got))
             elif op == "dest":
-                want = [int(v) for v in expect_column(dest)]
+                want = [int(v) for v in await expect_column(dest)]
                 if resp.result.get("sow") != want:
                     outcome["wrong"] += 1
                 else:
                     outcome["ok_answers"].append((i, op, sum(
                         v for v in want if v < maxint)))
             else:  # apsp: independent reachability cross-check
-                want = sum(
-                    int((expect_column(d) < maxint).sum())
-                    for d in range(sc.n)
-                )
+                want = 0
+                for d in range(sc.n):
+                    want += int(((await expect_column(d)) < maxint).sum())
                 if resp.result.get("reachable_pairs") != want:
                     outcome["wrong"] += 1
                 else:
@@ -306,9 +314,14 @@ async def run_scenario(sc: ChaosScenario) -> dict:
             await asyncio.gather(*(bounded(spec) for spec in plan))
     finally:
         clear_shard_chaos()
+        # With the sanitizer armed, stop() raises SanitizerViolation on
+        # any leaked task/shm/slot — a chaos scenario that leaks fails
+        # loudly, it does not degrade into a flaky later run.
         await service.stop()
 
     stats = service.stats()
+    if service.last_census is not None:
+        outcome["sanitizer"] = service.last_census.to_dict()
     outcome["ladder"] = stats["ladder"]
     outcome["breaker"] = {k: stats["breaker"][k]
                           for k in ("state", "trips", "rejections")}
@@ -326,6 +339,7 @@ def run_chaos_campaign(
     requests_per_run: int = 12,
     kinds: tuple = CHAOS_KINDS,
     coalesce: bool = True,
+    sanitize: "bool | None" = None,
 ) -> dict:
     """Run ``runs`` seeded scenarios (round-robin over ``kinds``) and
     aggregate the campaign-level invariants. Synchronous entry point —
@@ -340,6 +354,7 @@ def run_chaos_campaign(
             n=n,
             requests=requests_per_run,
             coalesce=coalesce,
+            sanitize=sanitize,
         )
         for i in range(runs)
     ]

@@ -37,6 +37,7 @@ computing for the others and still warms the cache).
 from __future__ import annotations
 
 import asyncio
+import functools
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
@@ -60,6 +61,9 @@ class CoalesceStats:
     flushed_full: int = 0
     #: batches flushed by the collection-window timer.
     flushed_window: int = 0
+    #: dispatch tasks that died with an unexpected exception (their
+    #: waiters are resolved with an error outcome, never stranded).
+    dispatch_errors: int = 0
     #: lane-fill histogram: batch size (distinct destinations) -> count.
     lane_fill: dict = field(default_factory=dict)
 
@@ -80,6 +84,7 @@ class CoalesceStats:
             "single_flight_hits": self.single_flight_hits,
             "flushed_full": self.flushed_full,
             "flushed_window": self.flushed_window,
+            "dispatch_errors": self.dispatch_errors,
             "lane_fill": dict(sorted(self.lane_fill.items(),
                                      key=lambda kv: int(kv[0]))),
         }
@@ -122,7 +127,7 @@ class ColumnCoalescer:
         self._pending: dict[tuple, _PendingBatch] = {}
         #: (name, version, dest) -> future, from collection until resolved
         self._inflight: dict[tuple, asyncio.Future] = {}
-        self._tasks: set = set()
+        self._tasks: set[asyncio.Task] = set()
         self._closed = False
 
     # -- joining ---------------------------------------------------------
@@ -198,7 +203,31 @@ class ColumnCoalescer:
             self._dispatch(batch.graph, batch.waiters, batch.deadline_at)
         )
         self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+        task.add_done_callback(
+            functools.partial(self._dispatch_done, batch.waiters)
+        )
+
+    def _dispatch_done(self, waiters: dict[int, asyncio.Future],
+                       task: "asyncio.Task") -> None:
+        """Consume the dispatch task's outcome (host-orphan-task).
+
+        A dispatch that dies with an unexpected exception (or is
+        cancelled mid-shutdown) must not strand its waiters on futures
+        nobody will ever resolve: every still-pending waiter gets an
+        error outcome and the failure is tallied.
+        """
+        self._tasks.discard(task)
+        if task.cancelled():
+            detail = "batch dispatch cancelled"
+        else:
+            exc = task.exception()
+            if exc is None:
+                return
+            detail = f"batch dispatch failed: {exc!r}"
+        self.stats.dispatch_errors += 1
+        for future in waiters.values():
+            if not future.done():
+                future.set_result({"status": "error", "error": detail})
 
     # -- lifecycle -------------------------------------------------------
 

@@ -160,10 +160,15 @@ async def run_loadgen(
     gate = asyncio.Semaphore(concurrency)
     inflight = 0
 
-    def reference(dest: int) -> np.ndarray:
+    async def reference(dest: int) -> np.ndarray:
+        # Oracle columns are O(n^2) numpy sweeps: compute them off-loop
+        # so validation does not stall the in-flight burst
+        # (host-blocking-compute).
         key = (state["version"], dest)
         if key not in reference_columns:
-            reference_columns[key] = bellman_reference(grid, dest, maxint)
+            loop = asyncio.get_running_loop()
+            reference_columns[key] = await loop.run_in_executor(
+                None, bellman_reference, grid, dest, maxint)
         return reference_columns[key]
 
     async def one(i: int, op: str, source: int, dest: int,
@@ -202,14 +207,14 @@ async def run_loadgen(
                 result.wrong += 1  # a stale version IS a wrong answer
                 return
             if op == "point":
-                expect = int(reference(dest)[source])
+                expect = int((await reference(dest))[source])
                 got = resp.result.get("cost")
                 expected = None if expect >= maxint else expect
                 if got != expected:
                     result.wrong += 1
             elif op == "dest":
-                if resp.result.get("sow") != [int(v)
-                                              for v in reference(dest)]:
+                if resp.result.get("sow") != [
+                        int(v) for v in await reference(dest)]:
                     result.wrong += 1
 
     if register_graph:

@@ -34,6 +34,7 @@ import functools
 import hashlib
 import time
 from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -50,6 +51,12 @@ from repro.ppa.machine import PPAMachine
 from repro.ppa.segments import plan_cache_sizes, plan_cache_stats
 from repro.ppa.topology import PPAConfig
 from repro.resilience import BackoffPolicy, ResilienceConfig, ResilientExecutor
+from repro.verify.sanitizer import (
+    HostSanitizer,
+    LeakCensus,
+    SanitizerViolation,
+    sanitize_from_env,
+)
 from repro.serve.admission import AdmissionController, QueueFull
 from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.coalesce import ColumnCoalescer
@@ -187,9 +194,17 @@ class PathQueryService:
         config: ServiceConfig | None = None,
         *,
         machine_factory: Callable[[int, int], PPAMachine] | None = None,
+        sanitize: bool | None = None,
     ):
         self.config = config or ServiceConfig()
         self.machine_factory = machine_factory or default_machine_factory
+        # Leak sanitizer (docs/static-analysis.md): explicit kwarg wins,
+        # REPRO_SANITIZE=1 arms it everywhere (CI chaos smoke runs so).
+        enable_sanitizer = sanitize if sanitize is not None \
+            else sanitize_from_env()
+        self.sanitizer: HostSanitizer | None = \
+            HostSanitizer() if enable_sanitizer else None
+        self.last_census: LeakCensus | None = None
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             max_queue=self.config.max_queue,
@@ -223,21 +238,24 @@ class PathQueryService:
             "verify_rejections": 0, "retries": 0, "abandoned": 0,
             "cache_hits": 0, "cache_misses": 0, "degraded_responses": 0,
         }
-        self._executor = None  # lazy ThreadPoolExecutor
+        self._executor: ThreadPoolExecutor | None = None  # lazy
         self._epoch = self.config.clock()
         self._spans: deque = deque(maxlen=self.config.keep_request_spans)
         self._server: asyncio.AbstractServer | None = None
-        self._reapers: set = set()
-        self._connections: set = set()
+        self._reapers: set[asyncio.Task] = set()
+        self._connections: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def _threads(self):
-        if self._executor is None:
-            from concurrent.futures import ThreadPoolExecutor
+    def _arm_sanitizer(self) -> None:
+        """Instrument the running loop, once, on first async entry."""
+        if self.sanitizer is not None:
+            self.sanitizer.arm(asyncio.get_running_loop())
 
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.config.max_inflight,
                 thread_name_prefix="repro-serve",
@@ -248,6 +266,7 @@ class PathQueryService:
                     ) -> asyncio.AbstractServer:
         """Bind the JSON-lines TCP endpoint; returns the asyncio server
         (``server.sockets[0].getsockname()`` has the bound port)."""
+        self._arm_sanitizer()
         self._server = await asyncio.start_server(
             self._on_connection, host, port, limit=MAX_LINE_BYTES + 1024,
         )
@@ -270,8 +289,21 @@ class PathQueryService:
             await asyncio.gather(*list(self._reapers),
                                  return_exceptions=True)
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            # shutdown(wait=True) joins worker threads: run the join on
+            # the default executor so a slow in-flight solve cannot
+            # freeze the loop during shutdown (host-blocking-io).
+            executor, self._executor = self._executor, None
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, functools.partial(executor.shutdown, wait=True))
+        if self.sanitizer is not None and self.sanitizer.armed:
+            # Everything is drained: anything still alive is a leak.
+            census = self.sanitizer.shutdown_census(
+                admission=self.admission)
+            self.last_census = census
+            self.sanitizer.disarm()
+            if not census.clean:
+                raise SanitizerViolation(census)
 
     # ------------------------------------------------------------------
     # TCP plumbing
@@ -283,7 +315,7 @@ class PathQueryService:
         if me is not None:
             self._connections.add(me)
         lock = asyncio.Lock()
-        tasks: set = set()
+        tasks: set[asyncio.Task] = set()
         try:
             while True:
                 try:
@@ -341,6 +373,7 @@ class PathQueryService:
 
     async def handle_request(self, data: "dict | Request") -> Response:
         """Serve one request end to end (also the in-process test entry)."""
+        self._arm_sanitizer()
         t0 = self.config.clock()
         try:
             req = data if isinstance(data, Request) \
@@ -1411,6 +1444,13 @@ class PathQueryService:
                 "cost_cache": cost_cache_stats(),
                 "cost_cache_size": cost_cache_size(),
             },
+            "sanitizer": (
+                None if self.sanitizer is None else {
+                    "armed": self.sanitizer.armed,
+                    "last_census": (self.last_census.to_dict()
+                                    if self.last_census else None),
+                }
+            ),
         }
 
     def profile(self) -> RunProfile:

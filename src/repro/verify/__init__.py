@@ -16,7 +16,13 @@ parity suite (cost semantics). It finds machine-model violations
   prediction == analytic cost vector == real cycle-engine counters on
   the assembly MCP;
 * :mod:`repro.verify.diagnostics` — the structured
-  :class:`~repro.verify.diagnostics.Report` all passes share.
+  :class:`~repro.verify.diagnostics.Report` all passes share;
+* :mod:`repro.verify.host_checks` — the ``host-*`` rules: concurrency
+  and resource-safety lint of the *host* code itself (asyncio serving
+  tier, fork/shm shard engine), surfaced as ``repro lint --host``;
+* :mod:`repro.verify.sanitizer` — the runtime leak sanitizer bridging
+  the static ``host-*`` rules to real schedules
+  (``REPRO_SANITIZE=1`` / ``PathQueryService(sanitize=True)``).
 
 Entry points: ``compile_ppc(..., verify="error"|"warn"|"off")``, the
 ``repro lint`` CLI command, and the functions re-exported here. The rule
@@ -25,6 +31,12 @@ catalogue lives in docs/static-analysis.md.
 
 from repro.verify.cost_audit import audit_mcp_cost, fit_affine_cost
 from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.host_checks import (
+    HOST_RULES,
+    analyze_host_file,
+    analyze_host_source,
+    iter_python_files,
+)
 from repro.verify.isa_checks import (
     ISARun,
     analyze_isa,
@@ -32,6 +44,11 @@ from repro.verify.isa_checks import (
     verify_isa,
 )
 from repro.verify.ppc_checks import verify_ppc, verify_ppc_source
+from repro.verify.sanitizer import (
+    HostSanitizer,
+    LeakCensus,
+    SanitizerViolation,
+)
 
 __all__ = [
     "Diagnostic",
@@ -45,4 +62,11 @@ __all__ = [
     "verify_ppc_source",
     "audit_mcp_cost",
     "fit_affine_cost",
+    "HOST_RULES",
+    "analyze_host_file",
+    "analyze_host_source",
+    "iter_python_files",
+    "HostSanitizer",
+    "LeakCensus",
+    "SanitizerViolation",
 ]

@@ -1,0 +1,781 @@
+"""Host-side concurrency & resource-safety lint (the ``host-*`` rules).
+
+PR 5's verifier audits the *simulated* machine (bus races on the PPC
+switch planes, ISA cost tables). This module applies the same
+discipline — structured :class:`~repro.verify.diagnostics.Report`
+findings with stable rule ids, golden-fixture-tested — to the *host*
+concurrency surface that grew around it: the asyncio serving tier
+(:mod:`repro.serve`), the fork-based shard workers with
+``multiprocessing.shared_memory`` (:mod:`repro.engine.shard`), and the
+coalescing futures in between. These are exactly the layers where the
+chaos harness keeps finding leak/soundness bugs *dynamically*; the
+analyzer finds the structural ones statically, and the runtime
+sanitizer (:mod:`repro.verify.sanitizer`) checks the censuses the
+analyzer cannot decide. The bridge property test pins the contract:
+statically-clean modules never trip the sanitizer.
+
+The pass is whole-file AST analysis (no imports are executed), module
+by module, with three pieces of context per module:
+
+* an **import table** resolving local names to canonical dotted paths
+  (``np.random.default_rng`` == ``numpy.random.default_rng``);
+* an **async-context map**: statements inside ``async def`` bodies,
+  *including nested synchronous helpers* (they almost always run
+  inline on the event loop) but excluding anything dispatched through
+  ``run_in_executor``/``functools.partial`` (those run on threads);
+* a **worker call tree** rooted at ``multiprocessing`` ``Process``
+  targets, for the fork-safety rule.
+
+Rule catalogue (docs/static-analysis.md has one trip/no-trip example
+per rule):
+
+====================================  ======================================
+rule                                  finding
+====================================  ======================================
+``host-unawaited-coroutine``          coroutine call used as a bare
+                                      statement — it never runs
+``host-orphan-task``                  ``create_task``/``ensure_future``
+                                      result discarded: exceptions are
+                                      unobservable, cancellation impossible
+``host-blocking-sleep``               ``time.sleep`` inside ``async def``
+``host-blocking-io``                  synchronous file/socket/subprocess
+                                      I/O (or a blocking ``shutdown``/
+                                      ``result`` wait) inside ``async def``
+``host-blocking-compute``             a known-heavy solver/oracle kernel
+                                      called directly on the event loop
+``host-shm-create-leak``              ``SharedMemory(create=True)`` with no
+                                      ``close``/``unlink`` on every path
+``host-shm-attach-leak``              shm attach not closed on every path
+                                      (incl. the partial-failure leak of
+                                      attaching inside a comprehension)
+``host-slot-leak``                    ``await x.acquire()`` without a
+                                      ``finally`` that can release under
+                                      cancellation
+``host-fork-global``                  worker-side mutation of a module
+                                      global the parent reads — invisible
+                                      after ``fork``
+``host-unseeded-random``              ``random``/``np.random`` drawn from
+                                      process-global or unseeded state
+                                      (breaks replayable runs)
+====================================  ======================================
+
+Suppressions are inline and must be justified:
+``# host-ok[rule-id]: reason`` on the flagged line drops that finding;
+an empty reason is itself reported (``host-suppression-unjustified``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.verify.diagnostics import Report, Severity
+
+__all__ = [
+    "HOST_RULES",
+    "analyze_host_source",
+    "analyze_host_file",
+    "iter_python_files",
+]
+
+HOST_RULES: dict[str, str] = {
+    "host-parse-error": "file does not parse as Python",
+    "host-unawaited-coroutine": "coroutine call is never awaited",
+    "host-orphan-task": "spawned task is discarded (exceptions unobserved)",
+    "host-blocking-sleep": "time.sleep blocks the event loop",
+    "host-blocking-io": "synchronous I/O blocks the event loop",
+    "host-blocking-compute": "heavy kernel runs on the event loop",
+    "host-shm-create-leak": "shared memory created without guaranteed "
+                            "close/unlink",
+    "host-shm-attach-leak": "shared memory attached without guaranteed "
+                            "close",
+    "host-slot-leak": "acquire without a cancellation-safe release",
+    "host-fork-global": "worker-side mutation of a parent-read module "
+                        "global",
+    "host-unseeded-random": "unseeded / process-global RNG draw",
+    "host-suppression-unjustified": "host-ok suppression carries no "
+                                    "justification",
+}
+
+#: canonical dotted call paths that block the loop outright.
+_BLOCKING_SLEEP = {"time.sleep"}
+
+#: canonical dotted call paths (or exact builtins) doing synchronous I/O.
+_BLOCKING_IO_CALLS = {
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.wait", "os.waitpid",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.request",
+}
+
+#: method names (any receiver) that are synchronous file I/O.
+_BLOCKING_IO_METHODS = {"read_text", "write_text", "read_bytes",
+                        "write_bytes"}
+
+#: known-heavy repro kernels: each is a full engine sweep or an O(n^2+)
+#: oracle pass — on the serving tier these belong in a compute thread
+#: (``run_in_executor``), never inline on the event loop.
+_HEAVY_KERNELS = {
+    "minimum_cost_path", "batched_minimum_cost_path",
+    "all_pairs_minimum_cost", "sharded_all_pairs", "run_batched_suite",
+    "bellman_reference", "verify_mcp", "verify_apsp",
+    "delta_stepping_all_pairs", "audit_mcp_cost",
+}
+
+#: awaitable-factory names whose *result* must not be discarded.
+_TASK_SPAWNERS = {"create_task", "ensure_future"}
+
+#: canonical asyncio coroutine functions (for the unawaited rule).
+_ASYNCIO_COROUTINES = {
+    "asyncio.sleep", "asyncio.gather", "asyncio.wait",
+    "asyncio.wait_for", "asyncio.shield", "asyncio.to_thread",
+}
+
+#: legacy numpy global-state draws (module-level RNG: order-dependent).
+_NUMPY_GLOBAL_DRAWS = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "uniform", "normal", "standard_normal",
+    "poisson", "exponential", "beta", "binomial",
+}
+
+#: stdlib `random` module draws on the process-global Mersenne Twister.
+_STDLIB_RANDOM_DRAWS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "uniform", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits", "randbytes",
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*host-ok(?:\[(?P<rule>[\w*-]+)\])?\s*:?\s*(?P<reason>.*)$"
+)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` source text for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _final_name(func: ast.AST) -> str | None:
+    """The last segment of a call target (``self.x.acquire`` -> acquire)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class _ImportTable:
+    """Local name -> canonical dotted path resolution."""
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, node: ast.AST) -> str | None:
+        """Canonical dotted path of a call target, through the imports."""
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        base = self.aliases.get(head)
+        if base is None:
+            return dotted  # builtins / locals resolve to themselves
+        return f"{base}.{rest}" if rest else base
+
+
+def _enclosing_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _func_defs(tree: ast.Module) -> list[ast.AST]:
+    return [n for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+class _HostAnalyzer:
+    def __init__(self, tree: ast.Module, source: str, report: Report):
+        self.tree = tree
+        self.source = source
+        self.report = report
+        self.imports = _ImportTable(tree)
+        self.parents = _enclosing_map(tree)
+        #: names of every async def in the module (free or method).
+        self.async_names = {
+            n.name for n in ast.walk(tree)
+            if isinstance(n, ast.AsyncFunctionDef)
+        }
+        #: module-level assigned names.
+        self.module_globals = self._collect_module_globals()
+        #: module functions that return a SharedMemory attach (helpers).
+        self.attach_helpers: set[str] = set()
+        self.attach_helpers = self._collect_attach_helpers()
+
+    # -- context ---------------------------------------------------------
+
+    def _collect_module_globals(self) -> set[str]:
+        names: set[str] = set()
+        for node in self.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        return names
+
+    def _collect_attach_helpers(self) -> set[str]:
+        helpers: set[str] = set()
+        for fn in _func_defs(self.tree):
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.Return) and node.value is not None
+                        and self._shm_call_kind(node.value) == "attach"):
+                    helpers.add(fn.name)
+        return helpers
+
+    def _function_of(self, node: ast.AST) -> ast.AST | None:
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def _outermost_function_of(self, node: ast.AST) -> ast.AST | None:
+        out = None
+        cur: ast.AST | None = node
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out = cur
+            cur = self.parents.get(cur)
+        return out
+
+    def _in_async_context(self, node: ast.AST) -> bool:
+        """Does *node* run on the event loop?
+
+        True inside an ``async def`` body, including nested synchronous
+        helpers (they are called inline), False once an enclosing
+        ``lambda`` appears (lambdas here are thread dispatch or
+        callbacks) and False in plain sync functions.
+        """
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, ast.Lambda):
+                return False
+            if isinstance(cur, ast.AsyncFunctionDef):
+                return True
+            cur = self.parents.get(cur)
+        return False
+
+    def _statement_of(self, node: ast.AST) -> ast.stmt | None:
+        cur: ast.AST | None = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = self.parents.get(cur)
+        return cur  # type: ignore[return-value]
+
+    def _in_comprehension(self, node: ast.AST) -> bool:
+        cur = self.parents.get(node)
+        while cur is not None and not isinstance(cur, ast.stmt):
+            if isinstance(cur, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                ast.GeneratorExp)):
+                return True
+            cur = self.parents.get(cur)
+        return False
+
+    def _add(self, rule: str, message: str, node: ast.AST,
+             severity: Severity = Severity.ERROR) -> None:
+        fn = self._function_of(node)
+        self.report.add(
+            rule, severity, message,
+            line=getattr(node, "lineno", 0),
+            function=getattr(fn, "name", None),
+        )
+
+    # -- shm classification ---------------------------------------------
+
+    def _shm_call_kind(self, node: ast.AST) -> str | None:
+        """``"create"`` / ``"attach"`` / ``None`` for a call node."""
+        if not isinstance(node, ast.Call):
+            return None
+        name = _final_name(node.func)
+        if name == "SharedMemory":
+            for kw in node.keywords:
+                if kw.arg == "create" and isinstance(kw.value, ast.Constant)\
+                        and kw.value.value is True:
+                    return "create"
+            return "attach"
+        if name in self.attach_helpers:
+            return "attach"
+        return None
+
+    # -- rule passes -----------------------------------------------------
+
+    def run(self) -> None:
+        self._check_calls()
+        self._check_shm()
+        self._check_slots()
+        self._check_fork_globals()
+
+    # coroutines, tasks, blocking calls, RNG — one walk over every call
+    def _check_calls(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = self.imports.canonical(node.func)
+            final = _final_name(node.func)
+            stmt = self._statement_of(node)
+            bare = (isinstance(stmt, ast.Expr) and stmt.value is node)
+            in_async = self._in_async_context(node)
+
+            # host-unawaited-coroutine ------------------------------------
+            # Name-based matching is deliberately conservative about
+            # attribute calls: only `self.<async def>()` counts, so a
+            # `writer.close()` does not collide with an `async def close`
+            # elsewhere in the module.
+            if isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                local_coro = (isinstance(recv, ast.Name)
+                              and recv.id in ("self", "cls")
+                              and final in self.async_names)
+            else:
+                local_coro = final in self.async_names
+            is_coro = (canonical in _ASYNCIO_COROUTINES
+                       or (local_coro and final not in _TASK_SPAWNERS))
+            if bare and is_coro:
+                self._add(
+                    "host-unawaited-coroutine",
+                    f"coroutine call {final!r} is used as a bare "
+                    "statement: it is never scheduled (await it, or wrap "
+                    "it in create_task)",
+                    node,
+                )
+
+            # host-orphan-task --------------------------------------------
+            if bare and final in _TASK_SPAWNERS:
+                self._add(
+                    "host-orphan-task",
+                    f"{final}(...) result is discarded: the task cannot "
+                    "be cancelled or awaited and its exception is never "
+                    "consumed — keep a reference and consume the outcome",
+                    node,
+                )
+
+            # blocking calls on the event loop ----------------------------
+            if in_async:
+                if canonical in _BLOCKING_SLEEP:
+                    self._add(
+                        "host-blocking-sleep",
+                        "time.sleep blocks the event loop: use "
+                        "await asyncio.sleep(...)",
+                        node,
+                    )
+                elif (canonical in _BLOCKING_IO_CALLS
+                      or canonical == "open"
+                      or final in _BLOCKING_IO_METHODS
+                      or self._blocking_wait(node, final)):
+                    self._add(
+                        "host-blocking-io",
+                        f"synchronous call {final!r} blocks the event "
+                        "loop: move it to a thread "
+                        "(run_in_executor / asyncio.to_thread)",
+                        node,
+                    )
+                elif final in _HEAVY_KERNELS:
+                    self._add(
+                        "host-blocking-compute",
+                        f"heavy kernel {final!r} runs inline on the event "
+                        "loop: dispatch it through run_in_executor so the "
+                        "loop keeps serving",
+                        node,
+                    )
+
+            # host-unseeded-random ----------------------------------------
+            self._check_rng(node, canonical, final)
+
+    def _blocking_wait(self, node: ast.Call, final: str | None) -> bool:
+        """Blocking waits by shape: ``x.shutdown(wait=True)`` and the
+        zero-argument ``future.result()``."""
+        if final == "shutdown":
+            return any(
+                kw.arg == "wait" and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+        if final == "result" and isinstance(node.func, ast.Attribute):
+            return not node.args and not node.keywords
+        return False
+
+    def _check_rng(self, node: ast.Call, canonical: str | None,
+                   final: str | None) -> None:
+        if canonical is None:
+            return
+        message = None
+        if canonical == "numpy.random.default_rng" and not node.args \
+                and not node.keywords:
+            message = ("default_rng() without a seed: runs are not "
+                       "replayable — thread a seed through")
+        elif canonical.startswith("numpy.random.") \
+                and canonical.rsplit(".", 1)[-1] in _NUMPY_GLOBAL_DRAWS:
+            message = (f"legacy global draw {canonical}: order-dependent "
+                       "process state — use a seeded "
+                       "np.random.default_rng(seed) generator")
+        elif canonical.startswith("random.") \
+                and canonical.rsplit(".", 1)[-1] in _STDLIB_RANDOM_DRAWS:
+            message = (f"{canonical} draws from the process-global "
+                       "Mersenne Twister — use a seeded random.Random(seed)"
+                       " instance")
+        elif canonical == "random.Random" and not node.args \
+                and not node.keywords:
+            message = ("random.Random() without a seed: runs are not "
+                       "replayable — pass an explicit seed")
+        if message is not None:
+            self._add("host-unseeded-random", message, node)
+
+    # shared-memory create/attach path analysis ---------------------------
+    def _check_shm(self) -> None:
+        for node in ast.walk(self.tree):
+            kind = self._shm_call_kind(node)
+            if kind is None:
+                continue
+            rule = ("host-shm-create-leak" if kind == "create"
+                    else "host-shm-attach-leak")
+            stmt = self._statement_of(node)
+            # `return SharedMemory(...)` transfers ownership to the caller
+            if isinstance(stmt, ast.Return):
+                continue
+            if self._in_comprehension(node):
+                self._add(
+                    rule,
+                    "shared memory opened inside a comprehension: if a "
+                    "later element fails, the earlier handles are "
+                    "unreachable and leak — open one-by-one into a list "
+                    "released in a finally",
+                    node,
+                )
+                continue
+            bound = self._binding_of(node, stmt)
+            if bound is None:
+                self._add(
+                    rule,
+                    "shared-memory handle is not bound to a name: it can "
+                    "never be closed or unlinked",
+                    node,
+                )
+                continue
+            if not self._released_in_finally(node, bound):
+                verb = ("close+unlink" if kind == "create" else "close")
+                self._add(
+                    rule,
+                    f"no finally releases {bound!r}: an exception between "
+                    f"open and {verb} leaks the segment — release it in a "
+                    "finally on every path",
+                    node,
+                )
+
+    def _binding_of(self, call: ast.Call, stmt: ast.stmt | None
+                    ) -> str | None:
+        """The name (or container) that ends up owning the handle."""
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and stmt.value is call:
+            return stmt.targets[0].id
+        if isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name) \
+                and stmt.value is call:
+            return stmt.target.id
+        # container.append(SharedMemory(...)) — the container owns it
+        parent = self.parents.get(call)
+        if isinstance(parent, ast.Call) \
+                and isinstance(parent.func, ast.Attribute) \
+                and parent.func.attr == "append" \
+                and isinstance(parent.func.value, ast.Name):
+            return parent.func.value.id
+        return None
+
+    def _released_in_finally(self, node: ast.AST, bound: str) -> bool:
+        """Is *bound* (or a container it is appended into) referenced in
+        any ``finally`` of the outermost enclosing function?
+
+        The check is whole-function: the repo's idiom allocates in a
+        nested helper, appends to a shared list, and releases the list
+        in the outer function's ``finally`` — nesting must not hide the
+        protection, and a conditional release inside the ``finally``
+        still counts (the runtime sanitizer owns the dynamic side).
+        """
+        outer = self._outermost_function_of(node)
+        scope: ast.AST = outer if outer is not None else self.tree
+        # containers the bound name is appended into within the scope
+        owners = {bound}
+        for n in ast.walk(scope):
+            if (isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr in ("append", "add", "extend")
+                    and isinstance(n.func.value, ast.Name)):
+                for arg in n.args:
+                    if isinstance(arg, ast.Name) and arg.id in owners:
+                        owners.add(n.func.value.id)
+        for n in ast.walk(scope):
+            if isinstance(n, ast.Try) and n.finalbody:
+                for stmt in n.finalbody:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Name) and sub.id in owners:
+                            return True
+        return False
+
+    # acquire / release discipline ---------------------------------------
+    def _check_slots(self) -> None:
+        for fn in _func_defs(self.tree):
+            tries = [n for n in ast.walk(fn)
+                     if isinstance(n, ast.Try) and n.finalbody]
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Await):
+                    continue
+                acquire = self._acquire_call(node.value)
+                if acquire is None:
+                    continue
+                receiver = _dotted(acquire.func.value)  # type: ignore[union-attr]
+                if receiver is None:
+                    continue
+                if not self._release_protected(node, receiver, tries):
+                    self._add(
+                        "host-slot-leak",
+                        f"await {receiver}.acquire() has no finally "
+                        f"calling {receiver}.release(): a cancellation "
+                        "or exception after admission leaks the slot "
+                        "forever — protect it with try/finally (or "
+                        "async with)",
+                        node,
+                    )
+
+    def _acquire_call(self, expr: ast.AST) -> ast.Call | None:
+        """The ``<recv>.acquire(...)`` call inside an awaited expression
+        (directly, or wrapped in ``wait_for``/``shield``)."""
+        for n in ast.walk(expr):
+            if isinstance(n, ast.Call) \
+                    and isinstance(n.func, ast.Attribute) \
+                    and n.func.attr == "acquire":
+                return n
+        return None
+
+    def _release_protected(self, node: ast.Await, receiver: str,
+                           tries: list[ast.Try]) -> bool:
+        line = node.lineno
+        want = f"{receiver}.release"
+        for t in tries:
+            encloses = t.lineno <= line <= (t.end_lineno or t.lineno)
+            follows = t.lineno > line
+            if not (encloses or follows):
+                continue
+            for stmt in t.finalbody:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) \
+                            and _dotted(sub.func) == want:
+                        return True
+        return False
+
+    # fork-safety of module globals ---------------------------------------
+    def _check_fork_globals(self) -> None:
+        roots = self._worker_targets()
+        if not roots:
+            return
+        by_name: dict[str, ast.AST] = {
+            fn.name: fn for fn in _func_defs(self.tree)
+        }
+        worker_tree = self._reachable(roots, by_name)
+        if not worker_tree:
+            return
+        outside = [fn for name, fn in by_name.items()
+                   if name not in worker_tree]
+        for name in worker_tree:
+            fn = by_name.get(name)
+            if fn is None:
+                continue
+            for gname, node in self._global_mutations(fn):
+                if self._read_outside(gname, outside):
+                    self._add(
+                        "host-fork-global",
+                        f"worker-side mutation of module global {gname!r}"
+                        ": after fork the write lands in the child's copy"
+                        " and the parent (which reads it) never sees it —"
+                        " return the value through the result channel "
+                        "instead",
+                        node,
+                    )
+
+    def _worker_targets(self) -> set[str]:
+        roots: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call) \
+                    and _final_name(node.func) == "Process":
+                for kw in node.keywords:
+                    if kw.arg == "target" \
+                            and isinstance(kw.value, ast.Name):
+                        roots.add(kw.value.id)
+        return roots
+
+    def _reachable(self, roots: set[str], by_name: dict[str, ast.AST]
+                   ) -> set[str]:
+        seen: set[str] = set()
+        frontier = [r for r in roots if r in by_name]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            fn = by_name[name]
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    callee = _final_name(node.func)
+                    if callee in by_name and callee not in seen:
+                        frontier.append(callee)
+        return seen
+
+    _MUTATORS = {"update", "clear", "append", "extend", "add", "pop",
+                 "remove", "insert", "setdefault", "popitem", "discard"}
+
+    def _global_mutations(self, fn: ast.AST):
+        declared_global: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in self._MUTATORS \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in self.module_globals:
+                yield node.func.value.id, node
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for t in targets:
+                    if isinstance(t, ast.Subscript) \
+                            and isinstance(t.value, ast.Name) \
+                            and t.value.id in self.module_globals:
+                        yield t.value.id, node
+                    elif isinstance(t, ast.Name) \
+                            and t.id in declared_global \
+                            and t.id in self.module_globals:
+                        yield t.id, node
+
+    def _read_outside(self, gname: str, outside: list[ast.AST]) -> bool:
+        for fn in outside:
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Name) and node.id == gname \
+                        and isinstance(node.ctx, ast.Load):
+                    return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def _suppressions(source: str) -> dict[int, tuple[str, str]]:
+    """line -> (rule-or-*, justification) for ``# host-ok[...]`` comments."""
+    out: dict[int, tuple[str, str]] = {}
+    for i, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m:
+            out[i] = (m.group("rule") or "*", m.group("reason").strip())
+    return out
+
+
+def _apply_suppressions(report: Report, source: str) -> Report:
+    table = _suppressions(source)
+    if not table:
+        return report
+    kept = Report(source=report.source)
+    used: set[int] = set()
+    for d in report.diagnostics:
+        entry = table.get(d.line)
+        if entry is not None and entry[0] in ("*", d.rule):
+            used.add(d.line)
+            continue
+        kept.add(d.rule, d.severity, d.message, line=d.line, pc=d.pc,
+                 function=d.function)
+    for line in sorted(used):
+        if not table[line][1]:
+            kept.add(
+                "host-suppression-unjustified", Severity.WARNING,
+                "host-ok suppression without a justification — say why "
+                "the finding is safe here",
+                line=line,
+            )
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def analyze_host_source(source: str, *, source_name: str = "<string>"
+                        ) -> Report:
+    """Run every ``host-*`` rule over one Python source text."""
+    report = Report(source=source_name)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.add(
+            "host-parse-error", Severity.ERROR,
+            f"does not parse: {exc.msg}", line=exc.lineno or 0,
+        )
+        return report
+    _HostAnalyzer(tree, source, report).run()
+    return _apply_suppressions(report, source)
+
+
+def analyze_host_file(path: "Path | str") -> Report:
+    """Lint one ``.py`` file (path becomes the report's source label)."""
+    p = Path(path)
+    return analyze_host_source(p.read_text(), source_name=str(p))
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        else:
+            out.add(p)
+    return sorted(out)

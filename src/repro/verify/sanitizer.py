@@ -1,0 +1,229 @@
+"""Runtime leak sanitizer — the dynamic half of the ``host-*`` rules.
+
+:mod:`repro.verify.host_checks` proves the *structural* discipline
+statically: every shm open has a ``finally``, every ``acquire`` can
+release under cancellation, no task is spawned fire-and-forget. What it
+cannot decide is whether those paths actually run to completion under
+real schedules — a worker SIGKILLed mid-shard, an update storm racing a
+drain, a cancellation landing between admission and the ``try``. This
+module checks exactly that, the way an ASan/TSan run complements a
+compiler warning: with the sanitizer armed (``REPRO_SANITIZE=1`` or
+``PathQueryService(sanitize=True)``), the serving tier records three
+censuses at shutdown and **raises** :class:`SanitizerViolation` if any
+is non-empty:
+
+* **pending tasks** — every task created through the instrumented event
+  loop that is still pending after ``stop()`` drained connections,
+  reapers and the coalescer;
+* **open shm** — every ``multiprocessing.shared_memory`` segment the
+  shard engine allocated (:func:`note_shm_create`) and never released
+  (:func:`note_shm_release`), i.e. what would be left in ``/dev/shm``;
+* **held slots** — admission-controller slots still marked in flight,
+  plus waiters still queued.
+
+The bridge property test (tests/verify/test_sanitizer_bridge.py) ties
+the two halves together in the PR 5 style: modules the static pass
+calls clean never trip the sanitizer across the chaos campaign.
+
+The shm hooks are module-level and no-op when the sanitizer is
+disarmed, so :mod:`repro.engine.shard` can call them unconditionally
+from its single alloc/release path with zero serving-path overhead.
+They are thread-safe (shard dispatch runs on executor threads).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import weakref
+from typing import Any
+
+__all__ = [
+    "HostSanitizer",
+    "LeakCensus",
+    "SanitizerViolation",
+    "sanitize_from_env",
+    "note_shm_create",
+    "note_shm_release",
+    "open_shm_census",
+]
+
+_ENV_FLAG = "REPRO_SANITIZE"
+
+# -- module-level shm registry (fed by repro.engine.shard) ------------------
+
+_shm_lock = threading.Lock()
+#: shm name -> human-readable origin, while the segment is open.
+_open_shm: dict[str, str] = {}
+#: number of armed sanitizers; the registry only records while > 0 or
+#: the environment flag is set, so disarmed runs pay one int compare.
+_armed = 0
+
+
+def sanitize_from_env() -> bool:
+    """True when ``REPRO_SANITIZE`` asks for sanitizer mode."""
+    return os.environ.get(_ENV_FLAG, "").strip().lower() \
+        in ("1", "true", "yes", "on")
+
+
+def _tracking() -> bool:
+    return _armed > 0 or sanitize_from_env()
+
+
+def note_shm_create(name: str, where: str = "") -> None:
+    """Record a shared-memory segment as open (no-op when disarmed)."""
+    if not _tracking():
+        return
+    with _shm_lock:
+        _open_shm[name] = where
+
+
+def note_shm_release(name: str) -> None:
+    """Record a shared-memory segment as released."""
+    if not _tracking():
+        return
+    with _shm_lock:
+        _open_shm.pop(name, None)
+
+
+def open_shm_census() -> dict[str, str]:
+    """Segments currently recorded open: ``{name: origin}``."""
+    with _shm_lock:
+        return dict(_open_shm)
+
+
+class SanitizerViolation(RuntimeError):
+    """A shutdown census found leaked tasks, shm segments or slots."""
+
+    def __init__(self, census: "LeakCensus"):
+        self.census = census
+        super().__init__(census.describe())
+
+
+class LeakCensus:
+    """One shutdown census: what was still alive when it should not be."""
+
+    def __init__(self, *, pending_tasks: list[str],
+                 open_shm: dict[str, str], held_slots: int,
+                 queued_waiters: int):
+        self.pending_tasks = pending_tasks
+        self.open_shm = open_shm
+        self.held_slots = held_slots
+        self.queued_waiters = queued_waiters
+
+    @property
+    def clean(self) -> bool:
+        return (not self.pending_tasks and not self.open_shm
+                and self.held_slots == 0 and self.queued_waiters == 0)
+
+    def describe(self) -> str:
+        if self.clean:
+            return "sanitizer: clean shutdown"
+        parts = []
+        if self.pending_tasks:
+            parts.append(f"{len(self.pending_tasks)} pending task(s): "
+                         + ", ".join(sorted(self.pending_tasks)[:8]))
+        if self.open_shm:
+            parts.append(f"{len(self.open_shm)} open shm segment(s): "
+                         + ", ".join(sorted(self.open_shm)[:8]))
+        if self.held_slots:
+            parts.append(f"{self.held_slots} admission slot(s) still "
+                         "held")
+        if self.queued_waiters:
+            parts.append(f"{self.queued_waiters} admission waiter(s) "
+                         "still queued")
+        return "sanitizer: leaked at shutdown — " + "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "pending_tasks": sorted(self.pending_tasks),
+            "open_shm": dict(sorted(self.open_shm.items())),
+            "held_slots": self.held_slots,
+            "queued_waiters": self.queued_waiters,
+        }
+
+
+class HostSanitizer:
+    """Event-loop + resource instrumentation for one service lifetime.
+
+    ``arm(loop)`` wraps the loop's task factory so every task created
+    afterwards is tracked (weakly — completed tasks cost nothing);
+    ``shutdown_census()`` reports what is still alive, and ``disarm()``
+    restores the original factory. Arming is idempotent per loop.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: "weakref.WeakSet[asyncio.Task]" = weakref.WeakSet()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._prev_factory: Any = None
+        self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def arm(self, loop: asyncio.AbstractEventLoop) -> None:
+        global _armed
+        if self._armed and self._loop is loop:
+            return
+        if self._armed:
+            self.disarm()
+        self._loop = loop
+        self._prev_factory = loop.get_task_factory()
+        prev = self._prev_factory
+
+        def factory(lp, coro, **kwargs):
+            if prev is not None:
+                task = prev(lp, coro, **kwargs)
+            else:
+                task = asyncio.Task(coro, loop=lp, **kwargs)
+            self._tasks.add(task)
+            return task
+
+        loop.set_task_factory(factory)
+        self._armed = True
+        _armed += 1
+
+    def disarm(self) -> None:
+        global _armed
+        if not self._armed:
+            return
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.set_task_factory(self._prev_factory)
+        self._loop = None
+        self._prev_factory = None
+        self._armed = False
+        _armed -= 1
+
+    # -- censuses --------------------------------------------------------
+
+    def pending_task_census(self) -> list[str]:
+        """Names of tracked tasks still pending (excluding the caller)."""
+        try:
+            me = asyncio.current_task()
+        except RuntimeError:  # pragma: no cover - no running loop
+            me = None
+        return [t.get_name() for t in self._tasks
+                if not t.done() and t is not me]
+
+    def shutdown_census(self, *, admission: Any = None) -> LeakCensus:
+        """Collect the full census (tasks, shm, slots) at shutdown."""
+        held = queued = 0
+        if admission is not None:
+            held = int(getattr(admission, "inflight", 0))
+            queued = int(getattr(admission, "queue_depth", 0))
+        return LeakCensus(
+            pending_tasks=self.pending_task_census(),
+            open_shm=open_shm_census(),
+            held_slots=held,
+            queued_waiters=queued,
+        )
+
+    def check_shutdown(self, *, admission: Any = None) -> LeakCensus:
+        """Census + raise :class:`SanitizerViolation` if anything leaked."""
+        census = self.shutdown_census(admission=admission)
+        if not census.clean:
+            raise SanitizerViolation(census)
+        return census

@@ -1,0 +1,20 @@
+"""Golden fixture for ``repro lint --host --json``.
+
+Deliberately trips exactly one error (host-blocking-sleep) and one
+warning (host-suppression-unjustified). Do not edit lightly: the JSON
+payload for this file is pinned byte-for-byte (modulo the source path)
+by tests/verify/data/lint_host_golden.json — a schema change must bump
+``LINT_SCHEMA_VERSION`` in repro/cli.py and regenerate the golden.
+"""
+
+import asyncio
+import time
+
+
+async def stall() -> None:
+    time.sleep(1)
+    await asyncio.sleep(0)
+
+
+async def hushed() -> None:
+    time.sleep(2)  # host-ok[host-blocking-sleep]:

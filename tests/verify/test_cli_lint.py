@@ -62,6 +62,8 @@ def test_json_output_schema(tmp_path, capsys):
     bad.write_text(BAD_PPC)
     assert main(["lint", str(bad), "--json"]) == 1
     data = json.loads(capsys.readouterr().out)
+    assert data["schema_version"] == 1
+    assert data["mode"] == "ppc"
     assert data["errors"] == 1
     assert data["warnings"] == 0
     [report] = data["reports"]
@@ -129,3 +131,58 @@ def test_examples_directory_lints_clean(capsys):
     )
     assert demos, "examples/ should contain demo scripts"
     assert main(["lint", *demos]) == 0
+
+
+# -- the host-rule mode (`repro lint --host`) ---------------------------
+
+DATA = __import__("pathlib").Path(__file__).parent / "data"
+
+
+def _mask_sources(obj):
+    """Replace file paths with <fixture> so the golden is path-free."""
+    if isinstance(obj, dict):
+        return {k: ("<fixture>" if k == "source" and v else
+                    _mask_sources(v))
+                for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_mask_sources(v) for v in obj]
+    return obj
+
+
+def test_host_json_matches_golden_fixture(capsys):
+    """Byte-stable schema contract for downstream tooling: the payload
+    for the committed fixture must match the committed golden exactly
+    (modulo the absolute source path). A deliberate schema change must
+    bump LINT_SCHEMA_VERSION and regenerate the golden."""
+    assert main(["lint", "--host", "--json",
+                 str(DATA / "host_fixture.py")]) == 1
+    produced = _mask_sources(json.loads(capsys.readouterr().out))
+    golden = json.loads((DATA / "lint_host_golden.json").read_text())
+    assert produced == golden
+
+
+def test_host_mode_clean_file_exits_zero(tmp_path, capsys):
+    mod = tmp_path / "fine.py"
+    mod.write_text("import asyncio\n\n\nasync def go():\n"
+                   "    await asyncio.sleep(0)\n")
+    assert main(["lint", "--host", str(mod)]) == 0
+    out = capsys.readouterr().out
+    assert "1 file(s), 0 error(s)" in out
+
+
+def test_host_mode_directory_walk(tmp_path, capsys):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text(
+        "import time\n\n\nasync def go():\n    time.sleep(1)\n")
+    (tmp_path / "pkg" / "fine.py").write_text("x = 1\n")
+    assert main(["lint", "--host", str(tmp_path / "pkg")]) == 1
+    out = capsys.readouterr().out
+    assert "host-blocking-sleep" in out
+    assert "2 file(s), 1 error(s)" in out
+
+
+def test_host_mode_over_repo_src_is_clean(capsys):
+    """The acceptance criterion: `repro lint --host src/` exits 0."""
+    assert main(["lint", "--host", "src"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out

@@ -1,0 +1,599 @@
+"""Golden trip/no-trip fixtures for every ``host-*`` rule.
+
+Each rule gets at least one minimal source that must trip it and one
+adjacent source that must stay clean — the same pinning style as the
+PPC/ISA rule suites (test_ppc_rules.py / test_isa_rules.py). The
+fixtures double as the rule-semantics documentation: if a change to
+:mod:`repro.verify.host_checks` moves any of these, it changes the
+contract in docs/static-analysis.md.
+"""
+
+import textwrap
+
+from repro.verify.host_checks import HOST_RULES, analyze_host_source
+
+
+def _analyze(src: str):
+    return analyze_host_source(textwrap.dedent(src), source_name="fixture")
+
+
+def _rules(src: str) -> list:
+    return [d.rule for d in _analyze(src).diagnostics]
+
+
+def trips(src: str, rule: str) -> None:
+    report = _analyze(src)
+    hits = report.by_rule(rule)
+    assert hits, (
+        f"expected {rule} to trip; got "
+        f"{[d.rule for d in report.diagnostics]}\n{report.render()}"
+    )
+
+
+def clean(src: str, rule: str | None = None) -> None:
+    report = _analyze(src)
+    found = report.by_rule(rule) if rule else report.diagnostics
+    assert not found, report.render()
+
+
+class TestUnawaitedCoroutine:
+    def test_trips_on_bare_asyncio_sleep(self):
+        trips(
+            """
+            import asyncio
+
+            async def go():
+                asyncio.sleep(1)
+            """,
+            "host-unawaited-coroutine",
+        )
+
+    def test_trips_on_bare_local_coroutine_call(self):
+        trips(
+            """
+            async def work():
+                pass
+
+            async def main():
+                work()
+            """,
+            "host-unawaited-coroutine",
+        )
+
+    def test_trips_on_bare_self_method(self):
+        trips(
+            """
+            class S:
+                async def flush(self):
+                    pass
+
+                async def stop(self):
+                    self.flush()
+            """,
+            "host-unawaited-coroutine",
+        )
+
+    def test_awaited_call_is_clean(self):
+        clean(
+            """
+            import asyncio
+
+            async def go():
+                await asyncio.sleep(1)
+            """
+        )
+
+    def test_name_collision_on_foreign_receiver_is_clean(self):
+        # `writer.close()` is StreamWriter.close (sync) even though the
+        # module defines an `async def close` — only self/cls receivers
+        # match by name (the ServeClient.close false positive).
+        clean(
+            """
+            async def close(writer):
+                writer.close()
+            """
+        )
+
+    def test_asyncio_run_of_nested_run_is_clean(self):
+        # the `asyncio.run(run())` shape from _cmd_serve: the bare call
+        # is asyncio.run (sync entry point), not the nested coroutine.
+        clean(
+            """
+            import asyncio
+
+            def main():
+                async def run():
+                    pass
+
+                asyncio.run(run())
+            """
+        )
+
+
+class TestOrphanTask:
+    def test_trips_on_discarded_create_task(self):
+        trips(
+            """
+            import asyncio
+
+            async def work():
+                pass
+
+            async def go():
+                asyncio.create_task(work())
+            """,
+            "host-orphan-task",
+        )
+
+    def test_kept_reference_is_clean(self):
+        clean(
+            """
+            import asyncio
+
+            async def work():
+                pass
+
+            async def go():
+                task = asyncio.create_task(work())
+                await task
+            """
+        )
+
+
+class TestBlockingSleep:
+    def test_trips_inside_async_def(self):
+        trips(
+            """
+            import time
+
+            async def go():
+                time.sleep(0.5)
+            """,
+            "host-blocking-sleep",
+        )
+
+    def test_trips_in_nested_sync_helper(self):
+        # nested sync defs run inline on the loop when called from the
+        # coroutine (the chaos.py expect_column shape)
+        trips(
+            """
+            import time
+
+            async def go():
+                def helper():
+                    time.sleep(0.5)
+                helper()
+            """,
+            "host-blocking-sleep",
+        )
+
+    def test_trips_through_from_import(self):
+        trips(
+            """
+            from time import sleep
+
+            async def go():
+                sleep(1)
+            """,
+            "host-blocking-sleep",
+        )
+
+    def test_sync_function_is_clean(self):
+        clean(
+            """
+            import time
+
+            def go():
+                time.sleep(0.5)
+            """
+        )
+
+
+class TestBlockingIO:
+    def test_trips_on_open_in_async_def(self):
+        trips(
+            """
+            async def go(path):
+                open(path).read()
+            """,
+            "host-blocking-io",
+        )
+
+    def test_trips_on_blocking_shutdown(self):
+        trips(
+            """
+            async def stop(self):
+                self._executor.shutdown(wait=True)
+            """,
+            "host-blocking-io",
+        )
+
+    def test_trips_on_pathlib_read_text(self):
+        trips(
+            """
+            async def go(path):
+                return path.read_text()
+            """,
+            "host-blocking-io",
+        )
+
+    def test_trips_on_bare_future_result(self):
+        trips(
+            """
+            async def go(fut):
+                return fut.result()
+            """,
+            "host-blocking-io",
+        )
+
+    def test_lambda_payload_is_clean(self):
+        # lambdas inside async defs are thread dispatch / callbacks,
+        # not inline execution
+        clean(
+            """
+            import asyncio
+
+            async def go(path):
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    None, lambda: open(path).read())
+            """
+        )
+
+    def test_nonblocking_shutdown_is_clean(self):
+        clean(
+            """
+            async def stop(self):
+                self._executor.shutdown(wait=False)
+            """
+        )
+
+
+class TestBlockingCompute:
+    def test_trips_on_oracle_kernel_in_async_def(self):
+        trips(
+            """
+            from repro.serve.oracle import bellman_reference
+
+            async def check(grid, dest, maxint):
+                return bellman_reference(grid, dest, maxint)
+            """,
+            "host-blocking-compute",
+        )
+
+    def test_executor_dispatch_is_clean(self):
+        # passing the kernel as a run_in_executor argument is the fix,
+        # not a call on the loop
+        clean(
+            """
+            import asyncio
+            from repro.serve.oracle import bellman_reference
+
+            async def check(grid, dest, maxint):
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    None, bellman_reference, grid, dest, maxint)
+            """
+        )
+
+
+class TestShmCreateLeak:
+    def test_trips_without_finally(self):
+        trips(
+            """
+            from multiprocessing import shared_memory
+
+            def alloc(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                return shm.name
+            """,
+            "host-shm-create-leak",
+        )
+
+    def test_try_finally_is_clean(self):
+        clean(
+            """
+            from multiprocessing import shared_memory
+
+            def alloc(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                try:
+                    return bytes(shm.buf)
+                finally:
+                    shm.close()
+                    shm.unlink()
+            """
+        )
+
+    def test_append_to_released_list_is_clean(self):
+        # the sharded_all_pairs idiom: a nested allocator appends into a
+        # list the outer function's finally releases
+        clean(
+            """
+            from multiprocessing import shared_memory
+
+            def run(n):
+                blocks = []
+
+                def alloc(size):
+                    shm = shared_memory.SharedMemory(create=True,
+                                                     size=size)
+                    blocks.append(shm)
+                    return shm.name
+
+                try:
+                    return [alloc(n), alloc(n)]
+                finally:
+                    release_blocks(blocks)
+            """
+        )
+
+
+class TestShmAttachLeak:
+    def test_trips_inside_comprehension(self):
+        # the _run_shard partial-failure leak: a failing attach strands
+        # every earlier handle in the comprehension
+        trips(
+            """
+            from multiprocessing import shared_memory
+
+            def attach_all(names):
+                handles = [shared_memory.SharedMemory(name=n)
+                           for n in names]
+                try:
+                    return [h.buf for h in handles]
+                finally:
+                    for h in handles:
+                        h.close()
+            """,
+            "host-shm-attach-leak",
+        )
+
+    def test_loop_append_with_finally_is_clean(self):
+        clean(
+            """
+            from multiprocessing import shared_memory
+
+            def attach_all(names):
+                handles = []
+                try:
+                    for n in names:
+                        handles.append(shared_memory.SharedMemory(name=n))
+                    return [h.buf for h in handles]
+                finally:
+                    for h in handles:
+                        h.close()
+            """
+        )
+
+    def test_returning_helper_is_clean_but_caller_is_checked(self):
+        # a helper that returns the handle transfers ownership; an
+        # unprotected *caller* of that helper trips instead
+        report = _analyze(
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+
+            def use(name):
+                shm = attach(name)
+                return bytes(shm.buf)
+            """
+        )
+        hits = report.by_rule("host-shm-attach-leak")
+        assert len(hits) == 1 and hits[0].function == "use", \
+            report.render()
+
+
+class TestSlotLeak:
+    def test_trips_without_finally(self):
+        trips(
+            """
+            async def query(self):
+                await self.admission.acquire()
+                return compute()
+            """,
+            "host-slot-leak",
+        )
+
+    def test_enclosing_try_finally_is_clean(self):
+        clean(
+            """
+            async def query(self):
+                try:
+                    await self.admission.acquire()
+                    return compute()
+                finally:
+                    self.admission.release()
+            """
+        )
+
+    def test_following_try_finally_is_clean(self):
+        # the service.py _query shape: acquire, a line of bookkeeping,
+        # then the try whose finally (conditionally) releases — the
+        # sanitizer owns the residual acquire-to-try gap dynamically
+        clean(
+            """
+            async def query(self):
+                await self.admission.acquire()
+                queued_ms = 1.0
+                release = True
+                try:
+                    return compute(queued_ms)
+                finally:
+                    if release:
+                        self.admission.release()
+            """
+        )
+
+    def test_wrapped_in_wait_for_still_checked(self):
+        trips(
+            """
+            import asyncio
+
+            async def query(self):
+                await asyncio.wait_for(self.admission.acquire(), 1.0)
+                return compute()
+            """,
+            "host-slot-leak",
+        )
+
+    def test_async_with_is_clean(self):
+        clean(
+            """
+            async def query(self, sem):
+                async with sem:
+                    return compute()
+            """
+        )
+
+
+class TestForkGlobal:
+    def test_trips_when_parent_reads_worker_write(self):
+        trips(
+            """
+            import multiprocessing as mp
+
+            _COUNT = {}
+
+            def _work():
+                _COUNT["n"] = 1
+
+            def run():
+                p = mp.Process(target=_work)
+                p.start()
+                p.join()
+                return _COUNT.get("n")
+            """,
+            "host-fork-global",
+        )
+
+    def test_worker_private_global_is_clean(self):
+        # the shard.py _worker_ctx shape: only the worker tree ever
+        # reads the global it initialises
+        clean(
+            """
+            import multiprocessing as mp
+
+            _CTX = {}
+
+            def _init(payload):
+                _CTX.update(payload)
+
+            def _work():
+                _init({"n": 1})
+                return _CTX["n"]
+
+            def run():
+                p = mp.Process(target=_work)
+                p.start()
+                p.join()
+            """
+        )
+
+
+class TestUnseededRandom:
+    def test_trips_on_bare_default_rng(self):
+        trips(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().integers(10)
+            """,
+            "host-unseeded-random",
+        )
+
+    def test_trips_on_legacy_numpy_global_draw(self):
+        trips(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.randint(10)
+            """,
+            "host-unseeded-random",
+        )
+
+    def test_trips_on_stdlib_global_draw(self):
+        trips(
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+            "host-unseeded-random",
+        )
+
+    def test_trips_on_unseeded_random_instance(self):
+        trips(
+            """
+            import random
+
+            def make():
+                return random.Random()
+            """,
+            "host-unseeded-random",
+        )
+
+    def test_seeded_generators_are_clean(self):
+        clean(
+            """
+            import random
+
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                r = random.Random(seed)
+                return rng.integers(10) + r.randint(0, 9)
+            """
+        )
+
+
+class TestSuppressions:
+    TRIP = """
+    import time
+
+    async def go():
+        time.sleep(1){comment}
+    """
+
+    def test_justified_suppression_drops_finding(self):
+        report = _analyze(self.TRIP.format(
+            comment="  # host-ok[host-blocking-sleep]: test fixture "
+                    "needs a real stall"))
+        assert not report.diagnostics, report.render()
+
+    def test_unjustified_suppression_warns(self):
+        report = _analyze(self.TRIP.format(
+            comment="  # host-ok[host-blocking-sleep]:"))
+        assert not report.by_rule("host-blocking-sleep")
+        assert report.by_rule("host-suppression-unjustified")
+        assert not report.errors and report.warnings
+
+    def test_wildcard_suppression(self):
+        report = _analyze(self.TRIP.format(
+            comment="  # host-ok: deliberate blocking fixture"))
+        assert not report.diagnostics, report.render()
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        report = _analyze(self.TRIP.format(
+            comment="  # host-ok[host-slot-leak]: wrong rule"))
+        assert report.by_rule("host-blocking-sleep")
+
+
+class TestHarness:
+    def test_parse_error_is_reported_not_raised(self):
+        report = analyze_host_source("def broken(:\n", source_name="x")
+        assert report.by_rule("host-parse-error")
+        assert not report.ok
+
+    def test_every_rule_has_catalogue_entry(self):
+        assert all(isinstance(v, str) and v for v in HOST_RULES.values())
+
+    def test_clean_source_reports_source_name(self):
+        report = analyze_host_source("x = 1\n", source_name="unit.py")
+        assert report.source == "unit.py" and report.ok
